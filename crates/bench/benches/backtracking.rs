@@ -1,0 +1,125 @@
+//! **E-5 / fig 2-4** — selective backtracking: "the decision … must be
+//! retracted, together with all its consequent changes, without
+//! redoing all the rest of the design".
+//!
+//! Sweeps decision-history length and compares (a) retracting one
+//! mid-history decision selectively against (b) rebuilding the whole
+//! history from scratch without it — the cost the decision-based
+//! documentation saves. Expected shape: selective retraction is flat-
+//! ish in unrelated history size; rebuild grows linearly.
+
+use bench::decision_history;
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use gkbms::metamodel::kernel;
+use gkbms::DecisionRequest;
+use std::time::Duration;
+
+fn bench_retract_vs_rebuild(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backtracking");
+    for n in [5usize, 15, 30] {
+        // Retract one refinement chain's root decision among n chains.
+        group.bench_with_input(BenchmarkId::new("selective_retract", n), &n, |b, &n| {
+            b.iter_batched(
+                || decision_history(n, 3).0,
+                |mut g| {
+                    let affected = g.retract_decision("refine0_0").expect("retract");
+                    std::hint::black_box(affected.len())
+                },
+                BatchSize::SmallInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("rebuild_without", n), &n, |b, &n| {
+            b.iter(|| {
+                // Redo the whole design, skipping the one decision.
+                let mut g = bench::bench_gkbms();
+                for i in 0..n {
+                    let class_name = format!("E{i}");
+                    g.register_object(&class_name, kernel::TDL_ENTITY_CLASS, "src")
+                        .expect("register");
+                    g.execute(
+                        DecisionRequest::new("DecMap", &format!("map{i}"), "dev")
+                            .with_tool("Mapper")
+                            .input(&class_name)
+                            .output(&format!("E{i}Rel0"), kernel::DBPL_REL),
+                    )
+                    .expect("map");
+                    let mut prev = format!("E{i}Rel0");
+                    for r in 0..3 {
+                        if i == 0 && r == 0 {
+                            continue; // the "retracted" decision
+                        }
+                        if i == 0 {
+                            continue; // its consequents cannot be rebuilt
+                        }
+                        let next = format!("E{i}Rel{}", r + 1);
+                        g.execute(
+                            DecisionRequest::new("DecRefine", &format!("refine{i}_{r}"), "dev")
+                                .with_tool("Refiner")
+                                .input(&prev)
+                                .output(&next, kernel::DBPL_REL),
+                        )
+                        .expect("refine");
+                        prev = next;
+                    }
+                }
+                std::hint::black_box(g.records().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_retraction_depth(c: &mut Criterion) {
+    // Cost as a function of the *consequence chain length* being
+    // retracted (this one must grow, unlike unrelated history).
+    let mut group = c.benchmark_group("backtracking/consequence_depth");
+    for depth in [2usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            b.iter_batched(
+                || decision_history(1, depth).0,
+                |mut g| {
+                    let affected = g.retract_decision("map0").expect("retract");
+                    std::hint::black_box(affected.len())
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_replay_after_retract(c: &mut Criterion) {
+    // §3.3 revision support: retract + replay restores the state.
+    let mut group = c.benchmark_group("backtracking/replay");
+    group.bench_function("retract_then_replay", |b| {
+        let mut serial = 0usize;
+        b.iter_batched(
+            || decision_history(3, 2).0,
+            |mut g| {
+                serial += 1;
+                g.retract_decision("refine1_0").expect("retract");
+                g.replay_decision("refine1_0", &format!("redo{serial}_0"))
+                    .expect("replay");
+                g.replay_decision("refine1_1", &format!("redo{serial}_1"))
+                    .expect("replay");
+                std::hint::black_box(g.is_current("E1Rel2"))
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_retract_vs_rebuild, bench_retraction_depth, bench_replay_after_retract
+}
+criterion_main!(benches);

@@ -1,0 +1,161 @@
+//! **E-2** — "the inference engines may enhance their performance by
+//! lemma generation" (§3.1).
+//!
+//! Transitive-closure queries over isa chains of growing depth,
+//! comparing: bottom-up semi-naive, top-down with tabling (lemmas),
+//! top-down without tabling, and magic sets. The expected shape:
+//! tabling beats plain SLD as soon as subgoals repeat; magic beats
+//! full bottom-up on bound queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datalog::ast::{Atom, Program, Term, Value};
+use datalog::db::Database;
+use datalog::{magic, seminaive, topdown};
+use objectbase::query::{DeductiveView, Engine};
+use std::time::Duration;
+
+const TC: &str = "path(X, Y) :- edge(X, Y).\npath(X, Z) :- edge(X, Y), path(Y, Z).";
+
+fn chain_db(n: i64) -> Database {
+    let mut db = Database::new();
+    for i in 0..n {
+        db.insert("edge", vec![Value::Int(i), Value::Int(i + 1)])
+            .expect("insert");
+    }
+    db
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let program = Program::parse(TC).expect("parse");
+    let mut group = c.benchmark_group("deduction/engines");
+    for n in [20i64, 60, 120] {
+        let db = chain_db(n);
+        group.bench_with_input(BenchmarkId::new("bottom_up_full", n), &n, |b, _| {
+            b.iter(|| {
+                let (model, _) = seminaive::evaluate(&program, &db).expect("eval");
+                std::hint::black_box(model.count("path"))
+            })
+        });
+        let bound = Atom::new("path", vec![Term::int(0), Term::var("Y")]);
+        group.bench_with_input(BenchmarkId::new("topdown_tabled", n), &n, |b, _| {
+            b.iter(|| {
+                let mut td = topdown::TopDown::new(&program, &db);
+                std::hint::black_box(td.query(&bound).expect("query").len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("magic_bound", n), &n, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(
+                    magic::magic_evaluate(&program, &db, &bound)
+                        .expect("magic")
+                        .len(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A ladder graph: between consecutive rungs there are two parallel
+/// 2-edge routes, so `path(rung 0, rung n)` has 2^n derivations. Plain
+/// SLD enumerates every derivation; tabling dedupes answers.
+fn ladder_db(rungs: i64) -> (Database, i64) {
+    let mut db = Database::new();
+    let mut add = |a: i64, b: i64| {
+        db.insert("edge", vec![Value::Int(a), Value::Int(b)])
+            .expect("insert");
+    };
+    for i in 0..rungs {
+        let (l, a, bn, next) = (i * 3, i * 3 + 1, i * 3 + 2, (i + 1) * 3);
+        add(l, a);
+        add(a, next);
+        add(l, bn);
+        add(bn, next);
+    }
+    (db, rungs * 3)
+}
+
+fn bench_derivation_blowup(c: &mut Criterion) {
+    // E-2's core ablation: lemma generation versus derivation
+    // enumeration on a workload with exponentially many proofs.
+    let program = Program::parse(TC).expect("parse");
+    let mut group = c.benchmark_group("deduction/derivation_blowup");
+    for rungs in [6i64, 8, 10] {
+        let (db, goal_node) = ladder_db(rungs);
+        let bound = Atom::new("path", vec![Term::int(0), Term::int(goal_node)]);
+        group.bench_with_input(BenchmarkId::new("tabled", rungs), &rungs, |b, _| {
+            b.iter(|| {
+                let mut td = topdown::TopDown::new(&program, &db);
+                std::hint::black_box(td.holds(&bound).expect("query"))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("untabled", rungs), &rungs, |b, &r| {
+            b.iter(|| {
+                let mut td = topdown::TopDown::new(&program, &db)
+                    .without_tabling(2 * r as usize + 2);
+                std::hint::black_box(td.query(&bound).expect("query").len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lemma_reuse(c: &mut Criterion) {
+    // Repeated queries: lemmas amortize across queries.
+    let program = Program::parse(TC).expect("parse");
+    let db = chain_db(40);
+    let goals: Vec<Atom> = (0..10)
+        .map(|i| Atom::new("path", vec![Term::int(i), Term::var("Y")]))
+        .collect();
+    let mut group = c.benchmark_group("deduction/lemma_reuse");
+    group.bench_function("10_queries_one_engine", |b| {
+        b.iter(|| {
+            let mut td = topdown::TopDown::new(&program, &db);
+            let mut total = 0;
+            for g in &goals {
+                total += td.query(g).expect("query").len();
+            }
+            std::hint::black_box(total)
+        })
+    });
+    group.bench_function("10_queries_fresh_engines", |b| {
+        b.iter(|| {
+            let mut total = 0;
+            for g in &goals {
+                let mut td = topdown::TopDown::new(&program, &db);
+                total += td.query(g).expect("query").len();
+            }
+            std::hint::black_box(total)
+        })
+    });
+    group.finish();
+}
+
+fn bench_kb_deduction(c: &mut Criterion) {
+    // The deductive-relational view over a real KB (object processor).
+    let kb = bench::isa_chain_kb(30, 300);
+    let view = DeductiveView::new(&kb, "").expect("view");
+    let mut group = c.benchmark_group("deduction/kb_view");
+    for engine in [Engine::BottomUp, Engine::TopDown, Engine::Magic] {
+        group.bench_function(format!("{engine:?}"), |b| {
+            b.iter(|| {
+                std::hint::black_box(view.instances_of("C30", engine).expect("instances").len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_engines, bench_derivation_blowup, bench_lemma_reuse, bench_kb_deduction
+}
+criterion_main!(benches);

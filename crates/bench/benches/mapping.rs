@@ -1,0 +1,115 @@
+//! **Figs 2-2 / 2-3** — the mapping and normalization assistants.
+//!
+//! Sweeps hierarchy width for both mapping strategies and measures the
+//! normalization decision. Expected shape: move-down generates fewer
+//! declarations than distribute on flat hierarchies (no inclusion
+//! selectors), both linear in hierarchy size.
+
+use bench::random_hierarchy;
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use langs::dbpl::DbplModule;
+use langs::mapping::{Distribute, MappingStrategy, MoveDown};
+use langs::normalize::{normalize, NormalizeNames};
+use std::time::Duration;
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapping/strategies");
+    for width in [5usize, 20, 60] {
+        let model = random_hierarchy(width, 4, 11);
+        group.bench_with_input(BenchmarkId::new("move_down", width), &width, |b, _| {
+            b.iter(|| {
+                let out = MoveDown.map_hierarchy(&model, "Root").expect("map");
+                std::hint::black_box(out.decls.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("distribute", width), &width, |b, _| {
+            b.iter(|| {
+                let out = Distribute.map_hierarchy(&model, "Root").expect("map");
+                std::hint::black_box(out.decls.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_normalization(c: &mut Criterion) {
+    // Normalize every set-valued column produced by a mapping.
+    let model = random_hierarchy(20, 4, 11);
+    let out = MoveDown.map_hierarchy(&model, "Root").expect("map");
+    let mut base = DbplModule::new("M");
+    for d in out.decls {
+        base.add(d).expect("add");
+    }
+    let targets: Vec<(String, String)> = base
+        .decls
+        .iter()
+        .filter_map(|d| match d {
+            langs::dbpl::Decl::Relation(r) => r
+                .set_valued_columns()
+                .first()
+                .map(|col| (r.name.clone(), col.name.clone())),
+            _ => None,
+        })
+        .collect();
+    c.benchmark_group("mapping/normalize")
+        .sample_size(10)
+        .bench_function(format!("{}_relations", targets.len()), |b| {
+            b.iter_batched(
+                || base.clone(),
+                |mut module| {
+                    let mut created = 0;
+                    for (rel, attr) in &targets {
+                        let names = NormalizeNames::defaults(rel, attr);
+                        created += normalize(&mut module, rel, attr, names)
+                            .expect("normalize")
+                            .created
+                            .len();
+                    }
+                    std::hint::black_box(created)
+                },
+                BatchSize::SmallInput,
+            );
+        });
+}
+
+fn bench_parsers(c: &mut Criterion) {
+    // Round-trip cost of the language layer (code frames are
+    // regenerated on every display).
+    let model = random_hierarchy(30, 4, 11);
+    let out = MoveDown.map_hierarchy(&model, "Root").expect("map");
+    let mut module = DbplModule::new("M");
+    for d in out.decls {
+        module.add(d).expect("add");
+    }
+    let dbpl_src = module.to_string();
+    let tdl_src = model.to_string();
+    let mut group = c.benchmark_group("mapping/parsers");
+    group.bench_function("dbpl_parse", |b| {
+        b.iter(|| std::hint::black_box(DbplModule::parse(&dbpl_src).expect("parse").decls.len()))
+    });
+    group.bench_function("tdl_parse", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                langs::taxisdl::TdlModel::parse(&tdl_src)
+                    .expect("parse")
+                    .entities
+                    .len(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_strategies, bench_normalization, bench_parsers
+}
+criterion_main!(benches);

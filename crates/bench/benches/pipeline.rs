@@ -1,0 +1,72 @@
+//! **Fig 1-1 + figs 2-1…2-4** — the full DAIDA pipeline and the
+//! complete §2.1 scenario, end to end.
+//!
+//! The scenario bench is the closest thing to the paper's overall
+//! "evaluation": one complete maintenance episode — browse, map,
+//! normalize, substitute keys, hit the inconsistency, selectively
+//! backtrack — through every layer of the system.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gkbms::scenario::Scenario;
+use langs::dbpl::DbplModule;
+use langs::mapping::{MappingStrategy, MoveDown};
+use langs::world::meeting_world;
+use std::time::Duration;
+
+fn bench_world_to_dbpl(c: &mut Criterion) {
+    c.bench_function("pipeline/world_to_dbpl", |b| {
+        b.iter(|| {
+            let world = meeting_world().expect("world");
+            let tdl = world.derive_taxisdl().expect("derive");
+            let out = MoveDown.map_hierarchy(&tdl, "Paper").expect("map");
+            let mut module = DbplModule::new("DocumentDB");
+            for d in out.decls {
+                module.add(d).expect("add");
+            }
+            std::hint::black_box(module.decls.len())
+        })
+    });
+}
+
+fn bench_scenario_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/scenario");
+    group.bench_function("setup", |b| {
+        b.iter(|| std::hint::black_box(Scenario::setup().expect("setup").tdl.entities.len()))
+    });
+    group.bench_function("full_episode", |b| {
+        b.iter(|| std::hint::black_box(Scenario::run_all().expect("episode").len()))
+    });
+    group.bench_function("detection_and_backtrack_only", |b| {
+        b.iter_batched(
+            || {
+                let mut s = Scenario::setup().expect("setup");
+                s.step2_map_invitations().expect("map");
+                s.step3_normalize().expect("normalize");
+                s.step4_substitute_keys().expect("keys");
+                s
+            },
+            |mut s| {
+                let (_, conflicts) = s.step5_map_minutes().expect("minutes");
+                assert!(!conflicts.is_empty());
+                s.step6_backtrack().expect("backtrack");
+                std::hint::black_box(s.gkbms.records().len())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_world_to_dbpl, bench_scenario_steps
+}
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! **E-6** — proposition store throughput (§3.1's "Proposition Base").
+//!
+//! Compares the in-memory and log-backed physical representations on
+//! TELL throughput, and measures the four access paths.
+
+use bench::isa_chain_kb;
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::time::Duration;
+use telos::backend::KbBackend;
+use telos::Kb;
+
+fn tell_n(kb: &mut Kb, n: usize) {
+    let class = kb.individual("TokenClass").expect("fresh");
+    for i in 0..n {
+        let t = kb.individual(&format!("tok{i}")).expect("fresh");
+        kb.instantiate(t, class).expect("classify");
+    }
+}
+
+fn bench_tell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prop_store/tell");
+    for n in [100usize, 1000] {
+        group.bench_with_input(BenchmarkId::new("memory", n), &n, |b, &n| {
+            b.iter_batched(Kb::new, |mut kb| tell_n(&mut kb, n), BatchSize::SmallInput);
+        });
+        group.bench_with_input(BenchmarkId::new("log", n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    let mut path = std::env::temp_dir();
+                    path.push(format!("cb-bench-{}-{n}.log", std::process::id()));
+                    let _ = std::fs::remove_file(&path);
+                    (
+                        Kb::with_backend(KbBackend::log(&path).expect("open")).expect("boot"),
+                        path,
+                    )
+                },
+                |(mut kb, path)| {
+                    tell_n(&mut kb, n);
+                    drop(kb);
+                    let _ = std::fs::remove_file(path);
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_access_paths(c: &mut Criterion) {
+    let kb = isa_chain_kb(20, 500);
+    let c0 = kb.lookup("C0").expect("exists");
+    let c20 = kb.lookup("C20").expect("exists");
+    let tok = kb.lookup("t250").expect("exists");
+    let mut group = c.benchmark_group("prop_store/access");
+    group.bench_function("by_name_lookup", |b| {
+        b.iter(|| std::hint::black_box(kb.lookup("t250")))
+    });
+    group.bench_function("direct_instances", |b| {
+        b.iter(|| std::hint::black_box(kb.instances_of(c0).len()))
+    });
+    group.bench_function("inherited_instances", |b| {
+        b.iter(|| std::hint::black_box(kb.all_instances_of(c20).len()))
+    });
+    group.bench_function("classes_closure", |b| {
+        b.iter(|| std::hint::black_box(kb.all_classes_of(tok).len()))
+    });
+    group.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    // Replay cost: reopen a 2000-proposition log.
+    let mut path = std::env::temp_dir();
+    path.push(format!("cb-bench-recover-{}.log", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    {
+        let mut kb = Kb::with_backend(KbBackend::log(&path).expect("open")).expect("boot");
+        tell_n(&mut kb, 1000);
+        kb.sync().expect("sync");
+    }
+    c.bench_function("prop_store/recovery_1000", |b| {
+        b.iter(|| {
+            let kb = Kb::with_backend(KbBackend::log(&path).expect("open")).expect("replay");
+            std::hint::black_box(kb.len())
+        })
+    });
+    let _ = std::fs::remove_file(&path);
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_tell, bench_access_paths, bench_recovery
+}
+criterion_main!(benches);

@@ -1,0 +1,136 @@
+//! **E-3** — "current RMS can handle only fairly small dependency
+//! networks efficiently \[DEKL86\]; we are studying their combination
+//! with the abstraction mechanisms of the GKBMS" (§3.3.3).
+//!
+//! Sweeps dependency-network size for JTMS relabeling and ATMS label
+//! computation, and contrasts a *flat* network (one RMS node per
+//! proposition) against the *abstracted* network the GKBMS actually
+//! builds (one node per design object, justifications at decision
+//! granularity). Expected shape: ATMS cost grows much faster than
+//! JTMS; the abstracted network is far smaller and proportionally
+//! cheaper — the paper's motivation for combining RMS with GKBMS
+//! abstraction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rms::atms::Atms;
+use rms::jtms::Jtms;
+use std::time::Duration;
+
+/// A layered JTMS: `layers × width` nodes, each justified by two nodes
+/// of the previous layer; returns the network and the base assumptions.
+fn layered_jtms(layers: usize, width: usize) -> (Jtms, Vec<rms::jtms::JtmsNodeId>) {
+    let mut tms = Jtms::new();
+    let base: Vec<_> = (0..width)
+        .map(|i| tms.assumption(format!("a{i}")))
+        .collect();
+    let mut prev = base.clone();
+    for l in 1..layers {
+        let mut cur = Vec::with_capacity(width);
+        for i in 0..width {
+            let n = tms.node(format!("n{l}_{i}"));
+            tms.justify(n, &[prev[i], prev[(i + 1) % width]], &[]);
+            cur.push(n);
+        }
+        prev = cur;
+    }
+    (tms, base)
+}
+
+fn bench_jtms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rms/jtms_retract_enable");
+    for (layers, width) in [(4usize, 8usize), (8, 16), (12, 24)] {
+        let size = layers * width;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(size),
+            &(layers, width),
+            |b, &(layers, width)| {
+                let (mut tms, base) = layered_jtms(layers, width);
+                b.iter(|| {
+                    tms.retract(base[0]);
+                    tms.enable(base[0]);
+                    std::hint::black_box(tms.in_nodes().len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_atms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rms/atms_justify");
+    for width in [4usize, 8, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &width| {
+            b.iter(|| {
+                let mut atms = Atms::new();
+                let base: Vec<_> = (0..width)
+                    .map(|i| atms.assumption(format!("a{i}")))
+                    .collect();
+                let mut prev = base.clone();
+                for l in 1..4 {
+                    let mut cur = Vec::with_capacity(width);
+                    for i in 0..width {
+                        let n = atms.node(format!("n{l}_{i}"));
+                        atms.justify(n, &[prev[i], prev[(i + 1) % width]]);
+                        cur.push(n);
+                    }
+                    prev = cur;
+                }
+                std::hint::black_box(atms.label_updates)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_abstraction_ablation(c: &mut Criterion) {
+    // Flat network: every generated DBPL declaration is an RMS node
+    // justified individually (what a naive RMS coupling would do).
+    // Abstracted: the GKBMS's decision-granularity network — one
+    // justification per decision covering all its outputs.
+    const OBJECTS: usize = 40;
+    const PROPS_PER_OBJECT: usize = 8; // propositions per design object
+    let mut group = c.benchmark_group("rms/abstraction");
+    group.bench_function("flat_per_proposition", |b| {
+        b.iter(|| {
+            let mut tms = Jtms::new();
+            let d = tms.assumption("decision");
+            let mut nodes = Vec::new();
+            for i in 0..OBJECTS * PROPS_PER_OBJECT {
+                let n = tms.node(format!("p{i}"));
+                tms.justify(n, &[d], &[]);
+                nodes.push(n);
+            }
+            tms.retract(d);
+            std::hint::black_box(tms.propagations)
+        })
+    });
+    group.bench_function("abstracted_per_object", |b| {
+        b.iter(|| {
+            let mut tms = Jtms::new();
+            let d = tms.assumption("decision");
+            let mut nodes = Vec::new();
+            for i in 0..OBJECTS {
+                let n = tms.node(format!("o{i}"));
+                tms.justify(n, &[d], &[]);
+                nodes.push(n);
+            }
+            tms.retract(d);
+            std::hint::black_box(tms.propagations)
+        })
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_jtms, bench_atms, bench_abstraction_ablation
+}
+criterion_main!(benches);

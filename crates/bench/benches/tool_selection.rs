@@ -1,0 +1,100 @@
+//! **Figs 2-1 / 2-6** — system-guided tool selection: matching a focus
+//! object against decision-class input classes and preconditions.
+//!
+//! Sweeps the number of registered decision classes. Expected shape:
+//! linear in the number of classes, with precondition evaluation
+//! dominating.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gkbms::metamodel::kernel;
+use gkbms::{DecisionClass, DecisionDimension, Gkbms, ToolSpec};
+use std::time::Duration;
+
+fn gkbms_with_classes(n: usize, with_preconditions: bool) -> Gkbms {
+    let mut g = Gkbms::new().expect("bootstrap");
+    for i in 0..n {
+        let mut dc = DecisionClass::new(format!("Dec{i}"), DecisionDimension::Refinement)
+            .from_classes(&[kernel::DBPL_REL])
+            .to_classes(&[kernel::DBPL_REL]);
+        if with_preconditions {
+            dc = dc.precondition("x in DBPL_Rel");
+        }
+        g.define_decision_class(dc).expect("fresh");
+        g.register_tool(ToolSpec::new(format!("Tool{i}"), true).executes(&format!("Dec{i}")))
+            .expect("fresh");
+    }
+    g.register_object("InvitationRel", kernel::DBPL_REL, "src")
+        .expect("register");
+    g
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tool_selection");
+    for n in [5usize, 25, 100] {
+        let plain = gkbms_with_classes(n, false);
+        group.bench_with_input(BenchmarkId::new("class_match_only", n), &n, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(
+                    plain
+                        .applicable_decisions("InvitationRel")
+                        .expect("menu")
+                        .len(),
+                )
+            })
+        });
+        let with_pre = gkbms_with_classes(n, true);
+        group.bench_with_input(BenchmarkId::new("with_preconditions", n), &n, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(
+                    with_pre
+                        .applicable_decisions("InvitationRel")
+                        .expect("menu")
+                        .len(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_specificity_ordering(c: &mut Criterion) {
+    // A deep specialization chain of decision classes: ordering cost.
+    let mut g = Gkbms::new().expect("bootstrap");
+    let mut prev: Option<String> = None;
+    for i in 0..30 {
+        let name = format!("Chain{i}");
+        let mut dc = DecisionClass::new(&name, DecisionDimension::Refinement)
+            .from_classes(&[kernel::DBPL_REL])
+            .to_classes(&[kernel::DBPL_REL]);
+        if let Some(p) = &prev {
+            dc = dc.specializing(p);
+        }
+        g.define_decision_class(dc).expect("fresh");
+        prev = Some(name);
+    }
+    g.register_tool(ToolSpec::new("Editor", false).executes("Chain0"))
+        .expect("fresh");
+    g.register_object("R", kernel::DBPL_REL, "src")
+        .expect("register");
+    c.bench_function("tool_selection/specificity_chain_30", |b| {
+        b.iter(|| {
+            let menu = g.applicable_decisions("R").expect("menu");
+            // Most specific first, and the editor covers all via the root.
+            std::hint::black_box((menu[0].0.clone(), menu.len()))
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_selection, bench_specificity_ordering
+}
+criterion_main!(benches);

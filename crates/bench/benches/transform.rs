@@ -1,0 +1,91 @@
+//! **Fig 3-2** — the Object Transformer: frames ⇄ propositions.
+//!
+//! TELL throughput for class and token frames, and the inverse
+//! (`frame_of`) used by every browser display.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use objectbase::frame::ObjectFrame;
+use objectbase::transform::{frame_of, tell, tell_all};
+use std::time::Duration;
+use telos::Kb;
+
+fn class_frames(n: usize) -> Vec<ObjectFrame> {
+    let mut src = String::from("TELL TDL_EntityClass isA Class end\nTELL Person end\n");
+    for i in 0..n {
+        src.push_str(&format!(
+            "TELL Class{i} in TDL_EntityClass with attribute a{i} : Person end\n"
+        ));
+    }
+    ObjectFrame::parse_all(&src).expect("parse")
+}
+
+fn bench_tell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transform/tell");
+    for n in [10usize, 100] {
+        let frames = class_frames(n);
+        group.bench_with_input(BenchmarkId::new("class_frames", n), &n, |b, _| {
+            b.iter_batched(
+                Kb::new,
+                |mut kb| {
+                    let receipts = tell_all(&mut kb, &frames).expect("tell");
+                    std::hint::black_box(receipts.len())
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    // Token frames against a fixed schema.
+    let mut schema_kb = Kb::new();
+    tell_all(&mut schema_kb, &class_frames(5)).expect("tell");
+    group.bench_function("token_frame", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            let f = ObjectFrame::parse(&format!("TELL tok{i} in Class0 end")).expect("parse");
+            std::hint::black_box(tell(&mut schema_kb, &f).expect("tell").created.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_inverse(c: &mut Criterion) {
+    let mut kb = Kb::new();
+    tell_all(&mut kb, &class_frames(50)).expect("tell");
+    let target = kb.lookup("Class25").expect("exists");
+    let mut group = c.benchmark_group("transform/inverse");
+    group.bench_function("frame_of", |b| {
+        b.iter(|| std::hint::black_box(frame_of(&kb, target).expect("frame").attrs.len()))
+    });
+    group.bench_function("frame_of_and_print", |b| {
+        b.iter(|| {
+            let f = frame_of(&kb, target).expect("frame");
+            std::hint::black_box(f.to_string().len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_frame_parse(c: &mut Criterion) {
+    let src = "TELL Invitation in TDL_EntityClass isA Paper with\n\
+               attribute sender : Person; receivers : Person\n\
+               constraint hasSender : $ forall i/Invitation i.sender defined $\n\
+               rule r1 : $ true $\n\
+               end";
+    c.bench_function("transform/frame_parse", |b| {
+        b.iter(|| std::hint::black_box(ObjectFrame::parse(src).expect("parse").attrs.len()))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_tell, bench_inverse, bench_frame_parse
+}
+criterion_main!(benches);

@@ -1,0 +1,206 @@
+//! Dependency-graph derivation with lemma caching (figs 2-2 … 2-4).
+//!
+//! "The inference engines may enhance their performance by lemma
+//! generation; this capability is, e.g., used in creating dependency
+//! graph objects of the GKBMS." The derived graph is cached on the
+//! [`Gkbms`] and invalidated by any decision execution or retraction;
+//! [`Gkbms::graph_builds`] counts actual rebuilds for the benches.
+
+use crate::system::Gkbms;
+use modelbase::display::dot;
+use modelbase::display::graphdag::Graph;
+
+impl Gkbms {
+    /// Builds (or serves from cache) the dependency graph over all
+    /// effective decisions: `input --from--> decision --to--> output`,
+    /// plus `tool --by--> decision` edges.
+    pub fn dependency_graph(&mut self) -> Graph {
+        if let Some(g) = &self.graph_cache {
+            return g.clone();
+        }
+        self.graph_builds += 1;
+        let mut g = Graph::new();
+        for r in &self.records {
+            if r.retracted {
+                continue;
+            }
+            let dlabel = format!("{}:{}", r.class, r.name);
+            g.node(dlabel.clone());
+            for input in &r.inputs {
+                g.edge(input.clone(), dlabel.clone(), "from");
+            }
+            for output in &r.outputs {
+                g.edge(dlabel.clone(), output.clone(), "to");
+            }
+            if let Some(tool) = &r.tool {
+                g.edge(tool.clone(), dlabel.clone(), "by");
+            }
+        }
+        self.graph_cache = Some(g.clone());
+        g
+    }
+
+    /// The fig 2-4 view: the dependency graph with the objects affected
+    /// by a (hypothetical or performed) retraction highlighted.
+    pub fn dependency_graph_highlighting(&mut self, affected: &[String]) -> Graph {
+        let mut g = self.dependency_graph();
+        for name in affected {
+            g.highlight(name);
+        }
+        g
+    }
+
+    /// DOT export of the current dependency graph.
+    pub fn dependency_dot(&mut self) -> String {
+        dot::to_dot(&self.dependency_graph(), "gkbms-dependencies")
+    }
+
+    /// Objects transitively derived from `object` through effective
+    /// decisions — what a change to `object` would touch.
+    pub fn consequences_of(&self, object: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut frontier = vec![object.to_string()];
+        while let Some(cur) = frontier.pop() {
+            for r in self.records.iter().filter(|r| !r.retracted) {
+                if r.inputs.contains(&cur) {
+                    for o in &r.outputs {
+                        if !out.contains(o) && o != object {
+                            out.push(o.clone());
+                            frontier.push(o.clone());
+                        }
+                    }
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::decisions::Discharge;
+    use crate::metamodel::kernel;
+    use crate::system::tests::scenario_gkbms;
+    use crate::system::DecisionRequest;
+
+    #[test]
+    fn graph_reflects_decisions() {
+        let mut g = scenario_gkbms();
+        g.register_object("Invitation", kernel::TDL_ENTITY_CLASS, "src")
+            .unwrap();
+        g.execute(
+            DecisionRequest::new("TDL_MappingDec", "mapInvitations", "dev")
+                .with_tool("TDL-DBPL-Mapper")
+                .input("Invitation")
+                .output("InvitationRel", kernel::DBPL_REL),
+        )
+        .unwrap();
+        let graph = g.dependency_graph();
+        let rendered = graph.render();
+        assert!(rendered.contains("Invitation --from--> TDL_MappingDec:mapInvitations"));
+        assert!(rendered.contains("TDL_MappingDec:mapInvitations --to--> InvitationRel"));
+        assert!(rendered.contains("TDL-DBPL-Mapper --by--> TDL_MappingDec:mapInvitations"));
+        let dot = g.dependency_dot();
+        assert!(dot.contains("digraph"));
+    }
+
+    #[test]
+    fn lemma_cache_avoids_rebuilds() {
+        let mut g = scenario_gkbms();
+        g.register_object("Invitation", kernel::TDL_ENTITY_CLASS, "src")
+            .unwrap();
+        g.execute(
+            DecisionRequest::new("TDL_MappingDec", "m", "dev")
+                .with_tool("TDL-DBPL-Mapper")
+                .input("Invitation")
+                .output("InvitationRel", kernel::DBPL_REL),
+        )
+        .unwrap();
+        let _ = g.dependency_graph();
+        let _ = g.dependency_graph();
+        let _ = g.dependency_graph();
+        assert_eq!(g.graph_builds, 1, "served from the lemma cache");
+        // A new decision invalidates the cache.
+        g.execute(
+            DecisionRequest::new("DecNormalize", "n", "dev")
+                .input("InvitationRel")
+                .output("InvitationRel2", kernel::NORMALIZED_DBPL_REL)
+                .discharge(Discharge::Signature {
+                    obligation: "normalized".into(),
+                    by: "dev".into(),
+                }),
+        )
+        .unwrap();
+        let _ = g.dependency_graph();
+        assert_eq!(g.graph_builds, 2);
+    }
+
+    #[test]
+    fn retracted_decisions_leave_the_graph() {
+        let mut g = scenario_gkbms();
+        g.register_object("Invitation", kernel::TDL_ENTITY_CLASS, "src")
+            .unwrap();
+        g.execute(
+            DecisionRequest::new("TDL_MappingDec", "m", "dev")
+                .with_tool("TDL-DBPL-Mapper")
+                .input("Invitation")
+                .output("InvitationRel", kernel::DBPL_REL),
+        )
+        .unwrap();
+        g.retract_decision("m").unwrap();
+        let rendered = g.dependency_graph().render();
+        assert!(!rendered.contains("InvitationRel"));
+    }
+
+    #[test]
+    fn consequences_are_transitive() {
+        let mut g = scenario_gkbms();
+        g.register_object("Invitation", kernel::TDL_ENTITY_CLASS, "src")
+            .unwrap();
+        g.execute(
+            DecisionRequest::new("TDL_MappingDec", "m", "dev")
+                .with_tool("TDL-DBPL-Mapper")
+                .input("Invitation")
+                .output("InvitationRel", kernel::DBPL_REL),
+        )
+        .unwrap();
+        g.execute(
+            DecisionRequest::new("DecNormalize", "n", "dev")
+                .input("InvitationRel")
+                .output("InvitationRel2", kernel::NORMALIZED_DBPL_REL)
+                .output("InvReceivRel", kernel::NORMALIZED_DBPL_REL)
+                .discharge(Discharge::Signature {
+                    obligation: "normalized".into(),
+                    by: "dev".into(),
+                }),
+        )
+        .unwrap();
+        assert_eq!(
+            g.consequences_of("Invitation"),
+            vec!["InvReceivRel", "InvitationRel", "InvitationRel2"]
+        );
+        assert_eq!(
+            g.consequences_of("InvitationRel"),
+            vec!["InvReceivRel", "InvitationRel2"]
+        );
+        assert!(g.consequences_of("InvReceivRel").is_empty());
+    }
+
+    #[test]
+    fn highlighting_marks_affected() {
+        let mut g = scenario_gkbms();
+        g.register_object("Invitation", kernel::TDL_ENTITY_CLASS, "src")
+            .unwrap();
+        g.execute(
+            DecisionRequest::new("TDL_MappingDec", "m", "dev")
+                .with_tool("TDL-DBPL-Mapper")
+                .input("Invitation")
+                .output("InvitationRel", kernel::DBPL_REL),
+        )
+        .unwrap();
+        let affected = g.consequences_of("Invitation");
+        let graph = g.dependency_graph_highlighting(&affected);
+        assert!(graph.render().contains("*[InvitationRel]*"));
+    }
+}

@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! The **Global Knowledge Base Management System** (GKBMS) — the
+//! paper's primary contribution (§2.2, §3.2, §3.3).
+//!
+//! The GKBMS "views the software development and maintenance process
+//! as a history of tool-supported decisions. These decisions are
+//! directly represented; they can be planned for, reasoned about, and
+//! selectively backtracked in case of errors or requirements changes.
+//! Ex ante, the GKBMS can be seen as an integrative tool server …; ex
+//! post, it plays the role of a documentation service in which
+//! development objects are related to the decisions and tools that
+//! created or changed them (i.e., justify their current status)."
+//!
+//! * [`metamodel`] — the conceptual process model: metaclasses
+//!   `DesignObject`, `DesignDecision`, `DesignTool` with FROM/TO/BY
+//!   links, bootstrapped as ordinary Telos TELLs (fig 3-3), plus the
+//!   DAIDA kernel classes;
+//! * [`decisions`] — decision classes, tool specifications, and
+//!   system-guided tool selection (fig 2-6);
+//! * [`system`] — the [`Gkbms`] itself: registering design objects,
+//!   executing decisions as nested transactions with proof
+//!   obligations, and **selective backtracking** on a JTMS;
+//! * [`depgraph`] — dependency-graph derivation with lemma caching
+//!   (figs 2-2 … 2-4);
+//! * [`versions`] — version & configuration management from mapping /
+//!   refinement / choice decisions (§3.3.2, fig 3-4);
+//! * [`navigate`] — status-, process- and temporally-oriented browsing
+//!   of decision histories (§3.3.1);
+//! * [`replay`] — decision replay and re-applicability testing
+//!   ("revision support", §3.3);
+//! * [`scenario`] — the §2.1 meeting-documents scenario as a reusable
+//!   driver (used by the examples, the integration tests and the
+//!   benches that regenerate figs 2-1 … 2-4 and 3-4).
+
+pub mod conflict;
+pub mod decisions;
+pub mod depgraph;
+pub mod error;
+pub mod explain;
+pub mod metamodel;
+pub mod navigate;
+pub mod persist;
+pub mod replay;
+pub mod scenario;
+pub mod system;
+pub mod versions;
+
+pub use decisions::{DecisionClass, DecisionDimension, Discharge, ToolSpec};
+pub use error::{GkbmsError, GkbmsResult};
+pub use system::{DecisionRequest, DecisionSummary, Gkbms};

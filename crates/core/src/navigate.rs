@@ -1,0 +1,214 @@
+//! Navigation in decision histories (§3.3.1).
+//!
+//! "The GKBMS enables browsing along and arbitrary switching between
+//! several dimensions: status-oriented, by browsing requirements,
+//! designs, implementations, and their interrelationships;
+//! process-oriented, by following mapping and refinement relationships
+//! and their causal ordering; temporal, by focusing on system versions
+//! and following the history of design objects and design decisions."
+
+use crate::error::{GkbmsError, GkbmsResult};
+use crate::system::Gkbms;
+use modelbase::display::relational::Table;
+
+impl Gkbms {
+    /// **Status-oriented** view: the current objects per life-cycle
+    /// level, as a relational display.
+    pub fn status_view(&self) -> Table {
+        let mut t = Table::new(&["object", "level", "justified by"]);
+        for obj in self.current_objects() {
+            let level = self.level_of(&obj).unwrap_or_else(|| "-".to_string());
+            let justification = self
+                .records()
+                .iter()
+                .find(|r| !r.retracted && r.outputs.contains(&obj))
+                .map(|r| r.name.clone())
+                .unwrap_or_else(|| "(registered)".to_string());
+            t.row(&[&obj, &level, &justification]);
+        }
+        t
+    }
+
+    /// **Process-oriented** view: the effective decisions in causal
+    /// order (execution order restricted to effective ones), each with
+    /// its dimension, inputs and outputs.
+    pub fn process_view(&self) -> Table {
+        let mut t = Table::new(&["#", "decision", "dimension", "from", "to", "by"]);
+        for (i, r) in self.records().iter().filter(|r| !r.retracted).enumerate() {
+            let dim = self
+                .classes
+                .get(&r.class)
+                .map(|dc| dc.dimension.to_string())
+                .unwrap_or_else(|| "?".to_string());
+            t.row(&[
+                &(i + 1).to_string(),
+                &r.name,
+                &dim,
+                &r.inputs.join(", "),
+                &r.outputs.join(", "),
+                r.tool.as_deref().unwrap_or("(manual)"),
+            ]);
+        }
+        t
+    }
+
+    /// The decisions causally upstream of an object: the chain of
+    /// justifications back to registered objects.
+    pub fn causal_chain(&self, object: &str) -> GkbmsResult<Vec<String>> {
+        if self.kb.lookup(object).is_none() {
+            return Err(GkbmsError::Unknown(format!("design object `{object}`")));
+        }
+        let mut chain = Vec::new();
+        let mut frontier = vec![object.to_string()];
+        while let Some(cur) = frontier.pop() {
+            for r in self.records() {
+                if r.outputs.contains(&cur) && !chain.contains(&r.name) {
+                    chain.push(r.name.clone());
+                    frontier.extend(r.inputs.iter().cloned());
+                }
+            }
+        }
+        chain.reverse(); // earliest first
+        Ok(chain)
+    }
+
+    /// **Temporal** view: the design objects believed at belief tick
+    /// `t` (a past system version), sorted.
+    pub fn objects_at(&self, t: i64) -> Vec<String> {
+        let mut out = Vec::new();
+        for name in self.object_node.keys() {
+            // The object's individual proposition as believed at t: we
+            // search all propositions ever created under this name.
+            let believed = self.kb.believed_at(t).into_iter().any(|id| {
+                self.kb
+                    .get(id)
+                    .map(|p| p.is_individual() && self.kb.resolve(p.label) == name)
+                    .unwrap_or(false)
+            });
+            if believed {
+                out.push(name.clone());
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// The history of one design object: `(tick, event)` pairs over
+    /// the decision log.
+    pub fn object_history(&self, object: &str) -> GkbmsResult<Vec<(i64, String)>> {
+        if self.kb.lookup(object).is_none() && !self.object_node.contains_key(object) {
+            return Err(GkbmsError::Unknown(format!("design object `{object}`")));
+        }
+        let mut out = Vec::new();
+        for r in self.records() {
+            if r.outputs.contains(&object.to_string()) {
+                out.push((r.tick, format!("created by {}", r.name)));
+                if r.retracted {
+                    out.push((r.tick, format!("retracted with {}", r.name)));
+                }
+            }
+            if r.inputs.contains(&object.to_string()) {
+                out.push((r.tick, format!("used by {}", r.name)));
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::decisions::Discharge;
+    use crate::metamodel::kernel;
+    use crate::system::tests::scenario_gkbms;
+    use crate::system::{DecisionRequest, Gkbms};
+
+    fn history() -> Gkbms {
+        let mut g = scenario_gkbms();
+        g.register_object("Invitation", kernel::TDL_ENTITY_CLASS, "src")
+            .unwrap();
+        g.execute(
+            DecisionRequest::new("TDL_MappingDec", "mapInvitations", "dev")
+                .with_tool("TDL-DBPL-Mapper")
+                .input("Invitation")
+                .output("InvitationRel", kernel::DBPL_REL),
+        )
+        .unwrap();
+        g.execute(
+            DecisionRequest::new("DecNormalize", "normalizeInvitations", "dev")
+                .input("InvitationRel")
+                .output("InvitationRel2", kernel::NORMALIZED_DBPL_REL)
+                .discharge(Discharge::Signature {
+                    obligation: "normalized".into(),
+                    by: "dev".into(),
+                }),
+        )
+        .unwrap();
+        g
+    }
+
+    #[test]
+    fn status_view_lists_levels_and_justifications() {
+        let g = history();
+        let s = g.status_view().render();
+        assert!(s.contains("Invitation"));
+        assert!(s.contains("(registered)"));
+        assert!(s.contains("Implementation"));
+        assert!(s.contains("normalizeInvitations"));
+    }
+
+    #[test]
+    fn process_view_in_causal_order() {
+        let g = history();
+        let s = g.process_view().render();
+        let map_at = s.find("mapInvitations").unwrap();
+        let norm_at = s.find("normalizeInvitations").unwrap();
+        assert!(map_at < norm_at);
+        assert!(s.contains("(manual)"));
+        assert!(s.contains("TDL-DBPL-Mapper"));
+    }
+
+    #[test]
+    fn causal_chain_traces_back() {
+        let g = history();
+        let chain = g.causal_chain("InvitationRel2").unwrap();
+        assert_eq!(chain, vec!["mapInvitations", "normalizeInvitations"]);
+        assert!(g.causal_chain("Ghost").is_err());
+        assert!(g.causal_chain("Invitation").unwrap().is_empty());
+    }
+
+    #[test]
+    fn temporal_view_sees_past_versions() {
+        let mut g = history();
+        let t_before = g.record("normalizeInvitations").unwrap().tick;
+        g.retract_decision("normalizeInvitations").unwrap();
+        assert!(!g.is_current("InvitationRel2"));
+        // At the earlier tick, the object existed.
+        let then = g.objects_at(t_before);
+        assert!(then.contains(&"InvitationRel2".to_string()));
+        let now = g.objects_at(g.kb().now());
+        assert!(!now.contains(&"InvitationRel2".to_string()));
+        assert!(now.contains(&"InvitationRel".to_string()));
+    }
+
+    #[test]
+    fn object_history_lists_events() {
+        let g = history();
+        let h = g.object_history("InvitationRel").unwrap();
+        let events: Vec<&str> = h.iter().map(|(_, e)| e.as_str()).collect();
+        assert_eq!(
+            events,
+            vec!["created by mapInvitations", "used by normalizeInvitations"]
+        );
+        assert!(g.object_history("Ghost").is_err());
+    }
+
+    #[test]
+    fn arbitrary_switching_between_dimensions() {
+        // The same KB answers all three views — "arbitrary switching".
+        let g = history();
+        assert!(!g.status_view().is_empty());
+        assert!(!g.process_view().is_empty());
+        assert!(!g.objects_at(g.kb().now()).is_empty());
+    }
+}

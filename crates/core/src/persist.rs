@@ -1,0 +1,425 @@
+//! Persistence of the GKBMS documentation service.
+//!
+//! "Ex post, it plays the role of a documentation service" — and a
+//! documentation service must outlive the process. The GKBMS persists
+//! *by replay*: [`Gkbms::save`] writes the definition and decision
+//! history (object classes, decision classes, tools, registrations,
+//! executions, explicit retractions, nogoods) to an append-only log;
+//! [`Gkbms::load`] re-executes it, reconstructing the KB, the JTMS and
+//! every derived structure. Cascaded retractions are *not* stored —
+//! replaying the explicit retraction re-derives them, which doubles as
+//! a consistency check of the dependency machinery.
+
+use crate::decisions::{DecisionClass, DecisionDimension, Discharge, Obligation, ToolSpec};
+use crate::error::{GkbmsError, GkbmsResult};
+use crate::system::{DecisionRequest, Gkbms};
+use std::path::Path;
+use storage::record::codec::{self, Cursor};
+use storage::AppendLog;
+
+const OP_OBJECT_CLASS: u32 = 1;
+const OP_DECISION_CLASS: u32 = 2;
+const OP_TOOL: u32 = 3;
+const OP_REGISTER: u32 = 4;
+const OP_EXECUTE: u32 = 5;
+const OP_RETRACT: u32 = 6;
+const OP_NOGOOD: u32 = 7;
+
+fn put_opt_str(out: &mut Vec<u8>, v: &Option<String>) {
+    match v {
+        None => codec::put_u32(out, 0),
+        Some(s) => {
+            codec::put_u32(out, 1);
+            codec::put_str(out, s);
+        }
+    }
+}
+
+fn get_opt_str(c: &mut Cursor<'_>) -> Result<Option<String>, storage::StorageError> {
+    Ok(match c.get_u32()? {
+        0 => None,
+        _ => Some(c.get_str()?.to_string()),
+    })
+}
+
+fn put_str_list(out: &mut Vec<u8>, v: &[String]) {
+    codec::put_u32(out, v.len() as u32);
+    for s in v {
+        codec::put_str(out, s);
+    }
+}
+
+fn get_str_list(c: &mut Cursor<'_>) -> Result<Vec<String>, storage::StorageError> {
+    let n = c.get_u32()? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(c.get_str()?.to_string());
+    }
+    Ok(out)
+}
+
+fn dimension_tag(d: DecisionDimension) -> u32 {
+    match d {
+        DecisionDimension::Mapping => 0,
+        DecisionDimension::Refinement => 1,
+        DecisionDimension::Choice => 2,
+    }
+}
+
+fn dimension_from(tag: u32) -> GkbmsResult<DecisionDimension> {
+    Ok(match tag {
+        0 => DecisionDimension::Mapping,
+        1 => DecisionDimension::Refinement,
+        2 => DecisionDimension::Choice,
+        other => {
+            return Err(GkbmsError::Unknown(format!(
+                "decision dimension tag {other} in saved history"
+            )))
+        }
+    })
+}
+
+impl Gkbms {
+    /// Saves the complete history to `path` (a fresh log; an existing
+    /// file is replaced).
+    pub fn save(&self, path: impl AsRef<Path>) -> GkbmsResult<()> {
+        let path = path.as_ref();
+        let _ = std::fs::remove_file(path);
+        let mut log = AppendLog::open(path).map_err(telos::TelosError::Storage)?;
+        let mut put = |payload: Vec<u8>| -> GkbmsResult<()> {
+            log.append(&payload).map_err(telos::TelosError::Storage)?;
+            Ok(())
+        };
+
+        for (name, level, parent) in &self.object_class_log {
+            let mut p = Vec::new();
+            codec::put_u32(&mut p, OP_OBJECT_CLASS);
+            codec::put_str(&mut p, name);
+            codec::put_str(&mut p, level);
+            put_opt_str(&mut p, parent);
+            put(p)?;
+        }
+        for name in &self.class_order {
+            let dc = &self.classes[name];
+            let mut p = Vec::new();
+            codec::put_u32(&mut p, OP_DECISION_CLASS);
+            codec::put_str(&mut p, &dc.name);
+            put_opt_str(&mut p, &dc.specializes);
+            codec::put_u32(&mut p, dimension_tag(dc.dimension));
+            put_str_list(&mut p, &dc.from_classes);
+            put_str_list(&mut p, &dc.to_classes);
+            put_opt_str(&mut p, &dc.precondition);
+            codec::put_u32(&mut p, dc.obligations.len() as u32);
+            for ob in &dc.obligations {
+                codec::put_str(&mut p, &ob.name);
+                codec::put_str(&mut p, &ob.statement);
+            }
+            put(p)?;
+        }
+        for name in &self.tool_order {
+            let t = &self.tools[name];
+            let mut p = Vec::new();
+            codec::put_u32(&mut p, OP_TOOL);
+            codec::put_str(&mut p, &t.name);
+            codec::put_u32(&mut p, t.automatic as u32);
+            put_str_list(&mut p, &t.executes);
+            put_str_list(&mut p, &t.guarantees);
+            put(p)?;
+        }
+        for (name, class, source) in &self.register_log {
+            let mut p = Vec::new();
+            codec::put_u32(&mut p, OP_REGISTER);
+            codec::put_str(&mut p, name);
+            codec::put_str(&mut p, class);
+            codec::put_str(&mut p, source);
+            put(p)?;
+        }
+
+        // Interleave executions and explicit retractions by tick.
+        #[derive(Clone, Copy)]
+        enum Ev<'a> {
+            Exec(&'a crate::system::DecisionRecord),
+            Retract(&'a str),
+        }
+        let mut events: Vec<(i64, Ev)> = self
+            .records
+            .iter()
+            .map(|r| (r.tick, Ev::Exec(r)))
+            .chain(
+                self.retraction_log
+                    .iter()
+                    .map(|(t, n)| (*t, Ev::Retract(n.as_str()))),
+            )
+            .collect();
+        events.sort_by_key(|(t, _)| *t);
+        for (_, ev) in events {
+            match ev {
+                Ev::Exec(r) => {
+                    let mut p = Vec::new();
+                    codec::put_u32(&mut p, OP_EXECUTE);
+                    codec::put_str(&mut p, &r.class);
+                    codec::put_str(&mut p, &r.name);
+                    codec::put_str(&mut p, &r.performer);
+                    put_opt_str(&mut p, &r.tool);
+                    put_str_list(&mut p, &r.inputs);
+                    codec::put_u32(&mut p, r.outputs.len() as u32);
+                    for (o, c) in r.outputs.iter().zip(&r.output_classes) {
+                        codec::put_str(&mut p, o);
+                        codec::put_str(&mut p, c);
+                    }
+                    codec::put_u32(&mut p, r.discharges.len() as u32);
+                    for d in &r.discharges {
+                        match d {
+                            Discharge::Formal { obligation } => {
+                                codec::put_u32(&mut p, 0);
+                                codec::put_str(&mut p, obligation);
+                            }
+                            Discharge::Signature { obligation, by } => {
+                                codec::put_u32(&mut p, 1);
+                                codec::put_str(&mut p, obligation);
+                                codec::put_str(&mut p, by);
+                            }
+                        }
+                    }
+                    put(p)?;
+                }
+                Ev::Retract(name) => {
+                    let mut p = Vec::new();
+                    codec::put_u32(&mut p, OP_RETRACT);
+                    codec::put_str(&mut p, name);
+                    put(p)?;
+                }
+            }
+        }
+        for ng in &self.nogoods {
+            let mut p = Vec::new();
+            codec::put_u32(&mut p, OP_NOGOOD);
+            put_str_list(&mut p, ng);
+            put(p)?;
+        }
+        log.sync().map_err(telos::TelosError::Storage)?;
+        Ok(())
+    }
+
+    /// Loads a saved history, re-executing it into a fresh GKBMS.
+    pub fn load(path: impl AsRef<Path>) -> GkbmsResult<Gkbms> {
+        let mut g = Gkbms::new()?;
+        let mut log = AppendLog::open(path).map_err(telos::TelosError::Storage)?;
+        let items: Vec<Vec<u8>> = log
+            .iter()
+            .map_err(telos::TelosError::Storage)?
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(telos::TelosError::Storage)?
+            .into_iter()
+            .map(|(_, payload)| payload)
+            .collect();
+        for payload in items {
+            let mut c = Cursor::new(&payload);
+            let tag = c.get_u32().map_err(telos::TelosError::Storage)?;
+            match tag {
+                OP_OBJECT_CLASS => {
+                    let name = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
+                    let level = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
+                    let parent = get_opt_str(&mut c).map_err(telos::TelosError::Storage)?;
+                    g.define_object_class(&name, &level, parent.as_deref())?;
+                }
+                OP_DECISION_CLASS => {
+                    let name = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
+                    let specializes = get_opt_str(&mut c).map_err(telos::TelosError::Storage)?;
+                    let dim = dimension_from(c.get_u32().map_err(telos::TelosError::Storage)?)?;
+                    let from = get_str_list(&mut c).map_err(telos::TelosError::Storage)?;
+                    let to = get_str_list(&mut c).map_err(telos::TelosError::Storage)?;
+                    let pre = get_opt_str(&mut c).map_err(telos::TelosError::Storage)?;
+                    let n = c.get_u32().map_err(telos::TelosError::Storage)? as usize;
+                    let mut dc = DecisionClass::new(name, dim);
+                    dc.specializes = specializes;
+                    dc.from_classes = from;
+                    dc.to_classes = to;
+                    dc.precondition = pre;
+                    for _ in 0..n {
+                        let oname = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
+                        let stmt = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
+                        dc.obligations.push(Obligation {
+                            name: oname,
+                            statement: stmt,
+                        });
+                    }
+                    g.define_decision_class(dc)?;
+                }
+                OP_TOOL => {
+                    let name = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
+                    let automatic = c.get_u32().map_err(telos::TelosError::Storage)? != 0;
+                    let executes = get_str_list(&mut c).map_err(telos::TelosError::Storage)?;
+                    let guarantees = get_str_list(&mut c).map_err(telos::TelosError::Storage)?;
+                    let mut spec = ToolSpec::new(name, automatic);
+                    spec.executes = executes;
+                    spec.guarantees = guarantees;
+                    g.register_tool(spec)?;
+                }
+                OP_REGISTER => {
+                    let name = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
+                    let class = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
+                    let source = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
+                    g.register_object(&name, &class, &source)?;
+                }
+                OP_EXECUTE => {
+                    let class = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
+                    let name = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
+                    let performer = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
+                    let tool = get_opt_str(&mut c).map_err(telos::TelosError::Storage)?;
+                    let inputs = get_str_list(&mut c).map_err(telos::TelosError::Storage)?;
+                    let n_out = c.get_u32().map_err(telos::TelosError::Storage)? as usize;
+                    let mut req = DecisionRequest::new(&class, &name, &performer);
+                    req.tool = tool;
+                    req.inputs = inputs;
+                    for _ in 0..n_out {
+                        let o = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
+                        let oc = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
+                        req.outputs.push((o, oc));
+                    }
+                    let n_dis = c.get_u32().map_err(telos::TelosError::Storage)? as usize;
+                    for _ in 0..n_dis {
+                        let kind = c.get_u32().map_err(telos::TelosError::Storage)?;
+                        let obligation =
+                            c.get_str().map_err(telos::TelosError::Storage)?.to_string();
+                        req.discharges.push(if kind == 0 {
+                            Discharge::Formal { obligation }
+                        } else {
+                            let by = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
+                            Discharge::Signature { obligation, by }
+                        });
+                    }
+                    g.execute(req)?;
+                }
+                OP_RETRACT => {
+                    let name = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
+                    g.retract_decision(&name)?;
+                }
+                OP_NOGOOD => {
+                    let ng = get_str_list(&mut c).map_err(telos::TelosError::Storage)?;
+                    g.nogoods.push(ng);
+                }
+                other => {
+                    return Err(GkbmsError::Unknown(format!(
+                        "op tag {other} in saved history"
+                    )))
+                }
+            }
+        }
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metamodel::kernel;
+    use crate::system::tests::scenario_gkbms;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("cb-gkbms-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn full_history() -> Gkbms {
+        let mut g = scenario_gkbms();
+        g.define_object_class("SQL_View", "Implementation", Some(kernel::DBPL_CONSTRUCTOR))
+            .unwrap();
+        g.register_object(
+            "Invitation",
+            kernel::TDL_ENTITY_CLASS,
+            "design.tdl#Invitation",
+        )
+        .unwrap();
+        g.register_object("Minutes", kernel::TDL_ENTITY_CLASS, "design.tdl#Minutes")
+            .unwrap();
+        g.execute(
+            DecisionRequest::new("TDL_MappingDec", "mapInvitations", "dev")
+                .with_tool("TDL-DBPL-Mapper")
+                .input("Invitation")
+                .output("InvitationRel", kernel::DBPL_REL),
+        )
+        .unwrap();
+        g.execute(
+            DecisionRequest::new("DecNormalize", "normalize", "dev")
+                .input("InvitationRel")
+                .output("InvitationRel2", kernel::NORMALIZED_DBPL_REL)
+                .discharge(Discharge::Signature {
+                    obligation: "normalized".into(),
+                    by: "dev".into(),
+                }),
+        )
+        .unwrap();
+        g.execute(
+            DecisionRequest::new("TDL_MappingDec", "mapMinutes", "dev")
+                .with_tool("TDL-DBPL-Mapper")
+                .input("Minutes")
+                .output("MinutesRel", kernel::DBPL_REL),
+        )
+        .unwrap();
+        g.report_conflict("keys", &["normalize", "mapMinutes"])
+            .unwrap();
+        g
+    }
+
+    #[test]
+    fn save_load_roundtrips_state() {
+        let path = tmp("roundtrip");
+        let original = full_history();
+        original.save(&path).unwrap();
+        let loaded = Gkbms::load(&path).unwrap();
+        // Same current objects.
+        assert_eq!(loaded.current_objects(), original.current_objects());
+        // Same records with same effectiveness.
+        assert_eq!(loaded.records().len(), original.records().len());
+        for (a, b) in loaded.records().iter().zip(original.records()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.retracted, b.retracted, "{}", a.name);
+            assert_eq!(a.outputs, b.outputs);
+        }
+        // The cascaded retraction was re-derived, not stored.
+        assert!(!loaded.is_effective("mapMinutes"));
+        assert!(loaded.is_effective("normalize"));
+        // Nogoods survive.
+        assert!(loaded.would_repeat_nogood(&["normalize", "mapMinutes"]));
+        // Navigation works on the reloaded system.
+        assert_eq!(
+            loaded.causal_chain("InvitationRel2").unwrap(),
+            vec!["mapInvitations", "normalize"]
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn loaded_system_accepts_new_decisions() {
+        let path = tmp("extend");
+        full_history().save(&path).unwrap();
+        let mut g = Gkbms::load(&path).unwrap();
+        // Replay the retracted decision under a new name.
+        g.replay_decision("mapMinutes", "mapMinutes2").unwrap();
+        assert!(g.is_current("MinutesRel"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn garbage_file_is_rejected() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"not a log").unwrap();
+        assert!(Gkbms::load(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_history_roundtrips() {
+        let path = tmp("empty");
+        let g = Gkbms::new().unwrap();
+        g.save(&path).unwrap();
+        let loaded = Gkbms::load(&path).unwrap();
+        assert!(loaded.records().is_empty());
+        assert!(loaded.current_objects().is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,239 @@
+//! Decision replay and re-applicability testing (§3.3).
+//!
+//! "Besides pure backtracking of decisions, tool specifications enable
+//! some kind of revision support; for instance, adding an attribute in
+//! the design could be processed by the GKBMS by replaying decisions
+//! (GKBMS tests their re-applicability)."
+
+use crate::error::{GkbmsError, GkbmsResult};
+use crate::system::{DecisionRequest, Gkbms};
+
+/// The outcome of testing one decision for re-applicability.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Replayability {
+    /// Inputs current, precondition holds: can be replayed as-is.
+    Replayable,
+    /// Some input is gone; lists the missing inputs.
+    MissingInputs(Vec<String>),
+    /// The precondition no longer holds for the named input.
+    PreconditionFails(String),
+    /// Its outputs still exist: replay would collide.
+    OutputsExist(Vec<String>),
+}
+
+impl Gkbms {
+    /// Tests whether a (typically retracted) decision could be
+    /// re-executed in the current state.
+    pub fn replayability(&self, name: &str) -> GkbmsResult<Replayability> {
+        let r = self
+            .record(name)
+            .ok_or_else(|| GkbmsError::Unknown(format!("decision `{name}`")))?
+            .clone();
+        let missing: Vec<String> = r
+            .inputs
+            .iter()
+            .filter(|i| !self.is_current(i))
+            .cloned()
+            .collect();
+        if !missing.is_empty() {
+            return Ok(Replayability::MissingInputs(missing));
+        }
+        if let Some(dc) = self.classes.get(&r.class) {
+            if let Some(pre) = dc.precondition.clone() {
+                for input in &r.inputs {
+                    let id = self.kb.expect(input)?;
+                    let expr = telos::assertion::parse(&pre).map_err(GkbmsError::Telos)?;
+                    let mut env = telos::assertion::Env::new();
+                    env.insert("x".to_string(), id);
+                    let ok = telos::assertion::eval(&self.kb, &expr, &mut env)
+                        .map_err(GkbmsError::Telos)?;
+                    if !ok {
+                        return Ok(Replayability::PreconditionFails(input.clone()));
+                    }
+                }
+            }
+        }
+        let existing: Vec<String> = r
+            .outputs
+            .iter()
+            .filter(|o| self.is_current(o))
+            .cloned()
+            .collect();
+        if !existing.is_empty() {
+            return Ok(Replayability::OutputsExist(existing));
+        }
+        Ok(Replayability::Replayable)
+    }
+
+    /// Replays a retracted decision under a new instance name,
+    /// re-creating its outputs with the original class, tool and
+    /// discharges. Fails if it is not replayable.
+    pub fn replay_decision(&mut self, name: &str, as_name: &str) -> GkbmsResult<Vec<String>> {
+        match self.replayability(name)? {
+            Replayability::Replayable => {}
+            other => {
+                return Err(GkbmsError::Precondition(format!(
+                    "decision `{name}` is not replayable: {other:?}"
+                )))
+            }
+        }
+        let r = self.record(name).expect("checked by replayability").clone();
+        let mut req = DecisionRequest::new(&r.class, as_name, &r.performer);
+        req.tool = r.tool.clone();
+        req.inputs = r.inputs.clone();
+        req.discharges = r.discharges.clone();
+        // Output classes: recover each original output's class from the
+        // KB (the class link survives untell only in history, so fall
+        // back to the decision class's first TO class).
+        let dc = self
+            .classes
+            .get(&r.class)
+            .ok_or_else(|| GkbmsError::Unknown(format!("decision class `{}`", r.class)))?
+            .clone();
+        for out in &r.outputs {
+            let class = self
+                .class_of_historic_object(out)
+                .or_else(|| dc.to_classes.first().cloned())
+                .ok_or_else(|| {
+                    GkbmsError::Precondition(format!("cannot recover class of `{out}`"))
+                })?;
+            req.outputs.push((out.clone(), class));
+        }
+        let summary = self.execute(req)?;
+        Ok(summary.created)
+    }
+
+    /// The design-object class an object had when it was last believed
+    /// (recovered from the full proposition history).
+    fn class_of_historic_object(&self, name: &str) -> Option<String> {
+        // Find the most recent individual proposition with this name.
+        let mut best: Option<(i64, telos::PropId)> = None;
+        for i in 0..self.kb.len() {
+            let id = telos::PropId(i as u32);
+            let Ok(p) = self.kb.get(id) else { continue };
+            if !p.is_individual() || self.kb.resolve(p.label) != name {
+                continue;
+            }
+            let start = match p.belief.start() {
+                telos::TimePoint::At(t) => t,
+                _ => 0,
+            };
+            if best.map(|(s, _)| start >= s).unwrap_or(true) {
+                best = Some((start, id));
+            }
+        }
+        let (_, obj) = best?;
+        // Its class links, believed or not — take the latest.
+        for link in self.kb.links_from(obj) {
+            let Ok(p) = self.kb.get(link) else { continue };
+            if self.kb.resolve(p.label) == telos::kb::L_INSTANCEOF {
+                return Some(self.kb.display(p.dest));
+            }
+        }
+        // Believed links are gone after untell; scan history.
+        let mut latest: Option<(i64, String)> = None;
+        for i in 0..self.kb.len() {
+            let id = telos::PropId(i as u32);
+            let Ok(p) = self.kb.get(id) else { continue };
+            if p.source == obj && self.kb.resolve(p.label) == telos::kb::L_INSTANCEOF {
+                let start = match p.belief.start() {
+                    telos::TimePoint::At(t) => t,
+                    _ => 0,
+                };
+                if latest.as_ref().map(|(s, _)| start >= *s).unwrap_or(true) {
+                    latest = Some((start, self.kb.display(p.dest)));
+                }
+            }
+        }
+        latest.map(|(_, c)| c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decisions::Discharge;
+    use crate::metamodel::kernel;
+    use crate::system::tests::scenario_gkbms;
+
+    fn mapped() -> Gkbms {
+        let mut g = scenario_gkbms();
+        g.register_object("Invitation", kernel::TDL_ENTITY_CLASS, "src")
+            .unwrap();
+        g.execute(
+            DecisionRequest::new("TDL_MappingDec", "mapInvitations", "dev")
+                .with_tool("TDL-DBPL-Mapper")
+                .input("Invitation")
+                .output("InvitationRel", kernel::DBPL_REL),
+        )
+        .unwrap();
+        g
+    }
+
+    #[test]
+    fn effective_decision_reports_outputs_exist() {
+        let g = mapped();
+        assert_eq!(
+            g.replayability("mapInvitations").unwrap(),
+            Replayability::OutputsExist(vec!["InvitationRel".into()])
+        );
+        assert!(g.replayability("ghost").is_err());
+    }
+
+    #[test]
+    fn retracted_decision_is_replayable() {
+        let mut g = mapped();
+        g.retract_decision("mapInvitations").unwrap();
+        assert_eq!(
+            g.replayability("mapInvitations").unwrap(),
+            Replayability::Replayable
+        );
+        let created = g
+            .replay_decision("mapInvitations", "mapInvitations2")
+            .unwrap();
+        assert_eq!(created, vec!["InvitationRel"]);
+        assert!(g.is_current("InvitationRel"));
+        assert!(g.is_effective("mapInvitations2"));
+        // The replayed output recovered its original class.
+        let rel = g.kb().lookup("InvitationRel").unwrap();
+        let class = g.kb().lookup(kernel::DBPL_REL).unwrap();
+        assert!(g.kb().is_instance_of(rel, class));
+    }
+
+    #[test]
+    fn missing_inputs_block_replay() {
+        let mut g = scenario_gkbms();
+        g.register_object("Invitation", kernel::TDL_ENTITY_CLASS, "src")
+            .unwrap();
+        g.execute(
+            DecisionRequest::new("TDL_MappingDec", "map1", "dev")
+                .with_tool("TDL-DBPL-Mapper")
+                .input("Invitation")
+                .output("InvitationRel", kernel::DBPL_REL),
+        )
+        .unwrap();
+        g.execute(
+            DecisionRequest::new("DecNormalize", "norm1", "dev")
+                .input("InvitationRel")
+                .output("InvitationRel2", kernel::NORMALIZED_DBPL_REL)
+                .discharge(Discharge::Signature {
+                    obligation: "normalized".into(),
+                    by: "dev".into(),
+                }),
+        )
+        .unwrap();
+        // Retract the upstream mapping: norm1's input vanishes too.
+        g.retract_decision("map1").unwrap();
+        assert_eq!(
+            g.replayability("norm1").unwrap(),
+            Replayability::MissingInputs(vec!["InvitationRel".into()])
+        );
+        assert!(g.replay_decision("norm1", "norm2").is_err());
+        // Replaying the mapping first unblocks the refinement — the
+        // "revision support" pattern of §3.3.
+        g.replay_decision("map1", "map2").unwrap();
+        assert_eq!(g.replayability("norm1").unwrap(), Replayability::Replayable);
+        g.replay_decision("norm1", "norm2").unwrap();
+        assert!(g.is_current("InvitationRel2"));
+    }
+}

@@ -1,0 +1,589 @@
+//! The §2.1 support scenario as a reusable driver.
+//!
+//! Reproduces, step by step, the paper's worked example: browsing the
+//! conceptual design (fig 2-1), mapping the Invitation branch with
+//! *move-down* (fig 2-2), normalizing the set-valued `receivers`
+//! attribute and substituting associative keys (fig 2-3), exposing the
+//! inconsistency when `Minutes` is mapped, and selectively
+//! backtracking the key decision (fig 2-4).
+//!
+//! The TaxisDL design and the DBPL module are the *sources outside the
+//! GKB* (fig 2-5); the GKBMS records tokens, decisions and
+//! dependencies about them.
+
+use crate::decisions::{DecisionClass, DecisionDimension, Discharge, ToolSpec};
+use crate::error::{GkbmsError, GkbmsResult};
+use crate::metamodel::kernel;
+use crate::system::{DecisionRequest, Gkbms};
+use langs::dbpl::{ConsKind, DbplModule, Decl};
+use langs::keys::{check_union_key_conflicts, substitute_key, KeyConflict};
+use langs::mapping::{MapEdge, MappingStrategy, MoveDown};
+use langs::normalize::{normalize, NormalizeNames};
+use langs::taxisdl::{document_model, TdlModel};
+use modelbase::display::textdag::{self, Bounds};
+
+/// Output of one scenario step: a figure-like textual report.
+#[derive(Debug, Clone)]
+pub struct StepReport {
+    /// Which figure the step reproduces.
+    pub figure: &'static str,
+    /// The rendered report.
+    pub text: String,
+}
+
+/// The scenario state: GKBMS + the external sources.
+pub struct Scenario {
+    /// The global KBMS.
+    pub gkbms: Gkbms,
+    /// The TaxisDL conceptual design (source, outside the GKB).
+    pub tdl: TdlModel,
+    /// The DBPL module under construction (source, outside the GKB).
+    pub module: DbplModule,
+    /// Full-copy snapshots per decision, for source-level restore
+    /// (contrast object for bench E-4).
+    snapshots: Vec<(String, DbplModule)>,
+}
+
+const DEV: &str = "developer";
+
+impl Scenario {
+    /// Sets up the GKBMS with the scenario's decision classes, tools
+    /// and the TaxisDL design objects.
+    pub fn setup() -> GkbmsResult<Self> {
+        let mut g = Gkbms::new()?;
+        // Decision classes (fig 2-1's menu + fig 3-3's middle layer).
+        g.define_decision_class(
+            DecisionClass::new("DBPL_MappingDec", DecisionDimension::Mapping)
+                .from_classes(&[kernel::TDL_ENTITY_CLASS])
+                .to_classes(&[
+                    kernel::DBPL_REL,
+                    kernel::DBPL_SELECTOR,
+                    kernel::DBPL_CONSTRUCTOR,
+                    kernel::DBPL_TRANSACTION,
+                ]),
+        )?;
+        g.define_decision_class(
+            DecisionClass::new("DecMoveDown", DecisionDimension::Mapping)
+                .from_classes(&[kernel::TDL_ENTITY_CLASS])
+                .to_classes(&[
+                    kernel::DBPL_REL,
+                    kernel::DBPL_SELECTOR,
+                    kernel::DBPL_CONSTRUCTOR,
+                ])
+                .precondition("x in TDL_EntityClass")
+                .obligation("complete-mapping", "every selected entity class is mapped")
+                .specializing("DBPL_MappingDec"),
+        )?;
+        g.define_decision_class(
+            DecisionClass::new("DecDistribute", DecisionDimension::Mapping)
+                .from_classes(&[kernel::TDL_ENTITY_CLASS])
+                .to_classes(&[
+                    kernel::DBPL_REL,
+                    kernel::DBPL_SELECTOR,
+                    kernel::DBPL_CONSTRUCTOR,
+                ])
+                .precondition("x in TDL_EntityClass")
+                .obligation("complete-mapping", "every selected entity class is mapped")
+                .specializing("DBPL_MappingDec"),
+        )?;
+        g.define_decision_class(
+            DecisionClass::new("DecNormalize", DecisionDimension::Refinement)
+                .from_classes(&[kernel::DBPL_REL])
+                .to_classes(&[
+                    kernel::NORMALIZED_DBPL_REL,
+                    kernel::DBPL_SELECTOR,
+                    kernel::DBPL_CONSTRUCTOR,
+                ])
+                .obligation("normalized", "outputs are 1NF relations with correct keys"),
+        )?;
+        g.define_decision_class(
+            DecisionClass::new("DecKeySubst", DecisionDimension::Choice)
+                .from_classes(&[kernel::DBPL_REL])
+                .to_classes(&[
+                    kernel::DBPL_REL,
+                    kernel::DBPL_SELECTOR,
+                    kernel::DBPL_CONSTRUCTOR,
+                ])
+                .obligation(
+                    "keys-unique",
+                    "the chosen key identifies objects across the whole hierarchy",
+                ),
+        )?;
+        // Tools.
+        g.register_tool(
+            ToolSpec::new("TDL-DBPL-Mapper", true)
+                .executes("DecMoveDown")
+                .executes("DecDistribute")
+                .guarantees("complete-mapping"),
+        )?;
+        g.register_tool(
+            ToolSpec::new("NormalizerTool", true)
+                .executes("DecNormalize")
+                .guarantees("normalized"),
+        )?;
+        g.register_tool(ToolSpec::new("DBPLEditor", false).executes("DBPL_MappingDec"))?;
+        g.register_tool(ToolSpec::new("KeyEditor", false).executes("DecKeySubst"))?;
+
+        // The requirements layer: the CML world/system model the design
+        // was derived from (fig 1-1's top band), registered as a
+        // Requirements-level design object.
+        g.register_object("MeetingSystemModel", kernel::CML_CLASS, "world.cml#Meeting")?;
+        // The conceptual design, registered as design objects.
+        let tdl = document_model();
+        for e in &tdl.entities {
+            g.register_object(
+                &e.name,
+                kernel::TDL_ENTITY_CLASS,
+                &format!("design.tdl#{}", e.name),
+            )?;
+        }
+        for t in &tdl.transactions {
+            g.register_object(
+                &t.name,
+                kernel::TDL_TRANSACTION,
+                &format!("design.tdl#{}", t.name),
+            )?;
+        }
+        Ok(Scenario {
+            gkbms: g,
+            tdl,
+            module: DbplModule::new("DocumentDB"),
+            snapshots: Vec::new(),
+        })
+    }
+
+    /// **Fig 2-1**: browse the unmapped design objects, focus on the
+    /// Paper IsA hierarchy, and show the menu of applicable decision
+    /// classes and tools for `Invitation`.
+    pub fn step1_browse(&self) -> GkbmsResult<StepReport> {
+        let tdl = &self.tdl;
+        let tree = textdag::render("Paper", Bounds { depth: 3, width: 8 }, |name| {
+            let mut kids: Vec<String> = tdl
+                .children(name)
+                .into_iter()
+                .map(|e| e.name.clone())
+                .collect();
+            kids.sort();
+            kids
+        });
+        let mapped: Vec<&str> = self.module.decls.iter().map(|d| d.name()).collect();
+        let unmapped: Vec<String> = tdl
+            .entities
+            .iter()
+            .filter(|e| !mapped.contains(&langs::mapping::relation_name(&e.name).as_str()))
+            .map(|e| e.name.clone())
+            .collect();
+        let menu = self.gkbms.applicable_decisions("Invitation")?;
+        let mut text = String::from("— design object browser (focus: Paper IsA hierarchy) —\n");
+        text.push_str(&tree);
+        text.push_str(&format!("unmapped objects: {}\n", unmapped.join(", ")));
+        text.push_str("menu for `Invitation`:\n");
+        for (dc, tools) in &menu {
+            text.push_str(&format!("  {dc}  (tools: {})\n", tools.join(", ")));
+        }
+        Ok(StepReport {
+            figure: "2-1",
+            text,
+        })
+    }
+
+    fn snapshot(&mut self, label: &str) {
+        self.snapshots
+            .push((label.to_string(), self.module.clone()));
+    }
+
+    fn restore(&mut self, label: &str) -> GkbmsResult<()> {
+        let at = self
+            .snapshots
+            .iter()
+            .rposition(|(l, _)| l == label)
+            .ok_or_else(|| GkbmsError::Unknown(format!("snapshot `{label}`")))?;
+        self.module = self.snapshots[at].1.clone();
+        Ok(())
+    }
+
+    /// **Fig 2-2**: the developer decides for *move-down* on the
+    /// Invitation branch ("the system contains only invitations").
+    pub fn step2_map_invitations(&mut self) -> GkbmsResult<StepReport> {
+        self.snapshot("before-map-invitations");
+        // The sub-hierarchy considered so far: Paper + Invitation.
+        let sub = TdlModel {
+            entities: self
+                .tdl
+                .entities
+                .iter()
+                .filter(|e| e.name != "Minutes")
+                .cloned()
+                .collect(),
+            transactions: Vec::new(),
+        };
+        let outcome = MoveDown
+            .map_hierarchy(&sub, "Paper")
+            .map_err(|e| GkbmsError::Precondition(e.to_string()))?;
+        for d in &outcome.decls {
+            self.module
+                .add(d.clone())
+                .map_err(|e| GkbmsError::Precondition(e.to_string()))?;
+        }
+        let mut req = DecisionRequest::new("DecMoveDown", "mapInvitations", DEV)
+            .with_tool("TDL-DBPL-Mapper")
+            .input("Paper")
+            .input("Invitation");
+        for MapEdge { to, .. } in &outcome.trace {
+            let class = match self.module.decl(to) {
+                Some(Decl::Relation(_)) => kernel::DBPL_REL,
+                Some(Decl::Selector(_)) => kernel::DBPL_SELECTOR,
+                Some(Decl::Constructor(_)) => kernel::DBPL_CONSTRUCTOR,
+                _ => kernel::DBPL_REL,
+            };
+            req = req.output(to, class);
+        }
+        self.gkbms.execute(req)?;
+        let graph = self.gkbms.dependency_graph();
+        let mut text = String::from("— dependencies after move-down mapping —\n");
+        text.push_str(&graph.render());
+        text.push_str("— code frame: InvitationRel —\n");
+        text.push_str(
+            &self
+                .module
+                .code_frame("InvitationRel")
+                .map_err(|e| GkbmsError::Precondition(e.to_string()))?,
+        );
+        text.push('\n');
+        Ok(StepReport {
+            figure: "2-2",
+            text,
+        })
+    }
+
+    /// **Fig 2-3 (first half)**: normalize the set-valued `receivers`.
+    pub fn step3_normalize(&mut self) -> GkbmsResult<StepReport> {
+        self.snapshot("before-normalize");
+        let names = NormalizeNames {
+            base: "InvitationRel2".into(),
+            member: "InvReceivRel".into(),
+            member_column: "receiver".into(),
+            selector: "InvitationsPaperIC".into(),
+            constructor: "ConsInvitation".into(),
+        };
+        let outcome = normalize(&mut self.module, "InvitationRel", "receivers", names)
+            .map_err(|e| GkbmsError::Precondition(e.to_string()))?;
+        let mut req = DecisionRequest::new("DecNormalize", "normalizeInvitations", DEV)
+            .with_tool("NormalizerTool")
+            .input("InvitationRel")
+            .output("InvitationRel2", kernel::NORMALIZED_DBPL_REL)
+            .output("InvReceivRel", kernel::NORMALIZED_DBPL_REL)
+            .output("InvitationsPaperIC", kernel::DBPL_SELECTOR)
+            .output("ConsInvitation", kernel::DBPL_CONSTRUCTOR);
+        req.discharges.push(Discharge::Formal {
+            obligation: "normalized".into(),
+        });
+        // NormalizerTool guarantees `normalized`; the discharge above is
+        // redundant but harmless documentation.
+        self.gkbms.execute(req)?;
+        let mut text = String::from("— dependencies after normalization —\n");
+        text.push_str(&self.gkbms.dependency_graph().render());
+        for frame in [
+            "InvitationRel2",
+            "InvReceivRel",
+            "InvitationsPaperIC",
+            "ConsInvitation",
+        ] {
+            text.push_str(&format!("— code frame: {frame} —\n"));
+            text.push_str(
+                &self
+                    .module
+                    .code_frame(frame)
+                    .map_err(|e| GkbmsError::Precondition(e.to_string()))?,
+            );
+            text.push('\n');
+        }
+        let _ = outcome;
+        Ok(StepReport {
+            figure: "2-3a",
+            text,
+        })
+    }
+
+    /// **Fig 2-3 (second half)**: the manual key-substitution decision
+    /// — "make the system more user-friendly" by replacing `paperkey`
+    /// with `(date, author)`. Manual execution creates a proof
+    /// obligation, discharged by the developer's signature.
+    pub fn step4_substitute_keys(&mut self) -> GkbmsResult<StepReport> {
+        self.snapshot("before-key-subst");
+        let change = substitute_key(&mut self.module, "InvitationRel2", &["date", "author"])
+            .map_err(|e| GkbmsError::Precondition(e.to_string()))?;
+        let mut req = DecisionRequest::new("DecKeySubst", "chooseAssociativeKeys", DEV)
+            .with_tool("KeyEditor")
+            .input("InvitationRel2")
+            // The adapted objects are new versions, justified by the
+            // choice decision (fig 3-4's alternative implementation).
+            .output("InvitationRel2@assoc", kernel::DBPL_REL)
+            .discharge(Discharge::Signature {
+                obligation: "keys-unique".into(),
+                by: DEV.into(),
+            });
+        for adapted in &change.adapted {
+            let class = match self.module.decl(adapted) {
+                Some(Decl::Relation(_)) => kernel::DBPL_REL,
+                Some(Decl::Selector(_)) => kernel::DBPL_SELECTOR,
+                Some(Decl::Constructor(_)) => kernel::DBPL_CONSTRUCTOR,
+                Some(Decl::Transaction(_)) => kernel::DBPL_TRANSACTION,
+                None => kernel::DBPL_REL,
+            };
+            req = req.output(&format!("{adapted}@assoc"), class);
+        }
+        self.gkbms.execute(req)?;
+        let mut text =
+            String::from("— key substitution (signed: \"keys-unique\", by: developer) —\n");
+        text.push_str(&format!(
+            "replaced surrogate `{}` by ({})\nadapted: {}\n",
+            change.removed_surrogate,
+            change.new_key.join(", "),
+            change.adapted.join(", ")
+        ));
+        text.push_str("— code frame: InvitationRel2 —\n");
+        text.push_str(
+            &self
+                .module
+                .code_frame("InvitationRel2")
+                .map_err(|e| GkbmsError::Precondition(e.to_string()))?,
+        );
+        text.push('\n');
+        Ok(StepReport {
+            figure: "2-3b",
+            text,
+        })
+    }
+
+    /// **Fig 2-4 (detection)**: mapping `Minutes` exposes the
+    /// candidate-key conflict — "the assumption that Invitations are
+    /// the only kind of Papers leads to an inconsistency".
+    pub fn step5_map_minutes(&mut self) -> GkbmsResult<(StepReport, Vec<KeyConflict>)> {
+        self.snapshot("before-map-minutes");
+        self.apply_minutes_mapping()
+            .map_err(|e| GkbmsError::Precondition(e.to_string()))?;
+        self.gkbms.execute(
+            DecisionRequest::new("DecMoveDown", "mapMinutes", DEV)
+                .with_tool("TDL-DBPL-Mapper")
+                .input("Minutes")
+                .output("MinutesRel", kernel::DBPL_REL),
+        )?;
+        let conflicts = check_union_key_conflicts(&self.module);
+        let affected = self.gkbms.consequences_of("InvitationRel2");
+        let mut highlighted = vec!["InvitationRel2@assoc".to_string(), "MinutesRel".to_string()];
+        highlighted.extend(affected);
+        let graph = self.gkbms.dependency_graph_highlighting(&highlighted);
+        let mut text = String::from("— mapping Minutes —\n");
+        text.push_str(&graph.render());
+        for c in &conflicts {
+            text.push_str(&format!("INCONSISTENCY: {c}\n"));
+        }
+        Ok((
+            StepReport {
+                figure: "2-4 (detection)",
+                text,
+            },
+            conflicts,
+        ))
+    }
+
+    /// Module-level effect of mapping Minutes: add `MinutesRel` and
+    /// widen `ConsPapers` to union both leaf relations.
+    fn apply_minutes_mapping(&mut self) -> langs::LangResult<()> {
+        let full = MoveDown.map_hierarchy(&self.tdl, "Paper")?;
+        for d in full.decls {
+            match d.name() {
+                "MinutesRel" if self.module.decl("MinutesRel").is_none() => {
+                    self.module.add(d)?;
+                }
+                "ConsPapers" => {
+                    let Decl::Constructor(mut c) = d else {
+                        continue;
+                    };
+                    // The invitation leaf is the normalized relation now.
+                    c.over = vec!["InvitationRel2".into(), "MinutesRel".into()];
+                    c.kind = ConsKind::Union;
+                    if self.module.decl("ConsPapers").is_some() {
+                        self.module.replace(Decl::Constructor(c))?;
+                    } else {
+                        self.module.add(Decl::Constructor(c))?;
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// **Fig 2-4 (resolution)**: selectively backtrack the key
+    /// decision; everything else — including the Minutes mapping —
+    /// survives. The DBPL sources are restored from the pre-key state
+    /// and the Minutes mapping is re-applied to them.
+    pub fn step6_backtrack(&mut self) -> GkbmsResult<StepReport> {
+        let affected = self.gkbms.retract_decision("chooseAssociativeKeys")?;
+        self.restore("before-key-subst")?;
+        self.apply_minutes_mapping()
+            .map_err(|e| GkbmsError::Precondition(e.to_string()))?;
+        let conflicts = check_union_key_conflicts(&self.module);
+        let mut text = String::from("— after selective backtracking of chooseAssociativeKeys —\n");
+        text.push_str(&format!("objects taken out: {}\n", affected.join(", ")));
+        text.push_str(&format!(
+            "remaining conflicts: {}\n",
+            if conflicts.is_empty() {
+                "none".to_string()
+            } else {
+                conflicts.len().to_string()
+            }
+        ));
+        text.push_str(&self.gkbms.dependency_graph().render());
+        text.push_str("— code frame: InvitationRel2 (surrogate key restored) —\n");
+        text.push_str(
+            &self
+                .module
+                .code_frame("InvitationRel2")
+                .map_err(|e| GkbmsError::Precondition(e.to_string()))?,
+        );
+        text.push('\n');
+        Ok(StepReport {
+            figure: "2-4 (resolution)",
+            text,
+        })
+    }
+
+    /// Runs all six steps, returning every report. Used by the example
+    /// binary and the end-to-end bench.
+    pub fn run_all() -> GkbmsResult<Vec<StepReport>> {
+        let mut s = Scenario::setup()?;
+        let mut out = vec![s.step1_browse()?];
+        out.push(s.step2_map_invitations()?);
+        out.push(s.step3_normalize()?);
+        out.push(s.step4_substitute_keys()?);
+        let (report, conflicts) = s.step5_map_minutes()?;
+        out.push(report);
+        if !conflicts.is_empty() {
+            out.push(s.step6_backtrack()?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scenario_runs() {
+        let reports = Scenario::run_all().unwrap();
+        assert_eq!(reports.len(), 6, "conflict must occur and be resolved");
+        let figures: Vec<&str> = reports.iter().map(|r| r.figure).collect();
+        assert_eq!(
+            figures,
+            vec![
+                "2-1",
+                "2-2",
+                "2-3a",
+                "2-3b",
+                "2-4 (detection)",
+                "2-4 (resolution)"
+            ]
+        );
+    }
+
+    #[test]
+    fn step1_shows_hierarchy_and_menu() {
+        let s = Scenario::setup().unwrap();
+        let r = s.step1_browse().unwrap();
+        assert!(r.text.contains("Paper"));
+        assert!(r.text.contains("|- Invitation"));
+        assert!(r.text.contains("`- Minutes"));
+        assert!(r.text.contains("DecMoveDown"));
+        assert!(r.text.contains("DecDistribute"));
+        assert!(r.text.contains("TDL-DBPL-Mapper"));
+        assert!(r.text.contains("unmapped objects"));
+    }
+
+    #[test]
+    fn step2_generates_fig_2_2_objects() {
+        let mut s = Scenario::setup().unwrap();
+        s.step1_browse().unwrap();
+        let r = s.step2_map_invitations().unwrap();
+        assert!(r.text.contains("InvitationRel"));
+        assert!(r.text.contains("RELATION InvitationRel"));
+        assert!(r.text.contains("--to--> InvitationRel"));
+        assert!(s.gkbms.is_current("InvitationRel"));
+        assert!(s.gkbms.is_current("ConsPapers"));
+        assert!(s.module.relation("InvitationRel").is_some());
+        // Minutes not yet mapped.
+        assert!(s.module.relation("MinutesRel").is_none());
+    }
+
+    #[test]
+    fn step3_reproduces_fig_2_3_frames() {
+        let mut s = Scenario::setup().unwrap();
+        s.step2_map_invitations().unwrap();
+        let r = s.step3_normalize().unwrap();
+        assert!(r.text.contains("RELATION InvitationRel2"));
+        assert!(r.text.contains("RELATION InvReceivRel"));
+        assert!(r.text.contains("SELECTOR InvitationsPaperIC"));
+        assert!(r.text.contains("CONSTRUCTOR ConsInvitation"));
+        assert!(s.gkbms.is_effective("normalizeInvitations"));
+    }
+
+    #[test]
+    fn step4_substitutes_keys_with_signature() {
+        let mut s = Scenario::setup().unwrap();
+        s.step2_map_invitations().unwrap();
+        s.step3_normalize().unwrap();
+        let r = s.step4_substitute_keys().unwrap();
+        assert!(r.text.contains("date, author"));
+        assert!(r.text.contains("KEY date, author"));
+        let rec = s.gkbms.record("chooseAssociativeKeys").unwrap();
+        assert!(matches!(rec.discharges[0], Discharge::Signature { .. }));
+    }
+
+    #[test]
+    fn step5_detects_the_inconsistency() {
+        let mut s = Scenario::setup().unwrap();
+        s.step2_map_invitations().unwrap();
+        s.step3_normalize().unwrap();
+        s.step4_substitute_keys().unwrap();
+        let (r, conflicts) = s.step5_map_minutes().unwrap();
+        assert_eq!(conflicts.len(), 1);
+        assert_eq!(conflicts[0].constructor, "ConsPapers");
+        assert!(r.text.contains("INCONSISTENCY"));
+        assert!(r.text.contains("*[InvitationRel2@assoc]*"), "highlighted");
+    }
+
+    #[test]
+    fn step6_restores_consistency_selectively() {
+        let mut s = Scenario::setup().unwrap();
+        s.step2_map_invitations().unwrap();
+        s.step3_normalize().unwrap();
+        s.step4_substitute_keys().unwrap();
+        let (_, conflicts) = s.step5_map_minutes().unwrap();
+        assert!(!conflicts.is_empty());
+        let r = s.step6_backtrack().unwrap();
+        assert!(r.text.contains("remaining conflicts: none"));
+        assert!(r.text.contains("KEY paperkey"), "surrogate restored");
+        // Selectivity: the rest of the design survived.
+        assert!(s.gkbms.is_current("MinutesRel"));
+        assert!(s.gkbms.is_current("InvitationRel2"));
+        assert!(!s.gkbms.is_current("InvitationRel2@assoc"));
+        assert!(!s.gkbms.is_effective("chooseAssociativeKeys"));
+        assert!(s.gkbms.is_effective("mapMinutes"));
+        assert!(s.gkbms.is_effective("normalizeInvitations"));
+        // And the key decision is replayable knowledge, not erased.
+        assert!(s.gkbms.record("chooseAssociativeKeys").is_some());
+    }
+
+    #[test]
+    fn without_key_decision_no_conflict() {
+        // Counterfactual: skipping step 4 avoids the inconsistency.
+        let mut s = Scenario::setup().unwrap();
+        s.step2_map_invitations().unwrap();
+        s.step3_normalize().unwrap();
+        let (_, conflicts) = s.step5_map_minutes().unwrap();
+        assert!(conflicts.is_empty());
+    }
+}

@@ -1,0 +1,1103 @@
+//! The GKBMS proper: design-object registration, system-guided tool
+//! selection, decision execution as nested transactions, and selective
+//! backtracking (§2.2, §3.2).
+//!
+//! Every executed decision is documented in the Telos KB (fig 3-3's
+//! bottom layer) *and* contributes a justification to an embedded JTMS:
+//! `inputs ∧ decision ⊢ outputs`. Retracting a decision takes exactly
+//! its consequences OUT — "supporting this consistent, selective
+//! backtracking is the main purpose of introducing the explicit
+//! documentation of design decisions and dependencies" (§2.1).
+
+use crate::decisions::{DecisionClass, Discharge, ToolSpec};
+use crate::error::{GkbmsError, GkbmsResult};
+use crate::metamodel::{self, names, ProcessModel};
+use objectbase::consistency;
+use rms::jtms::{Jtms, JtmsNodeId};
+use std::collections::HashMap;
+use telos::assertion;
+use telos::{Kb, PropId};
+
+/// A request to execute a design decision.
+#[derive(Debug, Clone)]
+pub struct DecisionRequest {
+    /// Decision class name.
+    pub class: String,
+    /// Instance name (e.g. `normalizeInvitations`).
+    pub name: String,
+    /// The deciding agent.
+    pub performer: String,
+    /// Tool used, if any.
+    pub tool: Option<String>,
+    /// Names of existing design objects consumed (FROM).
+    pub inputs: Vec<String>,
+    /// `(name, design-object class)` pairs created (TO).
+    pub outputs: Vec<(String, String)>,
+    /// Discharges for obligations the tool does not guarantee.
+    pub discharges: Vec<Discharge>,
+}
+
+impl DecisionRequest {
+    /// A builder-style constructor.
+    pub fn new(class: &str, name: &str, performer: &str) -> Self {
+        DecisionRequest {
+            class: class.to_string(),
+            name: name.to_string(),
+            performer: performer.to_string(),
+            tool: None,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            discharges: Vec::new(),
+        }
+    }
+
+    /// Sets the tool.
+    pub fn with_tool(mut self, tool: &str) -> Self {
+        self.tool = Some(tool.to_string());
+        self
+    }
+
+    /// Adds an input object.
+    pub fn input(mut self, name: &str) -> Self {
+        self.inputs.push(name.to_string());
+        self
+    }
+
+    /// Adds an output object with its design-object class.
+    pub fn output(mut self, name: &str, class: &str) -> Self {
+        self.outputs.push((name.to_string(), class.to_string()));
+        self
+    }
+
+    /// Adds a discharge.
+    pub fn discharge(mut self, d: Discharge) -> Self {
+        self.discharges.push(d);
+        self
+    }
+}
+
+/// The documentation record of one executed decision.
+#[derive(Debug, Clone)]
+pub struct DecisionRecord {
+    /// Instance name.
+    pub name: String,
+    /// Decision class.
+    pub class: String,
+    /// The deciding agent.
+    pub performer: String,
+    /// Tool used, if any.
+    pub tool: Option<String>,
+    /// Input object names.
+    pub inputs: Vec<String>,
+    /// Output object names.
+    pub outputs: Vec<String>,
+    /// Design-object class of each output (parallel to `outputs`).
+    pub output_classes: Vec<String>,
+    /// Recorded discharges.
+    pub discharges: Vec<Discharge>,
+    /// Belief tick at execution.
+    pub tick: i64,
+    /// True once retracted.
+    pub retracted: bool,
+    /// The decision instance proposition.
+    pub prop: PropId,
+}
+
+/// Summary returned by a successful execution.
+#[derive(Debug, Clone)]
+pub struct DecisionSummary {
+    /// Decision instance name.
+    pub name: String,
+    /// Objects created.
+    pub created: Vec<String>,
+    /// Belief tick of the execution.
+    pub tick: i64,
+}
+
+/// The Global KBMS.
+pub struct Gkbms {
+    pub(crate) kb: Kb,
+    pub(crate) pm: ProcessModel,
+    pub(crate) jtms: Jtms,
+    pub(crate) classes: HashMap<String, DecisionClass>,
+    pub(crate) class_order: Vec<String>,
+    pub(crate) tools: HashMap<String, ToolSpec>,
+    pub(crate) records: Vec<DecisionRecord>,
+    pub(crate) object_node: HashMap<String, JtmsNodeId>,
+    pub(crate) decision_node: HashMap<String, JtmsNodeId>,
+    pub(crate) graph_cache: Option<modelbase::display::Graph>,
+    /// Decision-level nogoods recorded by conflict resolution.
+    pub(crate) nogoods: Vec<Vec<String>>,
+    /// Definition/registration logs, for persistence by replay.
+    pub(crate) object_class_log: Vec<(String, String, Option<String>)>,
+    pub(crate) tool_order: Vec<String>,
+    pub(crate) register_log: Vec<(String, String, String)>,
+    /// Explicit retractions as `(tick, decision)` (cascades are
+    /// re-derived on replay).
+    pub(crate) retraction_log: Vec<(i64, String)>,
+    /// Statistics: dependency-graph rebuilds (lemma generation, E-2).
+    pub graph_builds: u64,
+}
+
+impl Gkbms {
+    /// A fresh GKBMS with the process model and DAIDA kernel installed.
+    pub fn new() -> GkbmsResult<Self> {
+        let mut kb = Kb::new();
+        let pm = metamodel::bootstrap(&mut kb)?;
+        metamodel::install_kernel(&mut kb, &pm)?;
+        Ok(Gkbms {
+            kb,
+            pm,
+            jtms: Jtms::new(),
+            classes: HashMap::new(),
+            class_order: Vec::new(),
+            tools: HashMap::new(),
+            records: Vec::new(),
+            object_node: HashMap::new(),
+            decision_node: HashMap::new(),
+            graph_cache: None,
+            nogoods: Vec::new(),
+            object_class_log: Vec::new(),
+            tool_order: Vec::new(),
+            register_log: Vec::new(),
+            retraction_log: Vec::new(),
+            graph_builds: 0,
+        })
+    }
+
+    /// Read access to the knowledge base.
+    pub fn kb(&self) -> &Kb {
+        &self.kb
+    }
+
+    /// Read access to the JTMS.
+    pub fn jtms(&self) -> &Jtms {
+        &self.jtms
+    }
+
+    /// The process-model metaclass ids.
+    pub fn process_model(&self) -> &ProcessModel {
+        &self.pm
+    }
+
+    /// Executed decision records, in execution order.
+    pub fn records(&self) -> &[DecisionRecord] {
+        &self.records
+    }
+
+    /// The record of a named decision.
+    pub fn record(&self, name: &str) -> Option<&DecisionRecord> {
+        self.records.iter().find(|r| r.name == name)
+    }
+
+    // ----- schema-level definitions ---------------------------------------
+
+    /// Defines a design-object class (an instance of `DesignObject`).
+    pub fn define_object_class(
+        &mut self,
+        name: &str,
+        level: &str,
+        parent: Option<&str>,
+    ) -> GkbmsResult<PropId> {
+        let c = self.kb.individual(name)?;
+        self.kb.instantiate(c, self.pm.design_object)?;
+        let l = self.kb.individual(level)?;
+        self.kb.put_attr(c, metamodel::kernel::LEVEL, l)?;
+        // Declare the instance-level link labels so tokens' links are
+        // well-formed under the aggregation axiom.
+        self.kb
+            .put_attr(c, names::JUSTIFICATION_I, self.pm.design_decision)?;
+        self.kb.put_attr(c, names::SOURCE_I, self.pm.source_ref)?;
+        if let Some(p) = parent {
+            let p = self
+                .kb
+                .lookup(p)
+                .ok_or_else(|| GkbmsError::Unknown(format!("object class `{p}`")))?;
+            self.kb.specialize(c, p)?;
+        }
+        self.object_class_log.push((
+            name.to_string(),
+            level.to_string(),
+            parent.map(|s| s.to_string()),
+        ));
+        Ok(c)
+    }
+
+    /// Defines a decision class (an instance of `DesignDecision`,
+    /// fig 3-3 middle layer).
+    pub fn define_decision_class(&mut self, dc: DecisionClass) -> GkbmsResult<PropId> {
+        if self.classes.contains_key(&dc.name) {
+            return Err(GkbmsError::Duplicate(format!(
+                "decision class `{}`",
+                dc.name
+            )));
+        }
+        let prop = self.kb.individual(&dc.name)?;
+        self.kb.instantiate(prop, self.pm.design_decision)?;
+        for from in &dc.from_classes {
+            let f = self
+                .kb
+                .lookup(from)
+                .ok_or_else(|| GkbmsError::Unknown(format!("object class `{from}`")))?;
+            self.kb.put_attr(prop, names::FROM_I, f)?;
+        }
+        for to in &dc.to_classes {
+            let t = self
+                .kb
+                .lookup(to)
+                .ok_or_else(|| GkbmsError::Unknown(format!("object class `{to}`")))?;
+            self.kb.put_attr(prop, names::TO_I, t)?;
+        }
+        self.kb.put_attr(prop, names::BY_I, self.pm.design_tool)?;
+        // Declare status/performer labels for decision instances.
+        let status_target = self.kb.builtins().proposition;
+        self.kb.put_attr(prop, "status", status_target)?;
+        self.kb.put_attr(prop, "performer", self.pm.agent)?;
+        if let Some(parent) = &dc.specializes {
+            let p = self
+                .kb
+                .lookup(parent)
+                .ok_or_else(|| GkbmsError::Unknown(format!("decision class `{parent}`")))?;
+            self.kb.specialize(prop, p)?;
+        }
+        self.class_order.push(dc.name.clone());
+        self.classes.insert(dc.name.clone(), dc);
+        Ok(prop)
+    }
+
+    /// Registers a tool specification (an instance of `DesignTool`).
+    pub fn register_tool(&mut self, spec: ToolSpec) -> GkbmsResult<PropId> {
+        if self.tools.contains_key(&spec.name) {
+            return Err(GkbmsError::Duplicate(format!("tool `{}`", spec.name)));
+        }
+        let prop = self.kb.individual(&spec.name)?;
+        self.kb.instantiate(prop, self.pm.design_tool)?;
+        for dc in &spec.executes {
+            let d = self
+                .kb
+                .lookup(dc)
+                .ok_or_else(|| GkbmsError::Unknown(format!("decision class `{dc}`")))?;
+            // The BY association at the class level (fig 2-6).
+            self.kb.put_attr(d, names::BY_I, prop)?;
+        }
+        self.tool_order.push(spec.name.clone());
+        self.tools.insert(spec.name.clone(), spec);
+        Ok(prop)
+    }
+
+    // ----- object registration ---------------------------------------------
+
+    /// Registers a design object token: an abstraction of a source
+    /// "recorded outside the GKB in the DAIDA sub-environments"
+    /// (fig 2-5). Registered objects are premises in the JTMS.
+    pub fn register_object(
+        &mut self,
+        name: &str,
+        class: &str,
+        source: &str,
+    ) -> GkbmsResult<PropId> {
+        let c = self
+            .kb
+            .lookup(class)
+            .ok_or_else(|| GkbmsError::Unknown(format!("object class `{class}`")))?;
+        let obj = self.kb.individual(name)?;
+        self.kb.instantiate(obj, c)?;
+        let src = self.kb.individual(source)?;
+        self.kb.instantiate(src, self.pm.source_ref)?;
+        self.kb.put_attr(obj, names::SOURCE_I, src)?;
+        let node = *self
+            .object_node
+            .entry(name.to_string())
+            .or_insert_with(|| self.jtms.node(name));
+        self.jtms.justify(node, &[], &[]);
+        self.graph_cache = None;
+        self.register_log
+            .push((name.to_string(), class.to_string(), source.to_string()));
+        Ok(obj)
+    }
+
+    /// The JTMS node of a design object (creating it on demand).
+    pub(crate) fn node_for(&mut self, name: &str) -> JtmsNodeId {
+        if let Some(&n) = self.object_node.get(name) {
+            return n;
+        }
+        let n = self.jtms.node(name);
+        self.object_node.insert(name.to_string(), n);
+        n
+    }
+
+    /// True if the design object is currently believed (IN).
+    pub fn is_current(&self, name: &str) -> bool {
+        self.object_node
+            .get(name)
+            .is_some_and(|&n| self.jtms.is_in(n))
+    }
+
+    /// Names of all currently believed design objects, sorted.
+    pub fn current_objects(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .object_node
+            .iter()
+            .filter(|(_, &n)| self.jtms.is_in(n))
+            .map(|(name, _)| name.clone())
+            .collect();
+        out.sort();
+        out
+    }
+
+    // ----- tool selection (fig 2-6) -----------------------------------------
+
+    /// Specialization depth of a decision class (for most-specific-
+    /// first ordering).
+    fn class_depth(&self, name: &str) -> usize {
+        let mut depth = 0;
+        let mut cur = name;
+        while let Some(dc) = self.classes.get(cur) {
+            match &dc.specializes {
+                Some(p) => {
+                    depth += 1;
+                    cur = p;
+                }
+                None => break,
+            }
+            if depth > self.classes.len() {
+                break; // defensive: malformed specialization chain
+            }
+        }
+        depth
+    }
+
+    /// "The class of a selected object is matched against the input
+    /// classes of decision classes; by testing the other input objects
+    /// and preconditions of these classes, possible decisions
+    /// applicable to this object are determined. A tool is now
+    /// applicable to the initial object if it can execute one of these
+    /// decision classes, normally the most specific one."
+    ///
+    /// Returns `(decision class, applicable tools)` pairs, most
+    /// specific decision class first.
+    pub fn applicable_decisions(&self, object: &str) -> GkbmsResult<Vec<(String, Vec<String>)>> {
+        let obj = self
+            .kb
+            .lookup(object)
+            .ok_or_else(|| GkbmsError::Unknown(format!("design object `{object}`")))?;
+        let mut out: Vec<(String, Vec<String>)> = Vec::new();
+        for name in &self.class_order {
+            let dc = &self.classes[name];
+            let class_match = dc.from_classes.iter().any(|fc| {
+                self.kb
+                    .lookup(fc)
+                    .is_some_and(|fcid| self.kb.is_instance_of(obj, fcid))
+            });
+            if !class_match {
+                continue;
+            }
+            if let Some(pre) = &dc.precondition {
+                if !self.eval_precondition(pre, obj)? {
+                    continue;
+                }
+            }
+            let tools: Vec<String> = self
+                .tools
+                .values()
+                .filter(|t| self.tool_covers(t, name))
+                .map(|t| t.name.clone())
+                .collect();
+            out.push((name.clone(), sorted(tools)));
+        }
+        out.sort_by(|a, b| {
+            self.class_depth(&b.0)
+                .cmp(&self.class_depth(&a.0))
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        Ok(out)
+    }
+
+    /// True if the tool executes the class or one of its
+    /// generalizations (an editor bound to the general mapping
+    /// decision also serves the specific one).
+    fn tool_covers(&self, tool: &ToolSpec, class: &str) -> bool {
+        let mut cur = Some(class.to_string());
+        let mut fuel = self.classes.len() + 1;
+        while let Some(c) = cur {
+            if tool.executes.contains(&c) {
+                return true;
+            }
+            cur = self.classes.get(&c).and_then(|dc| dc.specializes.clone());
+            fuel -= 1;
+            if fuel == 0 {
+                break;
+            }
+        }
+        false
+    }
+
+    fn eval_precondition(&self, pre: &str, obj: PropId) -> GkbmsResult<bool> {
+        let expr = assertion::parse(pre).map_err(GkbmsError::Telos)?;
+        let mut env = assertion::Env::new();
+        env.insert("x".to_string(), obj);
+        assertion::eval(&self.kb, &expr, &mut env).map_err(GkbmsError::Telos)
+    }
+
+    // ----- decision execution ------------------------------------------------
+
+    /// Executes a decision as a nested transaction: validates inputs,
+    /// precondition and obligations; documents the decision instance
+    /// with from/to/by links; checks consistency (set-oriented, over
+    /// the batch); on violation, rolls everything back.
+    pub fn execute(&mut self, req: DecisionRequest) -> GkbmsResult<DecisionSummary> {
+        let dc = self
+            .classes
+            .get(&req.class)
+            .ok_or_else(|| GkbmsError::Unknown(format!("decision class `{}`", req.class)))?
+            .clone();
+        if self.record(&req.name).is_some() {
+            return Err(GkbmsError::Duplicate(format!("decision `{}`", req.name)));
+        }
+
+        // Inputs must exist, be believed, and satisfy the precondition.
+        let mut input_ids = Vec::new();
+        for input in &req.inputs {
+            if self.object_node.contains_key(input.as_str()) && !self.is_current(input) {
+                return Err(GkbmsError::Precondition(format!(
+                    "input `{input}` is not current (retracted)"
+                )));
+            }
+            let id = self
+                .kb
+                .lookup(input)
+                .ok_or_else(|| GkbmsError::Unknown(format!("input object `{input}`")))?;
+            if !self.is_current(input) {
+                return Err(GkbmsError::Precondition(format!(
+                    "input `{input}` is not current (never registered as a design object)"
+                )));
+            }
+            input_ids.push(id);
+        }
+        if let Some(pre) = &dc.precondition {
+            for (input, &id) in req.inputs.iter().zip(&input_ids) {
+                if !self.eval_precondition(pre, id)? {
+                    return Err(GkbmsError::Precondition(format!(
+                        "`{pre}` fails for input `{input}`"
+                    )));
+                }
+            }
+        }
+
+        // Tool association (fig 2-6): the tool must execute this class
+        // or a generalization of it.
+        if let Some(tool) = &req.tool {
+            let spec = self
+                .tools
+                .get(tool)
+                .ok_or_else(|| GkbmsError::Unknown(format!("tool `{tool}`")))?;
+            if !self.tool_covers(spec, &dc.name) {
+                return Err(GkbmsError::Precondition(format!(
+                    "tool `{tool}` is not associated with decision class `{}`",
+                    dc.name
+                )));
+            }
+        }
+
+        // Obligations: guaranteed by the tool, or discharged formally /
+        // by signature.
+        let guarantees: Vec<String> = req
+            .tool
+            .as_ref()
+            .and_then(|t| self.tools.get(t))
+            .map(|t| t.guarantees.clone())
+            .unwrap_or_default();
+        for ob in &dc.obligations {
+            if guarantees.contains(&ob.name) {
+                continue;
+            }
+            let discharge = req
+                .discharges
+                .iter()
+                .find(|d| d.obligation() == ob.name)
+                .ok_or_else(|| {
+                    GkbmsError::Obligation(format!(
+                        "`{}` of `{}` — not guaranteed by the tool and not discharged",
+                        ob.name, dc.name
+                    ))
+                })?;
+            if let Discharge::Formal { .. } = discharge {
+                // A formal proof evaluates the obligation's statement.
+                let expr = assertion::parse(&ob.statement).map_err(|e| {
+                    GkbmsError::Obligation(format!(
+                        "`{}` cannot be proved formally ({e}); sign it instead",
+                        ob.name
+                    ))
+                })?;
+                let holds =
+                    assertion::eval(&self.kb, &expr, &mut assertion::Env::new()).map_err(|e| {
+                        GkbmsError::Obligation(format!("`{}` unevaluable: {e}", ob.name))
+                    })?;
+                if !holds {
+                    return Err(GkbmsError::Obligation(format!(
+                        "`{}` formally refuted",
+                        ob.name
+                    )));
+                }
+            }
+        }
+
+        // ----- nested transaction body -----
+        let mark = self.kb.len();
+        let result = self.execute_body(&req, &dc, &input_ids);
+        match result {
+            Ok(summary) => Ok(summary),
+            Err(e) => {
+                // Abort: untell everything the body created.
+                let created: Vec<PropId> =
+                    (mark..self.kb.len()).map(|i| PropId(i as u32)).collect();
+                for id in created.into_iter().rev() {
+                    if self.kb.get(id).map(|p| p.is_believed()).unwrap_or(false) {
+                        let _ = self.kb.untell(id);
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn execute_body(
+        &mut self,
+        req: &DecisionRequest,
+        dc: &DecisionClass,
+        input_ids: &[PropId],
+    ) -> GkbmsResult<DecisionSummary> {
+        let mark = self.kb.len();
+        let class_prop = self.kb.expect(&dc.name)?;
+        let decision = self.kb.individual(&req.name)?;
+        self.kb.instantiate(decision, class_prop)?;
+        let performer = self.kb.individual(&req.performer)?;
+        self.kb.instantiate(performer, self.pm.agent)?;
+        self.kb.put_attr(decision, "performer", performer)?;
+        for &input in input_ids {
+            self.kb.put_attr(decision, names::FROM_I, input)?;
+        }
+        let mut output_names = Vec::new();
+        for (name, class) in &req.outputs {
+            let c = self
+                .kb
+                .lookup(class)
+                .ok_or_else(|| GkbmsError::Unknown(format!("object class `{class}`")))?;
+            // The output class must be covered by the decision class's
+            // TO declaration (exactly or as a specialization).
+            let to_ok = dc.to_classes.iter().any(|tc| {
+                self.kb
+                    .lookup(tc)
+                    .is_some_and(|tcid| tcid == c || self.kb.isa_ancestors(c).contains(&tcid))
+            });
+            if !to_ok && !dc.to_classes.is_empty() {
+                return Err(GkbmsError::Precondition(format!(
+                    "output class `{class}` is not among TO classes of `{}`",
+                    dc.name
+                )));
+            }
+            let obj = self.kb.individual(name)?;
+            self.kb.instantiate(obj, c)?;
+            self.kb.put_attr(decision, names::TO_I, obj)?;
+            self.kb.put_attr(obj, names::JUSTIFICATION_I, decision)?;
+            output_names.push(name.clone());
+        }
+        if let Some(tool) = &req.tool {
+            let t = self.kb.expect(tool)?;
+            self.kb.put_attr(decision, names::BY_I, t)?;
+        }
+
+        // Set-oriented consistency check over the batch (E-1).
+        let created: Vec<PropId> = (mark..self.kb.len()).map(|i| PropId(i as u32)).collect();
+        let (violations, _) = consistency::check_touched(&self.kb, &created);
+        if !violations.is_empty() {
+            return Err(GkbmsError::Aborted {
+                violations: violations.iter().map(|v| v.to_string()).collect(),
+            });
+        }
+
+        // JTMS: the decision is an assumption; outputs are justified by
+        // the decision together with its inputs.
+        let dnode = self.jtms.assumption(format!("decision:{}", req.name));
+        self.decision_node.insert(req.name.clone(), dnode);
+        let mut antecedents = vec![dnode];
+        for input in &req.inputs {
+            antecedents.push(self.node_for(input));
+        }
+        for out in &output_names {
+            let onode = self.node_for(out);
+            self.jtms.justify(onode, &antecedents, &[]);
+        }
+
+        let tick = self.kb.tick();
+        self.records.push(DecisionRecord {
+            name: req.name.clone(),
+            class: dc.name.clone(),
+            performer: req.performer.clone(),
+            tool: req.tool.clone(),
+            inputs: req.inputs.clone(),
+            outputs: output_names.clone(),
+            output_classes: req.outputs.iter().map(|(_, c)| c.clone()).collect(),
+            discharges: req.discharges.clone(),
+            tick,
+            retracted: false,
+            prop: decision,
+        });
+        self.graph_cache = None;
+        Ok(DecisionSummary {
+            name: req.name.clone(),
+            created: output_names,
+            tick,
+        })
+    }
+
+    // ----- selective backtracking (fig 2-4) -----------------------------------
+
+    /// Retracts a decision "together with all its consequent changes,
+    /// without redoing all the rest of the design". Returns the names
+    /// of the design objects that went out of belief — fig 2-4's
+    /// highlighted objects.
+    pub fn retract_decision(&mut self, name: &str) -> GkbmsResult<Vec<String>> {
+        let at = self
+            .records
+            .iter()
+            .position(|r| r.name == name)
+            .ok_or_else(|| GkbmsError::NotRetractable(format!("unknown decision `{name}`")))?;
+        if self.records[at].retracted {
+            return Err(GkbmsError::NotRetractable(format!(
+                "decision `{name}` already retracted"
+            )));
+        }
+        let dnode = self.decision_node[name];
+        let before: Vec<(String, bool)> = self
+            .object_node
+            .iter()
+            .map(|(n, &id)| (n.clone(), self.jtms.is_in(id)))
+            .collect();
+        self.jtms.retract(dnode);
+        let mut retracted_decisions = vec![at];
+        // Cascade: decisions whose outputs just went OUT are dangling —
+        // retract their assumptions too, so a later replay of an
+        // upstream decision cannot silently reinstate them (their KB
+        // objects are untold below; reinstating them is the job of an
+        // explicit replay, §3.3).
+        loop {
+            let mut changed = false;
+            for i in 0..self.records.len() {
+                if self.records[i].retracted || retracted_decisions.contains(&i) {
+                    continue;
+                }
+                let dangling = self.records[i].outputs.iter().any(|o| !self.is_current(o));
+                if dangling {
+                    let node = self.decision_node[&self.records[i].name];
+                    self.jtms.retract(node);
+                    retracted_decisions.push(i);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let mut affected: Vec<String> = before
+            .into_iter()
+            .filter(|(n, was_in)| *was_in && !self.is_current(n))
+            .map(|(n, _)| n)
+            .collect();
+        affected.sort();
+
+        // Documentation: close belief of the affected objects and mark
+        // the decision instances as retracted; the records stay — the
+        // GKBMS never forgets history.
+        for obj in &affected {
+            if let Some(id) = self.kb.lookup(obj) {
+                let _ = self.kb.untell_cascade(id)?;
+            }
+        }
+        let retracted_status = self.kb.individual("retracted")?;
+        for i in retracted_decisions {
+            let prop = self.records[i].prop;
+            self.kb.put_attr(prop, "status", retracted_status)?;
+            self.records[i].retracted = true;
+        }
+        let t = self.kb.tick();
+        self.retraction_log.push((t, name.to_string()));
+        self.graph_cache = None;
+        Ok(affected)
+    }
+
+    /// True if the decision is effective: executed, not retracted, and
+    /// all its outputs still current.
+    pub fn is_effective(&self, name: &str) -> bool {
+        self.record(name)
+            .is_some_and(|r| !r.retracted && r.outputs.iter().all(|o| self.is_current(o)))
+    }
+}
+
+fn sorted(mut v: Vec<String>) -> Vec<String> {
+    v.sort();
+    v
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::decisions::DecisionDimension;
+    use crate::metamodel::kernel;
+
+    /// A GKBMS with the scenario's decision classes and tools.
+    pub(crate) fn scenario_gkbms() -> Gkbms {
+        let mut g = Gkbms::new().unwrap();
+        g.define_decision_class(
+            DecisionClass::new("DBPL_MappingDec", DecisionDimension::Mapping)
+                .from_classes(&[kernel::TDL_ENTITY_CLASS])
+                .to_classes(&[
+                    kernel::DBPL_REL,
+                    kernel::DBPL_SELECTOR,
+                    kernel::DBPL_CONSTRUCTOR,
+                ]),
+        )
+        .unwrap();
+        g.define_decision_class(
+            DecisionClass::new("TDL_MappingDec", DecisionDimension::Mapping)
+                .from_classes(&[kernel::TDL_ENTITY_CLASS])
+                .to_classes(&[
+                    kernel::DBPL_REL,
+                    kernel::DBPL_SELECTOR,
+                    kernel::DBPL_CONSTRUCTOR,
+                ])
+                .precondition("x in TDL_EntityClass")
+                .obligation("complete-mapping", "every attribute is mapped")
+                .specializing("DBPL_MappingDec"),
+        )
+        .unwrap();
+        g.define_decision_class(
+            DecisionClass::new("DecNormalize", DecisionDimension::Refinement)
+                .from_classes(&[kernel::DBPL_REL])
+                .to_classes(&[
+                    kernel::NORMALIZED_DBPL_REL,
+                    kernel::DBPL_SELECTOR,
+                    kernel::DBPL_CONSTRUCTOR,
+                ])
+                .obligation("normalized", "outputs are 1NF with correct keys"),
+        )
+        .unwrap();
+        g.register_tool(
+            ToolSpec::new("TDL-DBPL-Mapper", true)
+                .executes("TDL_MappingDec")
+                .guarantees("complete-mapping"),
+        )
+        .unwrap();
+        g.register_tool(ToolSpec::new("DBPLEditor", false).executes("DBPL_MappingDec"))
+            .unwrap();
+        g
+    }
+
+    #[test]
+    fn registration_and_currency() {
+        let mut g = scenario_gkbms();
+        g.register_object(
+            "Invitation",
+            kernel::TDL_ENTITY_CLASS,
+            "design.tdl#Invitation",
+        )
+        .unwrap();
+        assert!(g.is_current("Invitation"));
+        assert!(!g.is_current("Ghost"));
+        assert_eq!(g.current_objects(), vec!["Invitation"]);
+        // The source reference is recorded.
+        let obj = g.kb().lookup("Invitation").unwrap();
+        let sources = g.kb().attr_values(obj, names::SOURCE_I);
+        assert_eq!(sources.len(), 1);
+    }
+
+    #[test]
+    fn tool_selection_most_specific_first() {
+        let mut g = scenario_gkbms();
+        g.register_object("Invitation", kernel::TDL_ENTITY_CLASS, "src")
+            .unwrap();
+        let menu = g.applicable_decisions("Invitation").unwrap();
+        let names: Vec<&str> = menu.iter().map(|(c, _)| c.as_str()).collect();
+        assert_eq!(names, vec!["TDL_MappingDec", "DBPL_MappingDec"]);
+        // The specialized mapper serves the specific class; the editor
+        // (bound to the general class) serves both.
+        assert_eq!(menu[0].1, vec!["DBPLEditor", "TDL-DBPL-Mapper"]);
+        assert_eq!(menu[1].1, vec!["DBPLEditor"]);
+    }
+
+    #[test]
+    fn execute_documents_decision() {
+        let mut g = scenario_gkbms();
+        g.register_object("Invitation", kernel::TDL_ENTITY_CLASS, "src")
+            .unwrap();
+        let summary = g
+            .execute(
+                DecisionRequest::new("TDL_MappingDec", "mapInvitations", "developer")
+                    .with_tool("TDL-DBPL-Mapper")
+                    .input("Invitation")
+                    .output("InvitationRel", kernel::DBPL_REL),
+            )
+            .unwrap();
+        assert_eq!(summary.created, vec!["InvitationRel"]);
+        assert!(g.is_current("InvitationRel"));
+        assert!(g.is_effective("mapInvitations"));
+        // KB documentation: from/to/by links on the decision instance.
+        let d = g.kb().lookup("mapInvitations").unwrap();
+        let from = g.kb().attr_values(d, names::FROM_I);
+        assert_eq!(from, vec![g.kb().lookup("Invitation").unwrap()]);
+        let to = g.kb().attr_values(d, names::TO_I);
+        assert_eq!(to, vec![g.kb().lookup("InvitationRel").unwrap()]);
+        let by = g.kb().attr_values(d, names::BY_I);
+        assert_eq!(by, vec![g.kb().lookup("TDL-DBPL-Mapper").unwrap()]);
+        // The output's justification points back (fig 3-3).
+        let out = g.kb().lookup("InvitationRel").unwrap();
+        assert_eq!(g.kb().attr_values(out, names::JUSTIFICATION_I), vec![d]);
+    }
+
+    #[test]
+    fn obligations_enforced() {
+        let mut g = scenario_gkbms();
+        g.register_object("Invitation", kernel::TDL_ENTITY_CLASS, "src")
+            .unwrap();
+        // Without the mapper tool, complete-mapping is not guaranteed.
+        let err = g.execute(
+            DecisionRequest::new("TDL_MappingDec", "manualMap", "developer")
+                .input("Invitation")
+                .output("InvitationRel", kernel::DBPL_REL),
+        );
+        assert!(matches!(err, Err(GkbmsError::Obligation(_))));
+        // A signature discharges it.
+        g.execute(
+            DecisionRequest::new("TDL_MappingDec", "manualMap", "developer")
+                .input("Invitation")
+                .output("InvitationRel", kernel::DBPL_REL)
+                .discharge(Discharge::Signature {
+                    obligation: "complete-mapping".into(),
+                    by: "developer".into(),
+                }),
+        )
+        .unwrap();
+        assert!(g.is_effective("manualMap"));
+    }
+
+    #[test]
+    fn formal_discharge_requires_evaluable_truth() {
+        let mut g = scenario_gkbms();
+        g.define_decision_class(
+            DecisionClass::new("DecFormal", DecisionDimension::Refinement)
+                .from_classes(&[kernel::DBPL_REL])
+                .to_classes(&[kernel::DBPL_REL])
+                .obligation("self-holds", "DBPL_Rel in DesignObject"),
+        )
+        .unwrap();
+        g.register_object("R", kernel::DBPL_REL, "src").unwrap();
+        // The statement is an evaluable assertion that holds.
+        g.execute(
+            DecisionRequest::new("DecFormal", "d1", "dev")
+                .input("R")
+                .output("R2", kernel::DBPL_REL)
+                .discharge(Discharge::Formal {
+                    obligation: "self-holds".into(),
+                }),
+        )
+        .unwrap();
+        // A prose obligation cannot be formally discharged.
+        g.define_decision_class(
+            DecisionClass::new("DecProse", DecisionDimension::Refinement)
+                .from_classes(&[kernel::DBPL_REL])
+                .to_classes(&[kernel::DBPL_REL])
+                .obligation("manual", "this is prose, not an assertion ()"),
+        )
+        .unwrap();
+        let err = g.execute(
+            DecisionRequest::new("DecProse", "d2", "dev")
+                .input("R2")
+                .output("R3", kernel::DBPL_REL)
+                .discharge(Discharge::Formal {
+                    obligation: "manual".into(),
+                }),
+        );
+        assert!(matches!(err, Err(GkbmsError::Obligation(_))));
+    }
+
+    #[test]
+    fn unknown_references_rejected() {
+        let mut g = scenario_gkbms();
+        assert!(matches!(
+            g.register_object("X", "NoClass", "src"),
+            Err(GkbmsError::Unknown(_))
+        ));
+        assert!(matches!(
+            g.applicable_decisions("Ghost"),
+            Err(GkbmsError::Unknown(_))
+        ));
+        g.register_object("Invitation", kernel::TDL_ENTITY_CLASS, "src")
+            .unwrap();
+        assert!(matches!(
+            g.execute(DecisionRequest::new("NoSuchDec", "d", "dev").input("Invitation")),
+            Err(GkbmsError::Unknown(_))
+        ));
+        assert!(matches!(
+            g.execute(
+                DecisionRequest::new("TDL_MappingDec", "d", "dev")
+                    .with_tool("NoSuchTool")
+                    .input("Invitation")
+            ),
+            Err(GkbmsError::Unknown(_))
+        ));
+    }
+
+    #[test]
+    fn output_class_must_match_to_declaration() {
+        let mut g = scenario_gkbms();
+        g.register_object("Invitation", kernel::TDL_ENTITY_CLASS, "src")
+            .unwrap();
+        let before = g.kb().believed_count();
+        let err = g.execute(
+            DecisionRequest::new("TDL_MappingDec", "badMap", "dev")
+                .with_tool("TDL-DBPL-Mapper")
+                .input("Invitation")
+                // TDL_EntityClass is not among the TO classes:
+                .output("Wrong", kernel::TDL_ENTITY_CLASS),
+        );
+        assert!(matches!(err, Err(GkbmsError::Precondition(_))));
+        // The nested transaction rolled back: no stray beliefs.
+        assert_eq!(g.kb().believed_count(), before);
+        assert!(!g.is_current("Wrong"));
+        assert!(g.record("badMap").is_none());
+    }
+
+    #[test]
+    fn selective_backtracking_takes_only_consequences() {
+        let mut g = scenario_gkbms();
+        g.register_object("Invitation", kernel::TDL_ENTITY_CLASS, "src")
+            .unwrap();
+        g.register_object("Minutes", kernel::TDL_ENTITY_CLASS, "src")
+            .unwrap();
+        g.execute(
+            DecisionRequest::new("TDL_MappingDec", "mapInvitations", "dev")
+                .with_tool("TDL-DBPL-Mapper")
+                .input("Invitation")
+                .output("InvitationRel", kernel::DBPL_REL),
+        )
+        .unwrap();
+        g.execute(
+            DecisionRequest::new("TDL_MappingDec", "mapMinutes", "dev")
+                .with_tool("TDL-DBPL-Mapper")
+                .input("Minutes")
+                .output("MinutesRel", kernel::DBPL_REL),
+        )
+        .unwrap();
+        // A refinement depending on InvitationRel.
+        g.execute(
+            DecisionRequest::new("DecNormalize", "normalizeInvitations", "dev")
+                .input("InvitationRel")
+                .output("InvitationRel2", kernel::NORMALIZED_DBPL_REL)
+                .discharge(Discharge::Signature {
+                    obligation: "normalized".into(),
+                    by: "dev".into(),
+                }),
+        )
+        .unwrap();
+        let affected = g.retract_decision("mapInvitations").unwrap();
+        assert_eq!(affected, vec!["InvitationRel", "InvitationRel2"]);
+        assert!(!g.is_current("InvitationRel"));
+        assert!(!g.is_current("InvitationRel2"));
+        assert!(
+            g.is_current("MinutesRel"),
+            "the rest of the design survives"
+        );
+        assert!(g.is_current("Minutes"));
+        assert!(!g.is_effective("mapInvitations"));
+        assert!(!g.is_effective("normalizeInvitations"), "dangling decision");
+        assert!(g.is_effective("mapMinutes"));
+        // History is preserved: the objects were believed at their tick.
+        let t = g.record("normalizeInvitations").unwrap().tick;
+        let inv2 = g.kb().props_with_label("InvitationRel2");
+        assert!(inv2.is_empty(), "no longer believed");
+        let rel2_ever = g.kb().believed_at(t);
+        assert!(!rel2_ever.is_empty());
+    }
+
+    #[test]
+    fn double_retraction_rejected() {
+        let mut g = scenario_gkbms();
+        g.register_object("Invitation", kernel::TDL_ENTITY_CLASS, "src")
+            .unwrap();
+        g.execute(
+            DecisionRequest::new("TDL_MappingDec", "m", "dev")
+                .with_tool("TDL-DBPL-Mapper")
+                .input("Invitation")
+                .output("InvitationRel", kernel::DBPL_REL),
+        )
+        .unwrap();
+        g.retract_decision("m").unwrap();
+        assert!(matches!(
+            g.retract_decision("m"),
+            Err(GkbmsError::NotRetractable(_))
+        ));
+        assert!(matches!(
+            g.retract_decision("ghost"),
+            Err(GkbmsError::NotRetractable(_))
+        ));
+    }
+
+    #[test]
+    fn retracted_inputs_block_new_decisions() {
+        let mut g = scenario_gkbms();
+        g.register_object("Invitation", kernel::TDL_ENTITY_CLASS, "src")
+            .unwrap();
+        g.execute(
+            DecisionRequest::new("TDL_MappingDec", "m", "dev")
+                .with_tool("TDL-DBPL-Mapper")
+                .input("Invitation")
+                .output("InvitationRel", kernel::DBPL_REL),
+        )
+        .unwrap();
+        g.retract_decision("m").unwrap();
+        let err = g.execute(
+            DecisionRequest::new("DecNormalize", "n", "dev")
+                .input("InvitationRel")
+                .output("X", kernel::NORMALIZED_DBPL_REL)
+                .discharge(Discharge::Signature {
+                    obligation: "normalized".into(),
+                    by: "dev".into(),
+                }),
+        );
+        assert!(matches!(err, Err(GkbmsError::Precondition(_))));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut g = scenario_gkbms();
+        assert!(matches!(
+            g.define_decision_class(DecisionClass::new(
+                "DecNormalize",
+                DecisionDimension::Refinement
+            )),
+            Err(GkbmsError::Duplicate(_))
+        ));
+        assert!(matches!(
+            g.register_tool(ToolSpec::new("DBPLEditor", false)),
+            Err(GkbmsError::Duplicate(_))
+        ));
+        g.register_object("Invitation", kernel::TDL_ENTITY_CLASS, "src")
+            .unwrap();
+        g.execute(
+            DecisionRequest::new("TDL_MappingDec", "m", "dev")
+                .with_tool("TDL-DBPL-Mapper")
+                .input("Invitation")
+                .output("InvitationRel", kernel::DBPL_REL),
+        )
+        .unwrap();
+        assert!(matches!(
+            g.execute(
+                DecisionRequest::new("TDL_MappingDec", "m", "dev")
+                    .with_tool("TDL-DBPL-Mapper")
+                    .input("Invitation")
+                    .output("Other", kernel::DBPL_REL),
+            ),
+            Err(GkbmsError::Duplicate(_))
+        ));
+    }
+}

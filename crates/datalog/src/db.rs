@@ -1,0 +1,171 @@
+//! The extensional database: named relations of ground tuples.
+
+use crate::ast::{Atom, Term, Value};
+use crate::error::{DatalogError, DatalogResult};
+use std::collections::{HashMap, HashSet};
+
+/// A set of ground tuples plus the relation's arity.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Relation {
+    /// Arity, fixed by the first tuple or declaration.
+    pub arity: usize,
+    /// The tuples.
+    pub tuples: HashSet<Vec<Value>>,
+}
+
+/// A database mapping predicate names to relations.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    relations: HashMap<String, Relation>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Inserts a ground tuple under `pred`; returns whether it was new.
+    pub fn insert(&mut self, pred: &str, tuple: Vec<Value>) -> DatalogResult<bool> {
+        match self.relations.get_mut(pred) {
+            Some(rel) => {
+                if rel.arity != tuple.len() {
+                    return Err(DatalogError::ArityMismatch {
+                        pred: pred.to_string(),
+                        expected: rel.arity,
+                        found: tuple.len(),
+                    });
+                }
+                Ok(rel.tuples.insert(tuple))
+            }
+            None => {
+                let mut rel = Relation {
+                    arity: tuple.len(),
+                    tuples: HashSet::new(),
+                };
+                rel.tuples.insert(tuple);
+                self.relations.insert(pred.to_string(), rel);
+                Ok(true)
+            }
+        }
+    }
+
+    /// Inserts a ground fact given as an [`Atom`]; errors if not ground.
+    pub fn insert_atom(&mut self, atom: &Atom) -> DatalogResult<bool> {
+        let mut tuple = Vec::with_capacity(atom.args.len());
+        for t in &atom.args {
+            match t {
+                Term::Const(v) => tuple.push(v.clone()),
+                Term::Var(v) => {
+                    return Err(DatalogError::Parse(format!(
+                        "fact `{atom}` contains variable `{v}`"
+                    )))
+                }
+            }
+        }
+        self.insert(&atom.pred, tuple)
+    }
+
+    /// The relation for `pred`, if any.
+    pub fn relation(&self, pred: &str) -> Option<&Relation> {
+        self.relations.get(pred)
+    }
+
+    /// The tuples under `pred` (empty slice view if absent).
+    pub fn tuples(&self, pred: &str) -> impl Iterator<Item = &Vec<Value>> {
+        self.relations
+            .get(pred)
+            .into_iter()
+            .flat_map(|r| r.tuples.iter())
+    }
+
+    /// Membership test for a ground tuple.
+    pub fn contains(&self, pred: &str, tuple: &[Value]) -> bool {
+        self.relations
+            .get(pred)
+            .is_some_and(|r| r.tuples.contains(tuple))
+    }
+
+    /// Number of tuples under `pred`.
+    pub fn count(&self, pred: &str) -> usize {
+        self.relations.get(pred).map_or(0, |r| r.tuples.len())
+    }
+
+    /// Total number of tuples.
+    pub fn total(&self) -> usize {
+        self.relations.values().map(|r| r.tuples.len()).sum()
+    }
+
+    /// Predicate names present, sorted.
+    pub fn preds(&self) -> Vec<&str> {
+        let mut ps: Vec<&str> = self.relations.keys().map(|s| s.as_str()).collect();
+        ps.sort_unstable();
+        ps
+    }
+
+    /// Merges all tuples of `other` into `self`.
+    pub fn absorb(&mut self, other: &Database) -> DatalogResult<usize> {
+        let mut added = 0;
+        for (pred, rel) in &other.relations {
+            for t in &rel.tuples {
+                if self.insert(pred, t.clone())? {
+                    added += 1;
+                }
+            }
+        }
+        Ok(added)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_query() {
+        let mut db = Database::new();
+        assert!(db
+            .insert("edge", vec![Value::sym("a"), Value::sym("b")])
+            .unwrap());
+        assert!(!db
+            .insert("edge", vec![Value::sym("a"), Value::sym("b")])
+            .unwrap());
+        assert!(db.contains("edge", &[Value::sym("a"), Value::sym("b")]));
+        assert!(!db.contains("edge", &[Value::sym("b"), Value::sym("a")]));
+        assert_eq!(db.count("edge"), 1);
+        assert_eq!(db.count("nosuch"), 0);
+    }
+
+    #[test]
+    fn arity_enforced() {
+        let mut db = Database::new();
+        db.insert("p", vec![Value::Int(1)]).unwrap();
+        assert!(matches!(
+            db.insert("p", vec![Value::Int(1), Value::Int(2)]),
+            Err(DatalogError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn insert_atom_requires_ground() {
+        let mut db = Database::new();
+        let ok = Atom::new("p", vec![Term::sym("a")]);
+        let bad = Atom::new("p", vec![Term::var("X")]);
+        assert!(db.insert_atom(&ok).unwrap());
+        assert!(db.insert_atom(&bad).is_err());
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let mut a = Database::new();
+        let mut b = Database::new();
+        a.insert("p", vec![Value::Int(1)]).unwrap();
+        b.insert("p", vec![Value::Int(1)]).unwrap();
+        b.insert("p", vec![Value::Int(2)]).unwrap();
+        b.insert("q", vec![Value::Int(3)]).unwrap();
+        let added = a.absorb(&b).unwrap();
+        assert_eq!(added, 2);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.preds(), vec!["p", "q"]);
+    }
+}

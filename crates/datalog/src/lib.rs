@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! The **inference engines** of ConceptBase (paper §3.1).
+//!
+//! "The Inference Engines support various proof strategies for
+//! question-answering on the KB … The inference engines may enhance
+//! their performance by lemma generation." Two proof strategies are
+//! provided over the same rule language:
+//!
+//! * [`seminaive`] — bottom-up, semi-naive fixpoint evaluation with
+//!   stratified negation (the deductive-relational view of the object
+//!   processor);
+//! * [`topdown`] — goal-directed SLD resolution with *tabling*: the
+//!   lemma generation the paper mentions, turning answers to subgoals
+//!   into reusable lemmas and guaranteeing termination on recursive
+//!   rules;
+//! * [`magic`] — the magic-sets transformation, letting the bottom-up
+//!   engine profit from query constants like the top-down one does.
+//!
+//! The rule language is classic datalog with negation: see [`ast`] for
+//! the textual syntax.
+
+pub mod ast;
+pub mod db;
+pub mod error;
+pub mod magic;
+pub mod seminaive;
+pub mod stratify;
+pub mod topdown;
+
+pub use ast::{Atom, Literal, Program, Rule, Term, Value};
+pub use db::Database;
+pub use error::{DatalogError, DatalogResult};

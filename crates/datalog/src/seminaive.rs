@@ -1,0 +1,326 @@
+//! Bottom-up, semi-naive fixpoint evaluation with stratified negation.
+//!
+//! This is the deductive-relational view of the object processor: "the
+//! object processor understands the knowledge base as a deductive
+//! relational database; in this way, large sets of similarly structured
+//! objects can be managed more efficiently" (§3.1).
+//!
+//! Strata are evaluated in order; inside a stratum the classic
+//! semi-naive optimization restricts one positive recursive literal per
+//! rule instantiation to the previous round's delta, so each derivation
+//! is attempted once.
+
+use crate::ast::{Literal, Program, Rule, Term, Value};
+use crate::db::Database;
+use crate::error::{DatalogError, DatalogResult};
+use crate::stratify::stratify;
+use std::collections::HashMap;
+
+/// Evaluation statistics, exposed for the benches (E-2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Fixpoint rounds across all strata.
+    pub rounds: usize,
+    /// Facts derived (including duplicates rediscovered).
+    pub derivations: usize,
+    /// Facts that were new.
+    pub new_facts: usize,
+}
+
+type Env = HashMap<String, Value>;
+
+fn bind(term: &Term, env: &Env) -> Option<Value> {
+    match term {
+        Term::Const(v) => Some(v.clone()),
+        Term::Var(v) => env.get(v).cloned(),
+    }
+}
+
+fn match_tuple(args: &[Term], tuple: &[Value], env: &Env) -> Option<Env> {
+    let mut env = env.clone();
+    for (t, v) in args.iter().zip(tuple) {
+        match t {
+            Term::Const(c) => {
+                if c != v {
+                    return None;
+                }
+            }
+            Term::Var(name) => match env.get(name) {
+                Some(bound) if bound != v => return None,
+                Some(_) => {}
+                None => {
+                    env.insert(name.clone(), v.clone());
+                }
+            },
+        }
+    }
+    Some(env)
+}
+
+/// Orders body literals: positives first (source order), negatives
+/// last, so safety guarantees groundness when a negation is reached.
+fn ordered_body(rule: &Rule) -> Vec<&Literal> {
+    let mut out: Vec<&Literal> = rule.body.iter().filter(|l| !l.negated).collect();
+    out.extend(rule.body.iter().filter(|l| l.negated));
+    out
+}
+
+/// Joins the rule body against `total`, with body position `delta_pos`
+/// (an index into the *ordered* body) restricted to `delta` if given.
+fn join_body(
+    body: &[&Literal],
+    pos: usize,
+    env: &Env,
+    total: &Database,
+    delta: Option<(&Database, usize)>,
+    out: &mut Vec<Env>,
+    stats: &mut EvalStats,
+) -> DatalogResult<()> {
+    if pos == body.len() {
+        out.push(env.clone());
+        return Ok(());
+    }
+    let lit = body[pos];
+    if lit.negated {
+        let mut tuple = Vec::with_capacity(lit.atom.args.len());
+        for t in &lit.atom.args {
+            match bind(t, env) {
+                Some(v) => tuple.push(v),
+                None => {
+                    return Err(DatalogError::NonGroundNegation(lit.atom.to_string()));
+                }
+            }
+        }
+        if !total.contains(&lit.atom.pred, &tuple) {
+            join_body(body, pos + 1, env, total, delta, out, stats)?;
+        }
+        return Ok(());
+    }
+    let source = match delta {
+        Some((d, dp)) if dp == pos => d,
+        _ => total,
+    };
+    stats.derivations += 1;
+    for tuple in source.tuples(&lit.atom.pred) {
+        if let Some(env2) = match_tuple(&lit.atom.args, tuple, env) {
+            join_body(body, pos + 1, &env2, total, delta, out, stats)?;
+        }
+    }
+    Ok(())
+}
+
+fn head_tuple(rule: &Rule, env: &Env) -> DatalogResult<Vec<Value>> {
+    rule.head
+        .args
+        .iter()
+        .map(|t| {
+            bind(t, env).ok_or_else(|| {
+                DatalogError::UnsafeRule(format!("unbound head variable in `{rule}`"))
+            })
+        })
+        .collect()
+}
+
+/// Evaluates `program` over `edb`, returning the full model (EDB +
+/// derived facts) and statistics.
+pub fn evaluate(program: &Program, edb: &Database) -> DatalogResult<(Database, EvalStats)> {
+    program.validate()?;
+    let strat = stratify(program)?;
+    let mut total = edb.clone();
+    let mut stats = EvalStats::default();
+
+    for stratum_rules in &strat.rules_per_stratum {
+        let rules: Vec<&Rule> = stratum_rules.iter().map(|&i| &program.rules[i]).collect();
+        let idb: Vec<&str> = rules.iter().map(|r| r.head.pred.as_str()).collect();
+
+        // Round 1: naive evaluation against everything known so far.
+        let mut delta = Database::new();
+        stats.rounds += 1;
+        for rule in &rules {
+            let body = ordered_body(rule);
+            let mut envs = Vec::new();
+            join_body(&body, 0, &Env::new(), &total, None, &mut envs, &mut stats)?;
+            for env in envs {
+                let t = head_tuple(rule, &env)?;
+                if !total.contains(&rule.head.pred, &t) {
+                    delta.insert(&rule.head.pred, t)?;
+                }
+            }
+        }
+        stats.new_facts += total.absorb(&delta)?;
+
+        // Semi-naive rounds.
+        while delta.total() > 0 {
+            stats.rounds += 1;
+            let mut next = Database::new();
+            for rule in &rules {
+                let body = ordered_body(rule);
+                // One version per positive literal over an IDB pred of
+                // this stratum.
+                for (pos, lit) in body.iter().enumerate() {
+                    if lit.negated || !idb.contains(&lit.atom.pred.as_str()) {
+                        continue;
+                    }
+                    if delta.count(&lit.atom.pred) == 0 {
+                        continue;
+                    }
+                    let mut envs = Vec::new();
+                    join_body(
+                        &body,
+                        0,
+                        &Env::new(),
+                        &total,
+                        Some((&delta, pos)),
+                        &mut envs,
+                        &mut stats,
+                    )?;
+                    for env in envs {
+                        let t = head_tuple(rule, &env)?;
+                        if !total.contains(&rule.head.pred, &t) {
+                            next.insert(&rule.head.pred, t)?;
+                        }
+                    }
+                }
+            }
+            stats.new_facts += total.absorb(&next)?;
+            delta = next;
+        }
+    }
+    Ok((total, stats))
+}
+
+/// Convenience: evaluates and returns the tuples of one predicate,
+/// sorted for deterministic comparison.
+pub fn evaluate_pred(
+    program: &Program,
+    edb: &Database,
+    pred: &str,
+) -> DatalogResult<Vec<Vec<Value>>> {
+    let (model, _) = evaluate(program, edb)?;
+    let mut out: Vec<Vec<Value>> = model.tuples(pred).cloned().collect();
+    out.sort();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edges(pairs: &[(&str, &str)]) -> Database {
+        let mut db = Database::new();
+        for (a, b) in pairs {
+            db.insert("edge", vec![Value::sym(*a), Value::sym(*b)])
+                .unwrap();
+        }
+        db
+    }
+
+    const TC: &str = "path(X, Y) :- edge(X, Y).\npath(X, Z) :- edge(X, Y), path(Y, Z).";
+
+    #[test]
+    fn transitive_closure() {
+        let p = Program::parse(TC).unwrap();
+        let db = edges(&[("a", "b"), ("b", "c"), ("c", "d")]);
+        let paths = evaluate_pred(&p, &db, "path").unwrap();
+        assert_eq!(paths.len(), 6); // ab ac ad bc bd cd
+        assert!(paths.contains(&vec![Value::sym("a"), Value::sym("d")]));
+    }
+
+    #[test]
+    fn cyclic_graph_terminates() {
+        let p = Program::parse(TC).unwrap();
+        let db = edges(&[("a", "b"), ("b", "a")]);
+        let paths = evaluate_pred(&p, &db, "path").unwrap();
+        // aa ab ba bb
+        assert_eq!(paths.len(), 4);
+    }
+
+    #[test]
+    fn stratified_negation() {
+        let p = Program::parse(
+            "reach(X) :- source(X).\n\
+             reach(Y) :- reach(X), edge(X, Y).\n\
+             unreached(X) :- node(X), not reach(X).",
+        )
+        .unwrap();
+        let mut db = edges(&[("a", "b"), ("c", "d")]);
+        for n in ["a", "b", "c", "d"] {
+            db.insert("node", vec![Value::sym(n)]).unwrap();
+        }
+        db.insert("source", vec![Value::sym("a")]).unwrap();
+        let unreached = evaluate_pred(&p, &db, "unreached").unwrap();
+        assert_eq!(
+            unreached,
+            vec![vec![Value::sym("c")], vec![Value::sym("d")]]
+        );
+    }
+
+    #[test]
+    fn facts_in_program() {
+        let p = Program::parse(
+            "edge(a, b).\nedge(b, c).\npath(X, Y) :- edge(X, Y).\npath(X, Z) :- edge(X, Y), path(Y, Z).",
+        )
+        .unwrap();
+        let paths = evaluate_pred(&p, &Database::new(), "path").unwrap();
+        assert_eq!(paths.len(), 3);
+    }
+
+    #[test]
+    fn same_generation() {
+        let p = Program::parse(
+            "sg(X, X) :- person(X).\n\
+             sg(X, Y) :- parent(X, XP), sg(XP, YP), parent(Y, YP).",
+        )
+        .unwrap();
+        let mut db = Database::new();
+        for x in ["ann", "bob", "cal", "dee"] {
+            db.insert("person", vec![Value::sym(x)]).unwrap();
+        }
+        // ann, bob children of cal; dee child of cal? make: cal parent of ann&bob; dee parent of cal.
+        db.insert("parent", vec![Value::sym("ann"), Value::sym("cal")])
+            .unwrap();
+        db.insert("parent", vec![Value::sym("bob"), Value::sym("cal")])
+            .unwrap();
+        let sg = evaluate_pred(&p, &db, "sg").unwrap();
+        assert!(sg.contains(&vec![Value::sym("ann"), Value::sym("bob")]));
+        assert!(sg.contains(&vec![Value::sym("bob"), Value::sym("ann")]));
+        assert!(!sg.contains(&vec![Value::sym("ann"), Value::sym("dee")]));
+    }
+
+    #[test]
+    fn constants_in_rule_bodies() {
+        let p = Program::parse("special(X) :- edge(a, X).").unwrap();
+        let db = edges(&[("a", "b"), ("b", "c")]);
+        let s = evaluate_pred(&p, &db, "special").unwrap();
+        assert_eq!(s, vec![vec![Value::sym("b")]]);
+    }
+
+    #[test]
+    fn stats_report_semi_naive_rounds() {
+        let p = Program::parse(TC).unwrap();
+        // A chain of length 20 needs ~20 rounds.
+        let mut db = Database::new();
+        for i in 0..20 {
+            db.insert("edge", vec![Value::Int(i), Value::Int(i + 1)])
+                .unwrap();
+        }
+        let (model, stats) = evaluate(&p, &db).unwrap();
+        assert_eq!(model.count("path"), 20 * 21 / 2);
+        assert!(stats.rounds >= 20, "rounds = {}", stats.rounds);
+        assert_eq!(stats.new_facts, model.count("path"));
+    }
+
+    #[test]
+    fn unstratifiable_rejected() {
+        let p = Program::parse("win(X) :- move(X, Y), not win(Y).").unwrap();
+        assert!(evaluate(&p, &Database::new()).is_err());
+    }
+
+    #[test]
+    fn empty_program_returns_edb() {
+        let db = edges(&[("a", "b")]);
+        let (model, stats) = evaluate(&Program::default(), &db).unwrap();
+        assert_eq!(model.count("edge"), 1);
+        assert_eq!(stats.new_facts, 0);
+    }
+}

@@ -1,0 +1,659 @@
+//! A DBPL subset \[ECKH85, SCHM77\]: modules of relations (with keys),
+//! selectors (named integrity constraints), constructors (views, "the
+//! reconstruction of the initial, unnormalized invitation relation"),
+//! and database transactions.
+//!
+//! The pretty printer produces the "code frames" shown in figs 2-2 …
+//! 2-4; the parser accepts the same syntax:
+//!
+//! ```text
+//! MODULE DocumentDB;
+//! RELATION InvitationRel
+//!   KEY paperkey
+//!   ATTR paperkey : SURROGATE;
+//!   ATTR sender : Person
+//! END;
+//! SELECTOR InvitationsPaperIC ON InvReceivRel, InvitationRel2
+//!   WHERE "referential integrity on paperkey"
+//! END;
+//! CONSTRUCTOR ConsInvitation ON InvitationRel2, InvReceivRel
+//!   AS "join and nest receivers"
+//! END;
+//! TRANSACTION InsertInvitation(i : Invitation)
+//!   DO insert; check
+//! END;
+//! ```
+
+use crate::error::{LangError, LangResult};
+use std::fmt;
+
+/// A DBPL column type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbplType {
+    /// A named domain (mapped entity class).
+    Named(String),
+    /// A system-generated surrogate (the artificial `paperkey`).
+    Surrogate,
+    /// A set-valued column — non-first-normal-form, to be normalized.
+    SetOf(Box<DbplType>),
+}
+
+impl fmt::Display for DbplType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbplType::Named(n) => write!(f, "{n}"),
+            DbplType::Surrogate => write!(f, "SURROGATE"),
+            DbplType::SetOf(inner) => write!(f, "SETOF {inner}"),
+        }
+    }
+}
+
+/// A relation column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub ty: DbplType,
+}
+
+/// A relation with a designated key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    /// Relation name.
+    pub name: String,
+    /// Names of the key columns.
+    pub key: Vec<String>,
+    /// All columns.
+    pub columns: Vec<Column>,
+}
+
+impl Relation {
+    /// The column named `name`.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// True if the key consists of a single surrogate column.
+    pub fn has_surrogate_key(&self) -> bool {
+        self.key.len() == 1
+            && self
+                .column(&self.key[0])
+                .is_some_and(|c| c.ty == DbplType::Surrogate)
+    }
+
+    /// Set-valued columns (normalization candidates).
+    pub fn set_valued_columns(&self) -> Vec<&Column> {
+        self.columns
+            .iter()
+            .filter(|c| matches!(c.ty, DbplType::SetOf(_)))
+            .collect()
+    }
+}
+
+/// A selector: a named integrity constraint over relations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Selector {
+    /// Selector name.
+    pub name: String,
+    /// Relations it ranges over.
+    pub over: Vec<String>,
+    /// Constraint description (predicate text).
+    pub predicate: String,
+}
+
+/// How a constructor combines its member relations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConsKind {
+    /// A join of the member relations (e.g. reassembling a normalized
+    /// relation).
+    #[default]
+    Join,
+    /// A union of the member relations (e.g. an inner hierarchy class
+    /// over its leaf relations) — the case with key obligations.
+    Union,
+}
+
+/// A constructor: a view over relations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Constructor {
+    /// Constructor name.
+    pub name: String,
+    /// How members are combined.
+    pub kind: ConsKind,
+    /// Relations it is built from.
+    pub over: Vec<String>,
+    /// View definition (query text).
+    pub query: String,
+}
+
+/// A database transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DbplTransaction {
+    /// Transaction name.
+    pub name: String,
+    /// Parameters: `(name, class)` pairs.
+    pub params: Vec<(String, String)>,
+    /// Statement names.
+    pub body: Vec<String>,
+}
+
+/// One top-level declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decl {
+    /// A relation.
+    Relation(Relation),
+    /// A selector.
+    Selector(Selector),
+    /// A constructor.
+    Constructor(Constructor),
+    /// A transaction.
+    Transaction(DbplTransaction),
+}
+
+impl Decl {
+    /// The declaration's name.
+    pub fn name(&self) -> &str {
+        match self {
+            Decl::Relation(r) => &r.name,
+            Decl::Selector(s) => &s.name,
+            Decl::Constructor(c) => &c.name,
+            Decl::Transaction(t) => &t.name,
+        }
+    }
+
+    /// Names of relations this declaration references.
+    pub fn references(&self) -> Vec<&str> {
+        match self {
+            Decl::Relation(_) | Decl::Transaction(_) => Vec::new(),
+            Decl::Selector(s) => s.over.iter().map(|s| s.as_str()).collect(),
+            Decl::Constructor(c) => c.over.iter().map(|s| s.as_str()).collect(),
+        }
+    }
+
+    /// Kind name for display and decision matching.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Decl::Relation(_) => "RELATION",
+            Decl::Selector(_) => "SELECTOR",
+            Decl::Constructor(_) => "CONSTRUCTOR",
+            Decl::Transaction(_) => "TRANSACTION",
+        }
+    }
+}
+
+/// A DBPL module.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DbplModule {
+    /// Module name.
+    pub name: String,
+    /// Declarations in order.
+    pub decls: Vec<Decl>,
+}
+
+impl DbplModule {
+    /// An empty module.
+    pub fn new(name: impl Into<String>) -> Self {
+        DbplModule {
+            name: name.into(),
+            decls: Vec::new(),
+        }
+    }
+
+    /// Parses a module.
+    pub fn parse(src: &str) -> LangResult<DbplModule> {
+        parse_module(src)
+    }
+
+    /// Finds a declaration by name.
+    pub fn decl(&self, name: &str) -> Option<&Decl> {
+        self.decls.iter().find(|d| d.name() == name)
+    }
+
+    /// Finds a relation by name.
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.decls.iter().find_map(|d| match d {
+            Decl::Relation(r) if r.name == name => Some(r),
+            _ => None,
+        })
+    }
+
+    /// Like [`DbplModule::relation`] but an error if absent.
+    pub fn expect_relation(&self, name: &str) -> LangResult<&Relation> {
+        self.relation(name)
+            .ok_or_else(|| LangError::Unknown(format!("relation `{name}`")))
+    }
+
+    /// Adds a declaration; errors on a duplicate name.
+    pub fn add(&mut self, decl: Decl) -> LangResult<()> {
+        if self.decl(decl.name()).is_some() {
+            return Err(LangError::Precondition(format!(
+                "duplicate declaration `{}`",
+                decl.name()
+            )));
+        }
+        self.decls.push(decl);
+        Ok(())
+    }
+
+    /// Replaces the declaration with the same name; errors if absent.
+    pub fn replace(&mut self, decl: Decl) -> LangResult<Decl> {
+        let at = self
+            .decls
+            .iter()
+            .position(|d| d.name() == decl.name())
+            .ok_or_else(|| LangError::Unknown(format!("declaration `{}`", decl.name())))?;
+        Ok(std::mem::replace(&mut self.decls[at], decl))
+    }
+
+    /// Removes a declaration by name; errors if absent.
+    pub fn remove(&mut self, name: &str) -> LangResult<Decl> {
+        let at = self
+            .decls
+            .iter()
+            .position(|d| d.name() == name)
+            .ok_or_else(|| LangError::Unknown(format!("declaration `{name}`")))?;
+        Ok(self.decls.remove(at))
+    }
+
+    /// Declarations referencing relation `name`.
+    pub fn referencing(&self, name: &str) -> Vec<&Decl> {
+        self.decls
+            .iter()
+            .filter(|d| d.references().contains(&name))
+            .collect()
+    }
+
+    /// The code frame (pretty-printed text) of one declaration — what
+    /// the editor windows in figs 2-2 … 2-4 display.
+    pub fn code_frame(&self, name: &str) -> LangResult<String> {
+        let d = self
+            .decl(name)
+            .ok_or_else(|| LangError::Unknown(format!("declaration `{name}`")))?;
+        Ok(print_decl(d))
+    }
+}
+
+fn print_decl(d: &Decl) -> String {
+    match d {
+        Decl::Relation(r) => {
+            let mut s = format!("RELATION {}\n  KEY {}\n", r.name, r.key.join(", "));
+            for (i, c) in r.columns.iter().enumerate() {
+                let sep = if i + 1 < r.columns.len() { ";" } else { "" };
+                s.push_str(&format!("  ATTR {} : {}{sep}\n", c.name, c.ty));
+            }
+            s.push_str("END;");
+            s
+        }
+        Decl::Selector(sel) => format!(
+            "SELECTOR {} ON {}\n  WHERE \"{}\"\nEND;",
+            sel.name,
+            sel.over.join(", "),
+            sel.predicate
+        ),
+        Decl::Constructor(c) => format!(
+            "CONSTRUCTOR {} {} {}\n  AS \"{}\"\nEND;",
+            c.name,
+            match c.kind {
+                ConsKind::Join => "JOIN",
+                ConsKind::Union => "UNION",
+            },
+            c.over.join(", "),
+            c.query
+        ),
+        Decl::Transaction(t) => {
+            let params: Vec<String> = t.params.iter().map(|(n, c)| format!("{n} : {c}")).collect();
+            format!(
+                "TRANSACTION {}({})\n  DO {}\nEND;",
+                t.name,
+                params.join("; "),
+                t.body.join("; ")
+            )
+        }
+    }
+}
+
+impl fmt::Display for DbplModule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "MODULE {};", self.name)?;
+        for d in &self.decls {
+            writeln!(f, "{}", print_decl(d))?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Toks {
+    words: Vec<String>,
+    pos: usize,
+}
+
+fn tokenize(src: &str) -> LangResult<Vec<String>> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut chars = src.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+                let mut s = String::from("\"");
+                let mut closed = false;
+                for c2 in chars.by_ref() {
+                    if c2 == '"' {
+                        closed = true;
+                        break;
+                    }
+                    s.push(c2);
+                }
+                if !closed {
+                    return Err(LangError::Parse("unterminated string".into()));
+                }
+                out.push(s);
+            }
+            ':' | ';' | ',' | '(' | ')' => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+                out.push(c.to_string());
+            }
+            c if c.is_whitespace() => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    Ok(out)
+}
+
+impl Toks {
+    fn peek(&self) -> Option<&str> {
+        self.words.get(self.pos).map(|s| s.as_str())
+    }
+
+    fn next(&mut self) -> LangResult<String> {
+        let w = self
+            .words
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| LangError::Parse("unexpected end of input".into()))?;
+        self.pos += 1;
+        Ok(w)
+    }
+
+    fn expect(&mut self, w: &str) -> LangResult<()> {
+        let got = self.next()?;
+        if got == w {
+            Ok(())
+        } else {
+            Err(LangError::Parse(format!("expected `{w}`, found `{got}`")))
+        }
+    }
+
+    fn eat(&mut self, w: &str) -> bool {
+        if self.peek() == Some(w) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn string(&mut self) -> LangResult<String> {
+        let w = self.next()?;
+        w.strip_prefix('"')
+            .map(|s| s.to_string())
+            .ok_or_else(|| LangError::Parse(format!("expected string, found `{w}`")))
+    }
+
+    fn name_list(&mut self) -> LangResult<Vec<String>> {
+        let mut out = vec![self.next()?];
+        while self.eat(",") {
+            out.push(self.next()?);
+        }
+        Ok(out)
+    }
+}
+
+fn parse_type(t: &mut Toks) -> LangResult<DbplType> {
+    let w = t.next()?;
+    Ok(match w.as_str() {
+        "SURROGATE" => DbplType::Surrogate,
+        "SETOF" => DbplType::SetOf(Box::new(parse_type(t)?)),
+        other => DbplType::Named(other.to_string()),
+    })
+}
+
+fn parse_module(src: &str) -> LangResult<DbplModule> {
+    let mut t = Toks {
+        words: tokenize(src)?,
+        pos: 0,
+    };
+    t.expect("MODULE")?;
+    let name = t.next()?;
+    t.expect(";")?;
+    let mut module = DbplModule::new(name);
+    while let Some(kw) = t.peek() {
+        match kw {
+            "RELATION" => {
+                t.next()?;
+                let name = t.next()?;
+                t.expect("KEY")?;
+                let key = t.name_list()?;
+                let mut columns = Vec::new();
+                while t.eat("ATTR") {
+                    let cname = t.next()?;
+                    t.expect(":")?;
+                    let ty = parse_type(&mut t)?;
+                    columns.push(Column { name: cname, ty });
+                    t.eat(";");
+                }
+                t.expect("END")?;
+                t.expect(";")?;
+                module.add(Decl::Relation(Relation { name, key, columns }))?;
+            }
+            "SELECTOR" => {
+                t.next()?;
+                let name = t.next()?;
+                t.expect("ON")?;
+                let over = t.name_list()?;
+                t.expect("WHERE")?;
+                let predicate = t.string()?;
+                t.expect("END")?;
+                t.expect(";")?;
+                module.add(Decl::Selector(Selector {
+                    name,
+                    over,
+                    predicate,
+                }))?;
+            }
+            "CONSTRUCTOR" => {
+                t.next()?;
+                let name = t.next()?;
+                let kind = if t.eat("UNION") {
+                    ConsKind::Union
+                } else if t.eat("JOIN") {
+                    ConsKind::Join
+                } else {
+                    t.expect("ON")?; // legacy form: ON defaults to join
+                    ConsKind::Join
+                };
+                let over = t.name_list()?;
+                t.expect("AS")?;
+                let query = t.string()?;
+                t.expect("END")?;
+                t.expect(";")?;
+                module.add(Decl::Constructor(Constructor {
+                    name,
+                    kind,
+                    over,
+                    query,
+                }))?;
+            }
+            "TRANSACTION" => {
+                t.next()?;
+                let name = t.next()?;
+                t.expect("(")?;
+                let mut params = Vec::new();
+                while !t.eat(")") {
+                    let pname = t.next()?;
+                    t.expect(":")?;
+                    let class = t.next()?;
+                    params.push((pname, class));
+                    t.eat(";");
+                }
+                t.expect("DO")?;
+                let mut body = Vec::new();
+                while !t.eat("END") {
+                    let w = t.next()?;
+                    if w != ";" {
+                        body.push(w);
+                    }
+                }
+                t.expect(";")?;
+                module.add(Decl::Transaction(DbplTransaction { name, params, body }))?;
+            }
+            other => {
+                return Err(LangError::Parse(format!(
+                    "expected declaration keyword, found `{other}`"
+                )))
+            }
+        }
+    }
+    Ok(module)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DbplModule {
+        DbplModule::parse(
+            "MODULE DocumentDB;\n\
+             RELATION InvitationRel\n\
+               KEY paperkey\n\
+               ATTR paperkey : SURROGATE;\n\
+               ATTR sender : Person;\n\
+               ATTR receivers : SETOF Person\n\
+             END;\n\
+             SELECTOR InvitationsPaperIC ON InvReceivRel, InvitationRel\n\
+               WHERE \"referential integrity on paperkey\"\n\
+             END;\n\
+             CONSTRUCTOR ConsInvitation ON InvitationRel\n\
+               AS \"identity\"\n\
+             END;\n\
+             TRANSACTION InsertInvitation(i : Invitation)\n\
+               DO insert; check\n\
+             END;",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parses_all_declaration_kinds() {
+        let m = sample();
+        assert_eq!(m.name, "DocumentDB");
+        assert_eq!(m.decls.len(), 4);
+        let r = m.relation("InvitationRel").unwrap();
+        assert_eq!(r.key, vec!["paperkey"]);
+        assert!(r.has_surrogate_key());
+        assert_eq!(r.set_valued_columns().len(), 1);
+        assert_eq!(
+            r.column("receivers").unwrap().ty,
+            DbplType::SetOf(Box::new(DbplType::Named("Person".into())))
+        );
+    }
+
+    #[test]
+    fn references_and_referencing() {
+        let m = sample();
+        let refs = m.referencing("InvitationRel");
+        let names: Vec<&str> = refs.iter().map(|d| d.name()).collect();
+        assert_eq!(names, vec!["InvitationsPaperIC", "ConsInvitation"]);
+        assert!(m.referencing("Nothing").is_empty());
+    }
+
+    #[test]
+    fn add_replace_remove() {
+        let mut m = sample();
+        let dup = Decl::Constructor(Constructor {
+            name: "ConsInvitation".into(),
+            kind: ConsKind::Join,
+            over: vec![],
+            query: String::new(),
+        });
+        assert!(m.add(dup.clone()).is_err());
+        m.replace(dup).unwrap();
+        let removed = m.remove("ConsInvitation").unwrap();
+        assert_eq!(removed.name(), "ConsInvitation");
+        assert!(m.remove("ConsInvitation").is_err());
+    }
+
+    #[test]
+    fn code_frames_match_figures() {
+        let m = sample();
+        let frame = m.code_frame("InvitationRel").unwrap();
+        assert!(frame.starts_with("RELATION InvitationRel"));
+        assert!(frame.contains("KEY paperkey"));
+        assert!(frame.contains("ATTR receivers : SETOF Person"));
+        assert!(frame.ends_with("END;"));
+        assert!(m.code_frame("Ghost").is_err());
+    }
+
+    #[test]
+    fn display_reparses() {
+        let m = sample();
+        let printed = m.to_string();
+        let reparsed = DbplModule::parse(&printed).unwrap();
+        assert_eq!(m, reparsed);
+    }
+
+    #[test]
+    fn composite_keys() {
+        let m = DbplModule::parse(
+            "MODULE M;\n\
+             RELATION R\n\
+               KEY date, author\n\
+               ATTR date : Date;\n\
+               ATTR author : Person\n\
+             END;",
+        )
+        .unwrap();
+        let r = m.relation("R").unwrap();
+        assert_eq!(r.key, vec!["date", "author"]);
+        assert!(!r.has_surrogate_key());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(
+            DbplModule::parse("RELATION R KEY k END;").is_err(),
+            "missing MODULE"
+        );
+        assert!(DbplModule::parse("MODULE M; WIDGET X END;").is_err());
+        assert!(DbplModule::parse("MODULE M; SELECTOR S ON R WHERE nostring END;").is_err());
+        assert!(DbplModule::parse("MODULE M; RELATION R KEY k ATTR a : SETOF END;").is_err());
+    }
+
+    #[test]
+    fn transaction_roundtrip() {
+        let m = sample();
+        match m.decl("InsertInvitation").unwrap() {
+            Decl::Transaction(t) => {
+                assert_eq!(t.params.len(), 1);
+                assert_eq!(t.body, vec!["insert", "check"]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Error type of the language stack.
+
+use std::fmt;
+
+/// Errors raised by parsers and transformation assistants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LangError {
+    /// Syntax error in TaxisDL or DBPL source.
+    Parse(String),
+    /// A referenced class / relation / attribute does not exist.
+    Unknown(String),
+    /// A transformation precondition failed.
+    Precondition(String),
+    /// The decision would produce an inconsistent module (e.g. the
+    /// candidate-key conflict of fig 2-4).
+    Conflict(String),
+}
+
+/// Convenient alias used throughout the crate.
+pub type LangResult<T> = Result<T, LangError>;
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Parse(m) => write!(f, "parse error: {m}"),
+            LangError::Unknown(m) => write!(f, "unknown object: {m}"),
+            LangError::Precondition(m) => write!(f, "precondition failed: {m}"),
+            LangError::Conflict(m) => write!(f, "conflict: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(LangError::Conflict("key".into())
+            .to_string()
+            .contains("key"));
+        assert!(LangError::Unknown("X".into()).to_string().contains('X'));
+    }
+}

@@ -1,0 +1,347 @@
+//! The key-substitution decision and its conflict check (figs 2-3, 2-4).
+//!
+//! "Observing that the system contains only invitations and no other
+//! subclasses of papers, the developer decides to 'make the system
+//! more user-friendly', by replacing the artificial paperkey attribute
+//! … with date, author. This change also implies adaption of the
+//! corresponding constructor, selector, and possibly transaction
+//! definitions."
+//!
+//! "Unfortunately, the assumption that Invitations are the only kind
+//! of Papers leads to an inconsistency as soon as the mapping of
+//! Minutes … is considered" — surrogate keys are globally unique
+//! across a hierarchy, but an associative key chosen for one subclass
+//! does not identify papers across *all* subclasses; any constructor
+//! unioning several relations then has no candidate key.
+//! [`check_union_key_conflicts`] detects exactly this.
+
+use crate::dbpl::{DbplModule, DbplType, Decl};
+use crate::error::{LangError, LangResult};
+
+/// What a key substitution changed, for GKBMS documentation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyChange {
+    /// The relation whose key was replaced.
+    pub relation: String,
+    /// The removed surrogate column name.
+    pub removed_surrogate: String,
+    /// The new key column names.
+    pub new_key: Vec<String>,
+    /// Other declarations adapted (foreign-key relations, selectors,
+    /// constructors whose text mentioned the surrogate).
+    pub adapted: Vec<String>,
+}
+
+/// Replaces the surrogate key of `relation` by the associative key
+/// `new_key` (existing columns). Foreign-key occurrences of the
+/// surrogate column in other relations are replaced by the new key
+/// columns, and selector/constructor texts mentioning the surrogate
+/// are rewritten.
+pub fn substitute_key(
+    module: &mut DbplModule,
+    relation: &str,
+    new_key: &[&str],
+) -> LangResult<KeyChange> {
+    let rel = module.expect_relation(relation)?.clone();
+    if !rel.has_surrogate_key() {
+        return Err(LangError::Precondition(format!(
+            "`{relation}` does not have a surrogate key"
+        )));
+    }
+    if new_key.is_empty() {
+        return Err(LangError::Precondition("empty associative key".into()));
+    }
+    let surrogate = rel.key[0].clone();
+    for k in new_key {
+        let col = rel
+            .column(k)
+            .ok_or_else(|| LangError::Unknown(format!("column `{k}` of `{relation}`")))?;
+        if matches!(col.ty, DbplType::SetOf(_)) {
+            return Err(LangError::Precondition(format!(
+                "set-valued column `{k}` cannot be part of a key"
+            )));
+        }
+    }
+    // Types of the new key columns, for foreign-key replacement.
+    let key_cols: Vec<(String, DbplType)> = new_key
+        .iter()
+        .map(|k| {
+            let c = rel.column(k).expect("checked above");
+            (c.name.clone(), c.ty.clone())
+        })
+        .collect();
+
+    let mut adapted = Vec::new();
+    let decls: Vec<Decl> = module.decls.clone();
+    for d in decls {
+        match d {
+            Decl::Relation(mut r) if r.name == relation => {
+                r.key = new_key.iter().map(|s| s.to_string()).collect();
+                r.columns.retain(|c| c.name != surrogate);
+                module.replace(Decl::Relation(r))?;
+            }
+            Decl::Relation(mut r) => {
+                // Foreign-key occurrence of the surrogate column.
+                if let Some(at) = r.columns.iter().position(|c| c.name == surrogate) {
+                    r.columns.splice(
+                        at..=at,
+                        key_cols.iter().map(|(n, t)| crate::dbpl::Column {
+                            name: n.clone(),
+                            ty: t.clone(),
+                        }),
+                    );
+                    if let Some(kat) = r.key.iter().position(|k| *k == surrogate) {
+                        r.key
+                            .splice(kat..=kat, new_key.iter().map(|s| s.to_string()));
+                    }
+                    adapted.push(r.name.clone());
+                    module.replace(Decl::Relation(r))?;
+                }
+            }
+            Decl::Selector(mut s) => {
+                if s.predicate.contains(&surrogate) {
+                    s.predicate = s.predicate.replace(&surrogate, &new_key.join(", "));
+                    adapted.push(s.name.clone());
+                    module.replace(Decl::Selector(s))?;
+                }
+            }
+            Decl::Constructor(mut c) => {
+                if c.query.contains(&surrogate) {
+                    c.query = c.query.replace(&surrogate, &new_key.join(", "));
+                    adapted.push(c.name.clone());
+                    module.replace(Decl::Constructor(c))?;
+                }
+            }
+            Decl::Transaction(mut t) => {
+                let mut touched = false;
+                for stmt in &mut t.body {
+                    if stmt.contains(&surrogate) {
+                        *stmt = stmt.replace(&surrogate, &new_key.join(", "));
+                        touched = true;
+                    }
+                }
+                if touched {
+                    adapted.push(t.name.clone());
+                    module.replace(Decl::Transaction(t))?;
+                }
+            }
+        }
+    }
+    Ok(KeyChange {
+        relation: relation.to_string(),
+        removed_surrogate: surrogate,
+        new_key: new_key.iter().map(|s| s.to_string()).collect(),
+        adapted,
+    })
+}
+
+/// A candidate-key conflict at a union constructor (fig 2-4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyConflict {
+    /// The constructor without a candidate key.
+    pub constructor: String,
+    /// Its member relations.
+    pub relations: Vec<String>,
+    /// Explanation.
+    pub reason: String,
+}
+
+impl std::fmt::Display for KeyConflict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "constructor `{}` over {:?}: {}",
+            self.constructor, self.relations, self.reason
+        )
+    }
+}
+
+/// Checks every constructor unioning two or more relations: the union
+/// has a candidate key only if all member relations share the same
+/// single surrogate key (surrogates are unique across the hierarchy).
+/// Associative keys are unique only *within* their relation, so a
+/// union over relations where any member's key is associative — or
+/// where key names differ — has no candidate key.
+pub fn check_union_key_conflicts(module: &DbplModule) -> Vec<KeyConflict> {
+    let mut out = Vec::new();
+    for d in &module.decls {
+        let Decl::Constructor(c) = d else { continue };
+        if c.kind != crate::dbpl::ConsKind::Union {
+            continue; // joins carry their key obligations in selectors
+        }
+        let members: Vec<_> = c
+            .over
+            .iter()
+            .filter_map(|name| module.relation(name))
+            .collect();
+        if members.len() < 2 {
+            continue;
+        }
+        let all_surrogate_same = members.iter().all(|r| r.has_surrogate_key())
+            && members.windows(2).all(|w| w[0].key == w[1].key);
+        if !all_surrogate_same {
+            let culprit = members
+                .iter()
+                .find(|r| !r.has_surrogate_key())
+                .map(|r| {
+                    format!(
+                        "`{}` is keyed by ({}), unique only within `{}` — the union has no candidate key",
+                        r.name,
+                        r.key.join(", "),
+                        r.name
+                    )
+                })
+                .unwrap_or_else(|| "member relations disagree on the key".to_string());
+            out.push(KeyConflict {
+                constructor: c.name.clone(),
+                relations: c.over.clone(),
+                reason: culprit,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbpl::DbplModule;
+    use crate::mapping::{MappingStrategy, MoveDown};
+    use crate::normalize::{normalize, NormalizeNames};
+    use crate::taxisdl::{document_model, TdlModel};
+
+    fn invitations_only_module() -> DbplModule {
+        // The state of fig 2-3: only Invitation mapped (the developer
+        // has not yet considered Minutes), then normalized.
+        let m = TdlModel::parse(
+            "EntityClass Person with end\n\
+             EntityClass Date with end\n\
+             EntityClass Paper with\n\
+               author : Person;\n\
+               date : Date\n\
+             end\n\
+             EntityClass Invitation isA Paper with\n\
+               sender : Person;\n\
+               receivers : setof Person\n\
+             end",
+        )
+        .unwrap();
+        let out = MoveDown.map_hierarchy(&m, "Paper").unwrap();
+        let mut module = DbplModule::new("DocumentDB");
+        for d in out.decls {
+            module.add(d).unwrap();
+        }
+        let names = NormalizeNames {
+            base: "InvitationRel2".into(),
+            member: "InvReceivRel".into(),
+            member_column: "receiver".into(),
+            selector: "InvitationsPaperIC".into(),
+            constructor: "ConsInvitation".into(),
+        };
+        normalize(&mut module, "InvitationRel", "receivers", names).unwrap();
+        module
+    }
+
+    #[test]
+    fn key_substitution_reproduces_fig_2_3() {
+        let mut module = invitations_only_module();
+        let change = substitute_key(&mut module, "InvitationRel2", &["date", "author"]).unwrap();
+        assert_eq!(change.removed_surrogate, "paperkey");
+        assert_eq!(change.new_key, vec!["date", "author"]);
+        // The base relation lost the surrogate.
+        let base = module.relation("InvitationRel2").unwrap();
+        assert!(base.column("paperkey").is_none());
+        assert_eq!(base.key, vec!["date", "author"]);
+        // The member relation's foreign key was expanded.
+        let member = module.relation("InvReceivRel").unwrap();
+        let cols: Vec<&str> = member.columns.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(cols, vec!["date", "author", "receiver"]);
+        assert_eq!(member.key, vec!["date", "author", "receiver"]);
+        // Selector and constructor were adapted, as the paper says.
+        assert!(change.adapted.contains(&"InvReceivRel".to_string()));
+        assert!(change.adapted.contains(&"InvitationsPaperIC".to_string()));
+        assert!(change.adapted.contains(&"ConsInvitation".to_string()));
+        let sel = module.code_frame("InvitationsPaperIC").unwrap();
+        assert!(sel.contains("date, author"));
+        assert!(!sel.contains("paperkey"));
+    }
+
+    #[test]
+    fn no_conflict_while_invitations_are_the_only_papers() {
+        let mut module = invitations_only_module();
+        substitute_key(&mut module, "InvitationRel2", &["date", "author"]).unwrap();
+        assert!(check_union_key_conflicts(&module).is_empty());
+    }
+
+    #[test]
+    fn mapping_minutes_exposes_the_conflict() {
+        // Fig 2-4: after the key substitution, map Minutes into the
+        // full document model — ConsPapers now unions an
+        // associatively-keyed relation with a surrogate-keyed one.
+        let mut module = invitations_only_module();
+        substitute_key(&mut module, "InvitationRel2", &["date", "author"]).unwrap();
+        let full = document_model();
+        let out = MoveDown.map_hierarchy(&full, "Paper").unwrap();
+        // Bring in MinutesRel and the two-member ConsPapers view.
+        for d in out.decls {
+            match d.name() {
+                "MinutesRel" => module.add(d).unwrap(),
+                "ConsPapers" => {
+                    let mut c = match d {
+                        Decl::Constructor(c) => c,
+                        other => panic!("unexpected {other:?}"),
+                    };
+                    c.over = vec!["InvitationRel2".into(), "MinutesRel".into()];
+                    module.replace(Decl::Constructor(c)).unwrap();
+                }
+                _ => {}
+            }
+        }
+        let conflicts = check_union_key_conflicts(&module);
+        assert_eq!(conflicts.len(), 1);
+        let c = &conflicts[0];
+        assert_eq!(c.constructor, "ConsPapers");
+        assert!(c.reason.contains("InvitationRel2"));
+        assert!(c.to_string().contains("ConsPapers"));
+    }
+
+    #[test]
+    fn surrogate_union_has_no_conflict() {
+        let full = document_model();
+        let out = MoveDown.map_hierarchy(&full, "Paper").unwrap();
+        let mut module = DbplModule::new("DocumentDB");
+        for d in out.decls {
+            module.add(d).unwrap();
+        }
+        assert!(check_union_key_conflicts(&module).is_empty());
+    }
+
+    #[test]
+    fn preconditions() {
+        let mut module = invitations_only_module();
+        assert!(substitute_key(&mut module, "Ghost", &["date"]).is_err());
+        assert!(substitute_key(&mut module, "InvitationRel2", &[]).is_err());
+        assert!(substitute_key(&mut module, "InvitationRel2", &["ghost"]).is_err());
+        // After substitution the key is no longer surrogate: second
+        // substitution is a precondition failure.
+        substitute_key(&mut module, "InvitationRel2", &["date", "author"]).unwrap();
+        assert!(matches!(
+            substitute_key(&mut module, "InvitationRel2", &["date"]),
+            Err(LangError::Precondition(_))
+        ));
+    }
+
+    #[test]
+    fn set_valued_key_rejected() {
+        let m = document_model();
+        let out = MoveDown.map_hierarchy(&m, "Paper").unwrap();
+        let mut module = DbplModule::new("M");
+        for d in out.decls {
+            module.add(d).unwrap();
+        }
+        assert!(matches!(
+            substitute_key(&mut module, "InvitationRel", &["receivers"]),
+            Err(LangError::Precondition(_))
+        ));
+    }
+}

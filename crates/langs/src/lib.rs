@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! The DAIDA language stack and its transformation assistants (§1, §2.1).
+//!
+//! DAIDA describes an information system in three layers: a CML
+//! world/system model, a **TaxisDL** conceptual design (entity-class
+//! generalization hierarchies and transactions, purely declarative, no
+//! keys), and **DBPL** database programs (relations, selectors = named
+//! integrity constraints, constructors = views, transactions). This
+//! crate provides faithful subsets of the two lower languages and the
+//! transformation assistants exercised by the paper's support scenario:
+//!
+//! * [`taxisdl`] — entity/transaction classes, IsA hierarchies,
+//!   set-valued attributes; parser and printer;
+//! * [`dbpl`] — relations with keys, selectors, constructors,
+//!   transactions; parser and printer producing the "code frames" of
+//!   figs 2-2 … 2-4;
+//! * [`mapping`] — the *distribute* and *move-down* mapping strategies
+//!   \[BGM85, WEDD87\] from TaxisDL hierarchies to DBPL modules, with a
+//!   dependency trace;
+//! * [`normalize`] — the normalization decision for set-valued
+//!   attributes (fig 2-3);
+//! * [`keys`] — the key-substitution decision and the candidate-key
+//!   conflict check that forces its retraction (figs 2-3, 2-4);
+//! * [`world`] — the CML → TaxisDL mapping assistant: derives entity
+//!   classes from a Telos system model (fig 1-1).
+
+pub mod dbpl;
+pub mod error;
+pub mod keys;
+pub mod mapping;
+pub mod normalize;
+pub mod runtime;
+pub mod taxisdl;
+pub mod world;
+
+pub use error::{LangError, LangResult};

@@ -1,0 +1,366 @@
+//! Mapping assistants: TaxisDL generalization hierarchies → DBPL
+//! relations, views and constraints (§2.1).
+//!
+//! "There are several possible mapping strategies \[BGM85, WEDD87\]:
+//! *distribute* would generate one relation per TaxisDL entity class,
+//! whereas *move-down* only generates relations for leaves of the
+//! hierarchy and represents the other ones by views (called
+//! constructors in DBPL)."
+//!
+//! Both strategies introduce an artificial surrogate key ("initially
+//! required to map the object-oriented TaxisDL model which does not
+//! have keys") and return a [`MappingOutcome`]: the generated
+//! declarations plus the dependency trace the GKBMS records as FROM/TO
+//! links of the mapping decision.
+
+use crate::dbpl::{
+    Column, ConsKind, Constructor, DbplTransaction, DbplType, Decl, Relation, Selector,
+};
+use crate::error::LangResult;
+use crate::taxisdl::{TdlAttribute, TdlModel, TransactionClass};
+
+/// One dependency edge recorded by a mapping: TaxisDL object →
+/// generated DBPL object, with the applied rule's name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapEdge {
+    /// Source (TaxisDL) object name.
+    pub from: String,
+    /// Generated (DBPL) object name.
+    pub to: String,
+    /// Name of the mapping rule that created the edge.
+    pub rule: String,
+}
+
+/// The result of a mapping decision.
+#[derive(Debug, Clone, Default)]
+pub struct MappingOutcome {
+    /// Generated declarations, in creation order.
+    pub decls: Vec<Decl>,
+    /// Dependency trace.
+    pub trace: Vec<MapEdge>,
+}
+
+impl MappingOutcome {
+    fn emit(&mut self, from: &str, decl: Decl, rule: &str) {
+        self.trace.push(MapEdge {
+            from: from.to_string(),
+            to: decl.name().to_string(),
+            rule: rule.to_string(),
+        });
+        self.decls.push(decl);
+    }
+}
+
+/// A mapping strategy from a TaxisDL hierarchy to DBPL declarations.
+pub trait MappingStrategy {
+    /// Strategy name (the decision-class label shown in fig 2-1's menu).
+    fn name(&self) -> &'static str;
+
+    /// Maps the hierarchy rooted at `root`.
+    fn map_hierarchy(&self, model: &TdlModel, root: &str) -> LangResult<MappingOutcome>;
+}
+
+/// The surrogate key column name for a hierarchy root: `paperkey` for
+/// `Paper`.
+pub fn surrogate_key_name(root: &str) -> String {
+    format!("{}key", root.to_lowercase())
+}
+
+/// Conventional relation name for an entity class: `InvitationRel`.
+pub fn relation_name(class: &str) -> String {
+    format!("{class}Rel")
+}
+
+/// Conventional constructor name: `ConsPapers` for `Paper` (the paper
+/// pluralizes; we follow it by appending `s`).
+pub fn constructor_name(class: &str) -> String {
+    format!("Cons{class}s")
+}
+
+fn column_of(attr: &TdlAttribute) -> Column {
+    let base = DbplType::Named(attr.target.clone());
+    Column {
+        name: attr.label.clone(),
+        ty: if attr.set_valued {
+            DbplType::SetOf(Box::new(base))
+        } else {
+            base
+        },
+    }
+}
+
+/// **move-down**: relations only for leaf classes (carrying all
+/// inherited attributes); inner classes become constructors (views)
+/// over the leaf relations of their subtree.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MoveDown;
+
+impl MappingStrategy for MoveDown {
+    fn name(&self) -> &'static str {
+        "move-down"
+    }
+
+    fn map_hierarchy(&self, model: &TdlModel, root: &str) -> LangResult<MappingOutcome> {
+        model.validate()?;
+        let key = surrogate_key_name(root);
+        let mut out = MappingOutcome::default();
+        for class in model.subtree(root)? {
+            let is_leaf = model.children(&class.name).is_empty();
+            if is_leaf {
+                let mut columns = vec![Column {
+                    name: key.clone(),
+                    ty: DbplType::Surrogate,
+                }];
+                columns.extend(model.all_attributes(&class.name)?.iter().map(column_of));
+                out.emit(
+                    &class.name,
+                    Decl::Relation(Relation {
+                        name: relation_name(&class.name),
+                        key: vec![key.clone()],
+                        columns,
+                    }),
+                    "move-down/leaf-relation",
+                );
+            } else {
+                let leaf_rels: Vec<String> = model
+                    .leaves(&class.name)?
+                    .iter()
+                    .map(|l| relation_name(&l.name))
+                    .collect();
+                let attrs: Vec<String> = std::iter::once(key.clone())
+                    .chain(
+                        model
+                            .all_attributes(&class.name)?
+                            .iter()
+                            .map(|a| a.label.clone()),
+                    )
+                    .collect();
+                out.emit(
+                    &class.name,
+                    Decl::Constructor(Constructor {
+                        name: constructor_name(&class.name),
+                        kind: ConsKind::Union,
+                        over: leaf_rels,
+                        query: format!("union projected on ({})", attrs.join(", ")),
+                    }),
+                    "move-down/inner-constructor",
+                );
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// **distribute**: one relation per entity class with its *direct*
+/// attributes; isa links become key-inclusion selectors, and each
+/// class with ancestors gets a join constructor reassembling its full
+/// attribute set.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Distribute;
+
+impl MappingStrategy for Distribute {
+    fn name(&self) -> &'static str {
+        "distribute"
+    }
+
+    fn map_hierarchy(&self, model: &TdlModel, root: &str) -> LangResult<MappingOutcome> {
+        model.validate()?;
+        let key = surrogate_key_name(root);
+        let mut out = MappingOutcome::default();
+        for class in model.subtree(root)? {
+            let mut columns = vec![Column {
+                name: key.clone(),
+                ty: DbplType::Surrogate,
+            }];
+            columns.extend(class.attributes.iter().map(column_of));
+            out.emit(
+                &class.name,
+                Decl::Relation(Relation {
+                    name: relation_name(&class.name),
+                    key: vec![key.clone()],
+                    columns,
+                }),
+                "distribute/class-relation",
+            );
+            for parent in &class.isa {
+                out.emit(
+                    &class.name,
+                    Decl::Selector(Selector {
+                        name: format!("Inc_{}_{}", class.name, parent),
+                        over: vec![relation_name(&class.name), relation_name(parent)],
+                        predicate: format!(
+                            "every {}.{key} appears in {}",
+                            relation_name(&class.name),
+                            relation_name(parent)
+                        ),
+                    }),
+                    "distribute/isa-inclusion",
+                );
+            }
+            let ancestors = model.ancestors(&class.name)?;
+            if !ancestors.is_empty() {
+                let mut over = vec![relation_name(&class.name)];
+                over.extend(ancestors.iter().map(|a| relation_name(&a.name)));
+                out.emit(
+                    &class.name,
+                    Decl::Constructor(Constructor {
+                        name: format!("Full{}", class.name),
+                        kind: ConsKind::Join,
+                        over,
+                        query: format!("join on {key}"),
+                    }),
+                    "distribute/full-view",
+                );
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Maps a TaxisDL transaction class to a DBPL transaction touching the
+/// relations its parameters map to.
+pub fn map_transaction(tx: &TransactionClass, model: &TdlModel, root: &str) -> LangResult<Decl> {
+    for (_, class) in &tx.params {
+        model.expect_entity(class)?;
+    }
+    let _ = model.expect_entity(root)?;
+    let body: Vec<String> = tx
+        .steps
+        .iter()
+        .map(|s| s.to_string())
+        .chain(
+            tx.params
+                .iter()
+                .map(|(n, c)| format!("access {} for {}", relation_name(c), n)),
+        )
+        .collect();
+    Ok(Decl::Transaction(DbplTransaction {
+        name: format!("Tx{}", tx.name),
+        params: tx.params.clone(),
+        body,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbpl::DbplModule;
+    use crate::taxisdl::document_model;
+
+    #[test]
+    fn move_down_generates_leaf_relations_and_inner_views() {
+        let m = document_model();
+        let out = MoveDown.map_hierarchy(&m, "Paper").unwrap();
+        let names: Vec<&str> = out.decls.iter().map(|d| d.name()).collect();
+        assert_eq!(names, vec!["ConsPapers", "InvitationRel", "MinutesRel"]);
+        // Leaf relations carry inherited attributes.
+        let inv = match &out.decls[1] {
+            Decl::Relation(r) => r,
+            other => panic!("unexpected {other:?}"),
+        };
+        let cols: Vec<&str> = inv.columns.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(
+            cols,
+            vec!["paperkey", "author", "date", "sender", "receivers"]
+        );
+        assert!(inv.has_surrogate_key());
+        // The inner class view unions the leaves.
+        match &out.decls[0] {
+            Decl::Constructor(c) => {
+                assert_eq!(c.over, vec!["InvitationRel", "MinutesRel"]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn move_down_trace_links_tdl_to_dbpl() {
+        let m = document_model();
+        let out = MoveDown.map_hierarchy(&m, "Paper").unwrap();
+        assert!(out.trace.contains(&MapEdge {
+            from: "Invitation".into(),
+            to: "InvitationRel".into(),
+            rule: "move-down/leaf-relation".into(),
+        }));
+        assert!(out.trace.contains(&MapEdge {
+            from: "Paper".into(),
+            to: "ConsPapers".into(),
+            rule: "move-down/inner-constructor".into(),
+        }));
+    }
+
+    #[test]
+    fn move_down_on_leaf_only_hierarchy() {
+        let m = document_model();
+        let out = MoveDown.map_hierarchy(&m, "Person").unwrap();
+        assert_eq!(out.decls.len(), 1);
+        assert!(matches!(out.decls[0], Decl::Relation(_)));
+    }
+
+    #[test]
+    fn distribute_generates_one_relation_per_class() {
+        let m = document_model();
+        let out = Distribute.map_hierarchy(&m, "Paper").unwrap();
+        let rels: Vec<&str> = out
+            .decls
+            .iter()
+            .filter(|d| matches!(d, Decl::Relation(_)))
+            .map(|d| d.name())
+            .collect();
+        assert_eq!(rels, vec!["PaperRel", "InvitationRel", "MinutesRel"]);
+        // Subclass relations have only direct attributes + key.
+        let inv = out
+            .decls
+            .iter()
+            .find_map(|d| match d {
+                Decl::Relation(r) if r.name == "InvitationRel" => Some(r),
+                _ => None,
+            })
+            .unwrap();
+        let cols: Vec<&str> = inv.columns.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(cols, vec!["paperkey", "sender", "receivers"]);
+        // Inclusion selectors for isa links.
+        assert!(out.decls.iter().any(|d| d.name() == "Inc_Invitation_Paper"));
+        // Full views for classes with ancestors.
+        assert!(out.decls.iter().any(|d| d.name() == "FullInvitation"));
+    }
+
+    #[test]
+    fn outcomes_assemble_into_a_module() {
+        let m = document_model();
+        let out = MoveDown.map_hierarchy(&m, "Paper").unwrap();
+        let mut module = DbplModule::new("DocumentDB");
+        for d in out.decls {
+            module.add(d).unwrap();
+        }
+        assert!(module.relation("InvitationRel").is_some());
+        assert!(module.code_frame("ConsPapers").unwrap().contains("union"));
+    }
+
+    #[test]
+    fn unknown_root_rejected() {
+        let m = document_model();
+        assert!(MoveDown.map_hierarchy(&m, "Ghost").is_err());
+        assert!(Distribute.map_hierarchy(&m, "Ghost").is_err());
+    }
+
+    #[test]
+    fn transaction_mapping() {
+        let m = document_model();
+        let tx = &m.transactions[0];
+        let decl = map_transaction(tx, &m, "Paper").unwrap();
+        assert_eq!(decl.name(), "TxSendInvitation");
+        match decl {
+            Decl::Transaction(t) => {
+                assert!(t.body.iter().any(|s| s.contains("InvitationRel")));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strategy_names_for_menus() {
+        assert_eq!(MoveDown.name(), "move-down");
+        assert_eq!(Distribute.name(), "distribute");
+    }
+}

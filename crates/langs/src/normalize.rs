@@ -1,0 +1,321 @@
+//! The normalization decision for set-valued attributes (fig 2-3).
+//!
+//! "InvitationType contains a set-valued attribute; a normalization
+//! decision is therefore offered in the menu … The new selector
+//! expresses the referential integrity constraint among the two
+//! relations, whereas the new constructor allows the reconstruction of
+//! the initial, unnormalized invitation relation."
+
+use crate::dbpl::{Column, ConsKind, Constructor, DbplModule, DbplType, Decl, Relation, Selector};
+use crate::error::{LangError, LangResult};
+use crate::mapping::MapEdge;
+
+/// Names for the four objects a normalization produces. The defaults
+/// follow a systematic scheme; the paper's scenario uses hand-picked
+/// abbreviations (`InvitationRel2`, `InvReceivRel`, …), so they are
+/// overridable.
+#[derive(Debug, Clone)]
+pub struct NormalizeNames {
+    /// Replacement for the unnormalized relation.
+    pub base: String,
+    /// The new member relation holding the set elements.
+    pub member: String,
+    /// Column name for one set element in the member relation.
+    pub member_column: String,
+    /// The referential-integrity selector.
+    pub selector: String,
+    /// The reconstructing constructor.
+    pub constructor: String,
+}
+
+impl NormalizeNames {
+    /// Systematic defaults: `RRel` + `attr` → `RRel2`, `RAttrRel`,
+    /// selector `R_attr_IC`, constructor `ConsR`.
+    pub fn defaults(relation: &str, attr: &str) -> Self {
+        let stem = relation.strip_suffix("Rel").unwrap_or(relation);
+        let mut cap = attr.to_string();
+        if let Some(c) = cap.get_mut(0..1) {
+            c.make_ascii_uppercase();
+        }
+        NormalizeNames {
+            base: format!("{relation}2"),
+            member: format!("{stem}{cap}Rel"),
+            member_column: attr.strip_suffix('s').unwrap_or(attr).to_string(),
+            selector: format!("{stem}_{attr}_IC"),
+            constructor: format!("Cons{stem}"),
+        }
+    }
+}
+
+/// What a normalization produced, for GKBMS documentation.
+#[derive(Debug, Clone)]
+pub struct NormalizeOutcome {
+    /// Name of the removed (unnormalized) relation.
+    pub replaced: String,
+    /// Names of the four created objects: base, member, selector,
+    /// constructor.
+    pub created: Vec<String>,
+    /// Declarations whose references were rewritten to the base name.
+    pub rewired: Vec<String>,
+    /// Dependency trace (old relation → each new object).
+    pub trace: Vec<MapEdge>,
+}
+
+/// Applies the normalization decision to `module`: splits the
+/// set-valued column `attr` of `relation` into a member relation,
+/// replaces the relation by a base version without the column, adds
+/// the referential-integrity selector and the reconstruction
+/// constructor, and rewires existing references.
+pub fn normalize(
+    module: &mut DbplModule,
+    relation: &str,
+    attr: &str,
+    names: NormalizeNames,
+) -> LangResult<NormalizeOutcome> {
+    let rel = module.expect_relation(relation)?.clone();
+    let col = rel
+        .column(attr)
+        .ok_or_else(|| LangError::Unknown(format!("column `{attr}` of `{relation}`")))?;
+    let DbplType::SetOf(element_ty) = col.ty.clone() else {
+        return Err(LangError::Precondition(format!(
+            "column `{attr}` of `{relation}` is not set-valued"
+        )));
+    };
+    if rel.key.contains(&attr.to_string()) {
+        return Err(LangError::Precondition(format!(
+            "cannot normalize key column `{attr}`"
+        )));
+    }
+
+    // Base relation: same key, all columns except the set-valued one.
+    let base = Relation {
+        name: names.base.clone(),
+        key: rel.key.clone(),
+        columns: rel
+            .columns
+            .iter()
+            .filter(|c| c.name != attr)
+            .cloned()
+            .collect(),
+    };
+    // Member relation: key columns of the base + the element column.
+    let mut member_cols: Vec<Column> = rel
+        .key
+        .iter()
+        .map(|k| rel.column(k).cloned().expect("key column exists"))
+        .collect();
+    member_cols.push(Column {
+        name: names.member_column.clone(),
+        ty: *element_ty,
+    });
+    let member_key: Vec<String> = member_cols.iter().map(|c| c.name.clone()).collect();
+    let member = Relation {
+        name: names.member.clone(),
+        key: member_key,
+        columns: member_cols,
+    };
+    let selector = Selector {
+        name: names.selector.clone(),
+        over: vec![names.member.clone(), names.base.clone()],
+        predicate: format!(
+            "every {}.({}) appears in {}",
+            names.member,
+            rel.key.join(", "),
+            names.base
+        ),
+    };
+    let constructor = Constructor {
+        name: names.constructor.clone(),
+        kind: ConsKind::Join,
+        over: vec![names.base.clone(), names.member.clone()],
+        query: format!(
+            "join {} with {} on ({}) and nest {} as {}",
+            names.base,
+            names.member,
+            rel.key.join(", "),
+            names.member_column,
+            attr
+        ),
+    };
+
+    // Mutate the module: remove old, add new, rewire references.
+    module.remove(relation)?;
+    module.add(Decl::Relation(base))?;
+    module.add(Decl::Relation(member))?;
+    module.add(Decl::Selector(selector))?;
+    module.add(Decl::Constructor(constructor))?;
+
+    let mut rewired = Vec::new();
+    let decls: Vec<Decl> = module.decls.clone();
+    for d in decls {
+        let updated = match &d {
+            Decl::Selector(s) if s.over.iter().any(|o| o == relation) => {
+                let mut s = s.clone();
+                for o in &mut s.over {
+                    if o == relation {
+                        *o = names.base.clone();
+                    }
+                }
+                Some(Decl::Selector(s))
+            }
+            Decl::Constructor(c) if c.over.iter().any(|o| o == relation) => {
+                let mut c = c.clone();
+                for o in &mut c.over {
+                    if o == relation {
+                        *o = names.base.clone();
+                    }
+                }
+                Some(Decl::Constructor(c))
+            }
+            _ => None,
+        };
+        if let Some(u) = updated {
+            rewired.push(u.name().to_string());
+            module.replace(u)?;
+        }
+    }
+
+    let created = vec![
+        names.base.clone(),
+        names.member.clone(),
+        names.selector.clone(),
+        names.constructor.clone(),
+    ];
+    let trace = created
+        .iter()
+        .map(|to| MapEdge {
+            from: relation.to_string(),
+            to: to.clone(),
+            rule: "normalize/set-valued".to_string(),
+        })
+        .collect();
+    Ok(NormalizeOutcome {
+        replaced: relation.to_string(),
+        created,
+        rewired,
+        trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{MappingStrategy, MoveDown};
+    use crate::taxisdl::document_model;
+
+    /// The scenario's names from fig 2-3.
+    fn scenario_names() -> NormalizeNames {
+        NormalizeNames {
+            base: "InvitationRel2".into(),
+            member: "InvReceivRel".into(),
+            member_column: "receiver".into(),
+            selector: "InvitationsPaperIC".into(),
+            constructor: "ConsInvitation".into(),
+        }
+    }
+
+    fn mapped_module() -> DbplModule {
+        let m = document_model();
+        let out = MoveDown.map_hierarchy(&m, "Paper").unwrap();
+        let mut module = DbplModule::new("DocumentDB");
+        for d in out.decls {
+            module.add(d).unwrap();
+        }
+        module
+    }
+
+    #[test]
+    fn normalization_reproduces_fig_2_3_objects() {
+        let mut module = mapped_module();
+        let out = normalize(&mut module, "InvitationRel", "receivers", scenario_names()).unwrap();
+        assert_eq!(out.replaced, "InvitationRel");
+        assert_eq!(
+            out.created,
+            vec![
+                "InvitationRel2",
+                "InvReceivRel",
+                "InvitationsPaperIC",
+                "ConsInvitation"
+            ]
+        );
+        // Base relation lost the set column, kept the rest.
+        let base = module.relation("InvitationRel2").unwrap();
+        assert!(base.column("receivers").is_none());
+        assert!(base.column("sender").is_some());
+        assert_eq!(base.key, vec!["paperkey"]);
+        // Member relation: (paperkey, receiver), key = both.
+        let member = module.relation("InvReceivRel").unwrap();
+        let cols: Vec<&str> = member.columns.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(cols, vec!["paperkey", "receiver"]);
+        assert_eq!(member.key, vec!["paperkey", "receiver"]);
+        assert_eq!(
+            member.column("receiver").unwrap().ty,
+            DbplType::Named("Person".into())
+        );
+        // Old relation is gone.
+        assert!(module.relation("InvitationRel").is_none());
+    }
+
+    #[test]
+    fn references_are_rewired_to_base() {
+        let mut module = mapped_module();
+        // ConsPapers referenced InvitationRel before normalization.
+        let out = normalize(&mut module, "InvitationRel", "receivers", scenario_names()).unwrap();
+        assert_eq!(out.rewired, vec!["ConsPapers"]);
+        match module.decl("ConsPapers").unwrap() {
+            Decl::Constructor(c) => {
+                assert!(c.over.contains(&"InvitationRel2".to_string()));
+                assert!(!c.over.contains(&"InvitationRel".to_string()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn selector_and_constructor_texts() {
+        let mut module = mapped_module();
+        normalize(&mut module, "InvitationRel", "receivers", scenario_names()).unwrap();
+        let sel = module.code_frame("InvitationsPaperIC").unwrap();
+        assert!(sel.contains("every InvReceivRel.(paperkey) appears in InvitationRel2"));
+        let cons = module.code_frame("ConsInvitation").unwrap();
+        assert!(cons.contains("nest receiver as receivers"));
+    }
+
+    #[test]
+    fn default_names_are_systematic() {
+        let n = NormalizeNames::defaults("InvitationRel", "receivers");
+        assert_eq!(n.base, "InvitationRel2");
+        assert_eq!(n.member, "InvitationReceiversRel");
+        assert_eq!(n.member_column, "receiver");
+        assert_eq!(n.selector, "Invitation_receivers_IC");
+        assert_eq!(n.constructor, "ConsInvitation");
+    }
+
+    #[test]
+    fn preconditions_checked() {
+        let mut module = mapped_module();
+        assert!(matches!(
+            normalize(&mut module, "Ghost", "receivers", scenario_names()),
+            Err(LangError::Unknown(_))
+        ));
+        assert!(matches!(
+            normalize(&mut module, "InvitationRel", "ghost", scenario_names()),
+            Err(LangError::Unknown(_))
+        ));
+        assert!(matches!(
+            normalize(&mut module, "InvitationRel", "sender", scenario_names()),
+            Err(LangError::Precondition(_)),
+        ));
+    }
+
+    #[test]
+    fn trace_records_all_four_edges() {
+        let mut module = mapped_module();
+        let out = normalize(&mut module, "InvitationRel", "receivers", scenario_names()).unwrap();
+        assert_eq!(out.trace.len(), 4);
+        assert!(out
+            .trace
+            .iter()
+            .all(|e| e.from == "InvitationRel" && e.rule == "normalize/set-valued"));
+    }
+}

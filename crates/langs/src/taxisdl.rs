@@ -1,0 +1,558 @@
+//! A TaxisDL subset \[TDL87, MBW80\]: entity classes in IsA
+//! generalization hierarchies with (possibly set-valued) attributes,
+//! and transaction classes. "The object-oriented TaxisDL model …
+//! does not have keys" (§2.1) — keys appear only after mapping to DBPL.
+//!
+//! Concrete syntax:
+//!
+//! ```text
+//! EntityClass Invitation isA Paper with
+//!   sender    : Person;
+//!   receivers : setof Person
+//! end
+//!
+//! TransactionClass SendInvitation with
+//!   i : Invitation
+//! does
+//!   deliver; archive
+//! end
+//! ```
+
+use crate::error::{LangError, LangResult};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+
+/// An attribute of an entity class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TdlAttribute {
+    /// Attribute label.
+    pub label: String,
+    /// Target class name.
+    pub target: String,
+    /// True for `setof` attributes.
+    pub set_valued: bool,
+}
+
+/// An entity class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntityClass {
+    /// Class name.
+    pub name: String,
+    /// Direct superclasses.
+    pub isa: Vec<String>,
+    /// Direct attributes.
+    pub attributes: Vec<TdlAttribute>,
+}
+
+/// A transaction class (declarative signature plus abstract steps).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransactionClass {
+    /// Transaction name.
+    pub name: String,
+    /// Direct supertransactions.
+    pub isa: Vec<String>,
+    /// Parameters: `(name, class)` pairs.
+    pub params: Vec<(String, String)>,
+    /// Abstract step names.
+    pub steps: Vec<String>,
+}
+
+/// A TaxisDL conceptual design: entity and transaction hierarchies.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TdlModel {
+    /// Entity classes, in declaration order.
+    pub entities: Vec<EntityClass>,
+    /// Transaction classes, in declaration order.
+    pub transactions: Vec<TransactionClass>,
+}
+
+impl TdlModel {
+    /// Parses a model from concrete syntax.
+    pub fn parse(src: &str) -> LangResult<TdlModel> {
+        parse_model(src)
+    }
+
+    /// Finds an entity class by name.
+    pub fn entity(&self, name: &str) -> Option<&EntityClass> {
+        self.entities.iter().find(|e| e.name == name)
+    }
+
+    /// Like [`TdlModel::entity`] but an error if absent.
+    pub fn expect_entity(&self, name: &str) -> LangResult<&EntityClass> {
+        self.entity(name)
+            .ok_or_else(|| LangError::Unknown(format!("entity class `{name}`")))
+    }
+
+    /// Direct subclasses of `name`.
+    pub fn children(&self, name: &str) -> Vec<&EntityClass> {
+        self.entities
+            .iter()
+            .filter(|e| e.isa.iter().any(|p| p == name))
+            .collect()
+    }
+
+    /// All classes in the sub-hierarchy rooted at `name` (including
+    /// `name`), breadth-first.
+    pub fn subtree(&self, name: &str) -> LangResult<Vec<&EntityClass>> {
+        let root = self.expect_entity(name)?;
+        let mut out = vec![root];
+        let mut seen: HashSet<&str> = HashSet::from([name]);
+        let mut queue = VecDeque::from([name]);
+        while let Some(cur) = queue.pop_front() {
+            for child in self.children(cur) {
+                if seen.insert(&child.name) {
+                    out.push(child);
+                    queue.push_back(&child.name);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Leaf classes of the sub-hierarchy rooted at `name`.
+    pub fn leaves(&self, name: &str) -> LangResult<Vec<&EntityClass>> {
+        Ok(self
+            .subtree(name)?
+            .into_iter()
+            .filter(|e| self.children(&e.name).is_empty())
+            .collect())
+    }
+
+    /// Transitive superclasses of `name` (excluding `name`).
+    pub fn ancestors(&self, name: &str) -> LangResult<Vec<&EntityClass>> {
+        self.expect_entity(name)?;
+        let mut out = Vec::new();
+        let mut seen: HashSet<&str> = HashSet::new();
+        let mut queue: VecDeque<&str> = VecDeque::from([name]);
+        while let Some(cur) = queue.pop_front() {
+            let Some(e) = self.entity(cur) else { continue };
+            for p in &e.isa {
+                if seen.insert(p) {
+                    out.push(self.expect_entity(p)?);
+                    queue.push_back(p);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// All attributes of `name`, inherited ones first (superclass
+    /// attributes before subclass attributes, no duplicate labels:
+    /// subclass declarations refine).
+    pub fn all_attributes(&self, name: &str) -> LangResult<Vec<TdlAttribute>> {
+        let mut chain: Vec<&EntityClass> = self.ancestors(name)?;
+        chain.reverse(); // most general first
+        chain.push(self.expect_entity(name)?);
+        let mut out: Vec<TdlAttribute> = Vec::new();
+        let mut by_label: HashMap<String, usize> = HashMap::new();
+        for e in chain {
+            for a in &e.attributes {
+                match by_label.get(&a.label) {
+                    Some(&i) => out[i] = a.clone(), // refinement overrides
+                    None => {
+                        by_label.insert(a.label.clone(), out.len());
+                        out.push(a.clone());
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Validates referential integrity of the hierarchy: every isa
+    /// target exists and the graph is acyclic.
+    pub fn validate(&self) -> LangResult<()> {
+        for e in &self.entities {
+            for p in &e.isa {
+                self.expect_entity(p)?;
+            }
+        }
+        // Cycle check by DFS colors.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Grey,
+            Black,
+        }
+        let mut color: HashMap<&str, Color> = self
+            .entities
+            .iter()
+            .map(|e| (e.name.as_str(), Color::White))
+            .collect();
+        fn dfs<'a>(
+            model: &'a TdlModel,
+            node: &'a str,
+            color: &mut HashMap<&'a str, Color>,
+        ) -> LangResult<()> {
+            color.insert(node, Color::Grey);
+            let e = model.expect_entity(node)?;
+            for p in &e.isa {
+                match color.get(p.as_str()) {
+                    Some(Color::Grey) => {
+                        return Err(LangError::Precondition(format!("isa cycle at `{p}`")))
+                    }
+                    Some(Color::White) => dfs(model, p, color)?,
+                    _ => {}
+                }
+            }
+            color.insert(node, Color::Black);
+            Ok(())
+        }
+        let names: Vec<&str> = self.entities.iter().map(|e| e.name.as_str()).collect();
+        for n in names {
+            if color[n] == Color::White {
+                dfs(self, n, &mut color)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for TdlModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.entities {
+            write!(f, "EntityClass {}", e.name)?;
+            if !e.isa.is_empty() {
+                write!(f, " isA {}", e.isa.join(", "))?;
+            }
+            if e.attributes.is_empty() {
+                writeln!(f, " with end")?;
+            } else {
+                writeln!(f, " with")?;
+                for (i, a) in e.attributes.iter().enumerate() {
+                    let sep = if i + 1 < e.attributes.len() { ";" } else { "" };
+                    let set = if a.set_valued { "setof " } else { "" };
+                    writeln!(f, "  {} : {}{}{}", a.label, set, a.target, sep)?;
+                }
+                writeln!(f, "end")?;
+            }
+        }
+        for t in &self.transactions {
+            write!(f, "TransactionClass {}", t.name)?;
+            if !t.isa.is_empty() {
+                write!(f, " isA {}", t.isa.join(", "))?;
+            }
+            writeln!(f, " with")?;
+            for (i, (n, c)) in t.params.iter().enumerate() {
+                let sep = if i + 1 < t.params.len() { ";" } else { "" };
+                writeln!(f, "  {n} : {c}{sep}")?;
+            }
+            writeln!(f, "does")?;
+            writeln!(f, "  {}", t.steps.join("; "))?;
+            writeln!(f, "end")?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Toks {
+    words: Vec<String>,
+    pos: usize,
+}
+
+fn tokenize(src: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in src.chars() {
+        match c {
+            ':' | ';' | ',' => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+                out.push(c.to_string());
+            }
+            c if c.is_whitespace() => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+impl Toks {
+    fn peek(&self) -> Option<&str> {
+        self.words.get(self.pos).map(|s| s.as_str())
+    }
+
+    fn next(&mut self) -> LangResult<String> {
+        let w = self
+            .words
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| LangError::Parse("unexpected end of input".into()))?;
+        self.pos += 1;
+        Ok(w)
+    }
+
+    fn expect(&mut self, w: &str) -> LangResult<()> {
+        let got = self.next()?;
+        if got == w {
+            Ok(())
+        } else {
+            Err(LangError::Parse(format!("expected `{w}`, found `{got}`")))
+        }
+    }
+
+    fn eat(&mut self, w: &str) -> bool {
+        if self.peek() == Some(w) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+fn parse_isa_list(t: &mut Toks) -> LangResult<Vec<String>> {
+    let mut isa = Vec::new();
+    if t.eat("isA") || t.eat("isa") {
+        loop {
+            isa.push(t.next()?);
+            if !t.eat(",") {
+                break;
+            }
+        }
+    }
+    Ok(isa)
+}
+
+fn parse_model(src: &str) -> LangResult<TdlModel> {
+    let mut t = Toks {
+        words: tokenize(src),
+        pos: 0,
+    };
+    let mut model = TdlModel::default();
+    while let Some(kw) = t.peek() {
+        match kw {
+            "EntityClass" => {
+                t.next()?;
+                let name = t.next()?;
+                let isa = parse_isa_list(&mut t)?;
+                t.expect("with")?;
+                let mut attributes = Vec::new();
+                while !t.eat("end") {
+                    let label = t.next()?;
+                    t.expect(":")?;
+                    let set_valued = t.eat("setof");
+                    let target = t.next()?;
+                    attributes.push(TdlAttribute {
+                        label,
+                        target,
+                        set_valued,
+                    });
+                    t.eat(";");
+                }
+                model.entities.push(EntityClass {
+                    name,
+                    isa,
+                    attributes,
+                });
+            }
+            "TransactionClass" => {
+                t.next()?;
+                let name = t.next()?;
+                let isa = parse_isa_list(&mut t)?;
+                t.expect("with")?;
+                let mut params = Vec::new();
+                while t.peek() != Some("does") && t.peek() != Some("end") {
+                    let pname = t.next()?;
+                    t.expect(":")?;
+                    let class = t.next()?;
+                    params.push((pname, class));
+                    t.eat(";");
+                }
+                let mut steps = Vec::new();
+                if t.eat("does") {
+                    while !t.eat("end") {
+                        let s = t.next()?;
+                        if s != ";" {
+                            steps.push(s);
+                        }
+                    }
+                } else {
+                    t.expect("end")?;
+                }
+                model.transactions.push(TransactionClass {
+                    name,
+                    isa,
+                    params,
+                    steps,
+                });
+            }
+            other => {
+                return Err(LangError::Parse(format!(
+                    "expected `EntityClass` or `TransactionClass`, found `{other}`"
+                )))
+            }
+        }
+    }
+    model.validate()?;
+    Ok(model)
+}
+
+/// The paper's document model (§2.1, figs 2-1 … 2-4): Papers with
+/// Invitation and Minutes subclasses, senders and set-valued receivers.
+pub fn document_model() -> TdlModel {
+    TdlModel::parse(
+        "EntityClass Person with end\n\
+         EntityClass Date with end\n\
+         EntityClass Paper with\n\
+           author : Person;\n\
+           date   : Date\n\
+         end\n\
+         EntityClass Invitation isA Paper with\n\
+           sender    : Person;\n\
+           receivers : setof Person\n\
+         end\n\
+         EntityClass Minutes isA Paper with\n\
+           approvedBy : Person\n\
+         end\n\
+         TransactionClass SendInvitation with\n\
+           i : Invitation\n\
+         does\n\
+           deliver; archive\n\
+         end",
+    )
+    .expect("builtin model parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_document_model() {
+        let m = document_model();
+        assert_eq!(m.entities.len(), 5);
+        assert_eq!(m.transactions.len(), 1);
+        let inv = m.entity("Invitation").unwrap();
+        assert_eq!(inv.isa, vec!["Paper"]);
+        assert!(inv
+            .attributes
+            .iter()
+            .any(|a| a.label == "receivers" && a.set_valued));
+    }
+
+    #[test]
+    fn hierarchy_navigation() {
+        let m = document_model();
+        let subtree: Vec<&str> = m
+            .subtree("Paper")
+            .unwrap()
+            .iter()
+            .map(|e| e.name.as_str())
+            .collect();
+        assert_eq!(subtree, vec!["Paper", "Invitation", "Minutes"]);
+        let leaves: Vec<&str> = m
+            .leaves("Paper")
+            .unwrap()
+            .iter()
+            .map(|e| e.name.as_str())
+            .collect();
+        assert_eq!(leaves, vec!["Invitation", "Minutes"]);
+        let ancestors: Vec<&str> = m
+            .ancestors("Invitation")
+            .unwrap()
+            .iter()
+            .map(|e| e.name.as_str())
+            .collect();
+        assert_eq!(ancestors, vec!["Paper"]);
+        assert!(
+            m.leaves("Person").unwrap().len() == 1,
+            "a leaf is its own leaf"
+        );
+    }
+
+    #[test]
+    fn inherited_attributes_in_order() {
+        let m = document_model();
+        let attrs = m.all_attributes("Invitation").unwrap();
+        let labels: Vec<&str> = attrs.iter().map(|a| a.label.as_str()).collect();
+        assert_eq!(labels, vec!["author", "date", "sender", "receivers"]);
+    }
+
+    #[test]
+    fn attribute_refinement_overrides() {
+        let m = TdlModel::parse(
+            "EntityClass Person with end\n\
+             EntityClass Organizer isA Person with end\n\
+             EntityClass Paper with author : Person end\n\
+             EntityClass Invitation isA Paper with author : Organizer end",
+        )
+        .unwrap();
+        let attrs = m.all_attributes("Invitation").unwrap();
+        assert_eq!(attrs.len(), 1);
+        assert_eq!(attrs[0].target, "Organizer");
+    }
+
+    #[test]
+    fn diamond_hierarchy() {
+        let m = TdlModel::parse(
+            "EntityClass Top with end\n\
+             EntityClass L isA Top with end\n\
+             EntityClass R isA Top with end\n\
+             EntityClass Bottom isA L, R with end",
+        )
+        .unwrap();
+        let anc: Vec<&str> = m
+            .ancestors("Bottom")
+            .unwrap()
+            .iter()
+            .map(|e| e.name.as_str())
+            .collect();
+        assert_eq!(anc, vec!["L", "R", "Top"]);
+        let leaves = m.leaves("Top").unwrap();
+        assert_eq!(leaves.len(), 1);
+        assert_eq!(leaves[0].name, "Bottom");
+    }
+
+    #[test]
+    fn unknown_superclass_rejected() {
+        assert!(matches!(
+            TdlModel::parse("EntityClass A isA Ghost with end"),
+            Err(LangError::Unknown(_))
+        ));
+    }
+
+    #[test]
+    fn isa_cycle_rejected() {
+        // Forward references are allowed, so a cycle is expressible and
+        // must be caught by validate().
+        let err = TdlModel::parse("EntityClass A isA B with end\nEntityClass B isA A with end");
+        assert!(matches!(err, Err(LangError::Precondition(_))));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(TdlModel::parse("EntityClass").is_err());
+        assert!(TdlModel::parse("Widget Foo with end").is_err());
+        assert!(TdlModel::parse("EntityClass A with x Person end").is_err());
+    }
+
+    #[test]
+    fn display_reparses() {
+        let m = document_model();
+        let printed = m.to_string();
+        let reparsed = TdlModel::parse(&printed).unwrap();
+        assert_eq!(m, reparsed);
+    }
+
+    #[test]
+    fn transaction_parsing() {
+        let m = document_model();
+        let t = &m.transactions[0];
+        assert_eq!(t.name, "SendInvitation");
+        assert_eq!(t.params, vec![("i".to_string(), "Invitation".to_string())]);
+        assert_eq!(t.steps, vec!["deliver", "archive"]);
+    }
+}

@@ -1,0 +1,59 @@
+//! Graphviz (DOT) export of display graphs.
+
+use crate::display::graphdag::Graph;
+
+fn quote(s: &str) -> String {
+    format!("\"{}\"", s.replace('"', "\\\""))
+}
+
+/// Renders the graph in DOT syntax; highlighted nodes are filled.
+pub fn to_dot(graph: &Graph, name: &str) -> String {
+    let mut out = format!("digraph {} {{\n  rankdir=LR;\n", quote(name));
+    let rendered = graph.render();
+    for node in graph.nodes() {
+        let highlighted = rendered.contains(&format!("*[{node}]*"));
+        if highlighted {
+            out.push_str(&format!(
+                "  {} [style=filled, fillcolor=lightyellow];\n",
+                quote(node)
+            ));
+        } else {
+            out.push_str(&format!("  {};\n", quote(node)));
+        }
+    }
+    for e in graph.edges() {
+        out.push_str(&format!(
+            "  {} -> {} [label={}];\n",
+            quote(&e.from),
+            quote(&e.to),
+            quote(&e.label)
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exports_nodes_edges_and_highlights() {
+        let mut g = Graph::new();
+        g.edge("Invitations", "InvitationRel", "move-down");
+        g.highlight("InvitationRel");
+        let dot = to_dot(&g, "fig2-2");
+        assert!(dot.starts_with("digraph \"fig2-2\" {"));
+        assert!(dot.contains("\"Invitations\" -> \"InvitationRel\" [label=\"move-down\"];"));
+        assert!(dot.contains("\"InvitationRel\" [style=filled"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn quotes_are_escaped() {
+        let mut g = Graph::new();
+        g.node("say \"hi\"");
+        let dot = to_dot(&g, "q");
+        assert!(dot.contains("\"say \\\"hi\\\"\""));
+    }
+}

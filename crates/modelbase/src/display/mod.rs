@@ -1,0 +1,21 @@
+//! The Model Display & Interaction module (§3.3.1).
+//!
+//! The paper's SUN window tools, rendered to text:
+//!
+//! * [`textdag`] — "a text DAG browser allows the display and browsing
+//!   of a tree-like CML structure at a dynamically defined depth and
+//!   width" (fig 2-1);
+//! * [`graphdag`] — "a graphical DAG browser offers a graphical
+//!   representation of the same kinds of data structures" (the
+//!   dependency graphs of figs 2-2 … 2-4), here as a layered layout;
+//! * [`relational`] — "a relational display shows the properties of
+//!   objects in tabular form with variable column width and scrolling";
+//! * [`dot`] — Graphviz export of the same graphs, for users with a
+//!   renderer.
+
+pub mod dot;
+pub mod graphdag;
+pub mod relational;
+pub mod textdag;
+
+pub use graphdag::{Graph, GraphEdge};

@@ -1,0 +1,151 @@
+//! The relational display: "shows the properties of objects in tabular
+//! form with variable column width and scrolling".
+
+/// A table to display.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded, long rows truncated to the
+    /// header width.
+    pub fn row(&mut self, cells: &[&str]) {
+        let mut row: Vec<String> = cells.iter().map(|s| s.to_string()).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders rows `offset..offset+limit` (scrolling) with columns
+    /// sized to their visible content, capped at `max_col` characters
+    /// (variable column width).
+    pub fn render_window(&self, offset: usize, limit: usize, max_col: usize) -> String {
+        let max_col = max_col.max(2);
+        let window: Vec<&Vec<String>> = self.rows.iter().skip(offset).take(limit).collect();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &window {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        for w in &mut widths {
+            *w = (*w).min(max_col);
+        }
+        let clip = |s: &str, w: usize| -> String {
+            let n = s.chars().count();
+            if n <= w {
+                format!("{s}{}", " ".repeat(w - n))
+            } else {
+                let cut: String = s.chars().take(w.saturating_sub(1)).collect();
+                format!("{cut}…")
+            }
+        };
+        let mut out = String::new();
+        let hdr: Vec<String> = self
+            .headers
+            .iter()
+            .zip(&widths)
+            .map(|(h, &w)| clip(h, w))
+            .collect();
+        out.push_str(&format!("| {} |\n", hdr.join(" | ")));
+        let rule: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+        out.push_str(&format!("|-{}-|\n", rule.join("-+-")));
+        for row in &window {
+            let cells: Vec<String> = row.iter().zip(&widths).map(|(c, &w)| clip(c, w)).collect();
+            out.push_str(&format!("| {} |\n", cells.join(" | ")));
+        }
+        if offset + window.len() < self.rows.len() {
+            out.push_str(&format!(
+                "({} of {} rows shown; scroll for more)\n",
+                window.len(),
+                self.rows.len()
+            ));
+        }
+        out
+    }
+
+    /// Renders the whole table with a generous column cap.
+    pub fn render(&self) -> String {
+        self.render_window(0, self.rows.len(), 40)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(&["object", "class", "justified by"]);
+        t.row(&["InvitationRel", "DBPL_Rel", "mapInvitations"]);
+        t.row(&["InvReceivRel", "NormalizedDBPL_Rel", "normalizeInvitations"]);
+        t.row(&["ConsInvitation", "DBPL_Constructor", "normalizeInvitations"]);
+        t
+    }
+
+    #[test]
+    fn renders_aligned_columns() {
+        let s = sample().render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5); // header + rule + 3 rows
+        let widths: Vec<usize> = lines.iter().map(|l| l.chars().count()).collect();
+        assert!(
+            widths.windows(2).all(|w| w[0] == w[1]),
+            "aligned: {widths:?}"
+        );
+        assert!(s.contains("InvitationRel"));
+    }
+
+    #[test]
+    fn scrolling_window() {
+        let t = sample();
+        let s = t.render_window(1, 1, 40);
+        assert!(s.contains("InvReceivRel"));
+        assert!(!s.contains("ConsInvitation"));
+        assert!(s.contains("1 of 3 rows shown"));
+    }
+
+    #[test]
+    fn column_width_caps_with_ellipsis() {
+        let mut t = Table::new(&["name"]);
+        t.row(&["AVeryLongObjectNameThatWouldBlowTheColumn"]);
+        let s = t.render_window(0, 10, 10);
+        assert!(s.contains('…'));
+        assert!(!s.contains("BlowTheColumn"));
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["x"]);
+        let s = t.render();
+        assert!(s.lines().count() == 3);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn offset_past_end_is_empty_window() {
+        let t = sample();
+        let s = t.render_window(10, 5, 40);
+        assert_eq!(s.lines().count(), 2, "header + rule only");
+    }
+}

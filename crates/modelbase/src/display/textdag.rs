@@ -1,0 +1,175 @@
+//! The text DAG browser (fig 2-1).
+//!
+//! Renders a tree-like structure from a focus node, expanding children
+//! via a caller-supplied function, bounded by a dynamically chosen
+//! depth and width. Nodes suppressed by the width bound are summarized
+//! (`… 3 more`), and nodes repeated in the DAG are marked instead of
+//! re-expanded.
+
+use std::collections::HashSet;
+
+/// Display bounds: "at a dynamically defined depth and width".
+#[derive(Debug, Clone, Copy)]
+pub struct Bounds {
+    /// Maximum expansion depth (0 shows only the focus).
+    pub depth: usize,
+    /// Maximum children shown per node.
+    pub width: usize,
+}
+
+impl Default for Bounds {
+    fn default() -> Self {
+        Bounds { depth: 3, width: 8 }
+    }
+}
+
+/// Renders the tree rooted at `focus`. `children(name)` yields the
+/// labels below a node, in display order.
+pub fn render(
+    focus: &str,
+    bounds: Bounds,
+    mut children: impl FnMut(&str) -> Vec<String>,
+) -> String {
+    let mut out = String::new();
+    let mut seen = HashSet::new();
+    #[allow(clippy::too_many_arguments)]
+    fn walk(
+        node: &str,
+        prefix: &str,
+        is_last: bool,
+        is_root: bool,
+        depth: usize,
+        bounds: Bounds,
+        seen: &mut HashSet<String>,
+        children: &mut impl FnMut(&str) -> Vec<String>,
+        out: &mut String,
+    ) {
+        let connector = if is_root {
+            ""
+        } else if is_last {
+            "`- "
+        } else {
+            "|- "
+        };
+        let repeated = !seen.insert(node.to_string());
+        out.push_str(prefix);
+        out.push_str(connector);
+        out.push_str(node);
+        if repeated {
+            out.push_str(" (^)");
+            out.push('\n');
+            return;
+        }
+        out.push('\n');
+        if depth == 0 {
+            return;
+        }
+        let kids = children(node);
+        let shown = kids.len().min(bounds.width);
+        let hidden = kids.len() - shown;
+        let child_prefix = if is_root {
+            String::new()
+        } else {
+            format!("{prefix}{}", if is_last { "   " } else { "|  " })
+        };
+        for (i, kid) in kids.iter().take(shown).enumerate() {
+            let last = i + 1 == shown && hidden == 0;
+            walk(
+                kid,
+                &child_prefix,
+                last,
+                false,
+                depth - 1,
+                bounds,
+                seen,
+                children,
+                out,
+            );
+        }
+        if hidden > 0 {
+            out.push_str(&child_prefix);
+            out.push_str(&format!("`- … {hidden} more\n"));
+        }
+    }
+    walk(
+        focus,
+        "",
+        true,
+        true,
+        bounds.depth,
+        bounds,
+        &mut seen,
+        &mut children,
+        &mut out,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc_children(name: &str) -> Vec<String> {
+        match name {
+            "Paper" => vec!["Invitation".into(), "Minutes".into()],
+            "Invitation" => vec!["inv1".into(), "inv2".into()],
+            _ => vec![],
+        }
+    }
+
+    #[test]
+    fn renders_fig_2_1_style_hierarchy() {
+        let s = render("Paper", Bounds { depth: 2, width: 8 }, doc_children);
+        let expected = "Paper\n\
+                        |- Invitation\n\
+                        |  |- inv1\n\
+                        |  `- inv2\n\
+                        `- Minutes\n";
+        assert_eq!(s, expected);
+    }
+
+    #[test]
+    fn depth_bound_cuts_expansion() {
+        let s = render("Paper", Bounds { depth: 1, width: 8 }, doc_children);
+        assert!(s.contains("Invitation"));
+        assert!(!s.contains("inv1"));
+    }
+
+    #[test]
+    fn width_bound_summarizes() {
+        let many = |name: &str| -> Vec<String> {
+            if name == "root" {
+                (0..10).map(|i| format!("c{i}")).collect()
+            } else {
+                vec![]
+            }
+        };
+        let s = render("root", Bounds { depth: 1, width: 3 }, many);
+        assert!(s.contains("c2"));
+        assert!(!s.contains("c3\n"));
+        assert!(s.contains("… 7 more"));
+    }
+
+    #[test]
+    fn repeated_nodes_marked_not_reexpanded() {
+        // A DAG: both branches lead to Shared.
+        let dag = |name: &str| -> Vec<String> {
+            match name {
+                "root" => vec!["a".into(), "b".into()],
+                "a" | "b" => vec!["Shared".into()],
+                "Shared" => vec!["leaf".into()],
+                _ => vec![],
+            }
+        };
+        let s = render("root", Bounds { depth: 4, width: 8 }, dag);
+        assert_eq!(s.matches("Shared").count(), 2);
+        assert_eq!(s.matches("Shared (^)").count(), 1);
+        assert_eq!(s.matches("leaf").count(), 1, "expanded only once");
+    }
+
+    #[test]
+    fn zero_depth_shows_focus_only() {
+        let s = render("Paper", Bounds { depth: 0, width: 8 }, doc_children);
+        assert_eq!(s, "Paper\n");
+    }
+}

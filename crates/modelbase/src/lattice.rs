@@ -1,0 +1,295 @@
+//! The Model Configuration module: a lattice of models over KB objects.
+//!
+//! A *model* names a set of KB objects plus a set of submodels; models
+//! may share objects and submodels ("different models may share some
+//! objects or (sub-)models"). *Configuring* activates a set of model
+//! nodes; the accessible objects are those of all active models,
+//! transitively through submodels — "making their objects accessible
+//! for the proposition processor".
+
+use std::collections::HashSet;
+use telos::PropId;
+
+/// Identifier of a model in the lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ModelId(pub u32);
+
+#[derive(Debug, Clone)]
+struct Model {
+    name: String,
+    objects: Vec<PropId>,
+    submodels: Vec<ModelId>,
+}
+
+/// The model lattice with an activation state.
+#[derive(Debug, Default)]
+pub struct ModelLattice {
+    models: Vec<Model>,
+    active: HashSet<ModelId>,
+}
+
+/// Errors of the model lattice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LatticeError {
+    /// Unknown model name or id.
+    Unknown(String),
+    /// Including the submodel would create a cycle.
+    Cycle(String),
+    /// A model with this name already exists.
+    Duplicate(String),
+}
+
+impl std::fmt::Display for LatticeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LatticeError::Unknown(m) => write!(f, "unknown model `{m}`"),
+            LatticeError::Cycle(m) => write!(f, "submodel cycle through `{m}`"),
+            LatticeError::Duplicate(m) => write!(f, "duplicate model `{m}`"),
+        }
+    }
+}
+
+impl std::error::Error for LatticeError {}
+
+impl ModelLattice {
+    /// An empty lattice.
+    pub fn new() -> Self {
+        ModelLattice::default()
+    }
+
+    /// Defines a new model.
+    pub fn define(&mut self, name: impl Into<String>) -> Result<ModelId, LatticeError> {
+        let name = name.into();
+        if self.find(&name).is_some() {
+            return Err(LatticeError::Duplicate(name));
+        }
+        let id = ModelId(self.models.len() as u32);
+        self.models.push(Model {
+            name,
+            objects: Vec::new(),
+            submodels: Vec::new(),
+        });
+        Ok(id)
+    }
+
+    /// Looks a model up by name.
+    pub fn find(&self, name: &str) -> Option<ModelId> {
+        self.models
+            .iter()
+            .position(|m| m.name == name)
+            .map(|i| ModelId(i as u32))
+    }
+
+    /// The model's name.
+    pub fn name(&self, id: ModelId) -> &str {
+        &self.models[id.0 as usize].name
+    }
+
+    /// Number of models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// True if no models are defined.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Adds an object to a model (idempotent).
+    pub fn add_object(&mut self, id: ModelId, obj: PropId) {
+        let m = &mut self.models[id.0 as usize];
+        if !m.objects.contains(&obj) {
+            m.objects.push(obj);
+        }
+    }
+
+    /// Includes `sub` as a submodel of `sup`; rejects cycles.
+    pub fn include(&mut self, sup: ModelId, sub: ModelId) -> Result<(), LatticeError> {
+        if sup == sub || self.reachable(sub).contains(&sup) {
+            return Err(LatticeError::Cycle(self.name(sub).to_string()));
+        }
+        let m = &mut self.models[sup.0 as usize];
+        if !m.submodels.contains(&sub) {
+            m.submodels.push(sub);
+        }
+        Ok(())
+    }
+
+    /// Models reachable from `id` through submodel links (including
+    /// `id`).
+    pub fn reachable(&self, id: ModelId) -> Vec<ModelId> {
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        let mut stack = vec![id];
+        while let Some(cur) = stack.pop() {
+            if !seen.insert(cur) {
+                continue;
+            }
+            out.push(cur);
+            stack.extend(self.models[cur.0 as usize].submodels.iter().copied());
+        }
+        out.sort();
+        out
+    }
+
+    /// Activates a model (and implicitly everything reachable from it).
+    pub fn activate(&mut self, id: ModelId) {
+        self.active.insert(id);
+    }
+
+    /// Deactivates a model.
+    pub fn deactivate(&mut self, id: ModelId) {
+        self.active.remove(&id);
+    }
+
+    /// Configures exactly the given models as active.
+    pub fn configure(&mut self, ids: &[ModelId]) {
+        self.active = ids.iter().copied().collect();
+    }
+
+    /// The currently active model nodes (explicitly activated only).
+    pub fn active(&self) -> Vec<ModelId> {
+        let mut out: Vec<ModelId> = self.active.iter().copied().collect();
+        out.sort();
+        out
+    }
+
+    /// The objects accessible under the current configuration: all
+    /// objects of every active model, transitively through submodels,
+    /// deduplicated, in first-seen order.
+    pub fn accessible(&self) -> Vec<PropId> {
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        let mut actives: Vec<ModelId> = self.active.iter().copied().collect();
+        actives.sort();
+        for a in actives {
+            for m in self.reachable(a) {
+                for &obj in &self.models[m.0 as usize].objects {
+                    if seen.insert(obj) {
+                        out.push(obj);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// True if `obj` is accessible under the current configuration.
+    pub fn is_accessible(&self, obj: PropId) -> bool {
+        self.accessible().contains(&obj)
+    }
+
+    /// Objects shared by two models (directly or via submodels).
+    pub fn shared_objects(&self, a: ModelId, b: ModelId) -> Vec<PropId> {
+        let of = |id: ModelId| -> HashSet<PropId> {
+            self.reachable(id)
+                .into_iter()
+                .flat_map(|m| self.models[m.0 as usize].objects.iter().copied())
+                .collect()
+        };
+        let sa = of(a);
+        let sb = of(b);
+        let mut out: Vec<PropId> = sa.intersection(&sb).copied().collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(i: u32) -> PropId {
+        PropId(i)
+    }
+
+    #[test]
+    fn define_and_find() {
+        let mut l = ModelLattice::new();
+        let m = l.define("GKBMS").unwrap();
+        assert_eq!(l.find("GKBMS"), Some(m));
+        assert_eq!(l.name(m), "GKBMS");
+        assert!(matches!(l.define("GKBMS"), Err(LatticeError::Duplicate(_))));
+        assert_eq!(l.find("Other"), None);
+    }
+
+    #[test]
+    fn activation_gates_access() {
+        let mut l = ModelLattice::new();
+        let m = l.define("DesignObjects").unwrap();
+        l.add_object(m, obj(1));
+        l.add_object(m, obj(2));
+        l.add_object(m, obj(1)); // idempotent
+        assert!(l.accessible().is_empty(), "nothing active yet");
+        l.activate(m);
+        assert_eq!(l.accessible(), vec![obj(1), obj(2)]);
+        assert!(l.is_accessible(obj(1)));
+        l.deactivate(m);
+        assert!(!l.is_accessible(obj(1)));
+    }
+
+    #[test]
+    fn submodels_are_included_transitively() {
+        let mut l = ModelLattice::new();
+        let gkbms = l.define("GKBMS").unwrap();
+        let objects = l.define("DesignObjects").unwrap();
+        let decisions = l.define("DesignDecisions").unwrap();
+        l.include(gkbms, objects).unwrap();
+        l.include(gkbms, decisions).unwrap();
+        l.add_object(objects, obj(10));
+        l.add_object(decisions, obj(20));
+        l.activate(gkbms);
+        assert_eq!(l.accessible(), vec![obj(10), obj(20)]);
+    }
+
+    #[test]
+    fn sharing_between_models() {
+        let mut l = ModelLattice::new();
+        let common = l.define("Common").unwrap();
+        let a = l.define("AppA").unwrap();
+        let b = l.define("AppB").unwrap();
+        l.include(a, common).unwrap();
+        l.include(b, common).unwrap();
+        l.add_object(common, obj(1));
+        l.add_object(a, obj(2));
+        l.add_object(b, obj(3));
+        assert_eq!(l.shared_objects(a, b), vec![obj(1)]);
+        l.configure(&[a]);
+        assert!(l.is_accessible(obj(1)));
+        assert!(!l.is_accessible(obj(3)));
+    }
+
+    #[test]
+    fn cycles_rejected() {
+        let mut l = ModelLattice::new();
+        let a = l.define("A").unwrap();
+        let b = l.define("B").unwrap();
+        let c = l.define("C").unwrap();
+        l.include(a, b).unwrap();
+        l.include(b, c).unwrap();
+        assert!(matches!(l.include(c, a), Err(LatticeError::Cycle(_))));
+        assert!(matches!(l.include(a, a), Err(LatticeError::Cycle(_))));
+    }
+
+    #[test]
+    fn configure_replaces_activation() {
+        let mut l = ModelLattice::new();
+        let a = l.define("A").unwrap();
+        let b = l.define("B").unwrap();
+        l.activate(a);
+        l.configure(&[b]);
+        assert_eq!(l.active(), vec![b]);
+    }
+
+    #[test]
+    fn reachable_is_sorted_and_complete() {
+        let mut l = ModelLattice::new();
+        let a = l.define("A").unwrap();
+        let b = l.define("B").unwrap();
+        let c = l.define("C").unwrap();
+        l.include(a, b).unwrap();
+        l.include(b, c).unwrap();
+        l.include(a, c).unwrap(); // diamond-ish sharing
+        assert_eq!(l.reachable(a), vec![a, b, c]);
+    }
+}

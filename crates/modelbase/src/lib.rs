@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! The **conceptual model processor** of ConceptBase (paper §3.1).
+//!
+//! "Models constitute highly complex multi-level object structures
+//! which are maintained in hierarchies. Different models may share
+//! some objects or (sub-)models. Configuring a model for a specific
+//! application means the activation of the corresponding nodes in the
+//! lattice."
+//!
+//! * [`lattice`] — the Model Configuration module: a lattice of
+//!   (sub)models over KB objects, with sharing and activation;
+//! * [`display`] — the Model Display & Interaction module (§3.3.1):
+//!   text DAG browser, graphical (layered) DAG browser, relational
+//!   display, DOT export;
+//! * [`session`] — focusing, browsing and zooming with an explicit
+//!   focus history (the direct-manipulation interface, as an API).
+
+pub mod display;
+pub mod lattice;
+pub mod session;
+
+pub use lattice::{ModelId, ModelLattice};
+pub use session::BrowseSession;

@@ -1,0 +1,306 @@
+//! The Consistency Checker (§3.1, \[GALL86\]).
+//!
+//! "After executing a decision, the knowledge base must be in a
+//! consistent state (satisfying all the axioms of CML and the
+//! constraints imposed on certain objects in the knowledge base)."
+//!
+//! Two entry points:
+//!
+//! * [`check_full`] — validate every axiom and every class constraint;
+//! * [`check_touched`] — the set-oriented optimization: "since a whole
+//!   set of operations is passed to the proposition processor,
+//!   set-oriented optimization of the consistency check is being
+//!   studied." Given the batch of propositions a decision created, only
+//!   the constraints of classes reachable from the touched objects are
+//!   re-evaluated. Bench E-1 quantifies the difference.
+
+use crate::transform::constraints_of;
+use std::collections::HashSet;
+use telos::assertion::{eval, parse, Env};
+use telos::axioms;
+use telos::{Kb, PropId};
+
+/// A consistency violation: an axiom violation or a failed constraint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A CML axiom violation (from `telos::axioms`).
+    Axiom(String),
+    /// A class constraint evaluated to false.
+    Constraint {
+        /// Class carrying the constraint.
+        class: String,
+        /// Constraint name.
+        name: String,
+        /// Constraint text.
+        text: String,
+    },
+    /// A constraint could not be evaluated (unknown reference).
+    Unevaluable {
+        /// Class carrying the constraint.
+        class: String,
+        /// Constraint name.
+        name: String,
+        /// Error message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::Axiom(m) => write!(f, "axiom: {m}"),
+            Violation::Constraint { class, name, text } => {
+                write!(f, "constraint `{name}` on `{class}` violated: {text}")
+            }
+            Violation::Unevaluable {
+                class,
+                name,
+                message,
+            } => {
+                write!(f, "constraint `{name}` on `{class}` unevaluable: {message}")
+            }
+        }
+    }
+}
+
+/// Statistics of one check run (for bench E-1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Classes whose constraints were considered.
+    pub classes_visited: usize,
+    /// Constraints evaluated.
+    pub constraints_evaluated: usize,
+}
+
+fn check_class_constraints(
+    kb: &Kb,
+    class: PropId,
+    out: &mut Vec<Violation>,
+    stats: &mut CheckStats,
+) {
+    let class_name = kb.display(class);
+    for (name, text) in constraints_of(kb, class) {
+        stats.constraints_evaluated += 1;
+        match parse(&text) {
+            Err(e) => out.push(Violation::Unevaluable {
+                class: class_name.clone(),
+                name,
+                message: e.to_string(),
+            }),
+            Ok(expr) => match eval(kb, &expr, &mut Env::new()) {
+                Err(e) => out.push(Violation::Unevaluable {
+                    class: class_name.clone(),
+                    name,
+                    message: e.to_string(),
+                }),
+                Ok(true) => {}
+                Ok(false) => out.push(Violation::Constraint {
+                    class: class_name.clone(),
+                    name,
+                    text,
+                }),
+            },
+        }
+    }
+}
+
+/// Full check: all CML axioms plus every constraint of every believed
+/// class that has one.
+pub fn check_full(kb: &Kb) -> (Vec<Violation>, CheckStats) {
+    let mut out: Vec<Violation> = axioms::check_all(kb)
+        .into_iter()
+        .map(|v| Violation::Axiom(v.to_string()))
+        .collect();
+    let mut stats = CheckStats::default();
+    for id in 0..kb.len() {
+        let id = PropId(id as u32);
+        let Ok(p) = kb.get(id) else { continue };
+        if !p.is_believed() || !p.is_individual() {
+            continue;
+        }
+        stats.classes_visited += 1;
+        check_class_constraints(kb, id, &mut out, &mut stats);
+    }
+    (out, stats)
+}
+
+/// Set-oriented check: only the constraints of classes *relevant to
+/// the batch* — the classes (transitive, through isa) of every touched
+/// object, and touched objects that are themselves classes. CML axioms
+/// are likewise validated only for the batch (`axioms::check_props`).
+pub fn check_touched(kb: &Kb, touched: &[PropId]) -> (Vec<Violation>, CheckStats) {
+    let mut stats = CheckStats::default();
+    if touched.is_empty() {
+        return (Vec::new(), stats);
+    }
+    let mut out: Vec<Violation> = axioms::check_props(kb, touched)
+        .into_iter()
+        .map(|v| Violation::Axiom(v.to_string()))
+        .collect();
+    let mut classes: HashSet<PropId> = HashSet::new();
+    for &t in touched {
+        let Ok(p) = kb.get(t) else { continue };
+        // For links, the relevant objects are their endpoints.
+        let objects = if p.is_individual() {
+            vec![t]
+        } else {
+            vec![p.source, p.dest]
+        };
+        for obj in objects {
+            classes.insert(obj); // the object may itself be a class
+            for c in kb.all_classes_of(obj) {
+                classes.insert(c);
+            }
+        }
+    }
+    let mut ordered: Vec<PropId> = classes.into_iter().collect();
+    ordered.sort();
+    for class in ordered {
+        let Ok(p) = kb.get(class) else { continue };
+        if !p.is_believed() || !p.is_individual() {
+            continue;
+        }
+        stats.classes_visited += 1;
+        check_class_constraints(kb, class, &mut out, &mut stats);
+    }
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::ObjectFrame;
+    use crate::transform::{tell, tell_all};
+
+    fn scenario_kb() -> Kb {
+        let mut kb = Kb::new();
+        let frames = ObjectFrame::parse_all(
+            "TELL Person end\n\
+             TELL Paper with attribute author : Person end\n\
+             TELL Invitation isA Paper with\n\
+               attribute sender : Person\n\
+               constraint hasSender : $ forall i/Invitation i.sender defined $\n\
+             end\n\
+             TELL maria in Person end",
+        )
+        .unwrap();
+        tell_all(&mut kb, &frames).unwrap();
+        kb
+    }
+
+    #[test]
+    fn clean_kb_checks_clean() {
+        let kb = scenario_kb();
+        let (violations, stats) = check_full(&kb);
+        assert_eq!(violations, Vec::new());
+        assert!(stats.constraints_evaluated >= 1);
+        assert!(stats.classes_visited > 3);
+    }
+
+    #[test]
+    fn violated_constraint_reported() {
+        let mut kb = scenario_kb();
+        // An invitation without a sender violates hasSender.
+        tell(
+            &mut kb,
+            &ObjectFrame::parse("TELL inv1 in Invitation end").unwrap(),
+        )
+        .unwrap();
+        let (violations, _) = check_full(&kb);
+        assert_eq!(violations.len(), 1);
+        match &violations[0] {
+            Violation::Constraint { class, name, .. } => {
+                assert_eq!(class, "Invitation");
+                assert_eq!(name, "hasSender");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Fixing the object clears the violation.
+        tell(
+            &mut kb,
+            &ObjectFrame::parse("TELL inv1 with attribute sender : maria end").unwrap(),
+        )
+        .unwrap();
+        let (violations, _) = check_full(&kb);
+        assert!(violations.is_empty());
+    }
+
+    #[test]
+    fn touched_check_visits_fewer_classes() {
+        let mut kb = scenario_kb();
+        // Many unrelated constrained classes.
+        for i in 0..20 {
+            tell(
+                &mut kb,
+                &ObjectFrame::parse(&format!("TELL Other{i} with constraint c : $ true $ end"))
+                    .unwrap(),
+            )
+            .unwrap();
+        }
+        let receipt = tell(
+            &mut kb,
+            &ObjectFrame::parse("TELL inv1 in Invitation with attribute sender : maria end")
+                .unwrap(),
+        )
+        .unwrap();
+        let (v_full, s_full) = check_full(&kb);
+        let (v_touched, s_touched) = check_touched(&kb, &receipt.created);
+        assert!(v_full.is_empty() && v_touched.is_empty());
+        assert!(
+            s_touched.constraints_evaluated < s_full.constraints_evaluated,
+            "touched {s_touched:?} vs full {s_full:?}"
+        );
+        assert!(s_touched.classes_visited < s_full.classes_visited);
+    }
+
+    #[test]
+    fn touched_check_still_catches_relevant_violation() {
+        let mut kb = scenario_kb();
+        let receipt = tell(
+            &mut kb,
+            &ObjectFrame::parse("TELL inv1 in Invitation end").unwrap(),
+        )
+        .unwrap();
+        let (violations, _) = check_touched(&kb, &receipt.created);
+        assert_eq!(violations.len(), 1);
+    }
+
+    #[test]
+    fn empty_batch_checks_nothing() {
+        let kb = scenario_kb();
+        let (violations, stats) = check_touched(&kb, &[]);
+        assert!(violations.is_empty());
+        assert_eq!(stats.constraints_evaluated, 0);
+    }
+
+    #[test]
+    fn axiom_violations_surface() {
+        let mut kb = scenario_kb();
+        let inv1 = kb.individual("inv1").unwrap();
+        let invitation = kb.lookup("Invitation").unwrap();
+        kb.instantiate(inv1, invitation).unwrap();
+        let maria = kb.lookup("maria").unwrap();
+        kb.put_attr(inv1, "sender", maria).unwrap();
+        // An undeclared attribute on a classified object.
+        let ghost = kb.individual("ghostvalue").unwrap();
+        let bad = kb.put_attr(inv1, "bogus", ghost).unwrap();
+        let (violations, _) = check_touched(&kb, &[bad]);
+        assert!(violations.iter().any(|v| matches!(v, Violation::Axiom(_))));
+    }
+
+    #[test]
+    fn unevaluable_constraint_reported_not_crashed() {
+        let mut kb = scenario_kb();
+        // Reference a name that is later untold.
+        tell(
+            &mut kb,
+            &ObjectFrame::parse("TELL Fragile with constraint c : $ ghostname in Person $ end")
+                .unwrap(),
+        )
+        .unwrap();
+        let (violations, _) = check_full(&kb);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::Unevaluable { .. })));
+    }
+}

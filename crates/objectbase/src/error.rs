@@ -1,0 +1,74 @@
+//! Error type of the object processor.
+
+use std::fmt;
+
+/// Errors raised by the object processor.
+#[derive(Debug)]
+pub enum ObError {
+    /// Frame syntax error.
+    Parse(String),
+    /// A TELL or ASK referenced an unknown object.
+    Unknown(String),
+    /// The underlying proposition processor failed.
+    Telos(telos::TelosError),
+    /// The inference engine failed.
+    Datalog(datalog::DatalogError),
+    /// A consistency check failed; the batch was rejected.
+    Inconsistent(Vec<String>),
+}
+
+/// Convenient alias used throughout the crate.
+pub type ObResult<T> = Result<T, ObError>;
+
+impl fmt::Display for ObError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObError::Parse(m) => write!(f, "frame parse error: {m}"),
+            ObError::Unknown(m) => write!(f, "unknown object: {m}"),
+            ObError::Telos(e) => write!(f, "proposition processor: {e}"),
+            ObError::Datalog(e) => write!(f, "inference engine: {e}"),
+            ObError::Inconsistent(v) => {
+                write!(
+                    f,
+                    "inconsistent state ({} violations): {}",
+                    v.len(),
+                    v.join("; ")
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ObError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ObError::Telos(e) => Some(e),
+            ObError::Datalog(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<telos::TelosError> for ObError {
+    fn from(e: telos::TelosError) -> Self {
+        ObError::Telos(e)
+    }
+}
+
+impl From<datalog::DatalogError> for ObError {
+    fn from(e: datalog::DatalogError) -> Self {
+        ObError::Datalog(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = ObError::Inconsistent(vec!["a".into(), "b".into()]);
+        assert!(e.to_string().contains("2 violations"));
+        assert!(ObError::Parse("x".into()).to_string().contains('x'));
+    }
+}

@@ -1,0 +1,430 @@
+//! The CML frame syntax.
+//!
+//! Frames are the user-facing notation the Object Transformer maps to
+//! propositions (fig 3-2):
+//!
+//! ```text
+//! TELL Class Invitation in TDL_EntityClass isA Paper with
+//!   attribute
+//!     sender : Person;
+//!     receivers : Person
+//!   constraint
+//!     hasSender : $ forall i/Invitation i.sender defined $
+//!   rule
+//!     r1 : $ exists p/Person p = p $
+//! end
+//! ```
+//!
+//! The level keyword after `TELL` (`Class`, `Token`, `Individual`) is
+//! optional and purely documentary. Assertion texts are enclosed in
+//! `$ … $`.
+
+use crate::error::{ObError, ObResult};
+use std::fmt;
+
+/// One attribute entry: `label : value`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameAttr {
+    /// Attribute label.
+    pub label: String,
+    /// Value / target object name.
+    pub value: String,
+}
+
+/// A parsed frame.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ObjectFrame {
+    /// Object name.
+    pub name: String,
+    /// Classes after `in`.
+    pub classes: Vec<String>,
+    /// Superclasses after `isA`.
+    pub isa: Vec<String>,
+    /// `attribute` section.
+    pub attrs: Vec<FrameAttr>,
+    /// `constraint` section: `(name, assertion text)`.
+    pub constraints: Vec<(String, String)>,
+    /// `rule` section: `(name, assertion text)`.
+    pub rules: Vec<(String, String)>,
+}
+
+impl ObjectFrame {
+    /// A frame with just a name.
+    pub fn named(name: impl Into<String>) -> Self {
+        ObjectFrame {
+            name: name.into(),
+            ..ObjectFrame::default()
+        }
+    }
+
+    /// Parses one `TELL … end` frame.
+    pub fn parse(src: &str) -> ObResult<ObjectFrame> {
+        let mut frames = parse_frames(src)?;
+        match frames.len() {
+            1 => Ok(frames.remove(0)),
+            n => Err(ObError::Parse(format!("expected 1 frame, found {n}"))),
+        }
+    }
+
+    /// Parses a sequence of frames.
+    pub fn parse_all(src: &str) -> ObResult<Vec<ObjectFrame>> {
+        parse_frames(src)
+    }
+}
+
+impl fmt::Display for ObjectFrame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TELL {}", self.name)?;
+        if !self.classes.is_empty() {
+            write!(f, " in {}", self.classes.join(", "))?;
+        }
+        if !self.isa.is_empty() {
+            write!(f, " isA {}", self.isa.join(", "))?;
+        }
+        let has_body =
+            !self.attrs.is_empty() || !self.constraints.is_empty() || !self.rules.is_empty();
+        if has_body {
+            writeln!(f, " with")?;
+            if !self.attrs.is_empty() {
+                writeln!(f, "  attribute")?;
+                for (i, a) in self.attrs.iter().enumerate() {
+                    let sep = if i + 1 < self.attrs.len() { ";" } else { "" };
+                    writeln!(f, "    {} : {}{}", a.label, a.value, sep)?;
+                }
+            }
+            if !self.constraints.is_empty() {
+                writeln!(f, "  constraint")?;
+                for (i, (n, t)) in self.constraints.iter().enumerate() {
+                    let sep = if i + 1 < self.constraints.len() {
+                        ";"
+                    } else {
+                        ""
+                    };
+                    writeln!(f, "    {n} : $ {t} ${sep}")?;
+                }
+            }
+            if !self.rules.is_empty() {
+                writeln!(f, "  rule")?;
+                for (i, (n, t)) in self.rules.iter().enumerate() {
+                    let sep = if i + 1 < self.rules.len() { ";" } else { "" };
+                    writeln!(f, "    {n} : $ {t} ${sep}")?;
+                }
+            }
+            write!(f, "end")
+        } else {
+            write!(f, " end")
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, PartialEq)]
+enum Tok {
+    Word(String),
+    Colon,
+    Semi,
+    Comma,
+    Assertion(String),
+}
+
+fn lex(src: &str) -> ObResult<Vec<Tok>> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut cur = String::new();
+    let flush = |cur: &mut String, out: &mut Vec<Tok>| {
+        if !cur.is_empty() {
+            out.push(Tok::Word(std::mem::take(cur)));
+        }
+    };
+    while let Some(c) = chars.next() {
+        match c {
+            '$' => {
+                flush(&mut cur, &mut out);
+                let mut text = String::new();
+                let mut closed = false;
+                for c2 in chars.by_ref() {
+                    if c2 == '$' {
+                        closed = true;
+                        break;
+                    }
+                    text.push(c2);
+                }
+                if !closed {
+                    return Err(ObError::Parse("unterminated assertion `$ … $`".into()));
+                }
+                out.push(Tok::Assertion(text.trim().to_string()));
+            }
+            ':' => {
+                flush(&mut cur, &mut out);
+                out.push(Tok::Colon);
+            }
+            ';' => {
+                flush(&mut cur, &mut out);
+                out.push(Tok::Semi);
+            }
+            ',' => {
+                flush(&mut cur, &mut out);
+                out.push(Tok::Comma);
+            }
+            c if c.is_whitespace() => flush(&mut cur, &mut out),
+            c => cur.push(c),
+        }
+    }
+    flush(&mut cur, &mut out);
+    Ok(out)
+}
+
+struct P {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl P {
+    fn peek_word(&self) -> Option<&str> {
+        match self.toks.get(self.pos) {
+            Some(Tok::Word(w)) => Some(w.as_str()),
+            _ => None,
+        }
+    }
+
+    fn word(&mut self) -> ObResult<String> {
+        match self.toks.get(self.pos) {
+            Some(Tok::Word(w)) => {
+                let w = w.clone();
+                self.pos += 1;
+                Ok(w)
+            }
+            other => Err(ObError::Parse(format!("expected word, found {other:?}"))),
+        }
+    }
+
+    fn eat_word(&mut self, w: &str) -> bool {
+        if self.peek_word() == Some(w) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat(&mut self, t: Tok) -> bool {
+        if self.toks.get(self.pos) == Some(&t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: Tok) -> ObResult<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(ObError::Parse(format!(
+                "expected punctuation at token {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn name_list(&mut self) -> ObResult<Vec<String>> {
+        let mut out = vec![self.word()?];
+        while self.eat(Tok::Comma) {
+            out.push(self.word()?);
+        }
+        Ok(out)
+    }
+
+    fn assertion(&mut self) -> ObResult<String> {
+        match self.toks.get(self.pos) {
+            Some(Tok::Assertion(t)) => {
+                let t = t.clone();
+                self.pos += 1;
+                Ok(t)
+            }
+            other => Err(ObError::Parse(format!(
+                "expected `$ … $` assertion, found {other:?}"
+            ))),
+        }
+    }
+}
+
+fn parse_frames(src: &str) -> ObResult<Vec<ObjectFrame>> {
+    let mut p = P {
+        toks: lex(src)?,
+        pos: 0,
+    };
+    let mut frames = Vec::new();
+    while p.pos < p.toks.len() {
+        if !p.eat_word("TELL") {
+            return Err(ObError::Parse("expected `TELL`".into()));
+        }
+        // Optional level keyword.
+        if matches!(
+            p.peek_word(),
+            Some("Class") | Some("Token") | Some("Individual")
+        ) {
+            p.pos += 1;
+        }
+        let mut frame = ObjectFrame::named(p.word()?);
+        if p.eat_word("in") {
+            frame.classes = p.name_list()?;
+        }
+        if p.eat_word("isA") || p.eat_word("isa") {
+            frame.isa = p.name_list()?;
+        }
+        if p.eat_word("with") {
+            loop {
+                if p.eat_word("end") {
+                    break;
+                }
+                if p.eat_word("attribute") {
+                    while p.peek_word().is_some()
+                        && !matches!(
+                            p.peek_word(),
+                            Some("attribute") | Some("constraint") | Some("rule") | Some("end")
+                        )
+                    {
+                        let label = p.word()?;
+                        p.expect(Tok::Colon)?;
+                        let value = p.word()?;
+                        frame.attrs.push(FrameAttr { label, value });
+                        p.eat(Tok::Semi);
+                    }
+                } else if p.eat_word("constraint") {
+                    while p.peek_word().is_some()
+                        && !matches!(
+                            p.peek_word(),
+                            Some("attribute") | Some("constraint") | Some("rule") | Some("end")
+                        )
+                    {
+                        let name = p.word()?;
+                        p.expect(Tok::Colon)?;
+                        frame.constraints.push((name, p.assertion()?));
+                        p.eat(Tok::Semi);
+                    }
+                } else if p.eat_word("rule") {
+                    while p.peek_word().is_some()
+                        && !matches!(
+                            p.peek_word(),
+                            Some("attribute") | Some("constraint") | Some("rule") | Some("end")
+                        )
+                    {
+                        let name = p.word()?;
+                        p.expect(Tok::Colon)?;
+                        frame.rules.push((name, p.assertion()?));
+                        p.eat(Tok::Semi);
+                    }
+                } else {
+                    return Err(ObError::Parse(format!(
+                        "expected section keyword or `end`, found {:?}",
+                        p.peek_word()
+                    )));
+                }
+            }
+        } else if !p.eat_word("end") {
+            return Err(ObError::Parse("expected `with` or `end`".into()));
+        }
+        frames.push(frame);
+    }
+    Ok(frames)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_frame() {
+        let f = ObjectFrame::parse(
+            "TELL Class Invitation in TDL_EntityClass isA Paper with\n\
+               attribute\n\
+                 sender : Person;\n\
+                 receivers : Person\n\
+               constraint\n\
+                 hasSender : $ forall i/Invitation i.sender defined $\n\
+             end",
+        )
+        .unwrap();
+        assert_eq!(f.name, "Invitation");
+        assert_eq!(f.classes, vec!["TDL_EntityClass"]);
+        assert_eq!(f.isa, vec!["Paper"]);
+        assert_eq!(f.attrs.len(), 2);
+        assert_eq!(f.attrs[0].label, "sender");
+        assert_eq!(f.constraints.len(), 1);
+        assert_eq!(f.constraints[0].0, "hasSender");
+        assert!(f.constraints[0].1.contains("forall"));
+    }
+
+    #[test]
+    fn minimal_frames() {
+        let f = ObjectFrame::parse("TELL Paper end").unwrap();
+        assert_eq!(f.name, "Paper");
+        assert!(f.classes.is_empty());
+        let f = ObjectFrame::parse("TELL Token inv42 in Invitation end").unwrap();
+        assert_eq!(f.name, "inv42");
+        assert_eq!(f.classes, vec!["Invitation"]);
+    }
+
+    #[test]
+    fn multiple_classes_and_supers() {
+        let f = ObjectFrame::parse("TELL X in A, B isA C, D end").unwrap();
+        assert_eq!(f.classes, vec!["A", "B"]);
+        assert_eq!(f.isa, vec!["C", "D"]);
+    }
+
+    #[test]
+    fn multiple_frames() {
+        let fs = ObjectFrame::parse_all("TELL Paper end\nTELL Invitation isA Paper end").unwrap();
+        assert_eq!(fs.len(), 2);
+        assert_eq!(fs[1].isa, vec!["Paper"]);
+    }
+
+    #[test]
+    fn rules_section() {
+        let f = ObjectFrame::parse("TELL C with rule r1 : $ true $; r2 : $ x = x $ end").unwrap();
+        assert_eq!(f.rules.len(), 2);
+        assert_eq!(f.rules[1].1, "x = x");
+    }
+
+    #[test]
+    fn interleaved_sections() {
+        let f = ObjectFrame::parse(
+            "TELL C with attribute a : B constraint k : $ true $ attribute b : D end",
+        )
+        .unwrap();
+        assert_eq!(f.attrs.len(), 2);
+        assert_eq!(f.constraints.len(), 1);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(
+            ObjectFrame::parse("Invitation end").is_err(),
+            "missing TELL"
+        );
+        assert!(ObjectFrame::parse("TELL X with").is_err(), "missing end");
+        assert!(ObjectFrame::parse("TELL X with attribute a Person end").is_err());
+        assert!(ObjectFrame::parse("TELL X with constraint c : $ unterminated end").is_err());
+        assert!(ObjectFrame::parse("TELL A end TELL B end TELL").is_err());
+        assert!(
+            ObjectFrame::parse("TELL A end TELL B end").is_err(),
+            "parse() wants one"
+        );
+    }
+
+    #[test]
+    fn display_reparses() {
+        let src = "TELL Invitation in TDL_EntityClass isA Paper with\n\
+                   attribute sender : Person; receivers : Person\n\
+                   constraint c : $ true $\n\
+                   rule r : $ x = x $\n\
+                   end";
+        let f1 = ObjectFrame::parse(src).unwrap();
+        let f2 = ObjectFrame::parse(&f1.to_string()).unwrap();
+        assert_eq!(f1, f2);
+    }
+}

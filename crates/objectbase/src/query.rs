@@ -1,0 +1,289 @@
+//! ASK evaluation and the deductive-relational bridge (§3.1).
+//!
+//! "The object processor understands the knowledge base as a deductive
+//! relational database." [`to_edb`] exports the believed propositions
+//! as datalog relations (`in_/2`, `isa/2`, `attr/3`), [`base_program`]
+//! supplies the CML closure rules (transitive specialization, instance
+//! inheritance), and [`DeductiveView`] runs user rules on top with a
+//! choice of inference engine — bottom-up, top-down with lemmas, or
+//! magic sets.
+
+use crate::error::ObResult;
+use datalog::ast::{Atom, Program, Term, Value};
+use datalog::db::Database;
+use datalog::{magic, seminaive, topdown};
+use telos::assertion;
+use telos::{Kb, PropId};
+
+/// EDB predicate names exported from the KB.
+pub mod preds {
+    /// `in_(X, C)` — direct classification.
+    pub const IN: &str = "in_";
+    /// `isa(C, D)` — direct specialization.
+    pub const ISA: &str = "isa";
+    /// `attr(X, L, Y)` — believed attribute.
+    pub const ATTR: &str = "attr";
+}
+
+/// Exports the believed network as an extensional database. Objects
+/// are identified by their display names; anonymous links are skipped
+/// (they reappear as `attr` tuples of their endpoints).
+pub fn to_edb(kb: &Kb) -> ObResult<Database> {
+    let mut db = Database::new();
+    for id in 0..kb.len() {
+        let id = PropId(id as u32);
+        let Ok(p) = kb.get(id) else { continue };
+        if !p.is_believed() || p.is_individual() {
+            continue;
+        }
+        let label = kb.resolve(p.label).to_string();
+        let src = Value::sym(kb.display(p.source));
+        let dst = Value::sym(kb.display(p.dest));
+        match label.as_str() {
+            telos::kb::L_INSTANCEOF => {
+                db.insert(preds::IN, vec![src, dst])?;
+            }
+            telos::kb::L_ISA => {
+                db.insert(preds::ISA, vec![src, dst])?;
+            }
+            _ => {
+                db.insert(preds::ATTR, vec![src, Value::sym(label), dst])?;
+            }
+        }
+    }
+    Ok(db)
+}
+
+/// The CML closure rules: transitive isa and instance inheritance.
+pub fn base_program() -> Program {
+    Program::parse(
+        "isaT(C, D) :- isa(C, D).\n\
+         isaT(C, E) :- isa(C, D), isaT(D, E).\n\
+         inT(X, C) :- in_(X, C).\n\
+         inT(X, D) :- in_(X, C), isaT(C, D).",
+    )
+    .expect("base program parses")
+}
+
+/// Which inference engine evaluates a deductive query (the "various
+/// proof strategies" of §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Bottom-up semi-naive evaluation of the whole program.
+    BottomUp,
+    /// Top-down SLD with tabling (lemma generation).
+    TopDown,
+    /// Magic-sets transformation, then bottom-up.
+    Magic,
+}
+
+/// A deductive view: the KB's EDB plus the base rules plus user rules.
+pub struct DeductiveView {
+    edb: Database,
+    program: Program,
+}
+
+impl DeductiveView {
+    /// Builds the view from the current KB state with optional extra
+    /// rules (datalog source).
+    pub fn new(kb: &Kb, extra_rules: &str) -> ObResult<Self> {
+        let edb = to_edb(kb)?;
+        let mut program = base_program();
+        if !extra_rules.trim().is_empty() {
+            let extra = Program::parse(extra_rules)?;
+            program.rules.extend(extra.rules);
+        }
+        program.validate()?;
+        Ok(DeductiveView { edb, program })
+    }
+
+    /// The extensional database.
+    pub fn edb(&self) -> &Database {
+        &self.edb
+    }
+
+    /// The full rule program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Answers `query` with the chosen engine, returning sorted tuples.
+    pub fn query(&self, query: &Atom, engine: Engine) -> ObResult<Vec<Vec<Value>>> {
+        match engine {
+            Engine::BottomUp => {
+                let (model, _) = seminaive::evaluate(&self.program, &self.edb)?;
+                let mut out: Vec<Vec<Value>> = model
+                    .tuples(&query.pred)
+                    .filter(|t| {
+                        query.args.iter().zip(t.iter()).all(|(a, v)| match a {
+                            Term::Const(c) => c == v,
+                            Term::Var(_) => true,
+                        })
+                    })
+                    .cloned()
+                    .collect();
+                out.sort();
+                Ok(out)
+            }
+            Engine::TopDown => {
+                let mut td = topdown::TopDown::new(&self.program, &self.edb);
+                let answers = td.query(query)?;
+                let mut out: Vec<Vec<Value>> = answers
+                    .iter()
+                    .map(|env| {
+                        query
+                            .args
+                            .iter()
+                            .map(|a| match a {
+                                Term::Const(c) => c.clone(),
+                                Term::Var(v) => {
+                                    env.get(v).cloned().unwrap_or_else(|| Value::sym("?"))
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect();
+                out.sort();
+                out.dedup();
+                Ok(out)
+            }
+            Engine::Magic => Ok(magic::magic_evaluate(&self.program, &self.edb, query)?),
+        }
+    }
+
+    /// All instances of `class`, deductively (with inheritance).
+    pub fn instances_of(&self, class: &str, engine: Engine) -> ObResult<Vec<String>> {
+        let q = Atom::new("inT", vec![Term::var("X"), Term::sym(class)]);
+        let mut out: Vec<String> = self
+            .query(&q, engine)?
+            .into_iter()
+            .map(|t| t[0].to_string())
+            .collect();
+        out.sort();
+        out.dedup();
+        Ok(out)
+    }
+}
+
+/// ASK with the assertion language: the believed instances of `class`
+/// satisfying `body` (an open query, §3.1).
+pub fn ask(kb: &Kb, var: &str, class: &str, body: &str) -> ObResult<Vec<String>> {
+    let expr = assertion::parse(body)?;
+    let hits = assertion::find(kb, var, class, &expr)?;
+    Ok(hits.into_iter().map(|h| kb.display(h)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::ObjectFrame;
+    use crate::transform::tell_all;
+
+    fn scenario_kb() -> Kb {
+        let mut kb = Kb::new();
+        let frames = ObjectFrame::parse_all(
+            "TELL Person end\n\
+             TELL Paper end\n\
+             TELL Invitation isA Paper end\n\
+             TELL Minutes isA Paper end\n\
+             TELL maria in Person end\n\
+             TELL inv1 in Invitation end\n\
+             TELL inv2 in Invitation end\n\
+             TELL min1 in Minutes end",
+        )
+        .unwrap();
+        tell_all(&mut kb, &frames).unwrap();
+        let maria = kb.lookup("maria").unwrap();
+        let inv1 = kb.lookup("inv1").unwrap();
+        kb.put_attr(inv1, "sender", maria).unwrap();
+        kb
+    }
+
+    #[test]
+    fn edb_exports_believed_links() {
+        let kb = scenario_kb();
+        let db = to_edb(&kb).unwrap();
+        assert!(db.contains(preds::ISA, &[Value::sym("Invitation"), Value::sym("Paper")]));
+        assert!(db.contains(preds::IN, &[Value::sym("inv1"), Value::sym("Invitation")]));
+        assert!(db.contains(
+            preds::ATTR,
+            &[
+                Value::sym("inv1"),
+                Value::sym("sender"),
+                Value::sym("maria")
+            ]
+        ));
+    }
+
+    #[test]
+    fn all_engines_agree_on_inheritance() {
+        let kb = scenario_kb();
+        let view = DeductiveView::new(&kb, "").unwrap();
+        let expected = vec!["inv1".to_string(), "inv2".into(), "min1".into()];
+        for engine in [Engine::BottomUp, Engine::TopDown, Engine::Magic] {
+            let papers = view.instances_of("Paper", engine).unwrap();
+            assert_eq!(papers, expected, "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn deductive_matches_kb_closure() {
+        let kb = scenario_kb();
+        let view = DeductiveView::new(&kb, "").unwrap();
+        let paper = kb.lookup("Paper").unwrap();
+        let mut from_kb: Vec<String> = kb
+            .all_instances_of(paper)
+            .into_iter()
+            .map(|x| kb.display(x))
+            .collect();
+        from_kb.sort();
+        let from_dl = view.instances_of("Paper", Engine::BottomUp).unwrap();
+        assert_eq!(from_kb, from_dl);
+    }
+
+    #[test]
+    fn user_rules_extend_the_view() {
+        let kb = scenario_kb();
+        let view = DeductiveView::new(
+            &kb,
+            "senderOf(P, S) :- attr(I, sender, S), in_(I, P_CLASS), isaT(P_CLASS, Paper), in_(I, P_CLASS).\n\
+             hasSender(I) :- attr(I, sender, _S).",
+        );
+        // The first rule is deliberately odd; validate separately with a
+        // simpler one if it fails safety. hasSender is the useful one.
+        let view = match view {
+            Ok(v) => v,
+            Err(_) => DeductiveView::new(&kb, "hasSender(I) :- attr(I, sender, _S).").unwrap(),
+        };
+        let q = Atom::new("hasSender", vec![Term::var("I")]);
+        let hits = view.query(&q, Engine::BottomUp).unwrap();
+        assert_eq!(hits, vec![vec![Value::sym("inv1")]]);
+    }
+
+    #[test]
+    fn ask_open_queries() {
+        let kb = scenario_kb();
+        let with_sender = ask(&kb, "i", "Invitation", "i.sender defined").unwrap();
+        assert_eq!(with_sender, vec!["inv1"]);
+        let papers = ask(&kb, "p", "Paper", "true").unwrap();
+        assert_eq!(papers.len(), 3);
+        assert!(ask(&kb, "x", "Ghost", "true").is_err());
+    }
+
+    #[test]
+    fn bound_queries_use_constants() {
+        let kb = scenario_kb();
+        let view = DeductiveView::new(&kb, "").unwrap();
+        let q = Atom::new("inT", vec![Term::sym("inv1"), Term::var("C")]);
+        for engine in [Engine::BottomUp, Engine::TopDown, Engine::Magic] {
+            let classes: Vec<String> = view
+                .query(&q, engine)
+                .unwrap()
+                .into_iter()
+                .map(|t| t[1].to_string())
+                .collect();
+            assert!(classes.contains(&"Invitation".to_string()), "{engine:?}");
+            assert!(classes.contains(&"Paper".to_string()), "{engine:?}");
+        }
+    }
+}

@@ -1,0 +1,484 @@
+//! An assumption-based truth maintenance system \[DEKL86\].
+//!
+//! Where the JTMS maintains a *single* current context, the ATMS labels
+//! every node with the set of minimal, consistent assumption
+//! environments under which it holds — so alternative design versions
+//! (fig 3-4's two coexisting implementations) are all available at
+//! once, and switching contexts is free.
+//!
+//! Environments are bit sets over assumption ids. A node's label is
+//! kept minimal (no environment subsumes another) and consistent (no
+//! environment is a superset of a nogood).
+
+use std::fmt;
+
+/// Identifier of an ATMS node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AtmsNodeId(pub u32);
+
+/// An environment: a set of assumptions, as a dynamic bit set.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Env {
+    words: Vec<u64>,
+}
+
+impl Env {
+    /// The empty environment.
+    pub fn empty() -> Env {
+        Env::default()
+    }
+
+    /// The singleton environment `{a}`.
+    pub fn of(a: usize) -> Env {
+        let mut e = Env::empty();
+        e.insert(a);
+        e
+    }
+
+    /// Adds assumption index `a`.
+    pub fn insert(&mut self, a: usize) {
+        let w = a / 64;
+        if self.words.len() <= w {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= 1 << (a % 64);
+    }
+
+    /// Membership test.
+    pub fn contains(&self, a: usize) -> bool {
+        self.words
+            .get(a / 64)
+            .is_some_and(|w| w & (1 << (a % 64)) != 0)
+    }
+
+    /// Union of two environments.
+    pub fn union(&self, other: &Env) -> Env {
+        let mut words = vec![0u64; self.words.len().max(other.words.len())];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = self.words.get(i).copied().unwrap_or(0) | other.words.get(i).copied().unwrap_or(0);
+        }
+        // Normalize: trim trailing zero words so Eq/Hash are canonical.
+        while words.last() == Some(&0) {
+            words.pop();
+        }
+        Env { words }
+    }
+
+    /// True if `self ⊆ other`.
+    pub fn subset_of(&self, other: &Env) -> bool {
+        self.words.iter().enumerate().all(|(i, w)| {
+            let o = other.words.get(i).copied().unwrap_or(0);
+            w & !o == 0
+        })
+    }
+
+    /// Number of assumptions in the environment.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True for the empty environment.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// The assumption indices, ascending.
+    pub fn members(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (i, &w) in self.words.iter().enumerate() {
+            for b in 0..64 {
+                if w & (1 << b) != 0 {
+                    out.push(i * 64 + b);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Env {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.members().iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "A{a}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[derive(Debug, Clone)]
+struct AtmsJust {
+    antecedents: Vec<AtmsNodeId>,
+    consequent: AtmsNodeId,
+}
+
+#[derive(Debug, Clone)]
+struct AtmsNode {
+    datum: String,
+    /// Minimal consistent environments in which the node holds.
+    label: Vec<Env>,
+    /// Index into the assumption table if this node is an assumption.
+    assumption: Option<usize>,
+    is_contradiction: bool,
+}
+
+/// The assumption-based TMS.
+#[derive(Debug, Default)]
+pub struct Atms {
+    nodes: Vec<AtmsNode>,
+    justs: Vec<AtmsJust>,
+    assumptions: Vec<AtmsNodeId>,
+    nogoods: Vec<Env>,
+    /// Statistics: label update operations (for the E-3 bench).
+    pub label_updates: u64,
+}
+
+impl Atms {
+    /// An empty ATMS.
+    pub fn new() -> Self {
+        Atms::default()
+    }
+
+    /// Creates an ordinary node (empty label).
+    pub fn node(&mut self, datum: impl Into<String>) -> AtmsNodeId {
+        let id = AtmsNodeId(self.nodes.len() as u32);
+        self.nodes.push(AtmsNode {
+            datum: datum.into(),
+            label: Vec::new(),
+            assumption: None,
+            is_contradiction: false,
+        });
+        id
+    }
+
+    /// Creates an assumption node: label `{{A}}`.
+    pub fn assumption(&mut self, datum: impl Into<String>) -> AtmsNodeId {
+        let id = self.node(datum);
+        let a = self.assumptions.len();
+        self.assumptions.push(id);
+        let node = &mut self.nodes[id.0 as usize];
+        node.assumption = Some(a);
+        node.label = vec![Env::of(a)];
+        id
+    }
+
+    /// Creates a contradiction node: every environment reaching it
+    /// becomes a nogood.
+    pub fn contradiction(&mut self, datum: impl Into<String>) -> AtmsNodeId {
+        let id = self.node(datum);
+        self.nodes[id.0 as usize].is_contradiction = true;
+        id
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node's datum.
+    pub fn datum(&self, id: AtmsNodeId) -> &str {
+        &self.nodes[id.0 as usize].datum
+    }
+
+    /// The node's label (minimal consistent environments).
+    pub fn label(&self, id: AtmsNodeId) -> &[Env] {
+        &self.nodes[id.0 as usize].label
+    }
+
+    /// True if the node holds in *some* consistent environment.
+    pub fn believed_somewhere(&self, id: AtmsNodeId) -> bool {
+        !self.nodes[id.0 as usize].label.is_empty()
+    }
+
+    /// True if the node holds under environment `env` (some label
+    /// environment is a subset of `env`) and `env` is consistent.
+    pub fn holds_in(&self, id: AtmsNodeId, env: &Env) -> bool {
+        self.consistent(env)
+            && self.nodes[id.0 as usize]
+                .label
+                .iter()
+                .any(|l| l.subset_of(env))
+    }
+
+    /// True if `env` contains no nogood.
+    pub fn consistent(&self, env: &Env) -> bool {
+        !self.nogoods.iter().any(|ng| ng.subset_of(env))
+    }
+
+    /// The recorded nogoods.
+    pub fn nogoods(&self) -> &[Env] {
+        &self.nogoods
+    }
+
+    /// Adds a justification `antecedents ⊢ consequent` and propagates
+    /// labels. An empty antecedent list makes the consequent a premise
+    /// (label `{{}}`).
+    pub fn justify(&mut self, consequent: AtmsNodeId, antecedents: &[AtmsNodeId]) {
+        self.justs.push(AtmsJust {
+            antecedents: antecedents.to_vec(),
+            consequent,
+        });
+        self.propagate();
+    }
+
+    /// Recomputes all labels to fixpoint (simple relaxation — adequate
+    /// for the dependency-network sizes the paper's E-3 question is
+    /// about, and easy to verify).
+    fn propagate(&mut self) {
+        loop {
+            let mut changed = false;
+            for j in 0..self.justs.len() {
+                let just = self.justs[j].clone();
+                // Combine antecedent labels: cross-product unions.
+                let mut combined = vec![Env::empty()];
+                for &a in &just.antecedents {
+                    let alabel = self.nodes[a.0 as usize].label.clone();
+                    let mut next = Vec::new();
+                    for c in &combined {
+                        for l in &alabel {
+                            next.push(c.union(l));
+                        }
+                    }
+                    combined = next;
+                    if combined.is_empty() {
+                        break;
+                    }
+                }
+                for env in combined {
+                    if !self.consistent(&env) {
+                        continue;
+                    }
+                    if self.nodes[just.consequent.0 as usize].is_contradiction {
+                        if self.add_nogood(env) {
+                            changed = true;
+                        }
+                    } else if self.add_to_label(just.consequent, env) {
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// Inserts `env` into the node's label if no existing environment
+    /// subsumes it; removes environments it subsumes. Returns whether
+    /// the label changed.
+    fn add_to_label(&mut self, id: AtmsNodeId, env: Env) -> bool {
+        self.label_updates += 1;
+        let label = &mut self.nodes[id.0 as usize].label;
+        if label.iter().any(|l| l.subset_of(&env)) {
+            return false;
+        }
+        label.retain(|l| !env.subset_of(l));
+        label.push(env);
+        true
+    }
+
+    /// Records a nogood; prunes all labels of environments containing
+    /// it. Returns whether it was new.
+    fn add_nogood(&mut self, env: Env) -> bool {
+        self.label_updates += 1;
+        if self.nogoods.iter().any(|ng| ng.subset_of(&env)) {
+            return false;
+        }
+        self.nogoods.retain(|ng| !env.subset_of(ng));
+        for node in &mut self.nodes {
+            node.label.retain(|l| !env.subset_of(l));
+        }
+        self.nogoods.push(env);
+        true
+    }
+
+    /// Builds an environment from assumption node ids.
+    pub fn env_of(&self, assumptions: &[AtmsNodeId]) -> Env {
+        let mut env = Env::empty();
+        for &a in assumptions {
+            if let Some(idx) = self.nodes[a.0 as usize].assumption {
+                env.insert(idx);
+            }
+        }
+        env
+    }
+
+    /// All nodes holding under `env`, for context inspection.
+    pub fn context(&self, env: &Env) -> Vec<AtmsNodeId> {
+        (0..self.nodes.len() as u32)
+            .map(AtmsNodeId)
+            .filter(|&n| self.holds_in(n, env))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_basics() {
+        let mut e = Env::empty();
+        assert!(e.is_empty());
+        e.insert(3);
+        e.insert(70);
+        assert!(e.contains(3) && e.contains(70) && !e.contains(4));
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.members(), vec![3, 70]);
+        assert_eq!(e.to_string(), "{A3,A70}");
+        let f = Env::of(3);
+        assert!(f.subset_of(&e));
+        assert!(!e.subset_of(&f));
+        assert_eq!(f.union(&Env::of(70)), e);
+    }
+
+    #[test]
+    fn env_union_is_canonical() {
+        // Union with a high-index env then subsetting back must not
+        // leave trailing words that break equality.
+        let hi = Env::of(100);
+        let lo = Env::of(1);
+        let u = hi.union(&lo);
+        let same = lo.union(&hi);
+        assert_eq!(u, same);
+    }
+
+    #[test]
+    fn assumptions_have_singleton_labels() {
+        let mut atms = Atms::new();
+        let a = atms.assumption("a");
+        assert_eq!(atms.label(a).len(), 1);
+        assert_eq!(atms.label(a)[0].len(), 1);
+    }
+
+    #[test]
+    fn premise_holds_everywhere() {
+        let mut atms = Atms::new();
+        let p = atms.node("premise");
+        atms.justify(p, &[]);
+        assert_eq!(atms.label(p), &[Env::empty()]);
+        assert!(atms.holds_in(p, &Env::empty()));
+        assert!(atms.holds_in(p, &Env::of(5)));
+    }
+
+    #[test]
+    fn labels_propagate_through_justifications() {
+        let mut atms = Atms::new();
+        let a = atms.assumption("a");
+        let b = atms.assumption("b");
+        let c = atms.node("c");
+        atms.justify(c, &[a, b]);
+        assert_eq!(atms.label(c).len(), 1);
+        assert_eq!(atms.label(c)[0], atms.env_of(&[a, b]));
+        assert!(atms.holds_in(c, &atms.env_of(&[a, b])));
+        assert!(!atms.holds_in(c, &atms.env_of(&[a])));
+    }
+
+    #[test]
+    fn labels_stay_minimal() {
+        let mut atms = Atms::new();
+        let a = atms.assumption("a");
+        let b = atms.assumption("b");
+        let c = atms.node("c");
+        atms.justify(c, &[a, b]); // {a,b}
+        atms.justify(c, &[a]); // {a} subsumes {a,b}
+        assert_eq!(atms.label(c).len(), 1);
+        assert_eq!(atms.label(c)[0], atms.env_of(&[a]));
+    }
+
+    #[test]
+    fn alternative_versions_coexist() {
+        // Fig 3-4: two alternative implementations under different
+        // choice assumptions, both labeled simultaneously.
+        let mut atms = Atms::new();
+        let surrogate = atms.assumption("choice: surrogate keys");
+        let associative = atms.assumption("choice: associative keys");
+        let impl1 = atms.node("InvitationRel v1");
+        let impl2 = atms.node("InvitationRel v2");
+        atms.justify(impl1, &[surrogate]);
+        atms.justify(impl2, &[associative]);
+        assert!(atms.believed_somewhere(impl1));
+        assert!(atms.believed_somewhere(impl2));
+        let ctx1 = atms.env_of(&[surrogate]);
+        assert!(atms.holds_in(impl1, &ctx1));
+        assert!(!atms.holds_in(impl2, &ctx1));
+    }
+
+    #[test]
+    fn nogood_prunes_labels_and_contexts() {
+        let mut atms = Atms::new();
+        let assoc = atms.assumption("associative-keys");
+        let minutes = atms.assumption("map-minutes");
+        let bad = atms.contradiction("key-clash");
+        let derived = atms.node("normalized-rel");
+        atms.justify(derived, &[assoc, minutes]);
+        assert!(atms.believed_somewhere(derived));
+        atms.justify(bad, &[assoc, minutes]);
+        // {assoc, minutes} is now a nogood: derived loses its label.
+        assert!(!atms.believed_somewhere(derived));
+        assert!(!atms.consistent(&atms.env_of(&[assoc, minutes])));
+        assert!(atms.consistent(&atms.env_of(&[assoc])));
+        assert_eq!(atms.nogoods().len(), 1);
+    }
+
+    #[test]
+    fn nogood_blocks_future_labels() {
+        let mut atms = Atms::new();
+        let a = atms.assumption("a");
+        let b = atms.assumption("b");
+        let bad = atms.contradiction("bad");
+        atms.justify(bad, &[a, b]);
+        let c = atms.node("c");
+        atms.justify(c, &[a, b]);
+        assert!(!atms.believed_somewhere(c), "label born dead");
+        // But a weaker justification works.
+        atms.justify(c, &[a]);
+        assert!(atms.holds_in(c, &atms.env_of(&[a])));
+    }
+
+    #[test]
+    fn chained_derivation_unions_environments() {
+        let mut atms = Atms::new();
+        let a = atms.assumption("a");
+        let b = atms.assumption("b");
+        let mid = atms.node("mid");
+        let top = atms.node("top");
+        atms.justify(mid, &[a]);
+        atms.justify(top, &[mid, b]);
+        assert_eq!(atms.label(top), &[atms.env_of(&[a, b])]);
+    }
+
+    #[test]
+    fn context_lists_holding_nodes() {
+        let mut atms = Atms::new();
+        let a = atms.assumption("a");
+        let b = atms.assumption("b");
+        let c = atms.node("c");
+        atms.justify(c, &[a]);
+        let ctx = atms.context(&atms.env_of(&[a]));
+        assert!(ctx.contains(&a));
+        assert!(ctx.contains(&c));
+        assert!(!ctx.contains(&b));
+    }
+
+    #[test]
+    fn disjunctive_labels() {
+        let mut atms = Atms::new();
+        let a = atms.assumption("a");
+        let b = atms.assumption("b");
+        let c = atms.node("c");
+        atms.justify(c, &[a]);
+        atms.justify(c, &[b]);
+        assert_eq!(atms.label(c).len(), 2);
+        assert!(atms.holds_in(c, &atms.env_of(&[a])));
+        assert!(atms.holds_in(c, &atms.env_of(&[b])));
+    }
+}

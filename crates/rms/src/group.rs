@@ -1,0 +1,423 @@
+//! Group decision support \[HJ88\] (paper §3.3.3).
+//!
+//! "In \[HJ88\], we develop a proposal for enhancing the above
+//! mentioned RMS with mechanisms for multicriteria choice support,
+//! argumentation on derivation decisions, and explicit group work
+//! organization." This module provides:
+//!
+//! * IBIS-style **argumentation**: issues raise positions, arguments
+//!   support or object to positions, each attributed to a stakeholder;
+//! * **multicriteria choice**: positions scored against weighted
+//!   criteria, producing a ranking (the decision aid);
+//! * **conflict detection**: stakeholders endorsing mutually exclusive
+//!   positions are surfaced for explicit negotiation.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Identifier of an issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IssueId(pub u32);
+/// Identifier of a position on an issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PositionId(pub u32);
+/// Identifier of a stakeholder (developer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StakeholderId(pub u32);
+
+/// Direction of an argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stance {
+    /// Supports the position.
+    Pro,
+    /// Objects to the position.
+    Con,
+}
+
+#[derive(Debug, Clone)]
+struct Argument {
+    position: PositionId,
+    stance: Stance,
+    by: StakeholderId,
+    text: String,
+    weight: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Position {
+    issue: IssueId,
+    text: String,
+    /// Criterion name -> score in [0, 1].
+    scores: HashMap<String, f64>,
+    endorsed_by: HashSet<StakeholderId>,
+}
+
+#[derive(Debug, Clone)]
+struct Issue {
+    text: String,
+    positions: Vec<PositionId>,
+    resolved: Option<PositionId>,
+    /// Pairs of positions declared mutually exclusive.
+    exclusions: Vec<(PositionId, PositionId)>,
+}
+
+/// A detected conflict: two stakeholders endorsing mutually exclusive
+/// positions on the same issue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conflict {
+    /// The issue in dispute.
+    pub issue: IssueId,
+    /// First endorsed position and one endorser.
+    pub left: (PositionId, StakeholderId),
+    /// Second endorsed position and one endorser.
+    pub right: (PositionId, StakeholderId),
+}
+
+/// The argumentation and choice-support board.
+#[derive(Debug, Default)]
+pub struct GroupBoard {
+    issues: Vec<Issue>,
+    positions: Vec<Position>,
+    arguments: Vec<Argument>,
+    stakeholders: Vec<String>,
+    /// Criterion name -> weight (normalized at ranking time).
+    criteria: HashMap<String, f64>,
+}
+
+impl GroupBoard {
+    /// An empty board.
+    pub fn new() -> Self {
+        GroupBoard::default()
+    }
+
+    /// Registers a stakeholder.
+    pub fn stakeholder(&mut self, name: impl Into<String>) -> StakeholderId {
+        let id = StakeholderId(self.stakeholders.len() as u32);
+        self.stakeholders.push(name.into());
+        id
+    }
+
+    /// Stakeholder name.
+    pub fn stakeholder_name(&self, id: StakeholderId) -> &str {
+        &self.stakeholders[id.0 as usize]
+    }
+
+    /// Declares a decision criterion with a weight.
+    pub fn criterion(&mut self, name: impl Into<String>, weight: f64) {
+        self.criteria.insert(name.into(), weight.max(0.0));
+    }
+
+    /// Raises an issue.
+    pub fn issue(&mut self, text: impl Into<String>) -> IssueId {
+        let id = IssueId(self.issues.len() as u32);
+        self.issues.push(Issue {
+            text: text.into(),
+            positions: Vec::new(),
+            resolved: None,
+            exclusions: Vec::new(),
+        });
+        id
+    }
+
+    /// Proposes a position on an issue.
+    pub fn position(&mut self, issue: IssueId, text: impl Into<String>) -> PositionId {
+        let id = PositionId(self.positions.len() as u32);
+        self.positions.push(Position {
+            issue,
+            text: text.into(),
+            scores: HashMap::new(),
+            endorsed_by: HashSet::new(),
+        });
+        self.issues[issue.0 as usize].positions.push(id);
+        id
+    }
+
+    /// Declares two positions mutually exclusive.
+    pub fn exclusive(&mut self, a: PositionId, b: PositionId) {
+        let issue = self.positions[a.0 as usize].issue;
+        debug_assert_eq!(issue, self.positions[b.0 as usize].issue);
+        self.issues[issue.0 as usize].exclusions.push((a, b));
+    }
+
+    /// Records an argument for/against a position.
+    pub fn argue(
+        &mut self,
+        position: PositionId,
+        stance: Stance,
+        by: StakeholderId,
+        text: impl Into<String>,
+        weight: f64,
+    ) {
+        self.arguments.push(Argument {
+            position,
+            stance,
+            by,
+            text: text.into(),
+            weight: weight.max(0.0),
+        });
+    }
+
+    /// Scores a position against a criterion (clamped to [0, 1]).
+    pub fn score(&mut self, position: PositionId, criterion: &str, value: f64) {
+        self.positions[position.0 as usize]
+            .scores
+            .insert(criterion.to_string(), value.clamp(0.0, 1.0));
+    }
+
+    /// A stakeholder endorses a position.
+    pub fn endorse(&mut self, position: PositionId, by: StakeholderId) {
+        self.positions[position.0 as usize].endorsed_by.insert(by);
+    }
+
+    /// Net argument weight (pro − con) of a position.
+    pub fn argument_balance(&self, position: PositionId) -> f64 {
+        self.arguments
+            .iter()
+            .filter(|a| a.position == position)
+            .map(|a| match a.stance {
+                Stance::Pro => a.weight,
+                Stance::Con => -a.weight,
+            })
+            .sum()
+    }
+
+    /// Multicriteria score: weighted sum of criterion scores
+    /// (missing scores count 0), normalized by total criterion weight.
+    pub fn multicriteria_score(&self, position: PositionId) -> f64 {
+        let total: f64 = self.criteria.values().sum();
+        if total == 0.0 {
+            return 0.0;
+        }
+        let p = &self.positions[position.0 as usize];
+        self.criteria
+            .iter()
+            .map(|(name, w)| w * p.scores.get(name).copied().unwrap_or(0.0))
+            .sum::<f64>()
+            / total
+    }
+
+    /// Ranks an issue's positions by combined score: multicriteria
+    /// score plus a tanh-squashed argument balance (so an avalanche of
+    /// weak arguments cannot drown out the criteria).
+    pub fn rank(&self, issue: IssueId) -> Vec<(PositionId, f64)> {
+        let mut out: Vec<(PositionId, f64)> = self.issues[issue.0 as usize]
+            .positions
+            .iter()
+            .map(|&p| {
+                let score = self.multicriteria_score(p) + self.argument_balance(p).tanh();
+                (p, score)
+            })
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        out
+    }
+
+    /// Detects conflicts: stakeholders endorsing mutually exclusive
+    /// positions of one issue.
+    pub fn conflicts(&self) -> Vec<Conflict> {
+        let mut out = Vec::new();
+        for (i, issue) in self.issues.iter().enumerate() {
+            for &(a, b) in &issue.exclusions {
+                let ea = &self.positions[a.0 as usize].endorsed_by;
+                let eb = &self.positions[b.0 as usize].endorsed_by;
+                if let (Some(&sa), Some(&sb)) = (ea.iter().min(), eb.iter().min()) {
+                    out.push(Conflict {
+                        issue: IssueId(i as u32),
+                        left: (a, sa),
+                        right: (b, sb),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Resolves an issue by choosing a position; endorsements of
+    /// excluded positions are recorded history, not erased.
+    pub fn resolve(&mut self, issue: IssueId, position: PositionId) {
+        self.issues[issue.0 as usize].resolved = Some(position);
+    }
+
+    /// The chosen position, if resolved.
+    pub fn resolution(&self, issue: IssueId) -> Option<PositionId> {
+        self.issues[issue.0 as usize].resolved
+    }
+
+    /// Open (unresolved) issues.
+    pub fn open_issues(&self) -> Vec<IssueId> {
+        (0..self.issues.len() as u32)
+            .map(IssueId)
+            .filter(|&i| self.issues[i.0 as usize].resolved.is_none())
+            .collect()
+    }
+
+    /// Position text.
+    pub fn position_text(&self, id: PositionId) -> &str {
+        &self.positions[id.0 as usize].text
+    }
+
+    /// Issue text.
+    pub fn issue_text(&self, id: IssueId) -> &str {
+        &self.issues[id.0 as usize].text
+    }
+}
+
+impl fmt::Display for GroupBoard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, issue) in self.issues.iter().enumerate() {
+            writeln!(f, "Issue I{i}: {}", issue.text)?;
+            for &p in &issue.positions {
+                let pos = &self.positions[p.0 as usize];
+                let marker = if issue.resolved == Some(p) { "*" } else { " " };
+                writeln!(
+                    f,
+                    " {marker} P{}: {} (balance {:+.2}, mc {:.2})",
+                    p.0,
+                    pos.text,
+                    self.argument_balance(p),
+                    self.multicriteria_score(p)
+                )?;
+                for a in self.arguments.iter().filter(|a| a.position == p) {
+                    writeln!(
+                        f,
+                        "     {} [{}] {}",
+                        match a.stance {
+                            Stance::Pro => "+",
+                            Stance::Con => "-",
+                        },
+                        self.stakeholder_name(a.by),
+                        a.text
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The §2.1 key-choice debate as an argumentation structure.
+    fn key_debate() -> (GroupBoard, IssueId, PositionId, PositionId) {
+        let mut board = GroupBoard::new();
+        let dev = board.stakeholder("developer");
+        let maintainer = board.stakeholder("maintainer");
+        board.criterion("user-friendliness", 2.0);
+        board.criterion("robustness", 3.0);
+        let issue = board.issue("How to key the Invitation relation?");
+        let surrogate = board.position(issue, "keep surrogate paperkey");
+        let associative = board.position(issue, "use (date, author) associative key");
+        board.exclusive(surrogate, associative);
+        board.argue(
+            associative,
+            Stance::Pro,
+            dev,
+            "makes the system more user-friendly",
+            1.0,
+        );
+        board.argue(
+            associative,
+            Stance::Con,
+            maintainer,
+            "breaks when Minutes are mapped",
+            2.0,
+        );
+        board.score(surrogate, "robustness", 0.9);
+        board.score(surrogate, "user-friendliness", 0.3);
+        board.score(associative, "robustness", 0.2);
+        board.score(associative, "user-friendliness", 0.9);
+        (board, issue, surrogate, associative)
+    }
+
+    #[test]
+    fn argument_balance() {
+        let (board, _, surrogate, associative) = key_debate();
+        assert_eq!(board.argument_balance(surrogate), 0.0);
+        assert!((board.argument_balance(associative) - (-1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multicriteria_scores_weighted() {
+        let (board, _, surrogate, associative) = key_debate();
+        // surrogate: (2*0.3 + 3*0.9)/5 = 0.66; associative: (2*0.9+3*0.2)/5 = 0.48
+        assert!((board.multicriteria_score(surrogate) - 0.66).abs() < 1e-9);
+        assert!((board.multicriteria_score(associative) - 0.48).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ranking_combines_criteria_and_arguments() {
+        let (board, issue, surrogate, _) = key_debate();
+        let ranking = board.rank(issue);
+        assert_eq!(ranking[0].0, surrogate, "robust option wins the debate");
+        assert!(ranking[0].1 > ranking[1].1);
+    }
+
+    #[test]
+    fn conflict_detected_between_endorsers() {
+        let (mut board, issue, surrogate, associative) = key_debate();
+        assert!(board.conflicts().is_empty(), "no endorsements yet");
+        let dev = StakeholderId(0);
+        let maintainer = StakeholderId(1);
+        board.endorse(associative, dev);
+        board.endorse(surrogate, maintainer);
+        let conflicts = board.conflicts();
+        assert_eq!(conflicts.len(), 1);
+        assert_eq!(conflicts[0].issue, issue);
+    }
+
+    #[test]
+    fn no_conflict_when_one_side_unendorsed() {
+        let (mut board, _, _, associative) = key_debate();
+        board.endorse(associative, StakeholderId(0));
+        assert!(board.conflicts().is_empty());
+    }
+
+    #[test]
+    fn resolution_lifecycle() {
+        let (mut board, issue, surrogate, _) = key_debate();
+        assert_eq!(board.open_issues(), vec![issue]);
+        assert_eq!(board.resolution(issue), None);
+        board.resolve(issue, surrogate);
+        assert_eq!(board.resolution(issue), Some(surrogate));
+        assert!(board.open_issues().is_empty());
+    }
+
+    #[test]
+    fn missing_scores_count_zero() {
+        let mut board = GroupBoard::new();
+        board.criterion("c", 1.0);
+        let i = board.issue("i");
+        let p = board.position(i, "unscored");
+        assert_eq!(board.multicriteria_score(p), 0.0);
+    }
+
+    #[test]
+    fn no_criteria_means_zero_score() {
+        let mut board = GroupBoard::new();
+        let i = board.issue("i");
+        let p = board.position(i, "p");
+        assert_eq!(board.multicriteria_score(p), 0.0);
+    }
+
+    #[test]
+    fn scores_clamped() {
+        let mut board = GroupBoard::new();
+        board.criterion("c", 1.0);
+        let i = board.issue("i");
+        let p = board.position(i, "p");
+        board.score(p, "c", 7.0);
+        assert_eq!(board.multicriteria_score(p), 1.0);
+    }
+
+    #[test]
+    fn display_shows_structure() {
+        let (mut board, issue, surrogate, _) = key_debate();
+        board.resolve(issue, surrogate);
+        let s = board.to_string();
+        assert!(s.contains("Issue I0"));
+        assert!(s.contains("* P0"));
+        assert!(s.contains("user-friendly"));
+    }
+}

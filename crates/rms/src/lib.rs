@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! Reason maintenance for the GKBMS (paper §3.3.3).
+//!
+//! "The representation of decision structures supports the storage of
+//! redundant dependency information as the basis of a reason
+//! maintenance system \[DOYL79, DJ88\] which can contribute to the
+//! automatic propagation of the consequences of high-level changes."
+//!
+//! * [`jtms`] — a justification-based TMS in the style of Doyle
+//!   \[DOYL79\]: IN/OUT labels, non-monotonic justifications,
+//!   dependency-directed backtracking with nogood recording;
+//! * [`atms`] — an assumption-based TMS after de Kleer \[DEKL86\]:
+//!   nodes carry labels of minimal consistent environments, so
+//!   alternative design versions stay simultaneously available
+//!   (fig 3-4's coexisting implementations);
+//! * [`group`] — the \[HJ88\] extensions: argumentation structures
+//!   (issues / positions / arguments), multicriteria choice support,
+//!   and conflict detection among multiple developers.
+
+pub mod atms;
+pub mod group;
+pub mod jtms;
+
+pub use atms::{Atms, AtmsNodeId, Env};
+pub use jtms::{Jtms, JtmsNodeId, Label};

@@ -1,0 +1,99 @@
+//! Error type shared by all storage components.
+
+use std::fmt;
+use std::io;
+
+/// Errors raised by the storage substrate.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A record failed its CRC check (and was not the torn tail of a log).
+    Corrupt {
+        /// Byte offset at which corruption was detected.
+        offset: u64,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A record exceeded the maximum encodable length.
+    RecordTooLarge(usize),
+    /// A requested page lies beyond the end of the file.
+    PageOutOfBounds(u64),
+    /// A heap slot reference does not denote a live record.
+    InvalidSlot {
+        /// Page number of the bad reference.
+        page: u64,
+        /// Slot index of the bad reference.
+        slot: u16,
+    },
+    /// The store was opened with an incompatible on-disk format version.
+    BadFormatVersion(u32),
+}
+
+/// Convenient alias used throughout the crate.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "i/o error: {e}"),
+            StorageError::Corrupt { offset, detail } => {
+                write!(f, "corrupt record at offset {offset}: {detail}")
+            }
+            StorageError::RecordTooLarge(n) => {
+                write!(f, "record of {n} bytes exceeds maximum encodable length")
+            }
+            StorageError::PageOutOfBounds(p) => write!(f, "page {p} out of bounds"),
+            StorageError::InvalidSlot { page, slot } => {
+                write!(f, "invalid heap slot {slot} on page {page}")
+            }
+            StorageError::BadFormatVersion(v) => write!(f, "unsupported format version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_io() {
+        let e = StorageError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn display_corrupt() {
+        let e = StorageError::Corrupt {
+            offset: 42,
+            detail: "bad crc".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("42") && s.contains("bad crc"));
+    }
+
+    #[test]
+    fn display_misc() {
+        assert!(StorageError::RecordTooLarge(7).to_string().contains('7'));
+        assert!(StorageError::PageOutOfBounds(3).to_string().contains('3'));
+        assert!(StorageError::InvalidSlot { page: 1, slot: 2 }
+            .to_string()
+            .contains("slot 2"));
+        assert!(StorageError::BadFormatVersion(9).to_string().contains('9'));
+    }
+}

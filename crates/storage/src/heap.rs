@@ -1,0 +1,273 @@
+//! Slotted-page heap file of variable-length records.
+//!
+//! Each page holds a slot directory growing from the front and record
+//! bytes growing from the back. Records are addressed by stable
+//! [`RecordId`]s (page, slot); deletion tombstones a slot without moving
+//! other records. This is the classic layout used for relation storage —
+//! DBPL programs produced by the mapping assistants are "stored" in such
+//! heaps in the benches.
+//!
+//! Page layout:
+//!
+//! ```text
+//! [ nslots: u16 | free_lo: u16 | slots... ] ...free... [ records... ]
+//! slot = [ offset: u16 | len: u16 ]   (offset == 0xFFFF means dead)
+//! ```
+
+use crate::error::{StorageError, StorageResult};
+use crate::pager::{PageId, Pager, PAGE_SIZE};
+use std::path::Path;
+
+/// Stable address of a record in a heap file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RecordId {
+    /// Page containing the record.
+    pub page: u64,
+    /// Slot index within the page.
+    pub slot: u16,
+}
+
+const HDR: usize = 4;
+const SLOT: usize = 4;
+const DEAD: u16 = 0xFFFF;
+
+fn read_u16(d: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes([d[at], d[at + 1]])
+}
+
+fn write_u16(d: &mut [u8], at: usize, v: u16) {
+    d[at..at + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+/// A heap file storing variable-length records in slotted pages.
+pub struct HeapFile {
+    pager: Pager,
+    /// Page currently receiving inserts.
+    current: Option<PageId>,
+}
+
+impl HeapFile {
+    /// Maximum insertable record size (one page minus header and slot).
+    pub const MAX_RECORD: usize = PAGE_SIZE - HDR - SLOT;
+
+    /// Opens (or creates) a heap file at `path` with a cache of
+    /// `cache_pages` pages.
+    pub fn open(path: impl AsRef<Path>, cache_pages: usize) -> StorageResult<Self> {
+        let pager = Pager::open(path, cache_pages)?;
+        let current = if pager.page_count() > 0 {
+            Some(PageId(pager.page_count() - 1))
+        } else {
+            None
+        };
+        Ok(HeapFile { pager, current })
+    }
+
+    /// Inserts a record and returns its stable id.
+    pub fn insert(&mut self, data: &[u8]) -> StorageResult<RecordId> {
+        if data.len() > Self::MAX_RECORD {
+            return Err(StorageError::RecordTooLarge(data.len()));
+        }
+        if let Some(page) = self.current {
+            if let Some(rid) = self.try_insert(page, data)? {
+                return Ok(rid);
+            }
+        }
+        let page = self.pager.allocate()?;
+        self.pager.with_page_mut(page, |d| {
+            write_u16(d, 0, 0); // nslots
+            write_u16(d, 2, PAGE_SIZE as u16); // free_lo (records grow down from end)
+        })?;
+        self.current = Some(page);
+        let rid = self.try_insert(page, data)?;
+        Ok(rid.expect("fresh page must fit a MAX_RECORD-bounded record"))
+    }
+
+    fn try_insert(&mut self, page: PageId, data: &[u8]) -> StorageResult<Option<RecordId>> {
+        let len = data.len();
+        self.pager.with_page_mut(page, |d| {
+            let nslots = read_u16(d, 0) as usize;
+            let free_lo = read_u16(d, 2) as usize;
+            let dir_end = HDR + nslots * SLOT;
+            if free_lo < dir_end + SLOT + len {
+                return None; // no room on this page
+            }
+            let off = free_lo - len;
+            d[off..off + len].copy_from_slice(data);
+            write_u16(d, dir_end, off as u16);
+            write_u16(d, dir_end + 2, len as u16);
+            write_u16(d, 0, (nslots + 1) as u16);
+            write_u16(d, 2, off as u16);
+            Some(RecordId {
+                page: page.0,
+                slot: nslots as u16,
+            })
+        })
+    }
+
+    /// Reads the record at `rid`.
+    pub fn get(&mut self, rid: RecordId) -> StorageResult<Vec<u8>> {
+        let out = self.pager.with_page(PageId(rid.page), |d| {
+            let nslots = read_u16(d, 0);
+            if rid.slot >= nslots {
+                return None;
+            }
+            let at = HDR + rid.slot as usize * SLOT;
+            let off = read_u16(d, at);
+            if off == DEAD {
+                return None;
+            }
+            let len = read_u16(d, at + 2) as usize;
+            Some(d[off as usize..off as usize + len].to_vec())
+        })?;
+        out.ok_or(StorageError::InvalidSlot {
+            page: rid.page,
+            slot: rid.slot,
+        })
+    }
+
+    /// Deletes the record at `rid` (tombstone; space reclaimed only by a
+    /// rewrite). Returns whether the record was live.
+    pub fn delete(&mut self, rid: RecordId) -> StorageResult<bool> {
+        self.pager.with_page_mut(PageId(rid.page), |d| {
+            let nslots = read_u16(d, 0);
+            if rid.slot >= nslots {
+                return false;
+            }
+            let at = HDR + rid.slot as usize * SLOT;
+            if read_u16(d, at) == DEAD {
+                return false;
+            }
+            write_u16(d, at, DEAD);
+            true
+        })
+    }
+
+    /// Iterates all live records as `(RecordId, bytes)` pairs.
+    pub fn scan(&mut self) -> StorageResult<Vec<(RecordId, Vec<u8>)>> {
+        let mut out = Vec::new();
+        for p in 0..self.pager.page_count() {
+            self.pager.with_page(PageId(p), |d| {
+                let nslots = read_u16(d, 0);
+                for s in 0..nslots {
+                    let at = HDR + s as usize * SLOT;
+                    let off = read_u16(d, at);
+                    if off == DEAD {
+                        continue;
+                    }
+                    let len = read_u16(d, at + 2) as usize;
+                    out.push((
+                        RecordId { page: p, slot: s },
+                        d[off as usize..off as usize + len].to_vec(),
+                    ));
+                }
+            })?;
+        }
+        Ok(out)
+    }
+
+    /// Flushes dirty pages to disk.
+    pub fn flush(&mut self) -> StorageResult<()> {
+        self.pager.flush()
+    }
+
+    /// Number of pages in the file.
+    pub fn page_count(&self) -> u64 {
+        self.pager.page_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("cb-heap-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let path = tmp("rt");
+        let mut heap = HeapFile::open(&path, 8).unwrap();
+        let a = heap.insert(b"RELATION InvitationRel").unwrap();
+        let b = heap.insert(b"SELECTOR InvitationsPaperIC").unwrap();
+        assert_eq!(heap.get(a).unwrap(), b"RELATION InvitationRel");
+        assert_eq!(heap.get(b).unwrap(), b"SELECTOR InvitationsPaperIC");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn delete_tombstones() {
+        let path = tmp("del");
+        let mut heap = HeapFile::open(&path, 8).unwrap();
+        let a = heap.insert(b"one").unwrap();
+        let b = heap.insert(b"two").unwrap();
+        assert!(heap.delete(a).unwrap());
+        assert!(!heap.delete(a).unwrap());
+        assert!(heap.get(a).is_err());
+        assert_eq!(heap.get(b).unwrap(), b"two");
+        let live = heap.scan().unwrap();
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].0, b);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn spills_to_new_pages() {
+        let path = tmp("spill");
+        let mut heap = HeapFile::open(&path, 4).unwrap();
+        let big = vec![7u8; 1000];
+        let ids: Vec<RecordId> = (0..20).map(|_| heap.insert(&big).unwrap()).collect();
+        assert!(heap.page_count() > 1);
+        for id in &ids {
+            assert_eq!(heap.get(*id).unwrap().len(), 1000);
+        }
+        assert_eq!(heap.scan().unwrap().len(), 20);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn survives_reopen() {
+        let path = tmp("reopen");
+        let rid;
+        {
+            let mut heap = HeapFile::open(&path, 4).unwrap();
+            rid = heap.insert(b"persistent").unwrap();
+            heap.flush().unwrap();
+        }
+        let mut heap = HeapFile::open(&path, 4).unwrap();
+        assert_eq!(heap.get(rid).unwrap(), b"persistent");
+        // New inserts continue on the last page.
+        let rid2 = heap.insert(b"more").unwrap();
+        assert_eq!(rid2.page, rid.page);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn oversized_rejected() {
+        let path = tmp("big");
+        let mut heap = HeapFile::open(&path, 4).unwrap();
+        let too_big = vec![0u8; HeapFile::MAX_RECORD + 1];
+        assert!(matches!(
+            heap.insert(&too_big),
+            Err(StorageError::RecordTooLarge(_))
+        ));
+        // Exactly max fits.
+        let max = vec![1u8; HeapFile::MAX_RECORD];
+        let rid = heap.insert(&max).unwrap();
+        assert_eq!(heap.get(rid).unwrap().len(), HeapFile::MAX_RECORD);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn invalid_slot_is_error() {
+        let path = tmp("slot");
+        let mut heap = HeapFile::open(&path, 4).unwrap();
+        heap.insert(b"x").unwrap();
+        assert!(heap.get(RecordId { page: 0, slot: 9 }).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

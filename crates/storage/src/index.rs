@@ -1,0 +1,196 @@
+//! Ordered in-memory secondary indexes.
+//!
+//! The proposition processor maintains four access paths over the
+//! proposition base (by id, by source, by label, by destination); the
+//! [`MultiIndex`] here is the shared implementation: an ordered multimap
+//! with range scans and exact-key lookup.
+
+use std::collections::BTreeMap;
+
+/// An ordered multimap from keys to sets of values.
+///
+/// Values under one key are kept sorted and deduplicated, so lookups and
+/// scans yield deterministic order — important because display tools and
+/// tests depend on stable output.
+#[derive(Debug, Clone, Default)]
+pub struct MultiIndex<K: Ord + Clone, V: Ord + Clone> {
+    map: BTreeMap<K, Vec<V>>,
+    len: usize,
+}
+
+impl<K: Ord + Clone, V: Ord + Clone> MultiIndex<K, V> {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        MultiIndex {
+            map: BTreeMap::new(),
+            len: 0,
+        }
+    }
+
+    /// Inserts `(key, value)`; returns false if the pair was already
+    /// present.
+    pub fn insert(&mut self, key: K, value: V) -> bool {
+        let vals = self.map.entry(key).or_default();
+        match vals.binary_search(&value) {
+            Ok(_) => false,
+            Err(at) => {
+                vals.insert(at, value);
+                self.len += 1;
+                true
+            }
+        }
+    }
+
+    /// Removes `(key, value)`; returns whether it was present.
+    pub fn remove(&mut self, key: &K, value: &V) -> bool {
+        if let Some(vals) = self.map.get_mut(key) {
+            if let Ok(at) = vals.binary_search(value) {
+                vals.remove(at);
+                self.len -= 1;
+                if vals.is_empty() {
+                    self.map.remove(key);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// All values under `key`, in sorted order.
+    pub fn get(&self, key: &K) -> &[V] {
+        self.map.get(key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// True if the exact pair is present.
+    pub fn contains(&self, key: &K, value: &V) -> bool {
+        self.map
+            .get(key)
+            .is_some_and(|vals| vals.binary_search(value).is_ok())
+    }
+
+    /// Total number of `(key, value)` pairs.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no pairs are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Iterates all pairs in `(key, value)` order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.map
+            .iter()
+            .flat_map(|(k, vs)| vs.iter().map(move |v| (k, v)))
+    }
+
+    /// Iterates pairs whose key lies in `lo..=hi`.
+    pub fn range<'a>(&'a self, lo: &K, hi: &K) -> impl Iterator<Item = (&'a K, &'a V)> + 'a {
+        self.map
+            .range(lo.clone()..=hi.clone())
+            .flat_map(|(k, vs)| vs.iter().map(move |v| (k, v)))
+    }
+
+    /// Removes every value under `key`, returning how many were removed.
+    pub fn remove_key(&mut self, key: &K) -> usize {
+        match self.map.remove(key) {
+            Some(vals) => {
+                self.len -= vals.len();
+                vals.len()
+            }
+            None => 0,
+        }
+    }
+
+    /// Drops all entries.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_dedup_and_order() {
+        let mut ix: MultiIndex<&str, u32> = MultiIndex::new();
+        assert!(ix.insert("isa", 3));
+        assert!(ix.insert("isa", 1));
+        assert!(!ix.insert("isa", 3));
+        assert_eq!(ix.get(&"isa"), &[1, 3]);
+        assert_eq!(ix.len(), 2);
+        assert_eq!(ix.key_count(), 1);
+    }
+
+    #[test]
+    fn remove_and_cleanup() {
+        let mut ix: MultiIndex<u8, u8> = MultiIndex::new();
+        ix.insert(1, 10);
+        ix.insert(1, 11);
+        assert!(ix.remove(&1, &10));
+        assert!(!ix.remove(&1, &10));
+        assert_eq!(ix.get(&1), &[11]);
+        assert!(ix.remove(&1, &11));
+        assert_eq!(ix.key_count(), 0);
+        assert!(ix.is_empty());
+    }
+
+    #[test]
+    fn range_scan() {
+        let mut ix: MultiIndex<u32, &str> = MultiIndex::new();
+        ix.insert(1, "a");
+        ix.insert(2, "b");
+        ix.insert(2, "c");
+        ix.insert(5, "d");
+        let hits: Vec<_> = ix.range(&2, &4).map(|(_, v)| *v).collect();
+        assert_eq!(hits, vec!["b", "c"]);
+    }
+
+    #[test]
+    fn remove_key_bulk() {
+        let mut ix: MultiIndex<u32, u32> = MultiIndex::new();
+        for v in 0..5 {
+            ix.insert(7, v);
+        }
+        ix.insert(8, 0);
+        assert_eq!(ix.remove_key(&7), 5);
+        assert_eq!(ix.len(), 1);
+        assert_eq!(ix.remove_key(&7), 0);
+    }
+
+    #[test]
+    fn iter_is_globally_ordered() {
+        let mut ix: MultiIndex<u32, u32> = MultiIndex::new();
+        ix.insert(2, 1);
+        ix.insert(1, 9);
+        ix.insert(1, 2);
+        let all: Vec<_> = ix.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(all, vec![(1, 2), (1, 9), (2, 1)]);
+    }
+
+    #[test]
+    fn contains_checks_exact_pair() {
+        let mut ix: MultiIndex<&str, u32> = MultiIndex::new();
+        ix.insert("from", 4);
+        assert!(ix.contains(&"from", &4));
+        assert!(!ix.contains(&"from", &5));
+        assert!(!ix.contains(&"to", &4));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut ix: MultiIndex<u8, u8> = MultiIndex::new();
+        ix.insert(1, 1);
+        ix.clear();
+        assert!(ix.is_empty());
+        assert_eq!(ix.key_count(), 0);
+    }
+}

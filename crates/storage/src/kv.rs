@@ -1,0 +1,266 @@
+//! Log-structured key-value store with compaction.
+//!
+//! A thin "external database" in the sense of §3.1: keys and values are
+//! opaque byte strings; `set`/`delete` append to the [`AppendLog`], an
+//! in-memory ordered index maps each live key to its latest value, and
+//! [`KvStore::compact`] rewrites the log keeping only live entries.
+
+use crate::error::StorageResult;
+use crate::log::AppendLog;
+use crate::record::codec::{self, Cursor};
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::path::{Path, PathBuf};
+
+const OP_SET: u32 = 1;
+const OP_DELETE: u32 = 2;
+
+/// A durable ordered map from byte keys to byte values.
+pub struct KvStore {
+    log: AppendLog,
+    path: PathBuf,
+    /// Live view: key -> value. Values are stored inline; propositions
+    /// are small, so this favours simplicity over a <key -> LSN> index.
+    map: BTreeMap<Vec<u8>, Vec<u8>>,
+    /// Records in the log that are no longer live (overwritten/deleted).
+    dead: u64,
+}
+
+impl KvStore {
+    /// Opens (or creates) a store backed by the log file at `path`,
+    /// replaying the log to rebuild the live map.
+    pub fn open(path: impl AsRef<Path>) -> StorageResult<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut log = AppendLog::open(&path)?;
+        let mut map = BTreeMap::new();
+        let mut dead = 0u64;
+        for item in log.iter()? {
+            let (_, payload) = item?;
+            let mut c = Cursor::new(&payload);
+            let op = c.get_u32()?;
+            let key = c.get_bytes()?.to_vec();
+            match op {
+                OP_SET => {
+                    let value = c.get_bytes()?.to_vec();
+                    if map.insert(key, value).is_some() {
+                        dead += 1;
+                    }
+                }
+                _ => {
+                    if map.remove(&key).is_some() {
+                        dead += 1;
+                    }
+                    dead += 1; // the delete record itself is dead weight
+                }
+            }
+        }
+        Ok(KvStore {
+            log,
+            path,
+            map,
+            dead,
+        })
+    }
+
+    /// Stores `value` under `key`, replacing any previous value.
+    pub fn set(&mut self, key: &[u8], value: &[u8]) -> StorageResult<()> {
+        let mut payload = Vec::with_capacity(12 + key.len() + value.len());
+        codec::put_u32(&mut payload, OP_SET);
+        codec::put_bytes(&mut payload, key);
+        codec::put_bytes(&mut payload, value);
+        self.log.append(&payload)?;
+        if self.map.insert(key.to_vec(), value.to_vec()).is_some() {
+            self.dead += 1;
+        }
+        Ok(())
+    }
+
+    /// Removes `key`; returns whether it was present.
+    pub fn delete(&mut self, key: &[u8]) -> StorageResult<bool> {
+        let existed = self.map.remove(key).is_some();
+        if existed {
+            let mut payload = Vec::with_capacity(8 + key.len());
+            codec::put_u32(&mut payload, OP_DELETE);
+            codec::put_bytes(&mut payload, key);
+            self.log.append(&payload)?;
+            self.dead += 2;
+        }
+        Ok(existed)
+    }
+
+    /// Returns the value stored under `key`, if any.
+    pub fn get(&self, key: &[u8]) -> Option<&[u8]> {
+        self.map.get(key).map(|v| v.as_slice())
+    }
+
+    /// True if `key` is present.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no keys are live.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Number of dead (superseded) log records; drives compaction policy.
+    pub fn dead_records(&self) -> u64 {
+        self.dead
+    }
+
+    /// Iterates live `(key, value)` pairs whose key starts with `prefix`,
+    /// in key order.
+    pub fn scan_prefix<'a>(
+        &'a self,
+        prefix: &'a [u8],
+    ) -> impl Iterator<Item = (&'a [u8], &'a [u8])> + 'a {
+        self.map
+            .range::<[u8], _>((Bound::Included(prefix), Bound::Unbounded))
+            .take_while(move |(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.as_slice(), v.as_slice()))
+    }
+
+    /// Iterates all live pairs in key order.
+    pub fn scan(&self) -> impl Iterator<Item = (&[u8], &[u8])> {
+        self.map.iter().map(|(k, v)| (k.as_slice(), v.as_slice()))
+    }
+
+    /// Forces buffered appends to stable storage.
+    pub fn sync(&mut self) -> StorageResult<()> {
+        self.log.sync()
+    }
+
+    /// Rewrites the log with only live entries, atomically replacing the
+    /// old file. Returns the number of dead records dropped.
+    pub fn compact(&mut self) -> StorageResult<u64> {
+        let dropped = self.dead;
+        let tmp_path = self.path.with_extension("compact");
+        let _ = std::fs::remove_file(&tmp_path);
+        {
+            let mut fresh = AppendLog::open(&tmp_path)?;
+            for (k, v) in &self.map {
+                let mut payload = Vec::with_capacity(12 + k.len() + v.len());
+                codec::put_u32(&mut payload, OP_SET);
+                codec::put_bytes(&mut payload, k);
+                codec::put_bytes(&mut payload, v);
+                fresh.append(&payload)?;
+            }
+            fresh.sync()?;
+        }
+        std::fs::rename(&tmp_path, &self.path)?;
+        self.log = AppendLog::open(&self.path)?;
+        self.dead = 0;
+        Ok(dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("cb-kv-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn set_get_delete() {
+        let path = tmp("sgd");
+        let mut kv = KvStore::open(&path).unwrap();
+        kv.set(b"a", b"1").unwrap();
+        kv.set(b"b", b"2").unwrap();
+        assert_eq!(kv.get(b"a"), Some(b"1".as_slice()));
+        assert!(kv.delete(b"a").unwrap());
+        assert!(!kv.delete(b"a").unwrap());
+        assert_eq!(kv.get(b"a"), None);
+        assert_eq!(kv.len(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn overwrite_keeps_latest() {
+        let path = tmp("over");
+        let mut kv = KvStore::open(&path).unwrap();
+        kv.set(b"k", b"v1").unwrap();
+        kv.set(b"k", b"v2").unwrap();
+        assert_eq!(kv.get(b"k"), Some(b"v2".as_slice()));
+        assert_eq!(kv.dead_records(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn recovery_rebuilds_state() {
+        let path = tmp("recover");
+        {
+            let mut kv = KvStore::open(&path).unwrap();
+            kv.set(b"x", b"1").unwrap();
+            kv.set(b"y", b"2").unwrap();
+            kv.set(b"x", b"3").unwrap();
+            kv.delete(b"y").unwrap();
+            kv.sync().unwrap();
+        }
+        let kv = KvStore::open(&path).unwrap();
+        assert_eq!(kv.get(b"x"), Some(b"3".as_slice()));
+        assert_eq!(kv.get(b"y"), None);
+        assert_eq!(kv.len(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn prefix_scan_in_order() {
+        let path = tmp("scan");
+        let mut kv = KvStore::open(&path).unwrap();
+        kv.set(b"p/2", b"b").unwrap();
+        kv.set(b"p/1", b"a").unwrap();
+        kv.set(b"q/1", b"c").unwrap();
+        let hits: Vec<_> = kv.scan_prefix(b"p/").map(|(k, _)| k.to_vec()).collect();
+        assert_eq!(hits, vec![b"p/1".to_vec(), b"p/2".to_vec()]);
+        assert_eq!(kv.scan().count(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compaction_preserves_live_data() {
+        let path = tmp("compact");
+        let mut kv = KvStore::open(&path).unwrap();
+        for i in 0..100u32 {
+            kv.set(b"hot", format!("{i}").as_bytes()).unwrap();
+        }
+        kv.set(b"cold", b"stays").unwrap();
+        kv.sync().unwrap();
+        let before = std::fs::metadata(&path).unwrap().len();
+        let dropped = kv.compact().unwrap();
+        assert!(dropped >= 99);
+        kv.sync().unwrap();
+        let after = std::fs::metadata(&path).unwrap().len();
+        assert!(after < before);
+        assert_eq!(kv.get(b"hot"), Some(b"99".as_slice()));
+        assert_eq!(kv.get(b"cold"), Some(b"stays".as_slice()));
+        // And the compacted file recovers correctly.
+        drop(kv);
+        let kv = KvStore::open(&path).unwrap();
+        assert_eq!(kv.get(b"hot"), Some(b"99".as_slice()));
+        assert_eq!(kv.len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn store_usable_after_compaction() {
+        let path = tmp("after");
+        let mut kv = KvStore::open(&path).unwrap();
+        kv.set(b"a", b"1").unwrap();
+        kv.compact().unwrap();
+        kv.set(b"b", b"2").unwrap();
+        drop(kv);
+        let kv = KvStore::open(&path).unwrap();
+        assert_eq!(kv.len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! Physical storage substrate for the proposition base.
+//!
+//! The paper (§3.1) requires that "several physical representations
+//! (e.g. Prolog workspaces, external databases) of propositions can be
+//! managed by the proposition base". This crate provides the building
+//! blocks for such representations:
+//!
+//! * [`record`] — a length-prefixed, CRC-checked binary record format;
+//! * [`log`] — an append-only segment log with torn-tail recovery;
+//! * [`kv`] — a log-structured key-value store with compaction;
+//! * [`pager`] — a fixed-size page cache with LRU eviction;
+//! * [`heap`] — a slotted heap file of variable-length records on top of
+//!   the pager;
+//! * [`index`] — ordered in-memory secondary indexes.
+//!
+//! The `telos` crate builds its persistent proposition-base backend from
+//! these pieces; an in-memory backend needs only [`index`].
+
+pub mod error;
+pub mod heap;
+pub mod index;
+pub mod kv;
+pub mod log;
+pub mod pager;
+pub mod record;
+
+pub use error::{StorageError, StorageResult};
+pub use kv::KvStore;
+pub use log::{AppendLog, Lsn};

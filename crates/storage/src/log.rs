@@ -1,0 +1,282 @@
+//! Append-only record log with torn-tail recovery.
+//!
+//! The log is the durability primitive behind the persistent proposition
+//! base: every `TELL` appends one record, and recovery replays the log in
+//! order. A torn write at the very tail (process killed mid-append) is
+//! truncated away; corruption anywhere *before* the tail is a hard error,
+//! because silently dropping interior history would violate the paper's
+//! "nothing is ever destructively deleted" documentation discipline.
+
+use crate::error::{StorageError, StorageResult};
+use crate::record::{self, ReadOutcome};
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, BufWriter, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Log sequence number: byte offset of a record's header in the log file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lsn(pub u64);
+
+/// What `open` found at the tail of an existing log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TailState {
+    /// Log ended cleanly on a record boundary.
+    Clean,
+    /// A torn record was truncated at this offset.
+    TruncatedAt(u64),
+}
+
+/// An append-only log of CRC-checked records in a single file.
+pub struct AppendLog {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    /// Next append offset == current logical length.
+    tail: u64,
+    /// Number of live records.
+    records: u64,
+    tail_state: TailState,
+}
+
+impl AppendLog {
+    /// Opens (or creates) the log at `path`, scanning it to validate all
+    /// records and locate the tail. A torn final record is truncated.
+    pub fn open(path: impl AsRef<Path>) -> StorageResult<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(&path)?;
+        let mut reader = BufReader::new(file.try_clone()?);
+        reader.seek(SeekFrom::Start(0))?;
+        let mut offset = 0u64;
+        let mut records = 0u64;
+        let mut tail_state = TailState::Clean;
+        loop {
+            match record::read_record(&mut reader, offset)? {
+                ReadOutcome::Record(payload) => {
+                    offset += (record::HEADER_LEN + payload.len()) as u64;
+                    records += 1;
+                }
+                ReadOutcome::Eof => break,
+                ReadOutcome::Torn { offset: at } => {
+                    // Torn tail: truncate and carry on.
+                    file.set_len(at)?;
+                    tail_state = TailState::TruncatedAt(at);
+                    break;
+                }
+                ReadOutcome::BadCrc { offset: at } => {
+                    return Err(StorageError::Corrupt {
+                        offset: at,
+                        detail: "crc mismatch in log interior".into(),
+                    });
+                }
+            }
+        }
+        let mut writer = BufWriter::new(file);
+        writer.seek(SeekFrom::Start(offset))?;
+        Ok(AppendLog {
+            path,
+            writer,
+            tail: offset,
+            records,
+            tail_state,
+        })
+    }
+
+    /// Appends one record and returns its LSN. Data is buffered; call
+    /// [`AppendLog::sync`] to force it to stable storage.
+    pub fn append(&mut self, payload: &[u8]) -> StorageResult<Lsn> {
+        let lsn = Lsn(self.tail);
+        let written = record::write_record(&mut self.writer, payload)?;
+        self.tail += written as u64;
+        self.records += 1;
+        Ok(lsn)
+    }
+
+    /// Flushes buffers and fsyncs the file.
+    pub fn sync(&mut self) -> StorageResult<()> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_data()?;
+        Ok(())
+    }
+
+    /// Number of records currently in the log.
+    pub fn len(&self) -> u64 {
+        self.records
+    }
+
+    /// True if the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// Logical byte length (next append offset).
+    pub fn byte_len(&self) -> u64 {
+        self.tail
+    }
+
+    /// What `open` found at the tail.
+    pub fn tail_state(&self) -> TailState {
+        self.tail_state
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Iterates all records from the beginning. Buffered appends are
+    /// flushed first so the iterator sees every record appended so far.
+    pub fn iter(&mut self) -> StorageResult<LogIter> {
+        self.writer.flush()?;
+        let file = File::open(&self.path)?;
+        Ok(LogIter {
+            reader: BufReader::new(file),
+            offset: 0,
+            end: self.tail,
+        })
+    }
+}
+
+/// Iterator over `(Lsn, payload)` pairs of a log.
+pub struct LogIter {
+    reader: BufReader<File>,
+    offset: u64,
+    end: u64,
+}
+
+impl Iterator for LogIter {
+    type Item = StorageResult<(Lsn, Vec<u8>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.offset >= self.end {
+            return None;
+        }
+        match record::read_record(&mut self.reader, self.offset) {
+            Ok(ReadOutcome::Record(payload)) => {
+                let lsn = Lsn(self.offset);
+                self.offset += (record::HEADER_LEN + payload.len()) as u64;
+                Some(Ok((lsn, payload)))
+            }
+            Ok(ReadOutcome::Eof) => None,
+            Ok(ReadOutcome::Torn { offset }) => Some(Err(StorageError::Corrupt {
+                offset,
+                detail: "torn record inside committed region".into(),
+            })),
+            Ok(ReadOutcome::BadCrc { offset }) => Some(Err(StorageError::Corrupt {
+                offset,
+                detail: "crc mismatch".into(),
+            })),
+            Err(e) => Some(Err(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("cb-log-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn append_and_iterate() {
+        let path = tmp("basic");
+        let mut log = AppendLog::open(&path).unwrap();
+        assert!(log.is_empty());
+        let a = log.append(b"alpha").unwrap();
+        let b = log.append(b"beta").unwrap();
+        assert!(a < b);
+        let items: Vec<_> = log.iter().unwrap().map(|r| r.unwrap().1).collect();
+        assert_eq!(items, vec![b"alpha".to_vec(), b"beta".to_vec()]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reopen_preserves_records() {
+        let path = tmp("reopen");
+        {
+            let mut log = AppendLog::open(&path).unwrap();
+            log.append(b"one").unwrap();
+            log.append(b"two").unwrap();
+            log.sync().unwrap();
+        }
+        let mut log = AppendLog::open(&path).unwrap();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.tail_state(), TailState::Clean);
+        log.append(b"three").unwrap();
+        let items: Vec<_> = log.iter().unwrap().map(|r| r.unwrap().1).collect();
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[2], b"three");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let path = tmp("torn");
+        {
+            let mut log = AppendLog::open(&path).unwrap();
+            log.append(b"committed").unwrap();
+            log.append(b"torn-away-record").unwrap();
+            log.sync().unwrap();
+        }
+        // Simulate a crash mid-append of the second record.
+        let full = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(full - 5).unwrap();
+        drop(f);
+        let mut log = AppendLog::open(&path).unwrap();
+        assert_eq!(log.len(), 1);
+        assert!(matches!(log.tail_state(), TailState::TruncatedAt(_)));
+        let items: Vec<_> = log.iter().unwrap().map(|r| r.unwrap().1).collect();
+        assert_eq!(items, vec![b"committed".to_vec()]);
+        // The log is usable again after truncation.
+        log.append(b"new").unwrap();
+        assert_eq!(log.len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn interior_corruption_is_fatal() {
+        let path = tmp("corrupt");
+        {
+            let mut log = AppendLog::open(&path).unwrap();
+            log.append(b"aaaaaaaa").unwrap();
+            log.append(b"bbbbbbbb").unwrap();
+            log.sync().unwrap();
+        }
+        // Flip a payload byte of the FIRST record.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[record::HEADER_LEN + 2] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            AppendLog::open(&path),
+            Err(StorageError::Corrupt { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn lsn_is_byte_offset() {
+        let path = tmp("lsn");
+        let mut log = AppendLog::open(&path).unwrap();
+        let a = log.append(b"xy").unwrap();
+        let b = log.append(b"z").unwrap();
+        assert_eq!(a, Lsn(0));
+        assert_eq!(b, Lsn((record::HEADER_LEN + 2) as u64));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_log_iterates_nothing() {
+        let path = tmp("empty");
+        let mut log = AppendLog::open(&path).unwrap();
+        assert_eq!(log.iter().unwrap().count(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

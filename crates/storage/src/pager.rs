@@ -1,0 +1,281 @@
+//! Fixed-size page cache with LRU eviction.
+//!
+//! [`Pager`] mediates access to a paged file: reads go through an LRU
+//! cache of dirty-tracked frames, writes mark frames dirty, and
+//! [`Pager::flush`] writes dirty frames back. The heap file (see
+//! [`crate::heap`]) is built on top of it.
+
+use crate::error::{StorageError, StorageResult};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Size of one page in bytes.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Identifier of a page (its index within the file).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u64);
+
+struct Frame {
+    data: Box<[u8; PAGE_SIZE]>,
+    dirty: bool,
+    /// Logical clock of last access, for LRU eviction.
+    last_used: u64,
+}
+
+/// A page cache over a single file.
+pub struct Pager {
+    file: File,
+    frames: HashMap<PageId, Frame>,
+    capacity: usize,
+    clock: u64,
+    pages: u64,
+    /// Statistics: cache hits and misses, exposed for the benches.
+    pub hits: u64,
+    /// Statistics: cache misses.
+    pub misses: u64,
+}
+
+impl Pager {
+    /// Opens (or creates) the paged file at `path` with an in-memory
+    /// cache of `capacity` pages (minimum 1).
+    pub fn open(path: impl AsRef<Path>, capacity: usize) -> StorageResult<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        let pages = len.div_ceil(PAGE_SIZE as u64);
+        Ok(Pager {
+            file,
+            frames: HashMap::new(),
+            capacity: capacity.max(1),
+            clock: 0,
+            pages,
+            hits: 0,
+            misses: 0,
+        })
+    }
+
+    /// Number of pages currently in the file.
+    pub fn page_count(&self) -> u64 {
+        self.pages
+    }
+
+    /// Appends a fresh zeroed page and returns its id.
+    pub fn allocate(&mut self) -> StorageResult<PageId> {
+        let id = PageId(self.pages);
+        self.pages += 1;
+        self.clock += 1;
+        self.evict_if_full()?;
+        self.frames.insert(
+            id,
+            Frame {
+                data: Box::new([0u8; PAGE_SIZE]),
+                dirty: true,
+                last_used: self.clock,
+            },
+        );
+        Ok(id)
+    }
+
+    fn load(&mut self, id: PageId) -> StorageResult<()> {
+        if id.0 >= self.pages {
+            return Err(StorageError::PageOutOfBounds(id.0));
+        }
+        if self.frames.contains_key(&id) {
+            self.hits += 1;
+            return Ok(());
+        }
+        self.misses += 1;
+        self.evict_if_full()?;
+        let mut data = Box::new([0u8; PAGE_SIZE]);
+        self.file.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
+        // The file may be shorter than a full page if the last page was
+        // never flushed; read what exists, the rest stays zero.
+        let mut filled = 0;
+        while filled < PAGE_SIZE {
+            let n = self.file.read(&mut data[filled..])?;
+            if n == 0 {
+                break;
+            }
+            filled += n;
+        }
+        self.frames.insert(
+            id,
+            Frame {
+                data,
+                dirty: false,
+                last_used: self.clock,
+            },
+        );
+        Ok(())
+    }
+
+    fn evict_if_full(&mut self) -> StorageResult<()> {
+        while self.frames.len() >= self.capacity {
+            let victim = self
+                .frames
+                .iter()
+                .min_by_key(|(_, f)| f.last_used)
+                .map(|(id, _)| *id)
+                .expect("frames non-empty");
+            self.write_back(victim)?;
+            self.frames.remove(&victim);
+        }
+        Ok(())
+    }
+
+    fn write_back(&mut self, id: PageId) -> StorageResult<()> {
+        if let Some(frame) = self.frames.get_mut(&id) {
+            if frame.dirty {
+                self.file.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
+                self.file.write_all(frame.data.as_ref())?;
+                frame.dirty = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs `f` with read access to the page's bytes.
+    pub fn with_page<R>(
+        &mut self,
+        id: PageId,
+        f: impl FnOnce(&[u8; PAGE_SIZE]) -> R,
+    ) -> StorageResult<R> {
+        self.load(id)?;
+        self.clock += 1;
+        let clock = self.clock;
+        let frame = self.frames.get_mut(&id).expect("just loaded");
+        frame.last_used = clock;
+        Ok(f(&frame.data))
+    }
+
+    /// Runs `f` with write access to the page's bytes and marks it dirty.
+    pub fn with_page_mut<R>(
+        &mut self,
+        id: PageId,
+        f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> R,
+    ) -> StorageResult<R> {
+        self.load(id)?;
+        self.clock += 1;
+        let clock = self.clock;
+        let frame = self.frames.get_mut(&id).expect("just loaded");
+        frame.last_used = clock;
+        frame.dirty = true;
+        Ok(f(&mut frame.data))
+    }
+
+    /// Writes all dirty frames back and fsyncs.
+    pub fn flush(&mut self) -> StorageResult<()> {
+        let dirty: Vec<PageId> = self
+            .frames
+            .iter()
+            .filter(|(_, f)| f.dirty)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in dirty {
+            self.write_back(id)?;
+        }
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("cb-pager-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn allocate_write_read() {
+        let path = tmp("rw");
+        let mut pager = Pager::open(&path, 4).unwrap();
+        let p0 = pager.allocate().unwrap();
+        pager
+            .with_page_mut(p0, |d| {
+                d[0] = 0xAB;
+                d[PAGE_SIZE - 1] = 0xCD;
+            })
+            .unwrap();
+        let (a, b) = pager.with_page(p0, |d| (d[0], d[PAGE_SIZE - 1])).unwrap();
+        assert_eq!((a, b), (0xAB, 0xCD));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn data_survives_eviction() {
+        let path = tmp("evict");
+        let mut pager = Pager::open(&path, 2).unwrap();
+        let ids: Vec<PageId> = (0..8).map(|_| pager.allocate().unwrap()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            pager.with_page_mut(id, |d| d[0] = i as u8).unwrap();
+        }
+        for (i, &id) in ids.iter().enumerate() {
+            let v = pager.with_page(id, |d| d[0]).unwrap();
+            assert_eq!(v, i as u8, "page {i}");
+        }
+        assert!(pager.misses > 0, "with capacity 2 and 8 pages, must miss");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn data_survives_reopen_after_flush() {
+        let path = tmp("reopen");
+        {
+            let mut pager = Pager::open(&path, 4).unwrap();
+            let p = pager.allocate().unwrap();
+            pager.with_page_mut(p, |d| d[100] = 42).unwrap();
+            pager.flush().unwrap();
+        }
+        let mut pager = Pager::open(&path, 4).unwrap();
+        assert_eq!(pager.page_count(), 1);
+        let v = pager.with_page(PageId(0), |d| d[100]).unwrap();
+        assert_eq!(v, 42);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn out_of_bounds_read_is_error() {
+        let path = tmp("oob");
+        let mut pager = Pager::open(&path, 2).unwrap();
+        assert!(matches!(
+            pager.with_page(PageId(5), |_| ()),
+            Err(StorageError::PageOutOfBounds(5))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn lru_prefers_older_pages() {
+        let path = tmp("lru");
+        let mut pager = Pager::open(&path, 2).unwrap();
+        let a = pager.allocate().unwrap();
+        let b = pager.allocate().unwrap();
+        // Touch `a` so that `b` is the LRU victim when `c` arrives.
+        pager.with_page(a, |_| ()).unwrap();
+        let _c = pager.allocate().unwrap();
+        let hits_before = pager.hits;
+        pager.with_page(a, |_| ()).unwrap();
+        assert_eq!(pager.hits, hits_before + 1, "a should still be cached");
+        let misses_before = pager.misses;
+        pager.with_page(b, |_| ()).unwrap();
+        assert_eq!(
+            pager.misses,
+            misses_before + 1,
+            "b should have been evicted"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+}

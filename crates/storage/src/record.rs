@@ -1,0 +1,350 @@
+//! Length-prefixed, CRC-checked binary records.
+//!
+//! Wire layout of a record:
+//!
+//! ```text
+//! +----------------+----------------+------------------+
+//! | len: u32 (LE)  | crc32: u32(LE) | payload: len * u8|
+//! +----------------+----------------+------------------+
+//! ```
+//!
+//! The CRC covers the payload only; the length field is validated
+//! indirectly (a wrong length produces a CRC mismatch or a short read,
+//! both reported as corruption — except at the tail of a log, where a
+//! short read is treated as a torn write by [`crate::log::AppendLog`]).
+
+use crate::error::{StorageError, StorageResult};
+use std::io::{Read, Write};
+
+/// Maximum encodable payload size (16 MiB). Propositions are tiny; this
+/// bound exists to turn corrupted length fields into clean errors instead
+/// of huge allocations.
+pub const MAX_RECORD_LEN: usize = 16 * 1024 * 1024;
+
+/// Size of the per-record header (length + CRC).
+pub const HEADER_LEN: usize = 8;
+
+const CRC_POLY: u32 = 0xEDB8_8320;
+
+/// Computes the CRC-32 (IEEE) of `data` with a lazily built table.
+pub fn crc32(data: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    CRC_POLY ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *entry = c;
+        }
+        t
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// Encodes `payload` into the wire format, appending to `out`.
+pub fn encode(payload: &[u8], out: &mut Vec<u8>) -> StorageResult<()> {
+    if payload.len() > MAX_RECORD_LEN {
+        return Err(StorageError::RecordTooLarge(payload.len()));
+    }
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(())
+}
+
+/// Writes one record to `w`.
+pub fn write_record<W: Write>(w: &mut W, payload: &[u8]) -> StorageResult<usize> {
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+    encode(payload, &mut buf)?;
+    w.write_all(&buf)?;
+    Ok(buf.len())
+}
+
+/// Outcome of attempting to read a record from a stream.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// A complete, CRC-valid record.
+    Record(Vec<u8>),
+    /// Clean end of stream (no bytes where a header would start).
+    Eof,
+    /// The stream ended mid-record: a torn write at `offset`.
+    Torn {
+        /// Offset of the torn record's header.
+        offset: u64,
+    },
+    /// The header parsed but the payload failed its CRC.
+    BadCrc {
+        /// Offset of the corrupt record's header.
+        offset: u64,
+    },
+}
+
+/// Reads one record starting at stream offset `offset` (used only for
+/// error reporting). Distinguishes clean EOF, torn tail, and corruption
+/// so the log layer can decide which are recoverable.
+pub fn read_record<R: Read>(r: &mut R, offset: u64) -> StorageResult<ReadOutcome> {
+    let mut header = [0u8; HEADER_LEN];
+    let mut filled = 0;
+    while filled < HEADER_LEN {
+        let n = r.read(&mut header[filled..])?;
+        if n == 0 {
+            return Ok(if filled == 0 {
+                ReadOutcome::Eof
+            } else {
+                ReadOutcome::Torn { offset }
+            });
+        }
+        filled += n;
+    }
+    let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
+    let crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+    if len > MAX_RECORD_LEN {
+        return Ok(ReadOutcome::BadCrc { offset });
+    }
+    let mut payload = vec![0u8; len];
+    let mut got = 0;
+    while got < len {
+        let n = r.read(&mut payload[got..])?;
+        if n == 0 {
+            return Ok(ReadOutcome::Torn { offset });
+        }
+        got += n;
+    }
+    if crc32(&payload) != crc {
+        return Ok(ReadOutcome::BadCrc { offset });
+    }
+    Ok(ReadOutcome::Record(payload))
+}
+
+/// Helpers for encoding the primitive values used by record payloads.
+/// All integers are little-endian; strings are length-prefixed UTF-8.
+pub mod codec {
+    use crate::error::{StorageError, StorageResult};
+
+    /// Appends a `u32`.
+    pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`.
+    pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `i64`.
+    pub fn put_i64(out: &mut Vec<u8>, v: i64) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn put_bytes(out: &mut Vec<u8>, v: &[u8]) {
+        put_u32(out, v.len() as u32);
+        out.extend_from_slice(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(out: &mut Vec<u8>, v: &str) {
+        put_bytes(out, v.as_bytes());
+    }
+
+    /// Sequential reader over an encoded payload.
+    pub struct Cursor<'a> {
+        buf: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Cursor<'a> {
+        /// Starts reading `buf` from the beginning.
+        pub fn new(buf: &'a [u8]) -> Self {
+            Cursor { buf, pos: 0 }
+        }
+
+        fn take(&mut self, n: usize) -> StorageResult<&'a [u8]> {
+            if self.pos + n > self.buf.len() {
+                return Err(StorageError::Corrupt {
+                    offset: self.pos as u64,
+                    detail: format!("payload truncated: need {n} bytes"),
+                });
+            }
+            let s = &self.buf[self.pos..self.pos + n];
+            self.pos += n;
+            Ok(s)
+        }
+
+        /// Reads a `u32`.
+        pub fn get_u32(&mut self) -> StorageResult<u32> {
+            let s = self.take(4)?;
+            Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+        }
+
+        /// Reads a `u64`.
+        pub fn get_u64(&mut self) -> StorageResult<u64> {
+            let s = self.take(8)?;
+            Ok(u64::from_le_bytes(s.try_into().expect("len 8")))
+        }
+
+        /// Reads an `i64`.
+        pub fn get_i64(&mut self) -> StorageResult<i64> {
+            let s = self.take(8)?;
+            Ok(i64::from_le_bytes(s.try_into().expect("len 8")))
+        }
+
+        /// Reads a length-prefixed byte string.
+        pub fn get_bytes(&mut self) -> StorageResult<&'a [u8]> {
+            let n = self.get_u32()? as usize;
+            self.take(n)
+        }
+
+        /// Reads a length-prefixed UTF-8 string.
+        pub fn get_str(&mut self) -> StorageResult<&'a str> {
+            let b = self.get_bytes()?;
+            std::str::from_utf8(b).map_err(|e| StorageError::Corrupt {
+                offset: self.pos as u64,
+                detail: format!("invalid utf-8: {e}"),
+            })
+        }
+
+        /// True if every byte has been consumed.
+        pub fn is_exhausted(&self) -> bool {
+            self.pos == self.buf.len()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor as IoCursor;
+
+    #[test]
+    fn crc_known_vector() {
+        // IEEE CRC-32 of "123456789" is 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn crc_empty() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_single() {
+        let mut buf = Vec::new();
+        encode(b"hello", &mut buf).unwrap();
+        let mut r = IoCursor::new(buf);
+        match read_record(&mut r, 0).unwrap() {
+            ReadOutcome::Record(p) => assert_eq!(p, b"hello"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(read_record(&mut r, 0).unwrap(), ReadOutcome::Eof);
+    }
+
+    #[test]
+    fn roundtrip_empty_payload() {
+        let mut buf = Vec::new();
+        encode(b"", &mut buf).unwrap();
+        let mut r = IoCursor::new(buf);
+        assert_eq!(read_record(&mut r, 0).unwrap(), ReadOutcome::Record(vec![]));
+    }
+
+    #[test]
+    fn torn_header_detected() {
+        let mut buf = Vec::new();
+        encode(b"hello", &mut buf).unwrap();
+        buf.truncate(3); // mid-header
+        let mut r = IoCursor::new(buf);
+        assert_eq!(
+            read_record(&mut r, 7).unwrap(),
+            ReadOutcome::Torn { offset: 7 }
+        );
+    }
+
+    #[test]
+    fn torn_payload_detected() {
+        let mut buf = Vec::new();
+        encode(b"hello world", &mut buf).unwrap();
+        buf.truncate(HEADER_LEN + 4); // mid-payload
+        let mut r = IoCursor::new(buf);
+        assert_eq!(
+            read_record(&mut r, 9).unwrap(),
+            ReadOutcome::Torn { offset: 9 }
+        );
+    }
+
+    #[test]
+    fn flipped_bit_detected() {
+        let mut buf = Vec::new();
+        encode(b"hello", &mut buf).unwrap();
+        buf[HEADER_LEN] ^= 0x40;
+        let mut r = IoCursor::new(buf);
+        assert_eq!(
+            read_record(&mut r, 0).unwrap(),
+            ReadOutcome::BadCrc { offset: 0 }
+        );
+    }
+
+    #[test]
+    fn absurd_length_rejected_cleanly() {
+        let mut buf = vec![0xFF, 0xFF, 0xFF, 0x7F, 0, 0, 0, 0];
+        buf.extend_from_slice(b"x");
+        let mut r = IoCursor::new(buf);
+        assert_eq!(
+            read_record(&mut r, 0).unwrap(),
+            ReadOutcome::BadCrc { offset: 0 }
+        );
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let huge = vec![0u8; MAX_RECORD_LEN + 1];
+        let mut out = Vec::new();
+        assert!(matches!(
+            encode(&huge, &mut out),
+            Err(StorageError::RecordTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let mut buf = Vec::new();
+        codec::put_u32(&mut buf, 7);
+        codec::put_u64(&mut buf, u64::MAX);
+        codec::put_i64(&mut buf, -42);
+        codec::put_str(&mut buf, "Invitation");
+        codec::put_bytes(&mut buf, &[1, 2, 3]);
+        let mut c = codec::Cursor::new(&buf);
+        assert_eq!(c.get_u32().unwrap(), 7);
+        assert_eq!(c.get_u64().unwrap(), u64::MAX);
+        assert_eq!(c.get_i64().unwrap(), -42);
+        assert_eq!(c.get_str().unwrap(), "Invitation");
+        assert_eq!(c.get_bytes().unwrap(), &[1, 2, 3]);
+        assert!(c.is_exhausted());
+    }
+
+    #[test]
+    fn codec_truncation_is_error() {
+        let mut buf = Vec::new();
+        codec::put_str(&mut buf, "Paper");
+        buf.truncate(buf.len() - 2);
+        let mut c = codec::Cursor::new(&buf);
+        assert!(c.get_str().is_err());
+    }
+
+    #[test]
+    fn codec_bad_utf8_is_error() {
+        let mut buf = Vec::new();
+        codec::put_bytes(&mut buf, &[0xFF, 0xFE]);
+        let mut c = codec::Cursor::new(&buf);
+        assert!(c.get_str().is_err());
+    }
+}

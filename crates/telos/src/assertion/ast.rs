@@ -1,0 +1,174 @@
+//! Abstract syntax of the assertion language.
+
+use std::fmt;
+
+/// A term: an identifier, resolved at evaluation time first against the
+/// variable environment, then against the KB's individual names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Term(pub String);
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An atomic formula.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Atom {
+    /// `x in C` — classification (with inheritance).
+    In(Term, Term),
+    /// `C isa D` — specialization (transitive, reflexive).
+    Isa(Term, Term),
+    /// `x = y` — identity of denoted propositions.
+    Eq(Term, Term),
+    /// `x <> y`.
+    Ne(Term, Term),
+    /// `x.label = y` — some believed attribute `label` of `x` has value `y`.
+    HasAttr(Term, String, Term),
+    /// `x.label defined` — `x` has at least one believed attribute `label`.
+    AttrDefined(Term, String),
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Atom::In(x, c) => write!(f, "{x} in {c}"),
+            Atom::Isa(c, d) => write!(f, "{c} isa {d}"),
+            Atom::Eq(x, y) => write!(f, "{x} = {y}"),
+            Atom::Ne(x, y) => write!(f, "{x} <> {y}"),
+            Atom::HasAttr(x, l, y) => write!(f, "{x}.{l} = {y}"),
+            Atom::AttrDefined(x, l) => write!(f, "{x}.{l} defined"),
+        }
+    }
+}
+
+/// A first-order expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// `forall v/Class body` — v ranges over all instances of Class.
+    Forall(String, String, Box<Expr>),
+    /// `exists v/Class body`.
+    Exists(String, String, Box<Expr>),
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+    /// Implication.
+    Implies(Box<Expr>, Box<Expr>),
+    /// An atomic formula.
+    Atom(Atom),
+    /// The true constant.
+    True,
+}
+
+impl Expr {
+    /// Convenience constructor for conjunction chains.
+    pub fn and_all(mut exprs: Vec<Expr>) -> Expr {
+        match exprs.len() {
+            0 => Expr::True,
+            1 => exprs.remove(0),
+            _ => {
+                let first = exprs.remove(0);
+                exprs
+                    .into_iter()
+                    .fold(first, |acc, e| Expr::And(Box::new(acc), Box::new(e)))
+            }
+        }
+    }
+
+    /// Free variables: identifiers used in atoms but never bound by a
+    /// quantifier above them. (Resolution against KB names happens at
+    /// evaluation time, so "free variable" here is syntactic.)
+    pub fn free_idents(&self) -> Vec<String> {
+        fn walk(e: &Expr, bound: &mut Vec<String>, out: &mut Vec<String>) {
+            let push = |t: &Term, bound: &Vec<String>, out: &mut Vec<String>| {
+                if !bound.contains(&t.0) && !out.contains(&t.0) {
+                    out.push(t.0.clone());
+                }
+            };
+            match e {
+                Expr::Forall(v, _, b) | Expr::Exists(v, _, b) => {
+                    bound.push(v.clone());
+                    walk(b, bound, out);
+                    bound.pop();
+                }
+                Expr::And(a, b) | Expr::Or(a, b) | Expr::Implies(a, b) => {
+                    walk(a, bound, out);
+                    walk(b, bound, out);
+                }
+                Expr::Not(a) => walk(a, bound, out),
+                Expr::Atom(atom) => match atom {
+                    Atom::In(x, y) | Atom::Isa(x, y) | Atom::Eq(x, y) | Atom::Ne(x, y) => {
+                        push(x, bound, out);
+                        push(y, bound, out);
+                    }
+                    Atom::HasAttr(x, _, y) => {
+                        push(x, bound, out);
+                        push(y, bound, out);
+                    }
+                    Atom::AttrDefined(x, _) => push(x, bound, out),
+                },
+                Expr::True => {}
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut Vec::new(), &mut out);
+        out
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Forall(v, c, b) => write!(f, "forall {v}/{c} ({b})"),
+            Expr::Exists(v, c, b) => write!(f, "exists {v}/{c} ({b})"),
+            Expr::And(a, b) => write!(f, "({a} and {b})"),
+            Expr::Or(a, b) => write!(f, "({a} or {b})"),
+            Expr::Not(a) => write!(f, "not ({a})"),
+            Expr::Implies(a, b) => write!(f, "({a} ==> {b})"),
+            Expr::Atom(a) => write!(f, "{a}"),
+            Expr::True => write!(f, "true"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_all_shapes() {
+        assert_eq!(Expr::and_all(vec![]), Expr::True);
+        let a = Expr::Atom(Atom::Eq(Term("x".into()), Term("y".into())));
+        assert_eq!(Expr::and_all(vec![a.clone()]), a);
+        let two = Expr::and_all(vec![a.clone(), Expr::True]);
+        assert!(matches!(two, Expr::And(_, _)));
+    }
+
+    #[test]
+    fn free_idents_respect_binding() {
+        // forall i/Invitation (i.sender = boss)
+        let e = Expr::Forall(
+            "i".into(),
+            "Invitation".into(),
+            Box::new(Expr::Atom(Atom::HasAttr(
+                Term("i".into()),
+                "sender".into(),
+                Term("boss".into()),
+            ))),
+        );
+        assert_eq!(e.free_idents(), vec!["boss".to_string()]);
+    }
+
+    #[test]
+    fn display_roundtrips_visually() {
+        let e = Expr::Implies(
+            Box::new(Expr::Atom(Atom::In(Term("x".into()), Term("C".into())))),
+            Box::new(Expr::Atom(Atom::Isa(Term("C".into()), Term("D".into())))),
+        );
+        assert_eq!(e.to_string(), "(x in C ==> C isa D)");
+    }
+}

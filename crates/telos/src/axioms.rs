@@ -1,0 +1,386 @@
+//! The CML axioms as checkable judgements.
+//!
+//! §3.1: "Axioms of CML restrict the set of well-formed networks and
+//! help define their semantics." Construction-time checks in [`crate::kb`]
+//! enforce the cheap ones (isa acyclicity, reserved labels); the
+//! functions here validate a whole KB — they are what the object
+//! processor's Consistency Checker calls, set-oriented, after a batch
+//! of TELLs.
+
+use crate::kb::Kb;
+use crate::prop::PropId;
+use std::fmt;
+
+/// One detected axiom violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Name of the violated axiom.
+    pub axiom: &'static str,
+    /// The offending proposition.
+    pub prop: PropId,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.axiom, self.message)
+    }
+}
+
+/// Attribute typing (aggregation axiom): for every believed attribute
+/// proposition `a = <x, l, y>` classified under an attribute class
+/// `A = <C, m, D>`, `x` must be an instance of `C` and `y` an instance
+/// of `D`.
+pub fn check_attribute_typing(kb: &Kb) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for id in all_ids(kb) {
+        typing_for(kb, id, &mut out);
+    }
+    out
+}
+
+fn all_ids(kb: &Kb) -> impl Iterator<Item = PropId> {
+    (0..kb.len() as u32).map(PropId)
+}
+
+fn typing_for(kb: &Kb, id: PropId, out: &mut Vec<Violation>) {
+    let p = match kb.get(id) {
+        Ok(p) => p.clone(),
+        Err(_) => return,
+    };
+    if !p.is_believed() || p.is_individual() {
+        return;
+    }
+    let Some(attr_class_id) = kb.attr_class_of(id) else {
+        return;
+    };
+    let Ok(attr_class) = kb.get(attr_class_id) else {
+        return;
+    };
+    if attr_class.is_individual() {
+        return; // classified under a plain class, not an attribute class
+    }
+    let (c, d) = (attr_class.source, attr_class.dest);
+    if !kb.is_instance_of(p.source, c) {
+        out.push(Violation {
+            axiom: "attribute-typing/source",
+            prop: id,
+            message: format!(
+                "{}: source `{}` is not an instance of `{}`",
+                kb.display(id),
+                kb.display(p.source),
+                kb.display(c)
+            ),
+        });
+    }
+    if !kb.is_instance_of(p.dest, d) {
+        out.push(Violation {
+            axiom: "attribute-typing/dest",
+            prop: id,
+            message: format!(
+                "{}: destination `{}` is not an instance of `{}`",
+                kb.display(id),
+                kb.display(p.dest),
+                kb.display(d)
+            ),
+        });
+    }
+}
+
+/// Strict aggregation: every believed attribute on an object that has
+/// at least one class must be *declarable* — some class of the object
+/// (transitively) carries an attribute class with the same label.
+/// Objects with no classes at all (raw network nodes) are exempt.
+pub fn check_attribute_declared(kb: &Kb) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for id in all_ids(kb) {
+        declared_for(kb, id, &mut out);
+    }
+    out
+}
+
+fn declared_for(kb: &Kb, id: PropId, out: &mut Vec<Violation>) {
+    let Ok(p) = kb.get(id) else { return };
+    if !p.is_believed() || p.is_individual() {
+        return;
+    }
+    let label = kb.resolve(p.label).to_string();
+    if label == crate::kb::L_INSTANCEOF || label == crate::kb::L_ISA {
+        return;
+    }
+    let owner = p.source;
+    if kb.classes_of(owner).is_empty() {
+        return; // untyped node: class-level modelling, exempt
+    }
+    // An attribute *on a class* is an attribute class — a declaration,
+    // not a use — and therefore exempt.
+    if kb.is_instance_of(owner, kb.builtins().class) {
+        return;
+    }
+    if kb.find_attr_class(owner, &label).is_none() {
+        out.push(Violation {
+            axiom: "aggregation/undeclared",
+            prop: id,
+            message: format!(
+                "attribute `{}` on `{}` matches no attribute class",
+                label,
+                kb.display(owner)
+            ),
+        });
+    }
+}
+
+/// Specialization soundness: the believed isa graph is acyclic. The
+/// KB rejects cycles at TELL time, so a violation here indicates
+/// memory corruption or a bad replay — checked anyway, defensively.
+pub fn check_isa_acyclic(kb: &Kb) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for id in all_ids(kb) {
+        acyclic_for(kb, id, &mut out);
+    }
+    out
+}
+
+fn acyclic_for(kb: &Kb, id: PropId, out: &mut Vec<Violation>) {
+    let Ok(p) = kb.get(id) else { return };
+    if !p.is_believed() || p.is_individual() {
+        return;
+    }
+    if kb.resolve(p.label) != crate::kb::L_ISA {
+        return;
+    }
+    if kb.isa_ancestors(p.dest).contains(&p.source) {
+        out.push(Violation {
+            axiom: "specialization/cycle",
+            prop: id,
+            message: format!("isa cycle through {}", kb.display(id)),
+        });
+    }
+}
+
+/// Attribute refinement: if `C isa D` and both declare an attribute
+/// class with the same label, every declaration on `C` must refine
+/// *some* declaration on `D` with that label — the value class equals
+/// it, specializes it, or is an instance of it (value refinement).
+/// Declarations are multi-valued, so the check is existential over
+/// `D`'s declarations.
+pub fn check_attribute_refinement(kb: &Kb) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for c in all_ids(kb) {
+        refinement_for(kb, c, &mut out);
+    }
+    out
+}
+
+fn refinement_for(kb: &Kb, c: PropId, out: &mut Vec<Violation>) {
+    let Ok(p) = kb.get(c) else { return };
+    if !p.is_believed() || !p.is_individual() {
+        return;
+    }
+    for d in kb.isa_ancestors(c) {
+        for attr_c in kb.attrs_of(c) {
+            let Ok(ac) = kb.get(attr_c) else { continue };
+            let label = kb.resolve(ac.label).to_string();
+            let super_decls: Vec<PropId> = kb
+                .attrs_of(d)
+                .into_iter()
+                .filter(|&a| {
+                    kb.get(a)
+                        .map(|ad| kb.resolve(ad.label) == label)
+                        .unwrap_or(false)
+                })
+                .collect();
+            if super_decls.is_empty() {
+                continue; // label not declared above: nothing to refine
+            }
+            let refines_one = super_decls.iter().any(|&a| {
+                let Ok(ad) = kb.get(a) else { return false };
+                ac.dest == ad.dest
+                    || kb.isa_ancestors(ac.dest).contains(&ad.dest)
+                    || kb.is_instance_of(ac.dest, ad.dest)
+            });
+            if !refines_one {
+                out.push(Violation {
+                    axiom: "specialization/attribute-refinement",
+                    prop: attr_c,
+                    message: format!(
+                        "`{}`.{} : `{}` refines no `{}`.{} declaration",
+                        kb.display(c),
+                        label,
+                        kb.display(ac.dest),
+                        kb.display(d),
+                        label
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Runs every axiom check.
+pub fn check_all(kb: &Kb) -> Vec<Violation> {
+    let mut out = check_attribute_typing(kb);
+    out.extend(check_attribute_declared(kb));
+    out.extend(check_isa_acyclic(kb));
+    out.extend(check_attribute_refinement(kb));
+    out
+}
+
+/// Set-oriented axiom check over a batch: only the given propositions
+/// (and for refinement, the individuals they touch) are re-validated.
+/// Sound for incremental use because every axiom here is *local* to a
+/// proposition and the objects it connects: a fresh violation can only
+/// involve a proposition of the batch.
+pub fn check_props(kb: &Kb, ids: &[PropId]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut refinement_roots: Vec<PropId> = Vec::new();
+    for &id in ids {
+        typing_for(kb, id, &mut out);
+        declared_for(kb, id, &mut out);
+        acyclic_for(kb, id, &mut out);
+        let Ok(p) = kb.get(id) else { continue };
+        let root = if p.is_individual() { id } else { p.source };
+        if !refinement_roots.contains(&root) {
+            refinement_roots.push(root);
+        }
+        // New isa links threaten refinement of the subclass side's
+        // existing declarations (and its descendants'); a new attribute
+        // declaration on a class likewise threatens every subclass that
+        // redeclares the label.
+        let is_isa = !p.is_individual() && kb.resolve(p.label) == crate::kb::L_ISA;
+        let is_attr_decl =
+            !p.is_individual() && kb.resolve(p.label) != crate::kb::L_INSTANCEOF && !is_isa;
+        if is_isa || is_attr_decl {
+            for desc in kb.isa_descendants(p.source) {
+                if !refinement_roots.contains(&desc) {
+                    refinement_roots.push(desc);
+                }
+            }
+        }
+    }
+    for root in refinement_roots {
+        refinement_for(kb, root, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bootstrap_is_axiom_clean() {
+        let kb = Kb::new();
+        assert_eq!(check_all(&kb), Vec::new());
+    }
+
+    #[test]
+    fn well_typed_attribute_passes() {
+        let mut kb = Kb::new();
+        let invitation = kb.individual("Invitation").unwrap();
+        let person = kb.individual("Person").unwrap();
+        let inv42 = kb.individual("inv42").unwrap();
+        let maria = kb.individual("maria").unwrap();
+        kb.instantiate(inv42, invitation).unwrap();
+        kb.instantiate(maria, person).unwrap();
+        let sender = kb.put_attr(invitation, "sender", person).unwrap();
+        kb.put_attr_typed(inv42, "sender", maria, sender).unwrap();
+        assert!(check_attribute_typing(&kb).is_empty());
+        assert!(check_attribute_declared(&kb).is_empty());
+    }
+
+    #[test]
+    fn ill_typed_attribute_detected() {
+        let mut kb = Kb::new();
+        let invitation = kb.individual("Invitation").unwrap();
+        let person = kb.individual("Person").unwrap();
+        let room = kb.individual("Room").unwrap();
+        let inv42 = kb.individual("inv42").unwrap();
+        let hall = kb.individual("hall").unwrap();
+        kb.instantiate(inv42, invitation).unwrap();
+        kb.instantiate(hall, room).unwrap();
+        let sender = kb.put_attr(invitation, "sender", person).unwrap();
+        // hall is a Room, not a Person:
+        kb.put_attr_typed(inv42, "sender", hall, sender).unwrap();
+        let v = check_attribute_typing(&kb);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].axiom, "attribute-typing/dest");
+        assert!(v[0].to_string().contains("hall"));
+    }
+
+    #[test]
+    fn undeclared_attribute_detected() {
+        let mut kb = Kb::new();
+        let invitation = kb.individual("Invitation").unwrap();
+        let inv42 = kb.individual("inv42").unwrap();
+        let x = kb.individual("x").unwrap();
+        kb.instantiate(inv42, invitation).unwrap();
+        kb.put_attr(inv42, "bogus", x).unwrap();
+        let v = check_attribute_declared(&kb);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].axiom, "aggregation/undeclared");
+    }
+
+    #[test]
+    fn refinement_violation_detected() {
+        let mut kb = Kb::new();
+        let paper = kb.individual("Paper").unwrap();
+        let invitation = kb.individual("Invitation").unwrap();
+        let person = kb.individual("Person").unwrap();
+        let room = kb.individual("Room").unwrap();
+        kb.specialize(invitation, paper).unwrap();
+        kb.put_attr(paper, "author", person).unwrap();
+        // Invitation redeclares author with an unrelated class:
+        kb.put_attr(invitation, "author", room).unwrap();
+        let v = check_attribute_refinement(&kb);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].axiom, "specialization/attribute-refinement");
+    }
+
+    #[test]
+    fn valid_refinement_passes() {
+        let mut kb = Kb::new();
+        let paper = kb.individual("Paper").unwrap();
+        let invitation = kb.individual("Invitation").unwrap();
+        let person = kb.individual("Person").unwrap();
+        let organizer = kb.individual("Organizer").unwrap();
+        kb.specialize(invitation, paper).unwrap();
+        kb.specialize(organizer, person).unwrap();
+        kb.put_attr(paper, "author", person).unwrap();
+        kb.put_attr(invitation, "author", organizer).unwrap();
+        assert!(check_attribute_refinement(&kb).is_empty());
+    }
+
+    #[test]
+    fn batch_check_sees_superclass_declaration_conflicts() {
+        // Incremental soundness: a new declaration on a parent class
+        // must re-validate the subclasses' redeclarations.
+        let mut kb = Kb::new();
+        let paper = kb.individual("Paper").unwrap();
+        let invitation = kb.individual("Invitation").unwrap();
+        let person = kb.individual("Person").unwrap();
+        let room = kb.individual("Room").unwrap();
+        kb.specialize(invitation, paper).unwrap();
+        kb.put_attr(invitation, "author", room).unwrap();
+        assert!(check_all(&kb).is_empty(), "no conflict before the batch");
+        // The batch: a conflicting declaration on the superclass.
+        let decl = kb.put_attr(paper, "author", person).unwrap();
+        let v = check_props(&kb, &[decl]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].axiom, "specialization/attribute-refinement");
+    }
+
+    #[test]
+    fn untold_violations_disappear() {
+        let mut kb = Kb::new();
+        let invitation = kb.individual("Invitation").unwrap();
+        let inv42 = kb.individual("inv42").unwrap();
+        let x = kb.individual("x").unwrap();
+        kb.instantiate(inv42, invitation).unwrap();
+        let bad = kb.put_attr(inv42, "bogus", x).unwrap();
+        assert_eq!(check_all(&kb).len(), 1);
+        kb.untell(bad).unwrap();
+        assert!(check_all(&kb).is_empty());
+    }
+}

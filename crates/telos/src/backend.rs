@@ -1,0 +1,335 @@
+//! Physical representations of the proposition base.
+//!
+//! §3.1: the proposition base "exports operations for retrieving and
+//! creating stored propositions" and may manage "several physical
+//! representations". Two are provided:
+//!
+//! * [`KbBackend::Memory`] — nothing persisted; the KB lives and dies
+//!   with the process (the benches' baseline);
+//! * [`KbBackend::Log`] — every create / belief-close / tick is
+//!   appended to a [`storage::AppendLog`]; reopening replays the log,
+//!   reconstructing the exact KB state including closed belief
+//!   intervals.
+
+use crate::error::{TelosError, TelosResult};
+use crate::prop::{PropId, Proposition};
+use crate::time::interval::Interval;
+use crate::time::point::TimePoint;
+use std::path::Path;
+use storage::record::codec::{self, Cursor};
+use storage::AppendLog;
+
+/// A replayable KB operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogOp {
+    /// A proposition was created.
+    Create {
+        /// Its id (dense, in creation order).
+        id: PropId,
+        /// Source node.
+        source: PropId,
+        /// Label string (symbols are re-interned on replay).
+        label: String,
+        /// Destination node.
+        dest: PropId,
+        /// History (valid-time) interval.
+        history: Interval,
+        /// Tick at which belief began.
+        belief_start: i64,
+    },
+    /// A proposition's belief interval was closed.
+    Close {
+        /// The proposition.
+        id: PropId,
+        /// Tick at which belief ended.
+        at: i64,
+    },
+    /// The belief clock advanced.
+    Tick {
+        /// New clock value.
+        to: i64,
+    },
+}
+
+const OP_CREATE: u32 = 1;
+const OP_CLOSE: u32 = 2;
+const OP_TICK: u32 = 3;
+
+const TP_NEG: u32 = 0;
+const TP_AT: u32 = 1;
+const TP_POS: u32 = 2;
+
+fn put_point(out: &mut Vec<u8>, p: TimePoint) {
+    match p {
+        TimePoint::NegInf => codec::put_u32(out, TP_NEG),
+        TimePoint::At(t) => {
+            codec::put_u32(out, TP_AT);
+            codec::put_i64(out, t);
+        }
+        TimePoint::PosInf => codec::put_u32(out, TP_POS),
+    }
+}
+
+fn get_point(c: &mut Cursor<'_>) -> TelosResult<TimePoint> {
+    Ok(match c.get_u32()? {
+        TP_NEG => TimePoint::NegInf,
+        TP_AT => TimePoint::At(c.get_i64()?),
+        TP_POS => TimePoint::PosInf,
+        other => {
+            return Err(TelosError::Storage(storage::StorageError::Corrupt {
+                offset: 0,
+                detail: format!("bad time point tag {other}"),
+            }))
+        }
+    })
+}
+
+fn encode_op(op: &LogOp) -> Vec<u8> {
+    let mut out = Vec::new();
+    match op {
+        LogOp::Create {
+            id,
+            source,
+            label,
+            dest,
+            history,
+            belief_start,
+        } => {
+            codec::put_u32(&mut out, OP_CREATE);
+            codec::put_u32(&mut out, id.0);
+            codec::put_u32(&mut out, source.0);
+            codec::put_str(&mut out, label);
+            codec::put_u32(&mut out, dest.0);
+            put_point(&mut out, history.start());
+            put_point(&mut out, history.end());
+            codec::put_i64(&mut out, *belief_start);
+        }
+        LogOp::Close { id, at } => {
+            codec::put_u32(&mut out, OP_CLOSE);
+            codec::put_u32(&mut out, id.0);
+            codec::put_i64(&mut out, *at);
+        }
+        LogOp::Tick { to } => {
+            codec::put_u32(&mut out, OP_TICK);
+            codec::put_i64(&mut out, *to);
+        }
+    }
+    out
+}
+
+fn decode_op(payload: &[u8]) -> TelosResult<LogOp> {
+    let mut c = Cursor::new(payload);
+    let tag = c.get_u32()?;
+    let op = match tag {
+        OP_CREATE => {
+            let id = PropId(c.get_u32()?);
+            let source = PropId(c.get_u32()?);
+            let label = c.get_str()?.to_string();
+            let dest = PropId(c.get_u32()?);
+            let start = get_point(&mut c)?;
+            let end = get_point(&mut c)?;
+            let belief_start = c.get_i64()?;
+            LogOp::Create {
+                id,
+                source,
+                label,
+                dest,
+                history: Interval::new(start, end)?,
+                belief_start,
+            }
+        }
+        OP_CLOSE => LogOp::Close {
+            id: PropId(c.get_u32()?),
+            at: c.get_i64()?,
+        },
+        OP_TICK => LogOp::Tick { to: c.get_i64()? },
+        other => {
+            return Err(TelosError::Storage(storage::StorageError::Corrupt {
+                offset: 0,
+                detail: format!("bad op tag {other}"),
+            }))
+        }
+    };
+    Ok(op)
+}
+
+/// A physical representation of the proposition base.
+pub enum KbBackend {
+    /// No persistence.
+    Memory,
+    /// Append-only log persistence.
+    Log(Box<AppendLog>),
+}
+
+impl KbBackend {
+    /// Opens a log-backed representation at `path`.
+    pub fn log(path: impl AsRef<Path>) -> TelosResult<Self> {
+        Ok(KbBackend::Log(Box::new(AppendLog::open(path)?)))
+    }
+
+    /// Loads all replayable ops; `None` for backends with no history
+    /// (fresh logs, or the memory backend).
+    pub(crate) fn load(&mut self) -> TelosResult<Option<Vec<LogOp>>> {
+        match self {
+            KbBackend::Memory => Ok(None),
+            KbBackend::Log(log) => {
+                if log.is_empty() {
+                    return Ok(None);
+                }
+                let mut ops = Vec::with_capacity(log.len() as usize);
+                for item in log.iter()? {
+                    let (_, payload) = item.map_err(TelosError::Storage)?;
+                    ops.push(decode_op(&payload)?);
+                }
+                Ok(Some(ops))
+            }
+        }
+    }
+
+    pub(crate) fn record_create(&mut self, p: &Proposition, label: &str) -> TelosResult<()> {
+        if let KbBackend::Log(log) = self {
+            let op = LogOp::Create {
+                id: p.id,
+                source: p.source,
+                label: label.to_string(),
+                dest: p.dest,
+                history: p.history,
+                belief_start: p.belief.start().tick().unwrap_or(0),
+            };
+            log.append(&encode_op(&op))?;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn record_close(&mut self, id: PropId, at: i64) -> TelosResult<()> {
+        if let KbBackend::Log(log) = self {
+            log.append(&encode_op(&LogOp::Close { id, at }))?;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn record_tick(&mut self, to: i64) {
+        if let KbBackend::Log(log) = self {
+            // A failed tick record is recoverable: the next mutation
+            // carries its own tick; still, surface it in debug builds.
+            let r = log.append(&encode_op(&LogOp::Tick { to }));
+            debug_assert!(r.is_ok(), "tick append failed: {r:?}");
+        }
+    }
+
+    pub(crate) fn sync(&mut self) -> TelosResult<()> {
+        if let KbBackend::Log(log) = self {
+            log.sync()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kb::Kb;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("cb-telos-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn op_codec_roundtrip() {
+        let ops = vec![
+            LogOp::Create {
+                id: PropId(7),
+                source: PropId(7),
+                label: "Invitation".into(),
+                dest: PropId(7),
+                history: Interval::always(),
+                belief_start: 3,
+            },
+            LogOp::Create {
+                id: PropId(8),
+                source: PropId(7),
+                label: "sender".into(),
+                dest: PropId(2),
+                history: Interval::between(10, 20).unwrap(),
+                belief_start: 4,
+            },
+            LogOp::Close {
+                id: PropId(8),
+                at: 9,
+            },
+            LogOp::Tick { to: 11 },
+        ];
+        for op in ops {
+            assert_eq!(decode_op(&encode_op(&op)).unwrap(), op);
+        }
+    }
+
+    #[test]
+    fn garbage_op_rejected() {
+        let mut bad = Vec::new();
+        codec::put_u32(&mut bad, 99);
+        assert!(decode_op(&bad).is_err());
+    }
+
+    #[test]
+    fn persistent_kb_survives_reopen() {
+        let path = tmp("persist");
+        let (paper_id, inv_id);
+        {
+            let mut kb = Kb::with_backend(KbBackend::log(&path).unwrap()).unwrap();
+            paper_id = kb.individual("Paper").unwrap();
+            inv_id = kb.individual("Invitation").unwrap();
+            kb.specialize(inv_id, paper_id).unwrap();
+            let x = kb.individual("inv42").unwrap();
+            kb.instantiate(x, inv_id).unwrap();
+            kb.sync().unwrap();
+        }
+        let kb = Kb::with_backend(KbBackend::log(&path).unwrap()).unwrap();
+        let paper = kb.expect("Paper").unwrap();
+        let inv = kb.expect("Invitation").unwrap();
+        assert_eq!((paper, inv), (paper_id, inv_id), "ids are stable");
+        let x = kb.expect("inv42").unwrap();
+        assert!(kb.is_instance_of(x, paper));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn untell_survives_reopen() {
+        let path = tmp("untell");
+        let t_before;
+        {
+            let mut kb = Kb::with_backend(KbBackend::log(&path).unwrap()).unwrap();
+            let a = kb.individual("A").unwrap();
+            let b = kb.individual("B").unwrap();
+            let l = kb.put_attr(a, "r", b).unwrap();
+            t_before = kb.now();
+            kb.untell(l).unwrap();
+            kb.sync().unwrap();
+        }
+        let kb = Kb::with_backend(KbBackend::log(&path).unwrap()).unwrap();
+        let a = kb.expect("A").unwrap();
+        assert!(kb.attr_values(a, "r").is_empty());
+        assert_eq!(kb.attr_values_at(a, "r", t_before).len(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn clock_survives_reopen() {
+        let path = tmp("clock");
+        let t;
+        {
+            let mut kb = Kb::with_backend(KbBackend::log(&path).unwrap()).unwrap();
+            kb.tick();
+            kb.tick();
+            t = kb.now();
+            kb.sync().unwrap();
+        }
+        let kb = Kb::with_backend(KbBackend::log(&path).unwrap()).unwrap();
+        assert_eq!(kb.now(), t);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

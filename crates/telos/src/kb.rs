@@ -1,0 +1,904 @@
+//! The proposition base and its operations.
+//!
+//! [`Kb`] stores every proposition ever told, maintains four access
+//! paths (by id, by source, by label, by destination), and exposes the
+//! two operations of the paper's proposition-processor interface —
+//! `create_proposition` and `retrieve_proposition` — in typed form:
+//! TELL-style constructors ([`Kb::individual`], [`Kb::instantiate`],
+//! [`Kb::specialize`], [`Kb::put_attr`]) and retrieval methods that
+//! respect belief time and the classification/specialization axioms.
+//!
+//! Nothing is ever destructively deleted: [`Kb::untell`] closes a
+//! proposition's belief interval, so past states remain queryable
+//! (`*_at` variants) — the basis of temporal navigation (§3.3.1).
+
+use crate::backend::KbBackend;
+use crate::error::{TelosError, TelosResult};
+use crate::omega::{self, Builtins};
+use crate::prop::{PropId, Proposition};
+use crate::symbols::{Symbol, SymbolTable};
+use crate::time::interval::Interval;
+use std::collections::{HashMap, HashSet, VecDeque};
+use storage::index::MultiIndex;
+
+/// Reserved label of classification links.
+pub const L_INSTANCEOF: &str = "instanceof";
+/// Reserved label of specialization links.
+pub const L_ISA: &str = "isa";
+
+/// The knowledge base: proposition store + access paths + clock.
+pub struct Kb {
+    symbols: SymbolTable,
+    props: Vec<Proposition>,
+    /// Believed individuals by name.
+    by_name: HashMap<Symbol, PropId>,
+    by_source: MultiIndex<PropId, PropId>,
+    by_label: MultiIndex<Symbol, PropId>,
+    by_dest: MultiIndex<PropId, PropId>,
+    /// Belief-time clock: advanced by [`Kb::tick`].
+    clock: i64,
+    backend: KbBackend,
+    builtins: Builtins,
+    sym_instanceof: Symbol,
+    sym_isa: Symbol,
+}
+
+impl Kb {
+    /// A fresh in-memory KB with the ω-level bootstrapped.
+    pub fn new() -> Self {
+        Kb::with_backend(KbBackend::Memory).expect("in-memory bootstrap cannot fail")
+    }
+
+    /// Opens a KB on the given backend. An empty backend is
+    /// bootstrapped (and the bootstrap recorded); a non-empty one is
+    /// replayed.
+    pub fn with_backend(mut backend: KbBackend) -> TelosResult<Self> {
+        let replayed = backend.load()?;
+        let mut symbols = SymbolTable::new();
+        let sym_instanceof = symbols.intern(L_INSTANCEOF);
+        let sym_isa = symbols.intern(L_ISA);
+        let mut kb = Kb {
+            symbols,
+            props: Vec::new(),
+            by_name: HashMap::new(),
+            by_source: MultiIndex::new(),
+            by_label: MultiIndex::new(),
+            by_dest: MultiIndex::new(),
+            clock: 0,
+            backend: KbBackend::Memory, // installed after replay
+            builtins: Builtins::placeholder(),
+            sym_instanceof,
+            sym_isa,
+        };
+        match replayed {
+            Some(ops) => {
+                kb.replay(ops)?;
+                kb.backend = backend;
+                kb.builtins = Builtins::resolve(&kb)?;
+            }
+            None => {
+                kb.backend = backend;
+                kb.builtins = omega::bootstrap(&mut kb)?;
+            }
+        }
+        Ok(kb)
+    }
+
+    fn replay(&mut self, ops: Vec<crate::backend::LogOp>) -> TelosResult<()> {
+        use crate::backend::LogOp;
+        for op in ops {
+            match op {
+                LogOp::Create {
+                    id,
+                    source,
+                    label,
+                    dest,
+                    history,
+                    belief_start,
+                } => {
+                    if id.idx() != self.props.len() {
+                        return Err(TelosError::Storage(storage::StorageError::Corrupt {
+                            offset: 0,
+                            detail: format!("replay id gap at {id:?}"),
+                        }));
+                    }
+                    let label = self.symbols.intern(&label);
+                    let prop = Proposition {
+                        id,
+                        source,
+                        label,
+                        dest,
+                        history,
+                        belief: Interval::from_tick(belief_start),
+                    };
+                    self.index_prop(&prop);
+                    self.props.push(prop);
+                }
+                LogOp::Close { id, at } => {
+                    self.apply_close(id, at)?;
+                }
+                LogOp::Tick { to } => {
+                    self.clock = to;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn index_prop(&mut self, p: &Proposition) {
+        self.by_source.insert(p.source, p.id);
+        self.by_label.insert(p.label, p.id);
+        self.by_dest.insert(p.dest, p.id);
+        if p.is_individual() {
+            self.by_name.insert(p.label, p.id);
+        }
+    }
+
+    fn apply_close(&mut self, id: PropId, at: i64) -> TelosResult<()> {
+        let p = self
+            .props
+            .get_mut(id.idx())
+            .ok_or(TelosError::UnknownProposition(id))?;
+        p.belief = p.belief.closed_at(at)?;
+        if p.source == p.id && p.dest == p.id {
+            let label = p.label;
+            if self.by_name.get(&label) == Some(&id) {
+                self.by_name.remove(&label);
+            }
+        }
+        Ok(())
+    }
+
+    // ----- clock ---------------------------------------------------------
+
+    /// Current belief tick.
+    pub fn now(&self) -> i64 {
+        self.clock
+    }
+
+    /// Advances the belief clock (one "transaction boundary") and
+    /// returns the new tick.
+    pub fn tick(&mut self) -> i64 {
+        self.clock += 1;
+        self.backend.record_tick(self.clock);
+        self.clock
+    }
+
+    // ----- symbols -------------------------------------------------------
+
+    /// Interns a string as a symbol.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        self.symbols.intern(s)
+    }
+
+    /// Resolves a symbol to its string.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        self.symbols.resolve(sym)
+    }
+
+    /// The ω-level built-in objects.
+    pub fn builtins(&self) -> &Builtins {
+        &self.builtins
+    }
+
+    // ----- creation ------------------------------------------------------
+
+    /// Low-level `create_proposition`: records `<id, source, label,
+    /// dest, history>` believed from now on. Prefer the typed
+    /// constructors below.
+    pub fn create_raw(
+        &mut self,
+        source: PropId,
+        label: Symbol,
+        dest: PropId,
+        history: Interval,
+    ) -> TelosResult<PropId> {
+        // Both endpoints must denote existing propositions; the
+        // self-referential case of individual creation goes through
+        // [`Kb::individual`], which does not call this path.
+        if source.idx() >= self.props.len() {
+            return Err(TelosError::UnknownProposition(source));
+        }
+        if dest.idx() >= self.props.len() {
+            return Err(TelosError::UnknownProposition(dest));
+        }
+        let id = PropId(self.props.len() as u32);
+        let prop = Proposition {
+            id,
+            source,
+            label,
+            dest,
+            history,
+            belief: Interval::from_tick(self.clock),
+        };
+        self.index_prop(&prop);
+        self.backend
+            .record_create(&prop, self.symbols.resolve(label))?;
+        self.props.push(prop);
+        Ok(id)
+    }
+
+    /// Finds the believed individual named `name`, or creates a
+    /// self-referential proposition for it (history `Always`).
+    pub fn individual(&mut self, name: &str) -> TelosResult<PropId> {
+        self.individual_during(name, Interval::always())
+    }
+
+    /// Like [`Kb::individual`], with an explicit history time.
+    pub fn individual_during(&mut self, name: &str, history: Interval) -> TelosResult<PropId> {
+        let sym = self.symbols.intern(name);
+        if let Some(&id) = self.by_name.get(&sym) {
+            return Ok(id);
+        }
+        let id = PropId(self.props.len() as u32);
+        let prop = Proposition {
+            id,
+            source: id,
+            label: sym,
+            dest: id,
+            history,
+            belief: Interval::from_tick(self.clock),
+        };
+        self.index_prop(&prop);
+        self.backend.record_create(&prop, name)?;
+        self.props.push(prop);
+        Ok(id)
+    }
+
+    /// The believed individual named `name`, if any.
+    pub fn lookup(&self, name: &str) -> Option<PropId> {
+        let sym = self.symbols.lookup(name)?;
+        self.by_name.get(&sym).copied()
+    }
+
+    /// Like [`Kb::lookup`] but an error if absent.
+    pub fn expect(&self, name: &str) -> TelosResult<PropId> {
+        self.lookup(name)
+            .ok_or_else(|| TelosError::UnknownName(name.to_string()))
+    }
+
+    /// Creates (or finds) the believed classification link `x instanceof c`.
+    pub fn instantiate(&mut self, x: PropId, c: PropId) -> TelosResult<PropId> {
+        if let Some(existing) = self.find_link(x, self.sym_instanceof, c) {
+            return Ok(existing);
+        }
+        self.create_raw(x, self.sym_instanceof, c, Interval::always())
+    }
+
+    /// Creates (or finds) the believed specialization link `c isa d`.
+    /// Rejects cycles (the specialization axiom requires a partial
+    /// order).
+    pub fn specialize(&mut self, c: PropId, d: PropId) -> TelosResult<PropId> {
+        if c == d || self.isa_ancestors(d).contains(&c) {
+            return Err(TelosError::AxiomViolation(format!(
+                "isa cycle: `{}` isa `{}`",
+                self.display(c),
+                self.display(d)
+            )));
+        }
+        if let Some(existing) = self.find_link(c, self.sym_isa, d) {
+            return Ok(existing);
+        }
+        self.create_raw(c, self.sym_isa, d, Interval::always())
+    }
+
+    /// Creates the attribute proposition `<x, label, y>` (history
+    /// `Always`). `label` must not be one of the reserved link labels.
+    pub fn put_attr(&mut self, x: PropId, label: &str, y: PropId) -> TelosResult<PropId> {
+        self.put_attr_during(x, label, y, Interval::always())
+    }
+
+    /// Like [`Kb::put_attr`] with explicit history time.
+    pub fn put_attr_during(
+        &mut self,
+        x: PropId,
+        label: &str,
+        y: PropId,
+        history: Interval,
+    ) -> TelosResult<PropId> {
+        if label == L_INSTANCEOF || label == L_ISA {
+            return Err(TelosError::AxiomViolation(format!(
+                "`{label}` is a reserved link label"
+            )));
+        }
+        let sym = self.symbols.intern(label);
+        self.create_raw(x, sym, y, history)
+    }
+
+    /// Creates an attribute and classifies it under the attribute class
+    /// `attr_class` (an attribute proposition on some class of `x`),
+    /// materializing `<attr, instanceof, attr_class>` as fig 3-2 shows.
+    pub fn put_attr_typed(
+        &mut self,
+        x: PropId,
+        label: &str,
+        y: PropId,
+        attr_class: PropId,
+    ) -> TelosResult<PropId> {
+        let attr = self.put_attr(x, label, y)?;
+        self.instantiate(attr, attr_class)?;
+        Ok(attr)
+    }
+
+    /// Searches the classes of `x` (transitively, through isa) for an
+    /// attribute class whose label is `label`.
+    pub fn find_attr_class(&self, x: PropId, label: &str) -> Option<PropId> {
+        let sym = self.symbols.lookup(label)?;
+        for class in self.all_classes_of(x) {
+            for &p in self.by_source.get(&class) {
+                let prop = &self.props[p.idx()];
+                if prop.is_believed() && prop.label == sym && !self.is_link_label(prop.label) {
+                    return Some(p);
+                }
+            }
+        }
+        None
+    }
+
+    fn is_link_label(&self, l: Symbol) -> bool {
+        l == self.sym_instanceof || l == self.sym_isa
+    }
+
+    // ----- untell --------------------------------------------------------
+
+    /// Stops believing proposition `id` (closes its belief interval at
+    /// the next tick). Links *about* `id` are untouched; see
+    /// [`Kb::untell_cascade`].
+    pub fn untell(&mut self, id: PropId) -> TelosResult<()> {
+        let at = self.tick();
+        if !self.get(id)?.is_believed() {
+            return Err(TelosError::NotBelieved(id));
+        }
+        self.apply_close(id, at)?;
+        self.backend.record_close(id, at)?;
+        Ok(())
+    }
+
+    /// Stops believing `id` and, transitively, every believed link that
+    /// has an untold proposition as source or destination. Returns the
+    /// ids untold, in order.
+    pub fn untell_cascade(&mut self, id: PropId) -> TelosResult<Vec<PropId>> {
+        let at = self.tick();
+        if !self.get(id)?.is_believed() {
+            return Err(TelosError::NotBelieved(id));
+        }
+        let mut untold = Vec::new();
+        let mut queue = VecDeque::from([id]);
+        let mut seen = HashSet::from([id]);
+        while let Some(cur) = queue.pop_front() {
+            self.apply_close(cur, at)?;
+            self.backend.record_close(cur, at)?;
+            untold.push(cur);
+            let dependents: Vec<PropId> = self
+                .by_source
+                .get(&cur)
+                .iter()
+                .chain(self.by_dest.get(&cur).iter())
+                .copied()
+                .filter(|&p| p != cur && self.props[p.idx()].is_believed())
+                .collect();
+            for d in dependents {
+                if seen.insert(d) {
+                    queue.push_back(d);
+                }
+            }
+        }
+        Ok(untold)
+    }
+
+    // ----- retrieval -----------------------------------------------------
+
+    /// The proposition with the given id.
+    pub fn get(&self, id: PropId) -> TelosResult<&Proposition> {
+        self.props
+            .get(id.idx())
+            .ok_or(TelosError::UnknownProposition(id))
+    }
+
+    /// Total number of propositions ever told.
+    pub fn len(&self) -> usize {
+        self.props.len()
+    }
+
+    /// True if the KB holds no propositions.
+    pub fn is_empty(&self) -> bool {
+        self.props.is_empty()
+    }
+
+    /// Number of currently believed propositions.
+    pub fn believed_count(&self) -> usize {
+        self.props.iter().filter(|p| p.is_believed()).count()
+    }
+
+    /// Human-readable name: an individual's label, or `<src label dst>`.
+    pub fn display(&self, id: PropId) -> String {
+        match self.props.get(id.idx()) {
+            None => format!("?{}", id.0),
+            Some(p) if p.is_individual() => self.symbols.resolve(p.label).to_string(),
+            Some(p) => format!(
+                "<{} {} {}>",
+                self.display(p.source),
+                self.symbols.resolve(p.label),
+                self.display(p.dest)
+            ),
+        }
+    }
+
+    /// Finds a believed link `<x, label, y>`.
+    pub fn find_link(&self, x: PropId, label: Symbol, y: PropId) -> Option<PropId> {
+        self.by_source.get(&x).iter().copied().find(|&p| {
+            let prop = &self.props[p.idx()];
+            prop.is_believed() && prop.label == label && prop.dest == y && p != x
+        })
+    }
+
+    /// All believed propositions with source `x`.
+    pub fn links_from(&self, x: PropId) -> Vec<PropId> {
+        self.by_source
+            .get(&x)
+            .iter()
+            .copied()
+            .filter(|&p| p != x && self.props[p.idx()].is_believed())
+            .collect()
+    }
+
+    /// All believed propositions with destination `y`.
+    pub fn links_to(&self, y: PropId) -> Vec<PropId> {
+        self.by_dest
+            .get(&y)
+            .iter()
+            .copied()
+            .filter(|&p| p != y && self.props[p.idx()].is_believed())
+            .collect()
+    }
+
+    /// All believed propositions carrying `label`.
+    pub fn props_with_label(&self, label: &str) -> Vec<PropId> {
+        match self.symbols.lookup(label) {
+            None => Vec::new(),
+            Some(sym) => self
+                .by_label
+                .get(&sym)
+                .iter()
+                .copied()
+                .filter(|&p| self.props[p.idx()].is_believed())
+                .collect(),
+        }
+    }
+
+    /// Direct classes of `x` (believed `instanceof` links).
+    pub fn classes_of(&self, x: PropId) -> Vec<PropId> {
+        self.typed_dests(x, self.sym_instanceof, None)
+    }
+
+    /// Direct believed instances of class `c`.
+    pub fn instances_of(&self, c: PropId) -> Vec<PropId> {
+        self.typed_sources(c, self.sym_instanceof, None)
+    }
+
+    /// Direct isa parents of `c`.
+    pub fn isa_parents(&self, c: PropId) -> Vec<PropId> {
+        self.typed_dests(c, self.sym_isa, None)
+    }
+
+    /// Direct isa children of `c`.
+    pub fn isa_children(&self, c: PropId) -> Vec<PropId> {
+        self.typed_sources(c, self.sym_isa, None)
+    }
+
+    fn typed_dests(&self, x: PropId, label: Symbol, at: Option<i64>) -> Vec<PropId> {
+        self.by_source
+            .get(&x)
+            .iter()
+            .copied()
+            .filter_map(|p| {
+                let prop = &self.props[p.idx()];
+                let live = match at {
+                    None => prop.is_believed(),
+                    Some(t) => prop.believed_at(t),
+                };
+                (live && prop.label == label && p != x).then_some(prop.dest)
+            })
+            .collect()
+    }
+
+    fn typed_sources(&self, y: PropId, label: Symbol, at: Option<i64>) -> Vec<PropId> {
+        self.by_dest
+            .get(&y)
+            .iter()
+            .copied()
+            .filter_map(|p| {
+                let prop = &self.props[p.idx()];
+                let live = match at {
+                    None => prop.is_believed(),
+                    Some(t) => prop.believed_at(t),
+                };
+                (live && prop.label == label && p != y).then_some(prop.source)
+            })
+            .collect()
+    }
+
+    /// Transitive isa ancestors of `c` (excluding `c`), breadth-first,
+    /// deduplicated.
+    pub fn isa_ancestors(&self, c: PropId) -> Vec<PropId> {
+        self.closure(c, |kb, x| kb.isa_parents(x))
+    }
+
+    /// Transitive isa descendants of `c` (excluding `c`).
+    pub fn isa_descendants(&self, c: PropId) -> Vec<PropId> {
+        self.closure(c, |kb, x| kb.isa_children(x))
+    }
+
+    fn closure(&self, start: PropId, step: impl Fn(&Kb, PropId) -> Vec<PropId>) -> Vec<PropId> {
+        let mut out = Vec::new();
+        let mut seen = HashSet::from([start]);
+        let mut queue = VecDeque::from([start]);
+        while let Some(cur) = queue.pop_front() {
+            for next in step(self, cur) {
+                if seen.insert(next) {
+                    out.push(next);
+                    queue.push_back(next);
+                }
+            }
+        }
+        out
+    }
+
+    /// Classes of `x` closed under specialization: if `x in c` and
+    /// `c isa d` then `x` is also an instance of `d` (the instance-
+    /// inheritance axiom).
+    pub fn all_classes_of(&self, x: PropId) -> Vec<PropId> {
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        for c in self.classes_of(x) {
+            if seen.insert(c) {
+                out.push(c);
+            }
+            for a in self.isa_ancestors(c) {
+                if seen.insert(a) {
+                    out.push(a);
+                }
+            }
+        }
+        out
+    }
+
+    /// Instances of `c` including those of all isa descendants.
+    pub fn all_instances_of(&self, c: PropId) -> Vec<PropId> {
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        for class in std::iter::once(c).chain(self.isa_descendants(c)) {
+            for i in self.instances_of(class) {
+                if seen.insert(i) {
+                    out.push(i);
+                }
+            }
+        }
+        out
+    }
+
+    /// True if `x` is an instance of `c`, directly or through
+    /// specialization.
+    pub fn is_instance_of(&self, x: PropId, c: PropId) -> bool {
+        self.classes_of(x)
+            .into_iter()
+            .any(|d| d == c || self.isa_ancestors(d).contains(&c))
+    }
+
+    /// Believed attribute propositions of `x` (links from `x` that are
+    /// neither instanceof nor isa).
+    pub fn attrs_of(&self, x: PropId) -> Vec<PropId> {
+        self.by_source
+            .get(&x)
+            .iter()
+            .copied()
+            .filter(|&p| {
+                let prop = &self.props[p.idx()];
+                p != x && prop.is_believed() && !self.is_link_label(prop.label)
+            })
+            .collect()
+    }
+
+    /// Values of the believed attribute `label` on `x`.
+    pub fn attr_values(&self, x: PropId, label: &str) -> Vec<PropId> {
+        match self.symbols.lookup(label) {
+            None => Vec::new(),
+            Some(sym) if self.is_link_label(sym) => Vec::new(),
+            Some(sym) => self.typed_dests(x, sym, None),
+        }
+    }
+
+    /// The attribute class an attribute proposition was classified
+    /// under, if materialized.
+    pub fn attr_class_of(&self, attr: PropId) -> Option<PropId> {
+        self.classes_of(attr).into_iter().next()
+    }
+
+    // ----- temporal retrieval ---------------------------------------------
+
+    /// Direct classes of `x` as believed at tick `t`.
+    pub fn classes_of_at(&self, x: PropId, t: i64) -> Vec<PropId> {
+        self.typed_dests(x, self.sym_instanceof, Some(t))
+    }
+
+    /// Values of attribute `label` on `x` as believed at tick `t`.
+    pub fn attr_values_at(&self, x: PropId, label: &str, t: i64) -> Vec<PropId> {
+        match self.symbols.lookup(label) {
+            None => Vec::new(),
+            Some(sym) => self.typed_dests(x, sym, Some(t)),
+        }
+    }
+
+    /// All propositions believed at tick `t`.
+    pub fn believed_at(&self, t: i64) -> Vec<PropId> {
+        self.props
+            .iter()
+            .filter(|p| p.believed_at(t))
+            .map(|p| p.id)
+            .collect()
+    }
+
+    /// Flushes the backend (fsync for the log backend).
+    pub fn sync(&mut self) -> TelosResult<()> {
+        self.backend.sync()
+    }
+}
+
+impl Default for Kb {
+    fn default() -> Self {
+        Kb::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kb() -> Kb {
+        Kb::new()
+    }
+
+    #[test]
+    fn bootstrap_creates_omega_level() {
+        let kb = kb();
+        assert!(kb.lookup("Proposition").is_some());
+        assert!(kb.lookup("Class").is_some());
+        assert!(!kb.is_empty());
+    }
+
+    #[test]
+    fn individual_is_idempotent() {
+        let mut kb = kb();
+        let a = kb.individual("Paper").unwrap();
+        let b = kb.individual("Paper").unwrap();
+        assert_eq!(a, b);
+        assert!(kb.get(a).unwrap().is_individual());
+        assert_eq!(kb.display(a), "Paper");
+    }
+
+    #[test]
+    fn instantiate_and_query() {
+        let mut kb = kb();
+        let paper = kb.individual("Paper").unwrap();
+        let class = kb.builtins().simple_class;
+        kb.instantiate(paper, class).unwrap();
+        assert!(kb.classes_of(paper).contains(&class));
+        assert!(kb.instances_of(class).contains(&paper));
+        // Dedup: instantiating twice creates no new link.
+        let n = kb.len();
+        kb.instantiate(paper, class).unwrap();
+        assert_eq!(kb.len(), n);
+    }
+
+    #[test]
+    fn specialization_closes_instances() {
+        let mut kb = kb();
+        let paper = kb.individual("Paper").unwrap();
+        let invitation = kb.individual("Invitation").unwrap();
+        let inv42 = kb.individual("inv42").unwrap();
+        kb.specialize(invitation, paper).unwrap();
+        kb.instantiate(inv42, invitation).unwrap();
+        assert!(kb.is_instance_of(inv42, invitation));
+        assert!(kb.is_instance_of(inv42, paper), "instance inheritance");
+        assert!(kb.all_instances_of(paper).contains(&inv42));
+        assert!(kb.all_classes_of(inv42).contains(&paper));
+        assert!(!kb.is_instance_of(paper, invitation));
+    }
+
+    #[test]
+    fn isa_cycles_rejected() {
+        let mut kb = kb();
+        let a = kb.individual("A").unwrap();
+        let b = kb.individual("B").unwrap();
+        let c = kb.individual("C").unwrap();
+        kb.specialize(a, b).unwrap();
+        kb.specialize(b, c).unwrap();
+        assert!(matches!(
+            kb.specialize(c, a),
+            Err(TelosError::AxiomViolation(_))
+        ));
+        assert!(matches!(
+            kb.specialize(a, a),
+            Err(TelosError::AxiomViolation(_))
+        ));
+    }
+
+    #[test]
+    fn deep_isa_closure() {
+        let mut kb = kb();
+        let mut prev = kb.individual("C0").unwrap();
+        let bottom = prev;
+        for i in 1..50 {
+            let c = kb.individual(&format!("C{i}")).unwrap();
+            kb.specialize(prev, c).unwrap();
+            prev = c;
+        }
+        assert_eq!(kb.isa_ancestors(bottom).len(), 49);
+        assert_eq!(kb.isa_descendants(prev).len(), 49);
+    }
+
+    #[test]
+    fn attributes_and_attribute_classes() {
+        let mut kb = kb();
+        let invitation = kb.individual("Invitation").unwrap();
+        let person = kb.individual("Person").unwrap();
+        let inv42 = kb.individual("inv42").unwrap();
+        let maria = kb.individual("maria").unwrap();
+        kb.instantiate(inv42, invitation).unwrap();
+        // attribute class on the class …
+        let sender_class = kb.put_attr(invitation, "sender", person).unwrap();
+        // … found through classification:
+        assert_eq!(kb.find_attr_class(inv42, "sender"), Some(sender_class));
+        // typed token-level attribute:
+        let attr = kb
+            .put_attr_typed(inv42, "sender", maria, sender_class)
+            .unwrap();
+        assert_eq!(kb.attr_values(inv42, "sender"), vec![maria]);
+        assert_eq!(kb.attr_class_of(attr), Some(sender_class));
+        assert_eq!(kb.attrs_of(inv42), vec![attr]);
+        assert_eq!(kb.display(attr), "<inv42 sender maria>");
+    }
+
+    #[test]
+    fn attr_class_found_through_isa() {
+        let mut kb = kb();
+        let paper = kb.individual("Paper").unwrap();
+        let invitation = kb.individual("Invitation").unwrap();
+        let person = kb.individual("Person").unwrap();
+        let inv42 = kb.individual("inv42").unwrap();
+        kb.specialize(invitation, paper).unwrap();
+        kb.instantiate(inv42, invitation).unwrap();
+        let author_class = kb.put_attr(paper, "author", person).unwrap();
+        assert_eq!(kb.find_attr_class(inv42, "author"), Some(author_class));
+    }
+
+    #[test]
+    fn reserved_labels_rejected_as_attributes() {
+        let mut kb = kb();
+        let a = kb.individual("A").unwrap();
+        let b = kb.individual("B").unwrap();
+        assert!(kb.put_attr(a, "instanceof", b).is_err());
+        assert!(kb.put_attr(a, "isa", b).is_err());
+    }
+
+    #[test]
+    fn untell_closes_belief_and_history_remains() {
+        let mut kb = kb();
+        let a = kb.individual("A").unwrap();
+        let b = kb.individual("B").unwrap();
+        let attr = kb.put_attr(a, "rel", b).unwrap();
+        let before = kb.now();
+        kb.untell(attr).unwrap();
+        assert!(!kb.get(attr).unwrap().is_believed());
+        assert!(kb.attr_values(a, "rel").is_empty());
+        // Temporal query still sees it.
+        assert_eq!(kb.attr_values_at(a, "rel", before), vec![b]);
+        // Double-untell is an error.
+        assert!(matches!(kb.untell(attr), Err(TelosError::NotBelieved(_))));
+    }
+
+    #[test]
+    fn untell_individual_frees_name() {
+        let mut kb = kb();
+        let a = kb.individual("Ghost").unwrap();
+        kb.untell(a).unwrap();
+        assert_eq!(kb.lookup("Ghost"), None);
+        let a2 = kb.individual("Ghost").unwrap();
+        assert_ne!(a, a2, "a fresh proposition is created");
+    }
+
+    #[test]
+    fn untell_cascade_takes_dependents() {
+        let mut kb = kb();
+        let a = kb.individual("A").unwrap();
+        let b = kb.individual("B").unwrap();
+        let c = kb.individual("C").unwrap();
+        let ab = kb.put_attr(a, "x", b).unwrap();
+        // a link about the link:
+        let meta = kb.put_attr(ab, "why", c).unwrap();
+        let bc = kb.put_attr(b, "y", c).unwrap();
+        let untold = kb.untell_cascade(ab).unwrap();
+        assert!(untold.contains(&ab));
+        assert!(untold.contains(&meta), "dependent link cascades");
+        assert!(!untold.contains(&bc), "unrelated link survives");
+        assert!(kb.get(bc).unwrap().is_believed());
+    }
+
+    #[test]
+    fn believed_count_tracks_untell() {
+        let mut kb = kb();
+        let base = kb.believed_count();
+        let a = kb.individual("A").unwrap();
+        assert_eq!(kb.believed_count(), base + 1);
+        kb.untell(a).unwrap();
+        assert_eq!(kb.believed_count(), base);
+        assert_eq!(kb.len(), base + 1, "nothing destroyed");
+    }
+
+    #[test]
+    fn links_from_to_and_labels() {
+        let mut kb = kb();
+        let a = kb.individual("A").unwrap();
+        let b = kb.individual("B").unwrap();
+        let l1 = kb.put_attr(a, "uses", b).unwrap();
+        let l2 = kb.put_attr(b, "uses", a).unwrap();
+        assert_eq!(kb.links_from(a), vec![l1]);
+        assert!(kb.links_to(a).contains(&l2));
+        let with_label = kb.props_with_label("uses");
+        assert_eq!(with_label.len(), 2);
+        assert!(kb.props_with_label("nosuch").is_empty());
+    }
+
+    #[test]
+    fn temporal_class_membership() {
+        let mut kb = kb();
+        let c = kb.individual("C").unwrap();
+        let x = kb.individual("x").unwrap();
+        let link = kb.instantiate(x, c).unwrap();
+        let t_in = kb.now();
+        kb.untell(link).unwrap();
+        assert!(kb.classes_of(x).is_empty());
+        assert_eq!(kb.classes_of_at(x, t_in), vec![c]);
+    }
+
+    #[test]
+    fn create_raw_validates_both_endpoints() {
+        let mut kb = kb();
+        let a = kb.individual("A").unwrap();
+        let label = kb.intern("r");
+        let bogus = PropId(kb.len() as u32 + 7);
+        let at_len = PropId(kb.len() as u32);
+        assert!(matches!(
+            kb.create_raw(bogus, label, a, crate::Interval::always()),
+            Err(TelosError::UnknownProposition(_))
+        ));
+        assert!(matches!(
+            kb.create_raw(at_len, label, a, crate::Interval::always()),
+            Err(TelosError::UnknownProposition(_))
+        ));
+        assert!(matches!(
+            kb.create_raw(a, label, bogus, crate::Interval::always()),
+            Err(TelosError::UnknownProposition(_))
+        ));
+    }
+
+    #[test]
+    fn expect_reports_unknown_names() {
+        let kb = kb();
+        assert!(matches!(
+            kb.expect("Nonexistent"),
+            Err(TelosError::UnknownName(_))
+        ));
+    }
+
+    #[test]
+    fn display_of_nested_links() {
+        let mut kb = kb();
+        let a = kb.individual("A").unwrap();
+        let b = kb.individual("B").unwrap();
+        let ab = kb.put_attr(a, "r", b).unwrap();
+        let c = kb.individual("C").unwrap();
+        let meta = kb.put_attr(ab, "s", c).unwrap();
+        assert_eq!(kb.display(meta), "<<A r B> s C>");
+    }
+}

@@ -1,0 +1,114 @@
+//! The proposition quadruple.
+
+use crate::symbols::Symbol;
+use crate::time::interval::Interval;
+
+/// Identifier of a proposition — the `p` in `p = <x, l, y, t>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PropId(pub u32);
+
+impl PropId {
+    /// Index into dense per-proposition arrays.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A CML proposition `p = <x, l, y, t>` plus its belief time.
+///
+/// * `source` (`x`) and `dest` (`y`) are other propositions — nodes are
+///   self-referential propositions, so the network is closed;
+/// * `label` (`l`) is an interned string;
+/// * `history` (`t`) is the *history time*: the interval during which
+///   the asserted relationship holds in the modelled world (the paper's
+///   `version17`);
+/// * `belief` is the *belief time*: the interval during which the KB
+///   believes the proposition (the paper's `21-Sep-1987+`). UNTELL
+///   closes this interval; propositions are never destroyed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Proposition {
+    /// The proposition's own identifier (it is itself an object).
+    pub id: PropId,
+    /// Source node `x`.
+    pub source: PropId,
+    /// Link label `l`.
+    pub label: Symbol,
+    /// Destination node `y`.
+    pub dest: PropId,
+    /// History (valid) time `t`.
+    pub history: Interval,
+    /// Belief (transaction) time.
+    pub belief: Interval,
+}
+
+impl Proposition {
+    /// True if the proposition is a node: it denotes an individual
+    /// rather than a link (source and destination are itself).
+    pub fn is_individual(&self) -> bool {
+        self.source == self.id && self.dest == self.id
+    }
+
+    /// True if the KB still believes the proposition (belief interval
+    /// open towards the future).
+    pub fn is_believed(&self) -> bool {
+        self.belief.is_open_ended()
+    }
+
+    /// True if the proposition was believed at belief tick `t`.
+    pub fn believed_at(&self, t: i64) -> bool {
+        self.belief.contains_point(t)
+    }
+
+    /// True if the proposition's history time covers tick `t`.
+    pub fn valid_at(&self, t: i64) -> bool {
+        self.history.contains_point(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::interval::Interval;
+
+    fn prop(id: u32, src: u32, dst: u32) -> Proposition {
+        Proposition {
+            id: PropId(id),
+            source: PropId(src),
+            label: Symbol(0),
+            dest: PropId(dst),
+            history: Interval::always(),
+            belief: Interval::from_tick(5),
+        }
+    }
+
+    #[test]
+    fn individual_detection() {
+        assert!(prop(3, 3, 3).is_individual());
+        assert!(!prop(3, 3, 4).is_individual());
+        assert!(!prop(3, 2, 3).is_individual());
+    }
+
+    #[test]
+    fn belief_lifecycle() {
+        let mut p = prop(1, 1, 1);
+        assert!(p.is_believed());
+        assert!(p.believed_at(5));
+        assert!(p.believed_at(100));
+        assert!(!p.believed_at(4));
+        p.belief = p.belief.closed_at(9).unwrap();
+        assert!(!p.is_believed());
+        assert!(p.believed_at(8));
+        assert!(!p.believed_at(9));
+    }
+
+    #[test]
+    fn validity_uses_history_time() {
+        let mut p = prop(1, 1, 1);
+        p.history = Interval::between(10, 20).unwrap();
+        assert!(p.valid_at(10));
+        assert!(p.valid_at(19));
+        assert!(!p.valid_at(20));
+        assert!(!p.valid_at(9));
+    }
+}

@@ -1,0 +1,100 @@
+//! Interned strings for proposition labels and individual names.
+//!
+//! Propositions store a [`Symbol`] (a `u32`) instead of a `String`; the
+//! [`SymbolTable`] owns the strings and guarantees one id per distinct
+//! string. Indexing and comparison thus never touch string data.
+
+use std::collections::HashMap;
+
+/// An interned string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u32);
+
+/// The intern table mapping strings to [`Symbol`]s and back.
+#[derive(Debug, Default, Clone)]
+pub struct SymbolTable {
+    strings: Vec<String>,
+    ids: HashMap<String, Symbol>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        SymbolTable::default()
+    }
+
+    /// Interns `s`, returning its symbol (existing or fresh).
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.ids.get(s) {
+            return sym;
+        }
+        let sym = Symbol(self.strings.len() as u32);
+        self.strings.push(s.to_string());
+        self.ids.insert(s.to_string(), sym);
+        sym
+    }
+
+    /// Looks up an existing symbol without interning.
+    pub fn lookup(&self, s: &str) -> Option<Symbol> {
+        self.ids.get(s).copied()
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if `sym` did not come from this table — that is a logic
+    /// error, not a recoverable condition.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.0 as usize]
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("Invitation");
+        let b = t.intern("Invitation");
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_distinct_symbols() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("Paper");
+        let b = t.intern("Minutes");
+        assert_ne!(a, b);
+        assert_eq!(t.resolve(a), "Paper");
+        assert_eq!(t.resolve(b), "Minutes");
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let mut t = SymbolTable::new();
+        assert_eq!(t.lookup("sender"), None);
+        let s = t.intern("sender");
+        assert_eq!(t.lookup("sender"), Some(s));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = SymbolTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

@@ -1,0 +1,541 @@
+//! Allen's qualitative interval algebra \[ALLE83\].
+//!
+//! The 13 basic relations between two intervals, relation *sets* encoded
+//! as 13-bit masks, converse, composition, and a path-consistency
+//! constraint network — the machinery CML uses to maintain "the
+//! relationships (e.g. during, before)" between time components as
+//! propositions.
+//!
+//! The composition table is not hand-transcribed: it is derived once, at
+//! first use, by exhaustive enumeration of endpoint configurations over
+//! a small finite domain. The domain `0..8` is large enough to realize
+//! every consistent triple of basic relations, so the derived table
+//! equals Allen's published one (asserted by spot tests below).
+
+use crate::time::interval::Interval;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// One of Allen's 13 basic interval relations (`a REL b`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum AllenRel {
+    /// `a` ends before `b` starts.
+    Before = 0,
+    /// `a` ends exactly where `b` starts.
+    Meets = 1,
+    /// `a` starts first, they overlap, `b` ends last.
+    Overlaps = 2,
+    /// same start, `a` ends first.
+    Starts = 3,
+    /// `a` strictly inside `b`.
+    During = 4,
+    /// same end, `a` starts later.
+    Finishes = 5,
+    /// identical intervals.
+    Equal = 6,
+    /// converse of Finishes.
+    FinishedBy = 7,
+    /// converse of During.
+    Contains = 8,
+    /// converse of Starts.
+    StartedBy = 9,
+    /// converse of Overlaps.
+    OverlappedBy = 10,
+    /// converse of Meets.
+    MetBy = 11,
+    /// converse of Before.
+    After = 12,
+}
+
+/// All 13 basic relations, in discriminant order.
+pub const ALL_RELS: [AllenRel; 13] = [
+    AllenRel::Before,
+    AllenRel::Meets,
+    AllenRel::Overlaps,
+    AllenRel::Starts,
+    AllenRel::During,
+    AllenRel::Finishes,
+    AllenRel::Equal,
+    AllenRel::FinishedBy,
+    AllenRel::Contains,
+    AllenRel::StartedBy,
+    AllenRel::OverlappedBy,
+    AllenRel::MetBy,
+    AllenRel::After,
+];
+
+impl AllenRel {
+    /// The converse relation: if `a R b` then `b converse(R) a`.
+    pub fn converse(self) -> AllenRel {
+        use AllenRel::*;
+        match self {
+            Before => After,
+            Meets => MetBy,
+            Overlaps => OverlappedBy,
+            Starts => StartedBy,
+            During => Contains,
+            Finishes => FinishedBy,
+            Equal => Equal,
+            FinishedBy => Finishes,
+            Contains => During,
+            StartedBy => Starts,
+            OverlappedBy => Overlaps,
+            MetBy => Meets,
+            After => Before,
+        }
+    }
+
+    /// Computes the basic relation holding between two concrete
+    /// intervals (total: exactly one relation always holds).
+    pub fn between(a: &Interval, b: &Interval) -> AllenRel {
+        use std::cmp::Ordering as O;
+        let ss = a.start().cmp(&b.start());
+        let ee = a.end().cmp(&b.end());
+        let se = a.start().cmp(&b.end());
+        let es = a.end().cmp(&b.start());
+        match (ss, ee, se, es) {
+            (_, _, _, O::Less) => AllenRel::Before,
+            (_, _, _, O::Equal) => AllenRel::Meets,
+            (_, _, O::Equal, _) => AllenRel::MetBy,
+            (_, _, O::Greater, _) => AllenRel::After,
+            (O::Equal, O::Equal, _, _) => AllenRel::Equal,
+            (O::Equal, O::Less, _, _) => AllenRel::Starts,
+            (O::Equal, O::Greater, _, _) => AllenRel::StartedBy,
+            (O::Less, O::Equal, _, _) => AllenRel::FinishedBy,
+            (O::Greater, O::Equal, _, _) => AllenRel::Finishes,
+            (O::Less, O::Less, _, _) => AllenRel::Overlaps,
+            (O::Greater, O::Greater, _, _) => AllenRel::OverlappedBy,
+            (O::Greater, O::Less, _, _) => AllenRel::During,
+            (O::Less, O::Greater, _, _) => AllenRel::Contains,
+        }
+    }
+
+    /// Parses the standard abbreviations (`b m o s d f eq fi di si oi mi a`).
+    pub fn from_abbrev(s: &str) -> Option<AllenRel> {
+        use AllenRel::*;
+        Some(match s {
+            "b" => Before,
+            "m" => Meets,
+            "o" => Overlaps,
+            "s" => Starts,
+            "d" => During,
+            "f" => Finishes,
+            "eq" | "=" => Equal,
+            "fi" => FinishedBy,
+            "di" => Contains,
+            "si" => StartedBy,
+            "oi" => OverlappedBy,
+            "mi" => MetBy,
+            "a" | "bi" => After,
+            _ => return None,
+        })
+    }
+
+    /// The standard abbreviation.
+    pub fn abbrev(self) -> &'static str {
+        use AllenRel::*;
+        match self {
+            Before => "b",
+            Meets => "m",
+            Overlaps => "o",
+            Starts => "s",
+            During => "d",
+            Finishes => "f",
+            Equal => "eq",
+            FinishedBy => "fi",
+            Contains => "di",
+            StartedBy => "si",
+            OverlappedBy => "oi",
+            MetBy => "mi",
+            After => "a",
+        }
+    }
+}
+
+impl fmt::Display for AllenRel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.abbrev())
+    }
+}
+
+/// A set of basic relations, encoded as a 13-bit mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RelSet(pub u16);
+
+impl RelSet {
+    /// The empty (inconsistent) set.
+    pub const EMPTY: RelSet = RelSet(0);
+    /// The full set (no information).
+    pub const FULL: RelSet = RelSet((1 << 13) - 1);
+
+    /// The singleton set for `r`.
+    pub fn of(r: AllenRel) -> RelSet {
+        RelSet(1 << (r as u8))
+    }
+
+    /// Builds a set from basic relations.
+    pub fn from_rels(rels: &[AllenRel]) -> RelSet {
+        rels.iter()
+            .fold(RelSet::EMPTY, |s, &r| s.union(RelSet::of(r)))
+    }
+
+    /// Membership test.
+    pub fn contains(self, r: AllenRel) -> bool {
+        self.0 & (1 << (r as u8)) != 0
+    }
+
+    /// Set union.
+    pub fn union(self, other: RelSet) -> RelSet {
+        RelSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    pub fn intersect(self, other: RelSet) -> RelSet {
+        RelSet(self.0 & other.0)
+    }
+
+    /// True if no relation is possible — an inconsistency.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of possible relations.
+    pub fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Converse of every member.
+    pub fn converse(self) -> RelSet {
+        let mut out = RelSet::EMPTY;
+        for r in ALL_RELS {
+            if self.contains(r) {
+                out = out.union(RelSet::of(r.converse()));
+            }
+        }
+        out
+    }
+
+    /// Composition: the set of relations possible between `A` and `C`
+    /// given `A self B` and `B other C`.
+    pub fn compose(self, other: RelSet) -> RelSet {
+        let table = composition_table();
+        let mut out = RelSet::EMPTY;
+        for r1 in ALL_RELS {
+            if !self.contains(r1) {
+                continue;
+            }
+            for r2 in ALL_RELS {
+                if other.contains(r2) {
+                    out = out.union(table[r1 as usize][r2 as usize]);
+                }
+            }
+        }
+        out
+    }
+
+    /// Iterates the member relations.
+    pub fn iter(self) -> impl Iterator<Item = AllenRel> {
+        ALL_RELS.into_iter().filter(move |&r| self.contains(r))
+    }
+}
+
+impl fmt::Display for RelSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for r in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", r.abbrev())?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Derives the 13×13 composition table by exhaustive enumeration of
+/// endpoint configurations over the domain `0..8` (sufficient to
+/// realize every consistent triple).
+fn composition_table() -> &'static [[RelSet; 13]; 13] {
+    static TABLE: OnceLock<[[RelSet; 13]; 13]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [[RelSet::EMPTY; 13]; 13];
+        // All intervals [s, e) with 0 <= s < e <= 7: 28 of them.
+        let mut ivals = Vec::new();
+        for s in 0..7i64 {
+            for e in (s + 1)..8 {
+                ivals.push(Interval::between(s, e).expect("s < e"));
+            }
+        }
+        for a in &ivals {
+            for b in &ivals {
+                let r1 = AllenRel::between(a, b);
+                for c in &ivals {
+                    let r2 = AllenRel::between(b, c);
+                    let r3 = AllenRel::between(a, c);
+                    table[r1 as usize][r2 as usize] =
+                        table[r1 as usize][r2 as usize].union(RelSet::of(r3));
+                }
+            }
+        }
+        table
+    })
+}
+
+/// A qualitative constraint network over `n` interval variables.
+///
+/// Constraint `get(i, j)` is the set of relations still possible between
+/// variables `i` and `j`. [`AllenNetwork::propagate`] runs Allen's
+/// path-consistency algorithm; it returns `false` when the network is
+/// detected inconsistent.
+#[derive(Debug, Clone)]
+pub struct AllenNetwork {
+    n: usize,
+    /// Row-major n×n matrix; `m[i][j]` and `m[j][i]` kept converse.
+    m: Vec<RelSet>,
+}
+
+impl AllenNetwork {
+    /// A network of `n` variables with no constraints.
+    pub fn new(n: usize) -> Self {
+        let mut m = vec![RelSet::FULL; n * n];
+        for i in 0..n {
+            m[i * n + i] = RelSet::of(AllenRel::Equal);
+        }
+        AllenNetwork { n, m }
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the network has no variables.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Current constraint between `i` and `j`.
+    pub fn get(&self, i: usize, j: usize) -> RelSet {
+        self.m[i * self.n + j]
+    }
+
+    /// Asserts `i rel j`, intersecting with existing knowledge. Returns
+    /// `false` if this makes the constraint empty.
+    pub fn assert_rel(&mut self, i: usize, j: usize, rels: RelSet) -> bool {
+        let cur = self.get(i, j);
+        let new = cur.intersect(rels);
+        self.m[i * self.n + j] = new;
+        self.m[j * self.n + i] = new.converse();
+        !new.is_empty()
+    }
+
+    /// Path-consistency propagation (Allen's constraint propagation
+    /// algorithm). Returns `false` if an inconsistency is detected.
+    pub fn propagate(&mut self) -> bool {
+        let n = self.n;
+        let mut queue: Vec<(usize, usize)> = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    queue.push((i, j));
+                }
+            }
+        }
+        while let Some((i, j)) = queue.pop() {
+            let rij = self.get(i, j);
+            for k in 0..n {
+                if k == i || k == j {
+                    continue;
+                }
+                // Tighten (i, k) via (i, j) ∘ (j, k).
+                let rik = self.get(i, k);
+                let tightened = rik.intersect(rij.compose(self.get(j, k)));
+                if tightened != rik {
+                    if tightened.is_empty() {
+                        self.m[i * n + k] = tightened;
+                        return false;
+                    }
+                    self.m[i * n + k] = tightened;
+                    self.m[k * n + i] = tightened.converse();
+                    queue.push((i, k));
+                }
+                // Tighten (k, j) via (k, i) ∘ (i, j).
+                let rkj = self.get(k, j);
+                let tightened = rkj.intersect(self.get(k, i).compose(rij));
+                if tightened != rkj {
+                    if tightened.is_empty() {
+                        self.m[k * n + j] = tightened;
+                        return false;
+                    }
+                    self.m[k * n + j] = tightened;
+                    self.m[j * n + k] = tightened.converse();
+                    queue.push((k, j));
+                }
+            }
+        }
+        true
+    }
+
+    /// True if every constraint is a singleton (a fully decided scenario).
+    pub fn is_singleton(&self) -> bool {
+        (0..self.n)
+            .flat_map(|i| (0..self.n).map(move |j| (i, j)))
+            .all(|(i, j)| self.get(i, j).len() == 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn between_covers_all_thirteen() {
+        use AllenRel::*;
+        let iv = |a, b| Interval::between(a, b).unwrap();
+        assert_eq!(AllenRel::between(&iv(0, 2), &iv(3, 5)), Before);
+        assert_eq!(AllenRel::between(&iv(0, 3), &iv(3, 5)), Meets);
+        assert_eq!(AllenRel::between(&iv(0, 4), &iv(2, 6)), Overlaps);
+        assert_eq!(AllenRel::between(&iv(0, 2), &iv(0, 5)), Starts);
+        assert_eq!(AllenRel::between(&iv(2, 4), &iv(0, 6)), During);
+        assert_eq!(AllenRel::between(&iv(3, 6), &iv(0, 6)), Finishes);
+        assert_eq!(AllenRel::between(&iv(1, 2), &iv(1, 2)), Equal);
+        assert_eq!(AllenRel::between(&iv(0, 6), &iv(3, 6)), FinishedBy);
+        assert_eq!(AllenRel::between(&iv(0, 6), &iv(2, 4)), Contains);
+        assert_eq!(AllenRel::between(&iv(0, 5), &iv(0, 2)), StartedBy);
+        assert_eq!(AllenRel::between(&iv(2, 6), &iv(0, 4)), OverlappedBy);
+        assert_eq!(AllenRel::between(&iv(3, 5), &iv(0, 3)), MetBy);
+        assert_eq!(AllenRel::between(&iv(3, 5), &iv(0, 2)), After);
+    }
+
+    #[test]
+    fn converse_is_involution() {
+        for r in ALL_RELS {
+            assert_eq!(r.converse().converse(), r);
+        }
+    }
+
+    #[test]
+    fn converse_agrees_with_between() {
+        let a = Interval::between(0, 4).unwrap();
+        let b = Interval::between(2, 6).unwrap();
+        assert_eq!(
+            AllenRel::between(&a, &b).converse(),
+            AllenRel::between(&b, &a)
+        );
+    }
+
+    #[test]
+    fn composition_spot_checks_against_published_table() {
+        use AllenRel::*;
+        // before ∘ before = {before}
+        assert_eq!(
+            RelSet::of(Before).compose(RelSet::of(Before)),
+            RelSet::of(Before)
+        );
+        // meets ∘ meets = {before}
+        assert_eq!(
+            RelSet::of(Meets).compose(RelSet::of(Meets)),
+            RelSet::of(Before)
+        );
+        // during ∘ after = {after}
+        assert_eq!(
+            RelSet::of(During).compose(RelSet::of(After)),
+            RelSet::of(After)
+        );
+        // overlaps ∘ overlaps = {before, meets, overlaps}
+        assert_eq!(
+            RelSet::of(Overlaps).compose(RelSet::of(Overlaps)),
+            RelSet::from_rels(&[Before, Meets, Overlaps])
+        );
+        // starts ∘ during = {during}
+        assert_eq!(
+            RelSet::of(Starts).compose(RelSet::of(During)),
+            RelSet::of(During)
+        );
+        // equal is the identity of composition
+        for r in ALL_RELS {
+            assert_eq!(RelSet::of(Equal).compose(RelSet::of(r)), RelSet::of(r));
+            assert_eq!(RelSet::of(r).compose(RelSet::of(Equal)), RelSet::of(r));
+        }
+    }
+
+    #[test]
+    fn composition_respects_converse_symmetry() {
+        // (r1 ∘ r2)ˇ == r2ˇ ∘ r1ˇ for all pairs.
+        for r1 in ALL_RELS {
+            for r2 in ALL_RELS {
+                let lhs = RelSet::of(r1).compose(RelSet::of(r2)).converse();
+                let rhs = RelSet::of(r2.converse()).compose(RelSet::of(r1.converse()));
+                assert_eq!(lhs, rhs, "{r1:?} {r2:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn relset_basics() {
+        use AllenRel::*;
+        let s = RelSet::from_rels(&[Before, After]);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(Before) && s.contains(After) && !s.contains(Equal));
+        assert_eq!(s.converse(), s);
+        assert_eq!(s.intersect(RelSet::of(Before)), RelSet::of(Before));
+        assert!(RelSet::EMPTY.is_empty());
+        assert_eq!(RelSet::FULL.len(), 13);
+        assert_eq!(s.to_string(), "{b,a}");
+    }
+
+    #[test]
+    fn abbrev_roundtrip() {
+        for r in ALL_RELS {
+            assert_eq!(AllenRel::from_abbrev(r.abbrev()), Some(r));
+        }
+        assert_eq!(AllenRel::from_abbrev("zz"), None);
+    }
+
+    #[test]
+    fn network_propagation_infers_transitivity() {
+        use AllenRel::*;
+        // requirements-phase before design-phase before implementation.
+        let mut net = AllenNetwork::new(3);
+        assert!(net.assert_rel(0, 1, RelSet::of(Before)));
+        assert!(net.assert_rel(1, 2, RelSet::of(Before)));
+        assert!(net.propagate());
+        assert_eq!(net.get(0, 2), RelSet::of(Before));
+        assert_eq!(net.get(2, 0), RelSet::of(After));
+    }
+
+    #[test]
+    fn network_detects_inconsistency() {
+        use AllenRel::*;
+        let mut net = AllenNetwork::new(3);
+        net.assert_rel(0, 1, RelSet::of(Before));
+        net.assert_rel(1, 2, RelSet::of(Before));
+        net.assert_rel(2, 0, RelSet::of(Before)); // cycle of "before"
+        assert!(!net.propagate());
+    }
+
+    #[test]
+    fn network_narrows_but_keeps_ambiguity() {
+        use AllenRel::*;
+        let mut net = AllenNetwork::new(3);
+        net.assert_rel(0, 1, RelSet::of(During));
+        net.assert_rel(1, 2, RelSet::of(During));
+        assert!(net.propagate());
+        assert_eq!(net.get(0, 2), RelSet::of(During));
+        // An unconstrained pair stays wide.
+        let mut net2 = AllenNetwork::new(3);
+        net2.assert_rel(0, 1, RelSet::of(Overlaps));
+        assert!(net2.propagate());
+        assert!(net2.get(0, 2).len() > 1);
+    }
+
+    #[test]
+    fn diagonal_is_equal() {
+        let net = AllenNetwork::new(2);
+        assert_eq!(net.get(0, 0), RelSet::of(AllenRel::Equal));
+        assert_eq!(net.get(1, 1), RelSet::of(AllenRel::Equal));
+    }
+}

@@ -1,0 +1,255 @@
+//! A logic-based calculus of events \[KS86\].
+//!
+//! Events occur at ticks and *initiate* or *terminate* fluents
+//! (time-varying properties). From the event record the calculus derives
+//! `holds_at(fluent, t)` and the maximal validity periods of each
+//! fluent — the mechanism behind "the time components … are again viewed
+//! as propositions" (§3.1): in the GKBMS, executed design decisions are
+//! the events, and design-object validity is the fluent.
+
+use crate::time::interval::Interval;
+use std::collections::HashMap;
+
+/// A fluent: a named time-varying property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fluent(pub u32);
+
+/// An event identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(pub u32);
+
+#[derive(Debug, Clone)]
+struct Event {
+    time: i64,
+    initiates: Vec<Fluent>,
+    terminates: Vec<Fluent>,
+}
+
+/// The event record plus derived queries.
+#[derive(Debug, Default, Clone)]
+pub struct EventCalculus {
+    events: Vec<Event>,
+    /// fluent -> sorted list of (tick, starts?) transitions, rebuilt lazily.
+    timeline: HashMap<Fluent, Vec<(i64, bool, EventId)>>,
+    dirty: bool,
+}
+
+impl EventCalculus {
+    /// An empty record.
+    pub fn new() -> Self {
+        EventCalculus::default()
+    }
+
+    /// Records an event at `time` initiating and terminating the given
+    /// fluents; returns its id.
+    pub fn happens(&mut self, time: i64, initiates: &[Fluent], terminates: &[Fluent]) -> EventId {
+        let id = EventId(self.events.len() as u32);
+        self.events.push(Event {
+            time,
+            initiates: initiates.to_vec(),
+            terminates: terminates.to_vec(),
+        });
+        self.dirty = true;
+        id
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing has happened.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Time of an event.
+    pub fn time_of(&self, e: EventId) -> Option<i64> {
+        self.events.get(e.0 as usize).map(|ev| ev.time)
+    }
+
+    fn rebuild(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        self.timeline.clear();
+        for (i, ev) in self.events.iter().enumerate() {
+            let id = EventId(i as u32);
+            for &f in &ev.initiates {
+                self.timeline
+                    .entry(f)
+                    .or_default()
+                    .push((ev.time, true, id));
+            }
+            for &f in &ev.terminates {
+                self.timeline
+                    .entry(f)
+                    .or_default()
+                    .push((ev.time, false, id));
+            }
+        }
+        for transitions in self.timeline.values_mut() {
+            // Sort by time; at equal times a termination precedes an
+            // initiation, so "terminate+reinitiate at t" leaves the
+            // fluent holding.
+            transitions.sort_by_key(|&(t, starts, id)| (t, starts, id));
+        }
+        self.dirty = false;
+    }
+
+    /// True if `fluent` holds at tick `t`: some event at or before `t`
+    /// initiated it and no later-or-equal event up to `t` terminated it
+    /// afterwards.
+    pub fn holds_at(&mut self, fluent: Fluent, t: i64) -> bool {
+        self.rebuild();
+        let Some(transitions) = self.timeline.get(&fluent) else {
+            return false;
+        };
+        let mut holding = false;
+        for &(time, starts, _) in transitions {
+            if time > t {
+                break;
+            }
+            holding = starts;
+        }
+        holding
+    }
+
+    /// The maximal periods during which `fluent` holds, as half-open
+    /// intervals (the last one open-ended if never terminated).
+    pub fn periods(&mut self, fluent: Fluent) -> Vec<Interval> {
+        self.rebuild();
+        let Some(transitions) = self.timeline.get(&fluent) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let mut open_since: Option<i64> = None;
+        for &(time, starts, _) in transitions {
+            match (starts, open_since) {
+                (true, None) => open_since = Some(time),
+                (false, Some(s)) => {
+                    if s < time {
+                        out.push(Interval::between(s, time).expect("s < time"));
+                    }
+                    open_since = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(s) = open_since {
+            out.push(Interval::from_tick(s));
+        }
+        out
+    }
+
+    /// The event that most recently initiated `fluent` at or before `t`,
+    /// if the fluent holds at `t` — the "justifying" event.
+    pub fn initiator_at(&mut self, fluent: Fluent, t: i64) -> Option<EventId> {
+        self.rebuild();
+        let transitions = self.timeline.get(&fluent)?;
+        let mut current: Option<EventId> = None;
+        for &(time, starts, id) in transitions {
+            if time > t {
+                break;
+            }
+            current = if starts { Some(id) } else { None };
+        }
+        current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F: Fluent = Fluent(0);
+    const G: Fluent = Fluent(1);
+
+    #[test]
+    fn holds_between_initiation_and_termination() {
+        let mut ec = EventCalculus::new();
+        ec.happens(5, &[F], &[]);
+        ec.happens(10, &[], &[F]);
+        assert!(!ec.holds_at(F, 4));
+        assert!(ec.holds_at(F, 5));
+        assert!(ec.holds_at(F, 9));
+        assert!(!ec.holds_at(F, 10));
+    }
+
+    #[test]
+    fn unterminated_fluent_holds_forever() {
+        let mut ec = EventCalculus::new();
+        ec.happens(3, &[F], &[]);
+        assert!(ec.holds_at(F, 1_000_000));
+        assert_eq!(ec.periods(F), vec![Interval::from_tick(3)]);
+    }
+
+    #[test]
+    fn unknown_fluent_never_holds() {
+        let mut ec = EventCalculus::new();
+        ec.happens(3, &[F], &[]);
+        assert!(!ec.holds_at(G, 5));
+        assert!(ec.periods(G).is_empty());
+    }
+
+    #[test]
+    fn multiple_periods() {
+        let mut ec = EventCalculus::new();
+        ec.happens(1, &[F], &[]);
+        ec.happens(3, &[], &[F]);
+        ec.happens(7, &[F], &[]);
+        ec.happens(9, &[], &[F]);
+        assert_eq!(
+            ec.periods(F),
+            vec![
+                Interval::between(1, 3).unwrap(),
+                Interval::between(7, 9).unwrap()
+            ]
+        );
+        assert!(ec.holds_at(F, 2));
+        assert!(!ec.holds_at(F, 5));
+        assert!(ec.holds_at(F, 8));
+    }
+
+    #[test]
+    fn simultaneous_terminate_and_initiate_keeps_holding() {
+        let mut ec = EventCalculus::new();
+        ec.happens(1, &[F], &[]);
+        // A "revision" event at t=4: old version terminated, new initiated.
+        ec.happens(4, &[F], &[F]);
+        assert!(ec.holds_at(F, 4));
+        assert!(ec.holds_at(F, 6));
+    }
+
+    #[test]
+    fn initiator_is_most_recent() {
+        let mut ec = EventCalculus::new();
+        let e1 = ec.happens(1, &[F], &[]);
+        let e2 = ec.happens(5, &[F], &[]);
+        assert_eq!(ec.initiator_at(F, 3), Some(e1));
+        assert_eq!(ec.initiator_at(F, 6), Some(e2));
+        ec.happens(8, &[], &[F]);
+        assert_eq!(ec.initiator_at(F, 9), None);
+    }
+
+    #[test]
+    fn events_out_of_order_are_sorted() {
+        let mut ec = EventCalculus::new();
+        ec.happens(10, &[], &[F]);
+        ec.happens(2, &[F], &[]);
+        assert!(ec.holds_at(F, 5));
+        assert!(!ec.holds_at(F, 11));
+        assert_eq!(ec.periods(F), vec![Interval::between(2, 10).unwrap()]);
+    }
+
+    #[test]
+    fn one_event_many_fluents() {
+        let mut ec = EventCalculus::new();
+        ec.happens(1, &[F, G], &[]);
+        ec.happens(4, &[], &[G]);
+        assert!(ec.holds_at(F, 5));
+        assert!(!ec.holds_at(G, 5));
+        assert_eq!(ec.time_of(EventId(0)), Some(1));
+        assert_eq!(ec.time_of(EventId(9)), None);
+    }
+}

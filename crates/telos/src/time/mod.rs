@@ -1,0 +1,19 @@
+//! The embedded time calculus of CML (paper §3.1).
+//!
+//! "Several time calculi may be supported by different inference
+//! engines; currently, the models of \[ALLE83\] and \[KS86\] are
+//! supported." Accordingly:
+//!
+//! * [`point`] / [`interval`] — the concrete timeline: half-open
+//!   intervals over integer ticks with ±∞ endpoints, used for the two
+//!   time dimensions of every proposition;
+//! * [`allen`] — Allen's qualitative interval algebra \[ALLE83\]: the 13
+//!   basic relations, converse and composition, and a path-consistency
+//!   constraint network;
+//! * [`events`] — a logic-based calculus of events \[KS86\]: events
+//!   initiate and terminate fluents, and validity periods are derived.
+
+pub mod allen;
+pub mod events;
+pub mod interval;
+pub mod point;

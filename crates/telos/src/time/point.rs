@@ -1,0 +1,95 @@
+//! Time points: integer ticks extended with ±∞.
+
+use std::fmt;
+
+/// A point on the discrete timeline, extended with infinities so that
+/// "Always" and open-ended belief intervals are representable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimePoint {
+    /// Before all ticks.
+    NegInf,
+    /// A finite tick.
+    At(i64),
+    /// After all ticks.
+    PosInf,
+}
+
+impl TimePoint {
+    /// The finite tick, if any.
+    pub fn tick(self) -> Option<i64> {
+        match self {
+            TimePoint::At(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// True for either infinity.
+    pub fn is_infinite(self) -> bool {
+        !matches!(self, TimePoint::At(_))
+    }
+}
+
+impl PartialOrd for TimePoint {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimePoint {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        use std::cmp::Ordering::*;
+        use TimePoint::*;
+        match (self, other) {
+            (NegInf, NegInf) | (PosInf, PosInf) => Equal,
+            (NegInf, _) | (_, PosInf) => Less,
+            (PosInf, _) | (_, NegInf) => Greater,
+            (At(a), At(b)) => a.cmp(b),
+        }
+    }
+}
+
+impl fmt::Display for TimePoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimePoint::NegInf => write!(f, "-inf"),
+            TimePoint::At(t) => write!(f, "{t}"),
+            TimePoint::PosInf => write!(f, "+inf"),
+        }
+    }
+}
+
+impl From<i64> for TimePoint {
+    fn from(t: i64) -> Self {
+        TimePoint::At(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_order() {
+        use TimePoint::*;
+        assert!(NegInf < At(i64::MIN));
+        assert!(At(i64::MAX) < PosInf);
+        assert!(At(-3) < At(7));
+        assert!(NegInf < PosInf);
+        assert_eq!(At(5), At(5));
+    }
+
+    #[test]
+    fn tick_extraction() {
+        assert_eq!(TimePoint::At(9).tick(), Some(9));
+        assert_eq!(TimePoint::PosInf.tick(), None);
+        assert!(TimePoint::NegInf.is_infinite());
+        assert!(!TimePoint::At(0).is_infinite());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(TimePoint::NegInf.to_string(), "-inf");
+        assert_eq!(TimePoint::At(42).to_string(), "42");
+        assert_eq!(TimePoint::PosInf.to_string(), "+inf");
+    }
+}

@@ -1,0 +1,57 @@
+//! The DAIDA three-layer pipeline (fig 1-1): CML world/system model →
+//! TaxisDL conceptual design → DBPL database programs.
+//!
+//! ```sh
+//! cargo run --example daida_pipeline
+//! ```
+
+use langs::dbpl::DbplModule;
+use langs::mapping::{map_transaction, Distribute, MappingStrategy, MoveDown};
+use langs::world::meeting_world;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Layer 1: the CML world model with its embedded system model.
+    println!("== layer 1: CML world/system model ==");
+    let world = meeting_world()?;
+    println!(
+        "world-only classes : Meeting, Room, Activity (checked: {})",
+        world.is_world_only("Meeting") && world.is_world_only("Room")
+    );
+    println!(
+        "system classes     : {}\n",
+        world.system_classes().join(", ")
+    );
+
+    // Layer 2: the mapping assistant derives the TaxisDL design.
+    println!("== layer 2: derived TaxisDL conceptual design ==");
+    let tdl = world.derive_taxisdl()?;
+    println!("{}", tdl);
+
+    // Layer 3: both mapping strategies produce DBPL modules.
+    for strategy in [&MoveDown as &dyn MappingStrategy, &Distribute] {
+        println!("== layer 3: DBPL module via `{}` ==", strategy.name());
+        let outcome = strategy.map_hierarchy(&tdl, "Paper")?;
+        let mut module = DbplModule::new(format!("DocumentDB_{}", strategy.name()));
+        for d in outcome.decls {
+            module.add(d)?;
+        }
+        println!("{}", module);
+        println!("dependency trace:");
+        for e in &outcome.trace {
+            println!("  {} --[{}]--> {}", e.from, e.rule, e.to);
+        }
+        println!();
+    }
+
+    // Transactions ride along.
+    println!("== transaction mapping ==");
+    let full = langs::taxisdl::document_model();
+    let tx = map_transaction(&full.transactions[0], &full, "Paper")?;
+    match &tx {
+        langs::dbpl::Decl::Transaction(t) => {
+            println!("TxSendInvitation body: {}", t.body.join("; "));
+        }
+        _ => unreachable!("map_transaction returns a transaction"),
+    }
+    Ok(())
+}

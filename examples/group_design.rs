@@ -1,0 +1,105 @@
+//! Group decision support (§3.3.3, \[HJ88\]): the key-choice debate as
+//! an argumentation structure with multicriteria choice and conflict
+//! detection, combined with the ATMS view in which both alternatives
+//! coexist.
+//!
+//! ```sh
+//! cargo run --example group_design
+//! ```
+
+use rms::atms::Atms;
+use rms::group::{GroupBoard, Stance};
+
+fn main() {
+    // ---------- argumentation (IBIS) ----------
+    let mut board = GroupBoard::new();
+    let dev = board.stakeholder("developer");
+    let maintainer = board.stakeholder("maintainer");
+    board.criterion("user-friendliness", 2.0);
+    board.criterion("robustness-under-evolution", 3.0);
+
+    let issue = board.issue("How should the Invitation relation be keyed?");
+    let surrogate = board.position(issue, "keep the artificial paperkey surrogate");
+    let associative = board.position(issue, "use the associative key (date, author)");
+    board.exclusive(surrogate, associative);
+
+    board.argue(
+        associative,
+        Stance::Pro,
+        dev,
+        "makes the system more user-friendly (§2.1)",
+        1.0,
+    );
+    board.argue(
+        associative,
+        Stance::Con,
+        maintainer,
+        "breaks as soon as Minutes, the second subclass of Papers, is mapped (fig 2-4)",
+        2.0,
+    );
+    board.argue(
+        surrogate,
+        Stance::Pro,
+        maintainer,
+        "surrogates stay unique across the whole hierarchy",
+        1.5,
+    );
+    board.score(surrogate, "robustness-under-evolution", 0.9);
+    board.score(surrogate, "user-friendliness", 0.3);
+    board.score(associative, "robustness-under-evolution", 0.2);
+    board.score(associative, "user-friendliness", 0.9);
+
+    // Conflicting endorsements surface for negotiation.
+    board.endorse(associative, dev);
+    board.endorse(surrogate, maintainer);
+    println!("== argumentation board ==\n{board}");
+    for c in board.conflicts() {
+        println!(
+            "CONFLICT on `{}`: {} endorses `{}`, {} endorses `{}`",
+            board.issue_text(c.issue),
+            board.stakeholder_name(c.left.1),
+            board.position_text(c.left.0),
+            board.stakeholder_name(c.right.1),
+            board.position_text(c.right.0),
+        );
+    }
+
+    println!("\n== multicriteria ranking ==");
+    for (p, score) in board.rank(issue) {
+        println!("  {score:+.3}  {}", board.position_text(p));
+    }
+    let (winner, _) = board.rank(issue)[0];
+    board.resolve(issue, winner);
+    println!("resolved: {}", board.position_text(winner));
+
+    // ---------- ATMS: alternatives coexist until chosen ----------
+    println!("\n== ATMS contexts (fig 3-4's coexisting implementations) ==");
+    let mut atms = Atms::new();
+    let a_sur = atms.assumption("choice: surrogate keys");
+    let a_ass = atms.assumption("choice: associative keys");
+    let a_min = atms.assumption("map Minutes");
+    let impl_sur = atms.node("implementation v1 (paperkey)");
+    let impl_ass = atms.node("implementation v2 (date, author)");
+    let clash = atms.contradiction("union over ConsPapers loses its candidate key");
+    atms.justify(impl_sur, &[a_sur]);
+    atms.justify(impl_ass, &[a_ass]);
+    atms.justify(clash, &[a_ass, a_min]);
+
+    for (node, label) in [(impl_sur, "v1"), (impl_ass, "v2")] {
+        println!(
+            "{label}: believed in some consistent context: {}",
+            atms.believed_somewhere(node)
+        );
+    }
+    let with_minutes = atms.env_of(&[a_ass, a_min]);
+    println!(
+        "context {{associative, minutes}} consistent: {}",
+        atms.consistent(&with_minutes)
+    );
+    let v1_ctx = atms.env_of(&[a_sur, a_min]);
+    println!(
+        "context {{surrogate, minutes}} consistent: {} (v1 holds there: {})",
+        atms.consistent(&v1_ctx),
+        atms.holds_in(impl_sur, &v1_ctx)
+    );
+}

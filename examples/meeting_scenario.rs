@@ -1,0 +1,19 @@
+//! The §2.1 meeting-documents scenario, end to end (figs 2-1 … 2-4).
+//!
+//! ```sh
+//! cargo run --example meeting_scenario
+//! ```
+//!
+//! Steps: browse the design (2-1) → move-down mapping (2-2) →
+//! normalization + key substitution (2-3) → inconsistency on Minutes +
+//! selective backtracking (2-4).
+
+use gkbms::scenario::Scenario;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for report in Scenario::run_all()? {
+        println!("================ fig {} ================", report.figure);
+        println!("{}", report.text);
+    }
+    Ok(())
+}

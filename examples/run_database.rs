@@ -1,0 +1,102 @@
+//! Executing the generated DBPL module: the design-level key conflict
+//! of fig 2-4 becomes an observable data-level violation.
+//!
+//! ```sh
+//! cargo run --example run_database
+//! ```
+
+use conceptbase::langs::dbpl::{ConsKind, DbplModule, Decl};
+use conceptbase::langs::keys::{check_union_key_conflicts, substitute_key};
+use conceptbase::langs::mapping::{MappingStrategy, MoveDown};
+use conceptbase::langs::normalize::{normalize, NormalizeNames};
+use conceptbase::langs::runtime::{Db, Val};
+use conceptbase::langs::taxisdl::document_model;
+
+fn s(v: &str) -> Val {
+    Val::Str(v.to_string())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Map + normalize + substitute keys, as in scenario steps 2–4.
+    let out = MoveDown.map_hierarchy(&document_model(), "Paper")?;
+    let mut module = DbplModule::new("DocumentDB");
+    for d in out.decls {
+        module.add(d)?;
+    }
+    normalize(
+        &mut module,
+        "InvitationRel",
+        "receivers",
+        NormalizeNames {
+            base: "InvitationRel2".into(),
+            member: "InvReceivRel".into(),
+            member_column: "receiver".into(),
+            selector: "InvitationsPaperIC".into(),
+            constructor: "ConsInvitation".into(),
+        },
+    )?;
+    substitute_key(&mut module, "InvitationRel2", &["date", "author"])?;
+    // Step 5: ConsPapers unions the two leaves.
+    if let Some(Decl::Constructor(c)) = module.decl("ConsPapers") {
+        let mut c = c.clone();
+        c.over = vec!["InvitationRel2".into(), "MinutesRel".into()];
+        c.kind = ConsKind::Union;
+        module.replace(Decl::Constructor(c))?;
+    }
+
+    println!("== design-level check ==");
+    for conflict in check_union_key_conflicts(&module) {
+        println!("  {conflict}");
+    }
+
+    println!("\n== data-level demonstration ==");
+    let mut db = Db::new(module);
+    db.insert(
+        "InvitationRel2",
+        &[
+            ("author", s("maria")),
+            ("date", s("1988-06-01")),
+            ("sender", s("joe")),
+        ],
+    )?;
+    db.insert(
+        "InvReceivRel",
+        &[
+            ("author", s("maria")),
+            ("date", s("1988-06-01")),
+            ("receiver", s("ann")),
+        ],
+    )?;
+    db.insert(
+        "MinutesRel",
+        &[
+            ("author", s("maria")),
+            ("date", s("1988-06-01")),
+            ("approvedBy", s("boss")),
+        ],
+    )?;
+    println!(
+        "inserted: 1 invitation, 1 receiver entry, 1 minutes — maria's two papers of 1988-06-01"
+    );
+
+    println!("\nConsPapers (union view):");
+    for row in db.eval_constructor("ConsPapers")? {
+        let cells: Vec<String> = row.iter().map(|(c, v)| format!("{c}={v}")).collect();
+        println!("  {}", cells.join(", "));
+    }
+
+    println!("\nintegrity check:");
+    let violations = db.check_integrity();
+    if violations.is_empty() {
+        println!("  clean");
+    }
+    for v in &violations {
+        println!("  VIOLATION {v}");
+    }
+    println!(
+        "\n→ exactly the fig 2-4 inconsistency: the associative key (date, author)\n\
+         does not identify papers across subclasses; the GKBMS resolution is to\n\
+         selectively backtrack the key decision (see `meeting_scenario`)."
+    );
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Decision-based versions and configurations (§3.3.2, fig 3-4).
+//!
+//! ```sh
+//! cargo run --example version_config
+//! ```
+//!
+//! Replays the scenario's decision history and then answers the
+//! §3.3.2 queries: "configure the latest complete DBPL database
+//! program system version", show the vertical/horizontal/choice
+//! structure, and demonstrate that the retracted alternative remains
+//! recorded.
+
+use gkbms::scenario::Scenario;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut s = Scenario::setup()?;
+    s.step2_map_invitations()?;
+    s.step3_normalize()?;
+    s.step4_substitute_keys()?;
+    let (_, conflicts) = s.step5_map_minutes()?;
+    if !conflicts.is_empty() {
+        s.step6_backtrack()?;
+    }
+
+    println!("== fig 3-4: decision-based configurations and versions ==\n");
+    println!("{}", s.gkbms.render_version_space());
+
+    println!("== configure the latest complete Implementation version ==");
+    let config = s.gkbms.configure_level("Implementation")?;
+    println!("objects    : {}", config.objects.join(", "));
+    println!("justified  : {}", config.justified_by.join(", "));
+    let gaps = s.gkbms.vertical_gaps("Implementation")?;
+    println!(
+        "vertical configuration: {}",
+        if gaps.is_empty() {
+            "allowable (every object mapped from a current design object)".to_string()
+        } else {
+            format!("gaps at {}", gaps.join(", "))
+        }
+    );
+
+    println!("\n== choice points (alternative versions) ==");
+    for cp in s.gkbms.choice_points() {
+        println!("over {}:", cp.over.join(", "));
+        for alt in cp.alternatives {
+            println!(
+                "  {} {} -> {}",
+                if alt.current {
+                    "[chosen]  "
+                } else {
+                    "[retracted]"
+                },
+                alt.decision,
+                alt.objects.join(", ")
+            );
+        }
+    }
+
+    println!("\n== the process view (causal ordering) ==");
+    println!("{}", s.gkbms.process_view().render());
+    Ok(())
+}

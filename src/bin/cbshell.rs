@@ -1,0 +1,278 @@
+//! `cbshell` — an interactive shell over the proposition and object
+//! processors, in the spirit of ConceptBase's dialog manager.
+//!
+//! ```sh
+//! cargo run --bin cbshell                 # in-memory KB
+//! cargo run --bin cbshell -- mykb.log     # persistent KB
+//! echo 'ask p/Paper : true' | cargo run --bin cbshell
+//! ```
+//!
+//! Commands (one per line; frames may span lines until `end`):
+//!
+//! ```text
+//! tell <frame…> end        TELL a frame
+//! untell <name>            UNTELL an object (cascading)
+//! ask <var>/<class> : <expr>   open query
+//! holds <expr>             closed query
+//! show <name>              the object as a frame
+//! isa <name>               the specialization tree below <name>
+//! instances <name>         the classification tree below <name>
+//! attrs <name>             relational display of the attributes
+//! check                    full consistency check
+//! stats                    KB statistics
+//! help / quit
+//! ```
+
+use conceptbase::modelbase::BrowseSession;
+use conceptbase::objectbase::consistency::check_full;
+use conceptbase::objectbase::frame::ObjectFrame;
+use conceptbase::objectbase::query::ask;
+use conceptbase::objectbase::transform::{frame_of, tell, untell_object};
+use conceptbase::telos::assertion;
+use conceptbase::telos::backend::KbBackend;
+use conceptbase::telos::Kb;
+use std::io::{BufRead, Write};
+
+/// Executes one complete command line; returns the response text or
+/// `None` on `quit`.
+fn dispatch(kb: &mut Kb, line: &str) -> Option<String> {
+    let line = line.trim();
+    let (cmd, rest) = match line.split_once(char::is_whitespace) {
+        Some((c, r)) => (c, r.trim()),
+        None => (line, ""),
+    };
+    let out = match cmd {
+        "" => String::new(),
+        "quit" | "exit" => return None,
+        "help" => {
+            "commands: tell untell ask holds show isa instances attrs check stats quit".to_string()
+        }
+        "tell" => match ObjectFrame::parse(&format!("TELL {rest}")) {
+            Err(e) => format!("error: {e}"),
+            Ok(frame) => match tell(kb, &frame) {
+                Err(e) => format!("error: {e}"),
+                Ok(receipt) => format!(
+                    "ok: {} ({} propositions)",
+                    kb.display(receipt.object),
+                    receipt.created.len()
+                ),
+            },
+        },
+        "untell" => match untell_object(kb, rest) {
+            Err(e) => format!("error: {e}"),
+            Ok(untold) => format!("ok: {} propositions untold", untold.len()),
+        },
+        "ask" => {
+            // ask <var>/<class> : <expr>
+            let parts: Option<(&str, &str)> = rest.split_once(':');
+            match parts {
+                None => "usage: ask <var>/<class> : <expr>".to_string(),
+                Some((binding, expr)) => match binding.trim().split_once('/') {
+                    None => "usage: ask <var>/<class> : <expr>".to_string(),
+                    Some((var, class)) => match ask(kb, var.trim(), class.trim(), expr.trim()) {
+                        Err(e) => format!("error: {e}"),
+                        Ok(hits) if hits.is_empty() => "no answers".to_string(),
+                        Ok(hits) => hits.join("\n"),
+                    },
+                },
+            }
+        }
+        "holds" => match assertion::parse(rest) {
+            Err(e) => format!("error: {e}"),
+            Ok(expr) => match assertion::eval(kb, &expr, &mut assertion::Env::new()) {
+                Err(e) => format!("error: {e}"),
+                Ok(v) => v.to_string(),
+            },
+        },
+        "show" => match kb.lookup(rest) {
+            None => format!("error: unknown object `{rest}`"),
+            Some(id) => match frame_of(kb, id) {
+                Err(e) => format!("error: {e}"),
+                Ok(frame) => frame.to_string(),
+            },
+        },
+        "isa" | "instances" => match BrowseSession::start(kb, rest) {
+            Err(e) => format!("error: {e}"),
+            Ok(session) => {
+                if cmd == "isa" {
+                    session.isa_tree()
+                } else {
+                    session.instance_tree()
+                }
+            }
+        },
+        "attrs" => match BrowseSession::start(kb, rest) {
+            Err(e) => format!("error: {e}"),
+            Ok(session) => session.attribute_table().render(),
+        },
+        "check" => {
+            let (violations, stats) = check_full(kb);
+            if violations.is_empty() {
+                format!(
+                    "consistent ({} constraints over {} classes)",
+                    stats.constraints_evaluated, stats.classes_visited
+                )
+            } else {
+                violations
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            }
+        }
+        "stats" => format!(
+            "propositions: {} total, {} believed; belief tick: {}",
+            kb.len(),
+            kb.believed_count(),
+            kb.now()
+        ),
+        other => format!("unknown command `{other}` (try `help`)"),
+    };
+    Some(out)
+}
+
+/// Accumulates lines of a multi-line `tell … end` command.
+fn needs_more(buffer: &str) -> bool {
+    let mut words = buffer.split_whitespace();
+    let first = words.next().unwrap_or("");
+    // The frame is complete only when `end` stands as its own word
+    // (identifiers like `Friend` must not terminate accumulation).
+    first == "tell" && buffer.split_whitespace().next_back() != Some("end")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let mut kb = match args.next() {
+        Some(path) => Kb::with_backend(KbBackend::log(path)?)?,
+        None => Kb::new(),
+    };
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    let interactive = atty_guess();
+    if interactive {
+        println!("ConceptBase-rs shell — `help` for commands, `quit` to leave.");
+    }
+    let mut buffer = String::new();
+    loop {
+        if interactive {
+            print!("{}", if buffer.is_empty() { "cb> " } else { "...> " });
+            out.flush()?;
+        }
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            break; // EOF
+        }
+        buffer.push_str(&line);
+        if needs_more(&buffer) {
+            continue;
+        }
+        let complete = std::mem::take(&mut buffer);
+        match dispatch(&mut kb, &complete) {
+            None => break,
+            Some(response) => {
+                if !response.is_empty() {
+                    println!("{response}");
+                }
+            }
+        }
+    }
+    kb.sync()?;
+    Ok(())
+}
+
+/// Conservative interactivity guess without a TTY crate: assume
+/// non-interactive when stdin is redirected (heuristic via env).
+fn atty_guess() -> bool {
+    std::env::var("CBSHELL_BANNER")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded_kb() -> Kb {
+        let mut kb = Kb::new();
+        for cmd in [
+            "tell Person end",
+            "tell Paper end",
+            "tell Invitation isA Paper end",
+            "tell inv1 in Invitation end",
+        ] {
+            dispatch(&mut kb, cmd).unwrap();
+        }
+        kb
+    }
+
+    #[test]
+    fn tell_and_show() {
+        let mut kb = seeded_kb();
+        let shown = dispatch(&mut kb, "show Invitation").unwrap();
+        assert!(shown.contains("isA Paper"));
+        let r = dispatch(&mut kb, "tell x in Ghost end").unwrap();
+        assert!(r.starts_with("error"));
+    }
+
+    #[test]
+    fn ask_and_holds() {
+        let mut kb = seeded_kb();
+        let hits = dispatch(&mut kb, "ask p/Paper : true").unwrap();
+        assert_eq!(hits, "inv1");
+        assert_eq!(dispatch(&mut kb, "holds inv1 in Paper").unwrap(), "true");
+        assert_eq!(dispatch(&mut kb, "holds inv1 in Person").unwrap(), "false");
+        assert!(dispatch(&mut kb, "ask nonsense")
+            .unwrap()
+            .starts_with("usage"));
+    }
+
+    #[test]
+    fn browse_commands() {
+        let mut kb = seeded_kb();
+        let isa = dispatch(&mut kb, "isa Paper").unwrap();
+        assert!(isa.contains("`- Invitation"));
+        let inst = dispatch(&mut kb, "instances Paper").unwrap();
+        assert!(inst.contains("inv1"));
+        assert!(dispatch(&mut kb, "attrs Invitation")
+            .unwrap()
+            .contains("attribute"));
+    }
+
+    #[test]
+    fn untell_check_stats() {
+        let mut kb = seeded_kb();
+        assert!(dispatch(&mut kb, "check")
+            .unwrap()
+            .starts_with("consistent"));
+        let r = dispatch(&mut kb, "untell inv1").unwrap();
+        assert!(r.starts_with("ok"));
+        assert!(dispatch(&mut kb, "stats").unwrap().contains("believed"));
+        assert!(dispatch(&mut kb, "untell inv1")
+            .unwrap()
+            .starts_with("error"));
+    }
+
+    #[test]
+    fn quit_and_unknown() {
+        let mut kb = seeded_kb();
+        assert!(dispatch(&mut kb, "quit").is_none());
+        assert!(dispatch(&mut kb, "frobnicate")
+            .unwrap()
+            .contains("unknown command"));
+        assert_eq!(dispatch(&mut kb, "").unwrap(), "");
+    }
+
+    #[test]
+    fn multiline_accumulation() {
+        assert!(needs_more("tell Invitation isA Paper with"));
+        assert!(
+            needs_more("tell x in Friend"),
+            "identifiers ending in 'end' must not terminate the frame"
+        );
+        assert!(!needs_more("tell x in Friend end"));
+        assert!(!needs_more(
+            "tell Invitation isA Paper with attribute s : P end"
+        ));
+        assert!(!needs_more("ask p/Paper : true"));
+    }
+}

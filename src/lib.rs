@@ -1,0 +1,17 @@
+//! ConceptBase-rs facade crate.
+//!
+//! Re-exports the full stack described in DESIGN.md: the storage
+//! substrate, the CML/Telos proposition processor, the inference
+//! engines, the object and model processors, the reason maintenance
+//! system, the DAIDA language stack, and the GKBMS itself.
+//!
+//! See `examples/quickstart.rs` for a tour.
+
+pub use datalog;
+pub use gkbms;
+pub use langs;
+pub use modelbase;
+pub use objectbase;
+pub use rms;
+pub use storage;
+pub use telos;

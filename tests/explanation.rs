@@ -1,0 +1,81 @@
+//! Integration: the §3.3.3 second-stage facilities — design
+//! explanation and dependency-directed conflict resolution — over the
+//! full scenario history.
+
+use conceptbase::gkbms::scenario::Scenario;
+
+fn full_history() -> Scenario {
+    let mut s = Scenario::setup().unwrap();
+    s.step2_map_invitations().unwrap();
+    s.step3_normalize().unwrap();
+    s.step4_substitute_keys().unwrap();
+    s
+}
+
+#[test]
+fn explanation_covers_the_scenario_chain() {
+    let s = full_history();
+    let e = s.gkbms.explain("InvitationRel2").unwrap();
+    // The full justification chain down to the registered TDL objects.
+    assert!(e.contains("justified by `normalizeInvitations`"));
+    assert!(e.contains("justified by `mapInvitations`"));
+    assert!(e.contains("registered design object (source: design.tdl#Invitation)"));
+    // Obligations and their coverage are explained.
+    assert!(e.contains("obligation `normalized`"));
+    assert!(e.contains("guaranteed by tool NormalizerTool"));
+}
+
+#[test]
+fn explanation_of_the_key_choice_shows_the_signature() {
+    let s = full_history();
+    let e = s.gkbms.explain("InvitationRel2@assoc").unwrap();
+    assert!(e.contains("justified by `chooseAssociativeKeys`"));
+    assert!(e.contains("choice"));
+    assert!(e.contains("signed by developer"));
+    let d = s.gkbms.explain_decision("chooseAssociativeKeys").unwrap();
+    assert!(d.contains("(effective)"));
+    assert!(d.contains("using KeyEditor"));
+}
+
+#[test]
+fn automatic_conflict_resolution_mirrors_fig_2_4() {
+    // Instead of the developer manually retracting (scenario step 6),
+    // report the conflict to the DDB machinery, narrowed to the key
+    // decision as the paper's developer concluded.
+    let mut s = full_history();
+    let (_, conflicts) = s.step5_map_minutes().unwrap();
+    assert_eq!(conflicts.len(), 1);
+    let resolution = s
+        .gkbms
+        .report_conflict(&conflicts[0].to_string(), &["chooseAssociativeKeys"])
+        .unwrap();
+    assert_eq!(resolution.culprit, "chooseAssociativeKeys");
+    assert!(resolution.affected.iter().all(|o| o.contains("@assoc")));
+    // The rest of the design survives; the nogood warns against a redo.
+    assert!(s.gkbms.is_effective("mapMinutes"));
+    assert!(s.gkbms.is_effective("normalizeInvitations"));
+    assert!(s.gkbms.would_repeat_nogood(&["chooseAssociativeKeys"]));
+    // The retracted object's explanation reflects the retraction.
+    let e = s.gkbms.explain("InvitationRel2@assoc").unwrap();
+    assert!(e.contains("not current"));
+    assert!(e.contains("RETRACTED"));
+}
+
+#[test]
+fn chronological_ddb_picks_the_latest_decision() {
+    let mut s = full_history();
+    s.step5_map_minutes().unwrap();
+    // Without narrowing, the chronologically latest decision
+    // (mapMinutes) is the culprit — Doyle's heuristic; the paper's
+    // developer instead keeps Minutes and drops the key choice,
+    // which `report_conflict(&[..narrowed..])` supports (above).
+    let resolution = s
+        .gkbms
+        .report_conflict(
+            "union key conflict",
+            &["chooseAssociativeKeys", "mapMinutes"],
+        )
+        .unwrap();
+    assert_eq!(resolution.culprit, "mapMinutes");
+    assert!(s.gkbms.is_effective("chooseAssociativeKeys"));
+}

@@ -1,0 +1,151 @@
+//! Integration: the persistent proposition base — "several physical
+//! representations of propositions can be managed by the proposition
+//! base" (§3.1) — across the object processor.
+
+use conceptbase::objectbase::frame::ObjectFrame;
+use conceptbase::objectbase::transform::{frame_of, tell_all};
+use conceptbase::storage::heap::HeapFile;
+use conceptbase::telos::backend::KbBackend;
+use conceptbase::telos::Kb;
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("cb-int-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+#[test]
+fn frames_survive_reopen() {
+    let path = tmp("frames");
+    {
+        let mut kb = Kb::with_backend(KbBackend::log(&path).unwrap()).unwrap();
+        tell_all(
+            &mut kb,
+            &ObjectFrame::parse_all(
+                "TELL TDL_EntityClass isA Class end\n\
+                 TELL Person end\n\
+                 TELL Paper in TDL_EntityClass with attribute author : Person end\n\
+                 TELL Invitation in TDL_EntityClass isA Paper with\n\
+                   attribute sender : Person\n\
+                   constraint hasSender : $ forall i/Invitation i.sender defined $\n\
+                 end",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        kb.sync().unwrap();
+    }
+    let kb = Kb::with_backend(KbBackend::log(&path).unwrap()).unwrap();
+    let invitation = kb.lookup("Invitation").unwrap();
+    let back = frame_of(&kb, invitation).unwrap();
+    assert_eq!(back.classes, vec!["TDL_EntityClass"]);
+    assert_eq!(back.isa, vec!["Paper"]);
+    assert_eq!(back.attrs.len(), 1);
+    assert_eq!(back.constraints.len(), 1);
+    // The reopened KB is still axiom-clean and queryable.
+    assert!(conceptbase::telos::axioms::check_all(&kb).is_empty());
+    let paper = kb.lookup("Paper").unwrap();
+    assert!(kb.isa_ancestors(invitation).contains(&paper));
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn untold_history_survives_reopen() {
+    let path = tmp("history");
+    let t_alive;
+    {
+        let mut kb = Kb::with_backend(KbBackend::log(&path).unwrap()).unwrap();
+        let a = kb.individual("InvitationRel").unwrap();
+        let c = kb.individual("DBPL_Rel").unwrap();
+        let link = kb.instantiate(a, c).unwrap();
+        t_alive = kb.now();
+        kb.untell_cascade(link).unwrap();
+        kb.sync().unwrap();
+    }
+    let kb = Kb::with_backend(KbBackend::log(&path).unwrap()).unwrap();
+    let a = kb.lookup("InvitationRel").unwrap();
+    assert!(kb.classes_of(a).is_empty(), "link no longer believed");
+    assert_eq!(
+        kb.classes_of_at(a, t_alive).len(),
+        1,
+        "temporal query sees it"
+    );
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn many_objects_roundtrip() {
+    let path = tmp("bulk");
+    {
+        let mut kb = Kb::with_backend(KbBackend::log(&path).unwrap()).unwrap();
+        let class = kb.individual("DesignObjectToken").unwrap();
+        for i in 0..500 {
+            let o = kb.individual(&format!("obj{i}")).unwrap();
+            kb.instantiate(o, class).unwrap();
+        }
+        kb.sync().unwrap();
+    }
+    let kb = Kb::with_backend(KbBackend::log(&path).unwrap()).unwrap();
+    let class = kb.lookup("DesignObjectToken").unwrap();
+    assert_eq!(kb.instances_of(class).len(), 500);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn dbpl_sources_stored_in_heap_file() {
+    // The "sources recorded outside the GKB" (fig 2-5) can live in the
+    // storage substrate: code frames in a slotted heap file.
+    use conceptbase::langs::dbpl::DbplModule;
+    use conceptbase::langs::mapping::{MappingStrategy, MoveDown};
+    use conceptbase::langs::taxisdl::document_model;
+    let path = tmp("heap");
+    let out = MoveDown.map_hierarchy(&document_model(), "Paper").unwrap();
+    let mut module = DbplModule::new("DocumentDB");
+    for d in out.decls {
+        module.add(d).unwrap();
+    }
+    let mut heap = HeapFile::open(&path, 8).unwrap();
+    let mut rids = Vec::new();
+    for d in &module.decls {
+        let frame = module.code_frame(d.name()).unwrap();
+        rids.push((d.name().to_string(), heap.insert(frame.as_bytes()).unwrap()));
+    }
+    heap.flush().unwrap();
+    // Reopen and verify each code frame.
+    let mut heap = HeapFile::open(&path, 8).unwrap();
+    for (name, rid) in rids {
+        let bytes = heap.get(rid).unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.contains(&name), "{name} frame corrupted");
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn kv_store_as_source_index() {
+    use conceptbase::storage::KvStore;
+    let path = tmp("kv");
+    {
+        let mut kv = KvStore::open(&path).unwrap();
+        kv.set(
+            b"design.tdl#Invitation",
+            b"EntityClass Invitation isA Paper ...",
+        )
+        .unwrap();
+        kv.set(b"design.tdl#Paper", b"EntityClass Paper ...")
+            .unwrap();
+        kv.set(
+            b"dbpl://DocumentDB#InvitationRel",
+            b"RELATION InvitationRel ...",
+        )
+        .unwrap();
+        kv.sync().unwrap();
+    }
+    let kv = KvStore::open(&path).unwrap();
+    let tdl_sources: Vec<_> = kv.scan_prefix(b"design.tdl#").collect();
+    assert_eq!(tdl_sources.len(), 2);
+    assert!(kv.get(b"dbpl://DocumentDB#InvitationRel").is_some());
+    std::fs::remove_file(&path).unwrap();
+}

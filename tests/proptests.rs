@@ -1,0 +1,435 @@
+//! Property-based tests over the core invariants (DESIGN.md §6).
+
+use conceptbase::datalog::ast::{Atom, Program, Term, Value};
+use conceptbase::datalog::db::Database;
+use conceptbase::datalog::{magic, seminaive, topdown};
+use conceptbase::rms::atms::Atms;
+use conceptbase::rms::jtms::Jtms;
+use conceptbase::storage::record;
+use conceptbase::storage::KvStore;
+use conceptbase::telos::time::allen::{AllenNetwork, AllenRel, RelSet};
+use conceptbase::telos::{Interval, Kb};
+use proptest::prelude::*;
+
+fn interval_strategy() -> impl Strategy<Value = Interval> {
+    (0i64..50, 1i64..20).prop_map(|(a, d)| Interval::between(a, a + d).expect("d > 0"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // ---------- time calculus ----------
+
+    #[test]
+    fn allen_relation_is_total_and_converse_correct(
+        a in interval_strategy(),
+        b in interval_strategy(),
+    ) {
+        let r = AllenRel::between(&a, &b);
+        prop_assert_eq!(r.converse(), AllenRel::between(&b, &a));
+        // Exactly one basic relation holds: its converse's converse is it.
+        prop_assert_eq!(r.converse().converse(), r);
+    }
+
+    #[test]
+    fn allen_composition_is_sound(
+        a in interval_strategy(),
+        b in interval_strategy(),
+        c in interval_strategy(),
+    ) {
+        let rab = RelSet::of(AllenRel::between(&a, &b));
+        let rbc = RelSet::of(AllenRel::between(&b, &c));
+        let rac = AllenRel::between(&a, &c);
+        prop_assert!(rab.compose(rbc).contains(rac),
+            "composition must contain the realized relation");
+    }
+
+    #[test]
+    fn path_consistency_preserves_realizable_scenarios(
+        ivals in prop::collection::vec(interval_strategy(), 2..6),
+    ) {
+        // Build the network from a concrete realization; propagation
+        // must keep every realized relation possible.
+        let n = ivals.len();
+        let mut net = AllenNetwork::new(n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    net.assert_rel(i, j, RelSet::of(AllenRel::between(&ivals[i], &ivals[j])));
+                }
+            }
+        }
+        prop_assert!(net.propagate(), "a realized network is consistent");
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    prop_assert!(net
+                        .get(i, j)
+                        .contains(AllenRel::between(&ivals[i], &ivals[j])));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interval_intersection_is_contained_in_both(
+        a in interval_strategy(),
+        b in interval_strategy(),
+    ) {
+        if let Some(i) = a.intersect(&b) {
+            prop_assert!(a.contains(&i));
+            prop_assert!(b.contains(&i));
+            prop_assert!(a.overlaps(&b));
+        } else {
+            prop_assert!(!a.overlaps(&b));
+        }
+        let s = a.span(&b);
+        prop_assert!(s.contains(&a) && s.contains(&b));
+    }
+
+    // ---------- storage ----------
+
+    #[test]
+    fn record_codec_roundtrips(payload in prop::collection::vec(any::<u8>(), 0..300)) {
+        let mut buf = Vec::new();
+        record::encode(&payload, &mut buf).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        match record::read_record(&mut cursor, 0).unwrap() {
+            record::ReadOutcome::Record(p) => prop_assert_eq!(p, payload),
+            other => prop_assert!(false, "unexpected {:?}", other),
+        }
+    }
+
+    #[test]
+    fn kv_recovery_matches_model(
+        ops in prop::collection::vec(
+            (0u8..3, 0u8..8, any::<u8>()),
+            1..40,
+        )
+    ) {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "cb-prop-kv-{}-{:x}",
+            std::process::id(),
+            ops.iter().fold(0u64, |h, (a, b, c)| h
+                .wrapping_mul(31)
+                .wrapping_add(*a as u64 + *b as u64 * 7 + *c as u64 * 13))
+        ));
+        let _ = std::fs::remove_file(&path);
+        let mut model = std::collections::BTreeMap::new();
+        {
+            let mut kv = KvStore::open(&path).unwrap();
+            for (op, k, v) in &ops {
+                let key = vec![*k];
+                match op {
+                    0 | 1 => {
+                        kv.set(&key, &[*v]).unwrap();
+                        model.insert(key, vec![*v]);
+                    }
+                    _ => {
+                        kv.delete(&key).unwrap();
+                        model.remove(&key);
+                    }
+                }
+            }
+            kv.sync().unwrap();
+        }
+        let kv = KvStore::open(&path).unwrap();
+        let recovered: std::collections::BTreeMap<Vec<u8>, Vec<u8>> = kv
+            .scan()
+            .map(|(k, v)| (k.to_vec(), v.to_vec()))
+            .collect();
+        let _ = std::fs::remove_file(&path);
+        prop_assert_eq!(recovered, model);
+    }
+
+    // ---------- inference engines ----------
+
+    #[test]
+    fn engines_agree_on_transitive_closure(
+        edges in prop::collection::vec((0i64..8, 0i64..8), 0..20)
+    ) {
+        let program = Program::parse(
+            "path(X, Y) :- edge(X, Y).\npath(X, Z) :- edge(X, Y), path(Y, Z).",
+        ).unwrap();
+        let mut db = Database::new();
+        for (a, b) in &edges {
+            db.insert("edge", vec![Value::Int(*a), Value::Int(*b)]).unwrap();
+        }
+        let bottom = seminaive::evaluate_pred(&program, &db, "path").unwrap();
+        // Top-down, fully open query.
+        let mut td = topdown::TopDown::new(&program, &db);
+        let mut top: Vec<Vec<Value>> = td
+            .query(&Atom::new("path", vec![Term::var("X"), Term::var("Y")]))
+            .unwrap()
+            .into_iter()
+            .map(|e| vec![e["X"].clone(), e["Y"].clone()])
+            .collect();
+        top.sort();
+        top.dedup();
+        prop_assert_eq!(&top, &bottom);
+        // Magic with a bound first argument agrees with the filtered model.
+        if let Some((a, _)) = edges.first() {
+            let q = Atom::new("path", vec![Term::int(*a), Term::var("Y")]);
+            let magic_answers = magic::magic_evaluate(&program, &db, &q).unwrap();
+            let filtered: Vec<Vec<Value>> = bottom
+                .iter()
+                .filter(|t| t[0] == Value::Int(*a))
+                .cloned()
+                .collect();
+            prop_assert_eq!(magic_answers, filtered);
+        }
+    }
+
+    // ---------- reason maintenance ----------
+
+    #[test]
+    fn jtms_labels_are_a_fixpoint(
+        chains in prop::collection::vec((0usize..4, 0usize..4), 1..12),
+        retract_mask in any::<u8>(),
+    ) {
+        // 4 assumptions, nodes justified by random pairs of them.
+        let mut tms = Jtms::new();
+        let assumptions: Vec<_> = (0..4).map(|i| tms.assumption(format!("a{i}"))).collect();
+        let mut derived = Vec::new();
+        for (i, (x, y)) in chains.iter().enumerate() {
+            let n = tms.node(format!("d{i}"));
+            tms.justify(n, &[assumptions[*x], assumptions[*y]], &[]);
+            derived.push((n, *x, *y));
+        }
+        for (i, a) in assumptions.iter().enumerate() {
+            if retract_mask & (1 << i) != 0 {
+                tms.retract(*a);
+            }
+        }
+        for (n, x, y) in derived {
+            let expect = tms.is_in(assumptions[x]) && tms.is_in(assumptions[y]);
+            prop_assert_eq!(tms.is_in(n), expect);
+        }
+    }
+
+    #[test]
+    fn atms_labels_are_minimal_and_consistent(
+        justs in prop::collection::vec(
+            (0usize..4, 0usize..4, 0usize..3),
+            1..10,
+        )
+    ) {
+        let mut atms = Atms::new();
+        let assumptions: Vec<_> = (0..4).map(|i| atms.assumption(format!("a{i}"))).collect();
+        let nodes: Vec<_> = (0..3).map(|i| atms.node(format!("n{i}"))).collect();
+        for (x, y, n) in &justs {
+            atms.justify(nodes[*n], &[assumptions[*x], assumptions[*y]]);
+        }
+        // Make one combination a nogood.
+        let bad = atms.contradiction("bad");
+        atms.justify(bad, &[assumptions[0], assumptions[1]]);
+        for &n in &nodes {
+            let label = atms.label(n);
+            for (i, e1) in label.iter().enumerate() {
+                prop_assert!(atms.consistent(e1), "label env must be consistent");
+                for (j, e2) in label.iter().enumerate() {
+                    if i != j {
+                        prop_assert!(!e1.subset_of(e2), "label must be minimal");
+                    }
+                }
+            }
+        }
+    }
+
+    // ---------- proposition processor ----------
+
+    #[test]
+    fn isa_closure_is_monotone_and_acyclic(
+        links in prop::collection::vec((0usize..6, 0usize..6), 0..15)
+    ) {
+        let mut kb = Kb::new();
+        let classes: Vec<_> = (0..6)
+            .map(|i| kb.individual(&format!("C{i}")).unwrap())
+            .collect();
+        for (a, b) in links {
+            // Cycle-creating links are rejected; accepted ones keep the
+            // graph a DAG.
+            let _ = kb.specialize(classes[a], classes[b]);
+        }
+        for &c in &classes {
+            let ancestors = kb.isa_ancestors(c);
+            prop_assert!(!ancestors.contains(&c), "no reflexive ancestry");
+            for &a in &ancestors {
+                // Ancestors of ancestors are ancestors (transitivity).
+                for &aa in &kb.isa_ancestors(a) {
+                    prop_assert!(ancestors.contains(&aa));
+                }
+            }
+        }
+    }
+
+    // ---------- GKBMS backtracking invariant ----------
+
+    #[test]
+    fn selective_backtracking_partitions_exactly(
+        chains in 2usize..5,
+        depth in 1usize..4,
+        victim_chain in 0usize..5,
+        victim_depth in 0usize..4,
+    ) {
+        use conceptbase::gkbms::metamodel::kernel;
+        use conceptbase::gkbms::{DecisionClass, DecisionDimension, DecisionRequest, Gkbms, ToolSpec};
+        let victim_chain = victim_chain % chains;
+        let victim_depth = victim_depth % depth;
+        let mut g = Gkbms::new().unwrap();
+        g.define_decision_class(
+            DecisionClass::new("DecMap", DecisionDimension::Mapping)
+                .from_classes(&[kernel::TDL_ENTITY_CLASS])
+                .to_classes(&[kernel::DBPL_REL]),
+        )
+        .unwrap();
+        g.define_decision_class(
+            DecisionClass::new("DecRefine", DecisionDimension::Refinement)
+                .from_classes(&[kernel::DBPL_REL])
+                .to_classes(&[kernel::DBPL_REL]),
+        )
+        .unwrap();
+        g.register_tool(ToolSpec::new("T", true).executes("DecMap").executes("DecRefine"))
+            .unwrap();
+        for i in 0..chains {
+            g.register_object(&format!("E{i}"), kernel::TDL_ENTITY_CLASS, "src").unwrap();
+            g.execute(
+                DecisionRequest::new("DecMap", &format!("map{i}"), "dev")
+                    .with_tool("T")
+                    .input(&format!("E{i}"))
+                    .output(&format!("R{i}_0"), kernel::DBPL_REL),
+            )
+            .unwrap();
+            for d in 0..depth {
+                g.execute(
+                    DecisionRequest::new("DecRefine", &format!("ref{i}_{d}"), "dev")
+                        .with_tool("T")
+                        .input(&format!("R{i}_{d}"))
+                        .output(&format!("R{i}_{}", d + 1), kernel::DBPL_REL),
+                )
+                .unwrap();
+            }
+        }
+        let victim = format!("ref{victim_chain}_{victim_depth}");
+        let affected = g.retract_decision(&victim).unwrap();
+        // Exactly the downstream suffix of the victim chain went out.
+        let expected: Vec<String> = (victim_depth + 1..=depth)
+            .map(|d| format!("R{victim_chain}_{d}"))
+            .collect();
+        prop_assert_eq!(&affected, &expected);
+        for i in 0..chains {
+            for d in 0..=depth {
+                let name = format!("R{i}_{d}");
+                let should_be_current = i != victim_chain || d <= victim_depth;
+                prop_assert_eq!(g.is_current(&name), should_be_current, "{}", name);
+            }
+        }
+    }
+
+    // ---------- language layer ----------
+
+    #[test]
+    fn tdl_display_reparses(
+        width in 1usize..8,
+        attrs in 0usize..4,
+        seed in 0u64..1000,
+    ) {
+        // Reuse the bench generator shape inline: a root with `width`
+        // subclasses carrying `attrs` attributes each.
+        use conceptbase::langs::taxisdl::{EntityClass, TdlAttribute, TdlModel};
+        let mut model = TdlModel::default();
+        model.entities.push(EntityClass {
+            name: "Domain".into(), isa: vec![], attributes: vec![],
+        });
+        model.entities.push(EntityClass {
+            name: "Root".into(), isa: vec![], attributes: vec![],
+        });
+        for i in 0..width {
+            let attributes = (0..attrs)
+                .map(|a| TdlAttribute {
+                    label: format!("a{i}_{a}"),
+                    target: "Domain".into(),
+                    set_valued: (seed + a as u64).is_multiple_of(3),
+                })
+                .collect();
+            model.entities.push(EntityClass {
+                name: format!("Sub{i}"),
+                isa: vec!["Root".into()],
+                attributes,
+            });
+        }
+        let printed = model.to_string();
+        let reparsed = TdlModel::parse(&printed).unwrap();
+        prop_assert_eq!(model, reparsed);
+    }
+
+    #[test]
+    fn dbpl_mapping_display_reparses(
+        width in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        use conceptbase::langs::dbpl::DbplModule;
+        use conceptbase::langs::mapping::{Distribute, MappingStrategy, MoveDown};
+        use conceptbase::langs::taxisdl::{EntityClass, TdlAttribute, TdlModel};
+        let mut model = TdlModel::default();
+        model.entities.push(EntityClass { name: "Domain".into(), isa: vec![], attributes: vec![] });
+        model.entities.push(EntityClass { name: "Root".into(), isa: vec![], attributes: vec![] });
+        for i in 0..width {
+            model.entities.push(EntityClass {
+                name: format!("Sub{i}"),
+                isa: vec!["Root".into()],
+                attributes: vec![TdlAttribute {
+                    label: format!("a{i}"),
+                    target: "Domain".into(),
+                    set_valued: seed % 2 == 0,
+                }],
+            });
+        }
+        for strategy in [&MoveDown as &dyn MappingStrategy, &Distribute] {
+            let out = strategy.map_hierarchy(&model, "Root").unwrap();
+            let mut module = DbplModule::new("M");
+            for d in out.decls {
+                module.add(d).unwrap();
+            }
+            let printed = module.to_string();
+            let reparsed = DbplModule::parse(&printed).unwrap();
+            prop_assert_eq!(&module, &reparsed, "{}", strategy.name());
+        }
+    }
+
+    #[test]
+    fn untell_restores_previous_query_results(
+        n_attrs in 1usize..6,
+    ) {
+        let mut kb = Kb::new();
+        let obj = kb.individual("obj").unwrap();
+        let val = kb.individual("val").unwrap();
+        let mut links = Vec::new();
+        for i in 0..n_attrs {
+            links.push(kb.put_attr(obj, &format!("l{i}"), val).unwrap());
+        }
+        let before = kb.believed_count();
+        for l in links {
+            kb.untell(l).unwrap();
+        }
+        prop_assert_eq!(kb.believed_count(), before - n_attrs);
+        prop_assert!(kb.attrs_of(obj).is_empty());
+        prop_assert_eq!(kb.len() - 2, n_attrs + kb.builtins_len_offset());
+    }
+}
+
+/// Helper trait to make the last property readable without exposing
+/// internals: the number of bootstrap propositions.
+trait BuiltinsLen {
+    fn builtins_len_offset(&self) -> usize;
+}
+
+impl BuiltinsLen for Kb {
+    fn builtins_len_offset(&self) -> usize {
+        // Everything created before "obj": total - obj - val - attrs.
+        // Computed from a fresh bootstrap for stability.
+        static OFFSET: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+        *OFFSET.get_or_init(|| Kb::new().len())
+    }
+}

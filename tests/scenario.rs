@@ -1,0 +1,167 @@
+//! Integration: the §2.1 scenario reproduces figs 2-1 … 2-4 across the
+//! whole stack (gkbms + langs + modelbase + telos).
+
+use conceptbase::gkbms::scenario::Scenario;
+use conceptbase::langs::dbpl::DbplType;
+
+fn full_history() -> Scenario {
+    let mut s = Scenario::setup().unwrap();
+    s.step2_map_invitations().unwrap();
+    s.step3_normalize().unwrap();
+    s.step4_substitute_keys().unwrap();
+    s
+}
+
+#[test]
+fn fig_2_1_browser_and_menu() {
+    let s = Scenario::setup().unwrap();
+    let r = s.step1_browse().unwrap();
+    // The IsA window of fig 2-1.
+    assert!(r.text.contains("Paper\n|- Invitation\n`- Minutes"));
+    // The hierarchical menu with applicable decision classes and tools.
+    assert!(r.text.contains("menu for `Invitation`"));
+    assert!(r.text.contains("DecMoveDown"));
+    assert!(r.text.contains("DecDistribute"));
+    // The most specific classes precede the general mapping decision.
+    let move_at = r.text.find("DecMoveDown").unwrap();
+    let general_at = r.text.find("DBPL_MappingDec").unwrap();
+    assert!(move_at < general_at);
+}
+
+#[test]
+fn fig_2_2_dependencies_and_code_frames() {
+    let mut s = Scenario::setup().unwrap();
+    let r = s.step2_map_invitations().unwrap();
+    // Dependency graph: FROM and TO links around the decision, BY to
+    // the tool.
+    assert!(r
+        .text
+        .contains("Invitation --from--> DecMoveDown:mapInvitations"));
+    assert!(r
+        .text
+        .contains("DecMoveDown:mapInvitations --to--> InvitationRel"));
+    assert!(r
+        .text
+        .contains("TDL-DBPL-Mapper --by--> DecMoveDown:mapInvitations"));
+    // Code frame with the surrogate key and inherited attributes.
+    assert!(r.text.contains("RELATION InvitationRel"));
+    assert!(r.text.contains("KEY paperkey"));
+    assert!(r.text.contains("ATTR receivers : SETOF Person"));
+    // ConsPapers is the move-down constructor for the inner class.
+    assert!(s.module.decl("ConsPapers").is_some());
+}
+
+#[test]
+fn fig_2_3_normalization_objects() {
+    let mut s = Scenario::setup().unwrap();
+    s.step2_map_invitations().unwrap();
+    let r = s.step3_normalize().unwrap();
+    for name in [
+        "InvitationRel2",
+        "InvReceivRel",
+        "InvitationsPaperIC",
+        "ConsInvitation",
+    ] {
+        assert!(r.text.contains(name), "{name} missing from fig 2-3 report");
+        assert!(s.gkbms.is_current(name), "{name} not current");
+    }
+    // Referential integrity selector and reconstruction constructor.
+    assert!(r.text.contains("appears in InvitationRel2"));
+    assert!(r.text.contains("nest receiver as receivers"));
+    // The member relation holds (paperkey, receiver).
+    let member = s.module.relation("InvReceivRel").unwrap();
+    assert_eq!(member.key, vec!["paperkey", "receiver"]);
+}
+
+#[test]
+fn fig_2_3_key_substitution() {
+    let s = full_history();
+    let base = s.module.relation("InvitationRel2").unwrap();
+    assert_eq!(base.key, vec!["date", "author"]);
+    assert!(base.column("paperkey").is_none());
+    // Foreign key expanded in the member relation.
+    let member = s.module.relation("InvReceivRel").unwrap();
+    assert_eq!(member.key, vec!["date", "author", "receiver"]);
+    assert_eq!(
+        member.column("author").unwrap().ty,
+        DbplType::Named("Person".into())
+    );
+    // The manual decision carries a signature discharge.
+    let rec = s.gkbms.record("chooseAssociativeKeys").unwrap();
+    assert_eq!(rec.discharges.len(), 1);
+    // The choice shows up in the version space.
+    let vs = s.gkbms.render_version_space();
+    assert!(vs.contains("chooseAssociativeKeys [choice]"));
+}
+
+#[test]
+fn fig_2_4_inconsistency_and_selective_backtracking() {
+    let mut s = full_history();
+    let (report, conflicts) = s.step5_map_minutes().unwrap();
+    assert_eq!(conflicts.len(), 1, "exactly the candidate-key conflict");
+    assert!(report.text.contains("INCONSISTENCY"));
+    assert!(report.text.contains("ConsPapers"));
+
+    let before_objects = s.gkbms.current_objects();
+    let r = s.step6_backtrack().unwrap();
+    assert!(r.text.contains("remaining conflicts: none"));
+    // Only the key decision's consequences went out.
+    let after_objects = s.gkbms.current_objects();
+    let lost: Vec<&String> = before_objects
+        .iter()
+        .filter(|o| !after_objects.contains(o))
+        .collect();
+    assert!(lost.iter().all(|o| o.contains("@assoc")), "lost: {lost:?}");
+    // The design survives: normalization outputs, Minutes mapping, TDL.
+    for kept in [
+        "InvitationRel2",
+        "InvReceivRel",
+        "MinutesRel",
+        "Invitation",
+        "Minutes",
+    ] {
+        assert!(s.gkbms.is_current(kept), "{kept} should survive");
+    }
+    // Documentation survives retraction (nothing is forgotten).
+    assert!(s.gkbms.record("chooseAssociativeKeys").is_some());
+    assert!(!s.gkbms.is_effective("chooseAssociativeKeys"));
+}
+
+#[test]
+fn distribute_strategy_is_also_executable() {
+    // The menu of fig 2-1 offers both strategies; run distribute.
+    use conceptbase::langs::dbpl::DbplModule;
+    use conceptbase::langs::mapping::{Distribute, MappingStrategy};
+    use conceptbase::langs::taxisdl::document_model;
+    let out = Distribute
+        .map_hierarchy(&document_model(), "Paper")
+        .unwrap();
+    let mut module = DbplModule::new("M");
+    for d in out.decls {
+        module.add(d).unwrap();
+    }
+    // One relation per class, inclusion selectors for isa links.
+    assert!(module.relation("PaperRel").is_some());
+    assert!(module.relation("InvitationRel").is_some());
+    assert!(module.relation("MinutesRel").is_some());
+    assert!(module.decl("Inc_Invitation_Paper").is_some());
+    assert!(module.decl("Inc_Minutes_Paper").is_some());
+}
+
+#[test]
+fn decision_history_is_navigable_after_scenario() {
+    let mut s = full_history();
+    let (_, conflicts) = s.step5_map_minutes().unwrap();
+    assert!(!conflicts.is_empty());
+    s.step6_backtrack().unwrap();
+    // Process view lists the surviving decisions in causal order.
+    let process = s.gkbms.process_view().render();
+    let map_at = process.find("mapInvitations").unwrap();
+    let norm_at = process.find("normalizeInvitations").unwrap();
+    let minutes_at = process.find("mapMinutes").unwrap();
+    assert!(map_at < norm_at && norm_at < minutes_at);
+    assert!(!process.contains("chooseAssociativeKeys"), "retracted");
+    // Causal chain of the normalized relation.
+    let chain = s.gkbms.causal_chain("InvitationRel2").unwrap();
+    assert_eq!(chain, vec!["mapInvitations", "normalizeInvitations"]);
+}
