@@ -91,8 +91,8 @@ fn bench_derivation_blowup(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("untabled", rungs), &rungs, |b, &r| {
             b.iter(|| {
-                let mut td = topdown::TopDown::new(&program, &db)
-                    .without_tabling(2 * r as usize + 2);
+                let mut td =
+                    topdown::TopDown::new(&program, &db).without_tabling(2 * r as usize + 2);
                 std::hint::black_box(td.query(&bound).expect("query").len())
             })
         });
@@ -131,6 +131,33 @@ fn bench_lemma_reuse(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_index_ablation(c: &mut Criterion) {
+    // ISSUE 1: hash-join evaluation through binding-pattern indexes
+    // versus the pre-index scan core, on the CML closure rules over
+    // deep isa chains.
+    use objectbase::query::{base_program, to_edb};
+    let program = base_program();
+    let mut group = c.benchmark_group("deduction/index_ablation");
+    for (depth, fanout) in [(16usize, 250usize), (64, 1000)] {
+        let kb = bench::isa_chain_kb(depth, fanout);
+        let edb = to_edb(&kb).expect("edb");
+        let label = format!("d{depth}_f{fanout}");
+        group.bench_with_input(BenchmarkId::new("indexed", &label), &edb, |b, edb| {
+            b.iter(|| {
+                let (model, _) = seminaive::evaluate(&program, edb).expect("eval");
+                std::hint::black_box(model.count("inT"))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("scan", &label), &edb, |b, edb| {
+            b.iter(|| {
+                let (model, _) = seminaive::evaluate_scan(&program, edb).expect("eval");
+                std::hint::black_box(model.count("inT"))
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_kb_deduction(c: &mut Criterion) {
     // The deductive-relational view over a real KB (object processor).
     let kb = bench::isa_chain_kb(30, 300);
@@ -156,6 +183,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_engines, bench_derivation_blowup, bench_lemma_reuse, bench_kb_deduction
+    targets = bench_engines, bench_derivation_blowup, bench_lemma_reuse, bench_index_ablation, bench_kb_deduction
 }
 criterion_main!(benches);

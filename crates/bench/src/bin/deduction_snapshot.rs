@@ -1,0 +1,69 @@
+//! Writes `BENCH_deduction.json`: a machine-readable snapshot of the
+//! deduction workloads, comparing the scan-based and indexed join
+//! paths of the bottom-up engine (ISSUE 1 acceptance).
+//!
+//! Run with `cargo run --release -p bench --bin deduction_snapshot`.
+
+use datalog::seminaive;
+use objectbase::query::{base_program, to_edb};
+use std::time::Instant;
+
+fn median_secs(mut f: impl FnMut(), samples: usize) -> f64 {
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        f();
+        times.push(start.elapsed().as_secs_f64());
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[times.len() / 2]
+}
+
+fn main() {
+    let mut entries = Vec::new();
+    for (depth, fanout) in [(16usize, 250usize), (64, 1000)] {
+        let kb = bench::isa_chain_kb(depth, fanout);
+        let edb = to_edb(&kb).expect("edb");
+        let program = base_program();
+
+        let (model, stats) = seminaive::evaluate(&program, &edb).expect("indexed eval");
+        let expected = model.count("inT");
+        let scan_time = median_secs(
+            || {
+                let (m, _) = seminaive::evaluate_scan(&program, &edb).expect("scan eval");
+                assert_eq!(m.count("inT"), expected);
+            },
+            3,
+        );
+        let indexed_time = median_secs(
+            || {
+                let (m, _) = seminaive::evaluate(&program, &edb).expect("indexed eval");
+                assert_eq!(m.count("inT"), expected);
+            },
+            3,
+        );
+        let speedup = scan_time / indexed_time;
+        println!(
+            "isa_chain_kb(depth={depth}, fanout={fanout}): scan {scan_time:.3}s, \
+             indexed {indexed_time:.3}s, speedup {speedup:.1}x \
+             (inT tuples: {expected}, probes: {}, scanned: {})",
+            stats.index_probes, stats.tuples_scanned
+        );
+        entries.push(format!(
+            "    {{\n      \"workload\": \"isa_chain_kb\",\n      \"depth\": {depth},\n      \
+             \"fanout\": {fanout},\n      \"inT_tuples\": {expected},\n      \
+             \"scan_seconds\": {scan_time:.6},\n      \"indexed_seconds\": {indexed_time:.6},\n      \
+             \"speedup\": {speedup:.2},\n      \"index_probes\": {},\n      \
+             \"tuples_scanned\": {}\n    }}",
+            stats.index_probes, stats.tuples_scanned
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"deduction\",\n  \"issue\": 1,\n  \
+         \"note\": \"scan = pre-PR per-tuple matching (seminaive::evaluate_scan); indexed = hash-join evaluation (seminaive::evaluate)\",\n  \
+         \"workloads\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write("BENCH_deduction.json", &json).expect("write BENCH_deduction.json");
+    println!("wrote BENCH_deduction.json");
+}

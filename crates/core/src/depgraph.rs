@@ -7,6 +7,9 @@
 //! [`Gkbms::graph_builds`] counts actual rebuilds for the benches.
 
 use crate::system::Gkbms;
+use datalog::ast::{Atom, Program, Term, Value};
+use datalog::db::Database;
+use datalog::magic;
 use modelbase::display::dot;
 use modelbase::display::graphdag::Graph;
 
@@ -57,22 +60,38 @@ impl Gkbms {
 
     /// Objects transitively derived from `object` through effective
     /// decisions — what a change to `object` would touch.
+    ///
+    /// Derived by the inference engines: the effective decisions export
+    /// as `dep(Input, Output)` edges, and the magic-sets transformation
+    /// of transitive reachability (seeded with `object`) runs on the
+    /// indexed bottom-up engine, so only the relevant part of the
+    /// closure is computed.
     pub fn consequences_of(&self, object: &str) -> Vec<String> {
-        let mut out = Vec::new();
-        let mut frontier = vec![object.to_string()];
-        while let Some(cur) = frontier.pop() {
-            for r in self.records.iter().filter(|r| !r.retracted) {
-                if r.inputs.contains(&cur) {
-                    for o in &r.outputs {
-                        if !out.contains(o) && o != object {
-                            out.push(o.clone());
-                            frontier.push(o.clone());
-                        }
-                    }
+        let mut edb = Database::new();
+        for r in self.records.iter().filter(|r| !r.retracted) {
+            for input in &r.inputs {
+                for output in &r.outputs {
+                    edb.insert(
+                        "dep",
+                        vec![Value::sym(input.clone()), Value::sym(output.clone())],
+                    )
+                    .expect("dep/2 arity is fixed");
                 }
             }
         }
+        let program =
+            Program::parse("reach(X, Y) :- dep(X, Y).\nreach(X, Z) :- dep(X, Y), reach(Y, Z).")
+                .expect("reachability program parses");
+        let query = Atom::new("reach", vec![Term::sym(object), Term::var("Y")]);
+        let answers = magic::magic_evaluate(&program, &edb, &query)
+            .expect("reachability evaluation cannot fail");
+        let mut out: Vec<String> = answers
+            .into_iter()
+            .map(|t| t[1].to_string())
+            .filter(|o| o != object)
+            .collect();
         out.sort();
+        out.dedup();
         out
     }
 }

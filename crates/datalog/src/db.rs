@@ -1,22 +1,153 @@
-//! The extensional database: named relations of ground tuples.
+//! The extensional database: named relations of ground tuples, stored
+//! interned with secondary hash indexes per binding pattern.
+//!
+//! Storage layout (the "set-oriented" representation of §3.1):
+//!
+//! * Tuples are rows of [`IVal`] (interned, `Copy`) laid out
+//!   row-major in one flat vector per relation — cache-friendly scans,
+//!   cheap row handles (`u32`).
+//! * Duplicate detection goes through a tuple-hash map, so inserts are
+//!   O(arity) without storing each tuple twice.
+//! * Secondary indexes are keyed by a **binding pattern**: a bitmask of
+//!   argument positions. The index for mask `m` maps the values at
+//!   `m`'s positions to the row ids carrying them. Indexes are built
+//!   lazily the first time a join probes that pattern and are
+//!   maintained incrementally by later inserts (an insert never leaves
+//!   a built index stale; dropping them would force O(n) rebuilds every
+//!   semi-naive round).
 
 use crate::ast::{Atom, Term, Value};
 use crate::error::{DatalogError, DatalogResult};
-use std::collections::{HashMap, HashSet};
+use crate::intern::{intern, lookup, IVal, Symbol};
+use std::cell::RefCell;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
-/// A set of ground tuples plus the relation's arity.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct Relation {
-    /// Arity, fixed by the first tuple or declaration.
-    pub arity: usize,
-    /// The tuples.
-    pub tuples: HashSet<Vec<Value>>,
+/// A secondary index: bound-position values (in position order) to the
+/// row ids that carry them.
+pub(crate) type Index = HashMap<Vec<IVal>, Vec<u32>>;
+
+/// Relations wider than this are never indexed (the binding-pattern
+/// mask is a `u32`); joins over them fall back to scans.
+const MAX_INDEXED_ARITY: usize = 32;
+
+fn hash_row(row: &[IVal]) -> u64 {
+    let mut h = DefaultHasher::new();
+    row.hash(&mut h);
+    h.finish()
+}
+
+/// Projects the values at `mask`'s positions, in position order.
+pub(crate) fn key_of(row: &[IVal], mask: u32) -> Vec<IVal> {
+    let mut key = Vec::with_capacity(mask.count_ones() as usize);
+    let mut m = mask;
+    while m != 0 {
+        let j = m.trailing_zeros() as usize;
+        key.push(row[j]);
+        m &= m - 1;
+    }
+    key
+}
+
+/// One relation: arity, row-major tuple storage, dedup map, indexes.
+#[derive(Debug, Default)]
+pub(crate) struct Relation {
+    pub(crate) arity: usize,
+    flat: Vec<IVal>,
+    nrows: u32,
+    /// Tuple hash → candidate row ids (collisions resolved by compare).
+    dedup: HashMap<u64, Vec<u32>>,
+    /// Binding-pattern mask → secondary index, built lazily.
+    indexes: RefCell<HashMap<u32, Arc<Index>>>,
+}
+
+impl Clone for Relation {
+    fn clone(&self) -> Self {
+        Relation {
+            arity: self.arity,
+            flat: self.flat.clone(),
+            nrows: self.nrows,
+            dedup: self.dedup.clone(),
+            // Arc-shallow: clones share built indexes until either
+            // side inserts (copy-on-write via `Arc::make_mut`).
+            indexes: RefCell::new(self.indexes.borrow().clone()),
+        }
+    }
+}
+
+impl Relation {
+    /// Number of tuples.
+    pub(crate) fn len(&self) -> usize {
+        self.nrows as usize
+    }
+
+    /// The `i`-th tuple.
+    pub(crate) fn row(&self, i: u32) -> &[IVal] {
+        let a = self.arity;
+        &self.flat[i as usize * a..(i as usize + 1) * a]
+    }
+
+    /// Iterates all tuples.
+    pub(crate) fn rows(&self) -> impl Iterator<Item = &[IVal]> {
+        (0..self.nrows).map(|i| self.row(i))
+    }
+
+    fn find(&self, row: &[IVal]) -> Option<u32> {
+        let h = hash_row(row);
+        self.dedup
+            .get(&h)?
+            .iter()
+            .copied()
+            .find(|&i| self.row(i) == row)
+    }
+
+    /// Inserts a row, maintaining dedup and any built indexes; returns
+    /// whether it was new.
+    fn insert(&mut self, row: &[IVal]) -> bool {
+        debug_assert_eq!(row.len(), self.arity);
+        if self.find(row).is_some() {
+            return false;
+        }
+        let id = self.nrows;
+        self.flat.extend_from_slice(row);
+        self.nrows += 1;
+        self.dedup.entry(hash_row(row)).or_default().push(id);
+        for (&mask, index) in self.indexes.get_mut().iter_mut() {
+            Arc::make_mut(index)
+                .entry(key_of(row, mask))
+                .or_default()
+                .push(id);
+        }
+        true
+    }
+
+    /// The secondary index for binding pattern `mask`, building it on
+    /// first use. `mask` must be non-zero and within the arity.
+    pub(crate) fn index_for(&self, mask: u32) -> Arc<Index> {
+        debug_assert!(mask != 0);
+        let mut indexes = self.indexes.borrow_mut();
+        Arc::clone(indexes.entry(mask).or_insert_with(|| {
+            let mut index = Index::new();
+            for i in 0..self.nrows {
+                index.entry(key_of(self.row(i), mask)).or_default().push(i);
+            }
+            Arc::new(index)
+        }))
+    }
+
+    /// Number of binding patterns currently indexed (for tests/stats).
+    pub(crate) fn index_count(&self) -> usize {
+        self.indexes.borrow().len()
+    }
 }
 
 /// A database mapping predicate names to relations.
 #[derive(Debug, Clone, Default)]
 pub struct Database {
-    relations: HashMap<String, Relation>,
+    pred_ids: HashMap<Symbol, usize>,
+    rels: Vec<(Symbol, Relation)>,
 }
 
 impl Database {
@@ -25,29 +156,51 @@ impl Database {
         Database::default()
     }
 
-    /// Inserts a ground tuple under `pred`; returns whether it was new.
-    pub fn insert(&mut self, pred: &str, tuple: Vec<Value>) -> DatalogResult<bool> {
-        match self.relations.get_mut(pred) {
-            Some(rel) => {
-                if rel.arity != tuple.len() {
+    pub(crate) fn rel(&self, pred: Symbol) -> Option<&Relation> {
+        self.pred_ids.get(&pred).map(|&i| &self.rels[i].1)
+    }
+
+    fn rel_by_name(&self, pred: &str) -> Option<&Relation> {
+        self.rel(lookup(pred)?)
+    }
+
+    /// Inserts an interned row under `pred`; returns whether it was new.
+    pub(crate) fn insert_ivals(&mut self, pred: Symbol, row: &[IVal]) -> DatalogResult<bool> {
+        match self.pred_ids.get(&pred) {
+            Some(&i) => {
+                let rel = &mut self.rels[i].1;
+                if rel.arity != row.len() {
                     return Err(DatalogError::ArityMismatch {
-                        pred: pred.to_string(),
+                        pred: pred.as_str().to_string(),
                         expected: rel.arity,
-                        found: tuple.len(),
+                        found: row.len(),
                     });
                 }
-                Ok(rel.tuples.insert(tuple))
+                Ok(rel.insert(row))
             }
             None => {
                 let mut rel = Relation {
-                    arity: tuple.len(),
-                    tuples: HashSet::new(),
+                    arity: row.len(),
+                    ..Relation::default()
                 };
-                rel.tuples.insert(tuple);
-                self.relations.insert(pred.to_string(), rel);
+                rel.insert(row);
+                self.pred_ids.insert(pred, self.rels.len());
+                self.rels.push((pred, rel));
                 Ok(true)
             }
         }
+    }
+
+    /// Ground membership test on an interned row.
+    pub(crate) fn contains_ivals(&self, pred: Symbol, row: &[IVal]) -> bool {
+        self.rel(pred)
+            .is_some_and(|r| r.arity == row.len() && r.find(row).is_some())
+    }
+
+    /// Inserts a ground tuple under `pred`; returns whether it was new.
+    pub fn insert(&mut self, pred: &str, tuple: Vec<Value>) -> DatalogResult<bool> {
+        let row: Vec<IVal> = tuple.iter().map(IVal::from_value).collect();
+        self.insert_ivals(intern(pred), &row)
     }
 
     /// Inserts a ground fact given as an [`Atom`]; errors if not ground.
@@ -66,54 +219,106 @@ impl Database {
         self.insert(&atom.pred, tuple)
     }
 
-    /// The relation for `pred`, if any.
-    pub fn relation(&self, pred: &str) -> Option<&Relation> {
-        self.relations.get(pred)
-    }
-
-    /// The tuples under `pred` (empty slice view if absent).
-    pub fn tuples(&self, pred: &str) -> impl Iterator<Item = &Vec<Value>> {
-        self.relations
-            .get(pred)
-            .into_iter()
-            .flat_map(|r| r.tuples.iter())
+    /// The tuples under `pred`, decoded (empty if absent).
+    pub fn tuples<'a>(&'a self, pred: &str) -> impl Iterator<Item = Vec<Value>> + 'a {
+        self.rel_by_name(pred).into_iter().flat_map(|r| {
+            r.rows()
+                .map(|row| row.iter().map(|v| v.to_value()).collect())
+        })
     }
 
     /// Membership test for a ground tuple.
     pub fn contains(&self, pred: &str, tuple: &[Value]) -> bool {
-        self.relations
-            .get(pred)
-            .is_some_and(|r| r.tuples.contains(tuple))
+        let Some(sym) = lookup(pred) else {
+            return false;
+        };
+        let row: Option<Vec<IVal>> = tuple.iter().map(IVal::from_value_if_known).collect();
+        row.is_some_and(|row| self.contains_ivals(sym, &row))
+    }
+
+    /// The arity of `pred`, if present.
+    pub fn arity(&self, pred: &str) -> Option<usize> {
+        self.rel_by_name(pred).map(|r| r.arity)
     }
 
     /// Number of tuples under `pred`.
     pub fn count(&self, pred: &str) -> usize {
-        self.relations.get(pred).map_or(0, |r| r.tuples.len())
+        self.rel_by_name(pred).map_or(0, |r| r.len())
     }
 
     /// Total number of tuples.
     pub fn total(&self) -> usize {
-        self.relations.values().map(|r| r.tuples.len()).sum()
+        self.rels.iter().map(|(_, r)| r.len()).sum()
     }
 
     /// Predicate names present, sorted.
     pub fn preds(&self) -> Vec<&str> {
-        let mut ps: Vec<&str> = self.relations.keys().map(|s| s.as_str()).collect();
+        let mut ps: Vec<&str> = self.rels.iter().map(|(s, _)| s.as_str()).collect();
         ps.sort_unstable();
         ps
     }
 
-    /// Merges all tuples of `other` into `self`.
+    /// Merges all tuples of `other` into `self` (interned fast path).
     pub fn absorb(&mut self, other: &Database) -> DatalogResult<usize> {
         let mut added = 0;
-        for (pred, rel) in &other.relations {
-            for t in &rel.tuples {
-                if self.insert(pred, t.clone())? {
+        for (pred, rel) in &other.rels {
+            for i in 0..rel.nrows {
+                if self.insert_ivals(*pred, rel.row(i))? {
                     added += 1;
                 }
             }
         }
         Ok(added)
+    }
+
+    /// Tuples of `pred` matching `pattern` (`Some` = bound position,
+    /// `None` = free), served from the binding-pattern index when any
+    /// position is bound. This is the point probe the engines and the
+    /// object processor use instead of scan-and-filter.
+    pub fn probe<'a>(
+        &'a self,
+        pred: &str,
+        pattern: &[Option<Value>],
+    ) -> Box<dyn Iterator<Item = Vec<Value>> + 'a> {
+        let Some(rel) = self.rel_by_name(pred) else {
+            return Box::new(std::iter::empty());
+        };
+        if rel.arity != pattern.len() {
+            return Box::new(std::iter::empty());
+        }
+        let mut mask: u32 = 0;
+        let mut key = Vec::new();
+        if rel.arity <= MAX_INDEXED_ARITY {
+            for (j, slot) in pattern.iter().enumerate() {
+                if let Some(v) = slot {
+                    match IVal::from_value_if_known(v) {
+                        // A never-interned symbol matches nothing.
+                        None => return Box::new(std::iter::empty()),
+                        Some(iv) => {
+                            mask |= 1 << j;
+                            key.push(iv);
+                        }
+                    }
+                }
+            }
+        }
+        if mask == 0 {
+            return Box::new(
+                rel.rows()
+                    .map(|row| row.iter().map(|v| v.to_value()).collect()),
+            );
+        }
+        let index = rel.index_for(mask);
+        let ids = index.get(&key).cloned().unwrap_or_default();
+        Box::new(
+            ids.into_iter()
+                .map(move |i| rel.row(i).iter().map(|v| v.to_value()).collect()),
+        )
+    }
+
+    /// Number of secondary indexes built across all relations.
+    pub fn index_count(&self) -> usize {
+        self.rels.iter().map(|(_, r)| r.index_count()).sum()
     }
 }
 
@@ -167,5 +372,71 @@ mod tests {
         assert_eq!(added, 2);
         assert_eq!(a.total(), 3);
         assert_eq!(a.preds(), vec!["p", "q"]);
+    }
+
+    #[test]
+    fn probe_with_bound_prefix() {
+        let mut db = Database::new();
+        for (x, y) in [("a", "b"), ("a", "c"), ("b", "c")] {
+            db.insert("edge", vec![Value::sym(x), Value::sym(y)])
+                .unwrap();
+        }
+        let hits: Vec<Vec<Value>> = db.probe("edge", &[Some(Value::sym("a")), None]).collect();
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|t| t[0] == Value::sym("a")));
+        assert_eq!(db.index_count(), 1);
+        // Second-position probe builds a second index.
+        let hits: Vec<Vec<Value>> = db.probe("edge", &[None, Some(Value::sym("c"))]).collect();
+        assert_eq!(hits.len(), 2);
+        assert_eq!(db.index_count(), 2);
+    }
+
+    #[test]
+    fn probe_unknown_symbol_is_empty() {
+        let mut db = Database::new();
+        db.insert("edge", vec![Value::sym("a"), Value::sym("b")])
+            .unwrap();
+        let hits: Vec<_> = db
+            .probe("edge", &[Some(Value::sym("zz-never-interned-zz")), None])
+            .collect();
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn indexes_stay_fresh_across_inserts() {
+        let mut db = Database::new();
+        db.insert("edge", vec![Value::Int(1), Value::Int(2)])
+            .unwrap();
+        // Build the first-position index…
+        assert_eq!(db.probe("edge", &[Some(Value::Int(1)), None]).count(), 1);
+        // …then insert more tuples: the built index must see them.
+        db.insert("edge", vec![Value::Int(1), Value::Int(3)])
+            .unwrap();
+        db.insert("edge", vec![Value::Int(4), Value::Int(5)])
+            .unwrap();
+        assert_eq!(db.probe("edge", &[Some(Value::Int(1)), None]).count(), 2);
+        assert_eq!(db.probe("edge", &[Some(Value::Int(4)), None]).count(), 1);
+    }
+
+    #[test]
+    fn clones_do_not_share_index_growth() {
+        let mut a = Database::new();
+        a.insert("p", vec![Value::Int(1)]).unwrap();
+        assert_eq!(a.probe("p", &[Some(Value::Int(1))]).count(), 1);
+        let b = a.clone();
+        a.insert("p", vec![Value::Int(2)]).unwrap();
+        assert_eq!(a.probe("p", &[Some(Value::Int(2))]).count(), 1);
+        assert_eq!(b.probe("p", &[Some(Value::Int(2))]).count(), 0);
+        assert_eq!(b.count("p"), 1);
+    }
+
+    #[test]
+    fn zero_arity_relations() {
+        let mut db = Database::new();
+        assert!(db.insert("flag", vec![]).unwrap());
+        assert!(!db.insert("flag", vec![]).unwrap());
+        assert_eq!(db.count("flag"), 1);
+        assert!(db.contains("flag", &[]));
+        assert_eq!(db.probe("flag", &[]).count(), 1);
     }
 }

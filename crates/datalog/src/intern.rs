@@ -1,0 +1,152 @@
+//! String interning: `Symbol`s for predicate names and symbolic
+//! constants, and `IVal` — the interned, `Copy` form of [`Value`] that
+//! relations store and the join cores compare.
+//!
+//! The paper's object processor "understands the knowledge base as a
+//! deductive relational database; in this way, large sets of similarly
+//! structured objects can be managed more efficiently" (§3.1). Set-
+//! oriented processing lives or dies on cheap tuple comparison:
+//! interning turns every string equality in the inner join loops into
+//! a `u32` compare and every tuple hash into a few word hashes.
+//!
+//! The pool is process-global and append-only; interned strings are
+//! leaked to give `Symbol::as_str` a `'static` lifetime. Memory is
+//! bounded by the number of *distinct* names the process ever sees,
+//! which for a KBMS workload is small compared to the fact sets.
+
+use crate::ast::Value;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned string: predicate name or symbolic constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Pool {
+    by_str: HashMap<&'static str, u32>,
+    strs: Vec<&'static str>,
+}
+
+fn pool() -> &'static Mutex<Pool> {
+    static POOL: OnceLock<Mutex<Pool>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        Mutex::new(Pool {
+            by_str: HashMap::new(),
+            strs: Vec::new(),
+        })
+    })
+}
+
+/// Interns `s`, returning its canonical [`Symbol`].
+pub fn intern(s: &str) -> Symbol {
+    let mut p = pool().lock().expect("intern pool");
+    if let Some(&id) = p.by_str.get(s) {
+        return Symbol(id);
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    let id = u32::try_from(p.strs.len()).expect("fewer than 2^32 symbols");
+    p.strs.push(leaked);
+    p.by_str.insert(leaked, id);
+    Symbol(id)
+}
+
+/// Looks `s` up without interning it. `None` means no tuple anywhere
+/// can contain `s` — useful for negative membership tests.
+pub fn lookup(s: &str) -> Option<Symbol> {
+    pool()
+        .lock()
+        .expect("intern pool")
+        .by_str
+        .get(s)
+        .copied()
+        .map(Symbol)
+}
+
+impl Symbol {
+    /// The interned string.
+    pub fn as_str(self) -> &'static str {
+        pool().lock().expect("intern pool").strs[self.0 as usize]
+    }
+
+    /// The raw pool id.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Symbol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Interned value: the `Copy` twin of [`Value`] used inside relations
+/// and join cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IVal {
+    /// An interned symbolic constant.
+    Sym(Symbol),
+    /// An integer constant.
+    Int(i64),
+}
+
+impl IVal {
+    /// Interns a [`Value`].
+    pub fn from_value(v: &Value) -> IVal {
+        match v {
+            Value::Sym(s) => IVal::Sym(intern(s)),
+            Value::Int(i) => IVal::Int(*i),
+        }
+    }
+
+    /// The interned form of `v` if it is already known; `None` for a
+    /// never-seen symbol (which therefore matches no stored tuple).
+    pub fn from_value_if_known(v: &Value) -> Option<IVal> {
+        match v {
+            Value::Sym(s) => lookup(s).map(IVal::Sym),
+            Value::Int(i) => Some(IVal::Int(*i)),
+        }
+    }
+
+    /// Decodes back to a [`Value`].
+    pub fn to_value(self) -> Value {
+        match self {
+            IVal::Sym(s) => Value::Sym(s.as_str().to_string()),
+            IVal::Int(i) => Value::Int(i),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = intern("edge");
+        let b = intern("edge");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "edge");
+        assert_ne!(intern("node"), a);
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        assert!(lookup("never-seen-symbol-xyzzy").is_none());
+        let s = intern("now-seen-xyzzy");
+        assert_eq!(lookup("now-seen-xyzzy"), Some(s));
+    }
+
+    #[test]
+    fn ival_roundtrips() {
+        let v = Value::sym("maria");
+        let iv = IVal::from_value(&v);
+        assert_eq!(iv.to_value(), v);
+        let n = Value::Int(-7);
+        assert_eq!(IVal::from_value(&n).to_value(), n);
+        assert_eq!(
+            IVal::from_value_if_known(&Value::Int(3)),
+            Some(IVal::Int(3))
+        );
+    }
+}

@@ -19,10 +19,36 @@
 //!
 //! The rule language is classic datalog with negation: see [`ast`] for
 //! the textual syntax.
+//!
+//! # Storage and join evaluation
+//!
+//! All engines share one storage layer ([`db`]): predicate names and
+//! symbolic constants are interned into a global pool ([`intern`]), so
+//! relations hold rows of `Copy` ids rather than strings, and every
+//! relation carries **secondary hash indexes keyed on binding
+//! patterns** — bitmasks of bound argument positions. An index is
+//! built lazily the first time a join probes its pattern and is
+//! maintained incrementally on insert. The engines exploit it
+//! uniformly:
+//!
+//! * [`seminaive`] compiles each rule to slot form, derives the
+//!   binding mask of every body literal from the join order, and
+//!   probes instead of scanning — delta relations included
+//!   ([`seminaive::evaluate_scan`] keeps the pre-index core for
+//!   ablation);
+//! * [`topdown`] resolves EDB subgoals through [`Database::probe`]
+//!   with the goal's bound arguments as the pattern;
+//! * [`magic`] evaluates the transformed program on the indexed
+//!   bottom-up engine and probes the answer relation with the query
+//!   constants.
+//!
+//! [`seminaive::EvalStats`] reports `index_probes` and
+//! `tuples_scanned` so benches can quantify the effect.
 
 pub mod ast;
 pub mod db;
 pub mod error;
+pub mod intern;
 pub mod magic;
 pub mod seminaive;
 pub mod stratify;

@@ -161,22 +161,33 @@ pub fn magic_evaluate(
     edb: &Database,
     query: &Atom,
 ) -> DatalogResult<Vec<Vec<crate::ast::Value>>> {
+    magic_evaluate_stats(program, edb, query).map(|(answers, _)| answers)
+}
+
+/// Like [`magic_evaluate`], also returning the bottom-up engine's
+/// [`EvalStats`](seminaive::EvalStats) for the transformed program.
+/// The answer relation is filtered with an indexed point probe on the
+/// query's bound positions rather than a scan.
+pub fn magic_evaluate_stats(
+    program: &Program,
+    edb: &Database,
+    query: &Atom,
+) -> DatalogResult<(Vec<Vec<crate::ast::Value>>, seminaive::EvalStats)> {
     let magic = magic_transform(program, query)?;
     let mut db = edb.clone();
     db.insert_atom(&magic.seed)?;
-    let (model, _) = seminaive::evaluate(&magic.program, &db)?;
-    let mut out: Vec<Vec<crate::ast::Value>> = model
-        .tuples(&magic.answer_pred)
-        .filter(|tuple| {
-            query.args.iter().zip(tuple.iter()).all(|(t, v)| match t {
-                Term::Const(c) => c == v,
-                Term::Var(_) => true,
-            })
+    let (model, stats) = seminaive::evaluate(&magic.program, &db)?;
+    let pattern: Vec<Option<crate::ast::Value>> = query
+        .args
+        .iter()
+        .map(|t| match t {
+            Term::Const(c) => Some(c.clone()),
+            Term::Var(_) => None,
         })
-        .cloned()
         .collect();
+    let mut out: Vec<Vec<crate::ast::Value>> = model.probe(&magic.answer_pred, &pattern).collect();
     out.sort();
-    Ok(out)
+    Ok((out, stats))
 }
 
 #[cfg(test)]

@@ -9,23 +9,364 @@
 //! semi-naive optimization restricts one positive recursive literal per
 //! rule instantiation to the previous round's delta, so each derivation
 //! is attempted once.
+//!
+//! # Join evaluation
+//!
+//! [`evaluate`] compiles each rule once per stratum: variables become
+//! numbered slots, constants are interned ([`IVal`]), and every body
+//! literal gets a **binding-pattern mask** — the set of argument
+//! positions that are ground when the join reaches it (constants, plus
+//! variables bound by earlier literals). The join core then asks the
+//! [`Database`] for the secondary index on that mask and iterates only
+//! the rows carrying the probe key, instead of scanning the relation
+//! and unifying tuple by tuple. Delta relations are joined through the
+//! same index path. The pre-index scan evaluator survives as
+//! [`evaluate_scan`] for ablation benchmarks and differential tests.
 
 use crate::ast::{Literal, Program, Rule, Term, Value};
 use crate::db::Database;
 use crate::error::{DatalogError, DatalogResult};
+use crate::intern::{intern, IVal, Symbol};
 use crate::stratify::stratify;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Evaluation statistics, exposed for the benches (E-2).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EvalStats {
     /// Fixpoint rounds across all strata.
     pub rounds: usize,
-    /// Facts derived (including duplicates rediscovered).
+    /// Successful rule-body instantiations (head tuples produced,
+    /// including duplicates rediscovered). Always `>= new_facts`.
     pub derivations: usize,
     /// Facts that were new.
     pub new_facts: usize,
+    /// Secondary-index probes issued by the join core (0 for the scan
+    /// evaluator).
+    pub index_probes: usize,
+    /// Candidate tuples iterated while joining — index hits plus full
+    /// scans where no argument was bound.
+    pub tuples_scanned: usize,
 }
+
+// ---------------------------------------------------------------------
+// Compiled rules: the hash-join path.
+// ---------------------------------------------------------------------
+
+/// A compiled argument: interned constant or variable slot.
+#[derive(Debug, Clone, Copy)]
+enum ArgSpec {
+    Const(IVal),
+    Var(u16),
+}
+
+/// A compiled body literal with its binding-pattern mask.
+#[derive(Debug)]
+struct CLit {
+    pred: Symbol,
+    negated: bool,
+    args: Vec<ArgSpec>,
+    /// Positions ground when the join reaches this literal.
+    mask: u32,
+    /// `args` at `mask`'s positions, ascending — the probe key recipe.
+    key_spec: Vec<ArgSpec>,
+}
+
+/// A compiled rule: positives first, negatives last (as
+/// [`ordered_body`] orders them), variables renamed to slots.
+#[derive(Debug)]
+struct CRule {
+    head_pred: Symbol,
+    head: Vec<ArgSpec>,
+    lits: Vec<CLit>,
+    nslots: usize,
+}
+
+fn compile(rule: &Rule) -> DatalogResult<CRule> {
+    let body = ordered_body(rule);
+    let mut slots: HashMap<&str, u16> = HashMap::new();
+    let mut bound: HashSet<u16> = HashSet::new();
+    let mut lits = Vec::with_capacity(body.len());
+    for lit in body {
+        let mut args = Vec::with_capacity(lit.atom.args.len());
+        let mut mask: u32 = 0;
+        let mut newly = Vec::new();
+        for (j, t) in lit.atom.args.iter().enumerate() {
+            match t {
+                Term::Const(v) => {
+                    args.push(ArgSpec::Const(IVal::from_value(v)));
+                    if j < 32 {
+                        mask |= 1 << j;
+                    }
+                }
+                Term::Var(name) => {
+                    let next = u16::try_from(slots.len()).expect("fewer than 2^16 variables");
+                    let s = *slots.entry(name.as_str()).or_insert(next);
+                    if bound.contains(&s) {
+                        if j < 32 {
+                            mask |= 1 << j;
+                        }
+                    } else {
+                        // First occurrence (possibly repeated within
+                        // this literal — the join checks that at match
+                        // time, it cannot go into the probe key).
+                        newly.push(s);
+                    }
+                    args.push(ArgSpec::Var(s));
+                }
+            }
+        }
+        bound.extend(newly);
+        let key_spec = {
+            let mut key = Vec::with_capacity(mask.count_ones() as usize);
+            let mut m = mask;
+            while m != 0 {
+                key.push(args[m.trailing_zeros() as usize]);
+                m &= m - 1;
+            }
+            key
+        };
+        lits.push(CLit {
+            pred: intern(&lit.atom.pred),
+            negated: lit.negated,
+            args,
+            mask,
+            key_spec,
+        });
+    }
+    let head = rule
+        .head
+        .args
+        .iter()
+        .map(|t| match t {
+            Term::Const(v) => Ok(ArgSpec::Const(IVal::from_value(v))),
+            Term::Var(name) => slots
+                .get(name.as_str())
+                .map(|&s| ArgSpec::Var(s))
+                .ok_or_else(|| {
+                    DatalogError::UnsafeRule(format!("unbound head variable in `{rule}`"))
+                }),
+        })
+        .collect::<DatalogResult<Vec<_>>>()?;
+    Ok(CRule {
+        head_pred: intern(&rule.head.pred),
+        head,
+        lits,
+        nslots: slots.len(),
+    })
+}
+
+/// One join invocation: `total` is everything known, and body position
+/// `delta_pos` (usize::MAX for none) reads from `delta` instead.
+struct JoinCtx<'a> {
+    total: &'a Database,
+    delta: Option<&'a Database>,
+    delta_pos: usize,
+}
+
+impl JoinCtx<'_> {
+    /// Extends `env` through `rule.lits[pos..]`, emitting one head row
+    /// per complete instantiation. `trail` records slots bound below
+    /// the caller's mark so they can be unwound.
+    fn join(
+        &self,
+        rule: &CRule,
+        pos: usize,
+        env: &mut [Option<IVal>],
+        trail: &mut Vec<u16>,
+        stats: &mut EvalStats,
+        emit: &mut dyn FnMut(&[IVal]) -> DatalogResult<()>,
+    ) -> DatalogResult<()> {
+        if pos == rule.lits.len() {
+            stats.derivations += 1;
+            let row: Vec<IVal> = rule
+                .head
+                .iter()
+                .map(|a| match a {
+                    ArgSpec::Const(c) => *c,
+                    ArgSpec::Var(s) => env[*s as usize].expect("safety: head var bound"),
+                })
+                .collect();
+            return emit(&row);
+        }
+        let lit = &rule.lits[pos];
+        if lit.negated {
+            let mut row = Vec::with_capacity(lit.args.len());
+            for a in &lit.args {
+                match a {
+                    ArgSpec::Const(c) => row.push(*c),
+                    ArgSpec::Var(s) => match env[*s as usize] {
+                        Some(v) => row.push(v),
+                        None => {
+                            return Err(DatalogError::NonGroundNegation(
+                                lit.pred.as_str().to_string(),
+                            ))
+                        }
+                    },
+                }
+            }
+            if !self.total.contains_ivals(lit.pred, &row) {
+                self.join(rule, pos + 1, env, trail, stats, emit)?;
+            }
+            return Ok(());
+        }
+        let source = if pos == self.delta_pos {
+            self.delta.expect("delta_pos implies delta")
+        } else {
+            self.total
+        };
+        let Some(rel) = source.rel(lit.pred) else {
+            return Ok(());
+        };
+        if rel.arity != lit.args.len() {
+            return Ok(());
+        }
+        let mark = trail.len();
+        if lit.mask != 0 {
+            let key: Vec<IVal> = lit
+                .key_spec
+                .iter()
+                .map(|a| match a {
+                    ArgSpec::Const(c) => *c,
+                    ArgSpec::Var(s) => env[*s as usize].expect("masked var bound"),
+                })
+                .collect();
+            stats.index_probes += 1;
+            let index = rel.index_for(lit.mask);
+            if let Some(ids) = index.get(&key) {
+                stats.tuples_scanned += ids.len();
+                for &id in ids {
+                    if match_row(&lit.args, rel.row(id), env, trail) {
+                        self.join(rule, pos + 1, env, trail, stats, emit)?;
+                    }
+                    unwind(env, trail, mark);
+                }
+            }
+        } else {
+            stats.tuples_scanned += rel.len();
+            for row in rel.rows() {
+                if match_row(&lit.args, row, env, trail) {
+                    self.join(rule, pos + 1, env, trail, stats, emit)?;
+                }
+                unwind(env, trail, mark);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Matches `row` against `args`, binding fresh slots (recorded on
+/// `trail`). On mismatch the caller unwinds to its mark.
+fn match_row(
+    args: &[ArgSpec],
+    row: &[IVal],
+    env: &mut [Option<IVal>],
+    trail: &mut Vec<u16>,
+) -> bool {
+    for (a, &v) in args.iter().zip(row) {
+        match a {
+            ArgSpec::Const(c) => {
+                if *c != v {
+                    return false;
+                }
+            }
+            ArgSpec::Var(s) => match env[*s as usize] {
+                Some(b) => {
+                    if b != v {
+                        return false;
+                    }
+                }
+                None => {
+                    env[*s as usize] = Some(v);
+                    trail.push(*s);
+                }
+            },
+        }
+    }
+    true
+}
+
+fn unwind(env: &mut [Option<IVal>], trail: &mut Vec<u16>, mark: usize) {
+    for &s in &trail[mark..] {
+        env[s as usize] = None;
+    }
+    trail.truncate(mark);
+}
+
+/// Evaluates `program` over `edb` with indexed hash joins, returning
+/// the full model (EDB + derived facts) and statistics.
+pub fn evaluate(program: &Program, edb: &Database) -> DatalogResult<(Database, EvalStats)> {
+    program.validate()?;
+    let strat = stratify(program)?;
+    let mut total = edb.clone();
+    let mut stats = EvalStats::default();
+
+    for stratum_rules in &strat.rules_per_stratum {
+        let rules: Vec<CRule> = stratum_rules
+            .iter()
+            .map(|&i| compile(&program.rules[i]))
+            .collect::<DatalogResult<_>>()?;
+        let idb: HashSet<Symbol> = rules.iter().map(|r| r.head_pred).collect();
+
+        // Round 1: naive evaluation against everything known so far.
+        let mut delta = Database::new();
+        stats.rounds += 1;
+        let ctx = JoinCtx {
+            total: &total,
+            delta: None,
+            delta_pos: usize::MAX,
+        };
+        for rule in &rules {
+            let mut env = vec![None; rule.nslots];
+            let mut trail = Vec::new();
+            ctx.join(rule, 0, &mut env, &mut trail, &mut stats, &mut |row| {
+                if !ctx.total.contains_ivals(rule.head_pred, row) {
+                    delta.insert_ivals(rule.head_pred, row)?;
+                }
+                Ok(())
+            })?;
+        }
+        stats.new_facts += total.absorb(&delta)?;
+
+        // Semi-naive rounds: one rule version per positive literal over
+        // an IDB predicate of this stratum, that literal restricted to
+        // the previous round's delta.
+        while delta.total() > 0 {
+            stats.rounds += 1;
+            let mut next = Database::new();
+            for rule in &rules {
+                for (pos, lit) in rule.lits.iter().enumerate() {
+                    if lit.negated || !idb.contains(&lit.pred) {
+                        continue;
+                    }
+                    if delta.rel(lit.pred).is_none_or(|r| r.len() == 0) {
+                        continue;
+                    }
+                    let ctx = JoinCtx {
+                        total: &total,
+                        delta: Some(&delta),
+                        delta_pos: pos,
+                    };
+                    let mut env = vec![None; rule.nslots];
+                    let mut trail = Vec::new();
+                    ctx.join(rule, 0, &mut env, &mut trail, &mut stats, &mut |row| {
+                        if !ctx.total.contains_ivals(rule.head_pred, row) {
+                            next.insert_ivals(rule.head_pred, row)?;
+                        }
+                        Ok(())
+                    })?;
+                }
+            }
+            stats.new_facts += total.absorb(&next)?;
+            delta = next;
+        }
+    }
+    Ok((total, stats))
+}
+
+// ---------------------------------------------------------------------
+// The legacy scan evaluator (pre-index join core), kept verbatim for
+// ablation benchmarks and differential testing.
+// ---------------------------------------------------------------------
 
 type Env = HashMap<String, Value>;
 
@@ -65,8 +406,8 @@ fn ordered_body(rule: &Rule) -> Vec<&Literal> {
     out
 }
 
-/// Joins the rule body against `total`, with body position `delta_pos`
-/// (an index into the *ordered* body) restricted to `delta` if given.
+/// Joins the rule body against `total` by scanning each relation, with
+/// body position `delta_pos` restricted to `delta` if given.
 fn join_body(
     body: &[&Literal],
     pos: usize,
@@ -77,6 +418,7 @@ fn join_body(
     stats: &mut EvalStats,
 ) -> DatalogResult<()> {
     if pos == body.len() {
+        stats.derivations += 1;
         out.push(env.clone());
         return Ok(());
     }
@@ -100,9 +442,9 @@ fn join_body(
         Some((d, dp)) if dp == pos => d,
         _ => total,
     };
-    stats.derivations += 1;
     for tuple in source.tuples(&lit.atom.pred) {
-        if let Some(env2) = match_tuple(&lit.atom.args, tuple, env) {
+        stats.tuples_scanned += 1;
+        if let Some(env2) = match_tuple(&lit.atom.args, &tuple, env) {
             join_body(body, pos + 1, &env2, total, delta, out, stats)?;
         }
     }
@@ -121,9 +463,11 @@ fn head_tuple(rule: &Rule, env: &Env) -> DatalogResult<Vec<Value>> {
         .collect()
 }
 
-/// Evaluates `program` over `edb`, returning the full model (EDB +
-/// derived facts) and statistics.
-pub fn evaluate(program: &Program, edb: &Database) -> DatalogResult<(Database, EvalStats)> {
+/// Evaluates `program` over `edb` with the pre-index scan join core:
+/// every literal scans its whole relation and unifies tuple by tuple.
+/// Same model as [`evaluate`]; kept for ablation and differential
+/// testing. `index_probes` stays 0 on this path.
+pub fn evaluate_scan(program: &Program, edb: &Database) -> DatalogResult<(Database, EvalStats)> {
     program.validate()?;
     let strat = stratify(program)?;
     let mut total = edb.clone();
@@ -155,8 +499,6 @@ pub fn evaluate(program: &Program, edb: &Database) -> DatalogResult<(Database, E
             let mut next = Database::new();
             for rule in &rules {
                 let body = ordered_body(rule);
-                // One version per positive literal over an IDB pred of
-                // this stratum.
                 for (pos, lit) in body.iter().enumerate() {
                     if lit.negated || !idb.contains(&lit.atom.pred.as_str()) {
                         continue;
@@ -197,7 +539,7 @@ pub fn evaluate_pred(
     pred: &str,
 ) -> DatalogResult<Vec<Vec<Value>>> {
     let (model, _) = evaluate(program, edb)?;
-    let mut out: Vec<Vec<Value>> = model.tuples(pred).cloned().collect();
+    let mut out: Vec<Vec<Value>> = model.tuples(pred).collect();
     out.sort();
     Ok(out)
 }
@@ -276,7 +618,6 @@ mod tests {
         for x in ["ann", "bob", "cal", "dee"] {
             db.insert("person", vec![Value::sym(x)]).unwrap();
         }
-        // ann, bob children of cal; dee child of cal? make: cal parent of ann&bob; dee parent of cal.
         db.insert("parent", vec![Value::sym("ann"), Value::sym("cal")])
             .unwrap();
         db.insert("parent", vec![Value::sym("bob"), Value::sym("cal")])
@@ -296,6 +637,19 @@ mod tests {
     }
 
     #[test]
+    fn repeated_head_and_body_variables() {
+        // p(X, X)-style literals must check equality at match time, not
+        // through the probe key (only the first occurrence binds).
+        let p = Program::parse("loop(X) :- edge(X, X).\nrefl(X, X) :- node(X).").unwrap();
+        let mut db = edges(&[("a", "a"), ("a", "b"), ("b", "b")]);
+        db.insert("node", vec![Value::sym("n")]).unwrap();
+        let loops = evaluate_pred(&p, &db, "loop").unwrap();
+        assert_eq!(loops, vec![vec![Value::sym("a")], vec![Value::sym("b")]]);
+        let refl = evaluate_pred(&p, &db, "refl").unwrap();
+        assert_eq!(refl, vec![vec![Value::sym("n"), Value::sym("n")]]);
+    }
+
+    #[test]
     fn stats_report_semi_naive_rounds() {
         let p = Program::parse(TC).unwrap();
         // A chain of length 20 needs ~20 rounds.
@@ -308,6 +662,107 @@ mod tests {
         assert_eq!(model.count("path"), 20 * 21 / 2);
         assert!(stats.rounds >= 20, "rounds = {}", stats.rounds);
         assert_eq!(stats.new_facts, model.count("path"));
+    }
+
+    #[test]
+    fn indexed_join_probes_indexes() {
+        let p = Program::parse(TC).unwrap();
+        let mut db = Database::new();
+        for i in 0..20 {
+            db.insert("edge", vec![Value::Int(i), Value::Int(i + 1)])
+                .unwrap();
+        }
+        let (_, stats) = evaluate(&p, &db).unwrap();
+        assert!(stats.index_probes > 0, "recursive rule must probe");
+        let (_, scan_stats) = evaluate_scan(&p, &db).unwrap();
+        assert_eq!(scan_stats.index_probes, 0);
+        assert!(
+            stats.tuples_scanned < scan_stats.tuples_scanned,
+            "indexed: {} vs scan: {}",
+            stats.tuples_scanned,
+            scan_stats.tuples_scanned
+        );
+    }
+
+    #[test]
+    fn stats_invariants_new_facts_bounded_by_derivations() {
+        let programs = [
+            TC,
+            "sg(X, X) :- person(X).\nsg(X, Y) :- parent(X, XP), sg(XP, YP), parent(Y, YP).",
+            "reach(X) :- source(X).\nreach(Y) :- reach(X), edge(X, Y).\n\
+             unreached(X) :- node(X), not reach(X).",
+        ];
+        let mut db = edges(&[("a", "b"), ("b", "c"), ("c", "a"), ("c", "d")]);
+        for n in ["a", "b", "c", "d"] {
+            db.insert("node", vec![Value::sym(n)]).unwrap();
+            db.insert("person", vec![Value::sym(n)]).unwrap();
+        }
+        db.insert("source", vec![Value::sym("a")]).unwrap();
+        db.insert("parent", vec![Value::sym("a"), Value::sym("c")])
+            .unwrap();
+        db.insert("parent", vec![Value::sym("b"), Value::sym("c")])
+            .unwrap();
+        for src in programs {
+            let p = Program::parse(src).unwrap();
+            for eval in [evaluate, evaluate_scan] {
+                let (model, stats) = eval(&p, &db).unwrap();
+                assert!(
+                    stats.new_facts <= stats.derivations,
+                    "new_facts {} > derivations {} for `{src}`",
+                    stats.new_facts,
+                    stats.derivations
+                );
+                assert!(stats.new_facts <= model.total());
+                assert!(stats.rounds >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_rounds_monotone_in_chain_depth() {
+        let p = Program::parse(TC).unwrap();
+        let mut prev_rounds = 0;
+        for depth in [4, 8, 16, 32] {
+            let mut db = Database::new();
+            for i in 0..depth {
+                db.insert("edge", vec![Value::Int(i), Value::Int(i + 1)])
+                    .unwrap();
+            }
+            let (_, stats) = evaluate(&p, &db).unwrap();
+            assert!(
+                stats.rounds > prev_rounds,
+                "depth {depth}: rounds {} not > {prev_rounds}",
+                stats.rounds
+            );
+            prev_rounds = stats.rounds;
+        }
+    }
+
+    #[test]
+    fn scan_and_indexed_agree() {
+        let sources = [
+            TC,
+            "special(X) :- edge(a, X).",
+            "reach(X) :- source(X).\nreach(Y) :- reach(X), edge(X, Y).\n\
+             unreached(X) :- node(X), not reach(X).",
+        ];
+        let mut db = edges(&[("a", "b"), ("b", "c"), ("c", "a"), ("c", "d")]);
+        for n in ["a", "b", "c", "d", "e"] {
+            db.insert("node", vec![Value::sym(n)]).unwrap();
+        }
+        db.insert("source", vec![Value::sym("a")]).unwrap();
+        for src in sources {
+            let p = Program::parse(src).unwrap();
+            let (m1, _) = evaluate(&p, &db).unwrap();
+            let (m2, _) = evaluate_scan(&p, &db).unwrap();
+            for pred in m2.preds() {
+                let mut a: Vec<Vec<Value>> = m1.tuples(pred).collect();
+                let mut b: Vec<Vec<Value>> = m2.tuples(pred).collect();
+                a.sort();
+                b.sort();
+                assert_eq!(a, b, "engines disagree on `{pred}` for `{src}`");
+            }
+        }
     }
 
     #[test]

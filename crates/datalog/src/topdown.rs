@@ -50,6 +50,9 @@ pub struct TopDown<'a> {
     pub calls: u64,
     /// Statistics: answers served from tables.
     pub lemma_hits: u64,
+    /// Statistics: EDB index probes issued (one per subgoal reaching
+    /// the extensional database).
+    pub index_probes: u64,
     fresh: u64,
 }
 
@@ -77,6 +80,7 @@ impl<'a> TopDown<'a> {
             depth_limit: 64,
             calls: 0,
             lemma_hits: 0,
+            index_probes: 0,
             fresh: 0,
         }
     }
@@ -124,9 +128,21 @@ impl<'a> TopDown<'a> {
         self.calls += 1;
         let mut out = Vec::new();
 
-        // EDB tuples first.
-        for tuple in self.edb.tuples(&goal.pred) {
-            if let Some(env2) = unify_tuple(&goal.args, tuple, env) {
+        // EDB tuples first, via a binding-pattern index probe: argument
+        // positions that are constants (or goal variables already bound
+        // in `env`) key the relation's secondary index, so only the
+        // matching tuples are unified.
+        let pattern: Vec<Option<Value>> = goal
+            .args
+            .iter()
+            .map(|t| match t {
+                Term::Const(v) => Some(v.clone()),
+                Term::Var(v) => env.get(v).cloned(),
+            })
+            .collect();
+        self.index_probes += 1;
+        for tuple in self.edb.probe(&goal.pred, &pattern) {
+            if let Some(env2) = unify_tuple(&goal.args, &tuple, env) {
                 out.push(env2);
             }
         }
@@ -499,6 +515,29 @@ mod tests {
         );
         assert!(td.lemma_hits > 0);
         assert!(td.lemma_count() > 0);
+    }
+
+    #[test]
+    fn lemma_hits_and_count_agree() {
+        let p = Program::parse(TC_RIGHT).unwrap();
+        let mut db = Database::new();
+        for i in 0..20 {
+            db.insert("edge", vec![Value::Int(i), Value::Int(i + 1)])
+                .unwrap();
+        }
+        let mut td = TopDown::new(&p, &db);
+        let g = Atom::new("path", vec![Term::int(0), Term::var("X")]);
+        let first = td.query(&g).unwrap();
+        let lemmas_after_first = td.lemma_count();
+        assert!(lemmas_after_first >= first.len(), "answers are tabled");
+        assert!(td.index_probes > 0, "EDB subgoals go through index probes");
+        // Re-asking the same goal must be answered from the tables:
+        // lemma_hits grows, the lemma store does not.
+        let hits_before = td.lemma_hits;
+        let second = td.query(&g).unwrap();
+        assert_eq!(first.len(), second.len());
+        assert!(td.lemma_hits > hits_before);
+        assert_eq!(td.lemma_count(), lemmas_after_first);
     }
 
     #[test]

@@ -112,16 +112,17 @@ impl DeductiveView {
         match engine {
             Engine::BottomUp => {
                 let (model, _) = seminaive::evaluate(&self.program, &self.edb)?;
-                let mut out: Vec<Vec<Value>> = model
-                    .tuples(&query.pred)
-                    .filter(|t| {
-                        query.args.iter().zip(t.iter()).all(|(a, v)| match a {
-                            Term::Const(c) => c == v,
-                            Term::Var(_) => true,
-                        })
+                // Indexed point probe on the query's bound positions
+                // instead of scanning and filtering the whole relation.
+                let pattern: Vec<Option<Value>> = query
+                    .args
+                    .iter()
+                    .map(|a| match a {
+                        Term::Const(c) => Some(c.clone()),
+                        Term::Var(_) => None,
                     })
-                    .cloned()
                     .collect();
+                let mut out: Vec<Vec<Value>> = model.probe(&query.pred, &pattern).collect();
                 out.sort();
                 Ok(out)
             }

@@ -1,0 +1,354 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so the workspace
+//! vendors the API subset its benches use: [`Criterion`] with builder
+//! configuration, benchmark groups, [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BenchmarkId`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Measurements are
+//! genuine wall-clock timings (median of `sample_size` samples, each
+//! sample long enough to amortize timer overhead); statistics,
+//! comparisons and HTML reports are out of scope.
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// The benchmark harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1000),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time spent warming up before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total time budget for the samples of one benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            config: self.clone(),
+            name: name.into(),
+            _criterion: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into().label;
+        run_one(self, &label, &mut f);
+        self
+    }
+}
+
+/// A named benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id `"{name}/{parameter}"`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// How `iter_batched` amortizes setup cost (accepted, not acted on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input for every routine call.
+    PerIteration,
+}
+
+/// A group of related benchmarks sharing (and possibly overriding) the
+/// criterion config.
+pub struct BenchmarkGroup<'a> {
+    config: Criterion,
+    name: String,
+    _criterion: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Overrides the warm-up time for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Runs `f` as the benchmark `id` in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&self.config, &label, &mut f);
+        self
+    }
+
+    /// Runs `f` with `input` as the benchmark `id` in this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&self.config, &label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(criterion: &Criterion, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        config: criterion.clone(),
+        ns_per_iter: None,
+        iters: 0,
+    };
+    f(&mut b);
+    match b.ns_per_iter {
+        Some(ns) => {
+            let time = if ns >= 1_000_000.0 {
+                format!("{:.3} ms", ns / 1_000_000.0)
+            } else if ns >= 1_000.0 {
+                format!("{:.3} µs", ns / 1_000.0)
+            } else {
+                format!("{ns:.1} ns")
+            };
+            println!("{label:<55} time: {time:>12}/iter  ({} iters)", b.iters);
+        }
+        None => println!("{label:<55} (no measurement)"),
+    }
+}
+
+/// Passed to each benchmark closure to drive the measured routine.
+pub struct Bencher {
+    config: Criterion,
+    /// Median nanoseconds per iteration, once measured.
+    ns_per_iter: Option<f64>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `routine` called in a tight loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: how many calls fit the warm-up
+        // budget tells us the batch size for each timed sample.
+        let warm_deadline = Instant::now() + self.config.warm_up_time;
+        let mut calls: u64 = 0;
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            calls += 1;
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+        let per_call = warm_start.elapsed().as_secs_f64() / calls as f64;
+
+        let samples = self.config.sample_size.max(1);
+        let budget = self.config.measurement_time.as_secs_f64();
+        let per_sample = budget / samples as f64;
+        let batch = ((per_sample / per_call.max(1e-9)) as u64).clamp(1, 1_000_000_000);
+
+        let mut times: Vec<f64> = Vec::with_capacity(samples);
+        let mut total_iters = 0u64;
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            times.push(start.elapsed().as_secs_f64() / batch as f64);
+            total_iters += batch;
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = times[times.len() / 2];
+        self.ns_per_iter = Some(median * 1e9);
+        self.iters = total_iters;
+    }
+
+    /// Measures `routine` over fresh inputs from `setup`; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_deadline = Instant::now() + self.config.warm_up_time;
+        let mut warm_time = Duration::ZERO;
+        let mut calls: u64 = 0;
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            warm_time += start.elapsed();
+            calls += 1;
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+        let per_call = (warm_time.as_secs_f64() / calls as f64).max(1e-9);
+
+        let samples = self.config.sample_size.max(1);
+        let budget = self.config.measurement_time.as_secs_f64();
+        let batch = ((budget / samples as f64 / per_call) as u64).clamp(1, 1_000_000);
+
+        let mut times: Vec<f64> = Vec::with_capacity(samples);
+        let mut total_iters = 0u64;
+        for _ in 0..samples {
+            let mut sample_time = Duration::ZERO;
+            for _ in 0..batch {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                sample_time += start.elapsed();
+            }
+            times.push(sample_time.as_secs_f64() / batch as f64);
+            total_iters += batch;
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = times[times.len() / 2];
+        self.ns_per_iter = Some(median * 1e9);
+        self.iters = total_iters;
+    }
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),* $(,)?) => {
+        pub fn $name() {
+            $(
+                let mut criterion = $config;
+                $target(&mut criterion);
+            )*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),*
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $($group();)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10));
+        let mut group = c.benchmark_group("test");
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 4), &4u32, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_input() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10));
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                Vec::<u8>::new,
+                |mut v| {
+                    v.push(1);
+                    v
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
