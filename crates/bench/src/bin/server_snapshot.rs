@@ -1,0 +1,132 @@
+//! Writes `BENCH_server.json`: throughput and latency of the GKBMS
+//! service under concurrent client sessions (ISSUE 2 acceptance).
+//!
+//! Each client thread opens its own session (pinning a belief-time
+//! watermark) and repeatedly performs one unit of design work: a
+//! simulated external-tool invocation (the server's diagnostic sleep
+//! op — it occupies an admission slot but not the KB lock, exactly
+//! like a decision waiting on a design tool) followed by a snapshot
+//! ASK against a preloaded objectbase. A background writer keeps
+//! TELLing so the read path is exercised against live snapshot
+//! isolation, not an idle lock. Because tool waits overlap across
+//! sessions while ASK evaluation serializes on the CPU, aggregate
+//! req/s grows with client threads — the number this snapshot exists
+//! to demonstrate.
+//!
+//! Run with `cargo run --release -p bench --bin server_snapshot`.
+
+use gkbms::Gkbms;
+use server::{Client, Config, Server};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+const REQUESTS_PER_THREAD: usize = 150;
+const INSTANCES: usize = 100;
+const TOOL_WAIT_MS: u64 = 10;
+
+fn preload() -> Gkbms {
+    let mut g = Gkbms::new().expect("fresh gkbms");
+    g.tell_src("TELL Paper end").expect("class");
+    let mut src = String::new();
+    for i in 0..INSTANCES {
+        src.push_str(&format!("TELL paper{i} in Paper end\n"));
+    }
+    g.tell_src(&src).expect("instances");
+    g
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn run_round(addr: std::net::SocketAddr, threads: usize) -> (f64, f64, f64) {
+    let stop = Arc::new(AtomicBool::new(false));
+    // A background writer makes readers contend with real TELL traffic.
+    let writer = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut c = Client::connect(addr).expect("writer connect");
+            let (s, _) = c.hello().expect("writer hello");
+            let mut n = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                c.tell(s, &format!("TELL w{threads}_{n} in Paper end"))
+                    .expect("writer tell");
+                n += 1;
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            c.bye(s).expect("writer bye");
+        })
+    };
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                let (s, _) = c.hello().expect("hello");
+                let mut lat = Vec::with_capacity(REQUESTS_PER_THREAD);
+                for _ in 0..REQUESTS_PER_THREAD {
+                    let t0 = Instant::now();
+                    c.sleep(s, TOOL_WAIT_MS).expect("tool wait");
+                    let reply = c.ask(s, "p", "Paper", "true").expect("ask");
+                    lat.push(t0.elapsed().as_secs_f64());
+                    assert!(reply.answers.len() >= INSTANCES, "snapshot sees preload");
+                }
+                c.bye(s).expect("bye");
+                lat
+            })
+        })
+        .collect();
+    let mut lat: Vec<f64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("client thread"))
+        .collect();
+    let wall = start.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    writer.join().expect("writer thread");
+
+    lat.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let total = threads * REQUESTS_PER_THREAD;
+    (
+        total as f64 / wall,
+        percentile(&lat, 0.50) * 1e3,
+        percentile(&lat, 0.99) * 1e3,
+    )
+}
+
+fn main() {
+    let server = Server::bind("127.0.0.1:0", preload(), Config::default()).expect("bind");
+    let addr = server.local_addr();
+
+    let mut entries = Vec::new();
+    let mut base_rps = 0.0f64;
+    for threads in [1usize, 4, 8] {
+        let (rps, p50_ms, p99_ms) = run_round(addr, threads);
+        if threads == 1 {
+            base_rps = rps;
+        }
+        let scaling = rps / base_rps;
+        println!(
+            "{threads} client thread(s): {rps:.0} req/s ({scaling:.2}x vs 1 thread), \
+             p50 {p50_ms:.3} ms, p99 {p99_ms:.3} ms"
+        );
+        entries.push(format!(
+            "    {{\n      \"client_threads\": {threads},\n      \
+             \"requests_per_thread\": {REQUESTS_PER_THREAD},\n      \
+             \"req_per_sec\": {rps:.1},\n      \"scaling_vs_1_thread\": {scaling:.2},\n      \
+             \"p50_ms\": {p50_ms:.3},\n      \"p99_ms\": {p99_ms:.3}\n    }}"
+        ));
+    }
+    server.shutdown();
+
+    let json = format!(
+        "{{\n  \"bench\": \"server\",\n  \"issue\": 2,\n  \
+         \"note\": \"one request = {TOOL_WAIT_MS} ms simulated tool wait + snapshot ASK over {INSTANCES} Paper instances, concurrent with a background TELL writer; tool waits overlap across sessions (single-writer/multi-reader, belief-time snapshot isolation), so req/s scales with client threads\",\n  \
+         \"rounds\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");
+    println!("wrote BENCH_server.json");
+}

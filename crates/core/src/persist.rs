@@ -24,6 +24,8 @@ const OP_REGISTER: u32 = 4;
 const OP_EXECUTE: u32 = 5;
 const OP_RETRACT: u32 = 6;
 const OP_NOGOOD: u32 = 7;
+const OP_TELL: u32 = 8;
+const OP_UNTELL: u32 = 9;
 
 fn put_opt_str(out: &mut Vec<u8>, v: &Option<String>) {
     match v {
@@ -140,6 +142,8 @@ impl Gkbms {
         enum Ev<'a> {
             Exec(&'a crate::system::DecisionRecord),
             Retract(&'a str),
+            Tell(&'a str),
+            Untell(&'a str),
         }
         let mut events: Vec<(i64, Ev)> = self
             .records
@@ -150,6 +154,13 @@ impl Gkbms {
                     .iter()
                     .map(|(t, n)| (*t, Ev::Retract(n.as_str()))),
             )
+            .chain(self.tell_log.iter().map(|(t, ev)| {
+                let ev = match ev {
+                    crate::system::TellEvent::Tell(src) => Ev::Tell(src.as_str()),
+                    crate::system::TellEvent::Untell(name) => Ev::Untell(name.as_str()),
+                };
+                (*t, ev)
+            }))
             .collect();
         events.sort_by_key(|(t, _)| *t);
         for (_, ev) in events {
@@ -186,6 +197,18 @@ impl Gkbms {
                 Ev::Retract(name) => {
                     let mut p = Vec::new();
                     codec::put_u32(&mut p, OP_RETRACT);
+                    codec::put_str(&mut p, name);
+                    put(p)?;
+                }
+                Ev::Tell(src) => {
+                    let mut p = Vec::new();
+                    codec::put_u32(&mut p, OP_TELL);
+                    codec::put_str(&mut p, src);
+                    put(p)?;
+                }
+                Ev::Untell(name) => {
+                    let mut p = Vec::new();
+                    codec::put_u32(&mut p, OP_UNTELL);
                     codec::put_str(&mut p, name);
                     put(p)?;
                 }
@@ -299,6 +322,14 @@ impl Gkbms {
                     let ng = get_str_list(&mut c).map_err(telos::TelosError::Storage)?;
                     g.nogoods.push(ng);
                 }
+                OP_TELL => {
+                    let src = c.get_str().map_err(telos::TelosError::Storage)?;
+                    g.tell_src(src)?;
+                }
+                OP_UNTELL => {
+                    let name = c.get_str().map_err(telos::TelosError::Storage)?;
+                    g.untell(name)?;
+                }
                 other => {
                     return Err(GkbmsError::Unknown(format!(
                         "op tag {other} in saved history"
@@ -401,6 +432,26 @@ mod tests {
         // Replay the retracted decision under a new name.
         g.replay_decision("mapMinutes", "mapMinutes2").unwrap();
         assert!(g.is_current("MinutesRel"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn raw_tells_and_untells_replay() {
+        let path = tmp("tells");
+        let mut g = Gkbms::new().unwrap();
+        g.tell_src("TELL Paper end\nTELL kept in Paper end\nTELL gone in Paper end")
+            .unwrap();
+        g.untell("gone").unwrap();
+        g.register_object("Spec1", kernel::TDL_ENTITY_CLASS, "src")
+            .unwrap();
+        g.save(&path).unwrap();
+        let loaded = Gkbms::load(&path).unwrap();
+        assert!(loaded.kb().lookup("kept").is_some(), "TELL replayed");
+        assert!(loaded.kb().lookup("gone").is_none(), "UNTELL replayed");
+        assert!(loaded.kb().lookup("Spec1").is_some());
+        // The untold object's propositions are preserved as history,
+        // not destroyed: the KB has more propositions than believed.
+        assert!(loaded.kb().len() > loaded.kb().believed_count());
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -114,6 +114,15 @@ pub struct DecisionSummary {
     pub tick: i64,
 }
 
+/// One entry of the raw TELL/UNTELL log (persisted by replay).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum TellEvent {
+    /// Objectbase concrete syntax, possibly several frames.
+    Tell(String),
+    /// Cascading UNTELL of one object.
+    Untell(String),
+}
+
 /// The Global KBMS.
 pub struct Gkbms {
     pub(crate) kb: Kb,
@@ -135,6 +144,9 @@ pub struct Gkbms {
     /// Explicit retractions as `(tick, decision)` (cascades are
     /// re-derived on replay).
     pub(crate) retraction_log: Vec<(i64, String)>,
+    /// Raw TELL/UNTELL traffic as `(tick, event)`, so ad-hoc frames
+    /// told through the service survive save/load like decisions do.
+    pub(crate) tell_log: Vec<(i64, TellEvent)>,
     /// Statistics: dependency-graph rebuilds (lemma generation, E-2).
     pub graph_builds: u64,
 }
@@ -161,6 +173,7 @@ impl Gkbms {
             tool_order: Vec::new(),
             register_log: Vec::new(),
             retraction_log: Vec::new(),
+            tell_log: Vec::new(),
             graph_builds: 0,
         })
     }
@@ -168,6 +181,58 @@ impl Gkbms {
     /// Read access to the knowledge base.
     pub fn kb(&self) -> &Kb {
         &self.kb
+    }
+
+    /// Mutable access to the knowledge base, for documentation-level
+    /// TELL/UNTELL applied through the server's wire protocol. Frames
+    /// told this way are ordinary Telos propositions — they do not
+    /// create JTMS justifications (that is what [`Gkbms::execute`] is
+    /// for), but they participate in ASK, consistency checking, and
+    /// temporal navigation like everything else.
+    pub fn kb_mut(&mut self) -> &mut Kb {
+        &mut self.kb
+    }
+
+    /// A read-only snapshot of the KB pinned at the current belief
+    /// tick — the query surface handed to snapshot-isolated read
+    /// sessions.
+    pub fn snapshot(&self) -> telos::Snapshot<'_> {
+        self.kb.snapshot()
+    }
+
+    /// A read-only snapshot pinned at belief tick `at`.
+    pub fn snapshot_at(&self, at: i64) -> telos::Snapshot<'_> {
+        self.kb.snapshot_at(at)
+    }
+
+    /// Opens a write transaction boundary: advances the belief clock so
+    /// that everything a subsequent write creates lies strictly after
+    /// any snapshot watermark pinned at or before the current tick.
+    /// Returns the new tick. The server calls this before every
+    /// mutating request; local single-threaded use does not need it.
+    pub fn begin_write(&mut self) -> i64 {
+        self.kb.tick()
+    }
+
+    /// TELLs objectbase concrete syntax (`TELL … end`, possibly several
+    /// frames) as one write transaction, logging the source so it is
+    /// replayed by [`Gkbms::load`]. Returns the number of frames told.
+    pub fn tell_src(&mut self, src: &str) -> GkbmsResult<usize> {
+        let frames = objectbase::ObjectFrame::parse_all(src)?;
+        let tick = self.begin_write();
+        objectbase::transform::tell_all(&mut self.kb, &frames)?;
+        self.tell_log.push((tick, TellEvent::Tell(src.to_string())));
+        Ok(frames.len())
+    }
+
+    /// UNTELLs `name` (cascading) as one write transaction, logging the
+    /// event for replay. Returns the number of propositions untold.
+    pub fn untell(&mut self, name: &str) -> GkbmsResult<usize> {
+        let tick = self.begin_write();
+        let gone = objectbase::transform::untell_object(&mut self.kb, name)?;
+        self.tell_log
+            .push((tick, TellEvent::Untell(name.to_string())));
+        Ok(gone.len())
     }
 
     /// Read access to the JTMS.
@@ -809,6 +874,22 @@ pub(crate) mod tests {
         let obj = g.kb().lookup("Invitation").unwrap();
         let sources = g.kb().attr_values(obj, names::SOURCE_I);
         assert_eq!(sources.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_surface_pins_reads() {
+        let mut g = scenario_gkbms();
+        g.register_object("Invitation", kernel::TDL_ENTITY_CLASS, "src")
+            .unwrap();
+        let watermark = g.kb().now();
+        let snap_class = g.kb().lookup(kernel::TDL_ENTITY_CLASS).unwrap();
+        g.begin_write();
+        g.register_object("Minutes", kernel::TDL_ENTITY_CLASS, "src")
+            .unwrap();
+        let snap = g.snapshot_at(watermark);
+        assert!(snap.lookup("Minutes").is_none(), "snapshot predates it");
+        assert_eq!(snap.all_instances_of(snap_class).len(), 1);
+        assert_eq!(g.snapshot().all_instances_of(snap_class).len(), 2);
     }
 
     #[test]

@@ -13,10 +13,22 @@
 //! leaked to give `Symbol::as_str` a `'static` lifetime. Memory is
 //! bounded by the number of *distinct* names the process ever sees,
 //! which for a KBMS workload is small compared to the fact sets.
+//!
+//! **Thread safety.** The pool is shared by every thread in the
+//! process — in particular by the server's concurrent worker threads,
+//! where several read sessions resolve symbols while a writer interns
+//! new ones. Reads (`lookup`, `Symbol::as_str`) take a shared
+//! [`RwLock`] read guard, so concurrent readers never serialize
+//! against each other; only `intern` of a *new* string takes the
+//! write guard. Symbols are plain `u32`s and the interned strings are
+//! `'static`, so once obtained they are freely sendable across
+//! threads. A panic while holding the guard poisons the lock; since
+//! the pool is append-only it can never be observed in a torn state,
+//! so poisoning is deliberately ignored rather than propagated.
 
 use crate::ast::Value;
 use std::collections::HashMap;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// An interned string: predicate name or symbolic constant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -27,19 +39,34 @@ struct Pool {
     strs: Vec<&'static str>,
 }
 
-fn pool() -> &'static Mutex<Pool> {
-    static POOL: OnceLock<Mutex<Pool>> = OnceLock::new();
+fn pool() -> &'static RwLock<Pool> {
+    static POOL: OnceLock<RwLock<Pool>> = OnceLock::new();
     POOL.get_or_init(|| {
-        Mutex::new(Pool {
+        RwLock::new(Pool {
             by_str: HashMap::new(),
             strs: Vec::new(),
         })
     })
 }
 
-/// Interns `s`, returning its canonical [`Symbol`].
+fn read_pool() -> RwLockReadGuard<'static, Pool> {
+    pool().read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write_pool() -> RwLockWriteGuard<'static, Pool> {
+    pool().write().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Interns `s`, returning its canonical [`Symbol`]. Safe to call from
+/// any thread; the common already-interned case takes only the shared
+/// read guard.
 pub fn intern(s: &str) -> Symbol {
-    let mut p = pool().lock().expect("intern pool");
+    if let Some(&id) = read_pool().by_str.get(s) {
+        return Symbol(id);
+    }
+    let mut p = write_pool();
+    // Re-check under the write guard: another thread may have interned
+    // `s` between our read and write acquisitions.
     if let Some(&id) = p.by_str.get(s) {
         return Symbol(id);
     }
@@ -53,19 +80,13 @@ pub fn intern(s: &str) -> Symbol {
 /// Looks `s` up without interning it. `None` means no tuple anywhere
 /// can contain `s` — useful for negative membership tests.
 pub fn lookup(s: &str) -> Option<Symbol> {
-    pool()
-        .lock()
-        .expect("intern pool")
-        .by_str
-        .get(s)
-        .copied()
-        .map(Symbol)
+    read_pool().by_str.get(s).copied().map(Symbol)
 }
 
 impl Symbol {
     /// The interned string.
     pub fn as_str(self) -> &'static str {
-        pool().lock().expect("intern pool").strs[self.0 as usize]
+        read_pool().strs[self.0 as usize]
     }
 
     /// The raw pool id.
@@ -135,6 +156,44 @@ mod tests {
         assert!(lookup("never-seen-symbol-xyzzy").is_none());
         let s = intern("now-seen-xyzzy");
         assert_eq!(lookup("now-seen-xyzzy"), Some(s));
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        // Server worker threads intern overlapping and distinct names
+        // concurrently; every thread must agree on the canonical
+        // symbol, and every symbol must round-trip through as_str.
+        let shared: Vec<String> = (0..32).map(|i| format!("mt-shared-{i}")).collect();
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let shared = shared.clone();
+                std::thread::spawn(move || {
+                    let mut seen = Vec::new();
+                    for round in 0..50 {
+                        for s in &shared {
+                            seen.push((s.clone(), intern(s)));
+                        }
+                        let private = format!("mt-private-{t}-{round}");
+                        let sym = intern(&private);
+                        assert_eq!(sym.as_str(), private);
+                        assert_eq!(lookup(&private), Some(sym));
+                    }
+                    seen
+                })
+            })
+            .collect();
+        let mut canonical: HashMap<String, Symbol> = HashMap::new();
+        for h in handles {
+            for (s, sym) in h.join().expect("interner thread") {
+                assert_eq!(sym.as_str(), s);
+                match canonical.get(&s) {
+                    None => {
+                        canonical.insert(s, sym);
+                    }
+                    Some(&prev) => assert_eq!(prev, sym, "two canonical symbols for `{s}`"),
+                }
+            }
+        }
     }
 
     #[test]

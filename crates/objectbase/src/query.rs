@@ -11,9 +11,10 @@
 use crate::error::ObResult;
 use datalog::ast::{Atom, Program, Term, Value};
 use datalog::db::Database;
+use datalog::seminaive::EvalStats;
 use datalog::{magic, seminaive, topdown};
 use telos::assertion;
-use telos::{Kb, PropId};
+use telos::{Kb, KbRead, PropId, TelosError};
 
 /// EDB predicate names exported from the KB.
 pub mod preds {
@@ -29,11 +30,21 @@ pub mod preds {
 /// are identified by their display names; anonymous links are skipped
 /// (they reappear as `attr` tuples of their endpoints).
 pub fn to_edb(kb: &Kb) -> ObResult<Database> {
+    edb_where(kb, |p| p.is_believed())
+}
+
+/// Like [`to_edb`], but exporting the network as believed at tick `at`
+/// — the deductive view of a belief-time snapshot.
+pub fn to_edb_at(kb: &Kb, at: i64) -> ObResult<Database> {
+    edb_where(kb, |p| p.believed_at(at))
+}
+
+fn edb_where(kb: &Kb, live: impl Fn(&telos::Proposition) -> bool) -> ObResult<Database> {
     let mut db = Database::new();
     for id in 0..kb.len() {
         let id = PropId(id as u32);
         let Ok(p) = kb.get(id) else { continue };
-        if !p.is_believed() || p.is_individual() {
+        if !live(p) || p.is_individual() {
             continue;
         }
         let label = kb.resolve(p.label).to_string();
@@ -167,11 +178,78 @@ impl DeductiveView {
 }
 
 /// ASK with the assertion language: the believed instances of `class`
-/// satisfying `body` (an open query, §3.1).
-pub fn ask(kb: &Kb, var: &str, class: &str, body: &str) -> ObResult<Vec<String>> {
+/// satisfying `body` (an open query, §3.1). Generic over [`KbRead`]:
+/// pass a [`Kb`] for current-belief answers or a
+/// [`telos::Snapshot`] for answers pinned at a belief tick (the
+/// server's snapshot-isolated sessions).
+pub fn ask<V: KbRead>(kb: &V, var: &str, class: &str, body: &str) -> ObResult<Vec<String>> {
     let expr = assertion::parse(body)?;
     let hits = assertion::find(kb, var, class, &expr)?;
     Ok(hits.into_iter().map(|h| kb.display(h)).collect())
+}
+
+/// ASK through the deductive-relational bridge, reporting the
+/// [`EvalStats`] of the underlying join evaluation (`index_probes`,
+/// `tuples_scanned`, …). Candidate instances of `class` are enumerated
+/// by the semi-naive engine (the `inT` closure), then filtered with
+/// the assertion body — so the stats reflect real index-probe work,
+/// which `cbshell`'s `\stats` command surfaces.
+pub fn ask_with_stats(
+    kb: &Kb,
+    var: &str,
+    class: &str,
+    body: &str,
+) -> ObResult<(Vec<String>, EvalStats)> {
+    ask_deductive(kb, to_edb(kb)?, var, class, body)
+}
+
+/// [`ask_with_stats`] pinned at belief tick `at`: candidates come from
+/// the snapshot EDB ([`to_edb_at`]) and the assertion body is filtered
+/// against the [`telos::Snapshot`] view, so a server session gets both
+/// snapshot-consistent answers and the deductive counters.
+pub fn ask_with_stats_at(
+    kb: &Kb,
+    at: i64,
+    var: &str,
+    class: &str,
+    body: &str,
+) -> ObResult<(Vec<String>, EvalStats)> {
+    let snap = kb.snapshot_at(at);
+    ask_deductive(&snap, to_edb_at(kb, at)?, var, class, body)
+}
+
+fn ask_deductive<V: KbRead>(
+    view: &V,
+    edb: Database,
+    var: &str,
+    class: &str,
+    body: &str,
+) -> ObResult<(Vec<String>, EvalStats)> {
+    let expr = assertion::parse(body)?;
+    if view.lookup(class).is_none() {
+        return Err(TelosError::Assertion(format!("unknown class `{class}`")).into());
+    }
+    let program = base_program();
+    let (model, stats) = seminaive::evaluate(&program, &edb)?;
+    let pattern = vec![None, Some(Value::sym(class))];
+    let mut names: Vec<String> = model
+        .probe("inT", &pattern)
+        .map(|t| t[0].to_string())
+        .collect();
+    names.sort();
+    names.dedup();
+    let mut out = Vec::new();
+    let mut env = assertion::Env::new();
+    for name in names {
+        let Some(id) = view.lookup(&name) else {
+            continue;
+        };
+        env.insert(var.to_string(), id);
+        if assertion::eval(view, &expr, &mut env)? {
+            out.push(name);
+        }
+    }
+    Ok((out, stats))
 }
 
 #[cfg(test)]
@@ -269,6 +347,65 @@ mod tests {
         let papers = ask(&kb, "p", "Paper", "true").unwrap();
         assert_eq!(papers.len(), 3);
         assert!(ask(&kb, "x", "Ghost", "true").is_err());
+    }
+
+    #[test]
+    fn ask_against_snapshot_is_pinned() {
+        let mut kb = scenario_kb();
+        let t = kb.now();
+        // TELL a new invitation after the watermark; the tick is the
+        // transaction boundary that moves past the pinned watermark
+        // (the server's write path does the same).
+        kb.tick();
+        let frames = ObjectFrame::parse_all("TELL inv3 in Invitation end").unwrap();
+        tell_all(&mut kb, &frames).unwrap();
+        let live = ask(&kb, "p", "Paper", "true").unwrap();
+        assert_eq!(live.len(), 4);
+        let snap = kb.snapshot_at(t);
+        let pinned = ask(&snap, "p", "Paper", "true").unwrap();
+        assert_eq!(pinned.len(), 3, "snapshot does not see the new TELL");
+        assert!(!pinned.contains(&"inv3".to_string()));
+    }
+
+    #[test]
+    fn snapshot_edb_is_pinned() {
+        let mut kb = scenario_kb();
+        let t = kb.now();
+        kb.tick();
+        let frames = ObjectFrame::parse_all("TELL inv3 in Invitation end").unwrap();
+        tell_all(&mut kb, &frames).unwrap();
+        let now_db = to_edb(&kb).unwrap();
+        let then_db = to_edb_at(&kb, t).unwrap();
+        let at_inv3 = [Value::sym("inv3"), Value::sym("Invitation")];
+        assert!(now_db.contains(preds::IN, &at_inv3));
+        assert!(!then_db.contains(preds::IN, &at_inv3));
+    }
+
+    #[test]
+    fn ask_with_stats_matches_ask_and_counts_probes() {
+        let kb = scenario_kb();
+        let (hits, stats) = ask_with_stats(&kb, "p", "Paper", "true").unwrap();
+        assert_eq!(hits, ask(&kb, "p", "Paper", "true").unwrap());
+        assert!(stats.index_probes > 0, "join core probed indexes");
+        assert!(stats.tuples_scanned > 0);
+        let (with_sender, _) = ask_with_stats(&kb, "i", "Invitation", "i.sender defined").unwrap();
+        assert_eq!(with_sender, vec!["inv1"]);
+        assert!(ask_with_stats(&kb, "x", "Ghost", "true").is_err());
+    }
+
+    #[test]
+    fn ask_with_stats_at_is_pinned() {
+        let mut kb = scenario_kb();
+        let t = kb.now();
+        kb.tick();
+        let frames = ObjectFrame::parse_all("TELL inv3 in Invitation end").unwrap();
+        tell_all(&mut kb, &frames).unwrap();
+        let (live, _) = ask_with_stats(&kb, "p", "Paper", "true").unwrap();
+        assert_eq!(live.len(), 4);
+        let (pinned, stats) = ask_with_stats_at(&kb, t, "p", "Paper", "true").unwrap();
+        assert_eq!(pinned.len(), 3);
+        assert!(!pinned.contains(&"inv3".to_string()));
+        assert!(stats.index_probes > 0);
     }
 
     #[test]

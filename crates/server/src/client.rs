@@ -1,0 +1,352 @@
+//! Blocking client library for the GKBMS service.
+//!
+//! Wraps a [`TcpStream`] with typed request/response methods over the
+//! [`crate::proto`] frame protocol. One [`Client`] drives one
+//! connection; the session id returned by [`Client::hello`] is passed
+//! explicitly so a client can multiplex several sessions over one
+//! connection (or reconnect and keep a session).
+
+use crate::proto::{self, ErrorCode, FrameRead, Request, Response, WireDecision};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// What the server said when it refused a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerError {
+    /// Typed error class.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// A client-side failure: transport, protocol, or a typed server error.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (includes the server closing mid-call).
+    Io(io::Error),
+    /// The peer sent a frame that does not decode, or a response of
+    /// the wrong shape for the request.
+    Protocol(String),
+    /// The server answered with a typed error.
+    Server(ServerError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Client call result.
+pub type ClientResult<T> = Result<T, ClientError>;
+
+/// ASK answers plus the deductive evaluation counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AskReply {
+    /// The matching instance names.
+    pub answers: Vec<String>,
+    /// Secondary-index probes issued by the join core.
+    pub probes: u64,
+    /// Candidate tuples iterated while joining.
+    pub scanned: u64,
+}
+
+/// Per-session statistics as reported by the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Session id.
+    pub session: u64,
+    /// The session's pinned belief-time watermark.
+    pub watermark: i64,
+    /// The knowledge base's current belief time.
+    pub kb_now: i64,
+    /// Requests served for the session.
+    pub requests: u64,
+    /// Propositions believed at the watermark.
+    pub believed: u64,
+    /// `index_probes` of the session's last ASK.
+    pub probes: u64,
+    /// `tuples_scanned` of the session's last ASK.
+    pub scanned: u64,
+}
+
+/// One connection to a GKBMS server.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream })
+    }
+
+    /// Sends `req` and reads the matching response. The protocol is
+    /// strictly request/response per connection, so ordering is trivial.
+    pub fn roundtrip(&mut self, req: &Request) -> ClientResult<Response> {
+        proto::write_frame(&mut self.stream, &req.encode())?;
+        match proto::read_frame(&mut self.stream)? {
+            FrameRead::Frame(payload) => {
+                Response::decode(&payload).map_err(|e| ClientError::Protocol(e.to_string()))
+            }
+            FrameRead::Eof => Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))),
+            FrameRead::Idle => Err(ClientError::Protocol("unexpected idle read".into())),
+        }
+    }
+
+    fn expect(&mut self, req: &Request) -> ClientResult<Response> {
+        match self.roundtrip(req)? {
+            Response::Error { code, message } => {
+                Err(ClientError::Server(ServerError { code, message }))
+            }
+            other => Ok(other),
+        }
+    }
+
+    fn done(&mut self, req: &Request) -> ClientResult<String> {
+        match self.expect(req)? {
+            Response::Done { text } => Ok(text),
+            other => Err(shape("Done", &other)),
+        }
+    }
+
+    fn names(&mut self, req: &Request) -> ClientResult<Vec<String>> {
+        match self.expect(req)? {
+            Response::Names { names, .. } => Ok(names),
+            other => Err(shape("Names", &other)),
+        }
+    }
+
+    fn table(&mut self, req: &Request) -> ClientResult<String> {
+        match self.expect(req)? {
+            Response::Table { text } => Ok(text),
+            other => Err(shape("Table", &other)),
+        }
+    }
+
+    /// Opens a session; returns `(session, watermark)`.
+    pub fn hello(&mut self) -> ClientResult<(u64, i64)> {
+        match self.expect(&Request::Hello)? {
+            Response::Welcome { session, watermark } => Ok((session, watermark)),
+            other => Err(shape("Welcome", &other)),
+        }
+    }
+
+    /// Closes a session.
+    pub fn bye(&mut self, session: u64) -> ClientResult<String> {
+        self.done(&Request::Bye { session })
+    }
+
+    /// Re-pins the session watermark to the current belief time.
+    pub fn refresh(&mut self, session: u64) -> ClientResult<String> {
+        self.done(&Request::Refresh { session })
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> ClientResult<String> {
+        self.done(&Request::Ping)
+    }
+
+    /// TELLs objectbase concrete syntax (`TELL … end`, possibly
+    /// several frames).
+    pub fn tell(&mut self, session: u64, src: &str) -> ClientResult<String> {
+        self.done(&Request::Tell {
+            session,
+            src: src.into(),
+        })
+    }
+
+    /// UNTELLs an object by name.
+    pub fn untell(&mut self, session: u64, name: &str) -> ClientResult<String> {
+        self.done(&Request::Untell {
+            session,
+            name: name.into(),
+        })
+    }
+
+    /// Snapshot-pinned deductive ASK.
+    pub fn ask(
+        &mut self,
+        session: u64,
+        var: &str,
+        class: &str,
+        expr: &str,
+    ) -> ClientResult<AskReply> {
+        let req = Request::Ask {
+            session,
+            var: var.into(),
+            class: class.into(),
+            expr: expr.into(),
+        };
+        match self.expect(&req)? {
+            Response::Names {
+                probes,
+                scanned,
+                names,
+            } => Ok(AskReply {
+                answers: names,
+                probes,
+                scanned,
+            }),
+            other => Err(shape("Names", &other)),
+        }
+    }
+
+    /// Evaluates a closed assertion against the session snapshot.
+    pub fn holds(&mut self, session: u64, expr: &str) -> ClientResult<bool> {
+        let req = Request::Holds {
+            session,
+            expr: expr.into(),
+        };
+        match self.expect(&req)? {
+            Response::Truth { value } => Ok(value),
+            other => Err(shape("Truth", &other)),
+        }
+    }
+
+    /// Renders the current frame of an object.
+    pub fn show(&mut self, session: u64, name: &str) -> ClientResult<String> {
+        self.table(&Request::Show {
+            session,
+            name: name.into(),
+        })
+    }
+
+    /// Decision classes applicable to a design object.
+    pub fn applicable_decisions(
+        &mut self,
+        session: u64,
+        object: &str,
+    ) -> ClientResult<Vec<String>> {
+        self.names(&Request::ApplicableDecisions {
+            session,
+            object: object.into(),
+        })
+    }
+
+    /// Executes a design decision.
+    pub fn execute(&mut self, session: u64, decision: WireDecision) -> ClientResult<String> {
+        self.done(&Request::Execute { session, decision })
+    }
+
+    /// Retracts a decision; returns the affected objects.
+    pub fn retract_decision(&mut self, session: u64, name: &str) -> ClientResult<Vec<String>> {
+        self.names(&Request::RetractDecision {
+            session,
+            name: name.into(),
+        })
+    }
+
+    /// The process view (all decisions in causal order).
+    pub fn history(&mut self, session: u64) -> ClientResult<String> {
+        self.table(&Request::History { session })
+    }
+
+    /// The status view of all design objects.
+    pub fn status(&mut self, session: u64) -> ClientResult<String> {
+        self.table(&Request::Status { session })
+    }
+
+    /// Belief-time history of one object, as `t<tick>: <event>` rows.
+    pub fn object_history(&mut self, session: u64, object: &str) -> ClientResult<Vec<String>> {
+        self.names(&Request::ObjectHistory {
+            session,
+            object: object.into(),
+        })
+    }
+
+    /// Per-session statistics.
+    pub fn session_stats(&mut self, session: u64) -> ClientResult<SessionStats> {
+        match self.expect(&Request::SessionStats { session })? {
+            Response::SessionInfo {
+                session,
+                watermark,
+                kb_now,
+                requests,
+                believed,
+                probes,
+                scanned,
+            } => Ok(SessionStats {
+                session,
+                watermark,
+                kb_now,
+                requests,
+                believed,
+                probes,
+                scanned,
+            }),
+            other => Err(shape("SessionInfo", &other)),
+        }
+    }
+
+    /// Persists the knowledge base to a server-side path.
+    pub fn save(&mut self, session: u64, path: &str) -> ClientResult<String> {
+        self.done(&Request::Save {
+            session,
+            path: path.into(),
+        })
+    }
+
+    /// Replaces the knowledge base from a server-side path.
+    pub fn load(&mut self, session: u64, path: &str) -> ClientResult<String> {
+        self.done(&Request::Load {
+            session,
+            path: path.into(),
+        })
+    }
+
+    /// Registers a design object.
+    pub fn register_object(
+        &mut self,
+        session: u64,
+        name: &str,
+        class: &str,
+        source: &str,
+    ) -> ClientResult<String> {
+        self.done(&Request::RegisterObject {
+            session,
+            name: name.into(),
+            class: class.into(),
+            source: source.into(),
+        })
+    }
+
+    /// Diagnostic: hold a server admission slot for `millis` ms.
+    pub fn sleep(&mut self, session: u64, millis: u64) -> ClientResult<String> {
+        self.done(&Request::Sleep { session, millis })
+    }
+
+    /// Begins graceful server shutdown.
+    pub fn shutdown_server(&mut self, session: u64) -> ClientResult<String> {
+        self.done(&Request::Shutdown { session })
+    }
+}
+
+fn shape(wanted: &str, got: &Response) -> ClientError {
+    ClientError::Protocol(format!("expected {wanted} response, got {got:?}"))
+}

@@ -1,0 +1,181 @@
+//! The GKBMS as a network service (the "global KBMS" of §4 serving
+//! many local workstations).
+//!
+//! The paper's architecture has decision-making tools at local
+//! workstations talking to one *global* knowledge base that manages
+//! the shared evolution history. This crate is that seam: a
+//! multi-threaded TCP service exposing the [`gkbms::Gkbms`] over a
+//! length-prefixed binary protocol ([`proto`]), with snapshot-isolated
+//! read sessions ([`session`]), a single-writer/multi-reader engine
+//! with bounded admission ([`server`]), and a blocking client library
+//! ([`client`]).
+//!
+//! Snapshot isolation costs nothing here because the knowledge base
+//! never destroys history: belief-time intervals make "the KB as of
+//! tick t" a first-class read target ([`telos::Snapshot`]), so read
+//! sessions pin a watermark instead of copying state, and writers
+//! only ever add or close intervals above every pinned watermark.
+
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod session;
+
+pub use client::{AskReply, Client, ClientError, ClientResult, ServerError, SessionStats};
+pub use proto::{ErrorCode, Request, Response, WireDecision, WireDischarge};
+pub use server::{Config, Server};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gkbms::Gkbms;
+    use std::time::Duration;
+
+    fn start(cfg: Config) -> (Server, std::net::SocketAddr) {
+        let g = Gkbms::new().expect("fresh gkbms");
+        let srv = Server::bind("127.0.0.1:0", g, cfg).expect("bind");
+        let addr = srv.local_addr();
+        (srv, addr)
+    }
+
+    fn quick_cfg() -> Config {
+        Config {
+            poll_interval: Duration::from_millis(20),
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn hello_tell_ask_roundtrip() {
+        let (srv, addr) = start(quick_cfg());
+        let mut c = Client::connect(addr).unwrap();
+        assert_eq!(c.ping().unwrap(), "pong");
+        let (session, _) = c.hello().unwrap();
+        c.tell(
+            session,
+            "TELL Paper end\nTELL Invitation isA Paper end\nTELL inv1 in Invitation end",
+        )
+        .unwrap();
+        // The session watermark predates the TELL: refresh to see it.
+        c.refresh(session).unwrap();
+        let reply = c.ask(session, "p", "Paper", "true").unwrap();
+        assert_eq!(reply.answers, vec!["inv1"]);
+        assert!(reply.probes > 0, "deductive ASK probes indexes");
+        assert!(c.holds(session, "(inv1 in Paper)").unwrap());
+        let frame = c.show(session, "inv1").unwrap();
+        assert!(frame.contains("inv1"));
+        c.bye(session).unwrap();
+        srv.shutdown();
+    }
+
+    #[test]
+    fn snapshot_isolation_between_sessions() {
+        let (srv, addr) = start(quick_cfg());
+        let mut writer = Client::connect(addr).unwrap();
+        let (w, _) = writer.hello().unwrap();
+        writer
+            .tell(w, "TELL Paper end\nTELL p1 in Paper end")
+            .unwrap();
+
+        // Reader opens (and pins) before the second TELL.
+        let mut reader = Client::connect(addr).unwrap();
+        let (r, _) = reader.hello().unwrap();
+        writer.refresh(w).unwrap();
+        writer.tell(w, "TELL p2 in Paper end").unwrap();
+        writer.refresh(w).unwrap();
+
+        let pinned = reader.ask(r, "p", "Paper", "true").unwrap();
+        assert_eq!(pinned.answers, vec!["p1"], "reader must not see p2");
+        let live = writer.ask(w, "p", "Paper", "true").unwrap();
+        assert_eq!(live.answers, vec!["p1", "p2"]);
+
+        // After refresh the reader catches up.
+        reader.refresh(r).unwrap();
+        let fresh = reader.ask(r, "p", "Paper", "true").unwrap();
+        assert_eq!(fresh.answers, vec!["p1", "p2"]);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn unknown_and_expired_sessions_are_typed_errors() {
+        let (srv, addr) = start(Config {
+            idle_timeout: Duration::from_millis(30),
+            poll_interval: Duration::from_millis(20),
+            ..Config::default()
+        });
+        let mut c = Client::connect(addr).unwrap();
+        match c.ask(999, "p", "Paper", "true") {
+            Err(ClientError::Server(e)) => assert_eq!(e.code, ErrorCode::UnknownSession),
+            other => panic!("unexpected {other:?}"),
+        }
+        let (session, _) = c.hello().unwrap();
+        std::thread::sleep(Duration::from_millis(70));
+        match c.ask(session, "p", "Paper", "true") {
+            Err(ClientError::Server(e)) => assert_eq!(e.code, ErrorCode::SessionExpired),
+            other => panic!("unexpected {other:?}"),
+        }
+        srv.shutdown();
+    }
+
+    #[test]
+    fn saturation_yields_overloaded() {
+        let (srv, addr) = start(Config {
+            max_inflight: 1,
+            poll_interval: Duration::from_millis(20),
+            ..Config::default()
+        });
+        let mut a = Client::connect(addr).unwrap();
+        let (sa, _) = a.hello().unwrap();
+        let mut b = Client::connect(addr).unwrap();
+        let (sb, _) = b.hello().unwrap();
+        // Occupy the single admission slot, then probe from another
+        // connection while it is held.
+        let hold = std::thread::spawn(move || a.sleep(sa, 400).unwrap());
+        std::thread::sleep(Duration::from_millis(100));
+        match b.ask(sb, "p", "Paper", "true") {
+            Err(ClientError::Server(e)) => assert_eq!(e.code, ErrorCode::Overloaded),
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        hold.join().unwrap();
+        // Slot free again: the same request now succeeds (Paper is
+        // unknown in an empty KB, so Rejected — but not Overloaded).
+        match b.ask(sb, "p", "Paper", "true") {
+            Err(ClientError::Server(e)) => assert_eq!(e.code, ErrorCode::Rejected),
+            other => panic!("unexpected {other:?}"),
+        }
+        srv.shutdown();
+    }
+
+    #[test]
+    fn graceful_shutdown_drains_in_flight() {
+        let (srv, addr) = start(quick_cfg());
+        let mut a = Client::connect(addr).unwrap();
+        let (sa, _) = a.hello().unwrap();
+        let mut b = Client::connect(addr).unwrap();
+        let (sb, _) = b.hello().unwrap();
+        // A long request is in flight when shutdown begins; it must
+        // complete and get its response.
+        let inflight = std::thread::spawn(move || a.sleep(sa, 300).unwrap());
+        std::thread::sleep(Duration::from_millis(80));
+        assert_eq!(b.shutdown_server(sb).unwrap(), "shutting down");
+        assert_eq!(inflight.join().unwrap(), "slept 300 ms");
+        // New work is refused while draining.
+        match b.ask(sb, "p", "Paper", "true") {
+            Err(ClientError::Server(e)) => assert_eq!(e.code, ErrorCode::ShuttingDown),
+            Err(ClientError::Io(_)) => {} // connection already drained
+            other => panic!("unexpected {other:?}"),
+        }
+        srv.join();
+    }
+
+    #[test]
+    fn shutdown_returns_final_state() {
+        let (srv, addr) = start(quick_cfg());
+        let mut c = Client::connect(addr).unwrap();
+        let (s, _) = c.hello().unwrap();
+        c.tell(s, "TELL Paper end\nTELL p1 in Paper end").unwrap();
+        let g = srv.shutdown();
+        assert!(g.kb().lookup("p1").is_some());
+        assert!(g.kb().lookup("Paper").is_some());
+    }
+}

@@ -1,0 +1,1204 @@
+//! Wire protocol for the GKBMS service.
+//!
+//! # Frame layout
+//!
+//! Every message — request or response — travels as one *frame* with
+//! exactly the layout of a [`storage::record`] record:
+//!
+//! ```text
+//! +---------------+----------------+---------------------+
+//! | len: u32 (LE) | crc32: u32(LE) | payload: len * u8   |
+//! +---------------+----------------+---------------------+
+//! ```
+//!
+//! `len` is the payload length (capped at
+//! [`storage::record::MAX_RECORD_LEN`], 16 MiB); `crc32` is the IEEE
+//! CRC-32 of the payload. Frames are written with
+//! [`storage::record::write_record`] so the service speaks the same
+//! hand-rolled record dialect as the persistence layer — a corrupted
+//! or truncated frame is detected exactly like a torn log record.
+//!
+//! # Payload layout
+//!
+//! The payload is encoded with [`storage::record::codec`] primitives
+//! (little-endian integers, `u32`-length-prefixed UTF-8 strings). The
+//! first field is always a `u32` *opcode*; the remaining fields depend
+//! on the opcode:
+//!
+//! ```text
+//! request  := op:u32 fields*
+//! response := op:u32 fields*
+//! ```
+//!
+//! ## Request opcodes
+//!
+//! | op | name                 | fields after the opcode                    |
+//! |----|----------------------|--------------------------------------------|
+//! |  1 | `Hello`              | —                                          |
+//! |  2 | `Bye`                | `session:u64`                              |
+//! |  3 | `Refresh`            | `session:u64`                              |
+//! |  4 | `Ping`               | —                                          |
+//! |  5 | `Tell`               | `session:u64 src:str`                      |
+//! |  6 | `Untell`             | `session:u64 name:str`                     |
+//! |  7 | `Ask`                | `session:u64 var:str class:str expr:str`   |
+//! |  8 | `Holds`              | `session:u64 expr:str`                     |
+//! |  9 | `Show`               | `session:u64 name:str`                     |
+//! | 10 | `ApplicableDecisions`| `session:u64 object:str`                   |
+//! | 11 | `Execute`            | `session:u64` + decision request (below)   |
+//! | 12 | `RetractDecision`    | `session:u64 name:str`                     |
+//! | 13 | `History`            | `session:u64`                              |
+//! | 14 | `ObjectHistory`      | `session:u64 object:str`                   |
+//! | 15 | `SessionStats`       | `session:u64`                              |
+//! | 16 | `Save`               | `session:u64 path:str`                     |
+//! | 17 | `Load`               | `session:u64 path:str`                     |
+//! | 18 | `Shutdown`           | `session:u64`                              |
+//! | 19 | `Sleep`              | `session:u64 millis:u64` (diagnostic)      |
+//! | 20 | `RegisterObject`     | `session:u64 name:str class:str source:str`|
+//! | 21 | `Status`             | `session:u64`                              |
+//!
+//! The `Execute` decision request is encoded as:
+//!
+//! ```text
+//! class:str name:str performer:str
+//! has_tool:u32 [tool:str]
+//! n_inputs:u32 input:str*
+//! n_outputs:u32 (name:str class:str)*
+//! n_discharges:u32 (kind:u32 obligation:str [by:str])*   // kind 0=Formal, 1=Signature
+//! ```
+//!
+//! ## Response opcodes
+//!
+//! | op | name          | fields after the opcode                          |
+//! |----|---------------|--------------------------------------------------|
+//! |  1 | `Welcome`     | `session:u64 watermark:i64`                      |
+//! |  2 | `Done`        | `text:str`                                       |
+//! |  3 | `Names`       | `probes:u64 scanned:u64 n:u32 name:str*`         |
+//! |  4 | `Truth`       | `value:u32` (0 = false, 1 = true)                |
+//! |  5 | `Table`       | `text:str` (rendered table / frame text)         |
+//! |  6 | `SessionInfo` | `session:u64 watermark:i64 kb_now:i64 requests:u64 believed:u64 probes:u64 scanned:u64` |
+//! |  7 | `Error`       | `code:u32 message:str`                           |
+//! |
+//!
+//! `Names.probes`/`Names.scanned` carry the deductive [`EvalStats`]
+//! counters for `Ask` answers and are zero for other `Names` replies
+//! (e.g. retraction cascades).
+//!
+//! # Sessions and snapshot isolation
+//!
+//! `Hello` opens a session and pins its *watermark* — the knowledge
+//! base's belief-time clock at that instant. Every read the session
+//! performs afterwards (`Ask`, `Holds`, `History`, …) is evaluated
+//! against a [`telos::Snapshot`] at that watermark: the session sees a
+//! consistent state of belief, unaffected by concurrent writers,
+//! because the knowledge base never destroys propositions — an
+//! `UNTELL` merely closes a belief interval, and writers tick the
+//! clock *before* mutating, so everything they add starts strictly
+//! after every pinned watermark. `Refresh` re-pins the watermark to
+//! "now"; sessions that write typically refresh to observe their own
+//! writes. `Show` is the one deliberate exception: it renders the
+//! *current* object frame (its purpose is inspection, not repeatable
+//! reads).
+//!
+//! # Errors and backpressure
+//!
+//! Work-carrying requests pass through a bounded admission gate; when
+//! the server is saturated it answers [`ErrorCode::Overloaded`]
+//! without touching the knowledge base, and the client is expected to
+//! back off and retry. Control requests (`Hello`, `Bye`, `Ping`,
+//! `Shutdown`) bypass the gate so a saturated server can still be
+//! inspected and stopped. After shutdown begins, in-flight requests
+//! drain normally and subsequent ones get [`ErrorCode::ShuttingDown`].
+
+use std::io::{self, Read, Write};
+use storage::record::{self, codec};
+
+/// Discharge of a dependency obligation, mirroring
+/// [`gkbms::system::Discharge`] on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireDischarge {
+    /// Formally verified discharge.
+    Formal {
+        /// Name of the obligation object being discharged.
+        obligation: String,
+    },
+    /// Discharge by a signed-off decision.
+    Signature {
+        /// Name of the obligation object being discharged.
+        obligation: String,
+        /// Name of the agent signing off.
+        by: String,
+    },
+}
+
+/// A decision execution request, mirroring [`gkbms::system::DecisionRequest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireDecision {
+    /// Decision class to instantiate.
+    pub class: String,
+    /// Name of the new decision object.
+    pub name: String,
+    /// Performing agent.
+    pub performer: String,
+    /// Optional tool used.
+    pub tool: Option<String>,
+    /// Input design objects.
+    pub inputs: Vec<String>,
+    /// Output design objects as `(name, class)`.
+    pub outputs: Vec<(String, String)>,
+    /// Obligations discharged by this decision.
+    pub discharges: Vec<WireDischarge>,
+}
+
+/// A client-to-server request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Open a session; the reply pins the snapshot watermark.
+    Hello,
+    /// Close a session.
+    Bye {
+        /// Session to close.
+        session: u64,
+    },
+    /// Re-pin the session watermark to the current belief time.
+    Refresh {
+        /// Session to refresh.
+        session: u64,
+    },
+    /// Liveness probe; bypasses admission control.
+    Ping,
+    /// TELL one or more objects in objectbase concrete syntax.
+    Tell {
+        /// Issuing session.
+        session: u64,
+        /// Source text (`tell … end`, possibly several frames).
+        src: String,
+    },
+    /// UNTELL an object by name.
+    Untell {
+        /// Issuing session.
+        session: u64,
+        /// Object to untell.
+        name: String,
+    },
+    /// Deductive query: instances of `class` satisfying `expr`.
+    Ask {
+        /// Issuing session (answers are snapshot-pinned).
+        session: u64,
+        /// Query variable name.
+        var: String,
+        /// Class the variable ranges over.
+        class: String,
+        /// Assertion-language body.
+        expr: String,
+    },
+    /// Evaluate a closed assertion against the session snapshot.
+    Holds {
+        /// Issuing session.
+        session: u64,
+        /// Assertion-language expression.
+        expr: String,
+    },
+    /// Render the *current* frame of an object (not snapshot-pinned).
+    Show {
+        /// Issuing session.
+        session: u64,
+        /// Object to show.
+        name: String,
+    },
+    /// Decision classes applicable to a design object.
+    ApplicableDecisions {
+        /// Issuing session.
+        session: u64,
+        /// Design object name.
+        object: String,
+    },
+    /// Execute a design decision.
+    Execute {
+        /// Issuing session.
+        session: u64,
+        /// The decision to perform.
+        decision: WireDecision,
+    },
+    /// Retract a decision and its dependents.
+    RetractDecision {
+        /// Issuing session.
+        session: u64,
+        /// Decision object to retract.
+        name: String,
+    },
+    /// The process view: all decisions in causal order.
+    History {
+        /// Issuing session.
+        session: u64,
+    },
+    /// Belief-time history of one object.
+    ObjectHistory {
+        /// Issuing session.
+        session: u64,
+        /// Object to trace.
+        object: String,
+    },
+    /// Per-session statistics (watermark, counters, last ASK stats).
+    SessionStats {
+        /// Session to inspect.
+        session: u64,
+    },
+    /// Persist the knowledge base to a server-side path.
+    Save {
+        /// Issuing session.
+        session: u64,
+        /// Server-side file path.
+        path: String,
+    },
+    /// Replace the knowledge base from a server-side path.
+    Load {
+        /// Issuing session.
+        session: u64,
+        /// Server-side file path.
+        path: String,
+    },
+    /// Begin graceful shutdown; bypasses admission control.
+    Shutdown {
+        /// Issuing session.
+        session: u64,
+    },
+    /// Diagnostic: hold an admission slot for `millis` ms. Used by
+    /// the backpressure and drain tests to create deterministic load.
+    Sleep {
+        /// Issuing session.
+        session: u64,
+        /// How long to hold the slot.
+        millis: u64,
+    },
+    /// Register a design object (name, class, source text).
+    RegisterObject {
+        /// Issuing session.
+        session: u64,
+        /// New object name.
+        name: String,
+        /// Object class.
+        class: String,
+        /// Source/document text.
+        source: String,
+    },
+    /// The status view of all design objects.
+    Status {
+        /// Issuing session.
+        session: u64,
+    },
+}
+
+/// Typed error codes carried by [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum ErrorCode {
+    /// The admission gate is full; back off and retry.
+    Overloaded = 1,
+    /// The session id is unknown (never opened, or closed).
+    UnknownSession = 2,
+    /// The session exceeded its idle timeout and was reaped.
+    SessionExpired = 3,
+    /// The request frame could not be decoded.
+    BadRequest = 4,
+    /// The knowledge base rejected the operation (parse/eval error).
+    Rejected = 5,
+    /// The server is draining and no longer accepts work.
+    ShuttingDown = 6,
+    /// An internal I/O failure (e.g. during SAVE/LOAD).
+    Internal = 7,
+}
+
+impl ErrorCode {
+    fn from_u32(v: u32) -> Option<ErrorCode> {
+        Some(match v {
+            1 => ErrorCode::Overloaded,
+            2 => ErrorCode::UnknownSession,
+            3 => ErrorCode::SessionExpired,
+            4 => ErrorCode::BadRequest,
+            5 => ErrorCode::Rejected,
+            6 => ErrorCode::ShuttingDown,
+            7 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::UnknownSession => "unknown session",
+            ErrorCode::SessionExpired => "session expired",
+            ErrorCode::BadRequest => "bad request",
+            ErrorCode::Rejected => "rejected",
+            ErrorCode::ShuttingDown => "shutting down",
+            ErrorCode::Internal => "internal error",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A server-to-client response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Session opened.
+    Welcome {
+        /// The new session id.
+        session: u64,
+        /// Belief-time watermark pinned for the session.
+        watermark: i64,
+    },
+    /// Generic success with human-readable detail.
+    Done {
+        /// What happened.
+        text: String,
+    },
+    /// A list of names (ASK answers, retraction cascades, …).
+    Names {
+        /// Deductive index probes (ASK only; 0 otherwise).
+        probes: u64,
+        /// Tuples scanned during evaluation (ASK only; 0 otherwise).
+        scanned: u64,
+        /// The names.
+        names: Vec<String>,
+    },
+    /// A boolean verdict (HOLDS).
+    Truth {
+        /// The verdict.
+        value: bool,
+    },
+    /// Rendered tabular or frame text.
+    Table {
+        /// The rendered text.
+        text: String,
+    },
+    /// Per-session statistics.
+    SessionInfo {
+        /// Session id.
+        session: u64,
+        /// Pinned belief-time watermark.
+        watermark: i64,
+        /// The knowledge base's current belief time.
+        kb_now: i64,
+        /// Requests served for this session.
+        requests: u64,
+        /// Propositions believed at the watermark.
+        believed: u64,
+        /// Index probes of the session's last ASK.
+        probes: u64,
+        /// Tuples scanned by the session's last ASK.
+        scanned: u64,
+    },
+    /// A typed failure.
+    Error {
+        /// Machine-readable error class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+const REQ_HELLO: u32 = 1;
+const REQ_BYE: u32 = 2;
+const REQ_REFRESH: u32 = 3;
+const REQ_PING: u32 = 4;
+const REQ_TELL: u32 = 5;
+const REQ_UNTELL: u32 = 6;
+const REQ_ASK: u32 = 7;
+const REQ_HOLDS: u32 = 8;
+const REQ_SHOW: u32 = 9;
+const REQ_APPLICABLE: u32 = 10;
+const REQ_EXECUTE: u32 = 11;
+const REQ_RETRACT: u32 = 12;
+const REQ_HISTORY: u32 = 13;
+const REQ_OBJECT_HISTORY: u32 = 14;
+const REQ_SESSION_STATS: u32 = 15;
+const REQ_SAVE: u32 = 16;
+const REQ_LOAD: u32 = 17;
+const REQ_SHUTDOWN: u32 = 18;
+const REQ_SLEEP: u32 = 19;
+const REQ_REGISTER: u32 = 20;
+const REQ_STATUS: u32 = 21;
+
+const RESP_WELCOME: u32 = 1;
+const RESP_DONE: u32 = 2;
+const RESP_NAMES: u32 = 3;
+const RESP_TRUTH: u32 = 4;
+const RESP_TABLE: u32 = 5;
+const RESP_SESSION_INFO: u32 = 6;
+const RESP_ERROR: u32 = 7;
+
+/// Decode failure: the payload did not parse as a valid message.
+#[derive(Debug)]
+pub struct DecodeError(pub String);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "protocol decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl From<storage::StorageError> for DecodeError {
+    fn from(e: storage::StorageError) -> Self {
+        DecodeError(e.to_string())
+    }
+}
+
+type Decode<T> = Result<T, DecodeError>;
+
+fn encode_decision(out: &mut Vec<u8>, d: &WireDecision) {
+    codec::put_str(out, &d.class);
+    codec::put_str(out, &d.name);
+    codec::put_str(out, &d.performer);
+    match &d.tool {
+        Some(t) => {
+            codec::put_u32(out, 1);
+            codec::put_str(out, t);
+        }
+        None => codec::put_u32(out, 0),
+    }
+    codec::put_u32(out, d.inputs.len() as u32);
+    for i in &d.inputs {
+        codec::put_str(out, i);
+    }
+    codec::put_u32(out, d.outputs.len() as u32);
+    for (n, c) in &d.outputs {
+        codec::put_str(out, n);
+        codec::put_str(out, c);
+    }
+    codec::put_u32(out, d.discharges.len() as u32);
+    for dis in &d.discharges {
+        match dis {
+            WireDischarge::Formal { obligation } => {
+                codec::put_u32(out, 0);
+                codec::put_str(out, obligation);
+            }
+            WireDischarge::Signature { obligation, by } => {
+                codec::put_u32(out, 1);
+                codec::put_str(out, obligation);
+                codec::put_str(out, by);
+            }
+        }
+    }
+}
+
+fn decode_decision(c: &mut codec::Cursor<'_>) -> Decode<WireDecision> {
+    let class = c.get_str()?.to_string();
+    let name = c.get_str()?.to_string();
+    let performer = c.get_str()?.to_string();
+    let tool = if c.get_u32()? != 0 {
+        Some(c.get_str()?.to_string())
+    } else {
+        None
+    };
+    let n_in = c.get_u32()? as usize;
+    let mut inputs = Vec::with_capacity(n_in.min(1024));
+    for _ in 0..n_in {
+        inputs.push(c.get_str()?.to_string());
+    }
+    let n_out = c.get_u32()? as usize;
+    let mut outputs = Vec::with_capacity(n_out.min(1024));
+    for _ in 0..n_out {
+        let n = c.get_str()?.to_string();
+        let cl = c.get_str()?.to_string();
+        outputs.push((n, cl));
+    }
+    let n_dis = c.get_u32()? as usize;
+    let mut discharges = Vec::with_capacity(n_dis.min(1024));
+    for _ in 0..n_dis {
+        let kind = c.get_u32()?;
+        let obligation = c.get_str()?.to_string();
+        discharges.push(match kind {
+            0 => WireDischarge::Formal { obligation },
+            1 => WireDischarge::Signature {
+                obligation,
+                by: c.get_str()?.to_string(),
+            },
+            k => return Err(DecodeError(format!("unknown discharge kind {k}"))),
+        });
+    }
+    Ok(WireDecision {
+        class,
+        name,
+        performer,
+        tool,
+        inputs,
+        outputs,
+        discharges,
+    })
+}
+
+impl Request {
+    /// Encodes the request into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Hello => codec::put_u32(&mut out, REQ_HELLO),
+            Request::Bye { session } => {
+                codec::put_u32(&mut out, REQ_BYE);
+                codec::put_u64(&mut out, *session);
+            }
+            Request::Refresh { session } => {
+                codec::put_u32(&mut out, REQ_REFRESH);
+                codec::put_u64(&mut out, *session);
+            }
+            Request::Ping => codec::put_u32(&mut out, REQ_PING),
+            Request::Tell { session, src } => {
+                codec::put_u32(&mut out, REQ_TELL);
+                codec::put_u64(&mut out, *session);
+                codec::put_str(&mut out, src);
+            }
+            Request::Untell { session, name } => {
+                codec::put_u32(&mut out, REQ_UNTELL);
+                codec::put_u64(&mut out, *session);
+                codec::put_str(&mut out, name);
+            }
+            Request::Ask {
+                session,
+                var,
+                class,
+                expr,
+            } => {
+                codec::put_u32(&mut out, REQ_ASK);
+                codec::put_u64(&mut out, *session);
+                codec::put_str(&mut out, var);
+                codec::put_str(&mut out, class);
+                codec::put_str(&mut out, expr);
+            }
+            Request::Holds { session, expr } => {
+                codec::put_u32(&mut out, REQ_HOLDS);
+                codec::put_u64(&mut out, *session);
+                codec::put_str(&mut out, expr);
+            }
+            Request::Show { session, name } => {
+                codec::put_u32(&mut out, REQ_SHOW);
+                codec::put_u64(&mut out, *session);
+                codec::put_str(&mut out, name);
+            }
+            Request::ApplicableDecisions { session, object } => {
+                codec::put_u32(&mut out, REQ_APPLICABLE);
+                codec::put_u64(&mut out, *session);
+                codec::put_str(&mut out, object);
+            }
+            Request::Execute { session, decision } => {
+                codec::put_u32(&mut out, REQ_EXECUTE);
+                codec::put_u64(&mut out, *session);
+                encode_decision(&mut out, decision);
+            }
+            Request::RetractDecision { session, name } => {
+                codec::put_u32(&mut out, REQ_RETRACT);
+                codec::put_u64(&mut out, *session);
+                codec::put_str(&mut out, name);
+            }
+            Request::History { session } => {
+                codec::put_u32(&mut out, REQ_HISTORY);
+                codec::put_u64(&mut out, *session);
+            }
+            Request::ObjectHistory { session, object } => {
+                codec::put_u32(&mut out, REQ_OBJECT_HISTORY);
+                codec::put_u64(&mut out, *session);
+                codec::put_str(&mut out, object);
+            }
+            Request::SessionStats { session } => {
+                codec::put_u32(&mut out, REQ_SESSION_STATS);
+                codec::put_u64(&mut out, *session);
+            }
+            Request::Save { session, path } => {
+                codec::put_u32(&mut out, REQ_SAVE);
+                codec::put_u64(&mut out, *session);
+                codec::put_str(&mut out, path);
+            }
+            Request::Load { session, path } => {
+                codec::put_u32(&mut out, REQ_LOAD);
+                codec::put_u64(&mut out, *session);
+                codec::put_str(&mut out, path);
+            }
+            Request::Shutdown { session } => {
+                codec::put_u32(&mut out, REQ_SHUTDOWN);
+                codec::put_u64(&mut out, *session);
+            }
+            Request::Sleep { session, millis } => {
+                codec::put_u32(&mut out, REQ_SLEEP);
+                codec::put_u64(&mut out, *session);
+                codec::put_u64(&mut out, *millis);
+            }
+            Request::RegisterObject {
+                session,
+                name,
+                class,
+                source,
+            } => {
+                codec::put_u32(&mut out, REQ_REGISTER);
+                codec::put_u64(&mut out, *session);
+                codec::put_str(&mut out, name);
+                codec::put_str(&mut out, class);
+                codec::put_str(&mut out, source);
+            }
+            Request::Status { session } => {
+                codec::put_u32(&mut out, REQ_STATUS);
+                codec::put_u64(&mut out, *session);
+            }
+        }
+        out
+    }
+
+    /// Decodes a request from a frame payload.
+    pub fn decode(payload: &[u8]) -> Decode<Request> {
+        let mut c = codec::Cursor::new(payload);
+        let op = c.get_u32()?;
+        let req = match op {
+            REQ_HELLO => Request::Hello,
+            REQ_BYE => Request::Bye {
+                session: c.get_u64()?,
+            },
+            REQ_REFRESH => Request::Refresh {
+                session: c.get_u64()?,
+            },
+            REQ_PING => Request::Ping,
+            REQ_TELL => Request::Tell {
+                session: c.get_u64()?,
+                src: c.get_str()?.to_string(),
+            },
+            REQ_UNTELL => Request::Untell {
+                session: c.get_u64()?,
+                name: c.get_str()?.to_string(),
+            },
+            REQ_ASK => Request::Ask {
+                session: c.get_u64()?,
+                var: c.get_str()?.to_string(),
+                class: c.get_str()?.to_string(),
+                expr: c.get_str()?.to_string(),
+            },
+            REQ_HOLDS => Request::Holds {
+                session: c.get_u64()?,
+                expr: c.get_str()?.to_string(),
+            },
+            REQ_SHOW => Request::Show {
+                session: c.get_u64()?,
+                name: c.get_str()?.to_string(),
+            },
+            REQ_APPLICABLE => Request::ApplicableDecisions {
+                session: c.get_u64()?,
+                object: c.get_str()?.to_string(),
+            },
+            REQ_EXECUTE => Request::Execute {
+                session: c.get_u64()?,
+                decision: decode_decision(&mut c)?,
+            },
+            REQ_RETRACT => Request::RetractDecision {
+                session: c.get_u64()?,
+                name: c.get_str()?.to_string(),
+            },
+            REQ_HISTORY => Request::History {
+                session: c.get_u64()?,
+            },
+            REQ_OBJECT_HISTORY => Request::ObjectHistory {
+                session: c.get_u64()?,
+                object: c.get_str()?.to_string(),
+            },
+            REQ_SESSION_STATS => Request::SessionStats {
+                session: c.get_u64()?,
+            },
+            REQ_SAVE => Request::Save {
+                session: c.get_u64()?,
+                path: c.get_str()?.to_string(),
+            },
+            REQ_LOAD => Request::Load {
+                session: c.get_u64()?,
+                path: c.get_str()?.to_string(),
+            },
+            REQ_SHUTDOWN => Request::Shutdown {
+                session: c.get_u64()?,
+            },
+            REQ_SLEEP => Request::Sleep {
+                session: c.get_u64()?,
+                millis: c.get_u64()?,
+            },
+            REQ_REGISTER => Request::RegisterObject {
+                session: c.get_u64()?,
+                name: c.get_str()?.to_string(),
+                class: c.get_str()?.to_string(),
+                source: c.get_str()?.to_string(),
+            },
+            REQ_STATUS => Request::Status {
+                session: c.get_u64()?,
+            },
+            op => return Err(DecodeError(format!("unknown request opcode {op}"))),
+        };
+        if !c.is_exhausted() {
+            return Err(DecodeError("trailing bytes after request".into()));
+        }
+        Ok(req)
+    }
+
+    /// The session id this request claims, if any.
+    pub fn session(&self) -> Option<u64> {
+        match self {
+            Request::Hello | Request::Ping => None,
+            Request::Bye { session }
+            | Request::Refresh { session }
+            | Request::Tell { session, .. }
+            | Request::Untell { session, .. }
+            | Request::Ask { session, .. }
+            | Request::Holds { session, .. }
+            | Request::Show { session, .. }
+            | Request::ApplicableDecisions { session, .. }
+            | Request::Execute { session, .. }
+            | Request::RetractDecision { session, .. }
+            | Request::History { session }
+            | Request::ObjectHistory { session, .. }
+            | Request::SessionStats { session }
+            | Request::Save { session, .. }
+            | Request::Load { session, .. }
+            | Request::Shutdown { session }
+            | Request::Sleep { session, .. }
+            | Request::RegisterObject { session, .. }
+            | Request::Status { session } => Some(*session),
+        }
+    }
+
+    /// True for control requests that bypass the admission gate so a
+    /// saturated or draining server can still be managed.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Request::Hello | Request::Bye { .. } | Request::Ping | Request::Shutdown { .. }
+        )
+    }
+}
+
+impl Response {
+    /// Encodes the response into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Welcome { session, watermark } => {
+                codec::put_u32(&mut out, RESP_WELCOME);
+                codec::put_u64(&mut out, *session);
+                codec::put_i64(&mut out, *watermark);
+            }
+            Response::Done { text } => {
+                codec::put_u32(&mut out, RESP_DONE);
+                codec::put_str(&mut out, text);
+            }
+            Response::Names {
+                probes,
+                scanned,
+                names,
+            } => {
+                codec::put_u32(&mut out, RESP_NAMES);
+                codec::put_u64(&mut out, *probes);
+                codec::put_u64(&mut out, *scanned);
+                codec::put_u32(&mut out, names.len() as u32);
+                for n in names {
+                    codec::put_str(&mut out, n);
+                }
+            }
+            Response::Truth { value } => {
+                codec::put_u32(&mut out, RESP_TRUTH);
+                codec::put_u32(&mut out, u32::from(*value));
+            }
+            Response::Table { text } => {
+                codec::put_u32(&mut out, RESP_TABLE);
+                codec::put_str(&mut out, text);
+            }
+            Response::SessionInfo {
+                session,
+                watermark,
+                kb_now,
+                requests,
+                believed,
+                probes,
+                scanned,
+            } => {
+                codec::put_u32(&mut out, RESP_SESSION_INFO);
+                codec::put_u64(&mut out, *session);
+                codec::put_i64(&mut out, *watermark);
+                codec::put_i64(&mut out, *kb_now);
+                codec::put_u64(&mut out, *requests);
+                codec::put_u64(&mut out, *believed);
+                codec::put_u64(&mut out, *probes);
+                codec::put_u64(&mut out, *scanned);
+            }
+            Response::Error { code, message } => {
+                codec::put_u32(&mut out, RESP_ERROR);
+                codec::put_u32(&mut out, *code as u32);
+                codec::put_str(&mut out, message);
+            }
+        }
+        out
+    }
+
+    /// Decodes a response from a frame payload.
+    pub fn decode(payload: &[u8]) -> Decode<Response> {
+        let mut c = codec::Cursor::new(payload);
+        let op = c.get_u32()?;
+        let resp = match op {
+            RESP_WELCOME => Response::Welcome {
+                session: c.get_u64()?,
+                watermark: c.get_i64()?,
+            },
+            RESP_DONE => Response::Done {
+                text: c.get_str()?.to_string(),
+            },
+            RESP_NAMES => {
+                let probes = c.get_u64()?;
+                let scanned = c.get_u64()?;
+                let n = c.get_u32()? as usize;
+                let mut names = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    names.push(c.get_str()?.to_string());
+                }
+                Response::Names {
+                    probes,
+                    scanned,
+                    names,
+                }
+            }
+            RESP_TRUTH => Response::Truth {
+                value: c.get_u32()? != 0,
+            },
+            RESP_TABLE => Response::Table {
+                text: c.get_str()?.to_string(),
+            },
+            RESP_SESSION_INFO => Response::SessionInfo {
+                session: c.get_u64()?,
+                watermark: c.get_i64()?,
+                kb_now: c.get_i64()?,
+                requests: c.get_u64()?,
+                believed: c.get_u64()?,
+                probes: c.get_u64()?,
+                scanned: c.get_u64()?,
+            },
+            RESP_ERROR => {
+                let raw = c.get_u32()?;
+                let code = ErrorCode::from_u32(raw)
+                    .ok_or_else(|| DecodeError(format!("unknown error code {raw}")))?;
+                Response::Error {
+                    code,
+                    message: c.get_str()?.to_string(),
+                }
+            }
+            op => return Err(DecodeError(format!("unknown response opcode {op}"))),
+        };
+        if !c.is_exhausted() {
+            return Err(DecodeError("trailing bytes after response".into()));
+        }
+        Ok(resp)
+    }
+}
+
+/// Writes one frame (record header + payload) to `w` and flushes.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    record::write_record(w, payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    w.flush()
+}
+
+/// Outcome of one attempt to read a frame.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// A complete, CRC-valid frame payload.
+    Frame(Vec<u8>),
+    /// The peer closed the stream cleanly (EOF at a frame boundary).
+    Eof,
+    /// A read timeout fired before any byte of the next frame arrived.
+    /// The caller should check for shutdown and retry.
+    Idle,
+}
+
+/// How many consecutive mid-frame timeouts to tolerate before giving
+/// up on a half-sent frame (protects shutdown drain from a stalled
+/// peer; with the server's 100 ms poll interval this is ~5 s).
+const MID_FRAME_TIMEOUT_RETRIES: u32 = 50;
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+fn read_exact_frame<R: Read>(r: &mut R, buf: &mut [u8], already: usize) -> io::Result<()> {
+    // `already` bytes of `buf` are filled; a timeout here is mid-frame,
+    // so keep waiting (bounded) rather than reporting Idle.
+    let mut filled = already;
+    let mut stalls = 0u32;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended mid-frame",
+                ))
+            }
+            Ok(n) => {
+                filled += n;
+                stalls = 0;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) => {
+                stalls += 1;
+                if stalls > MID_FRAME_TIMEOUT_RETRIES {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "peer stalled mid-frame",
+                    ));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one frame from `r`. If the stream has a read timeout set, a
+/// timeout *between* frames yields [`FrameRead::Idle`] so the caller
+/// can poll a shutdown flag; a timeout *inside* a frame keeps waiting
+/// (bounded), because the peer is mid-send.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<FrameRead> {
+    let mut header = [0u8; record::HEADER_LEN];
+    // First byte decides between Eof/Idle and a started frame.
+    let first = loop {
+        let mut b = [0u8; 1];
+        match r.read(&mut b) {
+            Ok(0) => return Ok(FrameRead::Eof),
+            Ok(_) => break b[0],
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) => return Ok(FrameRead::Idle),
+            Err(e) => return Err(e),
+        }
+    };
+    header[0] = first;
+    read_exact_frame(r, &mut header, 1)?;
+    let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
+    let crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+    if len > record::MAX_RECORD_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    read_exact_frame(r, &mut payload, 0)?;
+    if record::crc32(&payload) != crc {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame CRC mismatch",
+        ));
+    }
+    Ok(FrameRead::Frame(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: Request) {
+        let bytes = req.encode();
+        assert_eq!(Request::decode(&bytes).expect("decode"), req);
+    }
+
+    fn roundtrip_resp(resp: Response) {
+        let bytes = resp.encode();
+        assert_eq!(Response::decode(&bytes).expect("decode"), resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_req(Request::Hello);
+        roundtrip_req(Request::Ping);
+        roundtrip_req(Request::Bye { session: 7 });
+        roundtrip_req(Request::Refresh { session: 7 });
+        roundtrip_req(Request::Tell {
+            session: 1,
+            src: "tell Paper p1 in DesignObject end".into(),
+        });
+        roundtrip_req(Request::Untell {
+            session: 1,
+            name: "p1".into(),
+        });
+        roundtrip_req(Request::Ask {
+            session: 2,
+            var: "x".into(),
+            class: "Paper".into(),
+            expr: "exists a (x author a)".into(),
+        });
+        roundtrip_req(Request::Holds {
+            session: 2,
+            expr: "(p1 in Paper)".into(),
+        });
+        roundtrip_req(Request::Show {
+            session: 3,
+            name: "p1".into(),
+        });
+        roundtrip_req(Request::ApplicableDecisions {
+            session: 3,
+            object: "Spec1".into(),
+        });
+        roundtrip_req(Request::RetractDecision {
+            session: 3,
+            name: "D1".into(),
+        });
+        roundtrip_req(Request::History { session: 4 });
+        roundtrip_req(Request::ObjectHistory {
+            session: 4,
+            object: "Spec1".into(),
+        });
+        roundtrip_req(Request::SessionStats { session: 4 });
+        roundtrip_req(Request::Save {
+            session: 5,
+            path: "/tmp/kb.log".into(),
+        });
+        roundtrip_req(Request::Load {
+            session: 5,
+            path: "/tmp/kb.log".into(),
+        });
+        roundtrip_req(Request::Shutdown { session: 5 });
+        roundtrip_req(Request::Sleep {
+            session: 5,
+            millis: 250,
+        });
+        roundtrip_req(Request::RegisterObject {
+            session: 6,
+            name: "Spec1".into(),
+            class: "Specification".into(),
+            source: "the spec text".into(),
+        });
+        roundtrip_req(Request::Status { session: 6 });
+    }
+
+    #[test]
+    fn decision_request_roundtrips() {
+        roundtrip_req(Request::Execute {
+            session: 9,
+            decision: WireDecision {
+                class: "ImplementDecision".into(),
+                name: "D1".into(),
+                performer: "maria".into(),
+                tool: Some("compiler".into()),
+                inputs: vec!["Spec1".into()],
+                outputs: vec![("Impl1".into(), "Implementation".into())],
+                discharges: vec![
+                    WireDischarge::Formal {
+                        obligation: "Ob1".into(),
+                    },
+                    WireDischarge::Signature {
+                        obligation: "Ob2".into(),
+                        by: "erik".into(),
+                    },
+                ],
+            },
+        });
+        roundtrip_req(Request::Execute {
+            session: 9,
+            decision: WireDecision {
+                class: "D".into(),
+                name: "d".into(),
+                performer: "p".into(),
+                tool: None,
+                inputs: vec![],
+                outputs: vec![],
+                discharges: vec![],
+            },
+        });
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_resp(Response::Welcome {
+            session: 1,
+            watermark: 42,
+        });
+        roundtrip_resp(Response::Done {
+            text: "told 3 objects".into(),
+        });
+        roundtrip_resp(Response::Names {
+            probes: 17,
+            scanned: 230,
+            names: vec!["p1".into(), "p2".into()],
+        });
+        roundtrip_resp(Response::Truth { value: true });
+        roundtrip_resp(Response::Truth { value: false });
+        roundtrip_resp(Response::Table {
+            text: "| a | b |".into(),
+        });
+        roundtrip_resp(Response::SessionInfo {
+            session: 3,
+            watermark: 10,
+            kb_now: 12,
+            requests: 5,
+            believed: 100,
+            probes: 4,
+            scanned: 9,
+        });
+        roundtrip_resp(Response::Error {
+            code: ErrorCode::Overloaded,
+            message: "64 requests in flight".into(),
+        });
+    }
+
+    #[test]
+    fn unknown_opcode_is_decode_error() {
+        let mut buf = Vec::new();
+        codec::put_u32(&mut buf, 999);
+        assert!(Request::decode(&buf).is_err());
+        assert!(Response::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut buf = Request::Ping.encode();
+        buf.push(0);
+        assert!(Request::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn frame_roundtrip_over_a_pipe() {
+        let mut buf = Vec::new();
+        let payload = Request::Tell {
+            session: 1,
+            src: "tell X end".into(),
+        }
+        .encode();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut r = std::io::Cursor::new(buf);
+        match read_frame(&mut r).unwrap() {
+            FrameRead::Frame(p) => assert_eq!(p, payload),
+            other => panic!("unexpected {other:?}"),
+        }
+        match read_frame(&mut r).unwrap() {
+            FrameRead::Eof => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_frame_is_io_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        let flip = record::HEADER_LEN + 1;
+        buf[flip] ^= 0x20;
+        let mut r = std::io::Cursor::new(buf);
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn control_requests_bypass_admission() {
+        assert!(Request::Hello.is_control());
+        assert!(Request::Ping.is_control());
+        assert!(Request::Bye { session: 1 }.is_control());
+        assert!(Request::Shutdown { session: 1 }.is_control());
+        assert!(!Request::Tell {
+            session: 1,
+            src: String::new()
+        }
+        .is_control());
+        assert!(!Request::Sleep {
+            session: 1,
+            millis: 1
+        }
+        .is_control());
+    }
+}

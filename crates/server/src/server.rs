@@ -1,0 +1,606 @@
+//! The concurrent GKBMS service.
+//!
+//! # Concurrency model
+//!
+//! The knowledge base lives in one [`RwLock`]: writers (TELL, UNTELL,
+//! EXECUTE, …) serialize behind the write guard, readers share the
+//! read guard. Readers additionally get *snapshot isolation* for free
+//! from belief time: each session's reads are pinned at its watermark
+//! (see [`crate::proto`]), and every write path calls
+//! [`Gkbms::begin_write`] — a belief-clock tick — before mutating, so
+//! nothing a writer adds is visible below any pinned watermark, and
+//! nothing it retracts disappears from one (UNTELL only closes belief
+//! intervals).
+//!
+//! Each TCP connection gets a handler thread. Work-carrying requests
+//! pass an admission gate bounded by [`Config::max_inflight`]; beyond
+//! the bound the server answers `Overloaded` immediately, without
+//! queueing — the bounded "queue" is the set of in-flight requests,
+//! and backpressure is pushed to the client. Control requests
+//! (`Hello`, `Bye`, `Ping`, `Shutdown`) bypass the gate.
+//!
+//! # Shutdown
+//!
+//! Graceful: the flag flips (via a `Shutdown` frame or
+//! [`Server::initiate_shutdown`]), the accept loop stops taking
+//! connections, in-flight requests run to completion and their
+//! responses are written, later requests get `ShuttingDown`, and
+//! handler threads exit at their next idle poll. [`Server::join`]
+//! waits for all of that and hands the final [`Gkbms`] back.
+
+use crate::proto::{self, ErrorCode, FrameRead, Request, Response, WireDischarge};
+use crate::session::{SessionErr, SessionTable};
+use gkbms::{DecisionRequest, Discharge, Gkbms};
+use objectbase::transform::frame_of;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Admission bound: work-carrying requests in flight beyond this
+    /// get an immediate `Overloaded` reply.
+    pub max_inflight: usize,
+    /// Sessions idle longer than this are reaped.
+    pub idle_timeout: Duration,
+    /// How often blocked connection reads wake to poll the shutdown
+    /// flag (also bounds how long drain waits for idle connections).
+    pub poll_interval: Duration,
+    /// Upper bound on the diagnostic `Sleep` request, so a misbehaving
+    /// client cannot park an admission slot indefinitely.
+    pub max_sleep: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_inflight: 64,
+            idle_timeout: Duration::from_secs(300),
+            poll_interval: Duration::from_millis(100),
+            max_sleep: Duration::from_secs(30),
+        }
+    }
+}
+
+struct Shared {
+    state: RwLock<Gkbms>,
+    sessions: Mutex<SessionTable>,
+    inflight: AtomicUsize,
+    shutdown: AtomicBool,
+    cfg: Config,
+    addr: SocketAddr,
+}
+
+/// Decrements the in-flight count when a work-carrying request ends,
+/// whichever way it ends.
+struct AdmissionGuard<'a>(&'a Shared);
+
+impl Drop for AdmissionGuard<'_> {
+    fn drop(&mut self) {
+        self.0.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// A running GKBMS service.
+pub struct Server {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`), takes ownership of the
+    /// knowledge base, and starts accepting connections.
+    pub fn bind<A: ToSocketAddrs>(addr: A, state: Gkbms, cfg: Config) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            state: RwLock::new(state),
+            sessions: Mutex::new(SessionTable::new(cfg.idle_timeout)),
+            inflight: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            cfg,
+            addr: local,
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("gkbms-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        Ok(Server {
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// True once shutdown has begun.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Flips the shutdown flag and pokes the accept loop awake. Does
+    /// not wait for drain; see [`Server::join`].
+    pub fn initiate_shutdown(&self) {
+        begin_shutdown(&self.shared);
+    }
+
+    /// Blocks until shutdown has been initiated (locally or by a
+    /// `Shutdown` frame) and everything has drained, then returns the
+    /// final knowledge base.
+    pub fn join(mut self) -> Gkbms {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let shared = Arc::try_unwrap(self.shared)
+            .unwrap_or_else(|_| panic!("connection threads outlived join"));
+        shared.state.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// [`Server::initiate_shutdown`] then [`Server::join`].
+    pub fn shutdown(self) -> Gkbms {
+        self.initiate_shutdown();
+        self.join()
+    }
+}
+
+fn begin_shutdown(shared: &Shared) {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    // Unblock the accept loop with a throwaway connection; it checks
+    // the flag before handling anything.
+    let _ = TcpStream::connect(shared.addr);
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let conn_shared = Arc::clone(&shared);
+        if let Ok(h) = std::thread::Builder::new()
+            .name("gkbms-conn".into())
+            .spawn(move || handle_conn(stream, &conn_shared))
+        {
+            handlers.push(h);
+        }
+        // Opportunistically reap finished handlers so a long-lived
+        // server does not accumulate joinable threads.
+        handlers.retain(|h| !h.is_finished());
+    }
+    // Drain: every in-flight request completes and its response is
+    // written before the handler notices the flag and exits.
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+fn handle_conn(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.cfg.poll_interval));
+    loop {
+        match proto::read_frame(&mut stream) {
+            Ok(FrameRead::Frame(payload)) => {
+                let (resp, shutdown_after) = process(shared, &payload);
+                if proto::write_frame(&mut stream, &resp.encode()).is_err() {
+                    break;
+                }
+                if shutdown_after {
+                    begin_shutdown(shared);
+                }
+            }
+            Ok(FrameRead::Idle) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Ok(FrameRead::Eof) | Err(_) => break,
+        }
+    }
+}
+
+fn err(code: ErrorCode, message: impl Into<String>) -> Response {
+    Response::Error {
+        code,
+        message: message.into(),
+    }
+}
+
+fn session_err(e: SessionErr, id: u64) -> Response {
+    match e {
+        SessionErr::Unknown => err(ErrorCode::UnknownSession, format!("session {id}")),
+        SessionErr::Expired => err(ErrorCode::SessionExpired, format!("session {id} idled out")),
+    }
+}
+
+/// Handles one decoded frame. The bool asks the caller to begin
+/// shutdown *after* the response has been written.
+fn process(shared: &Shared, payload: &[u8]) -> (Response, bool) {
+    let req = match Request::decode(payload) {
+        Ok(r) => r,
+        Err(e) => return (err(ErrorCode::BadRequest, e.to_string()), false),
+    };
+    let draining = shared.shutdown.load(Ordering::SeqCst);
+    if req.is_control() {
+        return control(shared, req, draining);
+    }
+    if draining {
+        return (err(ErrorCode::ShuttingDown, "server is draining"), false);
+    }
+    // Admission gate: bound the work in flight, reject the overflow.
+    let in_flight = shared.inflight.fetch_add(1, Ordering::SeqCst);
+    if in_flight >= shared.cfg.max_inflight {
+        shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        return (
+            err(
+                ErrorCode::Overloaded,
+                format!("{in_flight} requests in flight"),
+            ),
+            false,
+        );
+    }
+    let _permit = AdmissionGuard(shared);
+    (dispatch(shared, req), false)
+}
+
+fn control(shared: &Shared, req: Request, draining: bool) -> (Response, bool) {
+    match req {
+        Request::Ping => (
+            Response::Done {
+                text: "pong".into(),
+            },
+            false,
+        ),
+        Request::Hello => {
+            if draining {
+                return (err(ErrorCode::ShuttingDown, "server is draining"), false);
+            }
+            let watermark = read_state(shared).kb().now();
+            let session = lock_sessions(shared).open(watermark);
+            (Response::Welcome { session, watermark }, false)
+        }
+        Request::Bye { session } => {
+            lock_sessions(shared).close(session);
+            (
+                Response::Done {
+                    text: format!("session {session} closed"),
+                },
+                false,
+            )
+        }
+        Request::Shutdown { session } => {
+            // Validate the session unless we are already draining (a
+            // repeated Shutdown should stay idempotent).
+            if !draining {
+                if let Err(e) = lock_sessions(shared).touch(session) {
+                    return (session_err(e, session), false);
+                }
+            }
+            (
+                Response::Done {
+                    text: "shutting down".into(),
+                },
+                true,
+            )
+        }
+        _ => unreachable!("is_control covers exactly these variants"),
+    }
+}
+
+fn lock_sessions(shared: &Shared) -> std::sync::MutexGuard<'_, SessionTable> {
+    shared.sessions.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn read_state(shared: &Shared) -> std::sync::RwLockReadGuard<'_, Gkbms> {
+    shared.state.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write_state(shared: &Shared) -> std::sync::RwLockWriteGuard<'_, Gkbms> {
+    shared.state.write().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Touches the session and returns its watermark, bumping counters.
+fn touch(shared: &Shared, id: u64) -> Result<i64, Response> {
+    lock_sessions(shared)
+        .touch(id)
+        .map(|s| s.watermark)
+        .map_err(|e| session_err(e, id))
+}
+
+fn names(list: Vec<String>) -> Response {
+    Response::Names {
+        probes: 0,
+        scanned: 0,
+        names: list,
+    }
+}
+
+fn dispatch(shared: &Shared, req: Request) -> Response {
+    match req {
+        Request::Refresh { session } => {
+            let now = read_state(shared).kb().now();
+            match lock_sessions(shared).refresh(session, now) {
+                Ok(w) => Response::Done {
+                    text: format!("watermark {w}"),
+                },
+                Err(e) => session_err(e, session),
+            }
+        }
+        Request::Tell { session, src } => {
+            if let Err(resp) = touch(shared, session) {
+                return resp;
+            }
+            let mut g = write_state(shared);
+            match g.tell_src(&src) {
+                Ok(n) => Response::Done {
+                    text: format!("told {n} object(s)"),
+                },
+                Err(e) => err(ErrorCode::Rejected, e.to_string()),
+            }
+        }
+        Request::Untell { session, name } => {
+            if let Err(resp) = touch(shared, session) {
+                return resp;
+            }
+            let mut g = write_state(shared);
+            match g.untell(&name) {
+                Ok(gone) => Response::Done {
+                    text: format!("untold `{name}` ({gone} proposition(s))"),
+                },
+                Err(e) => err(ErrorCode::Rejected, e.to_string()),
+            }
+        }
+        Request::Ask {
+            session,
+            var,
+            class,
+            expr,
+        } => {
+            let watermark = match touch(shared, session) {
+                Ok(w) => w,
+                Err(resp) => return resp,
+            };
+            let result = {
+                let g = read_state(shared);
+                objectbase::query::ask_with_stats_at(g.kb(), watermark, &var, &class, &expr)
+            };
+            match result {
+                Ok((answers, stats)) => {
+                    if let Ok(s) = lock_sessions(shared).touch(session) {
+                        s.last_probes = stats.index_probes as u64;
+                        s.last_scanned = stats.tuples_scanned as u64;
+                        // The bookkeeping touch is not a client request.
+                        s.requests -= 1;
+                    }
+                    Response::Names {
+                        probes: stats.index_probes as u64,
+                        scanned: stats.tuples_scanned as u64,
+                        names: answers,
+                    }
+                }
+                Err(e) => err(ErrorCode::Rejected, e.to_string()),
+            }
+        }
+        Request::Holds { session, expr } => {
+            let watermark = match touch(shared, session) {
+                Ok(w) => w,
+                Err(resp) => return resp,
+            };
+            let parsed = match telos::assertion::parse(&expr) {
+                Ok(p) => p,
+                Err(e) => return err(ErrorCode::Rejected, e.to_string()),
+            };
+            let g = read_state(shared);
+            let snap = g.snapshot_at(watermark);
+            let mut env = telos::assertion::Env::new();
+            match telos::assertion::eval(&snap, &parsed, &mut env) {
+                Ok(value) => Response::Truth { value },
+                Err(e) => err(ErrorCode::Rejected, e.to_string()),
+            }
+        }
+        Request::Show { session, name } => {
+            if let Err(resp) = touch(shared, session) {
+                return resp;
+            }
+            let g = read_state(shared);
+            let Some(id) = g.kb().lookup(&name) else {
+                return err(ErrorCode::Rejected, format!("unknown object `{name}`"));
+            };
+            match frame_of(g.kb(), id) {
+                Ok(frame) => Response::Table {
+                    text: frame.to_string(),
+                },
+                Err(e) => err(ErrorCode::Rejected, e.to_string()),
+            }
+        }
+        Request::ApplicableDecisions { session, object } => {
+            if let Err(resp) = touch(shared, session) {
+                return resp;
+            }
+            let g = read_state(shared);
+            match g.applicable_decisions(&object) {
+                Ok(rows) => names(
+                    rows.into_iter()
+                        .map(|(class, tools)| {
+                            if tools.is_empty() {
+                                class
+                            } else {
+                                format!("{class} [{}]", tools.join(", "))
+                            }
+                        })
+                        .collect(),
+                ),
+                Err(e) => err(ErrorCode::Rejected, e.to_string()),
+            }
+        }
+        Request::Execute { session, decision } => {
+            if let Err(resp) = touch(shared, session) {
+                return resp;
+            }
+            let mut dr = DecisionRequest::new(&decision.class, &decision.name, &decision.performer);
+            if let Some(tool) = &decision.tool {
+                dr = dr.with_tool(tool);
+            }
+            for input in &decision.inputs {
+                dr = dr.input(input);
+            }
+            for (out_name, out_class) in &decision.outputs {
+                dr = dr.output(out_name, out_class);
+            }
+            for dis in &decision.discharges {
+                dr = dr.discharge(match dis {
+                    WireDischarge::Formal { obligation } => Discharge::Formal {
+                        obligation: obligation.clone(),
+                    },
+                    WireDischarge::Signature { obligation, by } => Discharge::Signature {
+                        obligation: obligation.clone(),
+                        by: by.clone(),
+                    },
+                });
+            }
+            let mut g = write_state(shared);
+            g.begin_write();
+            match g.execute(dr) {
+                Ok(summary) => Response::Done {
+                    text: format!(
+                        "executed {}: created [{}] at tick {}",
+                        summary.name,
+                        summary.created.join(", "),
+                        summary.tick
+                    ),
+                },
+                Err(e) => err(ErrorCode::Rejected, e.to_string()),
+            }
+        }
+        Request::RetractDecision { session, name } => {
+            if let Err(resp) = touch(shared, session) {
+                return resp;
+            }
+            let mut g = write_state(shared);
+            g.begin_write();
+            match g.retract_decision(&name) {
+                Ok(affected) => names(affected),
+                Err(e) => err(ErrorCode::Rejected, e.to_string()),
+            }
+        }
+        Request::History { session } => {
+            if let Err(resp) = touch(shared, session) {
+                return resp;
+            }
+            Response::Table {
+                text: read_state(shared).process_view().render(),
+            }
+        }
+        Request::Status { session } => {
+            if let Err(resp) = touch(shared, session) {
+                return resp;
+            }
+            Response::Table {
+                text: read_state(shared).status_view().render(),
+            }
+        }
+        Request::ObjectHistory { session, object } => {
+            if let Err(resp) = touch(shared, session) {
+                return resp;
+            }
+            let g = read_state(shared);
+            match g.object_history(&object) {
+                Ok(rows) => names(
+                    rows.into_iter()
+                        .map(|(tick, event)| format!("t{tick}: {event}"))
+                        .collect(),
+                ),
+                Err(e) => err(ErrorCode::Rejected, e.to_string()),
+            }
+        }
+        Request::SessionStats { session } => {
+            let (watermark, requests, probes, scanned) = {
+                let mut sessions = lock_sessions(shared);
+                match sessions.touch(session) {
+                    Ok(s) => (s.watermark, s.requests, s.last_probes, s.last_scanned),
+                    Err(e) => return session_err(e, session),
+                }
+            };
+            let g = read_state(shared);
+            Response::SessionInfo {
+                session,
+                watermark,
+                kb_now: g.kb().now(),
+                requests,
+                believed: g.snapshot_at(watermark).believed_count() as u64,
+                probes,
+                scanned,
+            }
+        }
+        Request::Save { session, path } => {
+            if let Err(resp) = touch(shared, session) {
+                return resp;
+            }
+            let g = read_state(shared);
+            match g.save(&path) {
+                Ok(()) => Response::Done {
+                    text: format!("saved to {path}"),
+                },
+                Err(e) => err(ErrorCode::Internal, e.to_string()),
+            }
+        }
+        Request::Load { session, path } => {
+            if let Err(resp) = touch(shared, session) {
+                return resp;
+            }
+            match Gkbms::load(&path) {
+                Ok(fresh) => {
+                    let mut g = write_state(shared);
+                    *g = fresh;
+                    let now = g.kb().now();
+                    drop(g);
+                    // Old watermarks refer to a clock that no longer
+                    // exists; re-pin every session to the fresh state.
+                    lock_sessions(shared).repin_all(now);
+                    Response::Done {
+                        text: format!("loaded from {path}"),
+                    }
+                }
+                Err(e) => err(ErrorCode::Internal, e.to_string()),
+            }
+        }
+        Request::Sleep { session, millis } => {
+            if let Err(resp) = touch(shared, session) {
+                return resp;
+            }
+            let capped = Duration::from_millis(millis).min(shared.cfg.max_sleep);
+            std::thread::sleep(capped);
+            Response::Done {
+                text: format!("slept {} ms", capped.as_millis()),
+            }
+        }
+        Request::RegisterObject {
+            session,
+            name,
+            class,
+            source,
+        } => {
+            if let Err(resp) = touch(shared, session) {
+                return resp;
+            }
+            let mut g = write_state(shared);
+            g.begin_write();
+            match g.register_object(&name, &class, &source) {
+                Ok(_) => Response::Done {
+                    text: format!("registered `{name}` in `{class}`"),
+                },
+                Err(e) => err(ErrorCode::Rejected, e.to_string()),
+            }
+        }
+        Request::Hello | Request::Bye { .. } | Request::Ping | Request::Shutdown { .. } => {
+            unreachable!("control requests are handled before dispatch")
+        }
+    }
+}

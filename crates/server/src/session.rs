@@ -1,0 +1,197 @@
+//! Session management: ids, pinned snapshot watermarks, per-session
+//! statistics, and idle-timeout reaping.
+//!
+//! A session is the unit of snapshot isolation (see [`crate::proto`]):
+//! it pins a belief-time watermark at open (or [`SessionTable::refresh`])
+//! and every read it performs is evaluated at that watermark. Sessions
+//! are independent of TCP connections — a client may reconnect and keep
+//! using its session id — so liveness is tracked by *use*, not by the
+//! socket: a session untouched for longer than the idle timeout is
+//! reaped, and later requests for it get
+//! [`crate::proto::ErrorCode::SessionExpired`].
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// One open session.
+#[derive(Debug, Clone)]
+pub struct Session {
+    /// The session id.
+    pub id: u64,
+    /// Belief-time watermark all the session's reads are pinned at.
+    pub watermark: i64,
+    /// Requests served for this session.
+    pub requests: u64,
+    /// `index_probes` of the session's last ASK.
+    pub last_probes: u64,
+    /// `tuples_scanned` of the session's last ASK.
+    pub last_scanned: u64,
+    last_used: Instant,
+}
+
+/// Why a session lookup failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionErr {
+    /// Never opened, or explicitly closed.
+    Unknown,
+    /// Reaped after exceeding the idle timeout.
+    Expired,
+}
+
+/// The table of open sessions, with idle-timeout reaping.
+#[derive(Debug)]
+pub struct SessionTable {
+    next: u64,
+    map: HashMap<u64, Session>,
+    idle_timeout: Duration,
+}
+
+impl SessionTable {
+    /// An empty table with the given idle timeout.
+    pub fn new(idle_timeout: Duration) -> Self {
+        SessionTable {
+            next: 1,
+            map: HashMap::new(),
+            idle_timeout,
+        }
+    }
+
+    /// Opens a session pinned at `watermark`, returning its id. Also
+    /// sweeps sessions that have idled out (opportunistic reaping keeps
+    /// the table bounded without a dedicated timer thread).
+    pub fn open(&mut self, watermark: i64) -> u64 {
+        self.sweep();
+        let id = self.next;
+        self.next += 1;
+        self.map.insert(
+            id,
+            Session {
+                id,
+                watermark,
+                requests: 0,
+                last_probes: 0,
+                last_scanned: 0,
+                last_used: Instant::now(),
+            },
+        );
+        id
+    }
+
+    /// Touches `id` for a new request: bumps its counters and returns
+    /// the session, or reaps it if it sat idle past the timeout.
+    pub fn touch(&mut self, id: u64) -> Result<&mut Session, SessionErr> {
+        let expired = match self.map.get(&id) {
+            None => return Err(SessionErr::Unknown),
+            Some(s) => s.last_used.elapsed() > self.idle_timeout,
+        };
+        if expired {
+            self.map.remove(&id);
+            return Err(SessionErr::Expired);
+        }
+        let s = self.map.get_mut(&id).expect("checked above");
+        s.last_used = Instant::now();
+        s.requests += 1;
+        Ok(s)
+    }
+
+    /// Re-pins `id`'s watermark. Returns the new watermark.
+    pub fn refresh(&mut self, id: u64, watermark: i64) -> Result<i64, SessionErr> {
+        let s = self.touch(id)?;
+        s.watermark = watermark;
+        Ok(watermark)
+    }
+
+    /// Closes `id`. Closing an unknown session is not an error (the
+    /// client's intent — "this session is gone" — already holds).
+    pub fn close(&mut self, id: u64) {
+        self.map.remove(&id);
+    }
+
+    /// Re-pins every open session to `watermark`. Used after `LOAD`
+    /// replaces the knowledge base: old watermarks refer to a clock
+    /// that no longer exists.
+    pub fn repin_all(&mut self, watermark: i64) {
+        for s in self.map.values_mut() {
+            s.watermark = watermark;
+        }
+    }
+
+    /// Drops every session that has idled out.
+    pub fn sweep(&mut self) {
+        let timeout = self.idle_timeout;
+        self.map.retain(|_, s| s.last_used.elapsed() <= timeout);
+    }
+
+    /// Number of open sessions.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no sessions are open.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_touch_close() {
+        let mut t = SessionTable::new(Duration::from_secs(60));
+        let a = t.open(5);
+        let b = t.open(7);
+        assert_ne!(a, b);
+        assert_eq!(t.len(), 2);
+        let s = t.touch(a).unwrap();
+        assert_eq!(s.watermark, 5);
+        assert_eq!(s.requests, 1);
+        t.touch(a).unwrap();
+        assert_eq!(t.touch(a).unwrap().requests, 3);
+        t.close(a);
+        assert!(matches!(t.touch(a), Err(SessionErr::Unknown)));
+        assert!(t.touch(b).is_ok());
+    }
+
+    #[test]
+    fn refresh_repins_watermark() {
+        let mut t = SessionTable::new(Duration::from_secs(60));
+        let a = t.open(5);
+        assert_eq!(t.refresh(a, 9), Ok(9));
+        assert_eq!(t.touch(a).unwrap().watermark, 9);
+        assert!(matches!(t.refresh(999, 9), Err(SessionErr::Unknown)));
+    }
+
+    #[test]
+    fn idle_sessions_expire() {
+        let mut t = SessionTable::new(Duration::from_millis(20));
+        let a = t.open(1);
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(matches!(t.touch(a), Err(SessionErr::Expired)));
+        // Reaped: a second touch reports Unknown, not Expired.
+        assert!(matches!(t.touch(a), Err(SessionErr::Unknown)));
+    }
+
+    #[test]
+    fn sweep_reaps_only_idle() {
+        let mut t = SessionTable::new(Duration::from_millis(30));
+        let a = t.open(1);
+        std::thread::sleep(Duration::from_millis(45));
+        let b = t.open(2);
+        t.sweep();
+        assert_eq!(t.len(), 1);
+        assert!(matches!(t.touch(a), Err(SessionErr::Unknown)));
+        assert!(t.touch(b).is_ok());
+    }
+
+    #[test]
+    fn repin_all_moves_every_watermark() {
+        let mut t = SessionTable::new(Duration::from_secs(60));
+        let a = t.open(1);
+        let b = t.open(2);
+        t.repin_all(10);
+        assert_eq!(t.touch(a).unwrap().watermark, 10);
+        assert_eq!(t.touch(b).unwrap().watermark, 10);
+    }
+}

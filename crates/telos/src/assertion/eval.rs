@@ -5,10 +5,15 @@
 //! body — the "open first-order logic expressions over CML objects" of
 //! §3.1. Quantifiers range over *believed* instances, closed under
 //! specialization.
+//!
+//! Both entry points are generic over [`KbRead`], so the same
+//! evaluator answers against the live KB (current belief) or against a
+//! belief-time-pinned [`crate::kb::Snapshot`] — the server's
+//! snapshot-isolated ASK path.
 
 use super::ast::{Atom, Expr, Term};
 use crate::error::{TelosError, TelosResult};
-use crate::kb::Kb;
+use crate::kb::KbRead;
 use crate::prop::PropId;
 use std::collections::HashMap;
 
@@ -16,7 +21,7 @@ use std::collections::HashMap;
 /// the caller, for parameterized constraints).
 pub type Env = HashMap<String, PropId>;
 
-fn resolve(kb: &Kb, env: &Env, t: &Term) -> TelosResult<PropId> {
+fn resolve<V: KbRead>(kb: &V, env: &Env, t: &Term) -> TelosResult<PropId> {
     if let Some(&id) = env.get(&t.0) {
         return Ok(id);
     }
@@ -24,7 +29,7 @@ fn resolve(kb: &Kb, env: &Env, t: &Term) -> TelosResult<PropId> {
         .ok_or_else(|| TelosError::Assertion(format!("unbound identifier `{}`", t.0)))
 }
 
-fn eval_atom(kb: &Kb, env: &Env, atom: &Atom) -> TelosResult<bool> {
+fn eval_atom<V: KbRead>(kb: &V, env: &Env, atom: &Atom) -> TelosResult<bool> {
     Ok(match atom {
         Atom::In(x, c) => {
             let x = resolve(kb, env, x)?;
@@ -52,7 +57,7 @@ fn eval_atom(kb: &Kb, env: &Env, atom: &Atom) -> TelosResult<bool> {
 
 /// Evaluates a closed expression (given `env` for any caller-supplied
 /// bindings).
-pub fn eval(kb: &Kb, expr: &Expr, env: &mut Env) -> TelosResult<bool> {
+pub fn eval<V: KbRead>(kb: &V, expr: &Expr, env: &mut Env) -> TelosResult<bool> {
     match expr {
         Expr::True => Ok(true),
         Expr::Atom(a) => eval_atom(kb, env, a),
@@ -108,7 +113,7 @@ fn restore(env: &mut Env, v: &str, shadowed: Option<PropId>) {
 
 /// Open query: the believed instances `x` of `class` for which `body`
 /// holds with `var ↦ x`.
-pub fn find(kb: &Kb, var: &str, class: &str, body: &Expr) -> TelosResult<Vec<PropId>> {
+pub fn find<V: KbRead>(kb: &V, var: &str, class: &str, body: &Expr) -> TelosResult<Vec<PropId>> {
     let class_id = kb
         .lookup(class)
         .ok_or_else(|| TelosError::Assertion(format!("unknown class `{class}`")))?;
@@ -127,6 +132,7 @@ pub fn find(kb: &Kb, var: &str, class: &str, body: &Expr) -> TelosResult<Vec<Pro
 mod tests {
     use super::*;
     use crate::assertion::parser::parse;
+    use crate::kb::Kb;
 
     /// The §2.1 document world: Papers with Invitation and Minutes
     /// subclasses, senders and receivers.

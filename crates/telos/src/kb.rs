@@ -642,6 +642,247 @@ impl Kb {
     pub fn sync(&mut self) -> TelosResult<()> {
         self.backend.sync()
     }
+
+    // ----- snapshot reads -------------------------------------------------
+
+    /// A read-only view pinned at the current belief tick.
+    pub fn snapshot(&self) -> Snapshot<'_> {
+        self.snapshot_at(self.clock)
+    }
+
+    /// A read-only view pinned at belief tick `at`. Because the KB
+    /// never destroys propositions — UNTELL only closes belief
+    /// intervals — the view is a *consistent snapshot*: it sees exactly
+    /// the propositions believed at `at`, regardless of TELLs and
+    /// UNTELLs applied afterwards. This is the basis of the server's
+    /// snapshot-isolated read sessions.
+    pub fn snapshot_at(&self, at: i64) -> Snapshot<'_> {
+        Snapshot { kb: self, at }
+    }
+}
+
+/// The uniform read-only query surface over a knowledge base: the
+/// operations the assertion evaluator and ASK need, implemented both by
+/// [`Kb`] (current-belief semantics) and by [`Snapshot`] (pinned at a
+/// belief tick). Callers generic over `KbRead` evaluate identically
+/// against live state or a snapshot.
+pub trait KbRead {
+    /// The individual named `name` believed in this view, if any.
+    fn lookup(&self, name: &str) -> Option<PropId>;
+    /// Human-readable name of a proposition.
+    fn display(&self, id: PropId) -> String;
+    /// True if `x` is an instance of `c` in this view, directly or
+    /// through specialization.
+    fn is_instance_of(&self, x: PropId, c: PropId) -> bool;
+    /// Transitive isa ancestors of `c` (excluding `c`) in this view.
+    fn isa_ancestors(&self, c: PropId) -> Vec<PropId>;
+    /// Instances of `c` in this view, including those of all isa
+    /// descendants.
+    fn all_instances_of(&self, c: PropId) -> Vec<PropId>;
+    /// Values of the attribute `label` on `x` in this view.
+    fn attr_values(&self, x: PropId, label: &str) -> Vec<PropId>;
+}
+
+impl KbRead for Kb {
+    fn lookup(&self, name: &str) -> Option<PropId> {
+        Kb::lookup(self, name)
+    }
+    fn display(&self, id: PropId) -> String {
+        Kb::display(self, id)
+    }
+    fn is_instance_of(&self, x: PropId, c: PropId) -> bool {
+        Kb::is_instance_of(self, x, c)
+    }
+    fn isa_ancestors(&self, c: PropId) -> Vec<PropId> {
+        Kb::isa_ancestors(self, c)
+    }
+    fn all_instances_of(&self, c: PropId) -> Vec<PropId> {
+        Kb::all_instances_of(self, c)
+    }
+    fn attr_values(&self, x: PropId, label: &str) -> Vec<PropId> {
+        Kb::attr_values(self, x, label)
+    }
+}
+
+/// A belief-time-pinned, read-only view of a [`Kb`] (see
+/// [`Kb::snapshot_at`]). All retrieval methods answer as of the pinned
+/// tick: a proposition told or untold after the snapshot was taken is
+/// invisible.
+#[derive(Clone, Copy)]
+pub struct Snapshot<'a> {
+    kb: &'a Kb,
+    at: i64,
+}
+
+impl<'a> Snapshot<'a> {
+    /// The pinned belief tick (the snapshot's watermark).
+    pub fn at(&self) -> i64 {
+        self.at
+    }
+
+    /// The underlying KB.
+    pub fn kb(&self) -> &'a Kb {
+        self.kb
+    }
+
+    /// True if proposition `id` is believed in this snapshot.
+    pub fn sees(&self, id: PropId) -> bool {
+        self.kb
+            .props
+            .get(id.idx())
+            .is_some_and(|p| p.believed_at(self.at))
+    }
+
+    /// The individual named `name` believed at the pinned tick. Unlike
+    /// [`Kb::lookup`] this cannot use the believed-name index (which
+    /// tracks the *current* belief state), so it scans the label's
+    /// postings; the latest generation believed at the tick wins.
+    pub fn lookup(&self, name: &str) -> Option<PropId> {
+        let sym = self.kb.symbols.lookup(name)?;
+        self.kb.by_label.get(&sym).iter().copied().rfind(|&p| {
+            let prop = &self.kb.props[p.idx()];
+            prop.is_individual() && prop.believed_at(self.at)
+        })
+    }
+
+    /// Direct classes of `x` at the pinned tick.
+    pub fn classes_of(&self, x: PropId) -> Vec<PropId> {
+        self.kb
+            .typed_dests(x, self.kb.sym_instanceof, Some(self.at))
+    }
+
+    /// Direct instances of class `c` at the pinned tick.
+    pub fn instances_of(&self, c: PropId) -> Vec<PropId> {
+        self.kb
+            .typed_sources(c, self.kb.sym_instanceof, Some(self.at))
+    }
+
+    /// Direct isa parents of `c` at the pinned tick.
+    pub fn isa_parents(&self, c: PropId) -> Vec<PropId> {
+        self.kb.typed_dests(c, self.kb.sym_isa, Some(self.at))
+    }
+
+    /// Direct isa children of `c` at the pinned tick.
+    pub fn isa_children(&self, c: PropId) -> Vec<PropId> {
+        self.kb.typed_sources(c, self.kb.sym_isa, Some(self.at))
+    }
+
+    fn closure(&self, start: PropId, step: impl Fn(&Self, PropId) -> Vec<PropId>) -> Vec<PropId> {
+        let mut out = Vec::new();
+        let mut seen = HashSet::from([start]);
+        let mut queue = VecDeque::from([start]);
+        while let Some(cur) = queue.pop_front() {
+            for next in step(self, cur) {
+                if seen.insert(next) {
+                    out.push(next);
+                    queue.push_back(next);
+                }
+            }
+        }
+        out
+    }
+
+    /// Transitive isa ancestors of `c` at the pinned tick.
+    pub fn isa_ancestors(&self, c: PropId) -> Vec<PropId> {
+        self.closure(c, |s, x| s.isa_parents(x))
+    }
+
+    /// Transitive isa descendants of `c` at the pinned tick.
+    pub fn isa_descendants(&self, c: PropId) -> Vec<PropId> {
+        self.closure(c, |s, x| s.isa_children(x))
+    }
+
+    /// Classes of `x` closed under specialization, at the pinned tick.
+    pub fn all_classes_of(&self, x: PropId) -> Vec<PropId> {
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        for c in self.classes_of(x) {
+            if seen.insert(c) {
+                out.push(c);
+            }
+            for a in self.isa_ancestors(c) {
+                if seen.insert(a) {
+                    out.push(a);
+                }
+            }
+        }
+        out
+    }
+
+    /// Instances of `c` including those of all isa descendants, at the
+    /// pinned tick.
+    pub fn all_instances_of(&self, c: PropId) -> Vec<PropId> {
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        for class in std::iter::once(c).chain(self.isa_descendants(c)) {
+            for i in self.instances_of(class) {
+                if seen.insert(i) {
+                    out.push(i);
+                }
+            }
+        }
+        out
+    }
+
+    /// True if `x` is an instance of `c` at the pinned tick.
+    pub fn is_instance_of(&self, x: PropId, c: PropId) -> bool {
+        self.classes_of(x)
+            .into_iter()
+            .any(|d| d == c || self.isa_ancestors(d).contains(&c))
+    }
+
+    /// Values of attribute `label` on `x` at the pinned tick.
+    pub fn attr_values(&self, x: PropId, label: &str) -> Vec<PropId> {
+        match self.kb.symbols.lookup(label) {
+            None => Vec::new(),
+            Some(sym) if self.kb.is_link_label(sym) => Vec::new(),
+            Some(sym) => self.kb.typed_dests(x, sym, Some(self.at)),
+        }
+    }
+
+    /// Attribute propositions of `x` believed at the pinned tick.
+    pub fn attrs_of(&self, x: PropId) -> Vec<PropId> {
+        self.kb
+            .by_source
+            .get(&x)
+            .iter()
+            .copied()
+            .filter(|&p| {
+                let prop = &self.kb.props[p.idx()];
+                p != x && prop.believed_at(self.at) && !self.kb.is_link_label(prop.label)
+            })
+            .collect()
+    }
+
+    /// Number of propositions believed at the pinned tick.
+    pub fn believed_count(&self) -> usize {
+        self.kb
+            .props
+            .iter()
+            .filter(|p| p.believed_at(self.at))
+            .count()
+    }
+}
+
+impl KbRead for Snapshot<'_> {
+    fn lookup(&self, name: &str) -> Option<PropId> {
+        Snapshot::lookup(self, name)
+    }
+    fn display(&self, id: PropId) -> String {
+        self.kb.display(id)
+    }
+    fn is_instance_of(&self, x: PropId, c: PropId) -> bool {
+        Snapshot::is_instance_of(self, x, c)
+    }
+    fn isa_ancestors(&self, c: PropId) -> Vec<PropId> {
+        Snapshot::isa_ancestors(self, c)
+    }
+    fn all_instances_of(&self, c: PropId) -> Vec<PropId> {
+        Snapshot::all_instances_of(self, c)
+    }
+    fn attr_values(&self, x: PropId, label: &str) -> Vec<PropId> {
+        Snapshot::attr_values(self, x, label)
+    }
 }
 
 impl Default for Kb {
@@ -889,6 +1130,67 @@ mod tests {
             kb.expect("Nonexistent"),
             Err(TelosError::UnknownName(_))
         ));
+    }
+
+    #[test]
+    fn snapshot_pins_belief_time() {
+        let mut kb = kb();
+        let c = kb.individual("C").unwrap();
+        let x = kb.individual("x").unwrap();
+        kb.instantiate(x, c).unwrap();
+        kb.tick();
+        let snap_tick = kb.now();
+        // A later TELL is invisible to a snapshot pinned here …
+        kb.tick();
+        let y = kb.individual("y").unwrap();
+        kb.instantiate(y, c).unwrap();
+        let snap = kb.snapshot_at(snap_tick);
+        assert_eq!(snap.lookup("y"), None);
+        assert_eq!(snap.all_instances_of(c), vec![x]);
+        // … while the live view and a fresh snapshot see it.
+        assert_eq!(kb.all_instances_of(c).len(), 2);
+        assert_eq!(kb.snapshot().all_instances_of(c).len(), 2);
+        assert_eq!(kb.snapshot().lookup("y"), Some(y));
+    }
+
+    #[test]
+    fn snapshot_survives_untell() {
+        let mut kb = kb();
+        let a = kb.individual("A").unwrap();
+        let b = kb.individual("B").unwrap();
+        let attr = kb.put_attr(a, "rel", b).unwrap();
+        let before = kb.now();
+        kb.untell(attr).unwrap();
+        let snap = kb.snapshot_at(before);
+        assert!(snap.sees(attr));
+        assert_eq!(snap.attr_values(a, "rel"), vec![b]);
+        assert!(kb.attr_values(a, "rel").is_empty());
+        // An untold individual is still resolvable in an old snapshot.
+        let ghost = kb.individual("Ghost").unwrap();
+        let t = kb.now();
+        kb.untell(ghost).unwrap();
+        assert_eq!(kb.lookup("Ghost"), None);
+        assert_eq!(kb.snapshot_at(t).lookup("Ghost"), Some(ghost));
+    }
+
+    #[test]
+    fn snapshot_isa_closure_and_classes() {
+        let mut kb = kb();
+        let paper = kb.individual("Paper").unwrap();
+        let inv = kb.individual("Invitation").unwrap();
+        let inv1 = kb.individual("inv1").unwrap();
+        let link = kb.specialize(inv, paper).unwrap();
+        kb.instantiate(inv1, inv).unwrap();
+        kb.tick();
+        let t = kb.now();
+        kb.untell(link).unwrap();
+        let snap = kb.snapshot_at(t);
+        assert!(snap.is_instance_of(inv1, paper), "isa held at t");
+        assert!(snap.all_classes_of(inv1).contains(&paper));
+        assert_eq!(snap.isa_ancestors(inv), vec![paper]);
+        assert_eq!(snap.isa_descendants(paper), vec![inv]);
+        assert!(!kb.is_instance_of(inv1, paper), "isa gone now");
+        assert!(snap.believed_count() > kb.snapshot_at(0).believed_count());
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod symbols;
 pub mod time;
 
 pub use error::{TelosError, TelosResult};
-pub use kb::Kb;
+pub use kb::{Kb, KbRead, Snapshot};
 pub use prop::{PropId, Proposition};
 pub use symbols::{Symbol, SymbolTable};
 pub use time::interval::Interval;

@@ -2,9 +2,11 @@
 //! processors, in the spirit of ConceptBase's dialog manager.
 //!
 //! ```sh
-//! cargo run --bin cbshell                 # in-memory KB
-//! cargo run --bin cbshell -- mykb.log     # persistent KB
+//! cargo run --bin cbshell                       # in-memory KB
+//! cargo run --bin cbshell -- mykb.log           # persistent KB
 //! echo 'ask p/Paper : true' | cargo run --bin cbshell
+//! cargo run --bin cbshell -- --listen 127.0.0.1:4711   # serve a KB
+//! cargo run --bin cbshell -- --connect 127.0.0.1:4711  # talk to one
 //! ```
 //!
 //! Commands (one per line; frames may span lines until `end`):
@@ -20,32 +22,51 @@
 //! attrs <name>             relational display of the attributes
 //! check                    full consistency check
 //! stats                    KB statistics
+//! \stats                   index probes / tuples scanned of the last ASK
 //! help / quit
 //! ```
+//!
+//! Connected mode additionally understands `refresh` (re-pin the
+//! session snapshot), `history`, `status`, `save <path>`,
+//! `load <path>`, and `shutdown`; reads are snapshot-isolated at the
+//! session watermark, and the shell refreshes automatically after its
+//! own successful writes so they stay visible.
+//!
+//! When a script is piped in (non-interactive), any `error:` response
+//! makes the process exit non-zero, so CI can assert on scripts.
 
 use conceptbase::modelbase::BrowseSession;
 use conceptbase::objectbase::consistency::check_full;
 use conceptbase::objectbase::frame::ObjectFrame;
-use conceptbase::objectbase::query::ask;
+use conceptbase::objectbase::query::ask_with_stats;
 use conceptbase::objectbase::transform::{frame_of, tell, untell_object};
+use conceptbase::server::{Client, ClientError, Config, Server};
 use conceptbase::telos::assertion;
 use conceptbase::telos::backend::KbBackend;
 use conceptbase::telos::Kb;
 use std::io::{BufRead, Write};
 
+/// Local-mode shell state: the KB plus the counters of the last ASK.
+struct Shell {
+    kb: Kb,
+    last_ask: Option<(usize, usize)>, // (index_probes, tuples_scanned)
+}
+
 /// Executes one complete command line; returns the response text or
 /// `None` on `quit`.
-fn dispatch(kb: &mut Kb, line: &str) -> Option<String> {
+fn dispatch(shell: &mut Shell, line: &str) -> Option<String> {
     let line = line.trim();
     let (cmd, rest) = match line.split_once(char::is_whitespace) {
         Some((c, r)) => (c, r.trim()),
         None => (line, ""),
     };
+    let kb = &mut shell.kb;
     let out = match cmd {
         "" => String::new(),
         "quit" | "exit" => return None,
         "help" => {
-            "commands: tell untell ask holds show isa instances attrs check stats quit".to_string()
+            "commands: tell untell ask holds show isa instances attrs check stats \\stats quit"
+                .to_string()
         }
         "tell" => match ObjectFrame::parse(&format!("TELL {rest}")) {
             Err(e) => format!("error: {e}"),
@@ -69,11 +90,19 @@ fn dispatch(kb: &mut Kb, line: &str) -> Option<String> {
                 None => "usage: ask <var>/<class> : <expr>".to_string(),
                 Some((binding, expr)) => match binding.trim().split_once('/') {
                     None => "usage: ask <var>/<class> : <expr>".to_string(),
-                    Some((var, class)) => match ask(kb, var.trim(), class.trim(), expr.trim()) {
-                        Err(e) => format!("error: {e}"),
-                        Ok(hits) if hits.is_empty() => "no answers".to_string(),
-                        Ok(hits) => hits.join("\n"),
-                    },
+                    Some((var, class)) => {
+                        match ask_with_stats(kb, var.trim(), class.trim(), expr.trim()) {
+                            Err(e) => format!("error: {e}"),
+                            Ok((hits, stats)) => {
+                                shell.last_ask = Some((stats.index_probes, stats.tuples_scanned));
+                                if hits.is_empty() {
+                                    "no answers".to_string()
+                                } else {
+                                    hits.join("\n")
+                                }
+                            }
+                        }
+                    }
                 },
             }
         }
@@ -126,6 +155,89 @@ fn dispatch(kb: &mut Kb, line: &str) -> Option<String> {
             kb.believed_count(),
             kb.now()
         ),
+        "\\stats" => match shell.last_ask {
+            None => "no ASK yet".to_string(),
+            Some((probes, scanned)) => {
+                format!("last ask: {probes} index probes, {scanned} tuples scanned")
+            }
+        },
+        other => format!("unknown command `{other}` (try `help`)"),
+    };
+    Some(out)
+}
+
+/// Executes one command against a remote server; `None` on `quit`.
+fn dispatch_remote(client: &mut Client, session: u64, line: &str) -> Option<String> {
+    let line = line.trim();
+    let (cmd, rest) = match line.split_once(char::is_whitespace) {
+        Some((c, r)) => (c, r.trim()),
+        None => (line, ""),
+    };
+    let text = |r: Result<String, ClientError>| match r {
+        Ok(t) => t,
+        Err(e) => format!("error: {e}"),
+    };
+    // The session's reads are pinned at its watermark; refresh after a
+    // successful write so the shell user sees their own work.
+    let write_then_refresh = |client: &mut Client, r: Result<String, ClientError>| match r {
+        Ok(t) => {
+            let _ = client.refresh(session);
+            t
+        }
+        Err(e) => format!("error: {e}"),
+    };
+    let out = match cmd {
+        "" => String::new(),
+        "quit" | "exit" => {
+            let _ = client.bye(session);
+            return None;
+        }
+        "help" => "commands: tell untell ask holds show refresh history status \\stats \
+                   save load shutdown quit"
+            .to_string(),
+        "tell" => {
+            let r = client.tell(session, &format!("TELL {rest}"));
+            write_then_refresh(client, r)
+        }
+        "untell" => {
+            let r = client.untell(session, rest);
+            write_then_refresh(client, r)
+        }
+        "ask" => match rest.split_once(':') {
+            None => "usage: ask <var>/<class> : <expr>".to_string(),
+            Some((binding, expr)) => match binding.trim().split_once('/') {
+                None => "usage: ask <var>/<class> : <expr>".to_string(),
+                Some((var, class)) => {
+                    match client.ask(session, var.trim(), class.trim(), expr.trim()) {
+                        Err(e) => format!("error: {e}"),
+                        Ok(reply) if reply.answers.is_empty() => "no answers".to_string(),
+                        Ok(reply) => reply.answers.join("\n"),
+                    }
+                }
+            },
+        },
+        "holds" => match client.holds(session, rest) {
+            Err(e) => format!("error: {e}"),
+            Ok(v) => v.to_string(),
+        },
+        "show" => text(client.show(session, rest)),
+        "refresh" => text(client.refresh(session)),
+        "history" => text(client.history(session)),
+        "status" => text(client.status(session)),
+        "save" => text(client.save(session, rest)),
+        "load" => {
+            let r = client.load(session, rest);
+            write_then_refresh(client, r)
+        }
+        "shutdown" => text(client.shutdown_server(session)),
+        "stats" | "\\stats" => match client.session_stats(session) {
+            Err(e) => format!("error: {e}"),
+            Ok(s) => format!(
+                "session {}: watermark {}, kb tick {}, {} requests, {} believed; \
+                 last ask: {} index probes, {} tuples scanned",
+                s.session, s.watermark, s.kb_now, s.requests, s.believed, s.probes, s.scanned
+            ),
+        },
         other => format!("unknown command `{other}` (try `help`)"),
     };
     Some(out)
@@ -141,18 +253,71 @@ fn needs_more(buffer: &str) -> bool {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut args = std::env::args().skip(1);
-    let mut kb = match args.next() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--listen") => {
+            let addr = args.get(1).map(String::as_str).unwrap_or("127.0.0.1:4711");
+            return listen(addr);
+        }
+        Some("--connect") => {
+            let addr = args
+                .get(1)
+                .ok_or("usage: cbshell --connect <host:port>")?
+                .clone();
+            return connect(&addr);
+        }
+        _ => {}
+    }
+    let kb = match args.first() {
         Some(path) => Kb::with_backend(KbBackend::log(path)?)?,
         None => Kb::new(),
     };
-    let stdin = std::io::stdin();
-    let mut out = std::io::stdout();
+    let mut shell = Shell { kb, last_ask: None };
     let interactive = atty_guess();
     if interactive {
         println!("ConceptBase-rs shell — `help` for commands, `quit` to leave.");
     }
+    let had_error = repl(interactive, |line| dispatch(&mut shell, line))?;
+    shell.kb.sync()?;
+    script_exit(interactive, had_error)
+}
+
+/// Serves a fresh GKBMS on `addr` until a client sends `shutdown`.
+fn listen(addr: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let state = conceptbase::gkbms::Gkbms::new()?;
+    let server = Server::bind(addr, state, Config::default())?;
+    println!("gkbms: listening on {}", server.local_addr());
+    server.join();
+    println!("gkbms: stopped");
+    Ok(())
+}
+
+/// Connects to a server and runs the shell loop against it.
+fn connect(addr: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let mut client = Client::connect(addr)?;
+    let (session, watermark) = client
+        .hello()
+        .map_err(|e| format!("handshake failed: {e}"))?;
+    let interactive = atty_guess();
+    if interactive {
+        println!("connected to {addr} — session {session}, snapshot at tick {watermark}");
+    }
+    let had_error = repl(interactive, |line| {
+        dispatch_remote(&mut client, session, line)
+    })?;
+    script_exit(interactive, had_error)
+}
+
+/// The line loop shared by local and connected modes. Returns whether
+/// any command produced an `error:` response.
+fn repl(
+    interactive: bool,
+    mut dispatch_one: impl FnMut(&str) -> Option<String>,
+) -> Result<bool, Box<dyn std::error::Error>> {
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
     let mut buffer = String::new();
+    let mut had_error = false;
     loop {
         if interactive {
             print!("{}", if buffer.is_empty() { "cb> " } else { "...> " });
@@ -167,16 +332,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             continue;
         }
         let complete = std::mem::take(&mut buffer);
-        match dispatch(&mut kb, &complete) {
+        match dispatch_one(&complete) {
             None => break,
             Some(response) => {
+                if response.starts_with("error:") || response.starts_with("unknown command") {
+                    had_error = true;
+                }
                 if !response.is_empty() {
                     println!("{response}");
                 }
             }
         }
     }
-    kb.sync()?;
+    Ok(had_error)
+}
+
+/// Scripted runs (stdin redirected) exit non-zero on any error so CI
+/// can assert on piped scripts; interactive sessions always exit 0.
+fn script_exit(interactive: bool, had_error: bool) -> Result<(), Box<dyn std::error::Error>> {
+    if !interactive && had_error {
+        std::process::exit(1);
+    }
     Ok(())
 }
 
@@ -192,74 +368,94 @@ fn atty_guess() -> bool {
 mod tests {
     use super::*;
 
-    fn seeded_kb() -> Kb {
-        let mut kb = Kb::new();
+    fn seeded_shell() -> Shell {
+        let mut shell = Shell {
+            kb: Kb::new(),
+            last_ask: None,
+        };
         for cmd in [
             "tell Person end",
             "tell Paper end",
             "tell Invitation isA Paper end",
             "tell inv1 in Invitation end",
         ] {
-            dispatch(&mut kb, cmd).unwrap();
+            dispatch(&mut shell, cmd).unwrap();
         }
-        kb
+        shell
     }
 
     #[test]
     fn tell_and_show() {
-        let mut kb = seeded_kb();
-        let shown = dispatch(&mut kb, "show Invitation").unwrap();
+        let mut shell = seeded_shell();
+        let shown = dispatch(&mut shell, "show Invitation").unwrap();
         assert!(shown.contains("isA Paper"));
-        let r = dispatch(&mut kb, "tell x in Ghost end").unwrap();
+        let r = dispatch(&mut shell, "tell x in Ghost end").unwrap();
         assert!(r.starts_with("error"));
     }
 
     #[test]
     fn ask_and_holds() {
-        let mut kb = seeded_kb();
-        let hits = dispatch(&mut kb, "ask p/Paper : true").unwrap();
+        let mut shell = seeded_shell();
+        let hits = dispatch(&mut shell, "ask p/Paper : true").unwrap();
         assert_eq!(hits, "inv1");
-        assert_eq!(dispatch(&mut kb, "holds inv1 in Paper").unwrap(), "true");
-        assert_eq!(dispatch(&mut kb, "holds inv1 in Person").unwrap(), "false");
-        assert!(dispatch(&mut kb, "ask nonsense")
+        assert_eq!(dispatch(&mut shell, "holds inv1 in Paper").unwrap(), "true");
+        assert_eq!(
+            dispatch(&mut shell, "holds inv1 in Person").unwrap(),
+            "false"
+        );
+        assert!(dispatch(&mut shell, "ask nonsense")
             .unwrap()
             .starts_with("usage"));
     }
 
     #[test]
     fn browse_commands() {
-        let mut kb = seeded_kb();
-        let isa = dispatch(&mut kb, "isa Paper").unwrap();
+        let mut shell = seeded_shell();
+        let isa = dispatch(&mut shell, "isa Paper").unwrap();
         assert!(isa.contains("`- Invitation"));
-        let inst = dispatch(&mut kb, "instances Paper").unwrap();
+        let inst = dispatch(&mut shell, "instances Paper").unwrap();
         assert!(inst.contains("inv1"));
-        assert!(dispatch(&mut kb, "attrs Invitation")
+        assert!(dispatch(&mut shell, "attrs Invitation")
             .unwrap()
             .contains("attribute"));
     }
 
     #[test]
     fn untell_check_stats() {
-        let mut kb = seeded_kb();
-        assert!(dispatch(&mut kb, "check")
+        let mut shell = seeded_shell();
+        assert!(dispatch(&mut shell, "check")
             .unwrap()
             .starts_with("consistent"));
-        let r = dispatch(&mut kb, "untell inv1").unwrap();
+        let r = dispatch(&mut shell, "untell inv1").unwrap();
         assert!(r.starts_with("ok"));
-        assert!(dispatch(&mut kb, "stats").unwrap().contains("believed"));
-        assert!(dispatch(&mut kb, "untell inv1")
+        assert!(dispatch(&mut shell, "stats").unwrap().contains("believed"));
+        assert!(dispatch(&mut shell, "untell inv1")
             .unwrap()
             .starts_with("error"));
     }
 
     #[test]
+    fn backslash_stats_tracks_last_ask() {
+        let mut shell = seeded_shell();
+        assert_eq!(dispatch(&mut shell, "\\stats").unwrap(), "no ASK yet");
+        dispatch(&mut shell, "ask p/Paper : true").unwrap();
+        let stats = dispatch(&mut shell, "\\stats").unwrap();
+        assert!(stats.contains("index probes"), "{stats}");
+        assert!(stats.contains("tuples scanned"), "{stats}");
+        assert!(
+            !stats.contains(" 0 index probes"),
+            "deductive ask must probe indexes: {stats}"
+        );
+    }
+
+    #[test]
     fn quit_and_unknown() {
-        let mut kb = seeded_kb();
-        assert!(dispatch(&mut kb, "quit").is_none());
-        assert!(dispatch(&mut kb, "frobnicate")
+        let mut shell = seeded_shell();
+        assert!(dispatch(&mut shell, "quit").is_none());
+        assert!(dispatch(&mut shell, "frobnicate")
             .unwrap()
             .contains("unknown command"));
-        assert_eq!(dispatch(&mut kb, "").unwrap(), "");
+        assert_eq!(dispatch(&mut shell, "").unwrap(), "");
     }
 
     #[test]
@@ -274,5 +470,26 @@ mod tests {
             "tell Invitation isA Paper with attribute s : P end"
         ));
         assert!(!needs_more("ask p/Paper : true"));
+    }
+
+    #[test]
+    fn remote_shell_roundtrip() {
+        let state = conceptbase::gkbms::Gkbms::new().unwrap();
+        let server = Server::bind("127.0.0.1:0", state, Config::default()).unwrap();
+        let addr = server.local_addr();
+        let mut client = Client::connect(addr).unwrap();
+        let (session, _) = client.hello().unwrap();
+        let r = dispatch_remote(&mut client, session, "tell Paper end").unwrap();
+        assert!(r.starts_with("told"), "{r}");
+        let r = dispatch_remote(&mut client, session, "tell p1 in Paper end").unwrap();
+        assert!(r.starts_with("told"), "{r}");
+        let hits = dispatch_remote(&mut client, session, "ask p/Paper : true").unwrap();
+        assert_eq!(hits, "p1");
+        let stats = dispatch_remote(&mut client, session, "\\stats").unwrap();
+        assert!(stats.contains("index probes"), "{stats}");
+        let bad = dispatch_remote(&mut client, session, "ask x/Ghost : true").unwrap();
+        assert!(bad.starts_with("error:"), "{bad}");
+        assert!(dispatch_remote(&mut client, session, "quit").is_none());
+        server.shutdown();
     }
 }

@@ -13,5 +13,6 @@ pub use langs;
 pub use modelbase;
 pub use objectbase;
 pub use rms;
+pub use server;
 pub use storage;
 pub use telos;
