@@ -1,0 +1,144 @@
+//! Writes `BENCH_metrics.json`: instrumentation overhead of the `obs`
+//! subsystem on the 4-thread `BENCH_server` workload (ISSUE 3
+//! acceptance: overhead must stay under 5%).
+//!
+//! The workload is the same unit of design work as `server_snapshot`:
+//! a 10 ms simulated tool wait plus a snapshot ASK over a preloaded
+//! objectbase, with a background TELL writer keeping the single-writer
+//! path busy. Each mode (metrics recording disabled via
+//! `obs::set_enabled(false)`, then enabled) runs against a fresh
+//! server; we take the best of two trials per mode so a scheduler
+//! hiccup cannot masquerade as instrumentation cost. At the end the
+//! enabled server is scraped through `Client::metrics` to prove the
+//! counters actually moved during the measured run.
+//!
+//! Run with `cargo run --release -p bench --bin metrics_snapshot`.
+
+use gkbms::Gkbms;
+use server::{Client, Config, Server};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+const THREADS: usize = 4;
+const REQUESTS_PER_THREAD: usize = 150;
+const INSTANCES: usize = 100;
+const TOOL_WAIT_MS: u64 = 10;
+const TRIALS: usize = 2;
+
+fn preload() -> Gkbms {
+    let mut g = Gkbms::new().expect("fresh gkbms");
+    g.tell_src("TELL Paper end").expect("class");
+    let mut src = String::new();
+    for i in 0..INSTANCES {
+        src.push_str(&format!("TELL paper{i} in Paper end\n"));
+    }
+    g.tell_src(&src).expect("instances");
+    g
+}
+
+/// One 4-thread round against `addr`; returns aggregate req/s.
+fn run_round(addr: std::net::SocketAddr) -> f64 {
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut c = Client::connect(addr).expect("writer connect");
+            let (s, _) = c.hello().expect("writer hello");
+            let mut n = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                c.tell(s, &format!("TELL w{n} in Paper end"))
+                    .expect("writer tell");
+                n += 1;
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            c.bye(s).expect("writer bye");
+        })
+    };
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                let (s, _) = c.hello().expect("hello");
+                for _ in 0..REQUESTS_PER_THREAD {
+                    c.sleep(s, TOOL_WAIT_MS).expect("tool wait");
+                    let reply = c.ask(s, "p", "Paper", "true").expect("ask");
+                    assert!(reply.answers.len() >= INSTANCES, "snapshot sees preload");
+                }
+                c.bye(s).expect("bye");
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let wall = start.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    writer.join().expect("writer thread");
+    (THREADS * REQUESTS_PER_THREAD) as f64 / wall
+}
+
+/// Best-of-`TRIALS` req/s with metrics recording on or off.
+fn measure(enabled: bool) -> f64 {
+    obs::set_enabled(enabled);
+    let mut best = 0.0f64;
+    for _ in 0..TRIALS {
+        let server = Server::bind("127.0.0.1:0", preload(), Config::default()).expect("bind");
+        let rps = run_round(server.local_addr());
+        server.shutdown().expect("shutdown");
+        best = best.max(rps);
+    }
+    best
+}
+
+fn scrape_requests_total() -> f64 {
+    let server = Server::bind("127.0.0.1:0", preload(), Config::default()).expect("bind");
+    let addr = server.local_addr();
+    run_round(addr);
+    let mut c = Client::connect(addr).expect("scrape connect");
+    let text = c.metrics().expect("metrics scrape");
+    server.shutdown().expect("shutdown");
+    text.lines()
+        .filter(|l| l.starts_with("gkbms_requests_total{"))
+        .filter_map(|l| l.rsplit(' ').next())
+        .filter_map(|v| v.parse::<f64>().ok())
+        .sum()
+}
+
+fn main() {
+    let rps_off = measure(false);
+    let rps_on = measure(true);
+    let overhead_pct = ((rps_off - rps_on) / rps_off * 100.0).max(0.0);
+    println!(
+        "{THREADS} client threads: {rps_off:.0} req/s uninstrumented, \
+         {rps_on:.0} req/s instrumented ({overhead_pct:.2}% overhead)"
+    );
+
+    // Prove the instrumentation is live, not just cheap.
+    obs::set_enabled(true);
+    let requests_total = scrape_requests_total();
+    assert!(
+        requests_total > 0.0,
+        "enabled run must move gkbms_requests_total, scraped {requests_total}"
+    );
+    println!("scraped gkbms_requests_total across ops: {requests_total:.0}");
+
+    assert!(
+        overhead_pct <= 5.0,
+        "instrumentation overhead {overhead_pct:.2}% exceeds the 5% budget"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"metrics_overhead\",\n  \"issue\": 3,\n  \
+         \"note\": \"BENCH_server 4-thread workload ({TOOL_WAIT_MS} ms tool wait + snapshot ASK over {INSTANCES} Paper instances, background TELL writer) run with obs recording disabled vs enabled; best of {TRIALS} trials per mode; budget is 5% overhead\",\n  \
+         \"client_threads\": {THREADS},\n  \"requests_per_thread\": {REQUESTS_PER_THREAD},\n  \
+         \"req_per_sec_uninstrumented\": {rps_off:.1},\n  \
+         \"req_per_sec_instrumented\": {rps_on:.1},\n  \
+         \"overhead_pct\": {overhead_pct:.2},\n  \
+         \"budget_pct\": 5.0\n}}\n"
+    );
+    std::fs::write("BENCH_metrics.json", &json).expect("write BENCH_metrics.json");
+    println!("wrote BENCH_metrics.json");
+}

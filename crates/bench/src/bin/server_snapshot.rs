@@ -119,7 +119,7 @@ fn main() {
              \"p50_ms\": {p50_ms:.3},\n      \"p99_ms\": {p99_ms:.3}\n    }}"
         ));
     }
-    server.shutdown();
+    server.shutdown().expect("shutdown");
 
     let json = format!(
         "{{\n  \"bench\": \"server\",\n  \"issue\": 2,\n  \

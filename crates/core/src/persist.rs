@@ -37,11 +37,16 @@ fn put_opt_str(out: &mut Vec<u8>, v: &Option<String>) {
     }
 }
 
-fn get_opt_str(c: &mut Cursor<'_>) -> Result<Option<String>, storage::StorageError> {
-    Ok(match c.get_u32()? {
-        0 => None,
-        _ => Some(c.get_str()?.to_string()),
-    })
+fn get_opt_str(c: &mut Cursor<'_>) -> GkbmsResult<Option<String>> {
+    match c.get_u32().map_err(telos::TelosError::Storage)? {
+        0 => Ok(None),
+        1 => Ok(Some(
+            c.get_str().map_err(telos::TelosError::Storage)?.to_string(),
+        )),
+        other => Err(GkbmsError::Unknown(format!(
+            "optional-string tag {other} in saved history"
+        ))),
+    }
 }
 
 fn put_str_list(out: &mut Vec<u8>, v: &[String]) {
@@ -243,16 +248,16 @@ impl Gkbms {
                 OP_OBJECT_CLASS => {
                     let name = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
                     let level = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
-                    let parent = get_opt_str(&mut c).map_err(telos::TelosError::Storage)?;
+                    let parent = get_opt_str(&mut c)?;
                     g.define_object_class(&name, &level, parent.as_deref())?;
                 }
                 OP_DECISION_CLASS => {
                     let name = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
-                    let specializes = get_opt_str(&mut c).map_err(telos::TelosError::Storage)?;
+                    let specializes = get_opt_str(&mut c)?;
                     let dim = dimension_from(c.get_u32().map_err(telos::TelosError::Storage)?)?;
                     let from = get_str_list(&mut c).map_err(telos::TelosError::Storage)?;
                     let to = get_str_list(&mut c).map_err(telos::TelosError::Storage)?;
-                    let pre = get_opt_str(&mut c).map_err(telos::TelosError::Storage)?;
+                    let pre = get_opt_str(&mut c)?;
                     let n = c.get_u32().map_err(telos::TelosError::Storage)? as usize;
                     let mut dc = DecisionClass::new(name, dim);
                     dc.specializes = specializes;
@@ -289,7 +294,7 @@ impl Gkbms {
                     let class = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
                     let name = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
                     let performer = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
-                    let tool = get_opt_str(&mut c).map_err(telos::TelosError::Storage)?;
+                    let tool = get_opt_str(&mut c)?;
                     let inputs = get_str_list(&mut c).map_err(telos::TelosError::Storage)?;
                     let n_out = c.get_u32().map_err(telos::TelosError::Storage)? as usize;
                     let mut req = DecisionRequest::new(&class, &name, &performer);
@@ -452,6 +457,55 @@ mod tests {
         // The untold object's propositions are preserved as history,
         // not destroyed: the KB has more propositions than believed.
         assert!(loaded.kb().len() > loaded.kb().believed_count());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn opt_str_roundtrips_and_rejects_bad_tags() {
+        for v in [None, Some(String::new()), Some("parent".to_string())] {
+            let mut buf = Vec::new();
+            put_opt_str(&mut buf, &v);
+            let mut c = Cursor::new(&buf);
+            assert_eq!(get_opt_str(&mut c).unwrap(), v);
+        }
+        // Any tag other than 0/1 is corruption, not an implicit Some.
+        for tag in [2u32, 7, u32::MAX] {
+            let mut buf = Vec::new();
+            codec::put_u32(&mut buf, tag);
+            codec::put_str(&mut buf, "payload");
+            let mut c = Cursor::new(&buf);
+            let err = get_opt_str(&mut c).unwrap_err();
+            assert!(
+                matches!(&err, GkbmsError::Unknown(m) if m.contains(&tag.to_string())),
+                "tag {tag}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_opt_str_tag_in_saved_history_is_rejected() {
+        let path = tmp("opt-tag");
+        // An OP_OBJECT_CLASS record whose parent tag is 2: the old
+        // decoder silently read it as Some, masking the corruption.
+        let mut p = Vec::new();
+        codec::put_u32(&mut p, OP_OBJECT_CLASS);
+        codec::put_str(&mut p, "Rogue");
+        codec::put_str(&mut p, "Implementation");
+        codec::put_u32(&mut p, 2);
+        codec::put_str(&mut p, kernel::DBPL_CONSTRUCTOR);
+        {
+            let mut log = AppendLog::open(&path).unwrap();
+            log.append(&p).unwrap();
+            log.sync().unwrap();
+        }
+        let err = match Gkbms::load(&path) {
+            Ok(_) => panic!("corrupt tag accepted"),
+            Err(e) => e,
+        };
+        assert!(
+            matches!(&err, GkbmsError::Unknown(m) if m.contains("optional-string tag 2")),
+            "{err}"
+        );
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -222,6 +222,8 @@ impl Gkbms {
         let tick = self.begin_write();
         objectbase::transform::tell_all(&mut self.kb, &frames)?;
         self.tell_log.push((tick, TellEvent::Tell(src.to_string())));
+        obs::counter!("gkbms_tells_total", "Frames TELLed into the knowledge base")
+            .add(frames.len() as u64);
         Ok(frames.len())
     }
 
@@ -232,6 +234,11 @@ impl Gkbms {
         let gone = objectbase::transform::untell_object(&mut self.kb, name)?;
         self.tell_log
             .push((tick, TellEvent::Untell(name.to_string())));
+        obs::counter!(
+            "gkbms_untells_total",
+            "Objects UNTELLed (belief intervals closed)"
+        )
+        .inc();
         Ok(gone.len())
     }
 
@@ -709,6 +716,16 @@ impl Gkbms {
             prop: decision,
         });
         self.graph_cache = None;
+        obs::counter!(
+            "gkbms_decisions_executed_total",
+            "Design decisions executed successfully"
+        )
+        .inc();
+        obs::counter!(
+            "gkbms_obligations_discharged_total",
+            "Proof obligations discharged (formally or by signature)"
+        )
+        .add(req.discharges.len() as u64);
         Ok(DecisionSummary {
             name: req.name.clone(),
             created: output_names,
@@ -788,6 +805,11 @@ impl Gkbms {
         let t = self.kb.tick();
         self.retraction_log.push((t, name.to_string()));
         self.graph_cache = None;
+        obs::counter!(
+            "gkbms_decisions_retracted_total",
+            "Design decisions retracted (explicit plus cascaded)"
+        )
+        .inc();
         Ok(affected)
     }
 

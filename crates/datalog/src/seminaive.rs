@@ -48,6 +48,37 @@ pub struct EvalStats {
     pub tuples_scanned: usize,
 }
 
+impl EvalStats {
+    /// Accumulates this evaluation's counters into the process-wide
+    /// [`obs`] registry, so the per-query numbers the engines already
+    /// report become cumulative service metrics.
+    pub fn publish(&self) {
+        obs::counter!(
+            "datalog_evaluations_total",
+            "Bottom-up evaluations (indexed or scan) completed"
+        )
+        .inc();
+        obs::counter!("datalog_rounds_total", "Fixpoint rounds across all strata")
+            .add(self.rounds as u64);
+        obs::counter!(
+            "datalog_derivations_total",
+            "Successful rule-body instantiations"
+        )
+        .add(self.derivations as u64);
+        obs::counter!("datalog_new_facts_total", "Facts newly derived").add(self.new_facts as u64);
+        obs::counter!(
+            "datalog_index_probes_total",
+            "Secondary-index probes issued by the join cores"
+        )
+        .add(self.index_probes as u64);
+        obs::counter!(
+            "datalog_tuples_scanned_total",
+            "Candidate tuples iterated while joining"
+        )
+        .add(self.tuples_scanned as u64);
+    }
+}
+
 // ---------------------------------------------------------------------
 // Compiled rules: the hash-join path.
 // ---------------------------------------------------------------------
@@ -360,6 +391,7 @@ pub fn evaluate(program: &Program, edb: &Database) -> DatalogResult<(Database, E
             delta = next;
         }
     }
+    stats.publish();
     Ok((total, stats))
 }
 
@@ -528,6 +560,7 @@ pub fn evaluate_scan(program: &Program, edb: &Database) -> DatalogResult<(Databa
             delta = next;
         }
     }
+    stats.publish();
     Ok((total, stats))
 }
 

@@ -171,6 +171,11 @@ impl<'a> TopDown<'a> {
         let key = Self::key_of(goal, env);
         if self.complete.contains(&key) {
             self.lemma_hits += 1;
+            obs::counter!(
+                "datalog_lemma_hits_total",
+                "Subgoals answered from a completed lemma table"
+            )
+            .inc();
         } else if let Some(at) = self.active_stack.iter().position(|k| *k == key) {
             // Recursive re-entry: serve current (partial) answers; the
             // enclosing fixpoint loop will pick up growth. Every key
@@ -198,9 +203,17 @@ impl<'a> TopDown<'a> {
                             }
                         })?;
                         let table = self.tables.entry(key.clone()).or_default();
+                        let mut tabled = 0u64;
                         for t in answers {
-                            table.insert(t);
+                            if table.insert(t) {
+                                tabled += 1;
+                            }
                         }
+                        obs::counter!(
+                            "datalog_lemmas_tabled_total",
+                            "Answer tuples added to lemma tables"
+                        )
+                        .add(tabled);
                     }
                 }
                 let after: usize = self.tables.values().map(|t| t.len()).sum();

@@ -225,6 +225,31 @@ fn ask_deductive<V: KbRead>(
     class: &str,
     body: &str,
 ) -> ObResult<(Vec<String>, EvalStats)> {
+    let start = std::time::Instant::now();
+    obs::counter!("objectbase_asks_total", "Deductive ASK queries evaluated").inc();
+    let result = ask_deductive_inner(view, edb, var, class, body);
+    obs::histogram!(
+        "objectbase_ask_seconds",
+        "Wall-clock latency of deductive ASK evaluation"
+    )
+    .observe(start.elapsed());
+    if result.is_err() {
+        obs::counter!(
+            "objectbase_ask_errors_total",
+            "Deductive ASK queries that failed (parse/eval errors)"
+        )
+        .inc();
+    }
+    result
+}
+
+fn ask_deductive_inner<V: KbRead>(
+    view: &V,
+    edb: Database,
+    var: &str,
+    class: &str,
+    body: &str,
+) -> ObResult<(Vec<String>, EvalStats)> {
     let expr = assertion::parse(body)?;
     if view.lookup(class).is_none() {
         return Err(TelosError::Assertion(format!("unknown class `{class}`")).into());

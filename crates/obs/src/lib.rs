@@ -1,0 +1,518 @@
+//! Operational telemetry for the GKBMS stack.
+//!
+//! The paper's GKBMS is "ex post … a documentation service" for system
+//! evolution; this crate documents the *service itself*: every hot
+//! boundary (request dispatch, deductive evaluation, storage, decision
+//! execution) records into a process-wide registry of lock-free
+//! metrics, and [`render_prometheus`] exposes the whole registry as
+//! Prometheus text exposition for scraping.
+//!
+//! # Design
+//!
+//! - **No external dependencies.** Counters and gauges are single
+//!   atomics; histograms are fixed-bucket atomic arrays. Nothing on a
+//!   record path takes a lock.
+//! - **Process-global registry.** Metrics are registered on first use
+//!   and live for the process lifetime (instances are leaked, exactly
+//!   like mainstream Prometheus client libraries). The
+//!   [`counter!`]/[`gauge!`]/[`histogram!`] macros cache the
+//!   `&'static` handle in a `OnceLock` per call site, so the name
+//!   lookup happens once and the steady-state cost is one atomic op.
+//! - **Names are Prometheus series**: a metric name may carry a label
+//!   suffix (`gkbms_requests_total{op="ask"}`); the renderer groups
+//!   series of one family under a single `# HELP`/`# TYPE` header.
+//! - **Disable switch.** [`set_enabled`] turns all recording into a
+//!   no-op (one relaxed load per call); the overhead benchmark uses it
+//!   to measure the instrumentation cost on a live workload.
+//!
+//! Because the registry is process-global, concurrently running tests
+//! share it: assertions must compare *deltas* around the exercised
+//! code path, never absolute values.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{OnceLock, RwLock};
+use std::time::Duration;
+
+/// Global recording switch (default on). See [`set_enabled`].
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Enables or disables all metric recording process-wide. Registration
+/// and reads keep working while disabled; only the record paths
+/// (`inc`/`add`/`set`/`observe`) become no-ops.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// True if metric recording is currently enabled.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub const fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        if enabled() {
+            self.0.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        if enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Upper bounds (inclusive) of the latency buckets, in microseconds.
+/// Spans 100 µs – 10 s, log-ish spaced; the final `+Inf` bucket is
+/// implicit. Fixed at compile time so a histogram is a plain atomic
+/// array with no allocation or locking on the observe path.
+pub const LATENCY_BUCKETS_US: [u64; 14] = [
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 1_000_000,
+    2_500_000, 10_000_000,
+];
+
+/// A fixed-bucket latency histogram (microsecond observations).
+#[derive(Debug)]
+pub struct Histogram {
+    /// One cumulative-style slot per bound, plus the +Inf overflow.
+    buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub const fn new() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; LATENCY_BUCKETS_US.len() + 1],
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one duration.
+    pub fn observe(&self, d: Duration) {
+        self.observe_micros(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Records one observation in microseconds.
+    pub fn observe_micros(&self, us: u64) {
+        if !enabled() {
+            return;
+        }
+        let slot = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        self.buckets[slot].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations, in microseconds.
+    pub fn sum_micros(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts (not cumulative), `+Inf` last.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+struct Entry {
+    help: &'static str,
+    metric: Metric,
+}
+
+/// The process-wide metric registry. Obtain it with [`registry`].
+pub struct Registry {
+    // BTreeMap so exposition is deterministically name-sorted; the map
+    // is only locked on registration and render, never on record.
+    entries: RwLock<BTreeMap<String, Entry>>,
+}
+
+/// The process-wide registry.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        entries: RwLock::new(BTreeMap::new()),
+    })
+}
+
+impl Registry {
+    fn lock_read(&self) -> std::sync::RwLockReadGuard<'_, BTreeMap<String, Entry>> {
+        self.entries.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_write(&self) -> std::sync::RwLockWriteGuard<'_, BTreeMap<String, Entry>> {
+        self.entries.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Returns the counter registered as `name` (a Prometheus series
+    /// name, optionally with labels), registering it on first use.
+    pub fn counter(&self, name: &str, help: &'static str) -> &'static Counter {
+        if let Some(Entry {
+            metric: Metric::Counter(c),
+            ..
+        }) = self.lock_read().get(name)
+        {
+            return c;
+        }
+        let mut entries = self.lock_write();
+        match entries
+            .entry(name.to_string())
+            .or_insert_with(|| Entry {
+                help,
+                metric: Metric::Counter(Box::leak(Box::new(Counter::new()))),
+            })
+            .metric
+        {
+            Metric::Counter(c) => c,
+            _ => panic!("metric `{name}` already registered with a different type"),
+        }
+    }
+
+    /// Returns the gauge registered as `name`, registering on first use.
+    pub fn gauge(&self, name: &str, help: &'static str) -> &'static Gauge {
+        if let Some(Entry {
+            metric: Metric::Gauge(g),
+            ..
+        }) = self.lock_read().get(name)
+        {
+            return g;
+        }
+        let mut entries = self.lock_write();
+        match entries
+            .entry(name.to_string())
+            .or_insert_with(|| Entry {
+                help,
+                metric: Metric::Gauge(Box::leak(Box::new(Gauge::new()))),
+            })
+            .metric
+        {
+            Metric::Gauge(g) => g,
+            _ => panic!("metric `{name}` already registered with a different type"),
+        }
+    }
+
+    /// Returns the histogram registered as `name`, registering on
+    /// first use.
+    pub fn histogram(&self, name: &str, help: &'static str) -> &'static Histogram {
+        if let Some(Entry {
+            metric: Metric::Histogram(h),
+            ..
+        }) = self.lock_read().get(name)
+        {
+            return h;
+        }
+        let mut entries = self.lock_write();
+        match entries
+            .entry(name.to_string())
+            .or_insert_with(|| Entry {
+                help,
+                metric: Metric::Histogram(Box::leak(Box::new(Histogram::new()))),
+            })
+            .metric
+        {
+            Metric::Histogram(h) => h,
+            _ => panic!("metric `{name}` already registered with a different type"),
+        }
+    }
+
+    /// The current value of a registered counter, or `None`.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        match self.lock_read().get(name)?.metric {
+            Metric::Counter(c) => Some(c.get()),
+            _ => None,
+        }
+    }
+
+    /// The current value of a registered gauge, or `None`.
+    pub fn gauge_value(&self, name: &str) -> Option<i64> {
+        match self.lock_read().get(name)?.metric {
+            Metric::Gauge(g) => Some(g.get()),
+            _ => None,
+        }
+    }
+}
+
+/// Splits `series` into `(family, labels)`:
+/// `a_total{op="ask"}` → `("a_total", Some("op=\"ask\""))`.
+fn split_series(series: &str) -> (&str, Option<&str>) {
+    match series.split_once('{') {
+        Some((fam, rest)) => (fam, rest.strip_suffix('}').or(Some(rest))),
+        None => (series, None),
+    }
+}
+
+/// Renders the whole registry in Prometheus text exposition format
+/// (version 0.0.4): `# HELP` / `# TYPE` per family, then one line per
+/// series. Histograms expose cumulative `_bucket{le=…}` series plus
+/// `_sum` (seconds) and `_count`.
+pub fn render_prometheus() -> String {
+    let entries = registry().lock_read();
+    let mut out = String::new();
+    let mut last_family = "";
+    for (name, entry) in entries.iter() {
+        let (family, labels) = split_series(name);
+        if family != last_family {
+            let kind = match entry.metric {
+                Metric::Counter(_) => "counter",
+                Metric::Gauge(_) => "gauge",
+                Metric::Histogram(_) => "histogram",
+            };
+            let _ = writeln!(out, "# HELP {family} {}", entry.help);
+            let _ = writeln!(out, "# TYPE {family} {kind}");
+            last_family = family;
+        }
+        match entry.metric {
+            Metric::Counter(c) => {
+                let _ = writeln!(out, "{name} {}", c.get());
+            }
+            Metric::Gauge(g) => {
+                let _ = writeln!(out, "{name} {}", g.get());
+            }
+            Metric::Histogram(h) => {
+                let mut cumulative = 0u64;
+                for (i, count) in h.bucket_counts().iter().enumerate() {
+                    cumulative += count;
+                    let le = match LATENCY_BUCKETS_US.get(i) {
+                        Some(&b) => format!("{}", b as f64 / 1e6),
+                        None => "+Inf".to_string(),
+                    };
+                    let series = match labels {
+                        Some(l) => format!("{family}_bucket{{{l},le=\"{le}\"}}"),
+                        None => format!("{family}_bucket{{le=\"{le}\"}}"),
+                    };
+                    let _ = writeln!(out, "{series} {cumulative}");
+                }
+                let suffix = |part: &str| match labels {
+                    Some(l) => format!("{family}_{part}{{{l}}}"),
+                    None => format!("{family}_{part}"),
+                };
+                let _ = writeln!(out, "{} {}", suffix("sum"), h.sum_micros() as f64 / 1e6);
+                let _ = writeln!(out, "{} {}", suffix("count"), h.count());
+            }
+        }
+    }
+    out
+}
+
+/// Registers (on first use) and returns a `&'static` [`Counter`],
+/// caching the handle per call site so the registry lookup runs once.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr, $help:expr) => {{
+        static HANDLE: std::sync::OnceLock<&'static $crate::Counter> = std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::registry().counter($name, $help))
+    }};
+}
+
+/// Registers (on first use) and returns a `&'static` [`Gauge`],
+/// caching the handle per call site.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr, $help:expr) => {{
+        static HANDLE: std::sync::OnceLock<&'static $crate::Gauge> = std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::registry().gauge($name, $help))
+    }};
+}
+
+/// Registers (on first use) and returns a `&'static` [`Histogram`],
+/// caching the handle per call site.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr, $help:expr) => {{
+        static HANDLE: std::sync::OnceLock<&'static $crate::Histogram> = std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::registry().histogram($name, $help))
+    }};
+}
+
+/// Measures the elapsed time of `f` into `h` and returns `f`'s value
+/// along with the duration.
+pub fn time<R>(h: &Histogram, f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = std::time::Instant::now();
+    let out = f();
+    let elapsed = start.elapsed();
+    h.observe(elapsed);
+    (out, elapsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share_identity() {
+        let a = registry().counter("obs_test_counter_total", "test");
+        let before = a.get();
+        a.inc();
+        a.add(4);
+        assert_eq!(a.get(), before + 5);
+        // Same name → same instance.
+        let b = registry().counter("obs_test_counter_total", "test");
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(
+            registry().counter_value("obs_test_counter_total"),
+            Some(a.get())
+        );
+    }
+
+    #[test]
+    fn gauges_move_both_ways() {
+        let g = registry().gauge("obs_test_gauge", "test");
+        g.set(7);
+        assert_eq!(g.get(), 7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+    }
+
+    #[test]
+    fn histogram_buckets_observations() {
+        let h = registry().histogram("obs_test_hist_seconds", "test");
+        let before = h.count();
+        h.observe_micros(50); // first bucket (<= 100 µs)
+        h.observe_micros(900); // <= 1000 µs
+        h.observe_micros(99_000_000); // +Inf
+        assert_eq!(h.count(), before + 3);
+        let counts = h.bucket_counts();
+        assert!(counts[0] >= 1);
+        assert!(counts[LATENCY_BUCKETS_US.len()] >= 1, "+Inf overflow");
+        assert!(h.sum_micros() >= 99_000_950);
+    }
+
+    #[test]
+    fn macros_cache_per_call_site() {
+        let c = counter!("obs_test_macro_total", "test");
+        let before = c.get();
+        for _ in 0..10 {
+            counter!("obs_test_macro_total", "test").inc();
+        }
+        assert_eq!(c.get(), before + 10);
+    }
+
+    #[test]
+    fn disabled_recording_is_a_no_op() {
+        let c = registry().counter("obs_test_disabled_total", "test");
+        let h = registry().histogram("obs_test_disabled_seconds", "test");
+        let (c0, h0) = (c.get(), h.count());
+        set_enabled(false);
+        c.inc();
+        h.observe_micros(5);
+        set_enabled(true);
+        assert_eq!(c.get(), c0);
+        assert_eq!(h.count(), h0);
+        c.inc();
+        assert_eq!(c.get(), c0 + 1);
+    }
+
+    #[test]
+    fn prometheus_rendering_groups_families() {
+        registry()
+            .counter("obs_test_fam_total{op=\"ask\"}", "per-op test counter")
+            .inc();
+        registry()
+            .counter("obs_test_fam_total{op=\"tell\"}", "per-op test counter")
+            .inc();
+        registry()
+            .histogram("obs_test_fam_seconds{op=\"ask\"}", "per-op test latency")
+            .observe_micros(300);
+        let text = render_prometheus();
+        // One header per family, even with several labelled series.
+        assert_eq!(text.matches("# TYPE obs_test_fam_total counter").count(), 1);
+        assert!(text.contains("obs_test_fam_total{op=\"ask\"} "));
+        assert!(text.contains("obs_test_fam_total{op=\"tell\"} "));
+        // Histogram series carry both the op label and le.
+        assert!(text.contains("obs_test_fam_seconds_bucket{op=\"ask\",le=\"+Inf\"}"));
+        assert!(text.contains("obs_test_fam_seconds_count{op=\"ask\"}"));
+        // Buckets are cumulative: the +Inf bucket equals the count.
+        let count_line = text
+            .lines()
+            .find(|l| l.starts_with("obs_test_fam_seconds_count{op=\"ask\"}"))
+            .unwrap();
+        let inf_line = text
+            .lines()
+            .find(|l| l.contains("obs_test_fam_seconds_bucket{op=\"ask\",le=\"+Inf\"}"))
+            .unwrap();
+        assert_eq!(
+            count_line.split_whitespace().last(),
+            inf_line.split_whitespace().last()
+        );
+    }
+
+    #[test]
+    fn split_series_parses_labels() {
+        assert_eq!(split_series("a_total"), ("a_total", None));
+        assert_eq!(
+            split_series("a_total{op=\"x\"}"),
+            ("a_total", Some("op=\"x\""))
+        );
+    }
+}

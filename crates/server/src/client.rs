@@ -9,6 +9,7 @@
 use crate::proto::{self, ErrorCode, FrameRead, Request, Response, WireDecision};
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 /// What the server said when it refused a request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,7 +28,8 @@ impl std::fmt::Display for ServerError {
 
 impl std::error::Error for ServerError {}
 
-/// A client-side failure: transport, protocol, or a typed server error.
+/// A client-side failure: transport, protocol, timeout, or a typed
+/// server error.
 #[derive(Debug)]
 pub enum ClientError {
     /// Socket-level failure (includes the server closing mid-call).
@@ -35,6 +37,9 @@ pub enum ClientError {
     /// The peer sent a frame that does not decode, or a response of
     /// the wrong shape for the request.
     Protocol(String),
+    /// The server accepted the connection but produced no response
+    /// within the configured read timeout.
+    Timeout(Duration),
     /// The server answered with a typed error.
     Server(ServerError),
 }
@@ -44,6 +49,9 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "i/o error: {e}"),
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Timeout(t) => {
+                write!(f, "no response within {} ms", t.as_millis())
+            }
             ClientError::Server(e) => write!(f, "server error: {e}"),
         }
     }
@@ -90,32 +98,94 @@ pub struct SessionStats {
     pub scanned: u64,
 }
 
+/// Default per-call read timeout; see [`Client::connect_with_timeout`].
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(5);
+
 /// One connection to a GKBMS server.
 pub struct Client {
     stream: TcpStream,
+    read_timeout: Duration,
 }
 
 impl Client {
-    /// Connects to `addr`.
+    /// Connects to `addr` with the [`DEFAULT_READ_TIMEOUT`]: a stalled
+    /// server fails each call with [`ClientError::Timeout`] instead of
+    /// blocking the client forever.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        Client::connect_with_timeout(addr, DEFAULT_READ_TIMEOUT)
+    }
+
+    /// Connects to `addr` with an explicit per-call read timeout.
+    /// `Duration::ZERO` disables the timeout (reads block forever).
+    pub fn connect_with_timeout<A: ToSocketAddrs>(
+        addr: A,
+        read_timeout: Duration,
+    ) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
-        Ok(Client { stream })
+        let mut client = Client {
+            stream,
+            read_timeout: Duration::ZERO,
+        };
+        client.set_read_timeout(read_timeout)?;
+        Ok(client)
+    }
+
+    /// Changes the per-call read timeout (`Duration::ZERO` disables
+    /// it). The socket polls in slices of roughly `read_timeout` /
+    /// [`proto::MID_FRAME_TIMEOUT_RETRIES`], mirroring the server's
+    /// tolerance for a peer that stalls mid-frame.
+    pub fn set_read_timeout(&mut self, read_timeout: Duration) -> io::Result<()> {
+        self.read_timeout = read_timeout;
+        let slice = if read_timeout.is_zero() {
+            None
+        } else {
+            Some(
+                (read_timeout / proto::MID_FRAME_TIMEOUT_RETRIES)
+                    .clamp(Duration::from_millis(10), Duration::from_secs(1)),
+            )
+        };
+        self.stream.set_read_timeout(slice)
+    }
+
+    /// The configured per-call read timeout (zero = none).
+    pub fn read_timeout(&self) -> Duration {
+        self.read_timeout
     }
 
     /// Sends `req` and reads the matching response. The protocol is
     /// strictly request/response per connection, so ordering is trivial.
+    /// With a read timeout configured, a server that accepts the
+    /// request but never answers yields [`ClientError::Timeout`].
     pub fn roundtrip(&mut self, req: &Request) -> ClientResult<Response> {
         proto::write_frame(&mut self.stream, &req.encode())?;
-        match proto::read_frame(&mut self.stream)? {
-            FrameRead::Frame(payload) => {
-                Response::decode(&payload).map_err(|e| ClientError::Protocol(e.to_string()))
+        let deadline = (!self.read_timeout.is_zero()).then(|| Instant::now() + self.read_timeout);
+        loop {
+            match proto::read_frame(&mut self.stream) {
+                Ok(FrameRead::Frame(payload)) => {
+                    return Response::decode(&payload)
+                        .map_err(|e| ClientError::Protocol(e.to_string()))
+                }
+                Ok(FrameRead::Eof) => {
+                    return Err(ClientError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    )))
+                }
+                Ok(FrameRead::Idle) => match deadline {
+                    Some(d) if Instant::now() >= d => {
+                        return Err(ClientError::Timeout(self.read_timeout))
+                    }
+                    // Idle without a timeout configured cannot happen
+                    // (the read blocks); with one, keep polling.
+                    _ => {}
+                },
+                // A mid-frame stall exhausted its bounded retries.
+                Err(e) if e.kind() == io::ErrorKind::TimedOut => {
+                    return Err(ClientError::Timeout(self.read_timeout))
+                }
+                Err(e) => return Err(e.into()),
             }
-            FrameRead::Eof => Err(ClientError::Io(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            ))),
-            FrameRead::Idle => Err(ClientError::Protocol("unexpected idle read".into())),
         }
     }
 
@@ -344,6 +414,16 @@ impl Client {
     /// Begins graceful server shutdown.
     pub fn shutdown_server(&mut self, session: u64) -> ClientResult<String> {
         self.done(&Request::Shutdown { session })
+    }
+
+    /// Scrapes the server's metrics registry (Prometheus text format).
+    /// Sessionless and admission-exempt, so it works on a saturated
+    /// server.
+    pub fn metrics(&mut self) -> ClientResult<String> {
+        match self.expect(&Request::Metrics)? {
+            Response::Metrics { text } => Ok(text),
+            other => Err(shape("Metrics", &other)),
+        }
     }
 }
 

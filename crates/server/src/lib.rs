@@ -21,9 +21,11 @@ pub mod proto;
 pub mod server;
 pub mod session;
 
-pub use client::{AskReply, Client, ClientError, ClientResult, ServerError, SessionStats};
+pub use client::{
+    AskReply, Client, ClientError, ClientResult, ServerError, SessionStats, DEFAULT_READ_TIMEOUT,
+};
 pub use proto::{ErrorCode, Request, Response, WireDecision, WireDischarge};
-pub use server::{Config, Server};
+pub use server::{Config, JoinError, Server, SlowQuery};
 
 #[cfg(test)]
 mod tests {
@@ -65,7 +67,7 @@ mod tests {
         let frame = c.show(session, "inv1").unwrap();
         assert!(frame.contains("inv1"));
         c.bye(session).unwrap();
-        srv.shutdown();
+        srv.shutdown().unwrap();
     }
 
     #[test]
@@ -93,7 +95,7 @@ mod tests {
         reader.refresh(r).unwrap();
         let fresh = reader.ask(r, "p", "Paper", "true").unwrap();
         assert_eq!(fresh.answers, vec!["p1", "p2"]);
-        srv.shutdown();
+        srv.shutdown().unwrap();
     }
 
     #[test]
@@ -114,7 +116,7 @@ mod tests {
             Err(ClientError::Server(e)) => assert_eq!(e.code, ErrorCode::SessionExpired),
             other => panic!("unexpected {other:?}"),
         }
-        srv.shutdown();
+        srv.shutdown().unwrap();
     }
 
     #[test]
@@ -143,7 +145,7 @@ mod tests {
             Err(ClientError::Server(e)) => assert_eq!(e.code, ErrorCode::Rejected),
             other => panic!("unexpected {other:?}"),
         }
-        srv.shutdown();
+        srv.shutdown().unwrap();
     }
 
     #[test]
@@ -165,7 +167,7 @@ mod tests {
             Err(ClientError::Io(_)) => {} // connection already drained
             other => panic!("unexpected {other:?}"),
         }
-        srv.join();
+        srv.join().unwrap();
     }
 
     #[test]
@@ -174,7 +176,7 @@ mod tests {
         let mut c = Client::connect(addr).unwrap();
         let (s, _) = c.hello().unwrap();
         c.tell(s, "TELL Paper end\nTELL p1 in Paper end").unwrap();
-        let g = srv.shutdown();
+        let g = srv.shutdown().unwrap();
         assert!(g.kb().lookup("p1").is_some());
         assert!(g.kb().lookup("Paper").is_some());
     }

@@ -55,6 +55,7 @@
 //! | 19 | `Sleep`              | `session:u64 millis:u64` (diagnostic)      |
 //! | 20 | `RegisterObject`     | `session:u64 name:str class:str source:str`|
 //! | 21 | `Status`             | `session:u64`                              |
+//! | 22 | `Metrics`            | —                                          |
 //!
 //! The `Execute` decision request is encoded as:
 //!
@@ -77,6 +78,7 @@
 //! |  5 | `Table`       | `text:str` (rendered table / frame text)         |
 //! |  6 | `SessionInfo` | `session:u64 watermark:i64 kb_now:i64 requests:u64 believed:u64 probes:u64 scanned:u64` |
 //! |  7 | `Error`       | `code:u32 message:str`                           |
+//! |  8 | `Metrics`     | `text:str` (Prometheus text exposition)          |
 //! |
 //!
 //! `Names.probes`/`Names.scanned` carry the deductive [`EvalStats`]
@@ -108,6 +110,9 @@
 //! `Shutdown`) bypass the gate so a saturated server can still be
 //! inspected and stopped. After shutdown begins, in-flight requests
 //! drain normally and subsequent ones get [`ErrorCode::ShuttingDown`].
+//! `Metrics` is also a control request: a saturated server must still
+//! be scrapable, otherwise the one moment observability matters most
+//! is the one moment it goes dark.
 
 use std::io::{self, Read, Write};
 use storage::record::{self, codec};
@@ -286,6 +291,9 @@ pub enum Request {
         /// Issuing session.
         session: u64,
     },
+    /// Scrape the server's metrics registry (Prometheus text format).
+    /// Sessionless and admission-exempt, like `Ping`.
+    Metrics,
 }
 
 /// Typed error codes carried by [`Response::Error`].
@@ -396,6 +404,11 @@ pub enum Response {
         /// Human-readable detail.
         message: String,
     },
+    /// Metrics scrape result (Prometheus text exposition format).
+    Metrics {
+        /// The rendered exposition text.
+        text: String,
+    },
 }
 
 const REQ_HELLO: u32 = 1;
@@ -419,6 +432,7 @@ const REQ_SHUTDOWN: u32 = 18;
 const REQ_SLEEP: u32 = 19;
 const REQ_REGISTER: u32 = 20;
 const REQ_STATUS: u32 = 21;
+const REQ_METRICS: u32 = 22;
 
 const RESP_WELCOME: u32 = 1;
 const RESP_DONE: u32 = 2;
@@ -427,6 +441,7 @@ const RESP_TRUTH: u32 = 4;
 const RESP_TABLE: u32 = 5;
 const RESP_SESSION_INFO: u32 = 6;
 const RESP_ERROR: u32 = 7;
+const RESP_METRICS: u32 = 8;
 
 /// Decode failure: the payload did not parse as a valid message.
 #[derive(Debug)]
@@ -640,6 +655,7 @@ impl Request {
                 codec::put_u32(&mut out, REQ_STATUS);
                 codec::put_u64(&mut out, *session);
             }
+            Request::Metrics => codec::put_u32(&mut out, REQ_METRICS),
         }
         out
     }
@@ -725,6 +741,7 @@ impl Request {
             REQ_STATUS => Request::Status {
                 session: c.get_u64()?,
             },
+            REQ_METRICS => Request::Metrics,
             op => return Err(DecodeError(format!("unknown request opcode {op}"))),
         };
         if !c.is_exhausted() {
@@ -736,7 +753,7 @@ impl Request {
     /// The session id this request claims, if any.
     pub fn session(&self) -> Option<u64> {
         match self {
-            Request::Hello | Request::Ping => None,
+            Request::Hello | Request::Ping | Request::Metrics => None,
             Request::Bye { session }
             | Request::Refresh { session }
             | Request::Tell { session, .. }
@@ -760,12 +777,45 @@ impl Request {
     }
 
     /// True for control requests that bypass the admission gate so a
-    /// saturated or draining server can still be managed.
+    /// saturated or draining server can still be managed (and scraped).
     pub fn is_control(&self) -> bool {
         matches!(
             self,
-            Request::Hello | Request::Bye { .. } | Request::Ping | Request::Shutdown { .. }
+            Request::Hello
+                | Request::Bye { .. }
+                | Request::Ping
+                | Request::Shutdown { .. }
+                | Request::Metrics
         )
+    }
+
+    /// Stable lower-case operation name, used as the `op` label of the
+    /// server's per-request metrics.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Request::Hello => "hello",
+            Request::Bye { .. } => "bye",
+            Request::Refresh { .. } => "refresh",
+            Request::Ping => "ping",
+            Request::Tell { .. } => "tell",
+            Request::Untell { .. } => "untell",
+            Request::Ask { .. } => "ask",
+            Request::Holds { .. } => "holds",
+            Request::Show { .. } => "show",
+            Request::ApplicableDecisions { .. } => "applicable",
+            Request::Execute { .. } => "execute",
+            Request::RetractDecision { .. } => "retract",
+            Request::History { .. } => "history",
+            Request::ObjectHistory { .. } => "object_history",
+            Request::SessionStats { .. } => "session_stats",
+            Request::Save { .. } => "save",
+            Request::Load { .. } => "load",
+            Request::Shutdown { .. } => "shutdown",
+            Request::Sleep { .. } => "sleep",
+            Request::RegisterObject { .. } => "register",
+            Request::Status { .. } => "status",
+            Request::Metrics => "metrics",
+        }
     }
 }
 
@@ -827,6 +877,10 @@ impl Response {
                 codec::put_u32(&mut out, *code as u32);
                 codec::put_str(&mut out, message);
             }
+            Response::Metrics { text } => {
+                codec::put_u32(&mut out, RESP_METRICS);
+                codec::put_str(&mut out, text);
+            }
         }
         out
     }
@@ -881,6 +935,9 @@ impl Response {
                     message: c.get_str()?.to_string(),
                 }
             }
+            RESP_METRICS => Response::Metrics {
+                text: c.get_str()?.to_string(),
+            },
             op => return Err(DecodeError(format!("unknown response opcode {op}"))),
         };
         if !c.is_exhausted() {
@@ -910,8 +967,9 @@ pub enum FrameRead {
 
 /// How many consecutive mid-frame timeouts to tolerate before giving
 /// up on a half-sent frame (protects shutdown drain from a stalled
-/// peer; with the server's 100 ms poll interval this is ~5 s).
-const MID_FRAME_TIMEOUT_RETRIES: u32 = 50;
+/// peer; with the server's 100 ms poll interval this is ~5 s). The
+/// client divides its read timeout by this to size its poll slice.
+pub const MID_FRAME_TIMEOUT_RETRIES: u32 = 50;
 
 fn is_timeout(e: &io::Error) -> bool {
     matches!(
@@ -1067,6 +1125,7 @@ mod tests {
             source: "the spec text".into(),
         });
         roundtrip_req(Request::Status { session: 6 });
+        roundtrip_req(Request::Metrics);
     }
 
     #[test]
@@ -1137,6 +1196,9 @@ mod tests {
             code: ErrorCode::Overloaded,
             message: "64 requests in flight".into(),
         });
+        roundtrip_resp(Response::Metrics {
+            text: "# TYPE gkbms_requests_total counter\n".into(),
+        });
     }
 
     #[test]
@@ -1190,6 +1252,7 @@ mod tests {
         assert!(Request::Ping.is_control());
         assert!(Request::Bye { session: 1 }.is_control());
         assert!(Request::Shutdown { session: 1 }.is_control());
+        assert!(Request::Metrics.is_control());
         assert!(!Request::Tell {
             session: 1,
             src: String::new()

@@ -17,7 +17,17 @@
 //! the bound the server answers `Overloaded` immediately, without
 //! queueing — the bounded "queue" is the set of in-flight requests,
 //! and backpressure is pushed to the client. Control requests
-//! (`Hello`, `Bye`, `Ping`, `Shutdown`) bypass the gate.
+//! (`Hello`, `Bye`, `Ping`, `Shutdown`, `Metrics`) bypass the gate.
+//!
+//! # Observability
+//!
+//! Every dispatched request lands in the process-wide [`obs`]
+//! registry: per-op request counters and latency histograms, bytes
+//! in/out, admission-gate rejections, writer-lock wait time, session
+//! lifecycle counts. The registry is scraped with a `Metrics` frame
+//! (or `\metrics` in cbshell) and rendered in Prometheus text format.
+//! ASKs slower than [`Config::slow_query_threshold`] additionally
+//! land in a bounded slow-query log ([`Server::slow_queries`]).
 //!
 //! # Shutdown
 //!
@@ -32,12 +42,14 @@ use crate::proto::{self, ErrorCode, FrameRead, Request, Response, WireDischarge}
 use crate::session::{SessionErr, SessionTable};
 use gkbms::{DecisionRequest, Discharge, Gkbms};
 use objectbase::transform::frame_of;
+use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+use storage::record::HEADER_LEN;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -53,6 +65,9 @@ pub struct Config {
     /// Upper bound on the diagnostic `Sleep` request, so a misbehaving
     /// client cannot park an admission slot indefinitely.
     pub max_sleep: Duration,
+    /// ASKs taking at least this long land in the slow-query log (and
+    /// bump `gkbms_slow_queries_total`). `None` disables the log.
+    pub slow_query_threshold: Option<Duration>,
 }
 
 impl Default for Config {
@@ -62,15 +77,40 @@ impl Default for Config {
             idle_timeout: Duration::from_secs(300),
             poll_interval: Duration::from_millis(100),
             max_sleep: Duration::from_secs(30),
+            slow_query_threshold: Some(Duration::from_millis(250)),
         }
     }
 }
+
+/// One entry of the slow-query log: an ASK that crossed
+/// [`Config::slow_query_threshold`], with its evaluation statistics.
+#[derive(Debug, Clone)]
+pub struct SlowQuery {
+    /// The query as issued (`ASK var/class WHERE expr`).
+    pub source: String,
+    /// Wall-clock evaluation time.
+    pub duration: Duration,
+    /// Semi-naive rounds of the evaluation.
+    pub rounds: u64,
+    /// Facts derived (including duplicates).
+    pub derivations: u64,
+    /// Genuinely new facts.
+    pub new_facts: u64,
+    /// Index probes performed.
+    pub index_probes: u64,
+    /// Tuples scanned.
+    pub tuples_scanned: u64,
+}
+
+/// Bound on the slow-query ring: old entries fall off the front.
+const SLOW_LOG_CAP: usize = 64;
 
 struct Shared {
     state: RwLock<Gkbms>,
     sessions: Mutex<SessionTable>,
     inflight: AtomicUsize,
     shutdown: AtomicBool,
+    slow_log: Mutex<VecDeque<SlowQuery>>,
     cfg: Config,
     addr: SocketAddr,
 }
@@ -102,6 +142,7 @@ impl Server {
             sessions: Mutex::new(SessionTable::new(cfg.idle_timeout)),
             inflight: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
+            slow_log: Mutex::new(VecDeque::new()),
             cfg,
             addr: local,
         });
@@ -131,24 +172,72 @@ impl Server {
         begin_shutdown(&self.shared);
     }
 
+    /// The slow-query log, oldest first (bounded; see
+    /// [`Config::slow_query_threshold`]).
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        let log = self
+            .shared
+            .slow_log
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        log.iter().cloned().collect()
+    }
+
     /// Blocks until shutdown has been initiated (locally or by a
     /// `Shutdown` frame) and everything has drained, then returns the
-    /// final knowledge base.
-    pub fn join(mut self) -> Gkbms {
+    /// final knowledge base. Fails with a typed [`JoinError`] — never
+    /// a panic — if a handler thread outlives the drain grace period.
+    pub fn join(mut self) -> Result<Gkbms, JoinError> {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
-        let shared = Arc::try_unwrap(self.shared)
-            .unwrap_or_else(|_| panic!("connection threads outlived join"));
-        shared.state.into_inner().unwrap_or_else(|e| e.into_inner())
+        // The accept loop joins every handler before exiting, so the
+        // remaining Arc references are gone or about to be; give
+        // stragglers a short grace period instead of panicking.
+        let mut shared = self.shared;
+        for _ in 0..JOIN_GRACE_ROUNDS {
+            match Arc::try_unwrap(shared) {
+                Ok(s) => return Ok(s.state.into_inner().unwrap_or_else(|e| e.into_inner())),
+                Err(still_shared) => {
+                    shared = still_shared;
+                    std::thread::sleep(JOIN_GRACE_STEP);
+                }
+            }
+        }
+        Err(JoinError::ConnectionsOutlivedJoin)
     }
 
     /// [`Server::initiate_shutdown`] then [`Server::join`].
-    pub fn shutdown(self) -> Gkbms {
+    pub fn shutdown(self) -> Result<Gkbms, JoinError> {
         self.initiate_shutdown();
         self.join()
     }
 }
+
+/// How many [`JOIN_GRACE_STEP`]-long rounds [`Server::join`] waits for
+/// connection threads to release the shared state (~2 s total).
+const JOIN_GRACE_ROUNDS: u32 = 200;
+const JOIN_GRACE_STEP: Duration = Duration::from_millis(10);
+
+/// Failure to recover the knowledge base on [`Server::join`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinError {
+    /// Connection threads still referenced the server state after the
+    /// drain grace period; the knowledge base cannot be handed back.
+    ConnectionsOutlivedJoin,
+}
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JoinError::ConnectionsOutlivedJoin => {
+                f.write_str("connection threads outlived join; state still shared")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
 
 fn begin_shutdown(shared: &Shared) {
     shared.shutdown.store(true, Ordering::SeqCst);
@@ -188,8 +277,19 @@ fn handle_conn(mut stream: TcpStream, shared: &Shared) {
     loop {
         match proto::read_frame(&mut stream) {
             Ok(FrameRead::Frame(payload)) => {
+                obs::counter!(
+                    "gkbms_bytes_read_total",
+                    "Request bytes received, including frame headers"
+                )
+                .add((payload.len() + HEADER_LEN) as u64);
                 let (resp, shutdown_after) = process(shared, &payload);
-                if proto::write_frame(&mut stream, &resp.encode()).is_err() {
+                let encoded = resp.encode();
+                obs::counter!(
+                    "gkbms_bytes_written_total",
+                    "Response bytes sent, including frame headers"
+                )
+                .add((encoded.len() + HEADER_LEN) as u64);
+                if proto::write_frame(&mut stream, &encoded).is_err() {
                     break;
                 }
                 if shutdown_after {
@@ -223,10 +323,48 @@ fn session_err(e: SessionErr, id: u64) -> Response {
 /// Handles one decoded frame. The bool asks the caller to begin
 /// shutdown *after* the response has been written.
 fn process(shared: &Shared, payload: &[u8]) -> (Response, bool) {
+    let started = Instant::now();
     let req = match Request::decode(payload) {
         Ok(r) => r,
-        Err(e) => return (err(ErrorCode::BadRequest, e.to_string()), false),
+        Err(e) => {
+            obs::counter!(
+                "gkbms_bad_requests_total",
+                "Frames that failed to decode as a request"
+            )
+            .inc();
+            return (err(ErrorCode::BadRequest, e.to_string()), false);
+        }
     };
+    let op = req.op_name();
+    let result = process_decoded(shared, req);
+    if obs::enabled() {
+        let reg = obs::registry();
+        reg.counter(
+            &format!("gkbms_requests_total{{op=\"{op}\"}}"),
+            "Requests dispatched, by operation",
+        )
+        .inc();
+        reg.histogram(
+            &format!("gkbms_request_seconds{{op=\"{op}\"}}"),
+            "Request handling latency, by operation",
+        )
+        .observe(started.elapsed());
+        if let Response::Error {
+            code: ErrorCode::Overloaded,
+            ..
+        } = &result.0
+        {
+            obs::counter!(
+                "gkbms_overloaded_total",
+                "Requests rejected at the admission gate"
+            )
+            .inc();
+        }
+    }
+    result
+}
+
+fn process_decoded(shared: &Shared, req: Request) -> (Response, bool) {
     let draining = shared.shutdown.load(Ordering::SeqCst);
     if req.is_control() {
         return control(shared, req, draining);
@@ -255,6 +393,12 @@ fn control(shared: &Shared, req: Request, draining: bool) -> (Response, bool) {
         Request::Ping => (
             Response::Done {
                 text: "pong".into(),
+            },
+            false,
+        ),
+        Request::Metrics => (
+            Response::Metrics {
+                text: obs::render_prometheus(),
             },
             false,
         ),
@@ -303,7 +447,14 @@ fn read_state(shared: &Shared) -> std::sync::RwLockReadGuard<'_, Gkbms> {
 }
 
 fn write_state(shared: &Shared) -> std::sync::RwLockWriteGuard<'_, Gkbms> {
-    shared.state.write().unwrap_or_else(|e| e.into_inner())
+    let waited = Instant::now();
+    let guard = shared.state.write().unwrap_or_else(|e| e.into_inner());
+    obs::histogram!(
+        "gkbms_writer_lock_wait_seconds",
+        "Time spent waiting to acquire the single-writer state lock"
+    )
+    .observe(waited.elapsed());
+    guard
 }
 
 /// Touches the session and returns its watermark, bumping counters.
@@ -312,6 +463,35 @@ fn touch(shared: &Shared, id: u64) -> Result<i64, Response> {
         .touch(id)
         .map(|s| s.watermark)
         .map_err(|e| session_err(e, id))
+}
+
+/// Appends an over-threshold ASK to the bounded slow-query ring.
+fn record_slow_query(
+    shared: &Shared,
+    var: &str,
+    class: &str,
+    expr: &str,
+    duration: Duration,
+    stats: &datalog::seminaive::EvalStats,
+) {
+    obs::counter!(
+        "gkbms_slow_queries_total",
+        "ASKs that crossed the slow-query threshold"
+    )
+    .inc();
+    let mut log = shared.slow_log.lock().unwrap_or_else(|e| e.into_inner());
+    if log.len() >= SLOW_LOG_CAP {
+        log.pop_front();
+    }
+    log.push_back(SlowQuery {
+        source: format!("ASK {var}/{class} WHERE {expr}"),
+        duration,
+        rounds: stats.rounds as u64,
+        derivations: stats.derivations as u64,
+        new_facts: stats.new_facts as u64,
+        index_probes: stats.index_probes as u64,
+        tuples_scanned: stats.tuples_scanned as u64,
+    });
 }
 
 fn names(list: Vec<String>) -> Response {
@@ -367,12 +547,21 @@ fn dispatch(shared: &Shared, req: Request) -> Response {
                 Ok(w) => w,
                 Err(resp) => return resp,
             };
+            let started = Instant::now();
             let result = {
                 let g = read_state(shared);
                 objectbase::query::ask_with_stats_at(g.kb(), watermark, &var, &class, &expr)
             };
+            let elapsed = started.elapsed();
             match result {
                 Ok((answers, stats)) => {
+                    if shared
+                        .cfg
+                        .slow_query_threshold
+                        .is_some_and(|t| elapsed >= t)
+                    {
+                        record_slow_query(shared, &var, &class, &expr, elapsed, &stats);
+                    }
                     if let Ok(s) = lock_sessions(shared).touch(session) {
                         s.last_probes = stats.index_probes as u64;
                         s.last_scanned = stats.tuples_scanned as u64;
@@ -599,7 +788,11 @@ fn dispatch(shared: &Shared, req: Request) -> Response {
                 Err(e) => err(ErrorCode::Rejected, e.to_string()),
             }
         }
-        Request::Hello | Request::Bye { .. } | Request::Ping | Request::Shutdown { .. } => {
+        Request::Hello
+        | Request::Bye { .. }
+        | Request::Ping
+        | Request::Shutdown { .. }
+        | Request::Metrics => {
             unreachable!("control requests are handled before dispatch")
         }
     }

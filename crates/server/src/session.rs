@@ -74,7 +74,14 @@ impl SessionTable {
                 last_used: Instant::now(),
             },
         );
+        obs::counter!("gkbms_sessions_opened_total", "Sessions opened").inc();
+        self.publish_active();
         id
+    }
+
+    /// Publishes the open-session count as a gauge.
+    fn publish_active(&self) {
+        obs::gauge!("gkbms_sessions_active", "Sessions currently open").set(self.map.len() as i64);
     }
 
     /// Touches `id` for a new request: bumps its counters and returns
@@ -86,6 +93,12 @@ impl SessionTable {
         };
         if expired {
             self.map.remove(&id);
+            obs::counter!(
+                "gkbms_sessions_reaped_total",
+                "Sessions reaped after idling out"
+            )
+            .inc();
+            self.publish_active();
             return Err(SessionErr::Expired);
         }
         let s = self.map.get_mut(&id).expect("checked above");
@@ -105,6 +118,7 @@ impl SessionTable {
     /// client's intent — "this session is gone" — already holds).
     pub fn close(&mut self, id: u64) {
         self.map.remove(&id);
+        self.publish_active();
     }
 
     /// Re-pins every open session to `watermark`. Used after `LOAD`
@@ -119,7 +133,17 @@ impl SessionTable {
     /// Drops every session that has idled out.
     pub fn sweep(&mut self) {
         let timeout = self.idle_timeout;
+        let before = self.map.len();
         self.map.retain(|_, s| s.last_used.elapsed() <= timeout);
+        let reaped = before - self.map.len();
+        if reaped > 0 {
+            obs::counter!(
+                "gkbms_sessions_reaped_total",
+                "Sessions reaped after idling out"
+            )
+            .add(reaped as u64);
+            self.publish_active();
+        }
     }
 
     /// Number of open sessions.

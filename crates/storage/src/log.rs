@@ -63,6 +63,11 @@ impl AppendLog {
                     // Torn tail: truncate and carry on.
                     file.set_len(at)?;
                     tail_state = TailState::TruncatedAt(at);
+                    obs::counter!(
+                        "storage_log_torn_truncations_total",
+                        "Torn tail records truncated away during log open"
+                    )
+                    .inc();
                     break;
                 }
                 ReadOutcome::BadCrc { offset: at } => {
@@ -91,6 +96,16 @@ impl AppendLog {
         let written = record::write_record(&mut self.writer, payload)?;
         self.tail += written as u64;
         self.records += 1;
+        obs::counter!(
+            "storage_log_appends_total",
+            "Records appended to append logs"
+        )
+        .inc();
+        obs::counter!(
+            "storage_log_appended_bytes_total",
+            "Bytes appended to append logs (headers included)"
+        )
+        .add(written as u64);
         Ok(lsn)
     }
 
@@ -98,6 +113,7 @@ impl AppendLog {
     pub fn sync(&mut self) -> StorageResult<()> {
         self.writer.flush()?;
         self.writer.get_ref().sync_data()?;
+        obs::counter!("storage_log_fsyncs_total", "fsyncs issued by append logs").inc();
         Ok(())
     }
 

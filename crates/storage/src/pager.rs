@@ -178,10 +178,21 @@ impl Pager {
             .filter(|(_, f)| f.dirty)
             .map(|(id, _)| *id)
             .collect();
+        let pages = dirty.len() as u64;
         for id in dirty {
             self.write_back(id)?;
         }
         self.file.sync_data()?;
+        obs::counter!(
+            "storage_pager_flushes_total",
+            "Pager flush calls (each fsyncs)"
+        )
+        .inc();
+        obs::counter!(
+            "storage_pager_pages_flushed_total",
+            "Dirty pages written back by pager flushes"
+        )
+        .add(pages);
         Ok(())
     }
 }

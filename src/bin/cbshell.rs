@@ -23,6 +23,7 @@
 //! check                    full consistency check
 //! stats                    KB statistics
 //! \stats                   index probes / tuples scanned of the last ASK
+//! \metrics                 process metrics (Prometheus text format)
 //! help / quit
 //! ```
 //!
@@ -64,10 +65,9 @@ fn dispatch(shell: &mut Shell, line: &str) -> Option<String> {
     let out = match cmd {
         "" => String::new(),
         "quit" | "exit" => return None,
-        "help" => {
-            "commands: tell untell ask holds show isa instances attrs check stats \\stats quit"
-                .to_string()
-        }
+        "help" => "commands: tell untell ask holds show isa instances attrs check stats \\stats \
+             \\metrics quit"
+            .to_string(),
         "tell" => match ObjectFrame::parse(&format!("TELL {rest}")) {
             Err(e) => format!("error: {e}"),
             Ok(frame) => match tell(kb, &frame) {
@@ -161,6 +161,7 @@ fn dispatch(shell: &mut Shell, line: &str) -> Option<String> {
                 format!("last ask: {probes} index probes, {scanned} tuples scanned")
             }
         },
+        "\\metrics" => conceptbase::obs::render_prometheus(),
         other => format!("unknown command `{other}` (try `help`)"),
     };
     Some(out)
@@ -193,7 +194,7 @@ fn dispatch_remote(client: &mut Client, session: u64, line: &str) -> Option<Stri
             return None;
         }
         "help" => "commands: tell untell ask holds show refresh history status \\stats \
-                   save load shutdown quit"
+                   \\metrics save load shutdown quit"
             .to_string(),
         "tell" => {
             let r = client.tell(session, &format!("TELL {rest}"));
@@ -238,6 +239,7 @@ fn dispatch_remote(client: &mut Client, session: u64, line: &str) -> Option<Stri
                 s.session, s.watermark, s.kb_now, s.requests, s.believed, s.probes, s.scanned
             ),
         },
+        "\\metrics" => text(client.metrics()),
         other => format!("unknown command `{other}` (try `help`)"),
     };
     Some(out)
@@ -287,7 +289,7 @@ fn listen(addr: &str) -> Result<(), Box<dyn std::error::Error>> {
     let state = conceptbase::gkbms::Gkbms::new()?;
     let server = Server::bind(addr, state, Config::default())?;
     println!("gkbms: listening on {}", server.local_addr());
-    server.join();
+    server.join()?;
     println!("gkbms: stopped");
     Ok(())
 }
@@ -490,6 +492,15 @@ mod tests {
         let bad = dispatch_remote(&mut client, session, "ask x/Ghost : true").unwrap();
         assert!(bad.starts_with("error:"), "{bad}");
         assert!(dispatch_remote(&mut client, session, "quit").is_none());
-        server.shutdown();
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn local_metrics_render() {
+        let mut shell = seeded_shell();
+        dispatch(&mut shell, "ask p/Paper : true").unwrap();
+        let text = dispatch(&mut shell, "\\metrics").unwrap();
+        assert!(text.contains("# TYPE"), "{text}");
+        assert!(text.contains("objectbase_asks_total"), "{text}");
     }
 }

@@ -12,6 +12,7 @@ pub use gkbms;
 pub use langs;
 pub use modelbase;
 pub use objectbase;
+pub use obs;
 pub use rms;
 pub use server;
 pub use storage;

@@ -4,8 +4,9 @@
 
 use conceptbase::gkbms::Gkbms;
 use conceptbase::server::{Client, ClientError, Config, ErrorCode, Server};
+use std::io::Write;
 use std::path::PathBuf;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn tmp(name: &str) -> PathBuf {
     let mut p = std::env::temp_dir();
@@ -71,7 +72,7 @@ fn concurrent_tells_equal_serial_replay() {
         w.join().expect("client thread");
     }
 
-    let served = server.shutdown();
+    let served = server.shutdown().unwrap();
 
     // Serial replay of the same TELLs into a fresh GKBMS.
     let mut serial = Gkbms::new().unwrap();
@@ -135,7 +136,7 @@ fn reader_opened_before_tell_does_not_observe_it() {
         reader.ask(r, "p", "Paper", "true").unwrap().answers,
         vec!["after"]
     );
-    server.shutdown();
+    server.shutdown().unwrap();
 }
 
 /// Saturating the admission gate yields typed Overloaded replies, and
@@ -181,7 +182,7 @@ fn overloaded_under_saturating_burst() {
     }
     // Recovered: the same ask now succeeds.
     assert!(c.ask(s, "p", "Paper", "true").is_ok());
-    server.shutdown();
+    server.shutdown().unwrap();
 }
 
 /// SAVE over the wire, shut the server down, start a new one, LOAD —
@@ -206,7 +207,7 @@ fn save_shutdown_load_roundtrip() {
         c.save(s, &path_str).unwrap();
         c.bye(s).unwrap();
     }
-    server.shutdown();
+    server.shutdown().unwrap();
 
     // A brand-new server process-equivalent: fresh state, then LOAD.
     let (server, addr) = start(quick_cfg());
@@ -222,7 +223,7 @@ fn save_shutdown_load_roundtrip() {
         assert!(c.holds(s, "gone in Paper").is_err(), "untold name unknown");
         c.bye(s).unwrap();
     }
-    server.shutdown();
+    server.shutdown().unwrap();
     let _ = std::fs::remove_file(&path);
 }
 
@@ -248,7 +249,7 @@ fn graceful_shutdown_drains() {
         Err(ClientError::Io(_)) => {}
         other => panic!("unexpected {other:?}"),
     }
-    server.join();
+    server.join().unwrap();
 }
 
 /// Decision ops over the wire: register, query applicability, execute,
@@ -304,7 +305,7 @@ fn decision_lifecycle_over_the_wire() {
         other => panic!("unexpected {other:?}"),
     }
     c.bye(s).unwrap();
-    server.shutdown();
+    server.shutdown().unwrap();
 }
 
 /// Session statistics surface the snapshot watermark and the last
@@ -327,5 +328,227 @@ fn session_stats_reflect_last_ask() {
     assert!(stats.believed > 0);
     assert!(stats.requests >= 3);
     c.bye(s).unwrap();
-    server.shutdown();
+    server.shutdown().unwrap();
+}
+
+/// Extracts the value of a Prometheus series from exposition text.
+fn scrape(text: &str, series: &str) -> Option<f64> {
+    text.lines()
+        .find(|l| l.starts_with(series) && l[series.len()..].starts_with(' '))
+        .and_then(|l| l.split_whitespace().last())
+        .and_then(|v| v.parse().ok())
+}
+
+/// A scripted session must show up in the metrics scrape: per-op
+/// request counters, latency histogram counts, bytes in/out. The
+/// registry is process-global and shared with concurrently running
+/// tests, so every assertion compares deltas.
+#[test]
+fn metrics_observable_end_to_end() {
+    let (server, addr) = start(quick_cfg());
+    let mut c = Client::connect(addr).unwrap();
+    let before = c.metrics().unwrap();
+    let base = |s: &str| scrape(&before, s).unwrap_or(0.0);
+    let (tell0, ask0, hist0, read0) = (
+        base("gkbms_requests_total{op=\"tell\"}"),
+        base("gkbms_requests_total{op=\"ask\"}"),
+        base("gkbms_request_seconds_count{op=\"ask\"}"),
+        base("gkbms_bytes_read_total"),
+    );
+
+    let (s, _) = c.hello().unwrap();
+    c.tell(s, "TELL Paper end\nTELL p1 in Paper end").unwrap();
+    c.refresh(s).unwrap();
+    let reply = c.ask(s, "p", "Paper", "true").unwrap();
+    assert_eq!(reply.answers, vec!["p1"]);
+
+    let after = c.metrics().unwrap();
+    let now = |s: &str| scrape(&after, s).unwrap_or(0.0);
+    assert!(
+        now("gkbms_requests_total{op=\"tell\"}") >= tell0 + 1.0,
+        "tell counter:\n{after}"
+    );
+    assert!(
+        now("gkbms_requests_total{op=\"ask\"}") >= ask0 + 1.0,
+        "ask counter:\n{after}"
+    );
+    assert!(
+        now("gkbms_request_seconds_count{op=\"ask\"}") >= hist0 + 1.0,
+        "ask latency histogram:\n{after}"
+    );
+    assert!(
+        now("gkbms_bytes_read_total") > read0,
+        "request bytes:\n{after}"
+    );
+    // The deductive engine's cumulative counters moved with the ASK.
+    assert!(
+        now("datalog_index_probes_total") > 0.0,
+        "datalog probes:\n{after}"
+    );
+    assert!(
+        now("gkbms_sessions_opened_total") >= 1.0,
+        "session counter:\n{after}"
+    );
+    c.bye(s).unwrap();
+    server.shutdown().unwrap();
+}
+
+/// A saturated server still answers Metrics: the scrape is a control
+/// request and bypasses the admission gate.
+#[test]
+fn metrics_scrape_bypasses_admission() {
+    let (server, addr) = start(Config {
+        max_inflight: 1,
+        poll_interval: Duration::from_millis(20),
+        ..Config::default()
+    });
+    let mut holder = Client::connect(addr).unwrap();
+    let (hs, _) = holder.hello().unwrap();
+    let hold = std::thread::spawn(move || holder.sleep(hs, 400).unwrap());
+    std::thread::sleep(Duration::from_millis(100));
+    let mut c = Client::connect(addr).unwrap();
+    let text = c.metrics().unwrap();
+    assert!(text.contains("# TYPE"), "{text}");
+    hold.join().unwrap();
+    server.shutdown().unwrap();
+}
+
+/// ASKs crossing the configured threshold land in the slow-query log
+/// with their evaluation statistics.
+#[test]
+fn slow_query_log_records_over_threshold_asks() {
+    let (server, addr) = start(Config {
+        poll_interval: Duration::from_millis(20),
+        // Zero threshold: every ASK is "slow".
+        slow_query_threshold: Some(Duration::ZERO),
+        ..Config::default()
+    });
+    let mut c = Client::connect(addr).unwrap();
+    let (s, _) = c.hello().unwrap();
+    c.tell(s, "TELL Paper end\nTELL p1 in Paper end").unwrap();
+    c.refresh(s).unwrap();
+    c.ask(s, "p", "Paper", "true").unwrap();
+    let slow = server.slow_queries();
+    assert!(!slow.is_empty(), "zero threshold must log the ASK");
+    let q = slow.last().unwrap();
+    assert_eq!(q.source, "ASK p/Paper WHERE true");
+    assert!(q.index_probes > 0, "{q:?}");
+    c.bye(s).unwrap();
+    server.shutdown().unwrap();
+}
+
+/// Writes raw bytes to a fresh connection and returns whether the
+/// write was accepted (the server may drop the connection at any
+/// point, which is fine — what matters is the *other* session).
+fn send_raw(addr: std::net::SocketAddr, bytes: &[u8]) {
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    let _ = s.write_all(bytes);
+    let _ = s.flush();
+    // Give the server a moment to read and react.
+    std::thread::sleep(Duration::from_millis(60));
+}
+
+/// Hostile wire input — an oversized length prefix, a CRC-corrupt
+/// frame, a mid-frame disconnect — must at worst kill that connection,
+/// never the server or another session.
+#[test]
+fn hostile_frames_do_not_poison_other_sessions() {
+    use conceptbase::storage::record::{self, MAX_RECORD_LEN};
+    let (server, addr) = start(quick_cfg());
+    let mut good = Client::connect(addr).unwrap();
+    let (s, _) = good.hello().unwrap();
+    good.tell(s, "TELL Paper end\nTELL p1 in Paper end")
+        .unwrap();
+    good.refresh(s).unwrap();
+
+    // 1. Length prefix beyond MAX_RECORD_LEN.
+    let oversized = ((MAX_RECORD_LEN + 1) as u32).to_le_bytes();
+    let mut frame = oversized.to_vec();
+    frame.extend_from_slice(&[0u8; 4]); // bogus crc
+    send_raw(addr, &frame);
+
+    // 2. CRC-corrupt frame: valid header, flipped payload byte.
+    let mut buf = Vec::new();
+    record::write_record(&mut buf, b"not a request").unwrap();
+    let last = buf.len() - 1;
+    buf[last] ^= 0xFF;
+    send_raw(addr, &buf);
+
+    // 3. Mid-frame disconnect: header promises 64 bytes, send 5, hang up.
+    let mut partial = 64u32.to_le_bytes().to_vec();
+    partial.extend_from_slice(&0u32.to_le_bytes());
+    partial.extend_from_slice(b"stub!");
+    send_raw(addr, &partial);
+
+    // 4. Well-framed garbage payload: decodes as BadRequest, the
+    // connection survives and answers the next (valid) frame.
+    {
+        let mut s2 = Client::connect(addr).unwrap();
+        match s2.roundtrip(&conceptbase::server::Request::Hello) {
+            Ok(conceptbase::server::Response::Welcome { .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    // The well-behaved session is unaffected by all of the above.
+    let reply = good.ask(s, "p", "Paper", "true").unwrap();
+    assert_eq!(reply.answers, vec!["p1"]);
+    good.bye(s).unwrap();
+    server.shutdown().unwrap();
+}
+
+/// A server that accepts the connection but never answers must fail
+/// the call with a typed Timeout within the configured budget — not
+/// block forever (the bug this guards against: `Client::connect` +
+/// blocking reads with no read timeout).
+#[test]
+fn stalled_server_yields_typed_timeout() {
+    // A "server" that accepts and then sleeps, never writing a byte.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let stall = std::thread::spawn(move || {
+        let (_stream, _) = listener.accept().unwrap();
+        std::thread::sleep(Duration::from_secs(10));
+    });
+
+    let timeout = Duration::from_millis(300);
+    let mut c = Client::connect_with_timeout(addr, timeout).unwrap();
+    assert_eq!(c.read_timeout(), timeout);
+    let started = Instant::now();
+    match c.ping() {
+        Err(ClientError::Timeout(t)) => assert_eq!(t, timeout),
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed >= timeout && elapsed < Duration::from_secs(5),
+        "timeout fired at {elapsed:?}, budget {timeout:?}"
+    );
+    drop(c);
+    drop(stall); // detach; the sleeping thread dies with the process
+}
+
+/// A peer that stalls *mid-frame* (sends a partial response header and
+/// goes quiet) also times out instead of hanging the client.
+#[test]
+fn mid_frame_stall_yields_typed_timeout() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let stall = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        // Send half a frame header, then stall.
+        stream.write_all(&[9, 0]).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_secs(10));
+    });
+
+    let mut c = Client::connect_with_timeout(addr, Duration::from_millis(300)).unwrap();
+    let started = Instant::now();
+    match c.ping() {
+        Err(ClientError::Timeout(_)) => {}
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+    assert!(started.elapsed() < Duration::from_secs(5));
+    drop(c);
+    drop(stall);
 }
