@@ -57,6 +57,7 @@ impl Gkbms {
         };
         let nogood: Vec<String> = among.iter().map(|s| s.to_string()).collect();
         self.nogoods.push(nogood.clone());
+        self.journal_append(crate::persist::encode_nogood(&nogood))?;
         let affected = self.retract_decision(&culprit)?;
         Ok(ConflictResolution {
             description: description.to_string(),

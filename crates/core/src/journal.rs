@@ -1,0 +1,436 @@
+//! Continuous durability: the live write-ahead journal.
+//!
+//! [`Gkbms::save`] is a stop-the-world full rewrite — fine for an
+//! explicit `\save`, wrong as the only durability story of a
+//! documentation service whose charter is "nothing is ever
+//! destructively deleted". Journal mode closes the gap:
+//!
+//! * every committed mutation (definition, registration, execution,
+//!   explicit retraction, raw TELL/UNTELL, nogood) appends one op
+//!   record — the same encoding `save` uses — to a live WAL at commit
+//!   time;
+//! * [`Gkbms::checkpoint`] compacts the history into a snapshot
+//!   written crash-atomically and truncates the WAL;
+//! * [`Gkbms::recover`] loads the snapshot (if any) and replays the
+//!   WAL tail, tolerating a torn final record.
+//!
+//! The journal makes no fsync decisions of its own beyond flushing
+//! each record into the OS: *when* to fsync (per op, batched group
+//! commit, or never) is the caller's policy — see [`FsyncPolicy`] and
+//! the server's group-commit implementation.
+//!
+//! Durability invariant: after `fsync` of the WAL has returned, every
+//! op appended before it survives any crash; recovery restores a
+//! prefix of the committed op sequence — never a subset with holes.
+
+use crate::error::{GkbmsError, GkbmsResult};
+use crate::persist;
+use crate::system::Gkbms;
+use std::fs::File;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+use storage::log::TailState;
+use storage::{AppendLog, StorageResult};
+
+/// File name of the checkpoint snapshot inside a journal directory.
+pub const SNAPSHOT_FILE: &str = "snapshot";
+/// File name of the write-ahead log inside a journal directory.
+pub const WAL_FILE: &str = "wal";
+
+/// When WAL appends are forced to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// fsync before acknowledging every mutation — strict per-op
+    /// durability, one fsync per write.
+    Always,
+    /// Group commit: a leader batches one fsync over all mutations
+    /// appended since the last one, after waiting up to the given
+    /// interval for more to accumulate (zero = no added latency,
+    /// batching only what arrives during the previous fsync).
+    Group(Duration),
+    /// Never fsync on the write path; durability only at checkpoints
+    /// and clean shutdown.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parses `always`, `never`/`none`, `group` or `group:<millis>`.
+    pub fn parse(s: &str) -> Result<FsyncPolicy, String> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "never" | "none" => Ok(FsyncPolicy::Never),
+            "group" => Ok(FsyncPolicy::Group(Duration::ZERO)),
+            _ => match s.strip_prefix("group:") {
+                Some(ms) => ms
+                    .parse::<u64>()
+                    .map(|ms| FsyncPolicy::Group(Duration::from_millis(ms)))
+                    .map_err(|_| format!("bad group interval `{ms}`")),
+                None => Err(format!(
+                    "unknown fsync policy `{s}` (expected always, group[:ms] or none)"
+                )),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsyncPolicy::Always => write!(f, "always"),
+            FsyncPolicy::Group(d) => write!(f, "group:{}", d.as_millis()),
+            FsyncPolicy::Never => write!(f, "none"),
+        }
+    }
+}
+
+/// What [`Gkbms::recover`] found and did.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// A checkpoint snapshot was present and loaded.
+    pub snapshot_loaded: bool,
+    /// Ops replayed from the WAL tail.
+    pub replayed_ops: u64,
+    /// A torn final WAL record was truncated away.
+    pub wal_truncated: bool,
+    /// Wall-clock time of the whole recovery.
+    pub elapsed: Duration,
+}
+
+/// What [`Gkbms::checkpoint`] did.
+#[derive(Debug, Clone)]
+pub struct CheckpointReport {
+    /// WAL ops compacted into the snapshot (and truncated away).
+    pub compacted_ops: u64,
+    /// Total ops appended to the journal over its lifetime — after the
+    /// checkpoint, every one of them is durable.
+    pub appended_ops: u64,
+    /// Wall-clock time of the checkpoint.
+    pub elapsed: Duration,
+}
+
+/// The live write-ahead journal attached to a [`Gkbms`].
+pub struct Journal {
+    dir: PathBuf,
+    wal: AppendLog,
+    /// Total ops appended over the journal's lifetime (monotonic even
+    /// across checkpoint truncations) — group commit tracks durability
+    /// in this sequence, not in byte offsets, precisely because
+    /// checkpoints reset the WAL's byte length.
+    appended_ops: u64,
+    /// Ops appended since the last checkpoint (== records in the WAL).
+    ops_since_checkpoint: u64,
+}
+
+impl Journal {
+    fn open_in(dir: &Path) -> StorageResult<Journal> {
+        let wal = AppendLog::open(dir.join(WAL_FILE))?;
+        let n = wal.len();
+        Ok(Journal {
+            dir: dir.to_path_buf(),
+            wal,
+            appended_ops: n,
+            ops_since_checkpoint: n,
+        })
+    }
+
+    /// Appends one op record and flushes it into the OS page cache (no
+    /// fsync — that is the caller's fsync policy).
+    fn append(&mut self, payload: &[u8]) -> StorageResult<()> {
+        self.wal.append(payload)?;
+        self.wal.flush()?;
+        self.appended_ops += 1;
+        self.ops_since_checkpoint += 1;
+        obs::counter!(
+            "gkbms_journal_appends_total",
+            "Mutations appended to the write-ahead journal"
+        )
+        .inc();
+        Ok(())
+    }
+
+    /// fsyncs the WAL, making every appended op durable.
+    pub fn sync(&mut self) -> StorageResult<()> {
+        let start = Instant::now();
+        self.wal.sync()?;
+        obs::histogram!(
+            "gkbms_journal_fsync_seconds",
+            "Latency of WAL fsyncs (per-op and group-commit)"
+        )
+        .observe(start.elapsed());
+        Ok(())
+    }
+
+    /// A cloned handle to the WAL file, for fsyncing outside the
+    /// writer's lock (group commit). The handle shares the open file
+    /// description with the journal, so it stays valid across
+    /// checkpoint truncations.
+    pub fn file(&mut self) -> StorageResult<File> {
+        self.wal.file()
+    }
+
+    /// The journal directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Total ops appended over the journal's lifetime.
+    pub fn appended_ops(&self) -> u64 {
+        self.appended_ops
+    }
+
+    /// Ops appended since the last checkpoint.
+    pub fn ops_since_checkpoint(&self) -> u64 {
+        self.ops_since_checkpoint
+    }
+}
+
+impl Gkbms {
+    /// Opens (or creates) the journal directory `dir` and recovers the
+    /// GKBMS from it: loads the checkpoint snapshot if one exists,
+    /// replays the WAL tail (truncating a torn final record), then
+    /// attaches the journal so every further committed mutation is
+    /// appended at commit time.
+    pub fn recover(dir: impl AsRef<Path>) -> GkbmsResult<(Gkbms, RecoveryReport)> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)
+            .map_err(|e| telos::TelosError::Storage(storage::StorageError::Io(e)))?;
+        let start = Instant::now();
+        let snap = dir.join(SNAPSHOT_FILE);
+        let snapshot_loaded = snap.exists();
+        let mut g = if snapshot_loaded {
+            Gkbms::load(&snap)?
+        } else {
+            Gkbms::new()?
+        };
+        let mut journal = Journal::open_in(dir).map_err(telos::TelosError::Storage)?;
+        let wal_truncated = matches!(journal.wal.tail_state(), TailState::TruncatedAt(_));
+        let payloads: Vec<Vec<u8>> = journal
+            .wal
+            .iter()
+            .map_err(telos::TelosError::Storage)?
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(telos::TelosError::Storage)?
+            .into_iter()
+            .map(|(_, p)| p)
+            .collect();
+        // Replay with the journal still detached: re-applying an op
+        // must not re-append it.
+        for p in &payloads {
+            persist::apply_record(&mut g, p)?;
+        }
+        g.journal = Some(journal);
+        let report = RecoveryReport {
+            snapshot_loaded,
+            replayed_ops: payloads.len() as u64,
+            wal_truncated,
+            elapsed: start.elapsed(),
+        };
+        obs::counter!(
+            "gkbms_recovery_replayed_ops_total",
+            "WAL ops replayed during journal recovery"
+        )
+        .add(report.replayed_ops);
+        obs::histogram!(
+            "gkbms_recovery_replay_seconds",
+            "Wall-clock time of journal recovery (snapshot load + WAL replay)"
+        )
+        .observe(report.elapsed);
+        Ok((g, report))
+    }
+
+    /// Compacts the journal: writes the full history as a snapshot
+    /// (crash-atomically, via [`Gkbms::save`]) and truncates the WAL.
+    /// After a checkpoint every op ever appended is durable regardless
+    /// of fsync policy. Errors if no journal is attached.
+    pub fn checkpoint(&mut self) -> GkbmsResult<CheckpointReport> {
+        let dir = match &self.journal {
+            Some(j) => j.dir.clone(),
+            None => {
+                return Err(GkbmsError::Unknown(
+                    "checkpoint requested but no journal is attached".into(),
+                ))
+            }
+        };
+        let start = Instant::now();
+        self.save(dir.join(SNAPSHOT_FILE))?;
+        let j = self.journal.as_mut().expect("journal checked above");
+        let compacted = j.ops_since_checkpoint;
+        j.wal.truncate_all().map_err(telos::TelosError::Storage)?;
+        j.ops_since_checkpoint = 0;
+        let report = CheckpointReport {
+            compacted_ops: compacted,
+            appended_ops: j.appended_ops,
+            elapsed: start.elapsed(),
+        };
+        obs::counter!(
+            "gkbms_checkpoints_total",
+            "Journal checkpoints (snapshot + WAL truncation)"
+        )
+        .inc();
+        obs::histogram!(
+            "gkbms_checkpoint_seconds",
+            "Wall-clock time of journal checkpoints"
+        )
+        .observe(report.elapsed);
+        Ok(report)
+    }
+
+    /// The attached journal, if any.
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
+    }
+
+    /// Mutable access to the attached journal (fsync, file handles).
+    pub fn journal_mut(&mut self) -> Option<&mut Journal> {
+        self.journal.as_mut()
+    }
+
+    /// Appends an encoded op to the journal, if one is attached.
+    /// Called by every mutation method at its commit point.
+    pub(crate) fn journal_append(&mut self, payload: Vec<u8>) -> GkbmsResult<()> {
+        if let Some(j) = self.journal.as_mut() {
+            j.append(&payload).map_err(telos::TelosError::Storage)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metamodel::kernel;
+    use crate::system::tests::scenario_gkbms;
+    use crate::system::DecisionRequest;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("cb-journal-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+
+    /// A journaled GKBMS seeded with the scenario schema (which is
+    /// itself journaled, op by op, as it is defined).
+    fn journaled_scenario(dir: &Path) -> Gkbms {
+        let (mut g, report) = Gkbms::recover(dir).unwrap();
+        assert_eq!(report.replayed_ops, 0);
+        assert!(!report.snapshot_loaded);
+        // Replay the scenario definitions through the journaled
+        // instance so they are captured as ops.
+        let donor = scenario_gkbms();
+        for p in donor.history_payloads() {
+            persist::apply_record(&mut g, &p).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn mutations_survive_without_explicit_save() {
+        let dir = tmp_dir("basic");
+        {
+            let mut g = journaled_scenario(&dir);
+            g.register_object(
+                "Invitation",
+                kernel::TDL_ENTITY_CLASS,
+                "design.tdl#Invitation",
+            )
+            .unwrap();
+            g.execute(
+                DecisionRequest::new("TDL_MappingDec", "mapInvitations", "dev")
+                    .with_tool("TDL-DBPL-Mapper")
+                    .input("Invitation")
+                    .output("InvitationRel", kernel::DBPL_REL),
+            )
+            .unwrap();
+            g.tell_src("TELL AdHoc end").unwrap();
+            g.journal_mut().unwrap().sync().unwrap();
+            // No save(): the process "crashes" here.
+        }
+        let (g, report) = Gkbms::recover(&dir).unwrap();
+        assert!(report.replayed_ops > 0);
+        assert!(g.is_effective("mapInvitations"));
+        assert!(g.kb().lookup("AdHoc").is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_compacts_and_preserves_history() {
+        let dir = tmp_dir("checkpoint");
+        {
+            let mut g = journaled_scenario(&dir);
+            g.register_object(
+                "Invitation",
+                kernel::TDL_ENTITY_CLASS,
+                "design.tdl#Invitation",
+            )
+            .unwrap();
+            let before = g.journal().unwrap().ops_since_checkpoint();
+            assert!(before > 0);
+            let report = g.checkpoint().unwrap();
+            assert_eq!(report.compacted_ops, before);
+            assert_eq!(g.journal().unwrap().ops_since_checkpoint(), 0);
+            // Post-checkpoint mutations land in the (fresh) WAL.
+            g.tell_src("TELL AfterCheckpoint end").unwrap();
+            g.journal_mut().unwrap().sync().unwrap();
+            assert_eq!(g.journal().unwrap().ops_since_checkpoint(), 1);
+        }
+        let (g, report) = Gkbms::recover(&dir).unwrap();
+        assert!(report.snapshot_loaded);
+        assert_eq!(report.replayed_ops, 1);
+        assert!(g.kb().lookup("Invitation").is_some(), "from snapshot");
+        assert!(g.kb().lookup("AfterCheckpoint").is_some(), "from WAL tail");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_wal_tail_is_tolerated() {
+        let dir = tmp_dir("torn");
+        {
+            let mut g = journaled_scenario(&dir);
+            g.tell_src("TELL Kept end").unwrap();
+            g.journal_mut().unwrap().sync().unwrap();
+            g.tell_src("TELL Doomed end").unwrap();
+            g.journal_mut().unwrap().sync().unwrap();
+        }
+        // Crash mid-append of the last record.
+        let wal = dir.join(WAL_FILE);
+        let len = std::fs::metadata(&wal).unwrap().len();
+        storage::crash::truncate_in_place(&wal, len - 3).unwrap();
+        let (g, report) = Gkbms::recover(&dir).unwrap();
+        assert!(report.wal_truncated);
+        assert!(g.kb().lookup("Kept").is_some());
+        assert!(g.kb().lookup("Doomed").is_none());
+        // The journal is immediately usable for new writes.
+        let mut g = g;
+        g.tell_src("TELL PostCrash end").unwrap();
+        g.journal_mut().unwrap().sync().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_without_journal_errors() {
+        let mut g = Gkbms::new().unwrap();
+        assert!(g.checkpoint().is_err());
+    }
+
+    #[test]
+    fn fsync_policy_parses() {
+        assert_eq!(FsyncPolicy::parse("always"), Ok(FsyncPolicy::Always));
+        assert_eq!(FsyncPolicy::parse("none"), Ok(FsyncPolicy::Never));
+        assert_eq!(FsyncPolicy::parse("never"), Ok(FsyncPolicy::Never));
+        assert_eq!(
+            FsyncPolicy::parse("group"),
+            Ok(FsyncPolicy::Group(Duration::ZERO))
+        );
+        assert_eq!(
+            FsyncPolicy::parse("group:5"),
+            Ok(FsyncPolicy::Group(Duration::from_millis(5)))
+        );
+        assert!(FsyncPolicy::parse("sometimes").is_err());
+        assert!(FsyncPolicy::parse("group:abc").is_err());
+        assert_eq!(
+            FsyncPolicy::Group(Duration::from_millis(2)).to_string(),
+            "group:2"
+        );
+    }
+}

@@ -38,6 +38,7 @@ pub mod decisions;
 pub mod depgraph;
 pub mod error;
 pub mod explain;
+pub mod journal;
 pub mod metamodel;
 pub mod navigate;
 pub mod persist;
@@ -48,4 +49,5 @@ pub mod versions;
 
 pub use decisions::{DecisionClass, DecisionDimension, Discharge, ToolSpec};
 pub use error::{GkbmsError, GkbmsResult};
+pub use journal::{CheckpointReport, FsyncPolicy, Journal, RecoveryReport};
 pub use system::{DecisionRequest, DecisionSummary, Gkbms};

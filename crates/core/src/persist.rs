@@ -9,10 +9,20 @@
 //! every derived structure. Cascaded retractions are *not* stored —
 //! replaying the explicit retraction re-derives them, which doubles as
 //! a consistency check of the dependency machinery.
+//!
+//! `save` is crash-atomic: the history is written to a sibling temp
+//! file, fsynced, renamed over the target, and the parent directory is
+//! fsynced — at no instant does the old history cease to exist before
+//! the new one is durable.
+//!
+//! The same record encoding doubles as the wire format of the live
+//! write-ahead journal (see [`crate::journal`]): each committed
+//! mutation appends one op record, and recovery replays them through
+//! [`apply_record`] exactly as `load` does.
 
 use crate::decisions::{DecisionClass, DecisionDimension, Discharge, Obligation, ToolSpec};
 use crate::error::{GkbmsError, GkbmsResult};
-use crate::system::{DecisionRequest, Gkbms};
+use crate::system::{DecisionRecord, DecisionRequest, Gkbms, TellEvent};
 use std::path::Path;
 use storage::record::codec::{self, Cursor};
 use storage::AppendLog;
@@ -86,146 +96,305 @@ fn dimension_from(tag: u32) -> GkbmsResult<DecisionDimension> {
     })
 }
 
-impl Gkbms {
-    /// Saves the complete history to `path` (a fresh log; an existing
-    /// file is replaced).
-    pub fn save(&self, path: impl AsRef<Path>) -> GkbmsResult<()> {
-        let path = path.as_ref();
-        let _ = std::fs::remove_file(path);
-        let mut log = AppendLog::open(path).map_err(telos::TelosError::Storage)?;
-        let mut put = |payload: Vec<u8>| -> GkbmsResult<()> {
-            log.append(&payload).map_err(telos::TelosError::Storage)?;
-            Ok(())
-        };
+// ----- op encoders ----------------------------------------------------------
+//
+// Shared between `save` (bulk history) and the live journal (one record
+// per committed mutation), so both on-disk forms replay through the one
+// `apply_record` below.
 
+pub(crate) fn encode_object_class(name: &str, level: &str, parent: Option<&str>) -> Vec<u8> {
+    let mut p = Vec::new();
+    codec::put_u32(&mut p, OP_OBJECT_CLASS);
+    codec::put_str(&mut p, name);
+    codec::put_str(&mut p, level);
+    put_opt_str(&mut p, &parent.map(|s| s.to_string()));
+    p
+}
+
+pub(crate) fn encode_decision_class(dc: &DecisionClass) -> Vec<u8> {
+    let mut p = Vec::new();
+    codec::put_u32(&mut p, OP_DECISION_CLASS);
+    codec::put_str(&mut p, &dc.name);
+    put_opt_str(&mut p, &dc.specializes);
+    codec::put_u32(&mut p, dimension_tag(dc.dimension));
+    put_str_list(&mut p, &dc.from_classes);
+    put_str_list(&mut p, &dc.to_classes);
+    put_opt_str(&mut p, &dc.precondition);
+    codec::put_u32(&mut p, dc.obligations.len() as u32);
+    for ob in &dc.obligations {
+        codec::put_str(&mut p, &ob.name);
+        codec::put_str(&mut p, &ob.statement);
+    }
+    p
+}
+
+pub(crate) fn encode_tool(t: &ToolSpec) -> Vec<u8> {
+    let mut p = Vec::new();
+    codec::put_u32(&mut p, OP_TOOL);
+    codec::put_str(&mut p, &t.name);
+    codec::put_u32(&mut p, t.automatic as u32);
+    put_str_list(&mut p, &t.executes);
+    put_str_list(&mut p, &t.guarantees);
+    p
+}
+
+pub(crate) fn encode_register(name: &str, class: &str, source: &str) -> Vec<u8> {
+    let mut p = Vec::new();
+    codec::put_u32(&mut p, OP_REGISTER);
+    codec::put_str(&mut p, name);
+    codec::put_str(&mut p, class);
+    codec::put_str(&mut p, source);
+    p
+}
+
+pub(crate) fn encode_execute(r: &DecisionRecord) -> Vec<u8> {
+    let mut p = Vec::new();
+    codec::put_u32(&mut p, OP_EXECUTE);
+    codec::put_str(&mut p, &r.class);
+    codec::put_str(&mut p, &r.name);
+    codec::put_str(&mut p, &r.performer);
+    put_opt_str(&mut p, &r.tool);
+    put_str_list(&mut p, &r.inputs);
+    codec::put_u32(&mut p, r.outputs.len() as u32);
+    for (o, c) in r.outputs.iter().zip(&r.output_classes) {
+        codec::put_str(&mut p, o);
+        codec::put_str(&mut p, c);
+    }
+    codec::put_u32(&mut p, r.discharges.len() as u32);
+    for d in &r.discharges {
+        match d {
+            Discharge::Formal { obligation } => {
+                codec::put_u32(&mut p, 0);
+                codec::put_str(&mut p, obligation);
+            }
+            Discharge::Signature { obligation, by } => {
+                codec::put_u32(&mut p, 1);
+                codec::put_str(&mut p, obligation);
+                codec::put_str(&mut p, by);
+            }
+        }
+    }
+    p
+}
+
+pub(crate) fn encode_retract(name: &str) -> Vec<u8> {
+    let mut p = Vec::new();
+    codec::put_u32(&mut p, OP_RETRACT);
+    codec::put_str(&mut p, name);
+    p
+}
+
+pub(crate) fn encode_nogood(ng: &[String]) -> Vec<u8> {
+    let mut p = Vec::new();
+    codec::put_u32(&mut p, OP_NOGOOD);
+    put_str_list(&mut p, ng);
+    p
+}
+
+pub(crate) fn encode_tell(src: &str) -> Vec<u8> {
+    let mut p = Vec::new();
+    codec::put_u32(&mut p, OP_TELL);
+    codec::put_str(&mut p, src);
+    p
+}
+
+pub(crate) fn encode_untell(name: &str) -> Vec<u8> {
+    let mut p = Vec::new();
+    codec::put_u32(&mut p, OP_UNTELL);
+    codec::put_str(&mut p, name);
+    p
+}
+
+/// Decodes one op record and applies it to `g` through the public
+/// mutation API — the single replay path used by [`Gkbms::load`] and by
+/// journal recovery.
+pub(crate) fn apply_record(g: &mut Gkbms, payload: &[u8]) -> GkbmsResult<()> {
+    let mut c = Cursor::new(payload);
+    let tag = c.get_u32().map_err(telos::TelosError::Storage)?;
+    match tag {
+        OP_OBJECT_CLASS => {
+            let name = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
+            let level = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
+            let parent = get_opt_str(&mut c)?;
+            g.define_object_class(&name, &level, parent.as_deref())?;
+        }
+        OP_DECISION_CLASS => {
+            let name = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
+            let specializes = get_opt_str(&mut c)?;
+            let dim = dimension_from(c.get_u32().map_err(telos::TelosError::Storage)?)?;
+            let from = get_str_list(&mut c).map_err(telos::TelosError::Storage)?;
+            let to = get_str_list(&mut c).map_err(telos::TelosError::Storage)?;
+            let pre = get_opt_str(&mut c)?;
+            let n = c.get_u32().map_err(telos::TelosError::Storage)? as usize;
+            let mut dc = DecisionClass::new(name, dim);
+            dc.specializes = specializes;
+            dc.from_classes = from;
+            dc.to_classes = to;
+            dc.precondition = pre;
+            for _ in 0..n {
+                let oname = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
+                let stmt = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
+                dc.obligations.push(Obligation {
+                    name: oname,
+                    statement: stmt,
+                });
+            }
+            g.define_decision_class(dc)?;
+        }
+        OP_TOOL => {
+            let name = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
+            let automatic = c.get_u32().map_err(telos::TelosError::Storage)? != 0;
+            let executes = get_str_list(&mut c).map_err(telos::TelosError::Storage)?;
+            let guarantees = get_str_list(&mut c).map_err(telos::TelosError::Storage)?;
+            let mut spec = ToolSpec::new(name, automatic);
+            spec.executes = executes;
+            spec.guarantees = guarantees;
+            g.register_tool(spec)?;
+        }
+        OP_REGISTER => {
+            let name = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
+            let class = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
+            let source = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
+            g.register_object(&name, &class, &source)?;
+        }
+        OP_EXECUTE => {
+            let class = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
+            let name = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
+            let performer = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
+            let tool = get_opt_str(&mut c)?;
+            let inputs = get_str_list(&mut c).map_err(telos::TelosError::Storage)?;
+            let n_out = c.get_u32().map_err(telos::TelosError::Storage)? as usize;
+            let mut req = DecisionRequest::new(&class, &name, &performer);
+            req.tool = tool;
+            req.inputs = inputs;
+            for _ in 0..n_out {
+                let o = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
+                let oc = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
+                req.outputs.push((o, oc));
+            }
+            let n_dis = c.get_u32().map_err(telos::TelosError::Storage)? as usize;
+            for _ in 0..n_dis {
+                let kind = c.get_u32().map_err(telos::TelosError::Storage)?;
+                let obligation = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
+                req.discharges.push(if kind == 0 {
+                    Discharge::Formal { obligation }
+                } else {
+                    let by = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
+                    Discharge::Signature { obligation, by }
+                });
+            }
+            g.execute(req)?;
+        }
+        OP_RETRACT => {
+            let name = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
+            g.retract_decision(&name)?;
+        }
+        OP_NOGOOD => {
+            let ng = get_str_list(&mut c).map_err(telos::TelosError::Storage)?;
+            g.nogoods.push(ng);
+        }
+        OP_TELL => {
+            let src = c.get_str().map_err(telos::TelosError::Storage)?;
+            g.tell_src(src)?;
+        }
+        OP_UNTELL => {
+            let name = c.get_str().map_err(telos::TelosError::Storage)?;
+            g.untell(name)?;
+        }
+        other => {
+            return Err(GkbmsError::Unknown(format!(
+                "op tag {other} in saved history"
+            )))
+        }
+    }
+    Ok(())
+}
+
+/// Sibling temp path used by the atomic save: same directory (so the
+/// rename cannot cross filesystems), distinguishable suffix.
+fn save_tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+impl Gkbms {
+    /// The complete history as replayable op records, in replay order:
+    /// definitions and registrations first, then executions, explicit
+    /// retractions and raw TELL/UNTELL traffic interleaved by commit
+    /// sequence number, then nogoods.
+    pub(crate) fn history_payloads(&self) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
         for (name, level, parent) in &self.object_class_log {
-            let mut p = Vec::new();
-            codec::put_u32(&mut p, OP_OBJECT_CLASS);
-            codec::put_str(&mut p, name);
-            codec::put_str(&mut p, level);
-            put_opt_str(&mut p, parent);
-            put(p)?;
+            out.push(encode_object_class(name, level, parent.as_deref()));
         }
         for name in &self.class_order {
-            let dc = &self.classes[name];
-            let mut p = Vec::new();
-            codec::put_u32(&mut p, OP_DECISION_CLASS);
-            codec::put_str(&mut p, &dc.name);
-            put_opt_str(&mut p, &dc.specializes);
-            codec::put_u32(&mut p, dimension_tag(dc.dimension));
-            put_str_list(&mut p, &dc.from_classes);
-            put_str_list(&mut p, &dc.to_classes);
-            put_opt_str(&mut p, &dc.precondition);
-            codec::put_u32(&mut p, dc.obligations.len() as u32);
-            for ob in &dc.obligations {
-                codec::put_str(&mut p, &ob.name);
-                codec::put_str(&mut p, &ob.statement);
-            }
-            put(p)?;
+            out.push(encode_decision_class(&self.classes[name]));
         }
         for name in &self.tool_order {
-            let t = &self.tools[name];
-            let mut p = Vec::new();
-            codec::put_u32(&mut p, OP_TOOL);
-            codec::put_str(&mut p, &t.name);
-            codec::put_u32(&mut p, t.automatic as u32);
-            put_str_list(&mut p, &t.executes);
-            put_str_list(&mut p, &t.guarantees);
-            put(p)?;
+            out.push(encode_tool(&self.tools[name]));
         }
         for (name, class, source) in &self.register_log {
-            let mut p = Vec::new();
-            codec::put_u32(&mut p, OP_REGISTER);
-            codec::put_str(&mut p, name);
-            codec::put_str(&mut p, class);
-            codec::put_str(&mut p, source);
-            put(p)?;
+            out.push(encode_register(name, class, source));
         }
 
-        // Interleave executions and explicit retractions by tick.
-        #[derive(Clone, Copy)]
+        // Interleave executions, explicit retractions and raw tells by
+        // their shared monotonic commit sequence number. Sorting by
+        // belief tick alone is not enough: events sharing a tick would
+        // replay in category order rather than commit order.
         enum Ev<'a> {
-            Exec(&'a crate::system::DecisionRecord),
+            Exec(&'a DecisionRecord),
             Retract(&'a str),
-            Tell(&'a str),
-            Untell(&'a str),
+            Tell(&'a TellEvent),
         }
-        let mut events: Vec<(i64, Ev)> = self
+        let mut events: Vec<(u64, Ev)> = self
             .records
             .iter()
-            .map(|r| (r.tick, Ev::Exec(r)))
+            .map(|r| (r.seq, Ev::Exec(r)))
             .chain(
                 self.retraction_log
                     .iter()
-                    .map(|(t, n)| (*t, Ev::Retract(n.as_str()))),
+                    .map(|(s, _, n)| (*s, Ev::Retract(n.as_str()))),
             )
-            .chain(self.tell_log.iter().map(|(t, ev)| {
-                let ev = match ev {
-                    crate::system::TellEvent::Tell(src) => Ev::Tell(src.as_str()),
-                    crate::system::TellEvent::Untell(name) => Ev::Untell(name.as_str()),
-                };
-                (*t, ev)
-            }))
+            .chain(self.tell_log.iter().map(|(s, _, ev)| (*s, Ev::Tell(ev))))
             .collect();
-        events.sort_by_key(|(t, _)| *t);
+        events.sort_by_key(|(s, _)| *s);
         for (_, ev) in events {
-            match ev {
-                Ev::Exec(r) => {
-                    let mut p = Vec::new();
-                    codec::put_u32(&mut p, OP_EXECUTE);
-                    codec::put_str(&mut p, &r.class);
-                    codec::put_str(&mut p, &r.name);
-                    codec::put_str(&mut p, &r.performer);
-                    put_opt_str(&mut p, &r.tool);
-                    put_str_list(&mut p, &r.inputs);
-                    codec::put_u32(&mut p, r.outputs.len() as u32);
-                    for (o, c) in r.outputs.iter().zip(&r.output_classes) {
-                        codec::put_str(&mut p, o);
-                        codec::put_str(&mut p, c);
-                    }
-                    codec::put_u32(&mut p, r.discharges.len() as u32);
-                    for d in &r.discharges {
-                        match d {
-                            Discharge::Formal { obligation } => {
-                                codec::put_u32(&mut p, 0);
-                                codec::put_str(&mut p, obligation);
-                            }
-                            Discharge::Signature { obligation, by } => {
-                                codec::put_u32(&mut p, 1);
-                                codec::put_str(&mut p, obligation);
-                                codec::put_str(&mut p, by);
-                            }
-                        }
-                    }
-                    put(p)?;
-                }
-                Ev::Retract(name) => {
-                    let mut p = Vec::new();
-                    codec::put_u32(&mut p, OP_RETRACT);
-                    codec::put_str(&mut p, name);
-                    put(p)?;
-                }
-                Ev::Tell(src) => {
-                    let mut p = Vec::new();
-                    codec::put_u32(&mut p, OP_TELL);
-                    codec::put_str(&mut p, src);
-                    put(p)?;
-                }
-                Ev::Untell(name) => {
-                    let mut p = Vec::new();
-                    codec::put_u32(&mut p, OP_UNTELL);
-                    codec::put_str(&mut p, name);
-                    put(p)?;
-                }
-            }
+            out.push(match ev {
+                Ev::Exec(r) => encode_execute(r),
+                Ev::Retract(name) => encode_retract(name),
+                Ev::Tell(TellEvent::Tell(src)) => encode_tell(src),
+                Ev::Tell(TellEvent::Untell(name)) => encode_untell(name),
+            });
         }
         for ng in &self.nogoods {
-            let mut p = Vec::new();
-            codec::put_u32(&mut p, OP_NOGOOD);
-            put_str_list(&mut p, ng);
-            put(p)?;
+            out.push(encode_nogood(ng));
         }
-        log.sync().map_err(telos::TelosError::Storage)?;
+        out
+    }
+
+    /// Saves the complete history to `path`, crash-atomically replacing
+    /// any existing file: the log is written to a sibling temp file and
+    /// fsynced, then renamed over the target, then the parent directory
+    /// is fsynced. A crash at any point leaves either the old complete
+    /// history or the new one — never a partial or missing file.
+    pub fn save(&self, path: impl AsRef<Path>) -> GkbmsResult<()> {
+        let path = path.as_ref();
+        let tmp = save_tmp_path(path);
+        let _ = std::fs::remove_file(&tmp);
+        {
+            let mut log = AppendLog::open(&tmp).map_err(telos::TelosError::Storage)?;
+            for payload in self.history_payloads() {
+                log.append(&payload).map_err(telos::TelosError::Storage)?;
+            }
+            log.sync().map_err(telos::TelosError::Storage)?;
+        }
+        std::fs::rename(&tmp, path)
+            .map_err(|e| telos::TelosError::Storage(storage::StorageError::Io(e)))?;
+        storage::log::sync_parent_dir(path).map_err(telos::TelosError::Storage)?;
         Ok(())
     }
 
@@ -242,105 +411,7 @@ impl Gkbms {
             .map(|(_, payload)| payload)
             .collect();
         for payload in items {
-            let mut c = Cursor::new(&payload);
-            let tag = c.get_u32().map_err(telos::TelosError::Storage)?;
-            match tag {
-                OP_OBJECT_CLASS => {
-                    let name = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
-                    let level = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
-                    let parent = get_opt_str(&mut c)?;
-                    g.define_object_class(&name, &level, parent.as_deref())?;
-                }
-                OP_DECISION_CLASS => {
-                    let name = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
-                    let specializes = get_opt_str(&mut c)?;
-                    let dim = dimension_from(c.get_u32().map_err(telos::TelosError::Storage)?)?;
-                    let from = get_str_list(&mut c).map_err(telos::TelosError::Storage)?;
-                    let to = get_str_list(&mut c).map_err(telos::TelosError::Storage)?;
-                    let pre = get_opt_str(&mut c)?;
-                    let n = c.get_u32().map_err(telos::TelosError::Storage)? as usize;
-                    let mut dc = DecisionClass::new(name, dim);
-                    dc.specializes = specializes;
-                    dc.from_classes = from;
-                    dc.to_classes = to;
-                    dc.precondition = pre;
-                    for _ in 0..n {
-                        let oname = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
-                        let stmt = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
-                        dc.obligations.push(Obligation {
-                            name: oname,
-                            statement: stmt,
-                        });
-                    }
-                    g.define_decision_class(dc)?;
-                }
-                OP_TOOL => {
-                    let name = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
-                    let automatic = c.get_u32().map_err(telos::TelosError::Storage)? != 0;
-                    let executes = get_str_list(&mut c).map_err(telos::TelosError::Storage)?;
-                    let guarantees = get_str_list(&mut c).map_err(telos::TelosError::Storage)?;
-                    let mut spec = ToolSpec::new(name, automatic);
-                    spec.executes = executes;
-                    spec.guarantees = guarantees;
-                    g.register_tool(spec)?;
-                }
-                OP_REGISTER => {
-                    let name = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
-                    let class = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
-                    let source = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
-                    g.register_object(&name, &class, &source)?;
-                }
-                OP_EXECUTE => {
-                    let class = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
-                    let name = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
-                    let performer = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
-                    let tool = get_opt_str(&mut c)?;
-                    let inputs = get_str_list(&mut c).map_err(telos::TelosError::Storage)?;
-                    let n_out = c.get_u32().map_err(telos::TelosError::Storage)? as usize;
-                    let mut req = DecisionRequest::new(&class, &name, &performer);
-                    req.tool = tool;
-                    req.inputs = inputs;
-                    for _ in 0..n_out {
-                        let o = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
-                        let oc = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
-                        req.outputs.push((o, oc));
-                    }
-                    let n_dis = c.get_u32().map_err(telos::TelosError::Storage)? as usize;
-                    for _ in 0..n_dis {
-                        let kind = c.get_u32().map_err(telos::TelosError::Storage)?;
-                        let obligation =
-                            c.get_str().map_err(telos::TelosError::Storage)?.to_string();
-                        req.discharges.push(if kind == 0 {
-                            Discharge::Formal { obligation }
-                        } else {
-                            let by = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
-                            Discharge::Signature { obligation, by }
-                        });
-                    }
-                    g.execute(req)?;
-                }
-                OP_RETRACT => {
-                    let name = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
-                    g.retract_decision(&name)?;
-                }
-                OP_NOGOOD => {
-                    let ng = get_str_list(&mut c).map_err(telos::TelosError::Storage)?;
-                    g.nogoods.push(ng);
-                }
-                OP_TELL => {
-                    let src = c.get_str().map_err(telos::TelosError::Storage)?;
-                    g.tell_src(src)?;
-                }
-                OP_UNTELL => {
-                    let name = c.get_str().map_err(telos::TelosError::Storage)?;
-                    g.untell(name)?;
-                }
-                other => {
-                    return Err(GkbmsError::Unknown(format!(
-                        "op tag {other} in saved history"
-                    )))
-                }
-            }
+            apply_record(&mut g, &payload)?;
         }
         Ok(g)
     }
@@ -457,6 +528,119 @@ mod tests {
         // The untold object's propositions are preserved as history,
         // not destroyed: the KB has more propositions than believed.
         assert!(loaded.kb().len() > loaded.kb().believed_count());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn save_replaces_existing_file_atomically() {
+        let path = tmp("atomic");
+        let g1 = full_history();
+        g1.save(&path).unwrap();
+        // Saving a different history over it must fully replace it.
+        let mut g2 = Gkbms::new().unwrap();
+        g2.tell_src("TELL OnlyThis end").unwrap();
+        g2.save(&path).unwrap();
+        let loaded = Gkbms::load(&path).unwrap();
+        assert!(loaded.records().is_empty());
+        assert!(loaded.kb().lookup("OnlyThis").is_some());
+        // No temp litter left behind.
+        assert!(!save_tmp_path(&path).exists());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn failed_save_preserves_existing_history() {
+        let path = tmp("atomic-fail");
+        let original = full_history();
+        original.save(&path).unwrap();
+        let before = std::fs::read(&path).unwrap();
+        // Force the temp-file write to fail by occupying the temp path
+        // with a directory: this "interrupts" the save before the
+        // rename, like a crash mid-write would.
+        let tmp_path = save_tmp_path(&path);
+        std::fs::create_dir(&tmp_path).unwrap();
+        assert!(original.save(&path).is_err());
+        std::fs::remove_dir(&tmp_path).unwrap();
+        // The target was never touched: byte-identical and loadable.
+        assert_eq!(std::fs::read(&path).unwrap(), before);
+        let loaded = Gkbms::load(&path).unwrap();
+        assert_eq!(loaded.records().len(), original.records().len());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stale_temp_file_is_overwritten() {
+        let path = tmp("atomic-stale");
+        // A crash between temp-write and rename leaves a stale temp
+        // file; the next save must replace it, not append to it.
+        std::fs::write(save_tmp_path(&path), b"stale garbage").unwrap();
+        full_history().save(&path).unwrap();
+        assert!(!save_tmp_path(&path).exists());
+        assert_eq!(
+            Gkbms::load(&path).unwrap().records().len(),
+            full_history().records().len()
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn same_tick_events_replay_in_commit_order() {
+        let path = tmp("same-tick");
+        let mut g = scenario_gkbms();
+        g.register_object(
+            "Invitation",
+            kernel::TDL_ENTITY_CLASS,
+            "design.tdl#Invitation",
+        )
+        .unwrap();
+        // Commit order: raw TELL first, then an execution, then an
+        // UNTELL — then force all three onto one belief tick, as a
+        // coarse-grained clock would. A tick-only sort replays the
+        // execution first (category order), violating commit order.
+        g.tell_src("TELL Memo end").unwrap();
+        g.execute(
+            DecisionRequest::new("TDL_MappingDec", "mapInvitations", "dev")
+                .with_tool("TDL-DBPL-Mapper")
+                .input("Invitation")
+                .output("InvitationRel", kernel::DBPL_REL),
+        )
+        .unwrap();
+        g.untell("Memo").unwrap();
+        let shared_tick = 99;
+        g.tell_log[0].1 = shared_tick;
+        g.tell_log[1].1 = shared_tick;
+        g.records[0].tick = shared_tick;
+        g.save(&path).unwrap();
+        let loaded = Gkbms::load(&path).unwrap();
+        // Replay preserved commit order: tell < execute < untell by the
+        // reloaded system's own (freshly assigned) sequence numbers.
+        let tell_seq = loaded.tell_log[0].0;
+        let untell_seq = loaded.tell_log[1].0;
+        let exec_seq = loaded.records[0].seq;
+        assert!(
+            tell_seq < exec_seq && exec_seq < untell_seq,
+            "commit order lost: tell={tell_seq} exec={exec_seq} untell={untell_seq}"
+        );
+        // And the untell still wins over the tell.
+        assert!(loaded.kb().lookup("Memo").is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn retraction_of_earlier_decision_keeps_commit_order_on_same_tick() {
+        let path = tmp("same-tick-retract");
+        let mut g = full_history();
+        // mapMinutes was explicitly... no: `keys` conflict retracted it.
+        // Retract a still-effective decision and collapse ticks with the
+        // latest execution.
+        g.retract_decision("mapInvitations").unwrap();
+        let shared = 123;
+        g.records.last_mut().unwrap().tick = shared;
+        g.retraction_log.last_mut().unwrap().1 = shared;
+        g.save(&path).unwrap();
+        let loaded = Gkbms::load(&path).unwrap();
+        assert!(!loaded.is_effective("mapInvitations"));
+        assert_eq!(loaded.records().len(), g.records().len());
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -97,6 +97,10 @@ pub struct DecisionRecord {
     pub discharges: Vec<Discharge>,
     /// Belief tick at execution.
     pub tick: i64,
+    /// Monotonic commit sequence number: total order of executions,
+    /// explicit retractions and raw TELL/UNTELL events across one
+    /// GKBMS history, used to replay same-tick events in commit order.
+    pub seq: u64,
     /// True once retracted.
     pub retracted: bool,
     /// The decision instance proposition.
@@ -141,12 +145,18 @@ pub struct Gkbms {
     pub(crate) object_class_log: Vec<(String, String, Option<String>)>,
     pub(crate) tool_order: Vec<String>,
     pub(crate) register_log: Vec<(String, String, String)>,
-    /// Explicit retractions as `(tick, decision)` (cascades are
+    /// Explicit retractions as `(seq, tick, decision)` (cascades are
     /// re-derived on replay).
-    pub(crate) retraction_log: Vec<(i64, String)>,
-    /// Raw TELL/UNTELL traffic as `(tick, event)`, so ad-hoc frames
-    /// told through the service survive save/load like decisions do.
-    pub(crate) tell_log: Vec<(i64, TellEvent)>,
+    pub(crate) retraction_log: Vec<(u64, i64, String)>,
+    /// Raw TELL/UNTELL traffic as `(seq, tick, event)`, so ad-hoc
+    /// frames told through the service survive save/load like
+    /// decisions do.
+    pub(crate) tell_log: Vec<(u64, i64, TellEvent)>,
+    /// Commit sequence counter shared by records, retractions and raw
+    /// tells — the total event order that persistence sorts on.
+    pub(crate) seq: u64,
+    /// Live write-ahead journal, when attached via [`Gkbms::recover`].
+    pub(crate) journal: Option<crate::journal::Journal>,
     /// Statistics: dependency-graph rebuilds (lemma generation, E-2).
     pub graph_builds: u64,
 }
@@ -174,8 +184,16 @@ impl Gkbms {
             register_log: Vec::new(),
             retraction_log: Vec::new(),
             tell_log: Vec::new(),
+            seq: 0,
+            journal: None,
             graph_builds: 0,
         })
+    }
+
+    /// Next commit sequence number.
+    pub(crate) fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
     }
 
     /// Read access to the knowledge base.
@@ -221,7 +239,10 @@ impl Gkbms {
         let frames = objectbase::ObjectFrame::parse_all(src)?;
         let tick = self.begin_write();
         objectbase::transform::tell_all(&mut self.kb, &frames)?;
-        self.tell_log.push((tick, TellEvent::Tell(src.to_string())));
+        let seq = self.next_seq();
+        self.tell_log
+            .push((seq, tick, TellEvent::Tell(src.to_string())));
+        self.journal_append(crate::persist::encode_tell(src))?;
         obs::counter!("gkbms_tells_total", "Frames TELLed into the knowledge base")
             .add(frames.len() as u64);
         Ok(frames.len())
@@ -232,8 +253,10 @@ impl Gkbms {
     pub fn untell(&mut self, name: &str) -> GkbmsResult<usize> {
         let tick = self.begin_write();
         let gone = objectbase::transform::untell_object(&mut self.kb, name)?;
+        let seq = self.next_seq();
         self.tell_log
-            .push((tick, TellEvent::Untell(name.to_string())));
+            .push((seq, tick, TellEvent::Untell(name.to_string())));
+        self.journal_append(crate::persist::encode_untell(name))?;
         obs::counter!(
             "gkbms_untells_total",
             "Objects UNTELLed (belief intervals closed)"
@@ -292,6 +315,7 @@ impl Gkbms {
             level.to_string(),
             parent.map(|s| s.to_string()),
         ));
+        self.journal_append(crate::persist::encode_object_class(name, level, parent))?;
         Ok(c)
     }
 
@@ -332,8 +356,10 @@ impl Gkbms {
                 .ok_or_else(|| GkbmsError::Unknown(format!("decision class `{parent}`")))?;
             self.kb.specialize(prop, p)?;
         }
+        let payload = crate::persist::encode_decision_class(&dc);
         self.class_order.push(dc.name.clone());
         self.classes.insert(dc.name.clone(), dc);
+        self.journal_append(payload)?;
         Ok(prop)
     }
 
@@ -352,8 +378,10 @@ impl Gkbms {
             // The BY association at the class level (fig 2-6).
             self.kb.put_attr(d, names::BY_I, prop)?;
         }
+        let payload = crate::persist::encode_tool(&spec);
         self.tool_order.push(spec.name.clone());
         self.tools.insert(spec.name.clone(), spec);
+        self.journal_append(payload)?;
         Ok(prop)
     }
 
@@ -385,6 +413,7 @@ impl Gkbms {
         self.graph_cache = None;
         self.register_log
             .push((name.to_string(), class.to_string(), source.to_string()));
+        self.journal_append(crate::persist::encode_register(name, class, source))?;
         Ok(obj)
     }
 
@@ -702,6 +731,7 @@ impl Gkbms {
         }
 
         let tick = self.kb.tick();
+        let seq = self.next_seq();
         self.records.push(DecisionRecord {
             name: req.name.clone(),
             class: dc.name.clone(),
@@ -712,9 +742,12 @@ impl Gkbms {
             output_classes: req.outputs.iter().map(|(_, c)| c.clone()).collect(),
             discharges: req.discharges.clone(),
             tick,
+            seq,
             retracted: false,
             prop: decision,
         });
+        let payload = crate::persist::encode_execute(self.records.last().unwrap());
+        self.journal_append(payload)?;
         self.graph_cache = None;
         obs::counter!(
             "gkbms_decisions_executed_total",
@@ -803,7 +836,9 @@ impl Gkbms {
             self.records[i].retracted = true;
         }
         let t = self.kb.tick();
-        self.retraction_log.push((t, name.to_string()));
+        let seq = self.next_seq();
+        self.retraction_log.push((seq, t, name.to_string()));
+        self.journal_append(crate::persist::encode_retract(name))?;
         self.graph_cache = None;
         obs::counter!(
             "gkbms_decisions_retracted_total",

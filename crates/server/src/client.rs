@@ -390,6 +390,12 @@ impl Client {
         })
     }
 
+    /// Forces a journal checkpoint: the state is snapshotted atomically
+    /// and the WAL is truncated. Errors if the server is not journaled.
+    pub fn checkpoint(&mut self, session: u64) -> ClientResult<String> {
+        self.done(&Request::Checkpoint { session })
+    }
+
     /// Registers a design object.
     pub fn register_object(
         &mut self,

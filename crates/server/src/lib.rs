@@ -180,4 +180,181 @@ mod tests {
         assert!(g.kb().lookup("p1").is_some());
         assert!(g.kb().lookup("Paper").is_some());
     }
+
+    fn journal_dir(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("cb-server-journal-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+
+    fn start_journaled(dir: &std::path::Path, cfg: Config) -> (Server, std::net::SocketAddr) {
+        let (g, _) = Gkbms::recover(dir).expect("recover");
+        let srv = Server::bind("127.0.0.1:0", g, cfg).expect("bind");
+        let addr = srv.local_addr();
+        (srv, addr)
+    }
+
+    #[test]
+    fn journaled_mutations_survive_without_save() {
+        let dir = journal_dir("survive");
+        {
+            let (srv, addr) = start_journaled(&dir, quick_cfg());
+            let mut c = Client::connect(addr).unwrap();
+            let (s, _) = c.hello().unwrap();
+            c.tell(s, "TELL Paper end\nTELL p1 in Paper end").unwrap();
+            // Shutdown without any Save request: durability must come
+            // from the journal alone.
+            srv.shutdown().unwrap();
+        }
+        let (g, report) = Gkbms::recover(&dir).unwrap();
+        assert!(report.replayed_ops > 0, "WAL had the TELLs");
+        assert!(g.kb().lookup("p1").is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fsync_always_policy_acknowledges_durable_writes() {
+        let dir = journal_dir("always");
+        {
+            let (srv, addr) = start_journaled(
+                &dir,
+                Config {
+                    fsync: gkbms::FsyncPolicy::Always,
+                    ..quick_cfg()
+                },
+            );
+            let mut c = Client::connect(addr).unwrap();
+            let (s, _) = c.hello().unwrap();
+            c.tell(s, "TELL Paper end").unwrap();
+            c.tell(s, "TELL p1 in Paper end").unwrap();
+            srv.shutdown().unwrap();
+        }
+        let (g, _) = Gkbms::recover(&dir).unwrap();
+        assert!(g.kb().lookup("p1").is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_writers_group_commit() {
+        let dir = journal_dir("group");
+        {
+            let (srv, addr) = start_journaled(
+                &dir,
+                Config {
+                    fsync: gkbms::FsyncPolicy::Group(Duration::from_micros(200)),
+                    ..quick_cfg()
+                },
+            );
+            let mut c = Client::connect(addr).unwrap();
+            let (s, _) = c.hello().unwrap();
+            c.tell(s, "TELL Paper end").unwrap();
+            let writers: Vec<_> = (0..4)
+                .map(|w| {
+                    std::thread::spawn(move || {
+                        let mut c = Client::connect(addr).unwrap();
+                        let (s, _) = c.hello().unwrap();
+                        for i in 0..10 {
+                            c.tell(s, &format!("TELL w{w}x{i} in Paper end")).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            for w in writers {
+                w.join().unwrap();
+            }
+            srv.shutdown().unwrap();
+        }
+        let (g, report) = Gkbms::recover(&dir).unwrap();
+        assert!(report.replayed_ops >= 41);
+        for w in 0..4 {
+            for i in 0..10 {
+                assert!(
+                    g.kb().lookup(&format!("w{w}x{i}")).is_some(),
+                    "acknowledged TELL w{w}x{i} must survive"
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_request_compacts_wal_and_preserves_state() {
+        let dir = journal_dir("checkpoint");
+        {
+            let (srv, addr) = start_journaled(&dir, quick_cfg());
+            let mut c = Client::connect(addr).unwrap();
+            let (s, _) = c.hello().unwrap();
+            c.tell(s, "TELL Paper end\nTELL p1 in Paper end").unwrap();
+            let text = c.checkpoint(s).unwrap();
+            assert!(text.contains("compacted"), "got: {text}");
+            // Post-checkpoint mutations land in the fresh WAL.
+            c.tell(s, "TELL p2 in Paper end").unwrap();
+            srv.shutdown().unwrap();
+        }
+        assert!(dir.join("snapshot").exists());
+        let (g, report) = Gkbms::recover(&dir).unwrap();
+        assert!(report.snapshot_loaded);
+        assert_eq!(report.replayed_ops, 1, "only the post-checkpoint TELL");
+        assert!(g.kb().lookup("p1").is_some());
+        assert!(g.kb().lookup("p2").is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn auto_checkpoint_triggers_by_op_count() {
+        let dir = journal_dir("autockpt");
+        {
+            let (srv, addr) = start_journaled(
+                &dir,
+                Config {
+                    checkpoint_every: Some(3),
+                    ..quick_cfg()
+                },
+            );
+            let mut c = Client::connect(addr).unwrap();
+            let (s, _) = c.hello().unwrap();
+            for i in 0..7 {
+                c.tell(s, &format!("TELL N{i} end")).unwrap();
+            }
+            srv.shutdown().unwrap();
+        }
+        assert!(
+            dir.join("snapshot").exists(),
+            "op threshold must have forced a checkpoint"
+        );
+        let (g, report) = Gkbms::recover(&dir).unwrap();
+        assert!(report.snapshot_loaded);
+        assert!(report.replayed_ops < 7, "WAL was compacted at least once");
+        for i in 0..7 {
+            assert!(g.kb().lookup(&format!("N{i}")).is_some());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_without_journal_is_rejected() {
+        let (srv, addr) = start(quick_cfg());
+        let mut c = Client::connect(addr).unwrap();
+        let (s, _) = c.hello().unwrap();
+        match c.checkpoint(s) {
+            Err(ClientError::Server(e)) => assert_eq!(e.code, ErrorCode::Rejected),
+            other => panic!("unexpected {other:?}"),
+        }
+        srv.shutdown().unwrap();
+    }
+
+    #[test]
+    fn load_into_journaled_server_is_rejected() {
+        let dir = journal_dir("noload");
+        let (srv, addr) = start_journaled(&dir, quick_cfg());
+        let mut c = Client::connect(addr).unwrap();
+        let (s, _) = c.hello().unwrap();
+        match c.load(s, "/nonexistent/history") {
+            Err(ClientError::Server(e)) => assert_eq!(e.code, ErrorCode::Rejected),
+            other => panic!("unexpected {other:?}"),
+        }
+        srv.shutdown().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
 }

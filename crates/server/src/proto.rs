@@ -56,6 +56,7 @@
 //! | 20 | `RegisterObject`     | `session:u64 name:str class:str source:str`|
 //! | 21 | `Status`             | `session:u64`                              |
 //! | 22 | `Metrics`            | —                                          |
+//! | 23 | `Checkpoint`         | `session:u64`                              |
 //!
 //! The `Execute` decision request is encoded as:
 //!
@@ -294,6 +295,12 @@ pub enum Request {
     /// Scrape the server's metrics registry (Prometheus text format).
     /// Sessionless and admission-exempt, like `Ping`.
     Metrics,
+    /// Compact the server's journal: write a crash-atomic snapshot and
+    /// truncate the WAL. Rejected if the server runs without a journal.
+    Checkpoint {
+        /// Issuing session.
+        session: u64,
+    },
 }
 
 /// Typed error codes carried by [`Response::Error`].
@@ -433,6 +440,7 @@ const REQ_SLEEP: u32 = 19;
 const REQ_REGISTER: u32 = 20;
 const REQ_STATUS: u32 = 21;
 const REQ_METRICS: u32 = 22;
+const REQ_CHECKPOINT: u32 = 23;
 
 const RESP_WELCOME: u32 = 1;
 const RESP_DONE: u32 = 2;
@@ -656,6 +664,10 @@ impl Request {
                 codec::put_u64(&mut out, *session);
             }
             Request::Metrics => codec::put_u32(&mut out, REQ_METRICS),
+            Request::Checkpoint { session } => {
+                codec::put_u32(&mut out, REQ_CHECKPOINT);
+                codec::put_u64(&mut out, *session);
+            }
         }
         out
     }
@@ -742,6 +754,9 @@ impl Request {
                 session: c.get_u64()?,
             },
             REQ_METRICS => Request::Metrics,
+            REQ_CHECKPOINT => Request::Checkpoint {
+                session: c.get_u64()?,
+            },
             op => return Err(DecodeError(format!("unknown request opcode {op}"))),
         };
         if !c.is_exhausted() {
@@ -772,7 +787,8 @@ impl Request {
             | Request::Shutdown { session }
             | Request::Sleep { session, .. }
             | Request::RegisterObject { session, .. }
-            | Request::Status { session } => Some(*session),
+            | Request::Status { session }
+            | Request::Checkpoint { session } => Some(*session),
         }
     }
 
@@ -815,6 +831,7 @@ impl Request {
             Request::RegisterObject { .. } => "register",
             Request::Status { .. } => "status",
             Request::Metrics => "metrics",
+            Request::Checkpoint { .. } => "checkpoint",
         }
     }
 }
@@ -1126,6 +1143,7 @@ mod tests {
         });
         roundtrip_req(Request::Status { session: 6 });
         roundtrip_req(Request::Metrics);
+        roundtrip_req(Request::Checkpoint { session: 6 });
     }
 
     #[test]

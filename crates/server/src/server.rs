@@ -40,13 +40,14 @@
 
 use crate::proto::{self, ErrorCode, FrameRead, Request, Response, WireDischarge};
 use crate::session::{SessionErr, SessionTable};
-use gkbms::{DecisionRequest, Discharge, Gkbms};
+use gkbms::{DecisionRequest, Discharge, FsyncPolicy, Gkbms};
 use objectbase::transform::frame_of;
 use std::collections::VecDeque;
+use std::fs::File;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock, RwLockWriteGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use storage::record::HEADER_LEN;
@@ -68,6 +69,16 @@ pub struct Config {
     /// ASKs taking at least this long land in the slow-query log (and
     /// bump `gkbms_slow_queries_total`). `None` disables the log.
     pub slow_query_threshold: Option<Duration>,
+    /// When journal WAL appends are forced to stable storage before a
+    /// mutation is acknowledged. Only effective when the [`Gkbms`]
+    /// handed to [`Server::bind`] has a journal attached (see
+    /// [`Gkbms::recover`]). `Always` fsyncs per op under the write
+    /// lock; `Group` batches one fsync across concurrent writers
+    /// (group commit); `Never` leaves durability to checkpoints.
+    pub fsync: FsyncPolicy,
+    /// Auto-checkpoint: compact the journal after this many WAL ops.
+    /// `None` leaves checkpointing to explicit `Checkpoint` requests.
+    pub checkpoint_every: Option<u64>,
 }
 
 impl Default for Config {
@@ -78,6 +89,124 @@ impl Default for Config {
             poll_interval: Duration::from_millis(100),
             max_sleep: Duration::from_secs(30),
             slow_query_threshold: Some(Duration::from_millis(250)),
+            fsync: FsyncPolicy::Group(Duration::ZERO),
+            checkpoint_every: None,
+        }
+    }
+}
+
+/// Group commit: one leader fsync covers every WAL op appended (and
+/// flushed, which appends do under the write lock) before it started.
+///
+/// Durability is tracked in the journal's monotonic *op sequence*, not
+/// in WAL byte offsets — checkpoints truncate the WAL, but op numbers
+/// keep growing, and a checkpoint makes every op up to its point
+/// durable via the snapshot (see [`GroupCommit::mark_durable`]).
+struct GroupCommit {
+    /// Clone of the WAL file handle; shares the open file description
+    /// with the journal, so it survives checkpoint truncations and can
+    /// be fsynced without holding the state lock.
+    file: File,
+    state: Mutex<GcState>,
+    cv: Condvar,
+}
+
+struct GcState {
+    /// Highest op sequence number known durable.
+    durable_op: u64,
+    /// Highest op any waiter has asked to make durable.
+    requested_max: u64,
+    /// A leader is currently fsyncing.
+    leader: bool,
+}
+
+impl GroupCommit {
+    fn new(file: File, durable_op: u64) -> GroupCommit {
+        GroupCommit {
+            file,
+            state: Mutex::new(GcState {
+                durable_op,
+                requested_max: durable_op,
+                leader: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, GcState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Blocks until every WAL op up to and including `op` is on stable
+    /// storage. The first waiter becomes the leader: it optionally
+    /// waits `interval` for more commits to accumulate, issues one
+    /// fsync, and wakes everyone whose ops it covered.
+    fn wait_durable(&self, op: u64, interval: Duration) -> io::Result<()> {
+        let mut st = self.lock();
+        if st.requested_max < op {
+            st.requested_max = op;
+        }
+        loop {
+            if st.durable_op >= op {
+                return Ok(());
+            }
+            if st.leader {
+                st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                continue;
+            }
+            st.leader = true;
+            drop(st);
+            if !interval.is_zero() {
+                std::thread::sleep(interval);
+            }
+            // Everything requested by now has been appended *and
+            // flushed* (appends flush under the state write lock before
+            // the writer starts waiting), so one fsync covers it all.
+            let goal = self.lock().requested_max;
+            let started = Instant::now();
+            let outcome = self.file.sync_data();
+            obs::histogram!(
+                "gkbms_journal_fsync_seconds",
+                "Latency of WAL fsyncs (per-op and group-commit)"
+            )
+            .observe(started.elapsed());
+            st = self.lock();
+            st.leader = false;
+            match outcome {
+                Ok(()) => {
+                    let covered = goal.saturating_sub(st.durable_op);
+                    if goal > st.durable_op {
+                        st.durable_op = goal;
+                    }
+                    obs::counter!(
+                        "gkbms_group_commit_batches_total",
+                        "Group-commit fsync batches issued"
+                    )
+                    .inc();
+                    obs::counter!(
+                        "gkbms_group_commit_batched_ops_total",
+                        "WAL ops made durable by group-commit batches"
+                    )
+                    .add(covered);
+                    self.cv.notify_all();
+                }
+                Err(e) => {
+                    // Wake the others so they elect a new leader (or
+                    // fail in turn) rather than waiting forever.
+                    self.cv.notify_all();
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Records that every op up to `op` is durable without an fsync —
+    /// a checkpoint's snapshot already covers them.
+    fn mark_durable(&self, op: u64) {
+        let mut st = self.lock();
+        if op > st.durable_op {
+            st.durable_op = op;
+            self.cv.notify_all();
         }
     }
 }
@@ -111,6 +240,8 @@ struct Shared {
     inflight: AtomicUsize,
     shutdown: AtomicBool,
     slow_log: Mutex<VecDeque<SlowQuery>>,
+    /// Present iff the state has a journal attached at bind time.
+    gc: Option<GroupCommit>,
     cfg: Config,
     addr: SocketAddr,
 }
@@ -133,16 +264,32 @@ pub struct Server {
 
 impl Server {
     /// Binds `addr` (e.g. `"127.0.0.1:0"`), takes ownership of the
-    /// knowledge base, and starts accepting connections.
-    pub fn bind<A: ToSocketAddrs>(addr: A, state: Gkbms, cfg: Config) -> io::Result<Server> {
+    /// knowledge base, and starts accepting connections. If the
+    /// knowledge base has a journal attached (see [`Gkbms::recover`]),
+    /// every acknowledged mutation is appended to the WAL and made
+    /// durable per [`Config::fsync`].
+    pub fn bind<A: ToSocketAddrs>(addr: A, mut state: Gkbms, cfg: Config) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        let gc = match state.journal_mut() {
+            Some(j) => {
+                // Baseline: everything appended so far is made durable
+                // now, so group commit only ever owes fsyncs for ops
+                // appended while serving.
+                j.sync().map_err(|e| io::Error::other(e.to_string()))?;
+                let durable = j.appended_ops();
+                let file = j.file().map_err(|e| io::Error::other(e.to_string()))?;
+                Some(GroupCommit::new(file, durable))
+            }
+            None => None,
+        };
         let shared = Arc::new(Shared {
             state: RwLock::new(state),
             sessions: Mutex::new(SessionTable::new(cfg.idle_timeout)),
             inflight: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             slow_log: Mutex::new(VecDeque::new()),
+            gc,
             cfg,
             addr: local,
         });
@@ -457,6 +604,65 @@ fn write_state(shared: &Shared) -> std::sync::RwLockWriteGuard<'_, Gkbms> {
     guard
 }
 
+/// Completes a mutating request's commit: enforces the configured
+/// fsync policy (and the auto-checkpoint threshold) before the caller
+/// acknowledges the mutation, releasing the write lock as early as the
+/// policy allows. `mutated` is false when the operation failed and
+/// appended nothing. Returns an error response if durability could not
+/// be established — the mutation is applied in memory but the client
+/// must not treat it as stable.
+fn durable_commit(
+    shared: &Shared,
+    mut g: RwLockWriteGuard<'_, Gkbms>,
+    mutated: bool,
+) -> Result<(), Response> {
+    if !mutated || g.journal().is_none() {
+        return Ok(());
+    }
+    let mut pending = None;
+    match shared.cfg.fsync {
+        FsyncPolicy::Always => {
+            // Strict per-op durability: fsync while still holding the
+            // write lock, one fsync per acknowledged mutation.
+            if let Err(e) = g.journal_mut().expect("journal checked").sync() {
+                return Err(err(ErrorCode::Internal, format!("journal fsync: {e}")));
+            }
+        }
+        FsyncPolicy::Group(interval) => {
+            pending = Some((
+                g.journal().expect("journal checked").appended_ops(),
+                interval,
+            ));
+        }
+        FsyncPolicy::Never => {}
+    }
+    if let Some(every) = shared.cfg.checkpoint_every {
+        if g.journal().expect("journal checked").ops_since_checkpoint() >= every {
+            match g.checkpoint() {
+                Ok(report) => {
+                    if let Some(gc) = &shared.gc {
+                        gc.mark_durable(report.appended_ops);
+                    }
+                    pending = None;
+                }
+                Err(e) => {
+                    return Err(err(
+                        ErrorCode::Internal,
+                        format!("auto-checkpoint failed: {e}"),
+                    ))
+                }
+            }
+        }
+    }
+    drop(g);
+    if let (Some((op, interval)), Some(gc)) = (pending, &shared.gc) {
+        if let Err(e) = gc.wait_durable(op, interval) {
+            return Err(err(ErrorCode::Internal, format!("group-commit fsync: {e}")));
+        }
+    }
+    Ok(())
+}
+
 /// Touches the session and returns its watermark, bumping counters.
 fn touch(shared: &Shared, id: u64) -> Result<i64, Response> {
     lock_sessions(shared)
@@ -518,7 +724,11 @@ fn dispatch(shared: &Shared, req: Request) -> Response {
                 return resp;
             }
             let mut g = write_state(shared);
-            match g.tell_src(&src) {
+            let outcome = g.tell_src(&src);
+            if let Err(resp) = durable_commit(shared, g, outcome.is_ok()) {
+                return resp;
+            }
+            match outcome {
                 Ok(n) => Response::Done {
                     text: format!("told {n} object(s)"),
                 },
@@ -530,7 +740,11 @@ fn dispatch(shared: &Shared, req: Request) -> Response {
                 return resp;
             }
             let mut g = write_state(shared);
-            match g.untell(&name) {
+            let outcome = g.untell(&name);
+            if let Err(resp) = durable_commit(shared, g, outcome.is_ok()) {
+                return resp;
+            }
+            match outcome {
                 Ok(gone) => Response::Done {
                     text: format!("untold `{name}` ({gone} proposition(s))"),
                 },
@@ -656,7 +870,11 @@ fn dispatch(shared: &Shared, req: Request) -> Response {
             }
             let mut g = write_state(shared);
             g.begin_write();
-            match g.execute(dr) {
+            let outcome = g.execute(dr);
+            if let Err(resp) = durable_commit(shared, g, outcome.is_ok()) {
+                return resp;
+            }
+            match outcome {
                 Ok(summary) => Response::Done {
                     text: format!(
                         "executed {}: created [{}] at tick {}",
@@ -674,7 +892,11 @@ fn dispatch(shared: &Shared, req: Request) -> Response {
             }
             let mut g = write_state(shared);
             g.begin_write();
-            match g.retract_decision(&name) {
+            let outcome = g.retract_decision(&name);
+            if let Err(resp) = durable_commit(shared, g, outcome.is_ok()) {
+                return resp;
+            }
+            match outcome {
                 Ok(affected) => names(affected),
                 Err(e) => err(ErrorCode::Rejected, e.to_string()),
             }
@@ -744,6 +966,13 @@ fn dispatch(shared: &Shared, req: Request) -> Response {
             if let Err(resp) = touch(shared, session) {
                 return resp;
             }
+            if shared.gc.is_some() {
+                return err(
+                    ErrorCode::Rejected,
+                    "cannot load into a journaled server: state is owned by the journal \
+                     (restart with a different --journal dir instead)",
+                );
+            }
             match Gkbms::load(&path) {
                 Ok(fresh) => {
                     let mut g = write_state(shared);
@@ -758,6 +987,28 @@ fn dispatch(shared: &Shared, req: Request) -> Response {
                     }
                 }
                 Err(e) => err(ErrorCode::Internal, e.to_string()),
+            }
+        }
+        Request::Checkpoint { session } => {
+            if let Err(resp) = touch(shared, session) {
+                return resp;
+            }
+            let mut g = write_state(shared);
+            match g.checkpoint() {
+                Ok(report) => {
+                    // The snapshot covers everything appended so far, so
+                    // waiting group committers are durable too.
+                    if let Some(gc) = &shared.gc {
+                        gc.mark_durable(report.appended_ops);
+                    }
+                    Response::Done {
+                        text: format!(
+                            "checkpointed: {} op(s) compacted into the snapshot",
+                            report.compacted_ops
+                        ),
+                    }
+                }
+                Err(e) => err(ErrorCode::Rejected, e.to_string()),
             }
         }
         Request::Sleep { session, millis } => {
@@ -781,7 +1032,11 @@ fn dispatch(shared: &Shared, req: Request) -> Response {
             }
             let mut g = write_state(shared);
             g.begin_write();
-            match g.register_object(&name, &class, &source) {
+            let outcome = g.register_object(&name, &class, &source);
+            if let Err(resp) = durable_commit(shared, g, outcome.is_ok()) {
+                return resp;
+            }
+            match outcome {
                 Ok(_) => Response::Done {
                     text: format!("registered `{name}` in `{class}`"),
                 },

@@ -1,0 +1,151 @@
+//! Crash-injection utilities for durability testing.
+//!
+//! A real kill-at-arbitrary-instant test would need process control the
+//! test harness does not have; the observable effect of such a kill on
+//! an append-only log, however, is fully described by the bytes that
+//! reached the disk. These helpers simulate the outcome of a crash by
+//! copying on-disk state and mutilating the copy:
+//!
+//! * truncation at an arbitrary offset models a kill mid-write (the
+//!   tail of the file never made it to the platter);
+//! * a flipped byte models sector rot or a misdirected write inside the
+//!   committed region.
+//!
+//! Recovery code is then run against the mutilated copy and must uphold
+//! the durability contract: every record acknowledged as synced before
+//! the "crash" survives, no interior record is silently dropped, and
+//! malformed bytes produce typed errors rather than panics.
+
+use crate::error::StorageResult;
+use std::fs;
+use std::path::Path;
+
+/// Copies `src` to `dst`, truncated to the first `len` bytes — the
+/// on-disk image a crash would leave if only `len` bytes had reached
+/// stable storage. `len` past the end of `src` copies the whole file.
+pub fn truncated_copy(src: impl AsRef<Path>, dst: impl AsRef<Path>, len: u64) -> StorageResult<()> {
+    let mut bytes = fs::read(src)?;
+    bytes.truncate(len as usize);
+    fs::write(dst, &bytes)?;
+    Ok(())
+}
+
+/// Truncates the file at `path` in place to `len` bytes.
+pub fn truncate_in_place(path: impl AsRef<Path>, len: u64) -> StorageResult<()> {
+    let f = fs::OpenOptions::new().write(true).open(path)?;
+    f.set_len(len)?;
+    Ok(())
+}
+
+/// XORs the byte at `offset` with `mask` (which must be non-zero to
+/// actually corrupt). Returns the original byte value.
+pub fn flip_byte(path: impl AsRef<Path>, offset: u64, mask: u8) -> StorageResult<u8> {
+    let path = path.as_ref();
+    let mut bytes = fs::read(path)?;
+    let orig = bytes[offset as usize];
+    bytes[offset as usize] ^= mask;
+    fs::write(path, &bytes)?;
+    Ok(orig)
+}
+
+/// Length of the file at `path` in bytes.
+pub fn file_len(path: impl AsRef<Path>) -> StorageResult<u64> {
+    Ok(fs::metadata(path)?.len())
+}
+
+/// Recursively copies the directory `src` to `dst` (flat files only —
+/// journal directories hold no subdirectories). `dst` is created; any
+/// previous contents are removed first so each injection starts clean.
+pub fn copy_dir(src: impl AsRef<Path>, dst: impl AsRef<Path>) -> StorageResult<()> {
+    let dst = dst.as_ref();
+    if dst.exists() {
+        fs::remove_dir_all(dst)?;
+    }
+    fs::create_dir_all(dst)?;
+    for entry in fs::read_dir(src)? {
+        let entry = entry?;
+        if entry.file_type()?.is_file() {
+            fs::copy(entry.path(), dst.join(entry.file_name()))?;
+        }
+    }
+    Ok(())
+}
+
+/// Evenly-spaced crash offsets covering `0..=len`, always including both
+/// endpoints, at most `max_points` long. With `len <= max_points` every
+/// single byte offset is exercised.
+pub fn crash_offsets(len: u64, max_points: usize) -> Vec<u64> {
+    if len == 0 {
+        return vec![0];
+    }
+    let n = (len + 1).min(max_points as u64);
+    let mut out = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        out.push(i * len / (n - 1).max(1));
+    }
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("cb-crash-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn truncated_copy_clamps_to_file_length() {
+        let src = tmp("tc-src");
+        let dst = tmp("tc-dst");
+        fs::write(&src, b"0123456789").unwrap();
+        truncated_copy(&src, &dst, 4).unwrap();
+        assert_eq!(fs::read(&dst).unwrap(), b"0123");
+        truncated_copy(&src, &dst, 400).unwrap();
+        assert_eq!(fs::read(&dst).unwrap(), b"0123456789");
+        fs::remove_file(&src).unwrap();
+        fs::remove_file(&dst).unwrap();
+    }
+
+    #[test]
+    fn flip_byte_corrupts_and_reports_original() {
+        let p = tmp("flip");
+        fs::write(&p, b"abc").unwrap();
+        let orig = flip_byte(&p, 1, 0xFF).unwrap();
+        assert_eq!(orig, b'b');
+        assert_eq!(fs::read(&p).unwrap(), vec![b'a', b'b' ^ 0xFF, b'c']);
+        fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn copy_dir_replaces_destination() {
+        let src = tmp("cd-src");
+        let dst = tmp("cd-dst");
+        fs::create_dir_all(&src).unwrap();
+        fs::write(src.join("wal"), b"wal-bytes").unwrap();
+        fs::create_dir_all(&dst).unwrap();
+        fs::write(dst.join("stale"), b"old").unwrap();
+        copy_dir(&src, &dst).unwrap();
+        assert_eq!(fs::read(dst.join("wal")).unwrap(), b"wal-bytes");
+        assert!(!dst.join("stale").exists());
+        fs::remove_dir_all(&src).unwrap();
+        fs::remove_dir_all(&dst).unwrap();
+    }
+
+    #[test]
+    fn crash_offsets_cover_endpoints_and_bound_count() {
+        assert_eq!(crash_offsets(0, 10), vec![0]);
+        let all = crash_offsets(5, 100);
+        assert_eq!(all, vec![0, 1, 2, 3, 4, 5]);
+        let strided = crash_offsets(10_000, 201);
+        assert!(strided.len() <= 201);
+        assert_eq!(*strided.first().unwrap(), 0);
+        assert_eq!(*strided.last().unwrap(), 10_000);
+        // Strictly increasing.
+        assert!(strided.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -9,6 +9,7 @@
 //!
 //! * [`record`] — a length-prefixed, CRC-checked binary record format;
 //! * [`log`] — an append-only segment log with torn-tail recovery;
+//! * [`crash`] — crash-injection helpers for durability tests;
 //! * [`kv`] — a log-structured key-value store with compaction;
 //! * [`pager`] — a fixed-size page cache with LRU eviction;
 //! * [`heap`] — a slotted heap file of variable-length records on top of
@@ -18,6 +19,7 @@
 //! The `telos` crate builds its persistent proposition-base backend from
 //! these pieces; an in-memory backend needs only [`index`].
 
+pub mod crash;
 pub mod error;
 pub mod heap;
 pub mod index;

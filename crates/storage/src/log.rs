@@ -39,14 +39,21 @@ pub struct AppendLog {
 
 impl AppendLog {
     /// Opens (or creates) the log at `path`, scanning it to validate all
-    /// records and locate the tail. A torn final record is truncated.
+    /// records and locate the tail. A torn final record is truncated (and
+    /// the truncation is synced, so a crash right after recovery cannot
+    /// resurrect the torn bytes). Creating a fresh log syncs the parent
+    /// directory so the file itself survives a crash.
     pub fn open(path: impl AsRef<Path>) -> StorageResult<Self> {
         let path = path.as_ref().to_path_buf();
+        let existed = path.exists();
         let file = OpenOptions::new()
             .read(true)
             .append(true)
             .create(true)
             .open(&path)?;
+        if !existed {
+            sync_parent_dir(&path)?;
+        }
         let mut reader = BufReader::new(file.try_clone()?);
         reader.seek(SeekFrom::Start(0))?;
         let mut offset = 0u64;
@@ -60,8 +67,11 @@ impl AppendLog {
                 }
                 ReadOutcome::Eof => break,
                 ReadOutcome::Torn { offset: at } => {
-                    // Torn tail: truncate and carry on.
+                    // Torn tail: truncate and carry on. sync_all (not
+                    // sync_data) because the truncation changed the size,
+                    // and an unsynced truncation could come back torn.
                     file.set_len(at)?;
+                    file.sync_all()?;
                     tail_state = TailState::TruncatedAt(at);
                     obs::counter!(
                         "storage_log_torn_truncations_total",
@@ -117,6 +127,44 @@ impl AppendLog {
         Ok(())
     }
 
+    /// Flushes buffered appends into the OS page cache without fsyncing.
+    /// After this, a clone of [`AppendLog::file`] sees every append, so a
+    /// group-commit leader can fsync outside the writer's lock.
+    pub fn flush(&mut self) -> StorageResult<()> {
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Returns a cloned handle to the backing file (flushing buffered
+    /// appends first). `sync_data` on the clone durably commits every
+    /// append flushed so far — the handle shares one open file
+    /// description with the log, so it stays valid across
+    /// [`AppendLog::truncate_all`].
+    pub fn file(&mut self) -> StorageResult<File> {
+        self.writer.flush()?;
+        Ok(self.writer.get_ref().try_clone()?)
+    }
+
+    /// Discards every record, resetting the log to empty — used after a
+    /// checkpoint has compacted the log's contents into a snapshot. The
+    /// truncation is fsynced. The same inode is kept, so handles from
+    /// [`AppendLog::file`] remain valid.
+    pub fn truncate_all(&mut self) -> StorageResult<()> {
+        self.writer.flush()?;
+        self.writer.get_ref().set_len(0)?;
+        self.writer.seek(SeekFrom::Start(0))?;
+        self.writer.get_ref().sync_all()?;
+        self.tail = 0;
+        self.records = 0;
+        self.tail_state = TailState::Clean;
+        obs::counter!(
+            "storage_log_truncations_total",
+            "Full log truncations after checkpoints"
+        )
+        .inc();
+        Ok(())
+    }
+
     /// Number of records currently in the log.
     pub fn len(&self) -> u64 {
         self.records
@@ -153,6 +201,19 @@ impl AppendLog {
             end: self.tail,
         })
     }
+}
+
+/// Fsyncs the parent directory of `path`, making a rename or file
+/// creation inside it durable. On a crash before the directory sync, the
+/// directory entry itself may be lost even though the file's bytes were
+/// fsynced.
+pub fn sync_parent_dir(path: impl AsRef<Path>) -> StorageResult<()> {
+    let parent = match path.as_ref().parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    File::open(parent)?.sync_all()?;
+    Ok(())
 }
 
 /// Iterator over `(Lsn, payload)` pairs of a log.
@@ -249,11 +310,74 @@ mod tests {
         let mut log = AppendLog::open(&path).unwrap();
         assert_eq!(log.len(), 1);
         assert!(matches!(log.tail_state(), TailState::TruncatedAt(_)));
+        // The truncation reached the file itself (not just our view of
+        // it): an independent handle sees the shortened length.
+        let committed_len = std::fs::metadata(&path).unwrap().len();
+        assert!(committed_len < full - 5);
+        assert_eq!(committed_len, log.byte_len());
         let items: Vec<_> = log.iter().unwrap().map(|r| r.unwrap().1).collect();
         assert_eq!(items, vec![b"committed".to_vec()]);
         // The log is usable again after truncation.
         log.append(b"new").unwrap();
         assert_eq!(log.len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncate_all_resets_and_keeps_log_usable() {
+        let path = tmp("truncate-all");
+        let mut log = AppendLog::open(&path).unwrap();
+        log.append(b"one").unwrap();
+        log.append(b"two").unwrap();
+        log.sync().unwrap();
+        // A file handle cloned before the truncation must stay usable
+        // afterwards (group commit holds one across checkpoints).
+        let handle = log.file().unwrap();
+        log.truncate_all().unwrap();
+        assert!(log.is_empty());
+        assert_eq!(log.byte_len(), 0);
+        assert_eq!(log.tail_state(), TailState::Clean);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+        log.append(b"after").unwrap();
+        log.flush().unwrap();
+        handle.sync_data().unwrap();
+        let items: Vec<_> = log.iter().unwrap().map(|r| r.unwrap().1).collect();
+        assert_eq!(items, vec![b"after".to_vec()]);
+        // Reopen sees only the post-truncation record.
+        drop(log);
+        let log = AppendLog::open(&path).unwrap();
+        assert_eq!(log.len(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn cloned_file_commits_flushed_appends() {
+        let path = tmp("cloned-file");
+        let mut log = AppendLog::open(&path).unwrap();
+        log.append(b"payload").unwrap();
+        let handle = log.file().unwrap();
+        // flush happened inside file(): an independent reader already
+        // sees the bytes, and sync_data on the clone makes them durable.
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            log.byte_len(),
+            "file() must flush buffered appends"
+        );
+        handle.sync_data().unwrap();
+        drop(log);
+        let log = AppendLog::open(&path).unwrap();
+        assert_eq!(log.len(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn sync_parent_dir_accepts_plain_and_relative_paths() {
+        let path = tmp("syncdir");
+        std::fs::write(&path, b"x").unwrap();
+        sync_parent_dir(&path).unwrap();
+        // A bare file name has no parent component; the current
+        // directory is synced instead of erroring.
+        sync_parent_dir("Cargo.toml").unwrap();
         std::fs::remove_file(&path).unwrap();
     }
 

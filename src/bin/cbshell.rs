@@ -6,8 +6,16 @@
 //! cargo run --bin cbshell -- mykb.log           # persistent KB
 //! echo 'ask p/Paper : true' | cargo run --bin cbshell
 //! cargo run --bin cbshell -- --listen 127.0.0.1:4711   # serve a KB
+//! cargo run --bin cbshell -- --listen 127.0.0.1:4711 --journal kbdir \
+//!     --fsync group:2 --checkpoint-every 1000          # durable server
 //! cargo run --bin cbshell -- --connect 127.0.0.1:4711  # talk to one
 //! ```
+//!
+//! With `--journal <dir>` the served KB recovers from `<dir>` (snapshot
+//! plus WAL tail) and journals every committed mutation before it is
+//! acknowledged. `--fsync` picks the durability policy (`always`,
+//! `group[:<ms>]`, `none`); `--checkpoint-every <n>` compacts the WAL
+//! into a fresh snapshot after every `n` journaled ops.
 //!
 //! Commands (one per line; frames may span lines until `end`):
 //!
@@ -29,9 +37,10 @@
 //!
 //! Connected mode additionally understands `refresh` (re-pin the
 //! session snapshot), `history`, `status`, `save <path>`,
-//! `load <path>`, and `shutdown`; reads are snapshot-isolated at the
-//! session watermark, and the shell refreshes automatically after its
-//! own successful writes so they stay visible.
+//! `load <path>`, `\checkpoint` (compact the server journal), and
+//! `shutdown`; reads are snapshot-isolated at the session watermark,
+//! and the shell refreshes automatically after its own successful
+//! writes so they stay visible.
 //!
 //! When a script is piped in (non-interactive), any `error:` response
 //! makes the process exit non-zero, so CI can assert on scripts.
@@ -194,7 +203,7 @@ fn dispatch_remote(client: &mut Client, session: u64, line: &str) -> Option<Stri
             return None;
         }
         "help" => "commands: tell untell ask holds show refresh history status \\stats \
-                   \\metrics save load shutdown quit"
+                   \\metrics \\checkpoint save load shutdown quit"
             .to_string(),
         "tell" => {
             let r = client.tell(session, &format!("TELL {rest}"));
@@ -226,6 +235,7 @@ fn dispatch_remote(client: &mut Client, session: u64, line: &str) -> Option<Stri
         "history" => text(client.history(session)),
         "status" => text(client.status(session)),
         "save" => text(client.save(session, rest)),
+        "\\checkpoint" | "checkpoint" => text(client.checkpoint(session)),
         "load" => {
             let r = client.load(session, rest);
             write_then_refresh(client, r)
@@ -258,8 +268,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("--listen") => {
-            let addr = args.get(1).map(String::as_str).unwrap_or("127.0.0.1:4711");
-            return listen(addr);
+            let opts = ListenOpts::parse(&args[1..])?;
+            return listen(&opts);
         }
         Some("--connect") => {
             let addr = args
@@ -284,10 +294,80 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     script_exit(interactive, had_error)
 }
 
-/// Serves a fresh GKBMS on `addr` until a client sends `shutdown`.
-fn listen(addr: &str) -> Result<(), Box<dyn std::error::Error>> {
-    let state = conceptbase::gkbms::Gkbms::new()?;
-    let server = Server::bind(addr, state, Config::default())?;
+/// `--listen` options: address plus durability knobs.
+struct ListenOpts {
+    addr: String,
+    journal: Option<std::path::PathBuf>,
+    fsync: conceptbase::gkbms::FsyncPolicy,
+    checkpoint_every: Option<u64>,
+}
+
+impl ListenOpts {
+    /// Parses everything after `--listen`: an optional bare address
+    /// followed by `--journal <dir>`, `--fsync <policy>`, and
+    /// `--checkpoint-every <n>` in any order.
+    fn parse(args: &[String]) -> Result<ListenOpts, String> {
+        let mut opts = ListenOpts {
+            addr: "127.0.0.1:4711".to_string(),
+            journal: None,
+            fsync: Config::default().fsync,
+            checkpoint_every: None,
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value = |flag: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{flag} needs a value"))
+            };
+            match arg.as_str() {
+                "--journal" => opts.journal = Some(value("--journal")?.into()),
+                "--fsync" => {
+                    let v = value("--fsync")?;
+                    opts.fsync = conceptbase::gkbms::FsyncPolicy::parse(&v)
+                        .map_err(|e| format!("--fsync: {e}"))?;
+                }
+                "--checkpoint-every" => {
+                    let v = value("--checkpoint-every")?;
+                    opts.checkpoint_every = Some(
+                        v.parse()
+                            .map_err(|_| format!("bad --checkpoint-every `{v}`"))?,
+                    );
+                }
+                other if other.starts_with("--") => {
+                    return Err(format!("unknown --listen flag `{other}`"));
+                }
+                addr => opts.addr = addr.to_string(),
+            }
+        }
+        Ok(opts)
+    }
+}
+
+/// Serves a GKBMS on the configured address until a client sends
+/// `shutdown`. With `--journal` the state recovers from (and journals
+/// into) the given directory; otherwise it is fresh and in-memory.
+fn listen(opts: &ListenOpts) -> Result<(), Box<dyn std::error::Error>> {
+    let state = match &opts.journal {
+        Some(dir) => {
+            let (g, report) = conceptbase::gkbms::Gkbms::recover(dir)?;
+            println!(
+                "gkbms: recovered from {} (snapshot: {}, {} WAL op(s) replayed in {:?})",
+                dir.display(),
+                if report.snapshot_loaded { "yes" } else { "no" },
+                report.replayed_ops,
+                report.elapsed
+            );
+            g
+        }
+        None => conceptbase::gkbms::Gkbms::new()?,
+    };
+    let cfg = Config {
+        fsync: opts.fsync,
+        checkpoint_every: opts.checkpoint_every,
+        ..Config::default()
+    };
+    let server = Server::bind(opts.addr.as_str(), state, cfg)?;
     println!("gkbms: listening on {}", server.local_addr());
     server.join()?;
     println!("gkbms: stopped");
@@ -493,6 +573,61 @@ mod tests {
         assert!(bad.starts_with("error:"), "{bad}");
         assert!(dispatch_remote(&mut client, session, "quit").is_none());
         server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn listen_opts_parse_flags() {
+        let opts = ListenOpts::parse(&[]).unwrap();
+        assert_eq!(opts.addr, "127.0.0.1:4711");
+        assert!(opts.journal.is_none());
+        assert!(opts.checkpoint_every.is_none());
+
+        let args: Vec<String> = [
+            "127.0.0.1:9999",
+            "--journal",
+            "/tmp/kbdir",
+            "--fsync",
+            "group:5",
+            "--checkpoint-every",
+            "1000",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let opts = ListenOpts::parse(&args).unwrap();
+        assert_eq!(opts.addr, "127.0.0.1:9999");
+        assert_eq!(
+            opts.journal.as_deref(),
+            Some(std::path::Path::new("/tmp/kbdir"))
+        );
+        assert_eq!(
+            opts.fsync,
+            conceptbase::gkbms::FsyncPolicy::Group(std::time::Duration::from_millis(5))
+        );
+        assert_eq!(opts.checkpoint_every, Some(1000));
+
+        assert!(ListenOpts::parse(&["--fsync".to_string(), "bogus".to_string()]).is_err());
+        assert!(ListenOpts::parse(&["--journal".to_string()]).is_err());
+        assert!(ListenOpts::parse(&["--frob".to_string()]).is_err());
+    }
+
+    #[test]
+    fn remote_checkpoint_against_journaled_server() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("cb-shell-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (state, _) = conceptbase::gkbms::Gkbms::recover(&dir).unwrap();
+        let server = Server::bind("127.0.0.1:0", state, Config::default()).unwrap();
+        let addr = server.local_addr();
+        let mut client = Client::connect(addr).unwrap();
+        let (session, _) = client.hello().unwrap();
+        let r = dispatch_remote(&mut client, session, "tell Paper end").unwrap();
+        assert!(r.starts_with("told"), "{r}");
+        let r = dispatch_remote(&mut client, session, "\\checkpoint").unwrap();
+        assert!(r.contains("compacted"), "{r}");
+        server.shutdown().unwrap();
+        assert!(dir.join("snapshot").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,0 +1,315 @@
+//! Crash-injection recovery harness.
+//!
+//! Simulates a kill at arbitrary points of the durability pipeline by
+//! truncating (and flipping bytes of) copies of the on-disk state, then
+//! asserts the recovery invariants:
+//!
+//! * **prefix durability** — every mutation whose synced WAL bytes lie
+//!   at or below the crash point survives recovery;
+//! * **no interior loss** — recovery replays exactly the whole records
+//!   below the crash point, never skipping one in the middle;
+//! * **no panics** — every injected crash yields either a recovered
+//!   prefix or a typed error.
+
+use conceptbase::gkbms::journal::{SNAPSHOT_FILE, WAL_FILE};
+use conceptbase::gkbms::metamodel::kernel;
+use conceptbase::gkbms::{DecisionClass, DecisionDimension, DecisionRequest, Gkbms, ToolSpec};
+use conceptbase::storage::crash;
+use std::path::{Path, PathBuf};
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("cb-crashrec-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+const PADS: usize = 8;
+/// Fixed step indexes of the scripted history below.
+const STEP_TELL_ADHOC: usize = 5;
+const STEP_EXEC_MINUTES: usize = 6;
+const STEP_UNTELL_ADHOC: usize = 7;
+const STEP_RETRACT_MINUTES: usize = 8;
+const STEP_FIRST_PAD: usize = 9;
+
+/// Builds a journaled history in `dir`, syncing after every mutation
+/// and recording the WAL length at each step boundary. Each step
+/// appends exactly one WAL record, so whole-record boundaries and step
+/// boundaries coincide.
+fn build_journaled_history(dir: &Path) -> Vec<u64> {
+    let wal = dir.join(WAL_FILE);
+    let (mut g, report) = Gkbms::recover(dir).expect("fresh recover");
+    assert_eq!(report.replayed_ops, 0);
+    let mut boundaries = Vec::new();
+    let mut mark = |g: &mut Gkbms| {
+        g.journal_mut().expect("journaled").sync().expect("sync");
+        boundaries.push(crash::file_len(&wal).expect("wal len"));
+    };
+
+    g.define_decision_class(
+        DecisionClass::new("MapDec", DecisionDimension::Mapping)
+            .from_classes(&[kernel::TDL_ENTITY_CLASS])
+            .to_classes(&[kernel::DBPL_REL]),
+    )
+    .unwrap();
+    mark(&mut g); // 0
+    g.register_tool(ToolSpec::new("Mapper", true).executes("MapDec"))
+        .unwrap();
+    mark(&mut g); // 1
+    g.register_object(
+        "Invitation",
+        kernel::TDL_ENTITY_CLASS,
+        "design.tdl#Invitation",
+    )
+    .unwrap();
+    mark(&mut g); // 2
+    g.register_object("Minutes", kernel::TDL_ENTITY_CLASS, "design.tdl#Minutes")
+        .unwrap();
+    mark(&mut g); // 3
+    g.execute(
+        DecisionRequest::new("MapDec", "mapInvitations", "dev")
+            .with_tool("Mapper")
+            .input("Invitation")
+            .output("InvitationRel", kernel::DBPL_REL),
+    )
+    .unwrap();
+    mark(&mut g); // 4
+    g.tell_src("TELL AdHoc end").unwrap();
+    mark(&mut g); // 5 = STEP_TELL_ADHOC
+    g.execute(
+        DecisionRequest::new("MapDec", "mapMinutes", "dev")
+            .with_tool("Mapper")
+            .input("Minutes")
+            .output("MinutesRel", kernel::DBPL_REL),
+    )
+    .unwrap();
+    mark(&mut g); // 6 = STEP_EXEC_MINUTES
+    g.untell("AdHoc").unwrap();
+    mark(&mut g); // 7 = STEP_UNTELL_ADHOC
+    g.retract_decision("mapMinutes").unwrap();
+    mark(&mut g); // 8 = STEP_RETRACT_MINUTES
+    for i in 0..PADS {
+        g.tell_src(&format!("TELL Pad{i} end")).unwrap();
+        mark(&mut g); // 9.. = STEP_FIRST_PAD..
+    }
+    boundaries
+}
+
+/// Asserts the exact state a recovery must reach after replaying the
+/// first `n` steps of [`build_journaled_history`]'s script — including
+/// the *absence* of later effects (an untell or retraction from beyond
+/// the crash point must not have applied).
+fn assert_prefix_state(g: &Gkbms, n: usize, ctx: &str) {
+    let has = |name: &str| g.kb().lookup(name).is_some();
+    assert_eq!(n > 0, has("MapDec"), "{ctx}: MapDec definition");
+    assert_eq!(n > 1, has("Mapper"), "{ctx}: Mapper tool");
+    assert_eq!(n > 2, g.is_current("Invitation"), "{ctx}: Invitation");
+    assert_eq!(n > 3, g.is_current("Minutes"), "{ctx}: Minutes");
+    assert_eq!(
+        n > 4,
+        g.is_effective("mapInvitations") && g.is_current("InvitationRel"),
+        "{ctx}: mapInvitations execution"
+    );
+    // AdHoc is told at step 5 and untold at step 7: believed only in
+    // the window, and never resurrected by a crash after the untell.
+    let adhoc_believed = g.snapshot().lookup("AdHoc").is_some();
+    assert_eq!(
+        n > STEP_TELL_ADHOC && n <= STEP_UNTELL_ADHOC,
+        adhoc_believed,
+        "{ctx}: AdHoc belief window"
+    );
+    // mapMinutes executes at step 6 and is retracted at step 8.
+    assert_eq!(
+        n > STEP_EXEC_MINUTES && n <= STEP_RETRACT_MINUTES,
+        g.is_effective("mapMinutes") && g.is_current("MinutesRel"),
+        "{ctx}: mapMinutes effectiveness window"
+    );
+    for i in 0..PADS {
+        assert_eq!(
+            n > STEP_FIRST_PAD + i,
+            has(&format!("Pad{i}")),
+            "{ctx}: Pad{i}"
+        );
+    }
+}
+
+/// The tentpole harness: a simulated crash at ≥ 200 byte offsets of the
+/// live WAL. Each crash point must recover exactly the mutations whose
+/// records lie fully below it — no acked-and-synced op lost, no
+/// interior op skipped, no panic.
+#[test]
+fn wal_crash_at_hundreds_of_offsets_preserves_synced_prefix() {
+    let base = tmp_dir("wal-matrix");
+    let boundaries = build_journaled_history(&base);
+    let full_len = *boundaries.last().expect("steps");
+
+    let offsets = crash::crash_offsets(full_len, 256);
+    assert!(
+        offsets.len() >= 200,
+        "need >= 200 crash points, got {} (wal is {} bytes)",
+        offsets.len(),
+        full_len
+    );
+
+    let work = tmp_dir("wal-matrix-work");
+    for &cut in &offsets {
+        crash::copy_dir(&base, &work).expect("copy journal dir");
+        crash::truncate_in_place(work.join(WAL_FILE), cut).expect("inject crash");
+
+        let (g, report) = Gkbms::recover(&work)
+            .unwrap_or_else(|e| panic!("recover after crash at {cut} must not fail: {e}"));
+
+        // Exactly the whole records below the cut replay: the synced
+        // boundaries are the per-step WAL lengths.
+        let expect_ops = boundaries.iter().filter(|b| **b <= cut).count();
+        assert_eq!(
+            report.replayed_ops, expect_ops as u64,
+            "crash at {cut}: wrong replay count (interior loss or phantom op)"
+        );
+        assert_prefix_state(&g, expect_ops, &format!("crash at {cut}"));
+
+        // The recovered instance stays writable: the journal reattached
+        // cleanly over the truncated tail.
+        let mut g = g;
+        g.tell_src("TELL PostCrash end").expect("post-crash write");
+        assert!(g.kb().lookup("PostCrash").is_some());
+    }
+
+    std::fs::remove_dir_all(&base).unwrap();
+    std::fs::remove_dir_all(&work).unwrap();
+}
+
+/// Corruption (not truncation): flipped bytes anywhere in the WAL must
+/// surface as a typed error or a clean shorter prefix — never a panic.
+/// The per-record CRC makes any surviving record byte-faithful, so an
+/// `Ok` recovery must land exactly on a step boundary state.
+#[test]
+fn wal_byte_flips_never_panic_and_keep_clean_prefixes() {
+    let base = tmp_dir("wal-flips");
+    let boundaries = build_journaled_history(&base);
+    let full_len = *boundaries.last().expect("steps");
+
+    let work = tmp_dir("wal-flips-work");
+    for &off in crash::crash_offsets(full_len - 1, 64).iter() {
+        crash::copy_dir(&base, &work).expect("copy journal dir");
+        crash::flip_byte(work.join(WAL_FILE), off, 0xA5).expect("flip");
+
+        match Gkbms::recover(&work) {
+            Err(_) => {} // typed error is acceptable for corruption
+            Ok((g, report)) => {
+                let n = report.replayed_ops as usize;
+                assert!(n <= boundaries.len(), "flip at {off}: phantom ops");
+                assert_prefix_state(&g, n, &format!("flip at {off}"));
+            }
+        }
+    }
+
+    std::fs::remove_dir_all(&base).unwrap();
+    std::fs::remove_dir_all(&work).unwrap();
+}
+
+/// Crashes injected *after* a checkpoint: the snapshot holds the
+/// compacted history, and WAL cuts only ever lose post-checkpoint ops.
+#[test]
+fn crash_after_checkpoint_keeps_compacted_history() {
+    let base = tmp_dir("ckpt");
+    {
+        let boundaries = build_journaled_history(&base);
+        assert!(!boundaries.is_empty());
+    }
+    let (mut g, _) = Gkbms::recover(&base).unwrap();
+    let report = g.checkpoint().unwrap();
+    assert!(report.compacted_ops > 0);
+    g.tell_src("TELL AfterCkpt end").unwrap();
+    g.journal_mut().unwrap().sync().unwrap();
+    let wal_len = crash::file_len(base.join(WAL_FILE)).unwrap();
+    drop(g);
+    assert!(base.join(SNAPSHOT_FILE).exists());
+
+    let work = tmp_dir("ckpt-work");
+    for cut in crash::crash_offsets(wal_len, 64) {
+        crash::copy_dir(&base, &work).unwrap();
+        crash::truncate_in_place(work.join(WAL_FILE), cut).unwrap();
+        let (g, report) = Gkbms::recover(&work).expect("recover");
+        assert!(report.snapshot_loaded);
+        // Pre-checkpoint history is immune to WAL damage.
+        assert!(g.is_effective("mapInvitations"));
+        assert!(g.is_current("Invitation"));
+        assert!(!g.is_effective("mapMinutes"));
+        if cut >= wal_len {
+            assert!(g.kb().lookup("AfterCkpt").is_some());
+        }
+    }
+
+    std::fs::remove_dir_all(&base).unwrap();
+    std::fs::remove_dir_all(&work).unwrap();
+}
+
+/// Satellite: `Gkbms::load` of a truncated save file — every byte
+/// offset — yields a clean prefix or a typed error, never a panic, and
+/// never silently drops an event in the middle of the history.
+#[test]
+fn truncated_save_file_loads_clean_prefix_or_typed_error() {
+    let dir = tmp_dir("load-matrix");
+    std::fs::create_dir_all(&dir).unwrap();
+    let saved = dir.join("history");
+
+    const TELLS: usize = 10;
+    {
+        let mut g = Gkbms::new().unwrap();
+        g.define_decision_class(
+            DecisionClass::new("MapDec", DecisionDimension::Mapping)
+                .from_classes(&[kernel::TDL_ENTITY_CLASS])
+                .to_classes(&[kernel::DBPL_REL]),
+        )
+        .unwrap();
+        g.register_object("Invitation", kernel::TDL_ENTITY_CLASS, "src")
+            .unwrap();
+        g.execute(
+            DecisionRequest::new("MapDec", "mapInvitations", "dev")
+                .input("Invitation")
+                .output("InvitationRel", kernel::DBPL_REL),
+        )
+        .unwrap();
+        // The save layout puts raw TELL events last, in commit order:
+        // their presence indexes how deep a truncated load got.
+        for i in 0..TELLS {
+            g.tell_src(&format!("TELL Seq{i} end")).unwrap();
+        }
+        g.save(&saved).unwrap();
+    }
+
+    let full_len = crash::file_len(&saved).unwrap();
+    let cut_file = dir.join("history.cut");
+    for cut in crash::crash_offsets(full_len, 512) {
+        crash::truncated_copy(&saved, &cut_file, cut).unwrap();
+        match Gkbms::load(&cut_file) {
+            Err(_) => {} // typed error, fine
+            Ok(g) => {
+                // No interior loss among the trailing TELLs: present
+                // objects must form a gap-free prefix Seq0..Seqk.
+                let present: Vec<bool> = (0..TELLS)
+                    .map(|i| g.kb().lookup(&format!("Seq{i}")).is_some())
+                    .collect();
+                let count = present.iter().filter(|p| **p).count();
+                assert!(
+                    present.iter().take(count).all(|p| *p),
+                    "cut at {cut}: interior TELL lost ({present:?})"
+                );
+                // And the definition prefix stays consistent: if the
+                // execution survived, so did its decision class.
+                if g.is_effective("mapInvitations") {
+                    assert!(g.kb().lookup("MapDec").is_some());
+                }
+            }
+        }
+    }
+    // The untruncated file loads everything.
+    let g = Gkbms::load(&saved).unwrap();
+    assert!(g.is_effective("mapInvitations"));
+    for i in 0..TELLS {
+        assert!(g.kb().lookup(&format!("Seq{i}")).is_some());
+    }
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
