@@ -30,6 +30,7 @@ use std::fs::File;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 use storage::log::TailState;
+use storage::record::codec::{self, Cursor};
 use storage::{AppendLog, StorageResult};
 
 /// File name of the checkpoint snapshot inside a journal directory.
@@ -90,6 +91,11 @@ pub struct RecoveryReport {
     pub snapshot_loaded: bool,
     /// Ops replayed from the WAL tail.
     pub replayed_ops: u64,
+    /// Stale WAL ops dropped because the snapshot already covered them
+    /// — the leftovers of a checkpoint that crashed after publishing
+    /// its snapshot but before truncating the WAL. Recovery completes
+    /// the truncation instead of double-applying them.
+    pub skipped_ops: u64,
     /// A torn final WAL record was truncated away.
     pub wal_truncated: bool,
     /// Wall-clock time of the whole recovery.
@@ -122,29 +128,45 @@ pub struct Journal {
 }
 
 impl Journal {
+    /// Opens the WAL with zeroed op counters; [`Gkbms::recover`] sets
+    /// them from the sequence numbers found in the snapshot and WAL.
     fn open_in(dir: &Path) -> StorageResult<Journal> {
         let wal = AppendLog::open(dir.join(WAL_FILE))?;
-        let n = wal.len();
         Ok(Journal {
             dir: dir.to_path_buf(),
             wal,
-            appended_ops: n,
-            ops_since_checkpoint: n,
+            appended_ops: 0,
+            ops_since_checkpoint: 0,
         })
     }
 
     /// Appends one op record and flushes it into the OS page cache (no
     /// fsync — that is the caller's fsync policy).
     fn append(&mut self, payload: &[u8]) -> StorageResult<()> {
-        self.wal.append(payload)?;
-        self.wal.flush()?;
-        self.appended_ops += 1;
+        let seq = self.appended_ops + 1;
+        self.append_framed(seq, payload)?;
+        // Counters move with the buffered append, not the flush: once
+        // the record is in the writer (and possibly in the file), a
+        // failed flush must not let the op sequence drift from it.
+        self.appended_ops = seq;
         self.ops_since_checkpoint += 1;
         obs::counter!(
             "gkbms_journal_appends_total",
             "Mutations appended to the write-ahead journal"
         )
         .inc();
+        self.wal.flush()?;
+        Ok(())
+    }
+
+    /// Appends one WAL record framed with its journal op sequence
+    /// number, which is what lets recovery tell records a checkpoint
+    /// snapshot already covers from genuinely newer ones.
+    fn append_framed(&mut self, seq: u64, payload: &[u8]) -> StorageResult<()> {
+        let mut framed = Vec::with_capacity(8 + payload.len());
+        codec::put_u64(&mut framed, seq);
+        framed.extend_from_slice(payload);
+        self.wal.append(&framed)?;
         Ok(())
     }
 
@@ -184,6 +206,12 @@ impl Journal {
     }
 }
 
+/// Splits a framed WAL record into its op sequence number and payload.
+fn decode_framed(bytes: &[u8]) -> StorageResult<(u64, &[u8])> {
+    let seq = Cursor::new(bytes).get_u64()?;
+    Ok((seq, &bytes[8..]))
+}
+
 impl Gkbms {
     /// Opens (or creates) the journal directory `dir` and recovers the
     /// GKBMS from it: loads the checkpoint snapshot if one exists,
@@ -202,9 +230,14 @@ impl Gkbms {
         } else {
             Gkbms::new()?
         };
+        // WAL records at or below the snapshot's covered op sequence
+        // are the leftovers of a checkpoint that crashed between
+        // publishing its snapshot and truncating the WAL — the snapshot
+        // already holds them, so replaying them would double-apply.
+        let covered = g.snapshot_covers;
         let mut journal = Journal::open_in(dir).map_err(telos::TelosError::Storage)?;
         let wal_truncated = matches!(journal.wal.tail_state(), TailState::TruncatedAt(_));
-        let payloads: Vec<Vec<u8>> = journal
+        let framed: Vec<Vec<u8>> = journal
             .wal
             .iter()
             .map_err(telos::TelosError::Storage)?
@@ -213,15 +246,41 @@ impl Gkbms {
             .into_iter()
             .map(|(_, p)| p)
             .collect();
-        // Replay with the journal still detached: re-applying an op
-        // must not re-append it.
-        for p in &payloads {
-            persist::apply_record(&mut g, p)?;
+        let mut skipped = 0u64;
+        let mut replayed_ops = 0u64;
+        let mut last_seq = covered;
+        for f in &framed {
+            let (seq, payload) = decode_framed(f).map_err(telos::TelosError::Storage)?;
+            if seq <= covered {
+                skipped += 1;
+                continue;
+            }
+            // Replay with the journal still detached: re-applying an op
+            // must not re-append it.
+            persist::apply_record(&mut g, payload)?;
+            last_seq = last_seq.max(seq);
+            replayed_ops += 1;
+        }
+        journal.appended_ops = last_seq;
+        journal.ops_since_checkpoint = replayed_ops;
+        if skipped > 0 && replayed_ops == 0 {
+            // Complete the interrupted checkpoint by finishing its
+            // truncation. Only safe when every record is covered (the
+            // only state an interrupted checkpoint can leave, since it
+            // holds the writer): rewriting a WAL that still has live
+            // records would open its own crash window. A mixed WAL is
+            // left in place — replay skips covered records per record,
+            // and the next checkpoint truncates them.
+            journal
+                .wal
+                .truncate_all()
+                .map_err(telos::TelosError::Storage)?;
         }
         g.journal = Some(journal);
         let report = RecoveryReport {
             snapshot_loaded,
-            replayed_ops: payloads.len() as u64,
+            replayed_ops,
+            skipped_ops: skipped,
             wal_truncated,
             elapsed: start.elapsed(),
         };
@@ -239,12 +298,16 @@ impl Gkbms {
     }
 
     /// Compacts the journal: writes the full history as a snapshot
-    /// (crash-atomically, via [`Gkbms::save`]) and truncates the WAL.
+    /// (crash-atomically: temp file, fsync, rename, directory fsync)
+    /// and truncates the WAL. The snapshot's leading coverage record
+    /// names the op sequence it holds, so the rename alone commits the
+    /// checkpoint — a crash before the truncation leaves WAL records
+    /// the snapshot covers, which recovery drops instead of replaying.
     /// After a checkpoint every op ever appended is durable regardless
     /// of fsync policy. Errors if no journal is attached.
     pub fn checkpoint(&mut self) -> GkbmsResult<CheckpointReport> {
-        let dir = match &self.journal {
-            Some(j) => j.dir.clone(),
+        let (dir, covered) = match &self.journal {
+            Some(j) => (j.dir.clone(), j.appended_ops),
             None => {
                 return Err(GkbmsError::Unknown(
                     "checkpoint requested but no journal is attached".into(),
@@ -252,7 +315,7 @@ impl Gkbms {
             }
         };
         let start = Instant::now();
-        self.save(dir.join(SNAPSHOT_FILE))?;
+        self.save_snapshot(&dir.join(SNAPSHOT_FILE), covered)?;
         let j = self.journal.as_mut().expect("journal checked above");
         let compacted = j.ops_since_checkpoint;
         j.wal.truncate_all().map_err(telos::TelosError::Storage)?;

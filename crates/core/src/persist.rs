@@ -36,6 +36,12 @@ const OP_RETRACT: u32 = 6;
 const OP_NOGOOD: u32 = 7;
 const OP_TELL: u32 = 8;
 const OP_UNTELL: u32 = 9;
+/// Snapshot-meta record: the journal op sequence a checkpoint snapshot
+/// covers. Written as the first record of every checkpoint snapshot and
+/// never journaled itself; recovery skips WAL records at or below the
+/// covered sequence, which makes the snapshot's atomic rename the
+/// commit point of a checkpoint (see `Gkbms::checkpoint`).
+const OP_CHECKPOINT_COVERS: u32 = 10;
 
 fn put_opt_str(out: &mut Vec<u8>, v: &Option<String>) {
     match v {
@@ -205,6 +211,13 @@ pub(crate) fn encode_untell(name: &str) -> Vec<u8> {
     p
 }
 
+pub(crate) fn encode_checkpoint_covers(covered_seq: u64) -> Vec<u8> {
+    let mut p = Vec::new();
+    codec::put_u32(&mut p, OP_CHECKPOINT_COVERS);
+    codec::put_u64(&mut p, covered_seq);
+    p
+}
+
 /// Decodes one op record and applies it to `g` through the public
 /// mutation API — the single replay path used by [`Gkbms::load`] and by
 /// journal recovery.
@@ -301,6 +314,9 @@ pub(crate) fn apply_record(g: &mut Gkbms, payload: &[u8]) -> GkbmsResult<()> {
             let name = c.get_str().map_err(telos::TelosError::Storage)?;
             g.untell(name)?;
         }
+        OP_CHECKPOINT_COVERS => {
+            g.snapshot_covers = c.get_u64().map_err(telos::TelosError::Storage)?;
+        }
         other => {
             return Err(GkbmsError::Unknown(format!(
                 "op tag {other} in saved history"
@@ -319,6 +335,24 @@ fn save_tmp_path(path: &Path) -> std::path::PathBuf {
         .unwrap_or_default();
     name.push(".tmp");
     path.with_file_name(name)
+}
+
+/// Writes `payloads` as an append log at `path`, crash-atomically:
+/// temp file, fsync, rename over the target, parent-directory fsync.
+fn write_log_atomic(path: &Path, payloads: Vec<Vec<u8>>) -> GkbmsResult<()> {
+    let tmp = save_tmp_path(path);
+    let _ = std::fs::remove_file(&tmp);
+    {
+        let mut log = AppendLog::open(&tmp).map_err(telos::TelosError::Storage)?;
+        for payload in payloads {
+            log.append(&payload).map_err(telos::TelosError::Storage)?;
+        }
+        log.sync().map_err(telos::TelosError::Storage)?;
+    }
+    std::fs::rename(&tmp, path)
+        .map_err(|e| telos::TelosError::Storage(storage::StorageError::Io(e)))?;
+    storage::log::sync_parent_dir(path).map_err(telos::TelosError::Storage)?;
+    Ok(())
 }
 
 impl Gkbms {
@@ -382,20 +416,17 @@ impl Gkbms {
     /// is fsynced. A crash at any point leaves either the old complete
     /// history or the new one — never a partial or missing file.
     pub fn save(&self, path: impl AsRef<Path>) -> GkbmsResult<()> {
-        let path = path.as_ref();
-        let tmp = save_tmp_path(path);
-        let _ = std::fs::remove_file(&tmp);
-        {
-            let mut log = AppendLog::open(&tmp).map_err(telos::TelosError::Storage)?;
-            for payload in self.history_payloads() {
-                log.append(&payload).map_err(telos::TelosError::Storage)?;
-            }
-            log.sync().map_err(telos::TelosError::Storage)?;
-        }
-        std::fs::rename(&tmp, path)
-            .map_err(|e| telos::TelosError::Storage(storage::StorageError::Io(e)))?;
-        storage::log::sync_parent_dir(path).map_err(telos::TelosError::Storage)?;
-        Ok(())
+        write_log_atomic(path.as_ref(), self.history_payloads())
+    }
+
+    /// Saves a checkpoint snapshot: the complete history prefixed with
+    /// an [`OP_CHECKPOINT_COVERS`] record naming the journal op
+    /// sequence the snapshot covers, so recovery can tell WAL records
+    /// the snapshot already holds from genuinely newer ones.
+    pub(crate) fn save_snapshot(&self, path: &Path, covered_seq: u64) -> GkbmsResult<()> {
+        let mut payloads = vec![encode_checkpoint_covers(covered_seq)];
+        payloads.extend(self.history_payloads());
+        write_log_atomic(path, payloads)
     }
 
     /// Loads a saved history, re-executing it into a fresh GKBMS.

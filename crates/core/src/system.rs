@@ -157,6 +157,12 @@ pub struct Gkbms {
     pub(crate) seq: u64,
     /// Live write-ahead journal, when attached via [`Gkbms::recover`].
     pub(crate) journal: Option<crate::journal::Journal>,
+    /// Journal op sequence covered by the checkpoint snapshot this
+    /// instance was loaded from, 0 otherwise. Set by replaying the
+    /// snapshot's leading coverage record; recovery skips WAL records
+    /// at or below it so an interrupted checkpoint (snapshot renamed,
+    /// WAL not yet truncated) never double-applies history.
+    pub(crate) snapshot_covers: u64,
     /// Statistics: dependency-graph rebuilds (lemma generation, E-2).
     pub graph_builds: u64,
 }
@@ -186,6 +192,7 @@ impl Gkbms {
             tell_log: Vec::new(),
             seq: 0,
             journal: None,
+            snapshot_covers: 0,
             graph_builds: 0,
         })
     }

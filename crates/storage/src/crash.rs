@@ -18,32 +18,54 @@
 
 use crate::error::StorageResult;
 use std::fs;
+use std::io;
 use std::path::Path;
+
+fn out_of_range(what: &str, offset: u64, len: u64) -> crate::error::StorageError {
+    crate::error::StorageError::Io(io::Error::new(
+        io::ErrorKind::InvalidInput,
+        format!("{what} offset {offset} out of range for {len}-byte file"),
+    ))
+}
 
 /// Copies `src` to `dst`, truncated to the first `len` bytes — the
 /// on-disk image a crash would leave if only `len` bytes had reached
 /// stable storage. `len` past the end of `src` copies the whole file.
 pub fn truncated_copy(src: impl AsRef<Path>, dst: impl AsRef<Path>, len: u64) -> StorageResult<()> {
     let mut bytes = fs::read(src)?;
-    bytes.truncate(len as usize);
+    // Clamp in u64 before casting: a plain `len as usize` would wrap on
+    // 32-bit targets and silently keep the wrong prefix.
+    let keep = len.min(bytes.len() as u64) as usize;
+    bytes.truncate(keep);
     fs::write(dst, &bytes)?;
     Ok(())
 }
 
-/// Truncates the file at `path` in place to `len` bytes.
+/// Truncates the file at `path` in place to `len` bytes. `len` beyond
+/// the current length is an error — `set_len` would zero-extend, which
+/// is not an image any crash can leave.
 pub fn truncate_in_place(path: impl AsRef<Path>, len: u64) -> StorageResult<()> {
     let f = fs::OpenOptions::new().write(true).open(path)?;
+    let current = f.metadata()?.len();
+    if len > current {
+        return Err(out_of_range("truncate", len, current));
+    }
     f.set_len(len)?;
     Ok(())
 }
 
 /// XORs the byte at `offset` with `mask` (which must be non-zero to
-/// actually corrupt). Returns the original byte value.
+/// actually corrupt). Returns the original byte value; an offset at or
+/// past the end of the file is an error, not a panic.
 pub fn flip_byte(path: impl AsRef<Path>, offset: u64, mask: u8) -> StorageResult<u8> {
     let path = path.as_ref();
     let mut bytes = fs::read(path)?;
-    let orig = bytes[offset as usize];
-    bytes[offset as usize] ^= mask;
+    let idx = match usize::try_from(offset) {
+        Ok(i) if i < bytes.len() => i,
+        _ => return Err(out_of_range("flip", offset, bytes.len() as u64)),
+    };
+    let orig = bytes[idx];
+    bytes[idx] ^= mask;
     fs::write(path, &bytes)?;
     Ok(orig)
 }
@@ -118,6 +140,21 @@ mod tests {
         let orig = flip_byte(&p, 1, 0xFF).unwrap();
         assert_eq!(orig, b'b');
         assert_eq!(fs::read(&p).unwrap(), vec![b'a', b'b' ^ 0xFF, b'c']);
+        fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn out_of_range_injections_error_instead_of_panicking() {
+        let p = tmp("oob");
+        fs::write(&p, b"abc").unwrap();
+        // Flip at and past the end: typed error, file untouched.
+        assert!(flip_byte(&p, 3, 0xFF).is_err());
+        assert!(flip_byte(&p, u64::MAX, 0xFF).is_err());
+        assert_eq!(fs::read(&p).unwrap(), b"abc");
+        // In-place truncation may shrink (or keep) but never extend.
+        assert!(truncate_in_place(&p, 4).is_err());
+        truncate_in_place(&p, 3).unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"abc");
         fs::remove_file(&p).unwrap();
     }
 

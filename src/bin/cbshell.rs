@@ -358,6 +358,12 @@ fn listen(opts: &ListenOpts) -> Result<(), Box<dyn std::error::Error>> {
                 report.replayed_ops,
                 report.elapsed
             );
+            if report.skipped_ops > 0 {
+                println!(
+                    "gkbms: completed an interrupted checkpoint ({} covered WAL op(s) dropped)",
+                    report.skipped_ops
+                );
+            }
             g
         }
         None => conceptbase::gkbms::Gkbms::new()?,

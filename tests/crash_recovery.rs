@@ -245,6 +245,67 @@ fn crash_after_checkpoint_keeps_compacted_history() {
     std::fs::remove_dir_all(&work).unwrap();
 }
 
+/// The checkpoint's commit point is the snapshot rename: a crash in
+/// the window between the rename and the WAL truncation leaves a
+/// snapshot that already covers every op AND a WAL still holding those
+/// same ops. Recovery must drop the covered records — replaying them
+/// would double-apply every mutation (or fail outright on duplicate
+/// definitions) — and must complete the interrupted truncation.
+#[test]
+fn crash_between_snapshot_rename_and_wal_truncation_never_double_applies() {
+    let base = tmp_dir("ckpt-window");
+    let boundaries = build_journaled_history(&base);
+    let total_steps = boundaries.len();
+    let wal = base.join(WAL_FILE);
+    let wal_before = std::fs::read(&wal).expect("pre-checkpoint wal");
+
+    let (mut g, _) = Gkbms::recover(&base).unwrap();
+    let report = g.checkpoint().unwrap();
+    assert_eq!(report.compacted_ops, total_steps as u64);
+    drop(g);
+
+    // Crash in the window: the snapshot is published but the WAL was
+    // never truncated — put the pre-checkpoint WAL bytes back.
+    std::fs::write(&wal, &wal_before).unwrap();
+    let (g, report) = Gkbms::recover(&base).expect("recover in window");
+    assert!(report.snapshot_loaded);
+    assert_eq!(report.replayed_ops, 0, "covered ops replayed");
+    assert_eq!(report.skipped_ops, total_steps as u64);
+    assert_prefix_state(&g, total_steps, "checkpoint window");
+    // Recovery finished the checkpoint's truncation.
+    assert_eq!(crash::file_len(&wal).unwrap(), 0);
+
+    // The instance stays writable, and a further recovery sees exactly
+    // the post-window history — once.
+    let mut g = g;
+    g.tell_src("TELL AfterWindow end").unwrap();
+    g.journal_mut().unwrap().sync().unwrap();
+    drop(g);
+    let (g, report) = Gkbms::recover(&base).unwrap();
+    assert_eq!(report.replayed_ops, 1);
+    assert_eq!(report.skipped_ops, 0);
+    assert_prefix_state(&g, total_steps, "after window");
+    assert!(g.kb().lookup("AfterWindow").is_some());
+    drop(g);
+
+    // And the window composes with torn WAL writes: any truncation of
+    // the covered WAL is still fully covered, so every cut recovers
+    // the complete checkpointed state.
+    let full_len = wal_before.len() as u64;
+    let work = tmp_dir("ckpt-window-work");
+    for cut in crash::crash_offsets(full_len, 64) {
+        crash::copy_dir(&base, &work).unwrap();
+        std::fs::write(work.join(WAL_FILE), &wal_before[..cut as usize]).unwrap();
+        let (g, report) = Gkbms::recover(&work)
+            .unwrap_or_else(|e| panic!("window + cut at {cut} must recover: {e}"));
+        assert_eq!(report.replayed_ops, 0, "cut at {cut}");
+        assert_prefix_state(&g, total_steps, &format!("window cut at {cut}"));
+    }
+
+    std::fs::remove_dir_all(&base).unwrap();
+    std::fs::remove_dir_all(&work).unwrap();
+}
+
 /// Satellite: `Gkbms::load` of a truncated save file — every byte
 /// offset — yields a clean prefix or a typed error, never a panic, and
 /// never silently drops an event in the middle of the history.
