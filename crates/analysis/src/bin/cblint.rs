@@ -1,0 +1,73 @@
+//! `cblint` — offline static analyzer for the rule/constraint base.
+//!
+//! ```text
+//! cblint [--deny-warnings] [--quiet] <file>...
+//! ```
+//!
+//! Lints datalog programs (`.dl`) and CML scripts (`TELL … end`),
+//! rendering rustc-style diagnostics. Exits non-zero when any file has
+//! errors — or warnings, under `--deny-warnings`.
+
+use analysis::{lint_source, render, LintContext, Severity};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny_warnings = false;
+    let mut quiet = false;
+    let mut files = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--deny-warnings" => deny_warnings = true,
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => {
+                println!("usage: cblint [--deny-warnings] [--quiet] <file>...");
+                println!();
+                println!("Statically checks datalog programs (.dl) and CML scripts");
+                println!("(TELL ... end) for unsafe rules, recursion through negation,");
+                println!("undeclared or arity-mismatched predicates, dead rules,");
+                println!("duplicate/subsumed rules and contradicting constraints.");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("cblint: unknown flag `{flag}` (try --help)");
+                return ExitCode::from(2);
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("cblint: no input files (try --help)");
+        return ExitCode::from(2);
+    }
+
+    let ctx = LintContext::offline();
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for file in &files {
+        let src = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cblint: cannot read {file}: {e}");
+                errors += 1;
+                continue;
+            }
+        };
+        let diags = lint_source(&src, &ctx);
+        errors += diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count();
+        warnings += diags
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count();
+        if !quiet || !diags.is_empty() {
+            print!("{}", render(file, &src, &diags));
+        }
+    }
+    if errors > 0 || (deny_warnings && warnings > 0) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

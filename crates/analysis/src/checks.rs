@@ -1,0 +1,516 @@
+//! The datalog-side checks: safety, stratification, predicate
+//! references, dead rules, duplicates/subsumption.
+
+use crate::{source, Diagnostic, LintContext};
+use datalog::ast::{Atom, Program, Rule, Term};
+use datalog::depgraph::DepGraph;
+use std::collections::{HashMap, HashSet};
+
+/// One rule under analysis, with its reporting identity.
+#[derive(Debug, Clone)]
+pub struct RuleUnit {
+    /// How diagnostics refer to the rule (e.g. ``rule `Game!w` `` or
+    /// the rule text itself).
+    pub subject: String,
+    /// 1-based source line, when known.
+    pub line: Option<usize>,
+    /// The parsed rule.
+    pub rule: Rule,
+}
+
+/// Lints a standalone datalog source: the rules in `src` joined with
+/// the context's stored rules and the deductive base program.
+/// `% query: p` directives name extra reachability roots.
+pub fn lint_datalog_src(src: &str, ctx: &LintContext) -> Vec<Diagnostic> {
+    let program = match Program::parse_unchecked(src) {
+        Ok(p) => p,
+        Err(e) => {
+            return vec![Diagnostic::error("CB000", "program", e.to_string())];
+        }
+    };
+    let lines = source::statement_lines(src);
+    let units: Vec<RuleUnit> = program
+        .rules
+        .into_iter()
+        .enumerate()
+        .map(|(i, rule)| RuleUnit {
+            subject: format!("rule `{rule}`"),
+            line: lines.get(i).copied(),
+            rule,
+        })
+        .collect();
+    let mut roots = source::query_directives(src);
+    let explicit_roots = !roots.is_empty();
+    roots.extend(ctx.roots.iter().cloned());
+    lint_rules(
+        &units,
+        ctx,
+        &roots,
+        explicit_roots || ctx.assume_new_heads_queryable,
+    )
+}
+
+/// Runs the datalog checks over `units` in the context of the stored
+/// rule base. `check_reachability` gates the dead-rule check: offline
+/// it only makes sense when the file says what is queried.
+pub fn lint_rules(
+    units: &[RuleUnit],
+    ctx: &LintContext,
+    roots: &[String],
+    check_reachability: bool,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let base = base_rules(ctx);
+
+    for u in units {
+        check_safety(u, &mut diags);
+    }
+    check_predicates(units, &base, ctx, &mut diags);
+    check_stratification(units, &base, &mut diags);
+    if check_reachability {
+        check_dead_rules(units, &base, ctx, roots, &mut diags);
+    }
+    check_duplicates(units, &base, &mut diags);
+    diags
+}
+
+/// The trusted rules the input joins: the deductive base program plus
+/// the context's stored rules. Unparsable stored text is skipped — it
+/// was validated at its own admission.
+fn base_rules(ctx: &LintContext) -> Vec<Rule> {
+    let mut base = objectbase::query::base_program().rules;
+    for text in &ctx.stored_rules {
+        let dotted = dotted(text);
+        if let Ok(p) = Program::parse_unchecked(&dotted) {
+            base.extend(p.rules);
+        }
+    }
+    base
+}
+
+/// Appends the terminating dot datalog requires, if missing.
+pub fn dotted(text: &str) -> String {
+    let t = text.trim();
+    if t.ends_with('.') {
+        t.to_string()
+    } else {
+        format!("{t}.")
+    }
+}
+
+/// CB001 — range restriction: every head variable and every variable
+/// under negation must be bound by a positive body literal.
+fn check_safety(u: &RuleUnit, diags: &mut Vec<Diagnostic>) {
+    let positive: Vec<&str> = u
+        .rule
+        .body
+        .iter()
+        .filter(|l| !l.negated)
+        .flat_map(|l| l.atom.vars())
+        .collect();
+    for v in u.rule.head.vars() {
+        if !positive.contains(&v) {
+            diags.push(
+                Diagnostic::error(
+                    "CB001",
+                    &u.subject,
+                    format!(
+                        "unsafe rule: head variable `{v}` of `{}` is not bound by any \
+                         positive body literal",
+                        u.rule.head.pred
+                    ),
+                )
+                .with_witness(format!("variable `{v}` in `{}`", u.rule))
+                .at_line(u.line),
+            );
+        }
+    }
+    for lit in u.rule.body.iter().filter(|l| l.negated) {
+        for v in lit.atom.vars() {
+            if !positive.contains(&v) {
+                diags.push(
+                    Diagnostic::error(
+                        "CB001",
+                        &u.subject,
+                        format!(
+                            "unsafe rule: variable `{v}` under negation in a rule for \
+                             `{}` is not bound by any positive body literal",
+                            u.rule.head.pred
+                        ),
+                    )
+                    .with_witness(format!("`not {}` in `{}`", lit.atom, u.rule))
+                    .at_line(u.line),
+                );
+            }
+        }
+    }
+}
+
+/// CB003/CB004 — every referenced predicate must be defined (by the
+/// schema, the base, or some rule) and used with one arity.
+fn check_predicates(
+    units: &[RuleUnit],
+    base: &[Rule],
+    ctx: &LintContext,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut arities: HashMap<String, usize> = ctx.schema.clone();
+    let mut defined: HashSet<String> = ctx.schema.keys().cloned().collect();
+    for r in base {
+        defined.insert(r.head.pred.clone());
+        for a in std::iter::once(&r.head).chain(r.body.iter().map(|l| &l.atom)) {
+            arities.entry(a.pred.clone()).or_insert(a.args.len());
+        }
+    }
+    for u in units {
+        defined.insert(u.rule.head.pred.clone());
+    }
+    for u in units {
+        let atoms = std::iter::once(&u.rule.head).chain(u.rule.body.iter().map(|l| &l.atom));
+        for atom in atoms {
+            match arities.get(&atom.pred) {
+                Some(&n) if n != atom.args.len() => diags.push(
+                    Diagnostic::error(
+                        "CB004",
+                        &u.subject,
+                        format!(
+                            "predicate `{}` used with arity {}, but it is declared \
+                             with arity {n}",
+                            atom.pred,
+                            atom.args.len()
+                        ),
+                    )
+                    .with_witness(format!("`{atom}` in `{}`", u.rule))
+                    .at_line(u.line),
+                ),
+                Some(_) => {}
+                None => {
+                    arities.insert(atom.pred.clone(), atom.args.len());
+                }
+            }
+        }
+        for lit in &u.rule.body {
+            if !defined.contains(&lit.atom.pred) {
+                diags.push(
+                    Diagnostic::warning(
+                        "CB003",
+                        &u.subject,
+                        format!(
+                            "references predicate `{}`, which no rule defines and the \
+                             schema does not declare",
+                            lit.atom.pred
+                        ),
+                    )
+                    .with_witness(format!("`{}` in `{}`", lit.atom, u.rule))
+                    .at_line(u.line),
+                );
+            }
+        }
+    }
+}
+
+/// CB002 — the combined rule base must be stratifiable; the witness is
+/// the actual negative cycle.
+fn check_stratification(units: &[RuleUnit], base: &[Rule], diags: &mut Vec<Diagnostic>) {
+    let mut combined = Program {
+        rules: base.to_vec(),
+    };
+    combined.rules.extend(units.iter().map(|u| u.rule.clone()));
+    let graph = DepGraph::of(&combined);
+    let Some(cycle) = graph.negative_cycle() else {
+        return;
+    };
+    let on_cycle: HashSet<&str> = cycle.iter().map(|s| s.as_str()).collect();
+    let culprit = units
+        .iter()
+        .find(|u| on_cycle.contains(u.rule.head.pred.as_str()));
+    let (subject, line) = match culprit {
+        Some(u) => (u.subject.clone(), u.line),
+        None => ("rule base".to_string(), None),
+    };
+    diags.push(
+        Diagnostic::error(
+            "CB002",
+            subject,
+            "the rule base is not stratifiable: recursion through negation",
+        )
+        .with_witness(format!("negative cycle {}", cycle.join(" -> ")))
+        .at_line(line),
+    );
+}
+
+/// CB005 — a rule is dead when its head predicate is unreachable from
+/// every query root.
+fn check_dead_rules(
+    units: &[RuleUnit],
+    base: &[Rule],
+    ctx: &LintContext,
+    roots: &[String],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut all_roots: Vec<String> = roots.to_vec();
+    if ctx.assume_new_heads_queryable {
+        all_roots.extend(units.iter().map(|u| u.rule.head.pred.clone()));
+    }
+    if all_roots.is_empty() {
+        return;
+    }
+    let mut combined = Program {
+        rules: base.to_vec(),
+    };
+    combined.rules.extend(units.iter().map(|u| u.rule.clone()));
+    let graph = DepGraph::of(&combined);
+    let live = graph.reachable_from(all_roots.iter().map(|s| s.as_str()));
+    for u in units {
+        let Some(i) = graph.pred_index(&u.rule.head.pred) else {
+            continue;
+        };
+        if !live.contains(&i) {
+            diags.push(
+                Diagnostic::warning(
+                    "CB005",
+                    &u.subject,
+                    format!(
+                        "dead rule: no query or other rule can reach predicate `{}`",
+                        u.rule.head.pred
+                    ),
+                )
+                .with_witness(format!("query roots: {}", all_roots.join(", ")))
+                .at_line(u.line),
+            );
+        }
+    }
+}
+
+/// CB006 — a rule that duplicates, is subsumed by, or subsumes an
+/// existing rule is redundant.
+fn check_duplicates(units: &[RuleUnit], base: &[Rule], diags: &mut Vec<Diagnostic>) {
+    let mut earlier: Vec<(String, Rule)> =
+        base.iter().map(|r| (format!("`{r}`"), r.clone())).collect();
+    for u in units {
+        let mut flagged = false;
+        for (other_name, other) in &earlier {
+            let (kind, witness) = if canonical(&u.rule) == canonical(other) {
+                ("duplicate of", format!("both read `{}`", other))
+            } else if subsumes(other, &u.rule) {
+                (
+                    "subsumed by",
+                    format!("`{other}` already derives every instance"),
+                )
+            } else if subsumes(&u.rule, other) {
+                ("subsumes", format!("`{other}` becomes redundant"))
+            } else {
+                continue;
+            };
+            diags.push(
+                Diagnostic::warning(
+                    "CB006",
+                    &u.subject,
+                    format!("redundant rule: {kind} {other_name}"),
+                )
+                .with_witness(witness)
+                .at_line(u.line),
+            );
+            flagged = true;
+            break;
+        }
+        if !flagged {
+            earlier.push((format!("`{}`", u.rule), u.rule.clone()));
+        }
+    }
+}
+
+/// The rule with variables renamed `V0, V1, …` in order of first
+/// occurrence, so α-equivalent rules print identically.
+fn canonical(rule: &Rule) -> String {
+    let mut names: HashMap<String, String> = HashMap::new();
+    let rename = |t: &Term, names: &mut HashMap<String, String>| match t {
+        Term::Var(v) => {
+            let n = names.len();
+            Term::var(
+                names
+                    .entry(v.clone())
+                    .or_insert_with(|| format!("V{n}"))
+                    .clone(),
+            )
+        }
+        c => c.clone(),
+    };
+    let mut r = rule.clone();
+    r.head.args = r.head.args.iter().map(|t| rename(t, &mut names)).collect();
+    for l in &mut r.body {
+        l.atom.args = l.atom.args.iter().map(|t| rename(t, &mut names)).collect();
+    }
+    r.to_string()
+}
+
+/// θ-subsumption: `a` subsumes `b` when a substitution maps `a`'s head
+/// onto `b`'s head and every literal of `a`'s body onto some literal
+/// of `b`'s body. Then `a` derives everything `b` does.
+fn subsumes(a: &Rule, b: &Rule) -> bool {
+    let mut sub = HashMap::new();
+    if !match_atom(&a.head, &b.head, &mut sub) {
+        return false;
+    }
+    match_body(&a.body, &b.body, &sub)
+}
+
+fn match_body(
+    rest: &[datalog::ast::Literal],
+    targets: &[datalog::ast::Literal],
+    sub: &HashMap<String, Term>,
+) -> bool {
+    let Some((first, tail)) = rest.split_first() else {
+        return true;
+    };
+    for t in targets {
+        if t.negated != first.negated {
+            continue;
+        }
+        let mut trial = sub.clone();
+        if match_atom(&first.atom, &t.atom, &mut trial) && match_body(tail, targets, &trial) {
+            return true;
+        }
+    }
+    false
+}
+
+fn match_atom(a: &Atom, b: &Atom, sub: &mut HashMap<String, Term>) -> bool {
+    if a.pred != b.pred || a.args.len() != b.args.len() {
+        return false;
+    }
+    for (x, y) in a.args.iter().zip(&b.args) {
+        match x {
+            Term::Const(_) => {
+                if x != y {
+                    return false;
+                }
+            }
+            Term::Var(v) => match sub.get(v) {
+                Some(bound) => {
+                    if bound != y {
+                        return false;
+                    }
+                }
+                None => {
+                    sub.insert(v.clone(), y.clone());
+                }
+            },
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Severity;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        lint_datalog_src(src, &LintContext::offline())
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_program_is_clean() {
+        let d = lint(
+            "% query: path\n\
+             edge(a, b).\n\
+             path(X, Y) :- edge(X, Y).\n\
+             path(X, Z) :- edge(X, Y), path(Y, Z).",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn unsafe_rule_names_variable_and_predicate() {
+        let d = lint("q(X, Y) :- r(X).\nr(a).");
+        assert_eq!(codes(&d), vec!["CB001"]);
+        assert!(d[0].message.contains("`Y`"));
+        assert!(d[0].message.contains("`q`"));
+        assert_eq!(d[0].line, Some(1));
+    }
+
+    #[test]
+    fn negative_cycle_witnessed() {
+        let d = lint("move(a, b).\nwin(X) :- move(X, Y), not win(Y).");
+        assert!(codes(&d).contains(&"CB002"), "{d:?}");
+        let cb002 = d.iter().find(|d| d.code == "CB002").unwrap();
+        assert!(cb002.witness.contains("win -> win"), "{cb002:?}");
+        assert_eq!(cb002.severity, Severity::Error);
+    }
+
+    #[test]
+    fn undeclared_predicate_warned() {
+        let d = lint("q(X) :- ghost(X).");
+        assert_eq!(codes(&d), vec!["CB003"]);
+        assert!(d[0].message.contains("`ghost`"));
+        assert_eq!(d[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn schema_arity_mismatch_rejected() {
+        let d = lint("q(X) :- attr(X, author).");
+        assert!(codes(&d).contains(&"CB004"), "{d:?}");
+    }
+
+    #[test]
+    fn dead_rule_flagged_only_with_roots() {
+        let live = "edge(a, b).\npath(X, Y) :- edge(X, Y).";
+        assert!(lint(live).is_empty(), "no directive, no dead-check");
+        let dead = "% query: path\n\
+                    edge(a, b).\n\
+                    path(X, Y) :- edge(X, Y).\n\
+                    orphan(X) :- edge(X, X).";
+        let d = lint(dead);
+        assert_eq!(codes(&d), vec!["CB005"]);
+        assert!(d[0].message.contains("`orphan`"));
+    }
+
+    #[test]
+    fn duplicate_and_subsumed_rules_flagged() {
+        let d = lint(
+            "edge(a, b).\n\
+             path(X, Y) :- edge(X, Y).\n\
+             path(U, V) :- edge(U, V).",
+        );
+        assert_eq!(codes(&d), vec!["CB006"]);
+        assert!(d[0].message.contains("duplicate"));
+        let d = lint(
+            "edge(a, b).\nred(a).\n\
+             path(X, Y) :- edge(X, Y).\n\
+             path(X, Y) :- edge(X, Y), red(X).",
+        );
+        assert_eq!(codes(&d), vec!["CB006"]);
+        assert!(d[0].message.contains("subsumed"), "{d:?}");
+    }
+
+    #[test]
+    fn subsumption_matcher() {
+        let p = Program::parse_unchecked(
+            "p(X, Y) :- e(X, Y).\n\
+             p(a, Y) :- e(a, Y), f(Y).",
+        )
+        .unwrap();
+        assert!(subsumes(&p.rules[0], &p.rules[1]));
+        assert!(!subsumes(&p.rules[1], &p.rules[0]));
+    }
+
+    #[test]
+    fn syntax_error_is_cb000() {
+        let d = lint("p(");
+        assert_eq!(codes(&d), vec!["CB000"]);
+    }
+
+    #[test]
+    fn new_rule_closing_cycle_over_stored_rule_caught() {
+        let mut ctx = LintContext::offline();
+        ctx.stored_rules
+            .push("odd(X) :- succ(Y, X), not even(Y)".into());
+        let d = lint_datalog_src("even(X) :- succ(Y, X), not odd(Y).", &ctx);
+        assert!(codes(&d).contains(&"CB002"), "{d:?}");
+    }
+}

@@ -1,0 +1,123 @@
+//! Best-effort source mapping: the parsers do not track positions, so
+//! the linter recovers statement/frame start lines with a light scan
+//! of the text.
+
+/// Whether the source is a CML script (`TELL … end` frames) rather
+/// than a datalog program.
+pub fn looks_like_frames(src: &str) -> bool {
+    src.lines()
+        .any(|l| l.trim_start().starts_with("TELL ") || l.trim() == "TELL")
+}
+
+/// The 1-based start line of each datalog statement, in order. A
+/// statement ends at a `.` outside a quoted string; `%` comments out
+/// the rest of the line.
+pub fn statement_lines(src: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut in_string = false;
+    let mut in_comment = false;
+    let mut start: Option<usize> = None;
+    for c in src.chars() {
+        match c {
+            '\n' => {
+                line += 1;
+                in_comment = false;
+            }
+            _ if in_comment => {}
+            '"' => {
+                in_string = !in_string;
+                start.get_or_insert(line);
+            }
+            '%' if !in_string => in_comment = true,
+            '.' if !in_string => {
+                if let Some(s) = start.take() {
+                    out.push(s);
+                }
+            }
+            c if c.is_whitespace() => {}
+            _ => {
+                start.get_or_insert(line);
+            }
+        }
+    }
+    out
+}
+
+/// The query roots declared by `% query: pred` directives.
+pub fn query_directives(src: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for line in src.lines() {
+        let t = line.trim_start();
+        let Some(rest) = t.strip_prefix("%") else {
+            continue;
+        };
+        let Some(names) = rest.trim_start().strip_prefix("query:") else {
+            continue;
+        };
+        for name in names.split(',') {
+            let name: String = name
+                .trim()
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                out.push(name);
+            }
+        }
+    }
+    out
+}
+
+/// The 1-based line each `TELL` frame starts on, in order.
+pub fn frame_lines(src: &str) -> Vec<usize> {
+    src.lines()
+        .enumerate()
+        .filter(|(_, l)| l.trim_start().starts_with("TELL ") || l.trim() == "TELL")
+        .map(|(i, _)| i + 1)
+        .collect()
+}
+
+/// The line of the first occurrence of `needle` at or after
+/// `from_line` (1-based), for pointing at a constraint/rule name
+/// inside its frame.
+pub fn find_from(src: &str, from_line: usize, needle: &str) -> Option<usize> {
+    src.lines()
+        .enumerate()
+        .skip(from_line.saturating_sub(1))
+        .find(|(_, l)| l.contains(needle))
+        .map(|(i, _)| i + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statement_lines_skip_comments_and_strings() {
+        let src = "% header\nedge(a, b).\n\n% note\npath(X, Y) :-\n  edge(X, Y).\np(\"a.b\").";
+        assert_eq!(statement_lines(src), vec![2, 5, 7]);
+    }
+
+    #[test]
+    fn query_directives_parse_lists() {
+        let src = "% query: path\n%query: reach, win(X)\nedge(a, b).";
+        assert_eq!(query_directives(src), vec!["path", "reach", "win"]);
+    }
+
+    #[test]
+    fn frame_detection_and_lines() {
+        let src =
+            "% intro\nTELL Paper end\n\nTELL Minutes isA Paper with\n  attribute a : Paper\nend";
+        assert!(looks_like_frames(src));
+        assert_eq!(frame_lines(src), vec![2, 4]);
+        assert!(!looks_like_frames("p(a)."));
+    }
+
+    #[test]
+    fn find_from_locates_names() {
+        let src = "TELL A with\n  constraint c1 : $ true $\nend";
+        assert_eq!(find_from(src, 1, "c1"), Some(2));
+        assert_eq!(find_from(src, 3, "c1"), None);
+    }
+}

@@ -26,6 +26,8 @@ pub enum GkbmsError {
     Object(objectbase::ObError),
     /// A decision cannot be retracted (unknown or already retracted).
     NotRetractable(String),
+    /// The static analyzer rejected the batch at admission time.
+    Lint(Vec<analysis::Diagnostic>),
 }
 
 /// Convenient alias used throughout the crate.
@@ -47,6 +49,10 @@ impl fmt::Display for GkbmsError {
             GkbmsError::Telos(e) => write!(f, "proposition processor: {e}"),
             GkbmsError::Object(e) => write!(f, "object processor: {e}"),
             GkbmsError::NotRetractable(m) => write!(f, "not retractable: {m}"),
+            GkbmsError::Lint(diags) => {
+                let lines: Vec<String> = diags.iter().map(|d| d.one_line()).collect();
+                write!(f, "rejected by lint: {}", lines.join("; "))
+            }
         }
     }
 }

@@ -243,7 +243,23 @@ impl Gkbms {
     /// frames) as one write transaction, logging the source so it is
     /// replayed by [`Gkbms::load`]. Returns the number of frames told.
     pub fn tell_src(&mut self, src: &str) -> GkbmsResult<usize> {
+        self.tell_src_checked(src, false).map(|(n, _)| n)
+    }
+
+    /// [`Gkbms::tell_src`] with the admission-time static analyzer in
+    /// front: lint errors reject the batch before anything is written;
+    /// warnings are admitted and returned — unless `strict`, which
+    /// rejects them too (the server's `strict_lint` switch).
+    pub fn tell_src_checked(
+        &mut self,
+        src: &str,
+        strict: bool,
+    ) -> GkbmsResult<(usize, Vec<analysis::Diagnostic>)> {
         let frames = objectbase::ObjectFrame::parse_all(src)?;
+        let diags = self.lint_frames(&frames);
+        if analysis::has_errors(&diags) || (strict && !diags.is_empty()) {
+            return Err(GkbmsError::Lint(diags));
+        }
         let tick = self.begin_write();
         objectbase::transform::tell_all(&mut self.kb, &frames)?;
         let seq = self.next_seq();
@@ -252,7 +268,51 @@ impl Gkbms {
         self.journal_append(crate::persist::encode_tell(src))?;
         obs::counter!("gkbms_tells_total", "Frames TELLed into the knowledge base")
             .add(frames.len() as u64);
-        Ok(frames.len())
+        Ok((frames.len(), diags))
+    }
+
+    /// Runs the static analyzer on a parsed frame batch against the
+    /// current KB, recording lint metrics.
+    pub fn lint_frames(&self, frames: &[objectbase::ObjectFrame]) -> Vec<analysis::Diagnostic> {
+        self.with_lint_metrics(|ctx| analysis::frames::lint_frames(frames, ctx))
+    }
+
+    /// Lints arbitrary source — a CML script or a datalog program —
+    /// against the current KB without admitting anything (the `\lint`
+    /// command and the server's `Lint` op).
+    pub fn lint_src(&self, src: &str) -> Vec<analysis::Diagnostic> {
+        self.with_lint_metrics(|ctx| analysis::lint_source(src, ctx))
+    }
+
+    fn with_lint_metrics(
+        &self,
+        run: impl FnOnce(&analysis::LintContext) -> Vec<analysis::Diagnostic>,
+    ) -> Vec<analysis::Diagnostic> {
+        let start = std::time::Instant::now();
+        let ctx = analysis::LintContext::from_kb(&self.kb);
+        let diags = run(&ctx);
+        obs::histogram!(
+            "gkbms_lint_seconds",
+            "Wall-clock latency of admission-time lint runs"
+        )
+        .observe(start.elapsed());
+        let errors = diags
+            .iter()
+            .filter(|d| d.severity == analysis::Severity::Error)
+            .count() as u64;
+        let warnings = diags.len() as u64 - errors;
+        const HELP: &str = "Diagnostics emitted by the rule-base static analyzer";
+        if errors > 0 {
+            obs::registry()
+                .counter("gkbms_lint_diagnostics_total{severity=\"error\"}", HELP)
+                .add(errors);
+        }
+        if warnings > 0 {
+            obs::registry()
+                .counter("gkbms_lint_diagnostics_total{severity=\"warning\"}", HELP)
+                .add(warnings);
+        }
+        diags
     }
 
     /// UNTELLs `name` (cascading) as one write transaction, logging the

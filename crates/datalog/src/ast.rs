@@ -183,7 +183,9 @@ impl Rule {
         for v in self.head.vars() {
             if !positive_vars.contains(&v) {
                 return Err(DatalogError::UnsafeRule(format!(
-                    "head variable `{v}` in `{self}`"
+                    "variable `{v}` in the head of `{p}` occurs in no positive \
+                     body literal of `{self}`",
+                    p = self.head.pred
                 )));
             }
         }
@@ -191,7 +193,9 @@ impl Rule {
             for v in lit.atom.vars() {
                 if !positive_vars.contains(&v) {
                     return Err(DatalogError::UnsafeRule(format!(
-                        "negated variable `{v}` in `{self}`"
+                        "variable `{v}` under negation in a rule for `{p}` \
+                         occurs in no positive body literal of `{self}`",
+                        p = self.head.pred
                     )));
                 }
             }
@@ -226,6 +230,15 @@ pub struct Program {
 impl Program {
     /// Parses a textual program.
     pub fn parse(src: &str) -> DatalogResult<Program> {
+        let program = Self::parse_unchecked(src)?;
+        program.validate()?;
+        Ok(program)
+    }
+
+    /// Parses without running [`Program::validate`]: the linter wants
+    /// the syntax tree of an unsafe or arity-inconsistent program so it
+    /// can report *all* problems as diagnostics, not just the first.
+    pub fn parse_unchecked(src: &str) -> DatalogResult<Program> {
         parse_program(src)
     }
 
@@ -435,9 +448,7 @@ fn parse_program(src: &str) -> DatalogResult<Program> {
         }
         rules.push(p.rule()?);
     }
-    let program = Program { rules };
-    program.validate()?;
-    Ok(program)
+    Ok(Program { rules })
 }
 
 #[cfg(test)]
@@ -483,6 +494,18 @@ mod tests {
             Program::parse("q(X, Y) :- r(X)."),
             Err(DatalogError::UnsafeRule(_))
         ));
+    }
+
+    #[test]
+    fn unsafe_rule_error_names_variable_and_head_predicate() {
+        let err = Program::parse("q(X, Y) :- r(X).").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("variable `Y`"), "got: {msg}");
+        assert!(msg.contains("head of `q`"), "got: {msg}");
+        let err = Program::parse("q(X) :- r(X), not s(Y).").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("variable `Y`"), "got: {msg}");
+        assert!(msg.contains("rule for `q`"), "got: {msg}");
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! The predicate dependency graph of a program.
+//!
+//! Each rule `h :- b1, …, bn` contributes an edge `h → bi` per body
+//! literal, flagged negative when the literal is negated. The graph is
+//! the shared substrate of stratification (a program is stratifiable
+//! iff no cycle passes through a negative edge) and of reachability
+//! analyses such as dead-rule detection.
+
+use crate::ast::Program;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A dependency edge from a rule head to one of its body predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepEdge {
+    /// Index of the body predicate in [`DepGraph::preds`].
+    pub to: usize,
+    /// Whether the body literal is negated.
+    pub negated: bool,
+}
+
+/// The predicate dependency graph of a [`Program`].
+#[derive(Debug, Clone, Default)]
+pub struct DepGraph {
+    /// Every predicate mentioned by the program, in first-seen order.
+    pub preds: Vec<String>,
+    index: HashMap<String, usize>,
+    /// Outgoing edges per predicate: `edges[h]` lists the body
+    /// predicates the rules for `h` depend on.
+    pub edges: Vec<Vec<DepEdge>>,
+    /// Predicates that appear as a rule head (the IDB).
+    pub defined: HashSet<usize>,
+}
+
+impl DepGraph {
+    /// Builds the dependency graph of `program`.
+    pub fn of(program: &Program) -> Self {
+        let mut g = DepGraph::default();
+        for r in &program.rules {
+            let h = g.intern(&r.head.pred);
+            g.defined.insert(h);
+            for l in &r.body {
+                let b = g.intern(&l.atom.pred);
+                let edge = DepEdge {
+                    to: b,
+                    negated: l.negated,
+                };
+                if !g.edges[h].contains(&edge) {
+                    g.edges[h].push(edge);
+                }
+            }
+        }
+        g
+    }
+
+    fn intern(&mut self, pred: &str) -> usize {
+        if let Some(&i) = self.index.get(pred) {
+            return i;
+        }
+        let i = self.preds.len();
+        self.preds.push(pred.to_string());
+        self.index.insert(pred.to_string(), i);
+        self.edges.push(Vec::new());
+        i
+    }
+
+    /// Index of `pred`, if the program mentions it.
+    pub fn pred_index(&self, pred: &str) -> Option<usize> {
+        self.index.get(pred).copied()
+    }
+
+    /// Name of the predicate at `i`.
+    pub fn name(&self, i: usize) -> &str {
+        &self.preds[i]
+    }
+
+    /// The predicates reachable from `roots` by following dependency
+    /// edges (a rule head reaches every predicate its body mentions).
+    /// Roots unknown to the program are ignored.
+    pub fn reachable_from<'a>(&self, roots: impl IntoIterator<Item = &'a str>) -> HashSet<usize> {
+        let mut seen = HashSet::new();
+        let mut queue: VecDeque<usize> = roots
+            .into_iter()
+            .filter_map(|r| self.pred_index(r))
+            .collect();
+        while let Some(p) = queue.pop_front() {
+            if !seen.insert(p) {
+                continue;
+            }
+            for e in &self.edges[p] {
+                if !seen.contains(&e.to) {
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        seen
+    }
+
+    /// A cycle through at least one negative edge, if any: the witness
+    /// that the program is not stratifiable. The returned path lists
+    /// predicate names starting and ending on the same predicate, e.g.
+    /// `["win", "win"]` for `win(X) :- move(X, Y), not win(Y).`
+    pub fn negative_cycle(&self) -> Option<Vec<String>> {
+        // For every negative edge u → v, a path v ⇝ u closes a cycle
+        // through that edge. BFS keeps the witness short.
+        for u in 0..self.preds.len() {
+            for e in &self.edges[u] {
+                if !e.negated {
+                    continue;
+                }
+                if let Some(path) = self.path(e.to, u) {
+                    let mut cycle = vec![self.preds[u].clone()];
+                    cycle.extend(path.into_iter().map(|i| self.preds[i].clone()));
+                    return Some(cycle);
+                }
+            }
+        }
+        None
+    }
+
+    /// BFS path from `from` to `to` (inclusive), if one exists.
+    fn path(&self, from: usize, to: usize) -> Option<Vec<usize>> {
+        let mut parent: HashMap<usize, usize> = HashMap::new();
+        let mut queue = VecDeque::from([from]);
+        let mut seen = HashSet::from([from]);
+        while let Some(p) = queue.pop_front() {
+            if p == to {
+                let mut path = vec![p];
+                let mut cur = p;
+                while cur != from {
+                    cur = parent[&cur];
+                    path.push(cur);
+                }
+                path.reverse();
+                return Some(path);
+            }
+            for e in &self.edges[p] {
+                if seen.insert(e.to) {
+                    parent.insert(e.to, p);
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_preds_and_edges() {
+        let p = Program::parse(
+            "path(X, Y) :- edge(X, Y).\n\
+             path(X, Z) :- edge(X, Y), path(Y, Z).",
+        )
+        .unwrap();
+        let g = DepGraph::of(&p);
+        assert_eq!(g.preds, vec!["path", "edge"]);
+        let path = g.pred_index("path").unwrap();
+        let edge = g.pred_index("edge").unwrap();
+        assert!(g.defined.contains(&path));
+        assert!(!g.defined.contains(&edge));
+        // Duplicate edges are collapsed.
+        assert_eq!(g.edges[path].len(), 2);
+    }
+
+    #[test]
+    fn reachability_follows_rule_bodies() {
+        let p = Program::parse(
+            "a(X) :- b(X).\n\
+             b(X) :- c(X).\n\
+             orphan(X) :- d(X).",
+        )
+        .unwrap();
+        let g = DepGraph::of(&p);
+        let reach = g.reachable_from(["a"]);
+        assert!(reach.contains(&g.pred_index("c").unwrap()));
+        assert!(!reach.contains(&g.pred_index("orphan").unwrap()));
+        assert!(g.reachable_from(["nosuch"]).is_empty());
+    }
+
+    #[test]
+    fn self_negation_yields_unit_cycle() {
+        let p = Program::parse("win(X) :- move(X, Y), not win(Y).").unwrap();
+        let g = DepGraph::of(&p);
+        assert_eq!(g.negative_cycle().unwrap(), vec!["win", "win"]);
+    }
+
+    #[test]
+    fn mutual_negation_yields_witness_path() {
+        let p = Program::parse(
+            "p(X) :- base(X), not q(X).\n\
+             q(X) :- base(X), not p(X).",
+        )
+        .unwrap();
+        let g = DepGraph::of(&p);
+        let cycle = g.negative_cycle().unwrap();
+        assert_eq!(cycle.first(), cycle.last());
+        assert!(cycle.len() >= 3, "cycle {cycle:?} should pass through both");
+    }
+
+    #[test]
+    fn stratified_negation_has_no_cycle() {
+        let p = Program::parse(
+            "reach(X) :- source(X).\n\
+             unreached(X) :- node(X), not reach(X).",
+        )
+        .unwrap();
+        assert!(DepGraph::of(&p).negative_cycle().is_none());
+    }
+}

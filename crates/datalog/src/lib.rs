@@ -47,6 +47,7 @@
 
 pub mod ast;
 pub mod db;
+pub mod depgraph;
 pub mod error;
 pub mod intern;
 pub mod magic;

@@ -7,6 +7,7 @@
 //! [`DatalogError::NotStratifiable`].
 
 use crate::ast::Program;
+use crate::depgraph::DepGraph;
 use crate::error::{DatalogError, DatalogResult};
 use std::collections::HashMap;
 
@@ -23,20 +24,8 @@ pub struct Stratification {
 /// Computes a stratification, or an error if the program has recursion
 /// through negation.
 pub fn stratify(program: &Program) -> DatalogResult<Stratification> {
-    // Collect all predicates.
-    let mut preds: Vec<String> = Vec::new();
-    let mut seen = std::collections::HashSet::new();
-    let add = |p: &str, preds: &mut Vec<String>, seen: &mut std::collections::HashSet<String>| {
-        if seen.insert(p.to_string()) {
-            preds.push(p.to_string());
-        }
-    };
-    for r in &program.rules {
-        add(&r.head.pred, &mut preds, &mut seen);
-        for l in &r.body {
-            add(&l.atom.pred, &mut preds, &mut seen);
-        }
-    }
+    let graph = DepGraph::of(program);
+    let preds = &graph.preds;
 
     // Iteratively raise strata: head >= body (positive), head > body
     // (negative). Converges in at most |preds| rounds; one more round
@@ -61,28 +50,14 @@ pub fn stratify(program: &Program) -> DatalogResult<Stratification> {
         if !changed {
             break;
         }
-        if round == max_rounds {
-            // Find a culprit to report.
-            let culprit = program
-                .rules
-                .iter()
-                .find_map(|r| {
-                    r.body
-                        .iter()
-                        .find(|l| l.negated && stratum[&l.atom.pred] >= preds.len())
-                        .map(|l| l.atom.pred.clone())
-                })
+        // Detect divergence: one round past |preds|, or any stratum
+        // beyond |preds|, implies a cycle through a negative edge. The
+        // dependency graph names the actual cycle as the witness.
+        if round == max_rounds || stratum.values().any(|&s| s > preds.len()) {
+            let culprit = graph
+                .negative_cycle()
+                .map(|cycle| cycle.join(" -> "))
                 .unwrap_or_else(|| "?".to_string());
-            return Err(DatalogError::NotStratifiable(culprit));
-        }
-        // Detect divergence early: any stratum beyond |preds| implies a
-        // negative cycle.
-        if stratum.values().any(|&s| s > preds.len()) {
-            let culprit = stratum
-                .iter()
-                .max_by_key(|(_, &s)| s)
-                .map(|(p, _)| p.clone())
-                .unwrap_or_default();
             return Err(DatalogError::NotStratifiable(culprit));
         }
     }
@@ -151,6 +126,15 @@ mod tests {
             stratify(&p),
             Err(DatalogError::NotStratifiable(_))
         ));
+    }
+
+    #[test]
+    fn negative_cycle_witness_in_error() {
+        let p = Program::parse("win(X) :- move(X, Y), not win(Y).").unwrap();
+        let Err(DatalogError::NotStratifiable(witness)) = stratify(&p) else {
+            panic!("expected NotStratifiable");
+        };
+        assert_eq!(witness, "win -> win");
     }
 
     #[test]

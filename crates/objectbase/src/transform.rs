@@ -87,6 +87,12 @@ pub fn tell(kb: &mut Kb, frame: &ObjectFrame) -> ObResult<TellReceipt> {
     Ok(TellReceipt { object, created })
 }
 
+/// Whether an assertion text is a deductive rule in datalog notation
+/// (`head :- body.`) rather than the assertion language.
+pub fn is_datalog_text(text: &str) -> bool {
+    text.contains(":-")
+}
+
 fn tell_assertion(
     kb: &mut Kb,
     object: PropId,
@@ -95,8 +101,20 @@ fn tell_assertion(
     kind: &str,
 ) -> ObResult<PropId> {
     // Validate the assertion text eagerly: a malformed constraint must
-    // be rejected at TELL time, not at check time.
-    telos::assertion::parse(text)?;
+    // be rejected at TELL time, not at check time. Rule sections may
+    // carry deductive rules in datalog notation, validated by the
+    // datalog parser instead.
+    if kind == markers::RULE && is_datalog_text(text) {
+        let text = text.trim();
+        let dotted = if text.ends_with('.') {
+            text.to_string()
+        } else {
+            format!("{text}.")
+        };
+        datalog::Program::parse(&dotted)?;
+    } else {
+        telos::assertion::parse(text)?;
+    }
     let owner_name = kb.display(object);
     let obj_name = format!("{owner_name}!{name}");
     let assertion_obj = kb.individual(&obj_name)?;
@@ -145,6 +163,26 @@ fn assertions_of(kb: &Kb, class: PropId, kind: &str) -> Vec<(String, String)> {
         let texts = kb.attr_values(p.dest, markers::TEXT);
         if let Some(&t) = texts.first() {
             out.push((label, kb.display(t)));
+        }
+    }
+    out
+}
+
+/// Every stored deductive rule in datalog notation, across all rule
+/// assertion objects in the KB. Used by the static analyzer to check a
+/// newly admitted rule against the rule base it joins (a negative
+/// cycle can close over an old rule).
+pub fn stored_datalog_rules(kb: &Kb) -> Vec<String> {
+    let Some(rule_class) = kb.lookup(markers::RULE) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for obj in kb.all_instances_of(rule_class) {
+        for &t in &kb.attr_values(obj, markers::TEXT) {
+            let text = kb.display(t);
+            if is_datalog_text(&text) {
+                out.push(text);
+            }
         }
     }
     out

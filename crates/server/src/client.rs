@@ -6,7 +6,7 @@
 //! explicitly so a client can multiplex several sessions over one
 //! connection (or reconnect and keep a session).
 
-use crate::proto::{self, ErrorCode, FrameRead, Request, Response, WireDecision};
+use crate::proto::{self, ErrorCode, FrameRead, Request, Response, WireDecision, WireDiagnostic};
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
@@ -420,6 +420,19 @@ impl Client {
     /// Begins graceful server shutdown.
     pub fn shutdown_server(&mut self, session: u64) -> ClientResult<String> {
         self.done(&Request::Shutdown { session })
+    }
+
+    /// Statically analyzes source text against the live knowledge base
+    /// without admitting anything. An empty list means a clean source.
+    pub fn lint(&mut self, session: u64, src: &str) -> ClientResult<Vec<WireDiagnostic>> {
+        let req = Request::Lint {
+            session,
+            src: src.into(),
+        };
+        match self.expect(&req)? {
+            Response::Diagnostics { diags } => Ok(diags),
+            other => Err(shape("Diagnostics", &other)),
+        }
     }
 
     /// Scrapes the server's metrics registry (Prometheus text format).

@@ -24,7 +24,7 @@ pub mod session;
 pub use client::{
     AskReply, Client, ClientError, ClientResult, ServerError, SessionStats, DEFAULT_READ_TIMEOUT,
 };
-pub use proto::{ErrorCode, Request, Response, WireDecision, WireDischarge};
+pub use proto::{ErrorCode, Request, Response, WireDecision, WireDiagnostic, WireDischarge};
 pub use server::{Config, JoinError, Server, SlowQuery};
 
 #[cfg(test)]

@@ -57,6 +57,7 @@
 //! | 21 | `Status`             | `session:u64`                              |
 //! | 22 | `Metrics`            | —                                          |
 //! | 23 | `Checkpoint`         | `session:u64`                              |
+//! | 24 | `Lint`               | `session:u64 src:str`                      |
 //!
 //! The `Execute` decision request is encoded as:
 //!
@@ -80,7 +81,16 @@
 //! |  6 | `SessionInfo` | `session:u64 watermark:i64 kb_now:i64 requests:u64 believed:u64 probes:u64 scanned:u64` |
 //! |  7 | `Error`       | `code:u32 message:str`                           |
 //! |  8 | `Metrics`     | `text:str` (Prometheus text exposition)          |
-//! |
+//! |  9 | `Diagnostics` | `n:u32` + diagnostic* (below)                    |
+//!
+//! Each `Diagnostics` entry is encoded as:
+//!
+//! ```text
+//! severity:u32 (0 = warning, 1 = error)
+//! code:str subject:str message:str
+//! has_witness:u32 [witness:str]
+//! has_line:u32 [line:u64]
+//! ```
 //!
 //! `Names.probes`/`Names.scanned` carry the deductive [`EvalStats`]
 //! counters for `Ask` answers and are zero for other `Names` replies
@@ -153,6 +163,49 @@ pub struct WireDecision {
     pub outputs: Vec<(String, String)>,
     /// Obligations discharged by this decision.
     pub discharges: Vec<WireDischarge>,
+}
+
+/// One diagnostic from the rule-base static analyzer, mirroring
+/// [`analysis::Diagnostic`] on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireDiagnostic {
+    /// True for an error, false for a warning.
+    pub is_error: bool,
+    /// Stable diagnostic code (`CB001`, `CB002`, …).
+    pub code: String,
+    /// What the diagnostic is about (a rule, a frame section, …).
+    pub subject: String,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Optional witness (offending variable, cycle path, …).
+    pub witness: Option<String>,
+    /// Optional 1-based line in the submitted source.
+    pub line: Option<u64>,
+}
+
+impl WireDiagnostic {
+    /// Converts an analyzer diagnostic into its wire form.
+    pub fn from_diagnostic(d: &analysis::Diagnostic) -> WireDiagnostic {
+        WireDiagnostic {
+            is_error: d.severity == analysis::Severity::Error,
+            code: d.code.to_string(),
+            subject: d.subject.clone(),
+            message: d.message.clone(),
+            witness: (!d.witness.is_empty()).then(|| d.witness.clone()),
+            line: d.line.map(|l| l as u64),
+        }
+    }
+
+    /// Compact single-line rendering, matching
+    /// [`analysis::Diagnostic::one_line`].
+    pub fn one_line(&self) -> String {
+        let sev = if self.is_error { "error" } else { "warning" };
+        let mut s = format!("{sev}[{}] {}: {}", self.code, self.subject, self.message);
+        if let Some(w) = &self.witness {
+            s.push_str(&format!(" (witness: {w})"));
+        }
+        s
+    }
 }
 
 /// A client-to-server request.
@@ -301,6 +354,15 @@ pub enum Request {
         /// Issuing session.
         session: u64,
     },
+    /// Statically analyze source text against the live knowledge base
+    /// without admitting it. Always answers [`Response::Diagnostics`];
+    /// a clean bill of health is an empty list.
+    Lint {
+        /// Issuing session.
+        session: u64,
+        /// Source text to analyze (CML frames or a datalog program).
+        src: String,
+    },
 }
 
 /// Typed error codes carried by [`Response::Error`].
@@ -321,6 +383,10 @@ pub enum ErrorCode {
     ShuttingDown = 6,
     /// An internal I/O failure (e.g. during SAVE/LOAD).
     Internal = 7,
+    /// The static analyzer rejected a TELL at admission time; the
+    /// message carries the rendered diagnostics and nothing was
+    /// admitted.
+    LintRejected = 8,
 }
 
 impl ErrorCode {
@@ -333,6 +399,7 @@ impl ErrorCode {
             5 => ErrorCode::Rejected,
             6 => ErrorCode::ShuttingDown,
             7 => ErrorCode::Internal,
+            8 => ErrorCode::LintRejected,
             _ => return None,
         })
     }
@@ -348,6 +415,7 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::Rejected => "rejected",
             ErrorCode::ShuttingDown => "shutting down",
             ErrorCode::Internal => "internal error",
+            ErrorCode::LintRejected => "rejected by lint",
         };
         f.write_str(s)
     }
@@ -416,6 +484,12 @@ pub enum Response {
         /// The rendered exposition text.
         text: String,
     },
+    /// The static analyzer's verdict on a `Lint` request (empty when
+    /// the source is clean).
+    Diagnostics {
+        /// The diagnostics, errors first.
+        diags: Vec<WireDiagnostic>,
+    },
 }
 
 const REQ_HELLO: u32 = 1;
@@ -441,6 +515,7 @@ const REQ_REGISTER: u32 = 20;
 const REQ_STATUS: u32 = 21;
 const REQ_METRICS: u32 = 22;
 const REQ_CHECKPOINT: u32 = 23;
+const REQ_LINT: u32 = 24;
 
 const RESP_WELCOME: u32 = 1;
 const RESP_DONE: u32 = 2;
@@ -450,6 +525,7 @@ const RESP_TABLE: u32 = 5;
 const RESP_SESSION_INFO: u32 = 6;
 const RESP_ERROR: u32 = 7;
 const RESP_METRICS: u32 = 8;
+const RESP_DIAGNOSTICS: u32 = 9;
 
 /// Decode failure: the payload did not parse as a valid message.
 #[derive(Debug)]
@@ -550,6 +626,52 @@ fn decode_decision(c: &mut codec::Cursor<'_>) -> Decode<WireDecision> {
         inputs,
         outputs,
         discharges,
+    })
+}
+
+fn encode_diagnostic(out: &mut Vec<u8>, d: &WireDiagnostic) {
+    codec::put_u32(out, u32::from(d.is_error));
+    codec::put_str(out, &d.code);
+    codec::put_str(out, &d.subject);
+    codec::put_str(out, &d.message);
+    match &d.witness {
+        Some(w) => {
+            codec::put_u32(out, 1);
+            codec::put_str(out, w);
+        }
+        None => codec::put_u32(out, 0),
+    }
+    match d.line {
+        Some(l) => {
+            codec::put_u32(out, 1);
+            codec::put_u64(out, l);
+        }
+        None => codec::put_u32(out, 0),
+    }
+}
+
+fn decode_diagnostic(c: &mut codec::Cursor<'_>) -> Decode<WireDiagnostic> {
+    let is_error = c.get_u32()? != 0;
+    let code = c.get_str()?.to_string();
+    let subject = c.get_str()?.to_string();
+    let message = c.get_str()?.to_string();
+    let witness = if c.get_u32()? != 0 {
+        Some(c.get_str()?.to_string())
+    } else {
+        None
+    };
+    let line = if c.get_u32()? != 0 {
+        Some(c.get_u64()?)
+    } else {
+        None
+    };
+    Ok(WireDiagnostic {
+        is_error,
+        code,
+        subject,
+        message,
+        witness,
+        line,
     })
 }
 
@@ -668,6 +790,11 @@ impl Request {
                 codec::put_u32(&mut out, REQ_CHECKPOINT);
                 codec::put_u64(&mut out, *session);
             }
+            Request::Lint { session, src } => {
+                codec::put_u32(&mut out, REQ_LINT);
+                codec::put_u64(&mut out, *session);
+                codec::put_str(&mut out, src);
+            }
         }
         out
     }
@@ -757,6 +884,10 @@ impl Request {
             REQ_CHECKPOINT => Request::Checkpoint {
                 session: c.get_u64()?,
             },
+            REQ_LINT => Request::Lint {
+                session: c.get_u64()?,
+                src: c.get_str()?.to_string(),
+            },
             op => return Err(DecodeError(format!("unknown request opcode {op}"))),
         };
         if !c.is_exhausted() {
@@ -788,7 +919,8 @@ impl Request {
             | Request::Sleep { session, .. }
             | Request::RegisterObject { session, .. }
             | Request::Status { session }
-            | Request::Checkpoint { session } => Some(*session),
+            | Request::Checkpoint { session }
+            | Request::Lint { session, .. } => Some(*session),
         }
     }
 
@@ -832,6 +964,7 @@ impl Request {
             Request::Status { .. } => "status",
             Request::Metrics => "metrics",
             Request::Checkpoint { .. } => "checkpoint",
+            Request::Lint { .. } => "lint",
         }
     }
 }
@@ -898,6 +1031,13 @@ impl Response {
                 codec::put_u32(&mut out, RESP_METRICS);
                 codec::put_str(&mut out, text);
             }
+            Response::Diagnostics { diags } => {
+                codec::put_u32(&mut out, RESP_DIAGNOSTICS);
+                codec::put_u32(&mut out, diags.len() as u32);
+                for d in diags {
+                    encode_diagnostic(&mut out, d);
+                }
+            }
         }
         out
     }
@@ -955,6 +1095,14 @@ impl Response {
             RESP_METRICS => Response::Metrics {
                 text: c.get_str()?.to_string(),
             },
+            RESP_DIAGNOSTICS => {
+                let n = c.get_u32()? as usize;
+                let mut diags = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    diags.push(decode_diagnostic(&mut c)?);
+                }
+                Response::Diagnostics { diags }
+            }
             op => return Err(DecodeError(format!("unknown response opcode {op}"))),
         };
         if !c.is_exhausted() {
@@ -1144,6 +1292,10 @@ mod tests {
         roundtrip_req(Request::Status { session: 6 });
         roundtrip_req(Request::Metrics);
         roundtrip_req(Request::Checkpoint { session: 6 });
+        roundtrip_req(Request::Lint {
+            session: 6,
+            src: "win(X) :- move(X, Y), not win(Y).".into(),
+        });
     }
 
     #[test]
@@ -1217,6 +1369,39 @@ mod tests {
         roundtrip_resp(Response::Metrics {
             text: "# TYPE gkbms_requests_total counter\n".into(),
         });
+        roundtrip_resp(Response::Error {
+            code: ErrorCode::LintRejected,
+            message: "error[CB001] rule `r`: unsafe".into(),
+        });
+        roundtrip_resp(Response::Diagnostics { diags: vec![] });
+        roundtrip_resp(Response::Diagnostics {
+            diags: vec![
+                WireDiagnostic {
+                    is_error: true,
+                    code: "CB002".into(),
+                    subject: "rule `win`".into(),
+                    message: "recursion through negation".into(),
+                    witness: Some("negative cycle win -> win".into()),
+                    line: Some(3),
+                },
+                WireDiagnostic {
+                    is_error: false,
+                    code: "CB003".into(),
+                    subject: "rule `p`".into(),
+                    message: "undeclared predicate".into(),
+                    witness: None,
+                    line: None,
+                },
+            ],
+        });
+    }
+
+    #[test]
+    fn wire_diagnostic_one_line_matches_analysis() {
+        let d = analysis::Diagnostic::error("CB001", "rule `r`", "bad")
+            .with_witness("variable `X`")
+            .at_line(Some(2));
+        assert_eq!(WireDiagnostic::from_diagnostic(&d).one_line(), d.one_line());
     }
 
     #[test]

@@ -38,9 +38,9 @@
 //! handler threads exit at their next idle poll. [`Server::join`]
 //! waits for all of that and hands the final [`Gkbms`] back.
 
-use crate::proto::{self, ErrorCode, FrameRead, Request, Response, WireDischarge};
+use crate::proto::{self, ErrorCode, FrameRead, Request, Response, WireDiagnostic, WireDischarge};
 use crate::session::{SessionErr, SessionTable};
-use gkbms::{DecisionRequest, Discharge, FsyncPolicy, Gkbms};
+use gkbms::{DecisionRequest, Discharge, FsyncPolicy, Gkbms, GkbmsError};
 use objectbase::transform::frame_of;
 use std::collections::VecDeque;
 use std::fs::File;
@@ -79,6 +79,9 @@ pub struct Config {
     /// Auto-checkpoint: compact the journal after this many WAL ops.
     /// `None` leaves checkpointing to explicit `Checkpoint` requests.
     pub checkpoint_every: Option<u64>,
+    /// When true, TELLs carrying lint *warnings* are rejected like
+    /// errors (errors always reject the batch at admission time).
+    pub strict_lint: bool,
 }
 
 impl Default for Config {
@@ -91,6 +94,7 @@ impl Default for Config {
             slow_query_threshold: Some(Duration::from_millis(250)),
             fsync: FsyncPolicy::Group(Duration::ZERO),
             checkpoint_every: None,
+            strict_lint: false,
         }
     }
 }
@@ -724,14 +728,33 @@ fn dispatch(shared: &Shared, req: Request) -> Response {
                 return resp;
             }
             let mut g = write_state(shared);
-            let outcome = g.tell_src(&src);
+            let outcome = g.tell_src_checked(&src, shared.cfg.strict_lint);
             if let Err(resp) = durable_commit(shared, g, outcome.is_ok()) {
                 return resp;
             }
             match outcome {
-                Ok(n) => Response::Done {
+                Ok((n, diags)) if diags.is_empty() => Response::Done {
                     text: format!("told {n} object(s)"),
                 },
+                Ok((n, diags)) => Response::Done {
+                    text: format!(
+                        "told {n} object(s); {} lint warning(s): {}",
+                        diags.len(),
+                        diags
+                            .iter()
+                            .map(|d| d.one_line())
+                            .collect::<Vec<_>>()
+                            .join("; ")
+                    ),
+                },
+                Err(GkbmsError::Lint(diags)) => err(
+                    ErrorCode::LintRejected,
+                    diags
+                        .iter()
+                        .map(|d| d.one_line())
+                        .collect::<Vec<_>>()
+                        .join("; "),
+                ),
                 Err(e) => err(ErrorCode::Rejected, e.to_string()),
             }
         }
@@ -1009,6 +1032,15 @@ fn dispatch(shared: &Shared, req: Request) -> Response {
                     }
                 }
                 Err(e) => err(ErrorCode::Rejected, e.to_string()),
+            }
+        }
+        Request::Lint { session, src } => {
+            if let Err(resp) = touch(shared, session) {
+                return resp;
+            }
+            let diags = read_state(shared).lint_src(&src);
+            Response::Diagnostics {
+                diags: diags.iter().map(WireDiagnostic::from_diagnostic).collect(),
             }
         }
         Request::Sleep { session, millis } => {

@@ -10,7 +10,9 @@
 pub mod ast;
 pub mod eval;
 pub mod parser;
+pub mod sortck;
 
 pub use ast::{Atom, Expr, Term};
 pub use eval::{eval, find, Env};
 pub use parser::parse;
+pub use sortck::{sort_check, SortIssue};

@@ -1,0 +1,124 @@
+//! Sort checking of assertion expressions.
+//!
+//! An assertion is *sort-correct* when every quantifier ranges over a
+//! known class and every attribute access uses a declared label. The
+//! vocabulary is supplied by the caller as predicates, so the check
+//! works against a live KB, a snapshot, or a script being linted
+//! before anything exists.
+
+use super::ast::{Atom, Expr};
+
+/// One sort problem found in an expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SortIssue {
+    /// A quantifier ranges over a class the vocabulary does not know.
+    UnknownClass {
+        /// The quantified variable.
+        var: String,
+        /// The unknown range class.
+        class: String,
+    },
+    /// An attribute access (`x.label = y` or `x.label defined`) uses a
+    /// label no class declares.
+    UnknownLabel {
+        /// The term whose attribute is accessed.
+        on: String,
+        /// The undeclared label.
+        label: String,
+    },
+}
+
+impl std::fmt::Display for SortIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SortIssue::UnknownClass { var, class } => {
+                write!(
+                    f,
+                    "quantifier `{var}/{class}` ranges over unknown class `{class}`"
+                )
+            }
+            SortIssue::UnknownLabel { on, label } => {
+                write!(
+                    f,
+                    "`{on}.{label}` uses undeclared attribute label `{label}`"
+                )
+            }
+        }
+    }
+}
+
+/// Checks `expr` against a vocabulary: `known_class` answers whether a
+/// class name is declared, `known_label` whether an attribute label is
+/// declared anywhere. Returns every issue, in syntax order.
+pub fn sort_check(
+    expr: &Expr,
+    known_class: &dyn Fn(&str) -> bool,
+    known_label: &dyn Fn(&str) -> bool,
+) -> Vec<SortIssue> {
+    let mut out = Vec::new();
+    walk(expr, known_class, known_label, &mut out);
+    out
+}
+
+fn walk(
+    expr: &Expr,
+    known_class: &dyn Fn(&str) -> bool,
+    known_label: &dyn Fn(&str) -> bool,
+    out: &mut Vec<SortIssue>,
+) {
+    match expr {
+        Expr::Forall(v, c, b) | Expr::Exists(v, c, b) => {
+            if !known_class(c) {
+                out.push(SortIssue::UnknownClass {
+                    var: v.clone(),
+                    class: c.clone(),
+                });
+            }
+            walk(b, known_class, known_label, out);
+        }
+        Expr::And(a, b) | Expr::Or(a, b) | Expr::Implies(a, b) => {
+            walk(a, known_class, known_label, out);
+            walk(b, known_class, known_label, out);
+        }
+        Expr::Not(a) => walk(a, known_class, known_label, out),
+        Expr::Atom(Atom::HasAttr(x, l, _)) | Expr::Atom(Atom::AttrDefined(x, l)) => {
+            if !known_label(l) {
+                out.push(SortIssue::UnknownLabel {
+                    on: x.0.clone(),
+                    label: l.clone(),
+                });
+            }
+        }
+        Expr::Atom(_) | Expr::True => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assertion::parse;
+
+    #[test]
+    fn clean_expression_has_no_issues() {
+        let e = parse("forall p/Paper p.author defined").unwrap();
+        let issues = sort_check(&e, &|c| c == "Paper", &|l| l == "author");
+        assert!(issues.is_empty());
+    }
+
+    #[test]
+    fn unknown_class_and_label_reported() {
+        let e = parse("forall p/Ghost p.phantom defined").unwrap();
+        let issues = sort_check(&e, &|_| false, &|_| false);
+        assert_eq!(issues.len(), 2);
+        assert!(matches!(&issues[0], SortIssue::UnknownClass { class, .. } if class == "Ghost"));
+        assert!(matches!(&issues[1], SortIssue::UnknownLabel { label, .. } if label == "phantom"));
+        assert!(issues[0].to_string().contains("Ghost"));
+    }
+
+    #[test]
+    fn issues_found_under_every_connective() {
+        let e = parse("not (exists x/Ghost (x.a defined and x.b = y))").unwrap();
+        let issues = sort_check(&e, &|_| false, &|l| l == "a");
+        assert_eq!(issues.len(), 2, "{issues:?}");
+    }
+}

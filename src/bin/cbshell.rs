@@ -32,6 +32,7 @@
 //! stats                    KB statistics
 //! \stats                   index probes / tuples scanned of the last ASK
 //! \metrics                 process metrics (Prometheus text format)
+//! \lint <file>             statically analyze a script without admitting it
 //! help / quit
 //! ```
 //!
@@ -75,7 +76,7 @@ fn dispatch(shell: &mut Shell, line: &str) -> Option<String> {
         "" => String::new(),
         "quit" | "exit" => return None,
         "help" => "commands: tell untell ask holds show isa instances attrs check stats \\stats \
-             \\metrics quit"
+             \\metrics \\lint quit"
             .to_string(),
         "tell" => match ObjectFrame::parse(&format!("TELL {rest}")) {
             Err(e) => format!("error: {e}"),
@@ -171,6 +172,22 @@ fn dispatch(shell: &mut Shell, line: &str) -> Option<String> {
             }
         },
         "\\metrics" => conceptbase::obs::render_prometheus(),
+        "\\lint" => {
+            if rest.is_empty() {
+                "usage: \\lint <file>".to_string()
+            } else {
+                match std::fs::read_to_string(rest) {
+                    Err(e) => format!("error: cannot read {rest}: {e}"),
+                    Ok(src) => {
+                        let ctx = conceptbase::analysis::LintContext::from_kb(kb);
+                        let diags = conceptbase::analysis::lint_source(&src, &ctx);
+                        conceptbase::analysis::render(rest, &src, &diags)
+                            .trim_end()
+                            .to_string()
+                    }
+                }
+            }
+        }
         other => format!("unknown command `{other}` (try `help`)"),
     };
     Some(out)
@@ -203,7 +220,7 @@ fn dispatch_remote(client: &mut Client, session: u64, line: &str) -> Option<Stri
             return None;
         }
         "help" => "commands: tell untell ask holds show refresh history status \\stats \
-                   \\metrics \\checkpoint save load shutdown quit"
+                   \\metrics \\lint \\checkpoint save load shutdown quit"
             .to_string(),
         "tell" => {
             let r = client.tell(session, &format!("TELL {rest}"));
@@ -250,9 +267,41 @@ fn dispatch_remote(client: &mut Client, session: u64, line: &str) -> Option<Stri
             ),
         },
         "\\metrics" => text(client.metrics()),
+        "\\lint" => {
+            if rest.is_empty() {
+                "usage: \\lint <file>".to_string()
+            } else {
+                match std::fs::read_to_string(rest) {
+                    Err(e) => format!("error: cannot read {rest}: {e}"),
+                    Ok(src) => match client.lint(session, &src) {
+                        Err(e) => format!("error: {e}"),
+                        Ok(diags) => render_wire_diags(rest, &diags),
+                    },
+                }
+            }
+        }
         other => format!("unknown command `{other}` (try `help`)"),
     };
     Some(out)
+}
+
+/// Renders the server's lint verdict, one diagnostic per line plus a
+/// summary, mirroring the offline `cblint` one-line form.
+fn render_wire_diags(origin: &str, diags: &[conceptbase::server::WireDiagnostic]) -> String {
+    let mut lines: Vec<String> = diags
+        .iter()
+        .map(|d| match d.line {
+            Some(n) => format!("{origin}:{n}: {}", d.one_line()),
+            None => format!("{origin}: {}", d.one_line()),
+        })
+        .collect();
+    let errors = diags.iter().filter(|d| d.is_error).count();
+    lines.push(format!(
+        "{origin}: {} error(s), {} warning(s)",
+        errors,
+        diags.len() - errors
+    ));
+    lines.join("\n")
 }
 
 /// Accumulates lines of a multi-line `tell … end` command.
@@ -300,18 +349,20 @@ struct ListenOpts {
     journal: Option<std::path::PathBuf>,
     fsync: conceptbase::gkbms::FsyncPolicy,
     checkpoint_every: Option<u64>,
+    strict_lint: bool,
 }
 
 impl ListenOpts {
     /// Parses everything after `--listen`: an optional bare address
-    /// followed by `--journal <dir>`, `--fsync <policy>`, and
-    /// `--checkpoint-every <n>` in any order.
+    /// followed by `--journal <dir>`, `--fsync <policy>`,
+    /// `--checkpoint-every <n>` and `--strict-lint` in any order.
     fn parse(args: &[String]) -> Result<ListenOpts, String> {
         let mut opts = ListenOpts {
             addr: "127.0.0.1:4711".to_string(),
             journal: None,
             fsync: Config::default().fsync,
             checkpoint_every: None,
+            strict_lint: false,
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -334,6 +385,7 @@ impl ListenOpts {
                             .map_err(|_| format!("bad --checkpoint-every `{v}`"))?,
                     );
                 }
+                "--strict-lint" => opts.strict_lint = true,
                 other if other.starts_with("--") => {
                     return Err(format!("unknown --listen flag `{other}`"));
                 }
@@ -371,6 +423,7 @@ fn listen(opts: &ListenOpts) -> Result<(), Box<dyn std::error::Error>> {
     let cfg = Config {
         fsync: opts.fsync,
         checkpoint_every: opts.checkpoint_every,
+        strict_lint: opts.strict_lint,
         ..Config::default()
     };
     let server = Server::bind(opts.addr.as_str(), state, cfg)?;
@@ -615,6 +668,13 @@ mod tests {
         assert!(ListenOpts::parse(&["--fsync".to_string(), "bogus".to_string()]).is_err());
         assert!(ListenOpts::parse(&["--journal".to_string()]).is_err());
         assert!(ListenOpts::parse(&["--frob".to_string()]).is_err());
+
+        assert!(!ListenOpts::parse(&[]).unwrap().strict_lint);
+        assert!(
+            ListenOpts::parse(&["--strict-lint".to_string()])
+                .unwrap()
+                .strict_lint
+        );
     }
 
     #[test]
@@ -634,6 +694,32 @@ mod tests {
         server.shutdown().unwrap();
         assert!(dir.join("snapshot").exists());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lint_command_local_and_remote() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("cb-shell-lint-{}.dl", std::process::id()));
+        std::fs::write(&path, "% query: p\np(X) :- q(X, Y), not r(Y, Z).\n").unwrap();
+        let file = path.to_str().unwrap().to_string();
+
+        let mut shell = seeded_shell();
+        let local = dispatch(&mut shell, &format!("\\lint {file}")).unwrap();
+        assert!(local.contains("error[CB001]"), "{local}");
+        assert!(
+            dispatch(&mut shell, "\\lint").unwrap().starts_with("usage"),
+            "bare \\lint needs a usage hint"
+        );
+
+        let state = conceptbase::gkbms::Gkbms::new().unwrap();
+        let server = Server::bind("127.0.0.1:0", state, Config::default()).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let (session, _) = client.hello().unwrap();
+        let remote = dispatch_remote(&mut client, session, &format!("\\lint {file}")).unwrap();
+        assert!(remote.contains("error[CB001]"), "{remote}");
+        assert!(remote.contains("error(s)"), "{remote}");
+        server.shutdown().unwrap();
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

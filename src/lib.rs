@@ -7,6 +7,7 @@
 //!
 //! See `examples/quickstart.rs` for a tour.
 
+pub use analysis;
 pub use datalog;
 pub use gkbms;
 pub use langs;

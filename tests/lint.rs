@@ -1,0 +1,213 @@
+//! Integration: the rule-base static analyzer (`cblint`) — golden
+//! fixtures for every check, and the admission-time wiring: a server
+//! must reject an unsafe or unstratifiable TELL with a typed
+//! diagnostic *before* anything is admitted, leaving the session
+//! usable (the paper's Consistency Checker validates ahead of use,
+//! not at the first query).
+
+use conceptbase::analysis::{lint_source, render, LintContext};
+use conceptbase::gkbms::Gkbms;
+use conceptbase::server::{Client, ClientError, Config, ErrorCode, Server};
+use std::path::PathBuf;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/lint")
+}
+
+/// Every `.dl`/`.cb` fixture has an `.expected` file listing
+/// substrings (one per line, `#` comments allowed) that must appear
+/// in the rendered diagnostics. Clean fixtures expect the
+/// `0 error(s), 0 warning(s)` summary — which also asserts that no
+/// diagnostic fired at all.
+#[test]
+fn golden_fixtures() {
+    let dir = fixture_dir();
+    let mut checked = 0usize;
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("fixture dir")
+        .map(|e| e.expect("entry").path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
+        if ext != "dl" && ext != "cb" {
+            continue;
+        }
+        let expected_path = path.with_extension("expected");
+        let expected = std::fs::read_to_string(&expected_path)
+            .unwrap_or_else(|_| panic!("fixture {} has no .expected file", path.display()));
+        let src = std::fs::read_to_string(&path).expect("fixture source");
+        let name = path.file_name().unwrap().to_str().unwrap();
+        let diags = lint_source(&src, &LintContext::offline());
+        let rendered = render(name, &src, &diags);
+        for want in expected
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        {
+            assert!(
+                rendered.contains(want),
+                "{name}: expected `{want}` in rendered diagnostics:\n{rendered}"
+            );
+        }
+        checked += 1;
+    }
+    assert!(
+        checked >= 20,
+        "expected at least 20 fixtures, found {checked}"
+    );
+}
+
+/// A defect fixture must carry a source line and a witness — the
+/// diagnostics are only useful if they point somewhere.
+#[test]
+fn defect_fixtures_carry_spans_and_witnesses() {
+    let src = std::fs::read_to_string(fixture_dir().join("unsafe_rule.dl")).unwrap();
+    let diags = lint_source(&src, &LintContext::offline());
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].line, Some(2), "span must point at the unsafe rule");
+    assert!(diags[0].witness.contains("`Y`"), "{:?}", diags[0]);
+}
+
+fn start(cfg: Config) -> (Server, std::net::SocketAddr) {
+    let state = Gkbms::new().expect("fresh gkbms");
+    let server = Server::bind("127.0.0.1:0", state, cfg).expect("bind");
+    let addr = server.local_addr();
+    (server, addr)
+}
+
+fn expect_lint_rejection(err: ClientError) -> String {
+    match err {
+        ClientError::Server(se) => {
+            assert_eq!(se.code, ErrorCode::LintRejected, "{}", se.message);
+            se.message
+        }
+        other => panic!("expected a typed server error, got {other:?}"),
+    }
+}
+
+/// An unstratifiable TELL is rejected at admission with the negative
+/// cycle as witness, nothing is admitted, and the session keeps
+/// working — it is not poisoned and does not fail at the next ASK.
+#[test]
+fn server_rejects_unstratifiable_tell_with_typed_diagnostic() {
+    let (server, addr) = start(Config::default());
+    let mut c = Client::connect(addr).unwrap();
+    let (s, _) = c.hello().unwrap();
+    c.tell(s, "TELL Game end").unwrap();
+
+    let err = c
+        .tell(
+            s,
+            "TELL Game2 with rule w : $ win(X) :- move(X, Y), not win(Y) $ end",
+        )
+        .unwrap_err();
+    let message = expect_lint_rejection(err);
+    assert!(message.contains("CB002"), "{message}");
+    assert!(message.contains("win -> win"), "{message}");
+
+    // The rejected batch left no trace and the session still works.
+    c.tell(s, "TELL p1 in Game end").unwrap();
+    c.refresh(s).unwrap();
+    let hits = c.ask(s, "x", "Game", "true").unwrap().answers;
+    assert_eq!(hits, vec!["p1".to_string()]);
+    let err = c.show(s, "Game2").unwrap_err();
+    assert!(
+        matches!(err, ClientError::Server(_)),
+        "Game2 must not exist"
+    );
+
+    // The analyzer's metrics are scrapable.
+    let metrics = c.metrics().unwrap();
+    assert!(
+        metrics.contains("gkbms_lint_diagnostics_total{severity=\"error\"}"),
+        "lint error counter missing from metrics"
+    );
+    assert!(
+        metrics.contains("gkbms_lint_seconds"),
+        "lint latency missing"
+    );
+    server.shutdown().unwrap();
+}
+
+/// An unsafe rule (range restriction violated) is likewise rejected
+/// with the offending variable named.
+#[test]
+fn server_rejects_unsafe_tell() {
+    let (server, addr) = start(Config::default());
+    let mut c = Client::connect(addr).unwrap();
+    let (s, _) = c.hello().unwrap();
+    let err = c
+        .tell(s, "TELL Game with rule r : $ best(X, Y) :- plays(X) $ end")
+        .unwrap_err();
+    let message = expect_lint_rejection(err);
+    assert!(message.contains("CB001"), "{message}");
+    assert!(message.contains("`Y`"), "{message}");
+    server.shutdown().unwrap();
+}
+
+/// Warnings are admitted by default (the Done text reports them) but
+/// rejected under `strict_lint`.
+#[test]
+fn warnings_admit_by_default_and_reject_under_strict_lint() {
+    // A rule referencing a predicate nothing defines: CB003, warning.
+    let warned = "TELL Game with rule r : $ wins(X) :- beats(X, Y) $ end";
+
+    let (server, addr) = start(Config::default());
+    let mut c = Client::connect(addr).unwrap();
+    let (s, _) = c.hello().unwrap();
+    let text = c.tell(s, warned).unwrap();
+    assert!(text.contains("lint warning"), "{text}");
+    assert!(text.contains("CB003"), "{text}");
+    server.shutdown().unwrap();
+
+    let (server, addr) = start(Config {
+        strict_lint: true,
+        ..Config::default()
+    });
+    let mut c = Client::connect(addr).unwrap();
+    let (s, _) = c.hello().unwrap();
+    let message = expect_lint_rejection(c.tell(s, warned).unwrap_err());
+    assert!(message.contains("CB003"), "{message}");
+    // Clean TELLs still pass under strict lint.
+    c.tell(s, "TELL Game end").unwrap();
+    server.shutdown().unwrap();
+}
+
+/// The `Lint` wire op analyzes without admitting: diagnostics come
+/// back over the wire and the KB is untouched.
+#[test]
+fn lint_op_reports_without_admitting() {
+    let (server, addr) = start(Config::default());
+    let mut c = Client::connect(addr).unwrap();
+    let (s, _) = c.hello().unwrap();
+
+    let diags = c
+        .lint(
+            s,
+            "TELL Game with rule w : $ win(X) :- move(X, Y), not win(Y) $ end",
+        )
+        .unwrap();
+    assert!(
+        diags.iter().any(|d| d.is_error && d.code == "CB002"),
+        "{diags:?}"
+    );
+    let cb002 = diags.iter().find(|d| d.code == "CB002").unwrap();
+    assert!(
+        cb002
+            .witness
+            .as_deref()
+            .unwrap_or("")
+            .contains("win -> win"),
+        "{cb002:?}"
+    );
+    let err = c.show(s, "Game").unwrap_err();
+    assert!(matches!(err, ClientError::Server(_)), "lint must not admit");
+
+    // Datalog sources lint over the wire too, and clean input is clean.
+    let diags = c.lint(s, "p(a).\nq(X, Y) :- p(X).").unwrap();
+    assert!(diags.iter().any(|d| d.code == "CB001"), "{diags:?}");
+    let diags = c.lint(s, "TELL Game end").unwrap();
+    assert!(diags.is_empty(), "{diags:?}");
+    server.shutdown().unwrap();
+}
