@@ -40,6 +40,7 @@ pub mod error;
 pub mod explain;
 pub mod journal;
 pub mod metamodel;
+pub mod mvcc;
 pub mod navigate;
 pub mod persist;
 pub mod replay;

@@ -14,7 +14,7 @@ use datalog::db::Database;
 use datalog::seminaive::EvalStats;
 use datalog::{magic, seminaive, topdown};
 use telos::assertion;
-use telos::{Kb, KbRead, PropId, TelosError};
+use telos::{Kb, KbRead, KbVersion, PropId, PropStore, TelosError};
 
 /// EDB predicate names exported from the KB.
 pub mod preds {
@@ -36,20 +36,30 @@ pub fn to_edb(kb: &Kb) -> ObResult<Database> {
 /// Like [`to_edb`], but exporting the network as believed at tick `at`
 /// — the deductive view of a belief-time snapshot.
 pub fn to_edb_at(kb: &Kb, at: i64) -> ObResult<Database> {
-    edb_where(kb, |p| p.believed_at(at))
+    to_edb_at_store(kb, at)
 }
 
-fn edb_where(kb: &Kb, live: impl Fn(&telos::Proposition) -> bool) -> ObResult<Database> {
+/// [`to_edb_at`] over any [`PropStore`] — in particular an immutable
+/// [`KbVersion`], so the server's MVCC read path builds its EDB from a
+/// pinned version without touching the live KB.
+pub fn to_edb_at_store<S: PropStore>(store: &S, at: i64) -> ObResult<Database> {
+    edb_where(store, |p| p.believed_at(at))
+}
+
+fn edb_where<S: PropStore>(
+    store: &S,
+    live: impl Fn(&telos::Proposition) -> bool,
+) -> ObResult<Database> {
     let mut db = Database::new();
-    for id in 0..kb.len() {
+    for id in 0..store.prop_count() {
         let id = PropId(id as u32);
-        let Ok(p) = kb.get(id) else { continue };
+        let Some(p) = store.prop(id) else { continue };
         if !live(p) || p.is_individual() {
             continue;
         }
-        let label = kb.resolve(p.label).to_string();
-        let src = Value::sym(kb.display(p.source));
-        let dst = Value::sym(kb.display(p.dest));
+        let label = store.resolve_sym(p.label).to_string();
+        let src = Value::sym(store.display_prop(p.source));
+        let dst = Value::sym(store.display_prop(p.dest));
         match label.as_str() {
             telos::kb::L_INSTANCEOF => {
                 db.insert(preds::IN, vec![src, dst])?;
@@ -216,6 +226,21 @@ pub fn ask_with_stats_at(
 ) -> ObResult<(Vec<String>, EvalStats)> {
     let snap = kb.snapshot_at(at);
     ask_deductive(&snap, to_edb_at(kb, at)?, var, class, body)
+}
+
+/// [`ask_with_stats_at`] against an immutable [`KbVersion`]: identical
+/// semantics, but the candidate EDB and the assertion filter both read
+/// the pinned version, so the query runs entirely without the writer
+/// lock. This is the server's MVCC ASK path.
+pub fn ask_with_stats_version(
+    version: &KbVersion,
+    at: i64,
+    var: &str,
+    class: &str,
+    body: &str,
+) -> ObResult<(Vec<String>, EvalStats)> {
+    let snap = version.snapshot_at(at);
+    ask_deductive(&snap, to_edb_at_store(version, at)?, var, class, body)
 }
 
 fn ask_deductive<V: KbRead>(
@@ -431,6 +456,28 @@ mod tests {
         assert_eq!(pinned.len(), 3);
         assert!(!pinned.contains(&"inv3".to_string()));
         assert!(stats.index_probes > 0);
+    }
+
+    #[test]
+    fn ask_with_stats_version_matches_live_kb() {
+        let mut kb = scenario_kb();
+        let t = kb.now();
+        let version = kb.version();
+        kb.tick();
+        let frames = ObjectFrame::parse_all("TELL inv3 in Invitation end").unwrap();
+        tell_all(&mut kb, &frames).unwrap();
+        // The captured version answers at `t` byte-identically to a
+        // temporal query against the live (now further evolved) KB.
+        let (pinned_live, _) = ask_with_stats_at(&kb, t, "p", "Paper", "true").unwrap();
+        let (pinned_version, stats) =
+            ask_with_stats_version(&version, t, "p", "Paper", "true").unwrap();
+        assert_eq!(pinned_version, pinned_live);
+        assert_eq!(pinned_version.len(), 3);
+        assert!(!pinned_version.contains(&"inv3".to_string()));
+        assert!(stats.index_probes > 0);
+        let (with_sender, _) =
+            ask_with_stats_version(&version, t, "i", "Invitation", "i.sender defined").unwrap();
+        assert_eq!(with_sender, vec!["inv1"]);
     }
 
     #[test]

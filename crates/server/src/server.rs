@@ -2,15 +2,29 @@
 //!
 //! # Concurrency model
 //!
-//! The knowledge base lives in one [`RwLock`]: writers (TELL, UNTELL,
-//! EXECUTE, …) serialize behind the write guard, readers share the
-//! read guard. Readers additionally get *snapshot isolation* for free
-//! from belief time: each session's reads are pinned at its watermark
-//! (see [`crate::proto`]), and every write path calls
-//! [`Gkbms::begin_write`] — a belief-clock tick — before mutating, so
-//! nothing a writer adds is visible below any pinned watermark, and
-//! nothing it retracts disappears from one (UNTELL only closes belief
-//! intervals).
+//! Writers (TELL, UNTELL, EXECUTE, …) serialize behind the write guard
+//! of one [`RwLock`]; session reads (ASK, HOLDS, session stats) do
+//! **not** take that lock at all. Every acknowledged mutation
+//! publishes an immutable [`telos::KbVersion`] — a structural-sharing
+//! capture, O(touched chunks) — into a [`gkbms::mvcc::VersionChain`]
+//! while still holding the write guard, so versions appear in commit
+//! order. A session pins the chain head at Hello (or Refresh) and
+//! serves every read from its pinned version at its watermark:
+//! lock-free with respect to writers, and stable no matter how many
+//! commits land meanwhile.
+//!
+//! Belief time supplies the isolation *semantics*: every write path
+//! calls [`Gkbms::begin_write`] — a belief-clock tick — before
+//! mutating, so nothing a writer adds is visible below any pinned
+//! watermark, and nothing it retracts disappears from one (UNTELL only
+//! closes belief intervals). The version chain supplies the isolation
+//! *mechanics*: superseded versions are reclaimed epoch-wise once
+//! their last pinned reader departs (session Bye, Refresh, or
+//! idle-timeout sweep — sweeps run on every publish and on idle
+//! connection polls so an abandoned session cannot retain history
+//! forever). Rare administrative reads (SHOW, HISTORY, STATUS, SAVE,
+//! LINT, …) still use the read guard: they want the live state and
+//! are not on the hot path.
 //!
 //! Each TCP connection gets a handler thread. Work-carrying requests
 //! pass an admission gate bounded by [`Config::max_inflight`]; beyond
@@ -40,6 +54,7 @@
 
 use crate::proto::{self, ErrorCode, FrameRead, Request, Response, WireDiagnostic, WireDischarge};
 use crate::session::{SessionErr, SessionTable};
+use gkbms::mvcc::{Version, VersionChain};
 use gkbms::{DecisionRequest, Discharge, FsyncPolicy, Gkbms, GkbmsError};
 use objectbase::transform::frame_of;
 use std::collections::VecDeque;
@@ -51,6 +66,7 @@ use std::sync::{Arc, Condvar, Mutex, RwLock, RwLockWriteGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use storage::record::HEADER_LEN;
+use telos::KbVersion;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -238,9 +254,16 @@ pub struct SlowQuery {
 /// Bound on the slow-query ring: old entries fall off the front.
 const SLOW_LOG_CAP: usize = 64;
 
+/// The pin a session holds on a store version.
+type SessionPin = gkbms::mvcc::Pin<KbVersion>;
+
 struct Shared {
     state: RwLock<Gkbms>,
-    sessions: Mutex<SessionTable>,
+    /// Immutable store versions, one published per acknowledged
+    /// mutation (under the write guard, so in commit order). Session
+    /// reads are served from pinned versions, never from `state`.
+    chain: VersionChain<KbVersion>,
+    sessions: Mutex<SessionTable<SessionPin>>,
     inflight: AtomicUsize,
     shutdown: AtomicBool,
     slow_log: Mutex<VecDeque<SlowQuery>>,
@@ -287,8 +310,10 @@ impl Server {
             }
             None => None,
         };
+        let chain = VersionChain::new(state.kb().version());
         let shared = Arc::new(Shared {
             state: RwLock::new(state),
+            chain,
             sessions: Mutex::new(SessionTable::new(cfg.idle_timeout)),
             inflight: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
@@ -321,6 +346,18 @@ impl Server {
     /// not wait for drain; see [`Server::join`].
     pub fn initiate_shutdown(&self) {
         begin_shutdown(&self.shared);
+    }
+
+    /// Number of live store versions: the head plus every superseded
+    /// version still pinned by a session. Converges to 1 when all
+    /// sessions are closed, refreshed, or reaped.
+    pub fn store_versions_live(&self) -> usize {
+        self.shared.chain.live_versions()
+    }
+
+    /// Number of distinct store epochs currently pinned by sessions.
+    pub fn pinned_store_epochs(&self) -> usize {
+        self.shared.chain.pinned_epochs()
     }
 
     /// The slow-query log, oldest first (bounded; see
@@ -451,6 +488,10 @@ fn handle_conn(mut stream: TcpStream, shared: &Shared) {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break;
                 }
+                // Reap idled-out sessions even when no requests arrive:
+                // a leaked session must not pin a store version (and
+                // the history behind it) forever.
+                sweep_sessions(shared);
             }
             Ok(FrameRead::Eof) | Err(_) => break,
         }
@@ -557,8 +598,11 @@ fn control(shared: &Shared, req: Request, draining: bool) -> (Response, bool) {
             if draining {
                 return (err(ErrorCode::ShuttingDown, "server is draining"), false);
             }
-            let watermark = read_state(shared).kb().now();
-            let session = lock_sessions(shared).open(watermark);
+            // Pin the chain head — a pointer clone, not the state
+            // lock. Its capture clock is the session's watermark.
+            let pin = shared.chain.acquire();
+            let watermark = pin.data().now();
+            let session = lock_sessions(shared).open(watermark, pin);
             (Response::Welcome { session, watermark }, false)
         }
         Request::Bye { session } => {
@@ -589,7 +633,7 @@ fn control(shared: &Shared, req: Request, draining: bool) -> (Response, bool) {
     }
 }
 
-fn lock_sessions(shared: &Shared) -> std::sync::MutexGuard<'_, SessionTable> {
+fn lock_sessions(shared: &Shared) -> std::sync::MutexGuard<'_, SessionTable<SessionPin>> {
     shared.sessions.lock().unwrap_or_else(|e| e.into_inner())
 }
 
@@ -608,8 +652,9 @@ fn write_state(shared: &Shared) -> std::sync::RwLockWriteGuard<'_, Gkbms> {
     guard
 }
 
-/// Completes a mutating request's commit: enforces the configured
-/// fsync policy (and the auto-checkpoint threshold) before the caller
+/// Completes a mutating request's commit: publishes the new store
+/// version for snapshot readers, then enforces the configured fsync
+/// policy (and the auto-checkpoint threshold) before the caller
 /// acknowledges the mutation, releasing the write lock as early as the
 /// policy allows. `mutated` is false when the operation failed and
 /// appended nothing. Returns an error response if durability could not
@@ -620,7 +665,19 @@ fn durable_commit(
     mut g: RwLockWriteGuard<'_, Gkbms>,
     mutated: bool,
 ) -> Result<(), Response> {
+    if mutated {
+        // Publish while still holding the write guard, so versions
+        // enter the chain in commit order (capture is O(touched
+        // chunks) thanks to structural sharing). This is the commit
+        // point for snapshot readers: sessions opened after this see
+        // the mutation, pinned sessions keep their version.
+        shared.chain.publish(g.kb().version());
+    }
     if !mutated || g.journal().is_none() {
+        drop(g);
+        if mutated {
+            sweep_sessions(shared);
+        }
         return Ok(());
     }
     let mut pending = None;
@@ -659,6 +716,7 @@ fn durable_commit(
         }
     }
     drop(g);
+    sweep_sessions(shared);
     if let (Some((op, interval)), Some(gc)) = (pending, &shared.gc) {
         if let Err(e) = gc.wait_durable(op, interval) {
             return Err(err(ErrorCode::Internal, format!("group-commit fsync: {e}")));
@@ -667,11 +725,31 @@ fn durable_commit(
     Ok(())
 }
 
+/// Reaps idled-out sessions, dropping their version pins so the chain
+/// can reclaim history they alone retained. Runs on every publish and
+/// on idle connection polls; never called while holding the state
+/// lock (sessions-then-state is the forbidden order, we take neither
+/// together).
+fn sweep_sessions(shared: &Shared) {
+    lock_sessions(shared).sweep();
+}
+
 /// Touches the session and returns its watermark, bumping counters.
 fn touch(shared: &Shared, id: u64) -> Result<i64, Response> {
     lock_sessions(shared)
         .touch(id)
         .map(|s| s.watermark)
+        .map_err(|e| session_err(e, id))
+}
+
+/// Touches the session and returns its watermark plus a handle to its
+/// pinned store version. The `Arc` clone keeps the version alive for
+/// this request even if the session is reaped mid-read; the chain
+/// mutex is never taken on this path.
+fn touch_pinned(shared: &Shared, id: u64) -> Result<(i64, Arc<Version<KbVersion>>), Response> {
+    lock_sessions(shared)
+        .touch(id)
+        .map(|s| (s.watermark, s.pin.version()))
         .map_err(|e| session_err(e, id))
 }
 
@@ -715,8 +793,9 @@ fn names(list: Vec<String>) -> Response {
 fn dispatch(shared: &Shared, req: Request) -> Response {
     match req {
         Request::Refresh { session } => {
-            let now = read_state(shared).kb().now();
-            match lock_sessions(shared).refresh(session, now) {
+            let pin = shared.chain.acquire();
+            let now = pin.data().now();
+            match lock_sessions(shared).refresh(session, now, pin) {
                 Ok(w) => Response::Done {
                     text: format!("watermark {w}"),
                 },
@@ -780,15 +859,20 @@ fn dispatch(shared: &Shared, req: Request) -> Response {
             class,
             expr,
         } => {
-            let watermark = match touch(shared, session) {
-                Ok(w) => w,
+            let (watermark, version) = match touch_pinned(shared, session) {
+                Ok(wv) => wv,
                 Err(resp) => return resp,
             };
             let started = Instant::now();
-            let result = {
-                let g = read_state(shared);
-                objectbase::query::ask_with_stats_at(g.kb(), watermark, &var, &class, &expr)
-            };
+            // Served entirely from the session's pinned version: no
+            // state lock, unaffected by concurrent writers.
+            let result = objectbase::query::ask_with_stats_version(
+                version.data(),
+                watermark,
+                &var,
+                &class,
+                &expr,
+            );
             let elapsed = started.elapsed();
             match result {
                 Ok((answers, stats)) => {
@@ -815,16 +899,15 @@ fn dispatch(shared: &Shared, req: Request) -> Response {
             }
         }
         Request::Holds { session, expr } => {
-            let watermark = match touch(shared, session) {
-                Ok(w) => w,
+            let (watermark, version) = match touch_pinned(shared, session) {
+                Ok(wv) => wv,
                 Err(resp) => return resp,
             };
             let parsed = match telos::assertion::parse(&expr) {
                 Ok(p) => p,
                 Err(e) => return err(ErrorCode::Rejected, e.to_string()),
             };
-            let g = read_state(shared);
-            let snap = g.snapshot_at(watermark);
+            let snap = version.data().snapshot_at(watermark);
             let mut env = telos::assertion::Env::new();
             match telos::assertion::eval(&snap, &parsed, &mut env) {
                 Ok(value) => Response::Truth { value },
@@ -955,20 +1038,27 @@ fn dispatch(shared: &Shared, req: Request) -> Response {
             }
         }
         Request::SessionStats { session } => {
-            let (watermark, requests, probes, scanned) = {
+            let (watermark, requests, probes, scanned, version) = {
                 let mut sessions = lock_sessions(shared);
                 match sessions.touch(session) {
-                    Ok(s) => (s.watermark, s.requests, s.last_probes, s.last_scanned),
+                    Ok(s) => (
+                        s.watermark,
+                        s.requests,
+                        s.last_probes,
+                        s.last_scanned,
+                        s.pin.version(),
+                    ),
                     Err(e) => return session_err(e, session),
                 }
             };
-            let g = read_state(shared);
             Response::SessionInfo {
                 session,
                 watermark,
-                kb_now: g.kb().now(),
+                // The chain head is published per commit, so its
+                // capture clock is the live clock — no state lock.
+                kb_now: shared.chain.head().data().now(),
                 requests,
-                believed: g.snapshot_at(watermark).believed_count() as u64,
+                believed: version.data().snapshot_at(watermark).believed_count() as u64,
                 probes,
                 scanned,
             }
@@ -1001,10 +1091,13 @@ fn dispatch(shared: &Shared, req: Request) -> Response {
                     let mut g = write_state(shared);
                     *g = fresh;
                     let now = g.kb().now();
+                    shared.chain.publish(g.kb().version());
                     drop(g);
-                    // Old watermarks refer to a clock that no longer
-                    // exists; re-pin every session to the fresh state.
-                    lock_sessions(shared).repin_all(now);
+                    // Old watermarks and versions refer to a store
+                    // that no longer exists; re-pin every session to
+                    // the fresh head.
+                    let pin = shared.chain.acquire();
+                    lock_sessions(shared).repin_all(now, pin);
                     Response::Done {
                         text: format!("loaded from {path}"),
                     }

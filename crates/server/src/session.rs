@@ -1,25 +1,36 @@
-//! Session management: ids, pinned snapshot watermarks, per-session
-//! statistics, and idle-timeout reaping.
+//! Session management: ids, pinned snapshot versions & watermarks,
+//! per-session statistics, and idle-timeout reaping.
 //!
 //! A session is the unit of snapshot isolation (see [`crate::proto`]):
-//! it pins a belief-time watermark at open (or [`SessionTable::refresh`])
-//! and every read it performs is evaluated at that watermark. Sessions
-//! are independent of TCP connections — a client may reconnect and keep
-//! using its session id — so liveness is tracked by *use*, not by the
-//! socket: a session untouched for longer than the idle timeout is
-//! reaped, and later requests for it get
+//! at open (or [`SessionTable::refresh`]) it pins a belief-time
+//! watermark *and* a store version (an [`gkbms::mvcc::Pin`] in the
+//! server; the table is generic over the pin type so it stays
+//! testable without a knowledge base). Every read the session performs
+//! is evaluated against its pinned version at its watermark — no
+//! state lock. Sessions are independent of TCP connections — a client
+//! may reconnect and keep using its session id — so liveness is
+//! tracked by *use*, not by the socket: a session untouched for longer
+//! than the idle timeout is reaped, and later requests for it get
 //! [`crate::proto::ErrorCode::SessionExpired`].
+//!
+//! Reaping a session drops its pin, which releases its epoch in the
+//! version chain — [`SessionTable::sweep`] is therefore part of the
+//! reclamation path, not just table hygiene, and the server calls it
+//! on every publish and on idle connection polls.
 
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
-/// One open session.
+/// One open session, holding a pin of type `P` (the server uses
+/// `gkbms::mvcc::Pin<telos::KbVersion>`; tests use `()` or integers).
 #[derive(Debug, Clone)]
-pub struct Session {
+pub struct Session<P> {
     /// The session id.
     pub id: u64,
     /// Belief-time watermark all the session's reads are pinned at.
     pub watermark: i64,
+    /// The pinned store version the session reads from.
+    pub pin: P,
     /// Requests served for this session.
     pub requests: u64,
     /// `index_probes` of the session's last ASK.
@@ -40,13 +51,13 @@ pub enum SessionErr {
 
 /// The table of open sessions, with idle-timeout reaping.
 #[derive(Debug)]
-pub struct SessionTable {
+pub struct SessionTable<P> {
     next: u64,
-    map: HashMap<u64, Session>,
+    map: HashMap<u64, Session<P>>,
     idle_timeout: Duration,
 }
 
-impl SessionTable {
+impl<P> SessionTable<P> {
     /// An empty table with the given idle timeout.
     pub fn new(idle_timeout: Duration) -> Self {
         SessionTable {
@@ -56,10 +67,11 @@ impl SessionTable {
         }
     }
 
-    /// Opens a session pinned at `watermark`, returning its id. Also
-    /// sweeps sessions that have idled out (opportunistic reaping keeps
-    /// the table bounded without a dedicated timer thread).
-    pub fn open(&mut self, watermark: i64) -> u64 {
+    /// Opens a session pinned at `watermark` reading from `pin`,
+    /// returning its id. Also sweeps sessions that have idled out
+    /// (opportunistic reaping keeps the table bounded without a
+    /// dedicated timer thread).
+    pub fn open(&mut self, watermark: i64, pin: P) -> u64 {
         self.sweep();
         let id = self.next;
         self.next += 1;
@@ -68,6 +80,7 @@ impl SessionTable {
             Session {
                 id,
                 watermark,
+                pin,
                 requests: 0,
                 last_probes: 0,
                 last_scanned: 0,
@@ -86,7 +99,7 @@ impl SessionTable {
 
     /// Touches `id` for a new request: bumps its counters and returns
     /// the session, or reaps it if it sat idle past the timeout.
-    pub fn touch(&mut self, id: u64) -> Result<&mut Session, SessionErr> {
+    pub fn touch(&mut self, id: u64) -> Result<&mut Session<P>, SessionErr> {
         let expired = match self.map.get(&id) {
             None => return Err(SessionErr::Unknown),
             Some(s) => s.last_used.elapsed() > self.idle_timeout,
@@ -107,10 +120,12 @@ impl SessionTable {
         Ok(s)
     }
 
-    /// Re-pins `id`'s watermark. Returns the new watermark.
-    pub fn refresh(&mut self, id: u64, watermark: i64) -> Result<i64, SessionErr> {
+    /// Re-pins `id` to `watermark` reading from `pin` (the old pin is
+    /// dropped, releasing its epoch). Returns the new watermark.
+    pub fn refresh(&mut self, id: u64, watermark: i64, pin: P) -> Result<i64, SessionErr> {
         let s = self.touch(id)?;
         s.watermark = watermark;
+        s.pin = pin;
         Ok(watermark)
     }
 
@@ -121,16 +136,9 @@ impl SessionTable {
         self.publish_active();
     }
 
-    /// Re-pins every open session to `watermark`. Used after `LOAD`
-    /// replaces the knowledge base: old watermarks refer to a clock
-    /// that no longer exists.
-    pub fn repin_all(&mut self, watermark: i64) {
-        for s in self.map.values_mut() {
-            s.watermark = watermark;
-        }
-    }
-
-    /// Drops every session that has idled out.
+    /// Drops every session that has idled out (releasing their pins —
+    /// this is what lets the version chain reclaim epochs held only by
+    /// abandoned sessions).
     pub fn sweep(&mut self) {
         let timeout = self.idle_timeout;
         let before = self.map.len();
@@ -157,15 +165,28 @@ impl SessionTable {
     }
 }
 
+impl<P: Clone> SessionTable<P> {
+    /// Re-pins every open session to `watermark` reading from `pin`.
+    /// Used after `LOAD` replaces the knowledge base: old watermarks
+    /// and versions refer to a store that no longer exists.
+    pub fn repin_all(&mut self, watermark: i64, pin: P) {
+        for s in self.map.values_mut() {
+            s.watermark = watermark;
+            s.pin = pin.clone();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
     fn open_touch_close() {
         let mut t = SessionTable::new(Duration::from_secs(60));
-        let a = t.open(5);
-        let b = t.open(7);
+        let a = t.open(5, ());
+        let b = t.open(7, ());
         assert_ne!(a, b);
         assert_eq!(t.len(), 2);
         let s = t.touch(a).unwrap();
@@ -179,18 +200,20 @@ mod tests {
     }
 
     #[test]
-    fn refresh_repins_watermark() {
+    fn refresh_repins_watermark_and_pin() {
         let mut t = SessionTable::new(Duration::from_secs(60));
-        let a = t.open(5);
-        assert_eq!(t.refresh(a, 9), Ok(9));
-        assert_eq!(t.touch(a).unwrap().watermark, 9);
-        assert!(matches!(t.refresh(999, 9), Err(SessionErr::Unknown)));
+        let a = t.open(5, 100u64);
+        assert_eq!(t.refresh(a, 9, 200), Ok(9));
+        let s = t.touch(a).unwrap();
+        assert_eq!(s.watermark, 9);
+        assert_eq!(s.pin, 200);
+        assert!(matches!(t.refresh(999, 9, 300), Err(SessionErr::Unknown)));
     }
 
     #[test]
     fn idle_sessions_expire() {
         let mut t = SessionTable::new(Duration::from_millis(20));
-        let a = t.open(1);
+        let a = t.open(1, ());
         std::thread::sleep(Duration::from_millis(40));
         assert!(matches!(t.touch(a), Err(SessionErr::Expired)));
         // Reaped: a second touch reports Unknown, not Expired.
@@ -200,9 +223,9 @@ mod tests {
     #[test]
     fn sweep_reaps_only_idle() {
         let mut t = SessionTable::new(Duration::from_millis(30));
-        let a = t.open(1);
+        let a = t.open(1, ());
         std::thread::sleep(Duration::from_millis(45));
-        let b = t.open(2);
+        let b = t.open(2, ());
         t.sweep();
         assert_eq!(t.len(), 1);
         assert!(matches!(t.touch(a), Err(SessionErr::Unknown)));
@@ -212,10 +235,27 @@ mod tests {
     #[test]
     fn repin_all_moves_every_watermark() {
         let mut t = SessionTable::new(Duration::from_secs(60));
-        let a = t.open(1);
-        let b = t.open(2);
-        t.repin_all(10);
-        assert_eq!(t.touch(a).unwrap().watermark, 10);
-        assert_eq!(t.touch(b).unwrap().watermark, 10);
+        let a = t.open(1, 10u64);
+        let b = t.open(2, 10u64);
+        t.repin_all(10, 99);
+        let s = t.touch(a).unwrap();
+        assert_eq!((s.watermark, s.pin), (10, 99));
+        let s = t.touch(b).unwrap();
+        assert_eq!((s.watermark, s.pin), (10, 99));
+    }
+
+    /// The ISSUE 6 bugfix, at the table level: reaping an idle session
+    /// must drop its pin so downstream reclamation proceeds. Uses an
+    /// `Arc` as a stand-in pin and watches its strong count.
+    #[test]
+    fn sweep_releases_the_reaped_sessions_pin() {
+        let pin = Arc::new(());
+        let mut t = SessionTable::new(Duration::from_millis(20));
+        t.open(1, Arc::clone(&pin));
+        assert_eq!(Arc::strong_count(&pin), 2);
+        std::thread::sleep(Duration::from_millis(40));
+        t.sweep();
+        assert_eq!(t.len(), 0);
+        assert_eq!(Arc::strong_count(&pin), 1, "reap released the pin");
     }
 }

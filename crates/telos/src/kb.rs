@@ -16,10 +16,11 @@ use crate::backend::KbBackend;
 use crate::error::{TelosError, TelosResult};
 use crate::omega::{self, Builtins};
 use crate::prop::{PropId, Proposition};
+use crate::pvec::PVec;
 use crate::symbols::{Symbol, SymbolTable};
 use crate::time::interval::Interval;
+use crate::version::{KbVersion, PIndex, PropStore};
 use std::collections::{HashMap, HashSet, VecDeque};
-use storage::index::MultiIndex;
 
 /// Reserved label of classification links.
 pub const L_INSTANCEOF: &str = "instanceof";
@@ -27,14 +28,18 @@ pub const L_INSTANCEOF: &str = "instanceof";
 pub const L_ISA: &str = "isa";
 
 /// The knowledge base: proposition store + access paths + clock.
+///
+/// Storage is persistent (chunked `Arc` spines — see [`crate::pvec`]),
+/// so [`Kb::version`] captures an immutable [`KbVersion`] by structural
+/// sharing and later writes copy only the chunks they touch.
 pub struct Kb {
     symbols: SymbolTable,
-    props: Vec<Proposition>,
+    props: PVec<Proposition>,
     /// Believed individuals by name.
     by_name: HashMap<Symbol, PropId>,
-    by_source: MultiIndex<PropId, PropId>,
-    by_label: MultiIndex<Symbol, PropId>,
-    by_dest: MultiIndex<PropId, PropId>,
+    by_source: PIndex<PropId>,
+    by_label: PIndex<Symbol>,
+    by_dest: PIndex<PropId>,
     /// Belief-time clock: advanced by [`Kb::tick`].
     clock: i64,
     backend: KbBackend,
@@ -59,11 +64,11 @@ impl Kb {
         let sym_isa = symbols.intern(L_ISA);
         let mut kb = Kb {
             symbols,
-            props: Vec::new(),
+            props: PVec::new(),
             by_name: HashMap::new(),
-            by_source: MultiIndex::new(),
-            by_label: MultiIndex::new(),
-            by_dest: MultiIndex::new(),
+            by_source: PIndex::new(),
+            by_label: PIndex::new(),
+            by_dest: PIndex::new(),
             clock: 0,
             backend: KbBackend::Memory, // installed after replay
             builtins: Builtins::placeholder(),
@@ -336,7 +341,7 @@ impl Kb {
     }
 
     fn is_link_label(&self, l: Symbol) -> bool {
-        l == self.sym_instanceof || l == self.sym_isa
+        self.is_link_sym(l)
     }
 
     // ----- untell --------------------------------------------------------
@@ -412,16 +417,7 @@ impl Kb {
 
     /// Human-readable name: an individual's label, or `<src label dst>`.
     pub fn display(&self, id: PropId) -> String {
-        match self.props.get(id.idx()) {
-            None => format!("?{}", id.0),
-            Some(p) if p.is_individual() => self.symbols.resolve(p.label).to_string(),
-            Some(p) => format!(
-                "<{} {} {}>",
-                self.display(p.source),
-                self.symbols.resolve(p.label),
-                self.display(p.dest)
-            ),
-        }
+        self.display_prop(id)
     }
 
     /// Finds a believed link `<x, label, y>`.
@@ -468,54 +464,22 @@ impl Kb {
 
     /// Direct classes of `x` (believed `instanceof` links).
     pub fn classes_of(&self, x: PropId) -> Vec<PropId> {
-        self.typed_dests(x, self.sym_instanceof, None)
+        self.typed_dests_at(x, self.sym_instanceof, None)
     }
 
     /// Direct believed instances of class `c`.
     pub fn instances_of(&self, c: PropId) -> Vec<PropId> {
-        self.typed_sources(c, self.sym_instanceof, None)
+        self.typed_sources_at(c, self.sym_instanceof, None)
     }
 
     /// Direct isa parents of `c`.
     pub fn isa_parents(&self, c: PropId) -> Vec<PropId> {
-        self.typed_dests(c, self.sym_isa, None)
+        self.typed_dests_at(c, self.sym_isa, None)
     }
 
     /// Direct isa children of `c`.
     pub fn isa_children(&self, c: PropId) -> Vec<PropId> {
-        self.typed_sources(c, self.sym_isa, None)
-    }
-
-    fn typed_dests(&self, x: PropId, label: Symbol, at: Option<i64>) -> Vec<PropId> {
-        self.by_source
-            .get(&x)
-            .iter()
-            .copied()
-            .filter_map(|p| {
-                let prop = &self.props[p.idx()];
-                let live = match at {
-                    None => prop.is_believed(),
-                    Some(t) => prop.believed_at(t),
-                };
-                (live && prop.label == label && p != x).then_some(prop.dest)
-            })
-            .collect()
-    }
-
-    fn typed_sources(&self, y: PropId, label: Symbol, at: Option<i64>) -> Vec<PropId> {
-        self.by_dest
-            .get(&y)
-            .iter()
-            .copied()
-            .filter_map(|p| {
-                let prop = &self.props[p.idx()];
-                let live = match at {
-                    None => prop.is_believed(),
-                    Some(t) => prop.believed_at(t),
-                };
-                (live && prop.label == label && p != y).then_some(prop.source)
-            })
-            .collect()
+        self.typed_sources_at(c, self.sym_isa, None)
     }
 
     /// Transitive isa ancestors of `c` (excluding `c`), breadth-first,
@@ -604,7 +568,7 @@ impl Kb {
         match self.symbols.lookup(label) {
             None => Vec::new(),
             Some(sym) if self.is_link_label(sym) => Vec::new(),
-            Some(sym) => self.typed_dests(x, sym, None),
+            Some(sym) => self.typed_dests_at(x, sym, None),
         }
     }
 
@@ -618,14 +582,14 @@ impl Kb {
 
     /// Direct classes of `x` as believed at tick `t`.
     pub fn classes_of_at(&self, x: PropId, t: i64) -> Vec<PropId> {
-        self.typed_dests(x, self.sym_instanceof, Some(t))
+        self.typed_dests_at(x, self.sym_instanceof, Some(t))
     }
 
     /// Values of attribute `label` on `x` as believed at tick `t`.
     pub fn attr_values_at(&self, x: PropId, label: &str, t: i64) -> Vec<PropId> {
         match self.symbols.lookup(label) {
             None => Vec::new(),
-            Some(sym) => self.typed_dests(x, sym, Some(t)),
+            Some(sym) => self.typed_dests_at(x, sym, Some(t)),
         }
     }
 
@@ -657,7 +621,59 @@ impl Kb {
     /// UNTELLs applied afterwards. This is the basis of the server's
     /// snapshot-isolated read sessions.
     pub fn snapshot_at(&self, at: i64) -> Snapshot<'_> {
-        Snapshot { kb: self, at }
+        Snapshot::over(self, at)
+    }
+
+    // ----- versions -------------------------------------------------------
+
+    /// Captures an immutable [`KbVersion`] of the current state by
+    /// structural sharing: proposition chunks, index postings and
+    /// interned strings are shared `Arc`s, so the capture is O(spine),
+    /// not O(propositions). The version is `Send + Sync`, never
+    /// changes, and answers `snapshot_at(w)` byte-identically to this
+    /// KB for every `w ≤ self.now()` — the server's MVCC read path
+    /// hands one to each session so ASK never takes the writer lock.
+    pub fn version(&self) -> KbVersion {
+        KbVersion {
+            symbols: self.symbols.clone(),
+            props: self.props.clone(),
+            by_source: self.by_source.clone(),
+            by_label: self.by_label.clone(),
+            by_dest: self.by_dest.clone(),
+            clock: self.clock,
+            sym_instanceof: self.sym_instanceof,
+            sym_isa: self.sym_isa,
+        }
+    }
+}
+
+impl PropStore for Kb {
+    fn prop_count(&self) -> usize {
+        self.props.len()
+    }
+    fn prop(&self, id: PropId) -> Option<&Proposition> {
+        self.props.get(id.idx())
+    }
+    fn resolve_sym(&self, sym: Symbol) -> &str {
+        self.symbols.resolve(sym)
+    }
+    fn lookup_sym(&self, s: &str) -> Option<Symbol> {
+        self.symbols.lookup(s)
+    }
+    fn postings_from(&self, x: PropId) -> &[PropId] {
+        self.by_source.get(&x)
+    }
+    fn postings_label(&self, label: Symbol) -> &[PropId] {
+        self.by_label.get(&label)
+    }
+    fn postings_to(&self, y: PropId) -> &[PropId] {
+        self.by_dest.get(&y)
+    }
+    fn instanceof_sym(&self) -> Symbol {
+        self.sym_instanceof
+    }
+    fn isa_sym(&self) -> Symbol {
+        self.sym_isa
     }
 }
 
@@ -704,33 +720,48 @@ impl KbRead for Kb {
     }
 }
 
-/// A belief-time-pinned, read-only view of a [`Kb`] (see
-/// [`Kb::snapshot_at`]). All retrieval methods answer as of the pinned
-/// tick: a proposition told or untold after the snapshot was taken is
-/// invisible.
-#[derive(Clone, Copy)]
-pub struct Snapshot<'a> {
-    kb: &'a Kb,
+/// A belief-time-pinned, read-only view of a proposition store (see
+/// [`Kb::snapshot_at`] and [`KbVersion::snapshot_at`]). All retrieval
+/// methods answer as of the pinned tick: a proposition told or untold
+/// after the snapshot was taken is invisible.
+///
+/// Generic over [`PropStore`], so the same belief-time logic runs
+/// against the live [`Kb`] (under a lock) or an immutable
+/// [`KbVersion`] (no lock at all).
+pub struct Snapshot<'a, S: PropStore = Kb> {
+    store: &'a S,
     at: i64,
 }
 
-impl<'a> Snapshot<'a> {
+impl<S: PropStore> Clone for Snapshot<'_, S> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<S: PropStore> Copy for Snapshot<'_, S> {}
+
+impl<'a> Snapshot<'a, Kb> {
+    /// The underlying KB.
+    pub fn kb(&self) -> &'a Kb {
+        self.store
+    }
+}
+
+impl<'a, S: PropStore> Snapshot<'a, S> {
+    /// Pins a view of `store` at belief tick `at`.
+    pub(crate) fn over(store: &'a S, at: i64) -> Self {
+        Snapshot { store, at }
+    }
+
     /// The pinned belief tick (the snapshot's watermark).
     pub fn at(&self) -> i64 {
         self.at
     }
 
-    /// The underlying KB.
-    pub fn kb(&self) -> &'a Kb {
-        self.kb
-    }
-
     /// True if proposition `id` is believed in this snapshot.
     pub fn sees(&self, id: PropId) -> bool {
-        self.kb
-            .props
-            .get(id.idx())
-            .is_some_and(|p| p.believed_at(self.at))
+        self.store.prop(id).is_some_and(|p| p.believed_at(self.at))
     }
 
     /// The individual named `name` believed at the pinned tick. Unlike
@@ -738,33 +769,36 @@ impl<'a> Snapshot<'a> {
     /// tracks the *current* belief state), so it scans the label's
     /// postings; the latest generation believed at the tick wins.
     pub fn lookup(&self, name: &str) -> Option<PropId> {
-        let sym = self.kb.symbols.lookup(name)?;
-        self.kb.by_label.get(&sym).iter().copied().rfind(|&p| {
-            let prop = &self.kb.props[p.idx()];
-            prop.is_individual() && prop.believed_at(self.at)
+        let sym = self.store.lookup_sym(name)?;
+        self.store.postings_label(sym).iter().copied().rfind(|&p| {
+            self.store
+                .prop(p)
+                .is_some_and(|prop| prop.is_individual() && prop.believed_at(self.at))
         })
     }
 
     /// Direct classes of `x` at the pinned tick.
     pub fn classes_of(&self, x: PropId) -> Vec<PropId> {
-        self.kb
-            .typed_dests(x, self.kb.sym_instanceof, Some(self.at))
+        self.store
+            .typed_dests_at(x, self.store.instanceof_sym(), Some(self.at))
     }
 
     /// Direct instances of class `c` at the pinned tick.
     pub fn instances_of(&self, c: PropId) -> Vec<PropId> {
-        self.kb
-            .typed_sources(c, self.kb.sym_instanceof, Some(self.at))
+        self.store
+            .typed_sources_at(c, self.store.instanceof_sym(), Some(self.at))
     }
 
     /// Direct isa parents of `c` at the pinned tick.
     pub fn isa_parents(&self, c: PropId) -> Vec<PropId> {
-        self.kb.typed_dests(c, self.kb.sym_isa, Some(self.at))
+        self.store
+            .typed_dests_at(c, self.store.isa_sym(), Some(self.at))
     }
 
     /// Direct isa children of `c` at the pinned tick.
     pub fn isa_children(&self, c: PropId) -> Vec<PropId> {
-        self.kb.typed_sources(c, self.kb.sym_isa, Some(self.at))
+        self.store
+            .typed_sources_at(c, self.store.isa_sym(), Some(self.at))
     }
 
     fn closure(&self, start: PropId, step: impl Fn(&Self, PropId) -> Vec<PropId>) -> Vec<PropId> {
@@ -833,43 +867,45 @@ impl<'a> Snapshot<'a> {
 
     /// Values of attribute `label` on `x` at the pinned tick.
     pub fn attr_values(&self, x: PropId, label: &str) -> Vec<PropId> {
-        match self.kb.symbols.lookup(label) {
+        match self.store.lookup_sym(label) {
             None => Vec::new(),
-            Some(sym) if self.kb.is_link_label(sym) => Vec::new(),
-            Some(sym) => self.kb.typed_dests(x, sym, Some(self.at)),
+            Some(sym) if self.store.is_link_sym(sym) => Vec::new(),
+            Some(sym) => self.store.typed_dests_at(x, sym, Some(self.at)),
         }
     }
 
     /// Attribute propositions of `x` believed at the pinned tick.
     pub fn attrs_of(&self, x: PropId) -> Vec<PropId> {
-        self.kb
-            .by_source
-            .get(&x)
+        self.store
+            .postings_from(x)
             .iter()
             .copied()
             .filter(|&p| {
-                let prop = &self.kb.props[p.idx()];
-                p != x && prop.believed_at(self.at) && !self.kb.is_link_label(prop.label)
+                self.store.prop(p).is_some_and(|prop| {
+                    p != x && prop.believed_at(self.at) && !self.store.is_link_sym(prop.label)
+                })
             })
             .collect()
     }
 
     /// Number of propositions believed at the pinned tick.
     pub fn believed_count(&self) -> usize {
-        self.kb
-            .props
-            .iter()
-            .filter(|p| p.believed_at(self.at))
+        (0..self.store.prop_count())
+            .filter(|&i| {
+                self.store
+                    .prop(PropId(i as u32))
+                    .is_some_and(|p| p.believed_at(self.at))
+            })
             .count()
     }
 }
 
-impl KbRead for Snapshot<'_> {
+impl<S: PropStore> KbRead for Snapshot<'_, S> {
     fn lookup(&self, name: &str) -> Option<PropId> {
         Snapshot::lookup(self, name)
     }
     fn display(&self, id: PropId) -> String {
-        self.kb.display(id)
+        self.store.display_prop(id)
     }
     fn is_instance_of(&self, x: PropId, c: PropId) -> bool {
         Snapshot::is_instance_of(self, x, c)

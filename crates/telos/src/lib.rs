@@ -24,7 +24,10 @@
 //! * [`assertion`] — the logic-based assertion language used by rule and
 //!   constraint propositions;
 //! * [`backend`] — physical representations of the proposition base
-//!   (in-memory, and persistent on the `storage` crate).
+//!   (in-memory, and persistent on the `storage` crate);
+//! * [`pvec`] / [`version`] — persistent chunked storage and immutable
+//!   [`version::KbVersion`] captures, the basis of the server's MVCC
+//!   read path (readers pin a version; the writer publishes new ones).
 
 pub mod assertion;
 pub mod axioms;
@@ -33,8 +36,10 @@ pub mod error;
 pub mod kb;
 pub mod omega;
 pub mod prop;
+pub mod pvec;
 pub mod symbols;
 pub mod time;
+pub mod version;
 
 pub use error::{TelosError, TelosResult};
 pub use kb::{Kb, KbRead, Snapshot};
@@ -42,3 +47,4 @@ pub use prop::{PropId, Proposition};
 pub use symbols::{Symbol, SymbolTable};
 pub use time::interval::Interval;
 pub use time::point::TimePoint;
+pub use version::{KbVersion, PropStore};

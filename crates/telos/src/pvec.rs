@@ -1,0 +1,166 @@
+//! A persistent chunked vector with copy-on-write structural sharing.
+//!
+//! [`PVec`] stores elements in fixed-capacity chunks behind [`Arc`]s.
+//! Cloning copies only the spine (one `Arc` per chunk), so a clone of a
+//! million-proposition store costs a few thousand pointer bumps and the
+//! two copies share every chunk. Mutation goes through
+//! [`Arc::make_mut`]: a `push` or in-place update copies at most one
+//! chunk (the one it touches) when that chunk is shared with an older
+//! clone, leaving all other chunks shared.
+//!
+//! This is the storage layer of the MVCC proposition store: the writer
+//! owns the live `PVec` and publishes cheap clones as immutable
+//! versions; closing a belief interval copies one chunk instead of
+//! invalidating every outstanding reader.
+
+use std::ops::Index;
+use std::sync::Arc;
+
+/// Elements per chunk. Large enough that the spine stays short, small
+/// enough that a copy-on-write of one chunk is cheap.
+const CHUNK: usize = 512;
+
+/// A persistent vector: O(1) indexed reads, amortized O(1) append,
+/// O(len / CHUNK) clone, copy-on-write in-place updates.
+#[derive(Debug, Clone, Default)]
+pub struct PVec<T> {
+    chunks: Vec<Arc<Vec<T>>>,
+    len: usize,
+}
+
+impl<T: Clone> PVec<T> {
+    /// An empty vector.
+    pub fn new() -> Self {
+        PVec {
+            chunks: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no elements have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends an element. Copies the tail chunk only if it is shared
+    /// with a clone.
+    pub fn push(&mut self, value: T) {
+        if self.len == self.chunks.len() * CHUNK {
+            let mut v = Vec::with_capacity(CHUNK);
+            v.push(value);
+            self.chunks.push(Arc::new(v));
+        } else {
+            let last = self.chunks.last_mut().expect("tail chunk exists");
+            Arc::make_mut(last).push(value);
+        }
+        self.len += 1;
+    }
+
+    /// The element at `i`, if in bounds.
+    pub fn get(&self, i: usize) -> Option<&T> {
+        if i >= self.len {
+            return None;
+        }
+        Some(&self.chunks[i / CHUNK][i % CHUNK])
+    }
+
+    /// Mutable access to the element at `i`. Copies the containing
+    /// chunk if it is shared (copy-on-write), so clones taken earlier
+    /// are unaffected by the mutation.
+    pub fn get_mut(&mut self, i: usize) -> Option<&mut T> {
+        if i >= self.len {
+            return None;
+        }
+        let chunk = Arc::make_mut(&mut self.chunks[i / CHUNK]);
+        Some(&mut chunk[i % CHUNK])
+    }
+
+    /// Iterates over all elements in order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.chunks.iter().flat_map(|c| c.iter())
+    }
+
+    /// Number of chunks currently shared with at least one clone.
+    /// Diagnostic only (used by tests to prove structural sharing).
+    pub fn shared_chunks(&self) -> usize {
+        self.chunks
+            .iter()
+            .filter(|c| Arc::strong_count(c) > 1)
+            .count()
+    }
+}
+
+impl<T: Clone> Index<usize> for PVec<T> {
+    type Output = T;
+
+    fn index(&self, i: usize) -> &T {
+        self.get(i).expect("PVec index out of bounds")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_roundtrip_across_chunks() {
+        let mut v = PVec::new();
+        for i in 0..(CHUNK * 3 + 17) {
+            v.push(i);
+        }
+        assert_eq!(v.len(), CHUNK * 3 + 17);
+        for i in 0..v.len() {
+            assert_eq!(v[i], i);
+        }
+        assert_eq!(v.get(v.len()), None);
+        let collected: Vec<usize> = v.iter().copied().collect();
+        assert_eq!(collected.len(), v.len());
+        assert_eq!(collected[CHUNK + 1], CHUNK + 1);
+    }
+
+    #[test]
+    fn clone_is_isolated_from_later_pushes() {
+        let mut v = PVec::new();
+        for i in 0..(CHUNK + 10) {
+            v.push(i);
+        }
+        let snap = v.clone();
+        for i in 0..CHUNK {
+            v.push(1_000_000 + i);
+        }
+        assert_eq!(snap.len(), CHUNK + 10);
+        assert_eq!(snap.get(CHUNK + 10), None);
+        assert_eq!(v.len(), 2 * CHUNK + 10);
+        assert_eq!(v[CHUNK + 10], 1_000_000);
+    }
+
+    #[test]
+    fn get_mut_copies_only_the_touched_chunk() {
+        let mut v = PVec::new();
+        for i in 0..(CHUNK * 4) {
+            v.push(i);
+        }
+        let snap = v.clone();
+        assert_eq!(v.shared_chunks(), 4, "all chunks shared after clone");
+        *v.get_mut(0).unwrap() = 999;
+        // Chunk 0 was copied for the write; chunks 1..4 stay shared.
+        assert_eq!(v.shared_chunks(), 3);
+        assert_eq!(snap[0], 0, "older clone unaffected");
+        assert_eq!(v[0], 999);
+        assert_eq!(v[CHUNK], snap[CHUNK], "untouched chunks identical");
+    }
+
+    #[test]
+    fn empty_vector() {
+        let v: PVec<u8> = PVec::new();
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+        assert_eq!(v.get(0), None);
+        assert_eq!(v.iter().count(), 0);
+    }
+}

@@ -3,8 +3,15 @@
 //! Propositions store a [`Symbol`] (a `u32`) instead of a `String`; the
 //! [`SymbolTable`] owns the strings and guarantees one id per distinct
 //! string. Indexing and comparison thus never touch string data.
+//!
+//! Strings are held as `Arc<str>` in a persistent chunked vector, so
+//! cloning the table for an immutable [`crate::KbVersion`] copies only
+//! the spine and the id map — every string is shared between the live
+//! table and all captured versions.
 
+use crate::pvec::PVec;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// An interned string.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -13,8 +20,8 @@ pub struct Symbol(pub u32);
 /// The intern table mapping strings to [`Symbol`]s and back.
 #[derive(Debug, Default, Clone)]
 pub struct SymbolTable {
-    strings: Vec<String>,
-    ids: HashMap<String, Symbol>,
+    strings: PVec<Arc<str>>,
+    ids: HashMap<Arc<str>, Symbol>,
 }
 
 impl SymbolTable {
@@ -29,8 +36,9 @@ impl SymbolTable {
             return sym;
         }
         let sym = Symbol(self.strings.len() as u32);
-        self.strings.push(s.to_string());
-        self.ids.insert(s.to_string(), sym);
+        let owned: Arc<str> = Arc::from(s);
+        self.strings.push(owned.clone());
+        self.ids.insert(owned, sym);
         sym
     }
 
@@ -96,5 +104,17 @@ mod tests {
         let t = SymbolTable::new();
         assert!(t.is_empty());
         assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn clone_shares_strings_and_stays_isolated() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("alpha");
+        let snap = t.clone();
+        let b = t.intern("beta");
+        assert_eq!(snap.resolve(a), "alpha");
+        assert_eq!(snap.lookup("beta"), None, "clone unaffected");
+        assert_eq!(t.resolve(b), "beta");
+        assert_eq!(snap.len() + 1, t.len());
     }
 }

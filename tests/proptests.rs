@@ -398,6 +398,67 @@ proptest! {
         }
     }
 
+    // ---------- MVCC versions (ISSUE 6) ----------
+
+    /// Differential concurrency property at the store level: versions
+    /// captured at random points of a random TELL/UNTELL history, read
+    /// concurrently from their own threads, must answer byte-identically
+    /// to a serial retrospective query on the final KB at their
+    /// watermark. This is the equivalence the server's lock-free ASK
+    /// path rests on.
+    #[test]
+    fn pinned_versions_answer_like_serial_replay_at_their_watermark(
+        ops in prop::collection::vec((0u8..5, 0usize..8), 1..40),
+    ) {
+        use conceptbase::objectbase::query::{ask_with_stats_at, ask_with_stats_version};
+        let mut kb = Kb::new();
+        let class = kb.individual("K").unwrap();
+        let mut links = Vec::new();
+        let mut counter = 0usize;
+        let mut captured = Vec::new();
+        for (op, sel) in ops {
+            match op {
+                // TELL (ticking first, as the server's begin_write does).
+                0..=2 => {
+                    kb.tick();
+                    let x = kb.individual(&format!("x{counter}")).unwrap();
+                    counter += 1;
+                    links.push(kb.instantiate(x, class).unwrap());
+                }
+                // UNTELL a surviving instance link.
+                3 => {
+                    if !links.is_empty() {
+                        kb.tick();
+                        let l = links.remove(sel % links.len());
+                        kb.untell(l).unwrap();
+                    }
+                }
+                // Capture a version pinned at the current watermark.
+                _ => captured.push((kb.version(), kb.now())),
+            }
+        }
+        captured.push((kb.version(), kb.now()));
+
+        // Concurrent pinned readers: each captured version answers from
+        // its own thread, no lock, while the main thread replays the
+        // same queries serially against the final KB.
+        let results: Vec<Vec<String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = captured
+                .iter()
+                .map(|(v, w)| {
+                    scope.spawn(move || {
+                        ask_with_stats_version(v, *w, "x", "K", "true").unwrap().0
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for ((_, w), from_version) in captured.iter().zip(results) {
+            let (serial, _) = ask_with_stats_at(&kb, *w, "x", "K", "true").unwrap();
+            prop_assert_eq!(from_version, serial, "diverged at watermark {}", w);
+        }
+    }
+
     #[test]
     fn untell_restores_previous_query_results(
         n_attrs in 1usize..6,

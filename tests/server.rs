@@ -4,6 +4,7 @@
 
 use conceptbase::gkbms::Gkbms;
 use conceptbase::server::{Client, ClientError, Config, ErrorCode, Server};
+use proptest::prelude::*;
 use std::io::Write;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -389,6 +390,20 @@ fn metrics_observable_end_to_end() {
         now("gkbms_sessions_opened_total") >= 1.0,
         "session counter:\n{after}"
     );
+    // MVCC observability: Hello acquired a pinned version and the TELLs
+    // published new ones (counters are global and monotone, so >= 1).
+    assert!(
+        now("gkbms_snapshot_acquires_total") >= 1.0,
+        "snapshot acquires:\n{after}"
+    );
+    assert!(
+        now("gkbms_versions_published_total") >= 1.0,
+        "versions published:\n{after}"
+    );
+    assert!(
+        scrape(&after, "gkbms_store_versions_live").is_some(),
+        "live-version gauge:\n{after}"
+    );
     c.bye(s).unwrap();
     server.shutdown().unwrap();
 }
@@ -526,6 +541,203 @@ fn stalled_server_yields_typed_timeout() {
     );
     drop(c);
     drop(stall); // detach; the sleeping thread dies with the process
+}
+
+/// Superseded store versions are retained exactly as long as a session
+/// pins them, and the chain converges back to one live version once
+/// every session has moved on (Refresh) or closed (Bye).
+#[test]
+fn store_versions_converge_after_sessions_quiesce() {
+    let (server, addr) = start(quick_cfg());
+    let mut a = Client::connect(addr).unwrap();
+    let (sa, _) = a.hello().unwrap();
+    let mut b = Client::connect(addr).unwrap();
+    let (sb, _) = b.hello().unwrap();
+    assert_eq!(server.store_versions_live(), 1, "nothing published yet");
+
+    a.tell(sa, "TELL Paper end").unwrap();
+    for i in 0..5 {
+        a.tell(sa, &format!("TELL r{i} in Paper end")).unwrap();
+    }
+    // Both sessions still pin the pre-TELL version; the five
+    // intermediate versions were never pinned and are already gone.
+    assert_eq!(server.store_versions_live(), 2, "pinned epoch + head");
+    assert_eq!(server.pinned_store_epochs(), 1);
+
+    b.refresh(sb).unwrap();
+    assert_eq!(
+        server.store_versions_live(),
+        2,
+        "session a still pins the old epoch"
+    );
+    a.bye(sa).unwrap();
+    assert_eq!(server.store_versions_live(), 1, "last pinned reader left");
+    b.bye(sb).unwrap();
+    assert_eq!(server.pinned_store_epochs(), 0);
+    assert_eq!(server.store_versions_live(), 1);
+    server.shutdown().unwrap();
+}
+
+/// The ISSUE 6 bugfix, end to end: a session that is *leaked* — Hello,
+/// then the client vanishes without Bye — must not pin its store
+/// version forever. The idle-timeout sweep reaps it and reclamation
+/// proceeds.
+#[test]
+fn leaked_idle_session_releases_its_pinned_version() {
+    let (server, addr) = start(Config {
+        idle_timeout: Duration::from_millis(200),
+        poll_interval: Duration::from_millis(20),
+        ..Config::default()
+    });
+    // Leak a session pinned at the empty epoch-0 store.
+    let leaked = {
+        let mut leaker = Client::connect(addr).unwrap();
+        let (s, _) = leaker.hello().unwrap();
+        s
+    };
+    // A writer advances the store and keeps its own pin on the head,
+    // so only the leaked session retains history.
+    let mut writer = Client::connect(addr).unwrap();
+    let (w, _) = writer.hello().unwrap();
+    writer.tell(w, "TELL Paper end").unwrap();
+    writer.refresh(w).unwrap();
+    writer.tell(w, "TELL p1 in Paper end").unwrap();
+    writer.refresh(w).unwrap();
+    assert_eq!(
+        server.store_versions_live(),
+        2,
+        "leaked session retains the old version"
+    );
+
+    // No Bye ever arrives. Sweeps (on publishes and idle connection
+    // polls) must still reap the leaked session and free its version.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.store_versions_live() > 1 {
+        assert!(
+            Instant::now() < deadline,
+            "leaked session never released its pinned version"
+        );
+        std::thread::sleep(Duration::from_millis(30));
+        writer.refresh(w).unwrap();
+    }
+    assert_eq!(server.pinned_store_epochs(), 1, "only the writer remains");
+    // The leaked session is really gone, not just unpinned.
+    match writer.ask(leaked, "p", "Paper", "true") {
+        Err(ClientError::Server(e)) => assert!(
+            e.code == ErrorCode::UnknownSession || e.code == ErrorCode::SessionExpired,
+            "unexpected code {:?}",
+            e.code
+        ),
+        other => panic!("leaked session still serves requests: {other:?}"),
+    }
+    writer.bye(w).unwrap();
+    server.shutdown().unwrap();
+}
+
+/// One step of a generated client script.
+#[derive(Debug, Clone, Copy)]
+enum ScriptOp {
+    Tell,
+    Untell,
+    Ask,
+    Refresh,
+}
+
+/// Weighted op pick: 3 TELL : 1 UNTELL : 3 ASK : 2 REFRESH.
+fn script_op() -> impl Strategy<Value = ScriptOp> {
+    (0u8..9).prop_map(|n| match n {
+        0..=2 => ScriptOp::Tell,
+        3 => ScriptOp::Untell,
+        4..=6 => ScriptOp::Ask,
+        _ => ScriptOp::Refresh,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The ISSUE 6 differential concurrency property, over the wire:
+    /// N client threads run random TELL/UNTELL/ASK/REFRESH scripts
+    /// concurrently; every ASK answer a pinned session observed must be
+    /// byte-identical to a retrospective query on the final state at
+    /// that session's watermark. Belief time is append-only with
+    /// respect to pinned watermarks, so the final state *is* the serial
+    /// replay of the committed interleaving.
+    #[test]
+    fn concurrent_interleavings_match_serial_replay_at_watermark(
+        scripts in prop::collection::vec(
+            prop::collection::vec(script_op(), 1..8),
+            2..4,
+        ),
+    ) {
+        let (server, addr) = start(quick_cfg());
+        {
+            let mut c = Client::connect(addr).unwrap();
+            let (s, _) = c.hello().unwrap();
+            c.tell(s, "TELL Paper end").unwrap();
+            c.bye(s).unwrap();
+        }
+        let workers: Vec<_> = scripts
+            .into_iter()
+            .enumerate()
+            .map(|(t, script)| {
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(addr).unwrap();
+                    let (s, mut watermark) = c.hello().unwrap();
+                    let mut told: Vec<String> = Vec::new();
+                    let mut next = 0usize;
+                    let mut observations = Vec::new();
+                    for op in script {
+                        match op {
+                            ScriptOp::Tell => {
+                                let name = format!("q_{t}_{next}");
+                                next += 1;
+                                c.tell(s, &format!("TELL {name} in Paper end")).unwrap();
+                                told.push(name);
+                            }
+                            ScriptOp::Untell => {
+                                if let Some(name) = told.pop() {
+                                    c.untell(s, &name).unwrap();
+                                }
+                            }
+                            ScriptOp::Refresh => {
+                                let done = c.refresh(s).unwrap();
+                                watermark = done
+                                    .strip_prefix("watermark ")
+                                    .expect("refresh reply shape")
+                                    .parse()
+                                    .expect("watermark integer");
+                            }
+                            ScriptOp::Ask => {
+                                let answers =
+                                    c.ask(s, "p", "Paper", "true").unwrap().answers;
+                                observations.push((watermark, answers));
+                            }
+                        }
+                    }
+                    c.bye(s).unwrap();
+                    observations
+                })
+            })
+            .collect();
+        let mut observations = Vec::new();
+        for w in workers {
+            observations.extend(w.join().expect("client thread"));
+        }
+        prop_assert_eq!(server.store_versions_live(), 1, "sessions quiesced");
+        let final_state = server.shutdown().unwrap();
+        for (w, seen) in observations {
+            let (replayed, _) = conceptbase::objectbase::query::ask_with_stats_at(
+                final_state.kb(),
+                w,
+                "p",
+                "Paper",
+                "true",
+            )
+            .unwrap();
+            prop_assert_eq!(&replayed, &seen, "serial replay diverged at watermark {}", w);
+        }
+    }
 }
 
 /// A peer that stalls *mid-frame* (sends a partial response header and
