@@ -1,0 +1,245 @@
+//! Writes `BENCH_replication.json`: aggregate read throughput of a
+//! replica fleet at 0/1/2/4 read replicas under a TELL-heavy writer,
+//! plus the replica lag distribution (ISSUE 7 acceptance).
+//!
+//! Each round starts a journaled leader plus R in-memory followers
+//! subscribed over the replication wire op, waits for the fleet to
+//! converge on the preload, then points 24 reader threads round-robin
+//! at the fleet. One read = a 2 ms simulated tool wait plus a snapshot
+//! ASK; every node's admission gate is capped at 4 in-flight requests,
+//! so a single node saturates at a few concurrent readers and the
+//! aggregate read capacity is what replicas add (readers retry on
+//! `Overloaded`, so the metric is goodput). Throughout the round a
+//! background writer TELLs against the leader as fast as it will
+//! acknowledge, and a sampler polls every follower's applied position
+//! to build the lag histogram.
+//!
+//! Run with `cargo run --release -p bench --bin replication_snapshot`.
+
+use gkbms::Gkbms;
+use server::{Client, ClientError, Config, ErrorCode, Server};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const INSTANCES: usize = 100;
+const READER_THREADS: usize = 24;
+const ROUND_SECS: f64 = 2.5;
+const TOOL_WAIT_MS: u64 = 2;
+const PER_NODE_INFLIGHT: usize = 4;
+const REPLICA_ROUNDS: [usize; 4] = [0, 1, 2, 4];
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("cb-bench-repl-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+fn node_cfg() -> Config {
+    Config {
+        max_inflight: PER_NODE_INFLIGHT,
+        slow_query_threshold: None,
+        ..Config::default()
+    }
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+struct RoundResult {
+    reads_per_sec: f64,
+    overloaded_retries: u64,
+    writer_tells: u64,
+    lag_p50: u64,
+    lag_p99: u64,
+    lag_max: u64,
+}
+
+fn run_round(replicas: usize) -> RoundResult {
+    let dir = tmp_dir(&format!("r{replicas}"));
+    let (mut g, _) = Gkbms::recover(&dir).expect("journaled leader");
+    g.tell_src("TELL Paper end").expect("class");
+    let mut src = String::new();
+    for i in 0..INSTANCES {
+        src.push_str(&format!("TELL paper{i} in Paper end\n"));
+    }
+    g.tell_src(&src).expect("instances");
+    let leader = Server::bind("127.0.0.1:0", g, node_cfg()).expect("bind leader");
+    let laddr = leader.local_addr();
+
+    let followers: Vec<Server> = (0..replicas)
+        .map(|_| {
+            let cfg = Config {
+                follow: Some(laddr.to_string()),
+                ..node_cfg()
+            };
+            Server::bind("127.0.0.1:0", Gkbms::new().expect("fresh"), cfg).expect("bind follower")
+        })
+        .collect();
+    let mut fleet: Vec<SocketAddr> = vec![laddr];
+    fleet.extend(followers.iter().map(|f| f.local_addr()));
+
+    // Converge on the preload before measuring.
+    let preloaded = {
+        let mut c = Client::connect(laddr).expect("leader status");
+        c.repl_status().expect("status").applied_seq
+    };
+    for f in &followers {
+        let mut c = Client::connect(f.local_addr()).expect("follower status");
+        let deadline = Instant::now() + Duration::from_secs(15);
+        while c.repl_status().expect("status").applied_seq < preloaded {
+            assert!(Instant::now() < deadline, "follower never converged");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer_tells = Arc::new(AtomicU64::new(0));
+    let writer = {
+        let stop = Arc::clone(&stop);
+        let tells = Arc::clone(&writer_tells);
+        std::thread::spawn(move || {
+            let mut c = Client::connect(laddr).expect("writer connect");
+            let (s, _) = c.hello().expect("writer hello");
+            let mut n = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                match c.tell(s, &format!("TELL churn{n} in Paper end")) {
+                    Ok(_) => {
+                        tells.fetch_add(1, Ordering::Relaxed);
+                        n += 1;
+                    }
+                    // The writer shares the admission gate with the
+                    // leader's readers; retry like they do.
+                    Err(ClientError::Server(e)) if e.code == ErrorCode::Overloaded => {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(e) => panic!("writer tell: {e}"),
+                }
+            }
+            c.bye(s).expect("writer bye");
+        })
+    };
+    let lag_sampler = {
+        let stop = Arc::clone(&stop);
+        let addrs: Vec<SocketAddr> = fleet[1..].to_vec();
+        std::thread::spawn(move || {
+            let mut clients: Vec<Client> = addrs
+                .iter()
+                .map(|a| Client::connect(a).expect("sampler connect"))
+                .collect();
+            let mut samples = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                for c in &mut clients {
+                    if let Ok(s) = c.repl_status() {
+                        samples.push(s.lag());
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            samples
+        })
+    };
+
+    let start = Instant::now();
+    let readers: Vec<_> = (0..READER_THREADS)
+        .map(|t| {
+            let addr = fleet[t % fleet.len()];
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("reader connect");
+                let (s, _) = c.hello().expect("reader hello");
+                let mut done = 0u64;
+                let mut retries = 0u64;
+                while start.elapsed().as_secs_f64() < ROUND_SECS {
+                    let step = c
+                        .sleep(s, TOOL_WAIT_MS)
+                        .and_then(|_| c.ask(s, "p", "Paper", "true"));
+                    match step {
+                        Ok(reply) => {
+                            assert!(reply.answers.len() >= INSTANCES);
+                            done += 1;
+                        }
+                        Err(ClientError::Server(e)) if e.code == ErrorCode::Overloaded => {
+                            retries += 1;
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        Err(e) => panic!("reader against {addr}: {e}"),
+                    }
+                }
+                let _ = c.bye(s);
+                (done, retries)
+            })
+        })
+        .collect();
+    let mut reads = 0u64;
+    let mut retries = 0u64;
+    for r in readers {
+        let (d, rt) = r.join().expect("reader thread");
+        reads += d;
+        retries += rt;
+    }
+    let wall = start.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    writer.join().expect("writer thread");
+    let mut lags = lag_sampler.join().expect("lag sampler");
+    lags.sort_unstable();
+
+    for f in followers {
+        f.shutdown().expect("follower shutdown");
+    }
+    leader.shutdown().expect("leader shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    RoundResult {
+        reads_per_sec: reads as f64 / wall,
+        overloaded_retries: retries,
+        writer_tells: writer_tells.load(Ordering::Relaxed),
+        lag_p50: percentile(&lags, 0.50),
+        lag_p99: percentile(&lags, 0.99),
+        lag_max: lags.last().copied().unwrap_or(0),
+    }
+}
+
+fn main() {
+    let mut entries = Vec::new();
+    let mut base = 0.0f64;
+    for replicas in REPLICA_ROUNDS {
+        let r = run_round(replicas);
+        if replicas == 0 {
+            base = r.reads_per_sec;
+        }
+        let scaling = r.reads_per_sec / base;
+        println!(
+            "{replicas} replica(s): {:.0} reads/s ({scaling:.2}x vs leader alone), \
+             {} overloaded retries, {} writer tells, \
+             lag p50 {} p99 {} max {} op(s)",
+            r.reads_per_sec, r.overloaded_retries, r.writer_tells, r.lag_p50, r.lag_p99, r.lag_max
+        );
+        entries.push(format!(
+            "    {{\n      \"replicas\": {replicas},\n      \
+             \"reader_threads\": {READER_THREADS},\n      \
+             \"reads_per_sec\": {:.1},\n      \
+             \"scaling_vs_leader_alone\": {scaling:.2},\n      \
+             \"overloaded_retries\": {},\n      \
+             \"writer_tells\": {},\n      \
+             \"lag_ops_p50\": {},\n      \"lag_ops_p99\": {},\n      \
+             \"lag_ops_max\": {}\n    }}",
+            r.reads_per_sec, r.overloaded_retries, r.writer_tells, r.lag_p50, r.lag_p99, r.lag_max
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"replication\",\n  \"issue\": 7,\n  \
+         \"note\": \"one read = {TOOL_WAIT_MS} ms simulated tool wait + snapshot ASK over {INSTANCES}+ Paper instances, {READER_THREADS} reader threads round-robin over leader + R replicas, every node's admission gate capped at {PER_NODE_INFLIGHT} in-flight; a background writer TELLs against the leader as fast as acknowledged, so replica lag is measured under write pressure; readers retry on Overloaded, so reads_per_sec is goodput and scales with the fleet's aggregate admission capacity\",\n  \
+         \"rounds\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write("BENCH_replication.json", &json).expect("write BENCH_replication.json");
+    println!("wrote BENCH_replication.json");
+}

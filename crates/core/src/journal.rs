@@ -142,9 +142,9 @@ impl Journal {
 
     /// Appends one op record and flushes it into the OS page cache (no
     /// fsync — that is the caller's fsync policy).
-    fn append(&mut self, payload: &[u8]) -> StorageResult<()> {
+    fn append(&mut self, epoch: u64, payload: &[u8]) -> StorageResult<()> {
         let seq = self.appended_ops + 1;
-        self.append_framed(seq, payload)?;
+        self.append_framed(seq, epoch, payload)?;
         // Counters move with the buffered append, not the flush: once
         // the record is in the writer (and possibly in the file), a
         // failed flush must not let the op sequence drift from it.
@@ -159,15 +159,50 @@ impl Journal {
         Ok(())
     }
 
-    /// Appends one WAL record framed with its journal op sequence
-    /// number, which is what lets recovery tell records a checkpoint
-    /// snapshot already covers from genuinely newer ones.
-    fn append_framed(&mut self, seq: u64, payload: &[u8]) -> StorageResult<()> {
-        let mut framed = Vec::with_capacity(8 + payload.len());
-        codec::put_u64(&mut framed, seq);
-        framed.extend_from_slice(payload);
-        self.wal.append(&framed)?;
+    /// Appends a record shipped from a replication leader, preserving
+    /// its sequence number and epoch so the replica's WAL stays
+    /// byte-identical to the leader's. The record must be the direct
+    /// successor of the last appended op.
+    pub fn append_replicated(&mut self, seq: u64, epoch: u64, payload: &[u8]) -> StorageResult<()> {
+        debug_assert_eq!(seq, self.appended_ops + 1, "replicated append out of order");
+        self.append_framed(seq, epoch, payload)?;
+        self.appended_ops = seq;
+        self.ops_since_checkpoint += 1;
+        obs::counter!(
+            "gkbms_journal_appends_total",
+            "Mutations appended to the write-ahead journal"
+        )
+        .inc();
+        self.wal.flush()?;
         Ok(())
+    }
+
+    /// Appends one WAL record framed with its journal op sequence
+    /// number and sequence epoch. The sequence is what lets recovery
+    /// tell records a checkpoint snapshot already covers from genuinely
+    /// newer ones; the epoch is what lets the replication applier fence
+    /// off records written by a deposed leader.
+    fn append_framed(&mut self, seq: u64, epoch: u64, payload: &[u8]) -> StorageResult<()> {
+        self.wal.append(&encode_framed(seq, epoch, payload))?;
+        Ok(())
+    }
+
+    /// Byte offset of the next WAL append — the position a replication
+    /// tail reader resumes from when it has consumed the whole log.
+    pub fn wal_byte_len(&self) -> u64 {
+        self.wal.byte_len()
+    }
+
+    /// Path of the WAL file, for read-only tailing by the replication
+    /// shipper.
+    pub fn wal_path(&self) -> PathBuf {
+        self.dir.join(WAL_FILE)
+    }
+
+    /// Path of the checkpoint snapshot file (which may not exist yet),
+    /// for snapshot transfer to a far-behind replica.
+    pub fn snapshot_path(&self) -> PathBuf {
+        self.dir.join(SNAPSHOT_FILE)
     }
 
     /// fsyncs the WAL, making every appended op durable.
@@ -206,10 +241,24 @@ impl Journal {
     }
 }
 
-/// Splits a framed WAL record into its op sequence number and payload.
-fn decode_framed(bytes: &[u8]) -> StorageResult<(u64, &[u8])> {
-    let seq = Cursor::new(bytes).get_u64()?;
-    Ok((seq, &bytes[8..]))
+/// Frames an op payload with its journal sequence number and epoch —
+/// the exact bytes [`Journal`] appends to the WAL, exposed so a
+/// replica can reproduce the leader's WAL byte-for-byte.
+pub fn encode_framed(seq: u64, epoch: u64, payload: &[u8]) -> Vec<u8> {
+    let mut framed = Vec::with_capacity(16 + payload.len());
+    codec::put_u64(&mut framed, seq);
+    codec::put_u64(&mut framed, epoch);
+    framed.extend_from_slice(payload);
+    framed
+}
+
+/// Splits a framed WAL record into its op sequence number, sequence
+/// epoch and payload.
+pub fn decode_framed(bytes: &[u8]) -> StorageResult<(u64, u64, &[u8])> {
+    let mut c = Cursor::new(bytes);
+    let seq = c.get_u64()?;
+    let epoch = c.get_u64()?;
+    Ok((seq, epoch, &bytes[16..]))
 }
 
 impl Gkbms {
@@ -250,7 +299,11 @@ impl Gkbms {
         let mut replayed_ops = 0u64;
         let mut last_seq = covered;
         for f in &framed {
-            let (seq, payload) = decode_framed(f).map_err(telos::TelosError::Storage)?;
+            let (seq, epoch, payload) = decode_framed(f).map_err(telos::TelosError::Storage)?;
+            // The epoch of every frame counts, even skipped ones: the
+            // snapshot may predate a promotion whose records the WAL
+            // still holds.
+            g.epoch = g.epoch.max(epoch);
             if seq <= covered {
                 skipped += 1;
                 continue;
@@ -263,6 +316,7 @@ impl Gkbms {
         }
         journal.appended_ops = last_seq;
         journal.ops_since_checkpoint = replayed_ops;
+        g.replica_applied = last_seq;
         if skipped > 0 && replayed_ops == 0 {
             // Complete the interrupted checkpoint by finishing its
             // truncation. Only safe when every record is covered (the
@@ -351,10 +405,98 @@ impl Gkbms {
     /// Appends an encoded op to the journal, if one is attached.
     /// Called by every mutation method at its commit point.
     pub(crate) fn journal_append(&mut self, payload: Vec<u8>) -> GkbmsResult<()> {
+        let epoch = self.epoch;
         if let Some(j) = self.journal.as_mut() {
-            j.append(&payload).map_err(telos::TelosError::Storage)?;
+            j.append(epoch, &payload)
+                .map_err(telos::TelosError::Storage)?;
         }
         Ok(())
+    }
+
+    /// Applies one record shipped from a replication leader: replays
+    /// the op through the standard replay path and appends the original
+    /// frame (same sequence, same epoch) to the local journal, if one
+    /// is attached. Sequence/epoch admission checks are the replication
+    /// applier's job — this method trusts its caller and only keeps the
+    /// applied position and epoch consistent.
+    pub fn apply_replicated(&mut self, seq: u64, epoch: u64, payload: &[u8]) -> GkbmsResult<()> {
+        // Replay with the journal detached so ops that journal
+        // themselves (everything except nogoods) don't append under a
+        // fresh sequence number; the shipped frame is appended
+        // verbatim below, keeping replica WALs byte-identical to the
+        // leader's.
+        let journal = self.journal.take();
+        let applied = persist::apply_record(self, payload);
+        self.journal = journal;
+        applied?;
+        self.epoch = self.epoch.max(epoch);
+        self.replica_applied = seq;
+        if let Some(j) = self.journal.as_mut() {
+            j.append_replicated(seq, epoch, payload)
+                .map_err(telos::TelosError::Storage)?;
+        }
+        Ok(())
+    }
+
+    /// Installs a snapshot stream shipped by a replication leader into
+    /// `dir` and recovers from it: the payloads (a coverage record
+    /// followed by the full history, exactly the layout of a checkpoint
+    /// snapshot file) are written crash-atomically as `dir/snapshot`,
+    /// any stale local WAL is removed, and the result is opened via
+    /// [`Gkbms::recover`]. The returned instance is positioned at the
+    /// snapshot's covered sequence, ready to apply the WAL tail the
+    /// leader ships next.
+    pub fn install_replica_snapshot(
+        dir: impl AsRef<Path>,
+        payloads: Vec<Vec<u8>>,
+    ) -> GkbmsResult<(Gkbms, RecoveryReport)> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)
+            .map_err(|e| telos::TelosError::Storage(storage::StorageError::Io(e)))?;
+        Gkbms::write_payloads_atomic(&dir.join(SNAPSHOT_FILE), payloads)?;
+        // The local WAL (if any) predates the snapshot we were just
+        // shipped — a replica only falls back to snapshot transfer when
+        // its own log is behind the leader's truncation horizon, so the
+        // stale records are covered and must not replay over it.
+        let wal = dir.join(WAL_FILE);
+        if wal.exists() {
+            std::fs::remove_file(&wal)
+                .map_err(|e| telos::TelosError::Storage(storage::StorageError::Io(e)))?;
+        }
+        Gkbms::recover(dir)
+    }
+
+    /// Builds a journal-less replica directly from a shipped snapshot
+    /// stream: replays the payloads into a fresh instance without
+    /// touching disk. Used by followers running without `--journal`.
+    pub fn replica_from_snapshot(payloads: &[Vec<u8>]) -> GkbmsResult<Gkbms> {
+        let mut g = Gkbms::new()?;
+        for p in payloads {
+            persist::apply_record(&mut g, p)?;
+        }
+        g.replica_applied = g.snapshot_covers;
+        Ok(g)
+    }
+
+    /// Promotes this instance to leader of a new sequence epoch: bumps
+    /// the epoch and seals the journal with a durable epoch marker (the
+    /// promotion point survives a crash even before the first
+    /// post-promotion write). Records framed under any older epoch are
+    /// refused by replication applier fencing from here on. Returns the
+    /// new epoch.
+    pub fn promote(&mut self) -> GkbmsResult<u64> {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        self.journal_append(persist::encode_seal(epoch))?;
+        if let Some(j) = self.journal.as_mut() {
+            j.sync().map_err(telos::TelosError::Storage)?;
+        }
+        obs::counter!(
+            "gkbms_replication_promotions_total",
+            "Replica promotions to leader (epoch bumps)"
+        )
+        .inc();
+        Ok(epoch)
     }
 }
 
@@ -467,6 +609,87 @@ mod tests {
         let mut g = g;
         g.tell_src("TELL PostCrash end").unwrap();
         g.journal_mut().unwrap().sync().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn promote_bumps_epoch_durably_without_further_writes() {
+        let dir = tmp_dir("promote");
+        {
+            let mut g = journaled_scenario(&dir);
+            assert_eq!(g.epoch(), 1);
+            g.tell_src("TELL Before end").unwrap();
+            assert_eq!(g.promote().unwrap(), 2);
+            // Crash here: the seal record alone must carry the epoch.
+        }
+        let (g, _) = Gkbms::recover(&dir).unwrap();
+        assert_eq!(g.epoch(), 2);
+        assert!(g.kb().lookup("Before").is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_snapshot_preserves_epoch() {
+        let dir = tmp_dir("ckpt-epoch");
+        {
+            let mut g = journaled_scenario(&dir);
+            g.tell_src("TELL Kept end").unwrap();
+            g.promote().unwrap();
+            g.checkpoint().unwrap();
+            // The WAL is now empty: the epoch must live in the
+            // snapshot's coverage record.
+        }
+        let (g, report) = Gkbms::recover(&dir).unwrap();
+        assert!(report.snapshot_loaded);
+        assert_eq!(report.replayed_ops, 0);
+        assert_eq!(g.epoch(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replicated_apply_reproduces_leader_wal_bytes() {
+        let ldir = tmp_dir("repl-leader");
+        let fdir = tmp_dir("repl-follower");
+        let mut leader = Gkbms::recover(&ldir).unwrap().0;
+        leader.tell_src("TELL Paper end").unwrap();
+        leader.tell_src("TELL p1 in Paper end").unwrap();
+        leader.journal_mut().unwrap().sync().unwrap();
+        let mut follower = Gkbms::recover(&fdir).unwrap().0;
+        let mut wal = AppendLog::open(ldir.join(WAL_FILE)).unwrap();
+        for rec in wal.iter().unwrap() {
+            let (_, bytes) = rec.unwrap();
+            let (seq, epoch, payload) = decode_framed(&bytes).unwrap();
+            follower.apply_replicated(seq, epoch, payload).unwrap();
+        }
+        follower.journal_mut().unwrap().sync().unwrap();
+        assert_eq!(follower.applied_seq(), leader.applied_seq());
+        assert!(follower.kb().lookup("p1").is_some());
+        assert_eq!(
+            std::fs::read(ldir.join(WAL_FILE)).unwrap(),
+            std::fs::read(fdir.join(WAL_FILE)).unwrap(),
+            "replica WAL must be byte-identical to the leader's"
+        );
+        std::fs::remove_dir_all(&ldir).unwrap();
+        std::fs::remove_dir_all(&fdir).unwrap();
+    }
+
+    #[test]
+    fn journal_less_replica_builds_from_snapshot_stream() {
+        let dir = tmp_dir("replica-mem");
+        let payloads = {
+            let mut g = journaled_scenario(&dir);
+            g.tell_src("TELL Paper end").unwrap();
+            g.checkpoint().unwrap();
+            let mut log = AppendLog::open(dir.join(SNAPSHOT_FILE)).unwrap();
+            log.iter()
+                .unwrap()
+                .map(|r| r.unwrap().1)
+                .collect::<Vec<_>>()
+        };
+        let replica = Gkbms::replica_from_snapshot(&payloads).unwrap();
+        assert!(replica.kb().lookup("Paper").is_some());
+        assert!(replica.applied_seq() > 0);
+        assert_eq!(replica.epoch(), 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -42,6 +42,12 @@ const OP_UNTELL: u32 = 9;
 /// covered sequence, which makes the snapshot's atomic rename the
 /// commit point of a checkpoint (see `Gkbms::checkpoint`).
 const OP_CHECKPOINT_COVERS: u32 = 10;
+/// Epoch seal: a promoted replica bumps its sequence epoch and appends
+/// this marker as its first own journal record, making the promotion
+/// point durable even before the first post-promotion mutation. Replay
+/// raises the epoch and changes no other state; records framed with a
+/// lower epoch are fenced off by the replication applier.
+const OP_SEAL: u32 = 11;
 
 fn put_opt_str(out: &mut Vec<u8>, v: &Option<String>) {
     match v {
@@ -211,10 +217,18 @@ pub(crate) fn encode_untell(name: &str) -> Vec<u8> {
     p
 }
 
-pub(crate) fn encode_checkpoint_covers(covered_seq: u64) -> Vec<u8> {
+pub(crate) fn encode_checkpoint_covers(covered_seq: u64, epoch: u64) -> Vec<u8> {
     let mut p = Vec::new();
     codec::put_u32(&mut p, OP_CHECKPOINT_COVERS);
     codec::put_u64(&mut p, covered_seq);
+    codec::put_u64(&mut p, epoch);
+    p
+}
+
+pub(crate) fn encode_seal(epoch: u64) -> Vec<u8> {
+    let mut p = Vec::new();
+    codec::put_u32(&mut p, OP_SEAL);
+    codec::put_u64(&mut p, epoch);
     p
 }
 
@@ -316,6 +330,12 @@ pub(crate) fn apply_record(g: &mut Gkbms, payload: &[u8]) -> GkbmsResult<()> {
         }
         OP_CHECKPOINT_COVERS => {
             g.snapshot_covers = c.get_u64().map_err(telos::TelosError::Storage)?;
+            let epoch = c.get_u64().map_err(telos::TelosError::Storage)?;
+            g.epoch = g.epoch.max(epoch);
+        }
+        OP_SEAL => {
+            let epoch = c.get_u64().map_err(telos::TelosError::Storage)?;
+            g.epoch = g.epoch.max(epoch);
         }
         other => {
             return Err(GkbmsError::Unknown(format!(
@@ -421,11 +441,19 @@ impl Gkbms {
 
     /// Saves a checkpoint snapshot: the complete history prefixed with
     /// an [`OP_CHECKPOINT_COVERS`] record naming the journal op
-    /// sequence the snapshot covers, so recovery can tell WAL records
-    /// the snapshot already holds from genuinely newer ones.
+    /// sequence (and sequence epoch) the snapshot covers, so recovery
+    /// can tell WAL records the snapshot already holds from genuinely
+    /// newer ones.
     pub(crate) fn save_snapshot(&self, path: &Path, covered_seq: u64) -> GkbmsResult<()> {
-        let mut payloads = vec![encode_checkpoint_covers(covered_seq)];
+        let mut payloads = vec![encode_checkpoint_covers(covered_seq, self.epoch)];
         payloads.extend(self.history_payloads());
+        write_log_atomic(path, payloads)
+    }
+
+    /// Writes `payloads` as a crash-atomic snapshot/history file at
+    /// `path` — the shared primitive behind `save`, `save_snapshot` and
+    /// replica snapshot installation.
+    pub(crate) fn write_payloads_atomic(path: &Path, payloads: Vec<Vec<u8>>) -> GkbmsResult<()> {
         write_log_atomic(path, payloads)
     }
 

@@ -163,6 +163,15 @@ pub struct Gkbms {
     /// at or below it so an interrupted checkpoint (snapshot renamed,
     /// WAL not yet truncated) never double-applies history.
     pub(crate) snapshot_covers: u64,
+    /// Sequence epoch: starts at 1 and is bumped by [`Gkbms::promote`]
+    /// when a replica takes over as leader. Every WAL record is framed
+    /// with the epoch it was written under; the replication applier
+    /// refuses records from an older epoch (fencing a deposed leader).
+    pub(crate) epoch: u64,
+    /// Last op sequence applied from a replication stream — mirrors
+    /// `journal.appended_ops` on journaled replicas, and is the only
+    /// applied-position record on journal-less ones.
+    pub(crate) replica_applied: u64,
     /// Statistics: dependency-graph rebuilds (lemma generation, E-2).
     pub graph_builds: u64,
 }
@@ -193,8 +202,26 @@ impl Gkbms {
             seq: 0,
             journal: None,
             snapshot_covers: 0,
+            epoch: 1,
+            replica_applied: 0,
             graph_builds: 0,
         })
+    }
+
+    /// The current sequence epoch (1 on a fresh system; bumped by every
+    /// [`Gkbms::promote`] in the system's history).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The last journal op sequence this instance holds: the journal's
+    /// appended-op counter when one is attached, or the position of the
+    /// last replicated record applied into a journal-less replica.
+    pub fn applied_seq(&self) -> u64 {
+        match &self.journal {
+            Some(j) => j.appended_ops(),
+            None => self.replica_applied,
+        }
     }
 
     /// Next commit sequence number.

@@ -180,10 +180,77 @@ impl Histogram {
     }
 }
 
+/// Upper bounds (inclusive) of the value buckets used by
+/// [`ValueHistogram`] — power-of-two-ish spacing from 1 to 64k,
+/// suitable for unit-less magnitudes such as replication lag measured
+/// in ops. The final `+Inf` bucket is implicit.
+pub const VALUE_BUCKETS: [u64; 12] = [0, 1, 2, 4, 8, 16, 32, 64, 256, 1_024, 4_096, 16_384];
+
+/// A fixed-bucket histogram over unit-less integer magnitudes (op
+/// counts, queue depths, lag). Same lock-free design as [`Histogram`]
+/// but bucketed by [`VALUE_BUCKETS`] and rendered without the
+/// microseconds→seconds conversion.
+#[derive(Debug)]
+pub struct ValueHistogram {
+    buckets: [AtomicU64; VALUE_BUCKETS.len() + 1],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for ValueHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ValueHistogram {
+    /// A fresh, empty histogram.
+    pub const fn new() -> Self {
+        ValueHistogram {
+            buckets: [const { AtomicU64::new(0) }; VALUE_BUCKETS.len() + 1],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        if !enabled() {
+            return;
+        }
+        let slot = VALUE_BUCKETS
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(VALUE_BUCKETS.len());
+        self.buckets[slot].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts (not cumulative), `+Inf` last.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
 enum Metric {
     Counter(&'static Counter),
     Gauge(&'static Gauge),
     Histogram(&'static Histogram),
+    ValueHistogram(&'static ValueHistogram),
 }
 
 struct Entry {
@@ -286,6 +353,30 @@ impl Registry {
         }
     }
 
+    /// Returns the value histogram registered as `name`, registering
+    /// on first use.
+    pub fn value_histogram(&self, name: &str, help: &'static str) -> &'static ValueHistogram {
+        if let Some(Entry {
+            metric: Metric::ValueHistogram(h),
+            ..
+        }) = self.lock_read().get(name)
+        {
+            return h;
+        }
+        let mut entries = self.lock_write();
+        match entries
+            .entry(name.to_string())
+            .or_insert_with(|| Entry {
+                help,
+                metric: Metric::ValueHistogram(Box::leak(Box::new(ValueHistogram::new()))),
+            })
+            .metric
+        {
+            Metric::ValueHistogram(h) => h,
+            _ => panic!("metric `{name}` already registered with a different type"),
+        }
+    }
+
     /// The current value of a registered counter, or `None`.
     pub fn counter_value(&self, name: &str) -> Option<u64> {
         match self.lock_read().get(name)?.metric {
@@ -326,7 +417,7 @@ pub fn render_prometheus() -> String {
             let kind = match entry.metric {
                 Metric::Counter(_) => "counter",
                 Metric::Gauge(_) => "gauge",
-                Metric::Histogram(_) => "histogram",
+                Metric::Histogram(_) | Metric::ValueHistogram(_) => "histogram",
             };
             let _ = writeln!(out, "# HELP {family} {}", entry.help);
             let _ = writeln!(out, "# TYPE {family} {kind}");
@@ -358,6 +449,27 @@ pub fn render_prometheus() -> String {
                     None => format!("{family}_{part}"),
                 };
                 let _ = writeln!(out, "{} {}", suffix("sum"), h.sum_micros() as f64 / 1e6);
+                let _ = writeln!(out, "{} {}", suffix("count"), h.count());
+            }
+            Metric::ValueHistogram(h) => {
+                let mut cumulative = 0u64;
+                for (i, count) in h.bucket_counts().iter().enumerate() {
+                    cumulative += count;
+                    let le = match VALUE_BUCKETS.get(i) {
+                        Some(&b) => format!("{b}"),
+                        None => "+Inf".to_string(),
+                    };
+                    let series = match labels {
+                        Some(l) => format!("{family}_bucket{{{l},le=\"{le}\"}}"),
+                        None => format!("{family}_bucket{{le=\"{le}\"}}"),
+                    };
+                    let _ = writeln!(out, "{series} {cumulative}");
+                }
+                let suffix = |part: &str| match labels {
+                    Some(l) => format!("{family}_{part}{{{l}}}"),
+                    None => format!("{family}_{part}"),
+                };
+                let _ = writeln!(out, "{} {}", suffix("sum"), h.sum());
                 let _ = writeln!(out, "{} {}", suffix("count"), h.count());
             }
         }
@@ -392,6 +504,17 @@ macro_rules! histogram {
     ($name:expr, $help:expr) => {{
         static HANDLE: std::sync::OnceLock<&'static $crate::Histogram> = std::sync::OnceLock::new();
         *HANDLE.get_or_init(|| $crate::registry().histogram($name, $help))
+    }};
+}
+
+/// Registers (on first use) and returns a `&'static`
+/// [`ValueHistogram`], caching the handle per call site.
+#[macro_export]
+macro_rules! value_histogram {
+    ($name:expr, $help:expr) => {{
+        static HANDLE: std::sync::OnceLock<&'static $crate::ValueHistogram> =
+            std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::registry().value_histogram($name, $help))
     }};
 }
 
@@ -446,6 +569,26 @@ mod tests {
         assert!(counts[0] >= 1);
         assert!(counts[LATENCY_BUCKETS_US.len()] >= 1, "+Inf overflow");
         assert!(h.sum_micros() >= 99_000_950);
+    }
+
+    #[test]
+    fn value_histogram_buckets_magnitudes() {
+        let h = registry().value_histogram("obs_test_value_hist", "test");
+        let before = h.count();
+        h.observe(0); // first bucket (<= 0)
+        h.observe(3); // <= 4
+        h.observe(1_000_000); // +Inf
+        assert_eq!(h.count(), before + 3);
+        let counts = h.bucket_counts();
+        assert!(counts[0] >= 1);
+        assert!(counts[VALUE_BUCKETS.len()] >= 1, "+Inf overflow");
+        assert!(h.sum() >= 1_000_003);
+        let text = render_prometheus();
+        assert!(text.contains("# TYPE obs_test_value_hist histogram"));
+        assert!(text.contains("obs_test_value_hist_bucket{le=\"4\"}"));
+        assert!(text.contains("obs_test_value_hist_bucket{le=\"+Inf\"}"));
+        let via_macro = value_histogram!("obs_test_value_hist", "test");
+        assert!(std::ptr::eq(h, via_macro));
     }
 
     #[test]

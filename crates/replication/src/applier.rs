@@ -1,0 +1,170 @@
+//! Follower-side stream admission: in-order, exactly-once, fenced.
+//!
+//! Every shipped record passes through [`StreamApplier::admit`] before
+//! it touches the knowledge base. A record that would skip ahead,
+//! move backwards, or resurrect a deposed leader's epoch is refused
+//! with a typed error — the follower disconnects and resubscribes (or
+//! surfaces the fence) instead of silently corrupting its replica.
+
+use crate::error::{ReplError, ReplResult};
+
+/// Admission gate for a replication stream.
+///
+/// Tracks the applied position and epoch; `admit` advances them only
+/// for the exact next record of an equal-or-newer epoch.
+#[derive(Debug, Clone)]
+pub struct StreamApplier {
+    /// Next sequence number the stream must deliver.
+    next: u64,
+    /// Current sequence epoch; records below it are fenced.
+    epoch: u64,
+}
+
+impl StreamApplier {
+    /// An applier positioned after `applied_seq`, fencing records from
+    /// epochs older than `epoch`.
+    pub fn new(applied_seq: u64, epoch: u64) -> Self {
+        StreamApplier {
+            next: applied_seq + 1,
+            epoch,
+        }
+    }
+
+    /// Admits one record by its frame fields, advancing the applied
+    /// position. Errors leave the applier unchanged, so a refused
+    /// stream can be reported and resumed from the same position.
+    pub fn admit(&mut self, seq: u64, epoch: u64) -> ReplResult<()> {
+        if epoch < self.epoch {
+            return Err(ReplError::EpochFenced {
+                local: self.epoch,
+                got: epoch,
+            });
+        }
+        if seq > self.next {
+            return Err(ReplError::SequenceGap {
+                expected: self.next,
+                got: seq,
+            });
+        }
+        if seq < self.next {
+            return Err(ReplError::SequenceRegression {
+                expected: self.next,
+                got: seq,
+            });
+        }
+        self.next += 1;
+        self.epoch = epoch;
+        Ok(())
+    }
+
+    /// Last admitted sequence number.
+    pub fn applied_seq(&self) -> u64 {
+        self.next - 1
+    }
+
+    /// Current epoch (raised by admitted records from newer epochs).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(seqs: &[u64]) -> Vec<(u64, u64)> {
+        seqs.iter().map(|&s| (s, 1)).collect()
+    }
+
+    fn drive(applier: &mut StreamApplier, records: &[(u64, u64)]) -> ReplResult<()> {
+        for &(seq, epoch) in records {
+            applier.admit(seq, epoch)?;
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn in_order_stream_is_admitted() {
+        let mut a = StreamApplier::new(0, 1);
+        drive(&mut a, &stream(&[1, 2, 3, 4])).unwrap();
+        assert_eq!(a.applied_seq(), 4);
+    }
+
+    #[test]
+    fn spliced_stream_with_a_hole_is_a_typed_gap() {
+        // Ops 1,2,4,5: record 3 was spliced out in flight. The old
+        // behaviour applied 4 and 5 anyway, silently losing op 3.
+        let mut a = StreamApplier::new(0, 1);
+        let err = drive(&mut a, &stream(&[1, 2, 4, 5])).unwrap_err();
+        match err {
+            ReplError::SequenceGap { expected, got } => {
+                assert_eq!((expected, got), (3, 4));
+            }
+            other => panic!("expected gap, got {other}"),
+        }
+        // Nothing past the hole was admitted.
+        assert_eq!(a.applied_seq(), 2);
+    }
+
+    #[test]
+    fn replayed_prefix_is_a_typed_regression() {
+        // Ops 1,2,3,2: a duplicated (re-spliced) record must not
+        // double-apply.
+        let mut a = StreamApplier::new(0, 1);
+        let err = drive(&mut a, &stream(&[1, 2, 3, 2])).unwrap_err();
+        match err {
+            ReplError::SequenceRegression { expected, got } => {
+                assert_eq!((expected, got), (4, 2));
+            }
+            other => panic!("expected regression, got {other}"),
+        }
+        assert_eq!(a.applied_seq(), 3);
+    }
+
+    #[test]
+    fn resume_position_survives_refusal() {
+        let mut a = StreamApplier::new(0, 1);
+        drive(&mut a, &stream(&[1, 2])).unwrap();
+        assert!(a.admit(9, 1).is_err());
+        // The correct next record is still admissible.
+        a.admit(3, 1).unwrap();
+        assert_eq!(a.applied_seq(), 3);
+    }
+
+    #[test]
+    fn old_epoch_records_are_fenced() {
+        let mut a = StreamApplier::new(10, 2);
+        let err = a.admit(11, 1).unwrap_err();
+        match err {
+            ReplError::EpochFenced { local, got } => assert_eq!((local, got), (2, 1)),
+            other => panic!("expected fence, got {other}"),
+        }
+        assert_eq!(a.applied_seq(), 10, "fenced record must not advance");
+    }
+
+    #[test]
+    fn newer_epoch_is_adopted_mid_stream() {
+        // A promotion observed through the stream: the seal record
+        // arrives framed with the new epoch and raises the fence.
+        let mut a = StreamApplier::new(0, 1);
+        a.admit(1, 1).unwrap();
+        a.admit(2, 2).unwrap();
+        assert_eq!(a.epoch(), 2);
+        // Epoch-1 records are refused from here on.
+        assert!(matches!(
+            a.admit(3, 1),
+            Err(ReplError::EpochFenced { local: 2, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn resubscription_resumes_from_applied_seq() {
+        let mut a = StreamApplier::new(0, 1);
+        drive(&mut a, &stream(&[1, 2, 3])).unwrap();
+        // Simulate disconnect: a new applier built from the follower's
+        // durable position admits exactly the tail.
+        let mut b = StreamApplier::new(a.applied_seq(), a.epoch());
+        assert!(b.admit(3, 1).is_err(), "already applied");
+        b.admit(4, 1).unwrap();
+    }
+}

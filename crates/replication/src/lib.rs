@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! Replication by prefix shipping.
+//!
+//! The journal already *is* a replication log: every WAL record is
+//! framed with its monotonic op sequence number and sequence epoch,
+//! and checkpoint snapshots name the sequence they cover. This crate
+//! provides the transport-agnostic machinery that turns that log into
+//! a leader/follower fleet:
+//!
+//! * [`msg`] — the `ReplMsg` wire messages a leader pushes after a
+//!   `Replicate` subscription (snapshot stream, op batches,
+//!   heartbeats), framed exactly like every other protocol frame;
+//! * [`tail`] — [`WalTail`], a read-only cursor over the leader's live
+//!   WAL file that converts durable records into shippable batches and
+//!   detects checkpoint truncation under its feet;
+//! * [`applier`] — [`StreamApplier`], the follower-side admission
+//!   gate: exactly-once, in-order sequence checking plus epoch fencing
+//!   so a spliced stream or a deposed leader's records are refused
+//!   with a typed error instead of silently applied;
+//! * [`signal`] — [`CommitSignal`], the durability watermark the
+//!   group-commit path advances and ship loops wait on, so followers
+//!   only ever receive records the leader has committed (a crashed
+//!   leader can never recover to a state *behind* its replicas);
+//! * [`error`] — typed [`ReplError`]s shared by both sides.
+//!
+//! The TCP endpoints themselves (the leader's ship loop serving a
+//! `Replicate` request, the follower runtime applying into a live
+//! server) live in the `server` crate, which composes these pieces
+//! with its existing connection handling and MVCC publication.
+
+pub mod applier;
+pub mod error;
+pub mod msg;
+pub mod signal;
+pub mod tail;
+
+pub use applier::StreamApplier;
+pub use error::{ReplError, ReplResult};
+pub use msg::{ReplMsg, ShippedRecord};
+pub use signal::CommitSignal;
+pub use tail::{TailStep, WalTail};

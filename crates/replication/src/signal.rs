@@ -1,0 +1,92 @@
+//! The durability watermark ship loops wait on.
+//!
+//! Followers must only ever receive records the leader has *committed*
+//! under its fsync policy — otherwise a leader crash could leave a
+//! replica ahead of the recovered leader, and the diverged suffix
+//! could never be reconciled. The group-commit path advances a
+//! [`CommitSignal`] as ops become durable; every ship loop blocks on
+//! it instead of polling the WAL file for bytes that may still be
+//! rolled back by a crash.
+
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// A monotonic `(durable_seq, epoch)` pair with condvar wakeups.
+pub struct CommitSignal {
+    state: Mutex<(u64, u64)>,
+    cv: Condvar,
+}
+
+impl CommitSignal {
+    /// A signal starting at the given committed position.
+    pub fn new(durable_seq: u64, epoch: u64) -> Self {
+        CommitSignal {
+            state: Mutex::new((durable_seq, epoch)),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Advances the committed position (monotonically — stale calls
+    /// are no-ops) and wakes every waiting ship loop.
+    pub fn advance(&self, durable_seq: u64, epoch: u64) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if durable_seq > s.0 || epoch > s.1 {
+            s.0 = s.0.max(durable_seq);
+            s.1 = s.1.max(epoch);
+            self.cv.notify_all();
+        }
+    }
+
+    /// The current committed `(seq, epoch)`.
+    pub fn current(&self) -> (u64, u64) {
+        *self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Blocks until the committed sequence exceeds `seq` or `timeout`
+    /// elapses; returns the committed pair either way. The timeout is
+    /// what lets ship loops interleave heartbeats and shutdown checks.
+    pub fn wait_beyond(&self, seq: u64, timeout: Duration) -> (u64, u64) {
+        let guard = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let (s, _) = self
+            .cv
+            .wait_timeout_while(guard, timeout, |s| s.0 <= seq)
+            .unwrap_or_else(|e| e.into_inner());
+        *s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn advance_is_monotonic() {
+        let s = CommitSignal::new(5, 1);
+        s.advance(3, 1); // stale
+        assert_eq!(s.current(), (5, 1));
+        s.advance(9, 2);
+        assert_eq!(s.current(), (9, 2));
+    }
+
+    #[test]
+    fn waiters_wake_on_advance() {
+        let s = Arc::new(CommitSignal::new(0, 1));
+        let waiter = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || s.wait_beyond(0, Duration::from_secs(5)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        s.advance(1, 1);
+        assert_eq!(waiter.join().unwrap(), (1, 1));
+    }
+
+    #[test]
+    fn wait_times_out_at_current_position() {
+        let s = CommitSignal::new(4, 1);
+        // Already beyond: returns immediately.
+        assert_eq!(s.wait_beyond(3, Duration::from_secs(5)), (4, 1));
+        // Not beyond: times out and reports the unchanged position.
+        assert_eq!(s.wait_beyond(4, Duration::from_millis(10)), (4, 1));
+    }
+}

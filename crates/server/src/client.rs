@@ -40,6 +40,12 @@ pub enum ClientError {
     /// The server accepted the connection but produced no response
     /// within the configured read timeout.
     Timeout(Duration),
+    /// The request needs the leader: this server is a read replica and
+    /// refuses writes. Reconnect to `leader` and retry there.
+    Redirect {
+        /// Address of the leader this replica follows.
+        leader: String,
+    },
     /// The server answered with a typed error.
     Server(ServerError),
 }
@@ -51,6 +57,9 @@ impl std::fmt::Display for ClientError {
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
             ClientError::Timeout(t) => {
                 write!(f, "no response within {} ms", t.as_millis())
+            }
+            ClientError::Redirect { leader } => {
+                write!(f, "not the leader: writes go to {leader}")
             }
             ClientError::Server(e) => write!(f, "server error: {e}"),
         }
@@ -98,25 +107,85 @@ pub struct SessionStats {
     pub scanned: u64,
 }
 
+/// A replica's view of its own role and position, as reported by
+/// [`Client::repl_status`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaStatus {
+    /// True on the leader (or any standalone server).
+    pub is_leader: bool,
+    /// The leader address a follower ships from (empty on a leader).
+    pub leader: String,
+    /// Ops applied locally.
+    pub applied_seq: u64,
+    /// The leader's committed position as last observed (on a leader,
+    /// equal to `applied_seq`).
+    pub leader_seq: u64,
+    /// The sequence epoch the server is serving under.
+    pub epoch: u64,
+    /// True while a follower's subscription to the leader is live.
+    pub connected: bool,
+}
+
+impl ReplicaStatus {
+    /// Committed leader ops not yet applied locally.
+    pub fn lag(&self) -> u64 {
+        self.leader_seq.saturating_sub(self.applied_seq)
+    }
+}
+
 /// Default per-call read timeout; see [`Client::connect_with_timeout`].
 pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Connection attempts made by [`Client::connect`] before giving up.
+pub const CONNECT_ATTEMPTS: u32 = 5;
+/// First retry delay of [`Client::connect`]; doubles per attempt.
+pub const CONNECT_BACKOFF: Duration = Duration::from_millis(20);
 
 /// One connection to a GKBMS server.
 pub struct Client {
     stream: TcpStream,
     read_timeout: Duration,
+    /// `(applied_seq, lag)` from the most recent reply that came
+    /// wrapped in a replica staleness header, if any.
+    last_staleness: Option<(u64, u64)>,
 }
 
 impl Client {
     /// Connects to `addr` with the [`DEFAULT_READ_TIMEOUT`]: a stalled
     /// server fails each call with [`ClientError::Timeout`] instead of
-    /// blocking the client forever.
+    /// blocking the client forever. Retries refused connections with
+    /// exponential backoff ([`CONNECT_ATTEMPTS`] attempts starting at
+    /// [`CONNECT_BACKOFF`]) — a freshly (re)started or promoted server
+    /// may not be listening yet.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
-        Client::connect_with_timeout(addr, DEFAULT_READ_TIMEOUT)
+        Client::connect_with_retry(addr, DEFAULT_READ_TIMEOUT, CONNECT_ATTEMPTS)
     }
 
-    /// Connects to `addr` with an explicit per-call read timeout.
-    /// `Duration::ZERO` disables the timeout (reads block forever).
+    /// Connects with an explicit attempt budget; delays double from
+    /// [`CONNECT_BACKOFF`] between attempts.
+    pub fn connect_with_retry<A: ToSocketAddrs>(
+        addr: A,
+        read_timeout: Duration,
+        attempts: u32,
+    ) -> io::Result<Client> {
+        let mut backoff = CONNECT_BACKOFF;
+        let mut last = None;
+        for attempt in 0..attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff *= 2;
+            }
+            match Client::connect_with_timeout(&addr, read_timeout) {
+                Ok(c) => return Ok(c),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.expect("at least one attempt"))
+    }
+
+    /// Connects to `addr` with an explicit per-call read timeout and no
+    /// retries. `Duration::ZERO` disables the timeout (reads block
+    /// forever).
     pub fn connect_with_timeout<A: ToSocketAddrs>(
         addr: A,
         read_timeout: Duration,
@@ -126,6 +195,7 @@ impl Client {
         let mut client = Client {
             stream,
             read_timeout: Duration::ZERO,
+            last_staleness: None,
         };
         client.set_read_timeout(read_timeout)?;
         Ok(client)
@@ -190,12 +260,39 @@ impl Client {
     }
 
     fn expect(&mut self, req: &Request) -> ClientResult<Response> {
-        match self.roundtrip(req)? {
-            Response::Error { code, message } => {
-                Err(ClientError::Server(ServerError { code, message }))
+        let resp = self.roundtrip(req)?;
+        self.finish(resp)
+    }
+
+    /// Strips replica framing from a response: unwraps staleness
+    /// headers (recording the replica's position), surfaces redirects
+    /// and typed errors as [`ClientError`]s.
+    fn finish(&mut self, mut resp: Response) -> ClientResult<Response> {
+        loop {
+            match resp {
+                Response::Stale {
+                    applied_seq,
+                    lag,
+                    inner,
+                } => {
+                    self.last_staleness = Some((applied_seq, lag));
+                    resp = Response::decode(&inner)
+                        .map_err(|e| ClientError::Protocol(format!("stale inner: {e}")))?;
+                }
+                Response::Redirect { leader } => return Err(ClientError::Redirect { leader }),
+                Response::Error { code, message } => {
+                    return Err(ClientError::Server(ServerError { code, message }))
+                }
+                other => return Ok(other),
             }
-            other => Ok(other),
         }
+    }
+
+    /// `(applied_seq, lag)` from the most recent reply that a replica
+    /// wrapped in a staleness header; `None` until one arrives (e.g.
+    /// when talking to the leader).
+    pub fn last_staleness(&self) -> Option<(u64, u64)> {
+        self.last_staleness
     }
 
     fn done(&mut self, req: &Request) -> ClientResult<String> {
@@ -442,6 +539,36 @@ impl Client {
         match self.expect(&Request::Metrics)? {
             Response::Metrics { text } => Ok(text),
             other => Err(shape("Metrics", &other)),
+        }
+    }
+
+    /// Promotes a follower to leader: its log is sealed under a new
+    /// sequence epoch and it starts accepting writes. Errors with
+    /// [`ErrorCode::Rejected`] on a server that is already the leader.
+    pub fn promote(&mut self, session: u64) -> ClientResult<String> {
+        self.done(&Request::Promote { session })
+    }
+
+    /// The server's replication role and position. Sessionless and
+    /// admission-exempt, like [`Client::metrics`].
+    pub fn repl_status(&mut self) -> ClientResult<ReplicaStatus> {
+        match self.expect(&Request::ReplStatus)? {
+            Response::ReplInfo {
+                is_leader,
+                leader,
+                applied_seq,
+                leader_seq,
+                epoch,
+                connected,
+            } => Ok(ReplicaStatus {
+                is_leader,
+                leader,
+                applied_seq,
+                leader_seq,
+                epoch,
+                connected,
+            }),
+            other => Err(shape("ReplInfo", &other)),
         }
     }
 }

@@ -22,7 +22,8 @@ pub mod server;
 pub mod session;
 
 pub use client::{
-    AskReply, Client, ClientError, ClientResult, ServerError, SessionStats, DEFAULT_READ_TIMEOUT,
+    AskReply, Client, ClientError, ClientResult, ReplicaStatus, ServerError, SessionStats,
+    DEFAULT_READ_TIMEOUT,
 };
 pub use proto::{ErrorCode, Request, Response, WireDecision, WireDiagnostic, WireDischarge};
 pub use server::{Config, JoinError, Server, SlowQuery};
@@ -100,9 +101,13 @@ mod tests {
 
     #[test]
     fn unknown_and_expired_sessions_are_typed_errors() {
+        // poll_interval deliberately exceeds the sleep below: the
+        // connection-idle sweep must not reap the session before the
+        // request touches it, or we'd see UnknownSession instead of
+        // the SessionExpired this test is about.
         let (srv, addr) = start(Config {
             idle_timeout: Duration::from_millis(30),
-            poll_interval: Duration::from_millis(20),
+            poll_interval: Duration::from_millis(500),
             ..Config::default()
         });
         let mut c = Client::connect(addr).unwrap();

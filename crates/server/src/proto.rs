@@ -58,6 +58,21 @@
 //! | 22 | `Metrics`            | —                                          |
 //! | 23 | `Checkpoint`         | `session:u64`                              |
 //! | 24 | `Lint`               | `session:u64 src:str`                      |
+//! | 25 | `Replicate`          | `applied_seq:u64 epoch:u64`                |
+//! | 26 | `Promote`            | `session:u64`                              |
+//! | 27 | `ReplStatus`         | —                                          |
+//!
+//! `Replicate` is the subscription handshake of the replication
+//! subsystem: a follower (or any tailer) announces the last op
+//! sequence it has applied and its sequence epoch. The leader answers
+//! either with an `Error` (e.g. [`ErrorCode::Fenced`] when the
+//! subscriber's epoch is newer than the leader's own) or by taking the
+//! connection over as a *push stream* of `replication::ReplMsg`
+//! frames — snapshot transfer if the subscriber is behind the
+//! checkpoint horizon, then the WAL tail, then live group commits.
+//! Those stream frames use opcodes at or above
+//! `replication::msg::MSG_BASE` (100) so they can never be confused
+//! with the `Response` opcodes below.
 //!
 //! The `Execute` decision request is encoded as:
 //!
@@ -82,6 +97,17 @@
 //! |  7 | `Error`       | `code:u32 message:str`                           |
 //! |  8 | `Metrics`     | `text:str` (Prometheus text exposition)          |
 //! |  9 | `Diagnostics` | `n:u32` + diagnostic* (below)                    |
+//! | 10 | `Redirect`    | `leader:str`                                     |
+//! | 11 | `Stale`       | `applied_seq:u64 lag:u64 inner:bytes`            |
+//! | 12 | `ReplInfo`    | `is_leader:u32 leader:str applied_seq:u64 leader_seq:u64 epoch:u64 connected:u32` |
+//!
+//! `Redirect` answers writes sent to a read replica: the payload
+//! names the leader's address so the client can fail fast and retry
+//! there. `Stale` wraps every *read* served by a follower: it carries
+//! the follower's applied sequence, its lag behind the leader in ops,
+//! and the ordinary encoded response as a nested payload — bounded
+//! staleness is surfaced on every reply rather than discovered by
+//! side-channel.
 //!
 //! Each `Diagnostics` entry is encoded as:
 //!
@@ -363,6 +389,27 @@ pub enum Request {
         /// Source text to analyze (CML frames or a datalog program).
         src: String,
     },
+    /// Subscribe to the leader's committed record stream. Sessionless;
+    /// on success the connection becomes a push stream of
+    /// `replication::ReplMsg` frames and never carries requests again.
+    Replicate {
+        /// Last op sequence the subscriber has applied (0 = nothing).
+        applied_seq: u64,
+        /// The subscriber's sequence epoch; the leader fences
+        /// subscribers from a *newer* epoch (they outrank it).
+        epoch: u64,
+    },
+    /// Seal the follower's log and make it writable: bumps the
+    /// sequence epoch, journals a durable seal record, and stops the
+    /// apply loop. Records framed with the old epoch are refused from
+    /// here on. Rejected on a server that is already the leader.
+    Promote {
+        /// Issuing session.
+        session: u64,
+    },
+    /// Inspect the server's replication role and positions.
+    /// Sessionless and admission-exempt, like `Metrics`.
+    ReplStatus,
 }
 
 /// Typed error codes carried by [`Response::Error`].
@@ -387,6 +434,12 @@ pub enum ErrorCode {
     /// message carries the rendered diagnostics and nothing was
     /// admitted.
     LintRejected = 8,
+    /// A follower refused a read because its lag behind the leader
+    /// exceeded the configured bound.
+    StaleRead = 9,
+    /// Sequence-epoch fencing: the peer's epoch outranks this
+    /// server's, so the request (or subscription) must be refused.
+    Fenced = 10,
 }
 
 impl ErrorCode {
@@ -400,6 +453,8 @@ impl ErrorCode {
             6 => ErrorCode::ShuttingDown,
             7 => ErrorCode::Internal,
             8 => ErrorCode::LintRejected,
+            9 => ErrorCode::StaleRead,
+            10 => ErrorCode::Fenced,
             _ => return None,
         })
     }
@@ -416,6 +471,8 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::ShuttingDown => "shutting down",
             ErrorCode::Internal => "internal error",
             ErrorCode::LintRejected => "rejected by lint",
+            ErrorCode::StaleRead => "stale read",
+            ErrorCode::Fenced => "fenced",
         };
         f.write_str(s)
     }
@@ -490,6 +547,37 @@ pub enum Response {
         /// The diagnostics, errors first.
         diags: Vec<WireDiagnostic>,
     },
+    /// A write reached a read replica; retry against the leader.
+    Redirect {
+        /// The leader's address, as configured on the follower.
+        leader: String,
+    },
+    /// A read served by a follower, wrapped with its staleness. The
+    /// inner payload is an ordinary encoded [`Response`].
+    Stale {
+        /// The follower's applied op sequence at answer time.
+        applied_seq: u64,
+        /// How many committed leader ops the follower still lacks.
+        lag: u64,
+        /// The encoded inner response.
+        inner: Vec<u8>,
+    },
+    /// The server's replication role and stream positions.
+    ReplInfo {
+        /// True on the leader (or a promoted follower).
+        is_leader: bool,
+        /// The leader address a follower ships from (empty on the
+        /// leader itself).
+        leader: String,
+        /// Ops applied locally.
+        applied_seq: u64,
+        /// The leader's committed sequence as last observed.
+        leader_seq: u64,
+        /// The server's sequence epoch.
+        epoch: u64,
+        /// True while a follower's subscription is live.
+        connected: bool,
+    },
 }
 
 const REQ_HELLO: u32 = 1;
@@ -516,6 +604,9 @@ const REQ_STATUS: u32 = 21;
 const REQ_METRICS: u32 = 22;
 const REQ_CHECKPOINT: u32 = 23;
 const REQ_LINT: u32 = 24;
+const REQ_REPLICATE: u32 = 25;
+const REQ_PROMOTE: u32 = 26;
+const REQ_REPL_STATUS: u32 = 27;
 
 const RESP_WELCOME: u32 = 1;
 const RESP_DONE: u32 = 2;
@@ -526,6 +617,9 @@ const RESP_SESSION_INFO: u32 = 6;
 const RESP_ERROR: u32 = 7;
 const RESP_METRICS: u32 = 8;
 const RESP_DIAGNOSTICS: u32 = 9;
+const RESP_REDIRECT: u32 = 10;
+const RESP_STALE: u32 = 11;
+const RESP_REPL_INFO: u32 = 12;
 
 /// Decode failure: the payload did not parse as a valid message.
 #[derive(Debug)]
@@ -795,6 +889,16 @@ impl Request {
                 codec::put_u64(&mut out, *session);
                 codec::put_str(&mut out, src);
             }
+            Request::Replicate { applied_seq, epoch } => {
+                codec::put_u32(&mut out, REQ_REPLICATE);
+                codec::put_u64(&mut out, *applied_seq);
+                codec::put_u64(&mut out, *epoch);
+            }
+            Request::Promote { session } => {
+                codec::put_u32(&mut out, REQ_PROMOTE);
+                codec::put_u64(&mut out, *session);
+            }
+            Request::ReplStatus => codec::put_u32(&mut out, REQ_REPL_STATUS),
         }
         out
     }
@@ -888,6 +992,14 @@ impl Request {
                 session: c.get_u64()?,
                 src: c.get_str()?.to_string(),
             },
+            REQ_REPLICATE => Request::Replicate {
+                applied_seq: c.get_u64()?,
+                epoch: c.get_u64()?,
+            },
+            REQ_PROMOTE => Request::Promote {
+                session: c.get_u64()?,
+            },
+            REQ_REPL_STATUS => Request::ReplStatus,
             op => return Err(DecodeError(format!("unknown request opcode {op}"))),
         };
         if !c.is_exhausted() {
@@ -896,10 +1008,28 @@ impl Request {
         Ok(req)
     }
 
+    /// Cheap peek used by the connection handler: decodes the payload
+    /// only if it is a `Replicate` subscription, whose `(applied_seq,
+    /// epoch)` it returns. A subscription takes the connection over as
+    /// a push stream, so it is routed before ordinary dispatch.
+    pub fn decode_replicate(payload: &[u8]) -> Option<(u64, u64)> {
+        let mut c = codec::Cursor::new(payload);
+        if c.get_u32().ok()? != REQ_REPLICATE {
+            return None;
+        }
+        let applied_seq = c.get_u64().ok()?;
+        let epoch = c.get_u64().ok()?;
+        c.is_exhausted().then_some((applied_seq, epoch))
+    }
+
     /// The session id this request claims, if any.
     pub fn session(&self) -> Option<u64> {
         match self {
-            Request::Hello | Request::Ping | Request::Metrics => None,
+            Request::Hello
+            | Request::Ping
+            | Request::Metrics
+            | Request::Replicate { .. }
+            | Request::ReplStatus => None,
             Request::Bye { session }
             | Request::Refresh { session }
             | Request::Tell { session, .. }
@@ -920,7 +1050,8 @@ impl Request {
             | Request::RegisterObject { session, .. }
             | Request::Status { session }
             | Request::Checkpoint { session }
-            | Request::Lint { session, .. } => Some(*session),
+            | Request::Lint { session, .. }
+            | Request::Promote { session } => Some(*session),
         }
     }
 
@@ -934,6 +1065,9 @@ impl Request {
                 | Request::Ping
                 | Request::Shutdown { .. }
                 | Request::Metrics
+                | Request::Replicate { .. }
+                | Request::Promote { .. }
+                | Request::ReplStatus
         )
     }
 
@@ -965,6 +1099,9 @@ impl Request {
             Request::Metrics => "metrics",
             Request::Checkpoint { .. } => "checkpoint",
             Request::Lint { .. } => "lint",
+            Request::Replicate { .. } => "replicate",
+            Request::Promote { .. } => "promote",
+            Request::ReplStatus => "repl_status",
         }
     }
 }
@@ -1038,6 +1175,36 @@ impl Response {
                     encode_diagnostic(&mut out, d);
                 }
             }
+            Response::Redirect { leader } => {
+                codec::put_u32(&mut out, RESP_REDIRECT);
+                codec::put_str(&mut out, leader);
+            }
+            Response::Stale {
+                applied_seq,
+                lag,
+                inner,
+            } => {
+                codec::put_u32(&mut out, RESP_STALE);
+                codec::put_u64(&mut out, *applied_seq);
+                codec::put_u64(&mut out, *lag);
+                codec::put_bytes(&mut out, inner);
+            }
+            Response::ReplInfo {
+                is_leader,
+                leader,
+                applied_seq,
+                leader_seq,
+                epoch,
+                connected,
+            } => {
+                codec::put_u32(&mut out, RESP_REPL_INFO);
+                codec::put_u32(&mut out, u32::from(*is_leader));
+                codec::put_str(&mut out, leader);
+                codec::put_u64(&mut out, *applied_seq);
+                codec::put_u64(&mut out, *leader_seq);
+                codec::put_u64(&mut out, *epoch);
+                codec::put_u32(&mut out, u32::from(*connected));
+            }
         }
         out
     }
@@ -1103,6 +1270,22 @@ impl Response {
                 }
                 Response::Diagnostics { diags }
             }
+            RESP_REDIRECT => Response::Redirect {
+                leader: c.get_str()?.to_string(),
+            },
+            RESP_STALE => Response::Stale {
+                applied_seq: c.get_u64()?,
+                lag: c.get_u64()?,
+                inner: c.get_bytes()?.to_vec(),
+            },
+            RESP_REPL_INFO => Response::ReplInfo {
+                is_leader: c.get_u32()? != 0,
+                leader: c.get_str()?.to_string(),
+                applied_seq: c.get_u64()?,
+                leader_seq: c.get_u64()?,
+                epoch: c.get_u64()?,
+                connected: c.get_u32()? != 0,
+            },
             op => return Err(DecodeError(format!("unknown response opcode {op}"))),
         };
         if !c.is_exhausted() {
@@ -1296,6 +1479,12 @@ mod tests {
             session: 6,
             src: "win(X) :- move(X, Y), not win(Y).".into(),
         });
+        roundtrip_req(Request::Replicate {
+            applied_seq: 42,
+            epoch: 2,
+        });
+        roundtrip_req(Request::Promote { session: 6 });
+        roundtrip_req(Request::ReplStatus);
     }
 
     #[test]
@@ -1374,6 +1563,30 @@ mod tests {
             message: "error[CB001] rule `r`: unsafe".into(),
         });
         roundtrip_resp(Response::Diagnostics { diags: vec![] });
+        roundtrip_resp(Response::Redirect {
+            leader: "127.0.0.1:4714".into(),
+        });
+        roundtrip_resp(Response::Stale {
+            applied_seq: 17,
+            lag: 3,
+            inner: Response::Truth { value: true }.encode(),
+        });
+        roundtrip_resp(Response::ReplInfo {
+            is_leader: false,
+            leader: "127.0.0.1:4714".into(),
+            applied_seq: 17,
+            leader_seq: 20,
+            epoch: 1,
+            connected: true,
+        });
+        roundtrip_resp(Response::Error {
+            code: ErrorCode::StaleRead,
+            message: "lag 12 exceeds bound 8".into(),
+        });
+        roundtrip_resp(Response::Error {
+            code: ErrorCode::Fenced,
+            message: "subscriber epoch 2 outranks leader epoch 1".into(),
+        });
         roundtrip_resp(Response::Diagnostics {
             diags: vec![
                 WireDiagnostic {
@@ -1456,6 +1669,13 @@ mod tests {
         assert!(Request::Bye { session: 1 }.is_control());
         assert!(Request::Shutdown { session: 1 }.is_control());
         assert!(Request::Metrics.is_control());
+        assert!(Request::Replicate {
+            applied_seq: 0,
+            epoch: 1
+        }
+        .is_control());
+        assert!(Request::Promote { session: 1 }.is_control());
+        assert!(Request::ReplStatus.is_control());
         assert!(!Request::Tell {
             session: 1,
             src: String::new()

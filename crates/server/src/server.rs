@@ -57,15 +57,17 @@ use crate::session::{SessionErr, SessionTable};
 use gkbms::mvcc::{Version, VersionChain};
 use gkbms::{DecisionRequest, Discharge, FsyncPolicy, Gkbms, GkbmsError};
 use objectbase::transform::frame_of;
+use replication::{CommitSignal, ReplError, ReplMsg, StreamApplier, TailStep, WalTail};
 use std::collections::VecDeque;
 use std::fs::File;
-use std::io;
+use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock, RwLockWriteGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use storage::record::HEADER_LEN;
+use storage::record::{self, ReadOutcome, HEADER_LEN};
 use telos::KbVersion;
 
 /// Server tuning knobs.
@@ -98,6 +100,15 @@ pub struct Config {
     /// When true, TELLs carrying lint *warnings* are rejected like
     /// errors (errors always reject the batch at admission time).
     pub strict_lint: bool,
+    /// Follower mode: subscribe to the leader at this address and
+    /// apply its committed record stream. Writes are answered with
+    /// [`Response::Redirect`] naming this address; reads are served at
+    /// the applied watermark, wrapped in [`Response::Stale`].
+    pub follow: Option<String>,
+    /// Follower reads whose lag behind the leader exceeds this many
+    /// ops are refused with [`ErrorCode::StaleRead`]. `None` serves
+    /// reads at any staleness (still surfaced via the `Stale` wrapper).
+    pub max_lag: Option<u64>,
 }
 
 impl Default for Config {
@@ -111,6 +122,8 @@ impl Default for Config {
             fsync: FsyncPolicy::Group(Duration::ZERO),
             checkpoint_every: None,
             strict_lint: false,
+            follow: None,
+            max_lag: None,
         }
     }
 }
@@ -257,6 +270,44 @@ const SLOW_LOG_CAP: usize = 64;
 /// The pin a session holds on a store version.
 type SessionPin = gkbms::mvcc::Pin<KbVersion>;
 
+/// Replication bookkeeping, present on every server (leaders ship,
+/// followers apply, and a promoted follower switches roles in place).
+struct ReplState {
+    /// True while this server applies a leader's stream instead of
+    /// accepting writes. Cleared by `Promote`.
+    follower: AtomicBool,
+    /// The leader address a follower redirects writes to (empty on a
+    /// born leader).
+    leader_addr: String,
+    /// Follower read-staleness bound, in ops ([`Config::max_lag`]).
+    max_lag: Option<u64>,
+    /// Ops applied locally, mirrored out of the state lock so reads
+    /// can stamp staleness without taking it.
+    applied_seq: AtomicU64,
+    /// The leader's committed sequence as last observed by the
+    /// follower's apply loop (0 until the first message arrives).
+    leader_seq: AtomicU64,
+    /// The server's sequence epoch, mirrored for lock-free fencing.
+    epoch: AtomicU64,
+    /// True while a follower's subscription to the leader is live.
+    connected: AtomicBool,
+    /// Test hook: the apply loop keeps observing `leader_seq` but
+    /// defers applying batches while this is set, so stale-read
+    /// enforcement can be exercised deterministically.
+    apply_paused: AtomicBool,
+    /// The durable `(seq, epoch)` watermark ship loops block on. Only
+    /// records at or below it are ever shipped to subscribers.
+    commit: CommitSignal,
+}
+
+impl ReplState {
+    fn lag(&self) -> u64 {
+        self.leader_seq
+            .load(Ordering::SeqCst)
+            .saturating_sub(self.applied_seq.load(Ordering::SeqCst))
+    }
+}
+
 struct Shared {
     state: RwLock<Gkbms>,
     /// Immutable store versions, one published per acknowledged
@@ -269,6 +320,7 @@ struct Shared {
     slow_log: Mutex<VecDeque<SlowQuery>>,
     /// Present iff the state has a journal attached at bind time.
     gc: Option<GroupCommit>,
+    repl: ReplState,
     cfg: Config,
     addr: SocketAddr,
 }
@@ -287,6 +339,8 @@ impl Drop for AdmissionGuard<'_> {
 pub struct Server {
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
+    /// The follower apply thread, present in follower mode.
+    follower: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -311,6 +365,20 @@ impl Server {
             None => None,
         };
         let chain = VersionChain::new(state.kb().version());
+        let (applied, epoch) = (state.applied_seq(), state.epoch());
+        let repl = ReplState {
+            follower: AtomicBool::new(cfg.follow.is_some()),
+            leader_addr: cfg.follow.clone().unwrap_or_default(),
+            max_lag: cfg.max_lag,
+            applied_seq: AtomicU64::new(applied),
+            leader_seq: AtomicU64::new(0),
+            epoch: AtomicU64::new(epoch),
+            connected: AtomicBool::new(false),
+            apply_paused: AtomicBool::new(false),
+            // Everything recovered (and just fsynced, above) is
+            // committed; group commit advances it from here.
+            commit: CommitSignal::new(applied, epoch),
+        };
         let shared = Arc::new(Shared {
             state: RwLock::new(state),
             chain,
@@ -319,9 +387,21 @@ impl Server {
             shutdown: AtomicBool::new(false),
             slow_log: Mutex::new(VecDeque::new()),
             gc,
+            repl,
             cfg,
             addr: local,
         });
+        let follower = match shared.cfg.follow.clone() {
+            Some(leader) => {
+                let repl_shared = Arc::clone(&shared);
+                Some(
+                    std::thread::Builder::new()
+                        .name("gkbms-repl".into())
+                        .spawn(move || follower_loop(&repl_shared, &leader))?,
+                )
+            }
+            None => None,
+        };
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::Builder::new()
             .name("gkbms-accept".into())
@@ -329,6 +409,7 @@ impl Server {
         Ok(Server {
             shared,
             accept: Some(accept),
+            follower,
         })
     }
 
@@ -360,6 +441,23 @@ impl Server {
         self.shared.chain.pinned_epochs()
     }
 
+    /// True while this server is a follower (applies a leader's
+    /// stream, redirects writes). Flips to false on `Promote`.
+    pub fn is_follower(&self) -> bool {
+        self.shared.repl.follower.load(Ordering::SeqCst)
+    }
+
+    /// Test hook: pause or resume the follower apply loop. While
+    /// paused the loop keeps observing the leader's committed
+    /// sequence (so lag grows) but defers applying its batch, making
+    /// stale-read enforcement deterministic to exercise.
+    pub fn set_apply_paused(&self, paused: bool) {
+        self.shared
+            .repl
+            .apply_paused
+            .store(paused, Ordering::SeqCst);
+    }
+
     /// The slow-query log, oldest first (bounded; see
     /// [`Config::slow_query_threshold`]).
     pub fn slow_queries(&self) -> Vec<SlowQuery> {
@@ -377,6 +475,11 @@ impl Server {
     /// a panic — if a handler thread outlives the drain grace period.
     pub fn join(mut self) -> Result<Gkbms, JoinError> {
         if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // The follower apply thread polls the shutdown flag on every
+        // idle read and exits on its own after promotion.
+        if let Some(h) = self.follower.take() {
             let _ = h.join();
         }
         // The accept loop joins every handler before exiting, so the
@@ -470,6 +573,13 @@ fn handle_conn(mut stream: TcpStream, shared: &Shared) {
                     "Request bytes received, including frame headers"
                 )
                 .add((payload.len() + HEADER_LEN) as u64);
+                if let Some((applied_seq, epoch)) = Request::decode_replicate(&payload) {
+                    // A subscription takes the connection over: from
+                    // here it is a one-way push stream of ReplMsg
+                    // frames, never a request/response socket again.
+                    serve_replication(&mut stream, shared, applied_seq, epoch);
+                    break;
+                }
                 let (resp, shutdown_after) = process(shared, &payload);
                 let encoded = resp.encode();
                 obs::counter!(
@@ -629,7 +739,76 @@ fn control(shared: &Shared, req: Request, draining: bool) -> (Response, bool) {
                 true,
             )
         }
+        Request::Promote { session } => {
+            if let Err(e) = lock_sessions(shared).touch(session) {
+                return (session_err(e, session), false);
+            }
+            (promote(shared), false)
+        }
+        Request::ReplStatus => {
+            let follower = shared.repl.follower.load(Ordering::SeqCst);
+            let (applied_seq, epoch) = {
+                let g = read_state(shared);
+                (g.applied_seq(), g.epoch())
+            };
+            let leader_seq = if follower {
+                shared.repl.leader_seq.load(Ordering::SeqCst)
+            } else {
+                applied_seq
+            };
+            (
+                Response::ReplInfo {
+                    is_leader: !follower,
+                    leader: shared.repl.leader_addr.clone(),
+                    applied_seq,
+                    leader_seq,
+                    epoch,
+                    connected: shared.repl.connected.load(Ordering::SeqCst),
+                },
+                false,
+            )
+        }
+        // Subscriptions are intercepted in the connection handler; one
+        // arriving here was smuggled in a place it cannot take the
+        // connection over (it never should be).
+        Request::Replicate { .. } => (
+            err(ErrorCode::BadRequest, "replication subscription rejected"),
+            false,
+        ),
         _ => unreachable!("is_control covers exactly these variants"),
+    }
+}
+
+/// Seals this follower's log and makes it writable: bump the sequence
+/// epoch, journal a durable seal record, and stop redirecting writes.
+/// The old leader's records are fenced from here on — both by this
+/// server's subscribers (frames carry the old epoch) and by its own
+/// apply admission, should the deposed leader's stream still be live.
+fn promote(shared: &Shared) -> Response {
+    if !shared.repl.follower.load(Ordering::SeqCst) {
+        return err(ErrorCode::Rejected, "already the leader");
+    }
+    // Flip the role first so the apply loop stops taking batches, then
+    // serialize behind any in-flight batch via the write lock.
+    shared.repl.follower.store(false, Ordering::SeqCst);
+    let mut g = write_state(shared);
+    match g.promote() {
+        Ok(epoch) => {
+            let applied = g.applied_seq();
+            drop(g);
+            shared.repl.epoch.store(epoch, Ordering::SeqCst);
+            shared.repl.applied_seq.store(applied, Ordering::SeqCst);
+            // Wake this server's own subscribers into the new epoch.
+            shared.repl.commit.advance(applied, epoch);
+            Response::Done {
+                text: format!("promoted: sequence epoch {epoch}, applied op {applied}"),
+            }
+        }
+        Err(e) => {
+            // Roll the role back: the seal is not durable.
+            shared.repl.follower.store(true, Ordering::SeqCst);
+            err(ErrorCode::Internal, format!("promote: {e}"))
+        }
     }
 }
 
@@ -680,6 +859,11 @@ fn durable_commit(
         }
         return Ok(());
     }
+    // The position replication may ship once this commit is durable.
+    let commit_pos = (
+        g.journal().expect("journal checked").appended_ops(),
+        g.epoch(),
+    );
     let mut pending = None;
     match shared.cfg.fsync {
         FsyncPolicy::Always => {
@@ -722,6 +906,15 @@ fn durable_commit(
             return Err(err(ErrorCode::Internal, format!("group-commit fsync: {e}")));
         }
     }
+    // Commit point for replication: under `Always`/`Group` the fsync
+    // (or covering checkpoint) has happened; under `Never` the ack
+    // itself is the commit, and replicas inherit exactly the leader's
+    // (weak) durability contract. Ship loops wake here.
+    shared
+        .repl
+        .applied_seq
+        .store(commit_pos.0, Ordering::SeqCst);
+    shared.repl.commit.advance(commit_pos.0, commit_pos.1);
     Ok(())
 }
 
@@ -790,7 +983,61 @@ fn names(list: Vec<String>) -> Response {
     }
 }
 
+/// True for requests that mutate the knowledge base — on a follower
+/// these must go to the leader instead. `Checkpoint` is deliberately
+/// not a write here: it only compacts the local journal, which a
+/// replica may do freely.
+fn is_write(req: &Request) -> bool {
+    matches!(
+        req,
+        Request::Tell { .. }
+            | Request::Untell { .. }
+            | Request::Execute { .. }
+            | Request::RetractDecision { .. }
+            | Request::RegisterObject { .. }
+            | Request::Load { .. }
+    )
+}
+
 fn dispatch(shared: &Shared, req: Request) -> Response {
+    if shared.repl.follower.load(Ordering::SeqCst) {
+        if is_write(&req) {
+            obs::counter!(
+                "gkbms_replication_redirects_total",
+                "Writes redirected from a follower to its leader"
+            )
+            .inc();
+            return Response::Redirect {
+                leader: shared.repl.leader_addr.clone(),
+            };
+        }
+        // Bounded staleness: refuse reads that have fallen too far
+        // behind, and stamp every served one with its lag.
+        let lag = shared.repl.lag();
+        if let Some(bound) = shared.repl.max_lag {
+            if lag > bound {
+                obs::counter!(
+                    "gkbms_replication_stale_rejects_total",
+                    "Follower reads refused for exceeding the lag bound"
+                )
+                .inc();
+                return err(
+                    ErrorCode::StaleRead,
+                    format!("replica lag {lag} op(s) exceeds bound {bound}"),
+                );
+            }
+        }
+        let inner = dispatch_inner(shared, req);
+        return Response::Stale {
+            applied_seq: shared.repl.applied_seq.load(Ordering::SeqCst),
+            lag,
+            inner: inner.encode(),
+        };
+    }
+    dispatch_inner(shared, req)
+}
+
+fn dispatch_inner(shared: &Shared, req: Request) -> Response {
     match req {
         Request::Refresh { session } => {
             let pin = shared.chain.acquire();
@@ -1117,6 +1364,7 @@ fn dispatch(shared: &Shared, req: Request) -> Response {
                     if let Some(gc) = &shared.gc {
                         gc.mark_durable(report.appended_ops);
                     }
+                    shared.repl.commit.advance(report.appended_ops, g.epoch());
                     Response::Done {
                         text: format!(
                             "checkpointed: {} op(s) compacted into the snapshot",
@@ -1172,8 +1420,518 @@ fn dispatch(shared: &Shared, req: Request) -> Response {
         | Request::Bye { .. }
         | Request::Ping
         | Request::Shutdown { .. }
-        | Request::Metrics => {
+        | Request::Metrics
+        | Request::Replicate { .. }
+        | Request::Promote { .. }
+        | Request::ReplStatus => {
             unreachable!("control requests are handled before dispatch")
         }
     }
+}
+
+// ---------------------------------------------------------------- //
+//  Replication: leader-side shipping                               //
+// ---------------------------------------------------------------- //
+
+/// Payload-byte cap per shipped `Ops` batch.
+const SHIP_BATCH_BYTES: usize = 256 * 1024;
+/// Payload-byte cap per `SnapshotChunk` frame.
+const SNAPSHOT_CHUNK_BYTES: usize = 256 * 1024;
+
+/// Writes one replication stream frame, counting shipped bytes.
+fn ship(stream: &mut TcpStream, msg: &ReplMsg) -> io::Result<()> {
+    let encoded = msg.encode();
+    obs::counter!(
+        "gkbms_replication_bytes_shipped_total",
+        "Replication stream bytes shipped to subscribers, including frame headers"
+    )
+    .add((encoded.len() + HEADER_LEN) as u64);
+    proto::write_frame(stream, &encoded)
+}
+
+/// Reads every record payload of a length-prefixed CRC file (the
+/// checkpoint snapshot) into memory.
+fn read_payload_file(path: &Path) -> io::Result<Vec<Vec<u8>>> {
+    let file = File::open(path)?;
+    let mut reader = BufReader::new(file);
+    let mut offset = 0u64;
+    let mut out = Vec::new();
+    loop {
+        match record::read_record(&mut reader, offset) {
+            Ok(ReadOutcome::Record(p)) => {
+                offset += (HEADER_LEN + p.len()) as u64;
+                out.push(p);
+            }
+            Ok(ReadOutcome::Eof) | Ok(ReadOutcome::Torn { .. }) => return Ok(out),
+            Ok(ReadOutcome::BadCrc { offset }) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("snapshot corrupt at byte {offset}"),
+                ))
+            }
+            Err(e) => return Err(io::Error::other(e.to_string())),
+        }
+    }
+}
+
+/// A snapshot staged for transfer to a far-behind subscriber.
+struct ShipSnapshot {
+    covered_seq: u64,
+    payloads: Vec<Vec<u8>>,
+}
+
+/// Decides how a subscription at `sub_seq` starts: straight from the
+/// WAL tail, or snapshot-first when the subscriber is behind the
+/// checkpoint truncation horizon. Runs under the read lock —
+/// checkpoints need the write lock, so the horizon and the snapshot
+/// file cannot change underneath us.
+fn plan_stream(
+    shared: &Shared,
+    sub_seq: u64,
+) -> Result<(std::path::PathBuf, Option<ShipSnapshot>), Response> {
+    let g = read_state(shared);
+    let Some(j) = g.journal() else {
+        return Err(err(
+            ErrorCode::Rejected,
+            "replication requires a journaled leader (start with --journal)",
+        ));
+    };
+    let horizon = j.appended_ops() - j.ops_since_checkpoint();
+    let wal_path = j.wal_path();
+    if sub_seq < horizon {
+        // The WAL no longer holds the records the subscriber lacks;
+        // stage the covering snapshot (reading it into memory under
+        // the read lock keeps it consistent with `horizon`).
+        let payloads = read_payload_file(&j.snapshot_path())
+            .map_err(|e| err(ErrorCode::Internal, format!("snapshot read: {e}")))?;
+        Ok((
+            wal_path,
+            Some(ShipSnapshot {
+                covered_seq: horizon,
+                payloads,
+            }),
+        ))
+    } else {
+        Ok((wal_path, None))
+    }
+}
+
+/// Serves one replication subscription: the connection becomes a push
+/// stream of [`ReplMsg`] frames until the subscriber disconnects or
+/// the server shuts down. Handshake refusals (fencing, no journal)
+/// are written as plain [`Response`] frames, whose opcodes are
+/// disjoint from the stream's.
+fn serve_replication(stream: &mut TcpStream, shared: &Shared, sub_seq: u64, sub_epoch: u64) {
+    let (_, epoch) = shared.repl.commit.current();
+    if sub_epoch > epoch {
+        obs::counter!(
+            "gkbms_replication_fenced_total",
+            "Replication records or subscriptions refused by sequence-epoch fencing"
+        )
+        .inc();
+        let refusal = err(
+            ErrorCode::Fenced,
+            format!("subscriber epoch {sub_epoch} outranks leader epoch {epoch}"),
+        );
+        let _ = proto::write_frame(stream, &refusal.encode());
+        return;
+    }
+    let snapshot = match plan_stream(shared, sub_seq) {
+        Ok((_, snap)) => snap,
+        Err(refusal) => {
+            let _ = proto::write_frame(stream, &refusal.encode());
+            return;
+        }
+    };
+    let subscribers = obs::gauge!(
+        "gkbms_replication_subscribers",
+        "Live replication subscriptions"
+    );
+    subscribers.add(1);
+    let _ = ship_stream(stream, shared, sub_seq, snapshot);
+    subscribers.add(-1);
+}
+
+fn ship_snapshot(stream: &mut TcpStream, shared: &Shared, snap: ShipSnapshot) -> io::Result<()> {
+    obs::counter!(
+        "gkbms_replication_snapshots_shipped_total",
+        "Checkpoint snapshots streamed to far-behind subscribers"
+    )
+    .inc();
+    let (_, epoch) = shared.repl.commit.current();
+    ship(
+        stream,
+        &ReplMsg::SnapshotStart {
+            covered_seq: snap.covered_seq,
+            epoch,
+        },
+    )?;
+    let mut chunk: Vec<Vec<u8>> = Vec::new();
+    let mut bytes = 0usize;
+    for p in snap.payloads {
+        bytes += p.len();
+        chunk.push(p);
+        if bytes >= SNAPSHOT_CHUNK_BYTES {
+            ship(
+                stream,
+                &ReplMsg::SnapshotChunk {
+                    payloads: std::mem::take(&mut chunk),
+                },
+            )?;
+            bytes = 0;
+        }
+    }
+    if !chunk.is_empty() {
+        ship(stream, &ReplMsg::SnapshotChunk { payloads: chunk })?;
+    }
+    ship(stream, &ReplMsg::SnapshotEnd)
+}
+
+/// The ship loop proper: optional snapshot transfer, then the WAL
+/// tail, then live pushes as group commits complete. Returns when the
+/// subscriber disconnects (any write error) or the server drains.
+fn ship_stream(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    sub_seq: u64,
+    mut snapshot: Option<ShipSnapshot>,
+) -> io::Result<()> {
+    let (durable, epoch) = shared.repl.commit.current();
+    ship(
+        stream,
+        &ReplMsg::Hello {
+            leader_seq: durable,
+            epoch,
+        },
+    )?;
+    let mut start_seq = sub_seq + 1;
+    'stream: loop {
+        if let Some(snap) = snapshot.take() {
+            start_seq = snap.covered_seq + 1;
+            ship_snapshot(stream, shared, snap)?;
+        }
+        let wal_path = {
+            let g = read_state(shared);
+            match g.journal() {
+                Some(j) => j.wal_path(),
+                None => return Ok(()),
+            }
+        };
+        let mut tail = WalTail::new(&wal_path, start_seq);
+        loop {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            let (durable, epoch) = shared
+                .repl
+                .commit
+                .wait_beyond(tail.next_seq().saturating_sub(1), shared.cfg.poll_interval);
+            match tail.poll(durable, SHIP_BATCH_BYTES) {
+                Ok(TailStep::Records(records)) => {
+                    obs::counter!(
+                        "gkbms_replication_records_shipped_total",
+                        "Committed WAL records shipped to subscribers"
+                    )
+                    .add(records.len() as u64);
+                    ship(
+                        stream,
+                        &ReplMsg::Ops {
+                            leader_seq: durable,
+                            records,
+                        },
+                    )?;
+                }
+                Ok(TailStep::Idle) => {
+                    // Keeps the subscriber's view of the committed
+                    // position fresh and detects dead peers by the
+                    // write failing.
+                    ship(
+                        stream,
+                        &ReplMsg::Heartbeat {
+                            leader_seq: durable,
+                            epoch,
+                        },
+                    )?;
+                }
+                Ok(TailStep::Truncated) => {
+                    // A checkpoint compacted the WAL under the cursor.
+                    // Re-plan from the subscriber's position: rescan
+                    // the new file, or fall back to snapshot transfer
+                    // if the needed range was truncated away.
+                    match plan_stream(shared, tail.next_seq().saturating_sub(1)) {
+                        Ok((_, snap)) => {
+                            start_seq = tail.next_seq();
+                            snapshot = snap;
+                            continue 'stream;
+                        }
+                        Err(refusal) => {
+                            let _ = proto::write_frame(stream, &refusal.encode());
+                            return Ok(());
+                        }
+                    }
+                }
+                Err(_) => return Ok(()),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- //
+//  Replication: follower runtime                                   //
+// ---------------------------------------------------------------- //
+
+/// Follower reconnect backoff bounds.
+const FOLLOW_BACKOFF_MIN: Duration = Duration::from_millis(50);
+const FOLLOW_BACKOFF_MAX: Duration = Duration::from_secs(1);
+
+/// True once the follower runtime should stop: the server is draining
+/// or this replica was promoted to leader.
+fn follow_done(shared: &Shared) -> bool {
+    shared.shutdown.load(Ordering::SeqCst) || !shared.repl.follower.load(Ordering::SeqCst)
+}
+
+/// The follower thread: subscribe, apply, and on any disconnection
+/// resubscribe from the last applied sequence with capped exponential
+/// backoff — the leader answers from checkpoint + WAL exactly like
+/// local recovery would.
+fn follower_loop(shared: &Shared, leader: &str) {
+    let mut backoff = FOLLOW_BACKOFF_MIN;
+    loop {
+        if follow_done(shared) {
+            return;
+        }
+        let outcome = follow_once(shared, leader);
+        if shared.repl.connected.swap(false, Ordering::SeqCst) {
+            // The subscription was live; start the backoff over.
+            backoff = FOLLOW_BACKOFF_MIN;
+        }
+        match outcome {
+            Ok(()) => return,
+            Err(e) => {
+                obs::counter!(
+                    "gkbms_replication_reconnects_total",
+                    "Follower reconnect attempts after a failed or dropped subscription"
+                )
+                .inc();
+                obs::gauge!(
+                    "gkbms_replication_connected",
+                    "1 while the follower's subscription to the leader is live"
+                )
+                .set(0);
+                // Surfaced for operators; the loop itself just retries.
+                let _ = e;
+            }
+        }
+        let deadline = Instant::now() + backoff;
+        while Instant::now() < deadline {
+            if follow_done(shared) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        backoff = (backoff * 2).min(FOLLOW_BACKOFF_MAX);
+    }
+}
+
+/// One subscription: connect, hand the leader our applied position,
+/// then apply the push stream until it ends. `Ok(())` means a clean
+/// stop (shutdown or promotion); `Err` asks the outer loop to retry.
+fn follow_once(shared: &Shared, leader: &str) -> Result<(), ReplError> {
+    let mut stream = TcpStream::connect(leader)?;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.cfg.poll_interval));
+    let (applied, epoch) = {
+        let g = read_state(shared);
+        (g.applied_seq(), g.epoch())
+    };
+    proto::write_frame(
+        &mut stream,
+        &Request::Replicate {
+            applied_seq: applied,
+            epoch,
+        }
+        .encode(),
+    )?;
+    let mut applier = StreamApplier::new(applied, epoch);
+    let mut snapshot: Option<Vec<Vec<u8>>> = None;
+    loop {
+        if follow_done(shared) {
+            return Ok(());
+        }
+        let payload = match proto::read_frame(&mut stream)? {
+            FrameRead::Frame(p) => p,
+            FrameRead::Idle => continue,
+            FrameRead::Eof => {
+                return Err(ReplError::Protocol("leader closed the stream".into()));
+            }
+        };
+        if ReplMsg::peek_opcode(&payload).is_none_or(|op| op < replication::msg::MSG_BASE) {
+            // A plain Response on the stream: the handshake was
+            // refused (fencing, journal-less leader, …).
+            let resp = Response::decode(&payload)
+                .map_err(|e| ReplError::Protocol(format!("unreadable refusal: {e}")))?;
+            if let Response::Error {
+                code: ErrorCode::Fenced,
+                ..
+            } = &resp
+            {
+                obs::counter!(
+                    "gkbms_replication_fenced_total",
+                    "Replication records or subscriptions refused by sequence-epoch fencing"
+                )
+                .inc();
+            }
+            return Err(ReplError::Protocol(format!(
+                "leader refused the subscription: {resp:?}"
+            )));
+        }
+        match ReplMsg::decode(&payload)? {
+            ReplMsg::Hello { leader_seq, .. } | ReplMsg::Heartbeat { leader_seq, .. } => {
+                shared.repl.leader_seq.store(leader_seq, Ordering::SeqCst);
+                shared.repl.connected.store(true, Ordering::SeqCst);
+                obs::gauge!(
+                    "gkbms_replication_connected",
+                    "1 while the follower's subscription to the leader is live"
+                )
+                .set(1);
+                observe_lag(shared);
+            }
+            ReplMsg::SnapshotStart { .. } => snapshot = Some(Vec::new()),
+            ReplMsg::SnapshotChunk { payloads } => match &mut snapshot {
+                Some(acc) => acc.extend(payloads),
+                None => {
+                    return Err(ReplError::Protocol("snapshot chunk before start".into()));
+                }
+            },
+            ReplMsg::SnapshotEnd => {
+                let Some(payloads) = snapshot.take() else {
+                    return Err(ReplError::Protocol("snapshot end before start".into()));
+                };
+                applier = install_snapshot(shared, payloads)?;
+                observe_lag(shared);
+            }
+            ReplMsg::Ops {
+                leader_seq,
+                records,
+            } => {
+                shared.repl.leader_seq.store(leader_seq, Ordering::SeqCst);
+                // Test hook: keep observing the leader's position (so
+                // lag is visible) but defer applying the batch.
+                while shared.repl.apply_paused.load(Ordering::SeqCst) && !follow_done(shared) {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                if follow_done(shared) {
+                    return Ok(());
+                }
+                apply_batch(shared, &mut applier, &records)?;
+                observe_lag(shared);
+            }
+        }
+    }
+}
+
+/// Records the replica's position and lag in the metrics registry.
+fn observe_lag(shared: &Shared) {
+    let applied = shared.repl.applied_seq.load(Ordering::SeqCst);
+    obs::gauge!(
+        "gkbms_replication_applied_seq",
+        "Ops this replica has applied from the leader's stream"
+    )
+    .set(applied.min(i64::MAX as u64) as i64);
+    let lag = shared.repl.lag();
+    obs::gauge!(
+        "gkbms_replication_lag_ops_current",
+        "Committed leader ops this replica has not applied yet"
+    )
+    .set(lag.min(i64::MAX as u64) as i64);
+    obs::value_histogram!(
+        "gkbms_replication_lag_ops",
+        "Distribution of replica lag behind the leader's committed sequence, in ops"
+    )
+    .observe(lag);
+}
+
+/// Replaces the replica's state from a shipped checkpoint snapshot:
+/// install (journaled replicas persist it and drop their stale WAL),
+/// publish, and re-pin every session at the fresh head. Returns the
+/// applier positioned after the snapshot's covered sequence.
+fn install_snapshot(shared: &Shared, payloads: Vec<Vec<u8>>) -> Result<StreamApplier, ReplError> {
+    obs::counter!(
+        "gkbms_replication_snapshots_installed_total",
+        "Checkpoint snapshots installed by this replica during catch-up"
+    )
+    .inc();
+    let mut g = write_state(shared);
+    let dir = g.journal().map(|j| j.dir().to_path_buf());
+    let fresh = match dir {
+        Some(dir) => Gkbms::install_replica_snapshot(&dir, payloads).map(|(g, _)| g),
+        None => Gkbms::replica_from_snapshot(&payloads),
+    }
+    .map_err(|e| ReplError::Protocol(format!("snapshot install: {e}")))?;
+    *g = fresh;
+    let now = g.kb().now();
+    let applied = g.applied_seq();
+    let epoch = g.epoch();
+    shared.chain.publish(g.kb().version());
+    drop(g);
+    shared.repl.applied_seq.store(applied, Ordering::SeqCst);
+    shared.repl.epoch.store(epoch, Ordering::SeqCst);
+    shared.repl.commit.advance(applied, epoch);
+    // Old pins reference a store that no longer exists; re-pin every
+    // session at the fresh head (mirrors `Load`).
+    let pin = shared.chain.acquire();
+    lock_sessions(shared).repin_all(now, pin);
+    Ok(StreamApplier::new(applied, epoch))
+}
+
+/// Applies one shipped batch under the write lock. The whole batch is
+/// admitted first — a spliced stream (gap, regression, fenced epoch)
+/// is refused as a typed error *before* anything touches the replica,
+/// and the caller disconnects instead of applying out of order.
+fn apply_batch(
+    shared: &Shared,
+    applier: &mut StreamApplier,
+    records: &[replication::ShippedRecord],
+) -> Result<(), ReplError> {
+    if records.is_empty() {
+        return Ok(());
+    }
+    let mut probe = applier.clone();
+    for r in records {
+        if let Err(e) = probe.admit(r.seq, r.epoch) {
+            if matches!(e, ReplError::EpochFenced { .. }) {
+                obs::counter!(
+                    "gkbms_replication_fenced_total",
+                    "Replication records or subscriptions refused by sequence-epoch fencing"
+                )
+                .inc();
+            }
+            return Err(e);
+        }
+    }
+    let mut g = write_state(shared);
+    for r in records {
+        applier
+            .admit(r.seq, r.epoch)
+            .expect("batch admitted by probe");
+        g.apply_replicated(r.seq, r.epoch, &r.payload)
+            .map_err(|e| ReplError::Protocol(format!("apply op {}: {e}", r.seq)))?;
+    }
+    // Publish once per batch, still under the write guard, so session
+    // snapshots observe replicated commits in order.
+    shared.chain.publish(g.kb().version());
+    let applied = g.applied_seq();
+    let epoch = g.epoch();
+    drop(g);
+    shared.repl.applied_seq.store(applied, Ordering::SeqCst);
+    shared.repl.epoch.store(epoch, Ordering::SeqCst);
+    // Chained subscribers of this replica may now ship these records.
+    shared.repl.commit.advance(applied, epoch);
+    obs::counter!(
+        "gkbms_replication_records_applied_total",
+        "Shipped records applied into this replica"
+    )
+    .add(records.len() as u64);
+    sweep_sessions(shared);
+    Ok(())
 }

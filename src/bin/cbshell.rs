@@ -8,6 +8,8 @@
 //! cargo run --bin cbshell -- --listen 127.0.0.1:4711   # serve a KB
 //! cargo run --bin cbshell -- --listen 127.0.0.1:4711 --journal kbdir \
 //!     --fsync group:2 --checkpoint-every 1000          # durable server
+//! cargo run --bin cbshell -- --listen 127.0.0.1:4712 --journal replica \
+//!     --follow 127.0.0.1:4711 --max-lag 100            # read replica
 //! cargo run --bin cbshell -- --connect 127.0.0.1:4711  # talk to one
 //! ```
 //!
@@ -16,6 +18,13 @@
 //! acknowledged. `--fsync` picks the durability policy (`always`,
 //! `group[:<ms>]`, `none`); `--checkpoint-every <n>` compacts the WAL
 //! into a fresh snapshot after every `n` journaled ops.
+//!
+//! With `--follow <addr>` the server starts as a read replica of the
+//! leader at `<addr>`: it subscribes with its applied position, applies
+//! the shipped log, serves reads at its applied watermark, and redirects
+//! writes to the leader. `--max-lag <n>` rejects reads outright once the
+//! replica falls more than `n` ops behind. `\promote` (connected mode)
+//! turns a follower into a writable leader under a new sequence epoch.
 //!
 //! Commands (one per line; frames may span lines until `end`):
 //!
@@ -38,7 +47,9 @@
 //!
 //! Connected mode additionally understands `refresh` (re-pin the
 //! session snapshot), `history`, `status`, `save <path>`,
-//! `load <path>`, `\checkpoint` (compact the server journal), and
+//! `load <path>`, `\checkpoint` (compact the server journal),
+//! `\replstatus` (replication role and lag), `\promote` (make a
+//! follower the writable leader), and
 //! `shutdown`; reads are snapshot-isolated at the session watermark,
 //! and the shell refreshes automatically after its own successful
 //! writes so they stay visible.
@@ -220,7 +231,7 @@ fn dispatch_remote(client: &mut Client, session: u64, line: &str) -> Option<Stri
             return None;
         }
         "help" => "commands: tell untell ask holds show refresh history status \\stats \
-                   \\metrics \\lint \\checkpoint save load shutdown quit"
+                   \\metrics \\lint \\checkpoint \\replstatus \\promote save load shutdown quit"
             .to_string(),
         "tell" => {
             let r = client.tell(session, &format!("TELL {rest}"));
@@ -267,6 +278,26 @@ fn dispatch_remote(client: &mut Client, session: u64, line: &str) -> Option<Stri
             ),
         },
         "\\metrics" => text(client.metrics()),
+        "\\promote" | "promote" => text(client.promote(session)),
+        "\\replstatus" | "replstatus" => match client.repl_status() {
+            Err(e) => format!("error: {e}"),
+            Ok(s) if s.is_leader => {
+                format!("leader: epoch {}, {} op(s) applied", s.epoch, s.applied_seq)
+            }
+            Ok(s) => format!(
+                "replica of {} ({}): epoch {}, applied {} of {} ({} behind)",
+                s.leader,
+                if s.connected {
+                    "connected"
+                } else {
+                    "disconnected"
+                },
+                s.epoch,
+                s.applied_seq,
+                s.leader_seq,
+                s.lag()
+            ),
+        },
         "\\lint" => {
             if rest.is_empty() {
                 "usage: \\lint <file>".to_string()
@@ -350,12 +381,15 @@ struct ListenOpts {
     fsync: conceptbase::gkbms::FsyncPolicy,
     checkpoint_every: Option<u64>,
     strict_lint: bool,
+    follow: Option<String>,
+    max_lag: Option<u64>,
 }
 
 impl ListenOpts {
     /// Parses everything after `--listen`: an optional bare address
     /// followed by `--journal <dir>`, `--fsync <policy>`,
-    /// `--checkpoint-every <n>` and `--strict-lint` in any order.
+    /// `--checkpoint-every <n>`, `--strict-lint`, `--follow <addr>`
+    /// and `--max-lag <n>` in any order.
     fn parse(args: &[String]) -> Result<ListenOpts, String> {
         let mut opts = ListenOpts {
             addr: "127.0.0.1:4711".to_string(),
@@ -363,6 +397,8 @@ impl ListenOpts {
             fsync: Config::default().fsync,
             checkpoint_every: None,
             strict_lint: false,
+            follow: None,
+            max_lag: None,
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -386,6 +422,11 @@ impl ListenOpts {
                     );
                 }
                 "--strict-lint" => opts.strict_lint = true,
+                "--follow" => opts.follow = Some(value("--follow")?),
+                "--max-lag" => {
+                    let v = value("--max-lag")?;
+                    opts.max_lag = Some(v.parse().map_err(|_| format!("bad --max-lag `{v}`"))?);
+                }
                 other if other.starts_with("--") => {
                     return Err(format!("unknown --listen flag `{other}`"));
                 }
@@ -424,9 +465,14 @@ fn listen(opts: &ListenOpts) -> Result<(), Box<dyn std::error::Error>> {
         fsync: opts.fsync,
         checkpoint_every: opts.checkpoint_every,
         strict_lint: opts.strict_lint,
+        follow: opts.follow.clone(),
+        max_lag: opts.max_lag,
         ..Config::default()
     };
     let server = Server::bind(opts.addr.as_str(), state, cfg)?;
+    if let Some(leader) = &opts.follow {
+        println!("gkbms: replica of {leader}");
+    }
     println!("gkbms: listening on {}", server.local_addr());
     server.join()?;
     println!("gkbms: stopped");
@@ -649,12 +695,18 @@ mod tests {
             "group:5",
             "--checkpoint-every",
             "1000",
+            "--follow",
+            "127.0.0.1:4711",
+            "--max-lag",
+            "64",
         ]
         .iter()
         .map(|s| s.to_string())
         .collect();
         let opts = ListenOpts::parse(&args).unwrap();
         assert_eq!(opts.addr, "127.0.0.1:9999");
+        assert_eq!(opts.follow.as_deref(), Some("127.0.0.1:4711"));
+        assert_eq!(opts.max_lag, Some(64));
         assert_eq!(
             opts.journal.as_deref(),
             Some(std::path::Path::new("/tmp/kbdir"))
@@ -668,6 +720,10 @@ mod tests {
         assert!(ListenOpts::parse(&["--fsync".to_string(), "bogus".to_string()]).is_err());
         assert!(ListenOpts::parse(&["--journal".to_string()]).is_err());
         assert!(ListenOpts::parse(&["--frob".to_string()]).is_err());
+        assert!(ListenOpts::parse(&["--follow".to_string()]).is_err());
+        assert!(ListenOpts::parse(&["--max-lag".to_string(), "lots".to_string()]).is_err());
+        assert!(ListenOpts::parse(&[]).unwrap().follow.is_none());
+        assert!(ListenOpts::parse(&[]).unwrap().max_lag.is_none());
 
         assert!(!ListenOpts::parse(&[]).unwrap().strict_lint);
         assert!(

@@ -1,0 +1,411 @@
+//! Integration: WAL shipping — read replicas, catch-up, and
+//! promote-on-failure.
+//!
+//! The replication contract under test:
+//!
+//! * **convergence** — followers replay the leader's committed WAL
+//!   prefix and end up byte-identical (same WAL file) and
+//!   answer-identical to a serial replay of the same TELLs;
+//! * **catch-up** — a follower that disconnects (or starts far behind
+//!   the checkpoint truncation horizon) resubscribes from its applied
+//!   position and converges, via the WAL tail or a shipped snapshot;
+//! * **redirect** — writes against a follower fail fast with the
+//!   leader's address, as a typed client error;
+//! * **fencing** — after promotion the old sequence epoch is dead: a
+//!   store that lived under the new epoch refuses the old leader;
+//! * **bounded staleness** — replica reads carry the applied position,
+//!   and a configured lag bound rejects reads on a lagging replica.
+
+use conceptbase::gkbms::journal::WAL_FILE;
+use conceptbase::gkbms::Gkbms;
+use conceptbase::server::{Client, ClientError, Config, ErrorCode, Server};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("cb-repl-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+fn quick() -> Config {
+    Config {
+        poll_interval: Duration::from_millis(20),
+        ..Config::default()
+    }
+}
+
+/// Starts a journaled leader recovering from `dir`.
+fn leader(dir: &Path) -> (Server, SocketAddr) {
+    let (g, _) = Gkbms::recover(dir).expect("recover leader");
+    let srv = Server::bind("127.0.0.1:0", g, quick()).expect("bind leader");
+    let addr = srv.local_addr();
+    (srv, addr)
+}
+
+/// Starts a journaled follower recovering from `dir`, shipping from
+/// `leader`.
+fn follower(dir: &Path, leader: SocketAddr, max_lag: Option<u64>) -> (Server, SocketAddr) {
+    let (g, _) = Gkbms::recover(dir).expect("recover follower");
+    let cfg = Config {
+        follow: Some(leader.to_string()),
+        max_lag,
+        ..quick()
+    };
+    let srv = Server::bind("127.0.0.1:0", g, cfg).expect("bind follower");
+    let addr = srv.local_addr();
+    (srv, addr)
+}
+
+/// Polls `cond` until it holds or a generous deadline passes.
+fn wait_for(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(15);
+    while Instant::now() < deadline {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("timed out waiting for {what}");
+}
+
+/// Blocks until the server at `addr` reports `applied_seq >= want`.
+fn wait_applied(addr: SocketAddr, want: u64) {
+    let mut c = Client::connect(addr).unwrap();
+    wait_for(&format!("applied_seq >= {want} at {addr}"), || {
+        c.repl_status()
+            .map(|s| s.applied_seq >= want)
+            .unwrap_or(false)
+    });
+}
+
+fn ask_all(c: &mut Client, session: u64) -> Vec<String> {
+    let mut names = c.ask(session, "p", "Paper", "true").unwrap().answers;
+    names.sort();
+    names
+}
+
+/// Two followers converge under concurrent TELL churn: both end up
+/// answering exactly like a serial replay of the same TELLs, and their
+/// WAL files are byte-identical to the leader's.
+#[test]
+fn two_followers_converge_byte_identical_under_churn() {
+    const THREADS: usize = 3;
+    const PER_THREAD: usize = 8;
+    let ldir = tmp_dir("churn-l");
+    let f1dir = tmp_dir("churn-f1");
+    let f2dir = tmp_dir("churn-f2");
+    let (lsrv, laddr) = leader(&ldir);
+    let (f1srv, f1addr) = follower(&f1dir, laddr, None);
+    let (f2srv, f2addr) = follower(&f2dir, laddr, None);
+
+    {
+        let mut c = Client::connect(laddr).unwrap();
+        let (s, _) = c.hello().unwrap();
+        c.tell(s, "TELL Paper end").unwrap();
+        c.bye(s).unwrap();
+    }
+    let writers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(laddr).unwrap();
+                let (s, _) = c.hello().unwrap();
+                for i in 0..PER_THREAD {
+                    c.tell(s, &format!("TELL p_{t}_{i} in Paper end")).unwrap();
+                }
+                c.bye(s).unwrap();
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().expect("writer thread");
+    }
+
+    let committed = {
+        let mut c = Client::connect(laddr).unwrap();
+        let s = c.repl_status().unwrap();
+        assert!(s.is_leader);
+        s.applied_seq
+    };
+    assert_eq!(committed, (THREADS * PER_THREAD + 1) as u64);
+    wait_applied(f1addr, committed);
+    wait_applied(f2addr, committed);
+
+    // Differential check: each follower answers like a serial replay.
+    let mut serial = Gkbms::new().unwrap();
+    let tell = |g: &mut Gkbms, src: &str| {
+        g.begin_write();
+        let frames = conceptbase::objectbase::ObjectFrame::parse_all(src).unwrap();
+        conceptbase::objectbase::transform::tell_all(g.kb_mut(), &frames).unwrap();
+    };
+    tell(&mut serial, "TELL Paper end");
+    for t in 0..THREADS {
+        for i in 0..PER_THREAD {
+            tell(&mut serial, &format!("TELL p_{t}_{i} in Paper end"));
+        }
+    }
+    let mut expected =
+        conceptbase::objectbase::query::ask(serial.kb(), "p", "Paper", "true").unwrap();
+    expected.sort();
+    for addr in [f1addr, f2addr] {
+        let mut c = Client::connect(addr).unwrap();
+        let (s, _) = c.hello().unwrap();
+        assert_eq!(ask_all(&mut c, s), expected, "replica at {addr} diverged");
+        // Replica reads carry the staleness header.
+        assert_eq!(c.last_staleness(), Some((committed, 0)));
+        c.bye(s).unwrap();
+    }
+
+    f1srv.shutdown().unwrap();
+    f2srv.shutdown().unwrap();
+    lsrv.shutdown().unwrap();
+    let lwal = std::fs::read(ldir.join(WAL_FILE)).unwrap();
+    assert!(!lwal.is_empty());
+    for (name, dir) in [("f1", &f1dir), ("f2", &f2dir)] {
+        let fwal = std::fs::read(dir.join(WAL_FILE)).unwrap();
+        assert_eq!(lwal, fwal, "{name} WAL is not byte-identical");
+    }
+    for d in [ldir, f1dir, f2dir] {
+        std::fs::remove_dir_all(d).unwrap();
+    }
+}
+
+/// A follower that dies resubscribes from its applied position on
+/// restart and converges on everything it missed.
+#[test]
+fn killed_follower_catches_up_on_restart() {
+    let ldir = tmp_dir("kill-l");
+    let fdir = tmp_dir("kill-f");
+    let (lsrv, laddr) = leader(&ldir);
+    let (fsrv, faddr) = follower(&fdir, laddr, None);
+
+    let mut c = Client::connect(laddr).unwrap();
+    let (s, _) = c.hello().unwrap();
+    c.tell(s, "TELL Paper end\nTELL before in Paper end")
+        .unwrap();
+    // A multi-frame TELL is one journaled op.
+    wait_applied(faddr, 1);
+    // The follower dies with 1 op applied; the leader keeps going.
+    fsrv.shutdown().unwrap();
+    c.tell(s, "TELL during1 in Paper end").unwrap();
+    c.tell(s, "TELL during2 in Paper end").unwrap();
+
+    let (fsrv, faddr) = follower(&fdir, laddr, None);
+    wait_applied(faddr, 3);
+    let mut fc = Client::connect(faddr).unwrap();
+    let (fs, _) = fc.hello().unwrap();
+    assert_eq!(ask_all(&mut fc, fs), vec!["before", "during1", "during2"]);
+
+    fsrv.shutdown().unwrap();
+    lsrv.shutdown().unwrap();
+    assert_eq!(
+        std::fs::read(ldir.join(WAL_FILE)).unwrap(),
+        std::fs::read(fdir.join(WAL_FILE)).unwrap(),
+        "catch-up must restore byte-identical WALs"
+    );
+    std::fs::remove_dir_all(ldir).unwrap();
+    std::fs::remove_dir_all(fdir).unwrap();
+}
+
+/// A brand-new follower subscribing behind the checkpoint truncation
+/// horizon gets the covering snapshot first, then the WAL tail.
+#[test]
+fn new_follower_catches_up_past_checkpoint_horizon() {
+    let ldir = tmp_dir("snap-l");
+    let fdir = tmp_dir("snap-f");
+    let (lsrv, laddr) = leader(&ldir);
+    let mut c = Client::connect(laddr).unwrap();
+    let (s, _) = c.hello().unwrap();
+    c.tell(s, "TELL Paper end").unwrap();
+    for i in 0..5 {
+        c.tell(s, &format!("TELL old{i} in Paper end")).unwrap();
+    }
+    // The checkpoint truncates the WAL: ops 1..=6 now live only in the
+    // snapshot, so a fresh follower (applied 0) cannot tail its way up.
+    c.checkpoint(s).unwrap();
+    c.tell(s, "TELL fresh in Paper end").unwrap();
+
+    let (fsrv, faddr) = follower(&fdir, laddr, None);
+    wait_applied(faddr, 7);
+    let mut fc = Client::connect(faddr).unwrap();
+    let (fs, _) = fc.hello().unwrap();
+    let names = ask_all(&mut fc, fs);
+    assert_eq!(
+        names,
+        vec!["fresh", "old0", "old1", "old2", "old3", "old4"],
+        "snapshot + tail must reconstruct the full state"
+    );
+    let status = fc.repl_status().unwrap();
+    assert!(!status.is_leader);
+    assert!(status.connected);
+    assert_eq!(status.applied_seq, 7);
+
+    // The replica keeps converging after the snapshot install.
+    c.tell(s, "TELL after in Paper end").unwrap();
+    wait_applied(faddr, 8);
+    fc.refresh(fs).unwrap();
+    assert!(ask_all(&mut fc, fs).contains(&"after".to_string()));
+
+    fsrv.shutdown().unwrap();
+    lsrv.shutdown().unwrap();
+    std::fs::remove_dir_all(ldir).unwrap();
+    std::fs::remove_dir_all(fdir).unwrap();
+}
+
+/// Writes against a follower fail fast with the leader's address.
+#[test]
+fn writes_against_follower_redirect_to_leader() {
+    let ldir = tmp_dir("redir-l");
+    let fdir = tmp_dir("redir-f");
+    let (lsrv, laddr) = leader(&ldir);
+    let (fsrv, faddr) = follower(&fdir, laddr, None);
+
+    let mut fc = Client::connect(faddr).unwrap();
+    let (fs, _) = fc.hello().unwrap();
+    match fc.tell(fs, "TELL Paper end") {
+        Err(ClientError::Redirect { leader }) => {
+            assert_eq!(leader, laddr.to_string(), "redirect must name the leader")
+        }
+        other => panic!("expected redirect, got {other:?}"),
+    }
+    // Reads still work on the follower.
+    assert!(fc.show(fs, "Proposition").unwrap().contains("Proposition"));
+
+    fsrv.shutdown().unwrap();
+    lsrv.shutdown().unwrap();
+    std::fs::remove_dir_all(ldir).unwrap();
+    std::fs::remove_dir_all(fdir).unwrap();
+}
+
+/// Reads the current value of a counter out of the Prometheus text.
+fn metric_value(text: &str, name: &str) -> u64 {
+    text.lines()
+        .find(|l| l.starts_with(name) && !l.starts_with('#'))
+        .and_then(|l| l.split_whitespace().next_back())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Promote-on-failure: the surviving follower becomes writable under a
+/// new sequence epoch, and the old epoch is fenced out — a store that
+/// lived under the new epoch refuses to follow the restarted old
+/// leader, so old-epoch records can never re-enter it.
+#[test]
+fn promotion_fences_out_the_old_leader() {
+    let ldir = tmp_dir("fence-l");
+    let fdir = tmp_dir("fence-f");
+    let (lsrv, laddr) = leader(&ldir);
+    let (fsrv, faddr) = follower(&fdir, laddr, None);
+
+    let mut c = Client::connect(laddr).unwrap();
+    let (s, _) = c.hello().unwrap();
+    c.tell(s, "TELL Paper end\nTELL shared in Paper end")
+        .unwrap();
+    wait_applied(faddr, 1);
+    // The leader "fails".
+    lsrv.shutdown().unwrap();
+
+    // Manual promotion: the follower seals its log under epoch 2 and
+    // starts accepting writes.
+    let mut fc = Client::connect(faddr).unwrap();
+    let (fs, _) = fc.hello().unwrap();
+    let msg = fc.promote(fs).unwrap();
+    assert!(msg.contains("epoch 2"), "{msg}");
+    let status = fc.repl_status().unwrap();
+    assert!(status.is_leader);
+    assert_eq!(status.epoch, 2);
+    fc.tell(fs, "TELL newera in Paper end").unwrap();
+    // Promoting a leader is a no-op error, not a second epoch bump.
+    match fc.promote(fs) {
+        Err(ClientError::Server(e)) => assert_eq!(e.code, ErrorCode::Rejected),
+        other => panic!("expected rejection, got {other:?}"),
+    }
+    fsrv.shutdown().unwrap();
+
+    // The old leader comes back from its own directory, still under
+    // epoch 1, and diverges with a write of its own.
+    let (l2srv, l2addr) = leader(&ldir);
+    let mut oc = Client::connect(l2addr).unwrap();
+    let (os, _) = oc.hello().unwrap();
+    oc.tell(os, "TELL oldera in Paper end").unwrap();
+
+    // Restarting the promoted store as a follower of the old leader
+    // must be fenced: its epoch (2) outranks the old leader's (1).
+    let fenced_before = {
+        let mut m = Client::connect(l2addr).unwrap();
+        metric_value(&m.metrics().unwrap(), "gkbms_replication_fenced_total")
+    };
+    let (f2srv, f2addr) = follower(&fdir, l2addr, None);
+    let mut f2c = Client::connect(f2addr).unwrap();
+    wait_for("the fenced subscription to be refused", || {
+        metric_value(&f2c.metrics().unwrap(), "gkbms_replication_fenced_total") > fenced_before
+    });
+    let status = f2c.repl_status().unwrap();
+    assert!(!status.connected, "a fenced follower must not connect");
+    assert_eq!(status.epoch, 2, "promotion survives restart");
+    let (f2s, _) = f2c.hello().unwrap();
+    let names = ask_all(&mut f2c, f2s);
+    assert!(
+        names.contains(&"newera".to_string()),
+        "the promoted era must survive: {names:?}"
+    );
+    assert!(
+        !names.contains(&"oldera".to_string()),
+        "a fenced old-leader record leaked in: {names:?}"
+    );
+
+    f2srv.shutdown().unwrap();
+    l2srv.shutdown().unwrap();
+    std::fs::remove_dir_all(ldir).unwrap();
+    std::fs::remove_dir_all(fdir).unwrap();
+}
+
+/// A configured lag bound turns reads on a lagging replica into typed
+/// `StaleRead` errors until the replica catches back up.
+#[test]
+fn stale_read_bound_rejects_a_lagging_replica() {
+    let ldir = tmp_dir("stale-l");
+    let fdir = tmp_dir("stale-f");
+    let (lsrv, laddr) = leader(&ldir);
+    let (fsrv, faddr) = follower(&fdir, laddr, Some(0));
+
+    let mut c = Client::connect(laddr).unwrap();
+    let (s, _) = c.hello().unwrap();
+    c.tell(s, "TELL Paper end\nTELL p1 in Paper end").unwrap();
+    wait_applied(faddr, 1);
+    let mut fc = Client::connect(faddr).unwrap();
+    let (fs, _) = fc.hello().unwrap();
+    assert_eq!(ask_all(&mut fc, fs), vec!["p1"], "caught up: reads pass");
+
+    // Wedge the apply loop, then commit on the leader: the replica
+    // observes the leader's position without applying, so its lag
+    // exceeds the bound of 0.
+    fsrv.set_apply_paused(true);
+    c.tell(s, "TELL p2 in Paper end").unwrap();
+    wait_for("the replica to observe the leader's position", || {
+        fc.repl_status()
+            .map(|st| st.leader_seq >= 2)
+            .unwrap_or(false)
+    });
+    match fc.ask(fs, "p", "Paper", "true") {
+        Err(ClientError::Server(e)) => {
+            assert_eq!(e.code, ErrorCode::StaleRead);
+            assert!(e.message.contains("exceeds bound"), "{}", e.message);
+        }
+        other => panic!("expected StaleRead, got {other:?}"),
+    }
+
+    // Unwedged, the replica converges and reads pass again.
+    fsrv.set_apply_paused(false);
+    wait_applied(faddr, 2);
+    fc.refresh(fs).unwrap();
+    assert_eq!(ask_all(&mut fc, fs), vec!["p1", "p2"]);
+    assert_eq!(fc.last_staleness(), Some((2, 0)));
+
+    fsrv.shutdown().unwrap();
+    lsrv.shutdown().unwrap();
+    std::fs::remove_dir_all(ldir).unwrap();
+    std::fs::remove_dir_all(fdir).unwrap();
+}
