@@ -1,9 +1,13 @@
 //! Writes `BENCH_deduction.json`: a machine-readable snapshot of the
-//! deduction workloads, comparing the scan-based and indexed join
-//! paths of the bottom-up engine (ISSUE 1 acceptance).
+//! deduction workloads — the scan-based vs indexed join paths of the
+//! bottom-up engine (ISSUE 1 acceptance) and a TELL-heavy churn
+//! workload pitting incremental view maintenance against full
+//! recomputation (ISSUE 8 acceptance: >= 100x at depth-64 chains).
 //!
 //! Run with `cargo run --release -p bench --bin deduction_snapshot`.
 
+use datalog::ast::{Program, Value};
+use datalog::ivm::{Fact, MaterializedView};
 use datalog::seminaive;
 use objectbase::query::{base_program, to_edb};
 use std::time::Instant;
@@ -58,12 +62,81 @@ fn main() {
             stats.index_probes, stats.tuples_scanned
         ));
     }
+    entries.push(churn_entry(64, 128, 40));
     let json = format!(
         "{{\n  \"bench\": \"deduction\",\n  \"issue\": 1,\n  \
-         \"note\": \"scan = pre-PR per-tuple matching (seminaive::evaluate_scan); indexed = hash-join evaluation (seminaive::evaluate)\",\n  \
+         \"note\": \"scan = pre-PR per-tuple matching (seminaive::evaluate_scan); indexed = hash-join evaluation (seminaive::evaluate); ivm_churn = incremental maintenance (MaterializedView::apply) vs full recompute under interleaved TELL/UNTELL (ISSUE 8)\",\n  \
          \"workloads\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     );
     std::fs::write("BENCH_deduction.json", &json).expect("write BENCH_deduction.json");
     println!("wrote BENCH_deduction.json");
+}
+
+/// TELL-heavy churn over `chains` disjoint depth-`depth` edge chains:
+/// alternating TELLs extending a chain tail and UNTELLs taking the
+/// extension back, each folded into the transitive closure by the
+/// maintained view, against a from-scratch evaluation of the same
+/// program over the same extensional state.
+fn churn_entry(depth: usize, chains: usize, ops: usize) -> String {
+    let program =
+        Program::parse("path(X, Y) :- edge(X, Y).\npath(X, Z) :- path(X, Y), edge(Y, Z).")
+            .expect("churn program");
+    let node = |c: usize, d: usize| Value::Int((c * (depth + 2) + d) as i64);
+    let mut view = MaterializedView::new(program.clone()).expect("view");
+    let load: Vec<Fact> = (0..chains)
+        .flat_map(|c| {
+            (0..depth).map(move |d| ("edge".to_string(), vec![node(c, d), node(c, d + 1)]))
+        })
+        .collect();
+    view.apply(&load, &[]).expect("initial load");
+    let path_tuples = view.model().count("path");
+
+    // Median per-operation incremental cost: each op is one TELL of a
+    // tail-extension edge or the UNTELL taking it back, so the view
+    // returns to the loaded state every second op.
+    let mut delta_tuples = 0usize;
+    let mut times = Vec::with_capacity(ops);
+    for i in 0..ops {
+        let c = (i / 2) % chains;
+        let ext: Fact = ("edge".to_string(), vec![node(c, depth), node(c, depth + 1)]);
+        let start = Instant::now();
+        let stats = if i % 2 == 0 {
+            view.apply(std::slice::from_ref(&ext), &[])
+                .expect("churn TELL")
+        } else {
+            view.apply(&[], std::slice::from_ref(&ext))
+                .expect("churn UNTELL")
+        };
+        times.push(start.elapsed().as_secs_f64());
+        delta_tuples += stats.delta_tuples();
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let incremental_time = times[times.len() / 2];
+
+    let recompute_time = median_secs(
+        || {
+            let (m, _) = seminaive::evaluate(&program, view.edb()).expect("full recompute");
+            assert_eq!(m.count("path"), path_tuples);
+        },
+        3,
+    );
+    let speedup = recompute_time / incremental_time;
+    println!(
+        "ivm_churn(depth={depth}, chains={chains}, ops={ops}): recompute {recompute_time:.4}s, \
+         incremental {incremental_time:.7}s/op, speedup {speedup:.0}x \
+         (path tuples: {path_tuples}, delta tuples: {delta_tuples})"
+    );
+    assert!(
+        speedup >= 100.0,
+        "ISSUE 8 acceptance: churn must be >= 100x faster than recompute, got {speedup:.0}x"
+    );
+    format!(
+        "    {{\n      \"workload\": \"ivm_churn\",\n      \"depth\": {depth},\n      \
+         \"chains\": {chains},\n      \"churn_ops\": {ops},\n      \
+         \"path_tuples\": {path_tuples},\n      \"delta_tuples\": {delta_tuples},\n      \
+         \"recompute_seconds\": {recompute_time:.6},\n      \
+         \"incremental_seconds_per_op\": {incremental_time:.9},\n      \
+         \"speedup\": {speedup:.1}\n    }}"
+    )
 }

@@ -47,8 +47,10 @@ pub mod replay;
 pub mod scenario;
 pub mod system;
 pub mod versions;
+pub mod views;
 
 pub use decisions::{DecisionClass, DecisionDimension, Discharge, ToolSpec};
 pub use error::{GkbmsError, GkbmsResult};
 pub use journal::{CheckpointReport, FsyncPolicy, Journal, RecoveryReport};
 pub use system::{DecisionRequest, DecisionSummary, Gkbms};
+pub use views::RegisteredView;

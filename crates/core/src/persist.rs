@@ -48,6 +48,11 @@ const OP_CHECKPOINT_COVERS: u32 = 10;
 /// raises the epoch and changes no other state; records framed with a
 /// lower epoch are fenced off by the replication applier.
 const OP_SEAL: u32 = 11;
+/// A registered materialized view: name plus user rules. Replayed
+/// through [`Gkbms::register_view`], which rebuilds the model from the
+/// KB state at that point of the history — so recovery and replication
+/// both reconstruct maintained views for free.
+const OP_REGISTER_VIEW: u32 = 12;
 
 fn put_opt_str(out: &mut Vec<u8>, v: &Option<String>) {
     match v {
@@ -217,6 +222,14 @@ pub(crate) fn encode_untell(name: &str) -> Vec<u8> {
     p
 }
 
+pub(crate) fn encode_register_view(name: &str, rules: &str) -> Vec<u8> {
+    let mut p = Vec::new();
+    codec::put_u32(&mut p, OP_REGISTER_VIEW);
+    codec::put_str(&mut p, name);
+    codec::put_str(&mut p, rules);
+    p
+}
+
 pub(crate) fn encode_checkpoint_covers(covered_seq: u64, epoch: u64) -> Vec<u8> {
     let mut p = Vec::new();
     codec::put_u32(&mut p, OP_CHECKPOINT_COVERS);
@@ -337,6 +350,11 @@ pub(crate) fn apply_record(g: &mut Gkbms, payload: &[u8]) -> GkbmsResult<()> {
             let epoch = c.get_u64().map_err(telos::TelosError::Storage)?;
             g.epoch = g.epoch.max(epoch);
         }
+        OP_REGISTER_VIEW => {
+            let name = c.get_str().map_err(telos::TelosError::Storage)?.to_string();
+            let rules = c.get_str().map_err(telos::TelosError::Storage)?;
+            g.register_view(&name, rules)?;
+        }
         other => {
             return Err(GkbmsError::Unknown(format!(
                 "op tag {other} in saved history"
@@ -426,6 +444,13 @@ impl Gkbms {
         }
         for ng in &self.nogoods {
             out.push(encode_nogood(ng));
+        }
+        // View registrations replay last, over the fully reconstructed
+        // state: the model a registration builds from the final state
+        // equals the model maintained through the history, so only the
+        // `as_of` watermark is (conservatively) later than it was live.
+        for v in &self.views {
+            out.push(encode_register_view(v.name(), v.rules()));
         }
         out
     }

@@ -12,7 +12,6 @@
 use crate::decisions::{DecisionClass, Discharge, ToolSpec};
 use crate::error::{GkbmsError, GkbmsResult};
 use crate::metamodel::{self, names, ProcessModel};
-use objectbase::consistency;
 use rms::jtms::{Jtms, JtmsNodeId};
 use std::collections::HashMap;
 use telos::assertion;
@@ -172,6 +171,10 @@ pub struct Gkbms {
     /// `journal.appended_ops` on journaled replicas, and is the only
     /// applied-position record on journal-less ones.
     pub(crate) replica_applied: u64,
+    /// Registered materialized deductive views, incrementally
+    /// maintained by every belief-changing mutation (see
+    /// [`crate::views`]).
+    pub(crate) views: Vec<crate::views::RegisteredView>,
     /// Statistics: dependency-graph rebuilds (lemma generation, E-2).
     pub graph_builds: u64,
 }
@@ -204,6 +207,7 @@ impl Gkbms {
             snapshot_covers: 0,
             epoch: 1,
             replica_applied: 0,
+            views: Vec::new(),
             graph_builds: 0,
         })
     }
@@ -288,7 +292,12 @@ impl Gkbms {
             return Err(GkbmsError::Lint(diags));
         }
         let tick = self.begin_write();
-        objectbase::transform::tell_all(&mut self.kb, &frames)?;
+        let mark = self.kb.len();
+        let told = objectbase::transform::tell_all(&mut self.kb, &frames);
+        // Views must track the KB even when a multi-frame batch fails
+        // midway (earlier frames stay told).
+        self.propagate_new_props(mark);
+        told?;
         let seq = self.next_seq();
         self.tell_log
             .push((seq, tick, TellEvent::Tell(src.to_string())));
@@ -347,6 +356,7 @@ impl Gkbms {
     pub fn untell(&mut self, name: &str) -> GkbmsResult<usize> {
         let tick = self.begin_write();
         let gone = objectbase::transform::untell_object(&mut self.kb, name)?;
+        self.propagate_untold(&gone);
         let seq = self.next_seq();
         self.tell_log
             .push((seq, tick, TellEvent::Untell(name.to_string())));
@@ -381,8 +391,27 @@ impl Gkbms {
 
     // ----- schema-level definitions ---------------------------------------
 
+    /// Runs a mutation and flows every proposition it created into the
+    /// registered views — even on error, since failed definitions can
+    /// leave earlier propositions of the batch believed.
+    fn tracked<T>(&mut self, f: impl FnOnce(&mut Self) -> GkbmsResult<T>) -> GkbmsResult<T> {
+        let mark = self.kb.len();
+        let r = f(self);
+        self.propagate_new_props(mark);
+        r
+    }
+
     /// Defines a design-object class (an instance of `DesignObject`).
     pub fn define_object_class(
+        &mut self,
+        name: &str,
+        level: &str,
+        parent: Option<&str>,
+    ) -> GkbmsResult<PropId> {
+        self.tracked(|g| g.define_object_class_inner(name, level, parent))
+    }
+
+    fn define_object_class_inner(
         &mut self,
         name: &str,
         level: &str,
@@ -416,6 +445,10 @@ impl Gkbms {
     /// Defines a decision class (an instance of `DesignDecision`,
     /// fig 3-3 middle layer).
     pub fn define_decision_class(&mut self, dc: DecisionClass) -> GkbmsResult<PropId> {
+        self.tracked(|g| g.define_decision_class_inner(dc))
+    }
+
+    fn define_decision_class_inner(&mut self, dc: DecisionClass) -> GkbmsResult<PropId> {
         if self.classes.contains_key(&dc.name) {
             return Err(GkbmsError::Duplicate(format!(
                 "decision class `{}`",
@@ -459,6 +492,10 @@ impl Gkbms {
 
     /// Registers a tool specification (an instance of `DesignTool`).
     pub fn register_tool(&mut self, spec: ToolSpec) -> GkbmsResult<PropId> {
+        self.tracked(|g| g.register_tool_inner(spec))
+    }
+
+    fn register_tool_inner(&mut self, spec: ToolSpec) -> GkbmsResult<PropId> {
         if self.tools.contains_key(&spec.name) {
             return Err(GkbmsError::Duplicate(format!("tool `{}`", spec.name)));
         }
@@ -485,6 +522,15 @@ impl Gkbms {
     /// "recorded outside the GKB in the DAIDA sub-environments"
     /// (fig 2-5). Registered objects are premises in the JTMS.
     pub fn register_object(
+        &mut self,
+        name: &str,
+        class: &str,
+        source: &str,
+    ) -> GkbmsResult<PropId> {
+        self.tracked(|g| g.register_object_inner(name, class, source))
+    }
+
+    fn register_object_inner(
         &mut self,
         name: &str,
         class: &str,
@@ -743,14 +789,18 @@ impl Gkbms {
         match result {
             Ok(summary) => Ok(summary),
             Err(e) => {
-                // Abort: untell everything the body created.
+                // Abort: untell everything the body created, and take
+                // the same deltas back out of the registered views.
                 let created: Vec<PropId> =
                     (mark..self.kb.len()).map(|i| PropId(i as u32)).collect();
+                let mut undone = Vec::new();
                 for id in created.into_iter().rev() {
                     if self.kb.get(id).map(|p| p.is_believed()).unwrap_or(false) {
                         let _ = self.kb.untell(id);
+                        undone.push(id);
                     }
                 }
+                self.propagate_untold(&undone);
                 Err(e)
             }
         }
@@ -802,9 +852,12 @@ impl Gkbms {
             self.kb.put_attr(decision, names::BY_I, t)?;
         }
 
-        // Set-oriented consistency check over the batch (E-1).
+        // Set-oriented consistency check over the batch (E-1). The
+        // views see the batch first so the class-closure step can be
+        // answered from the materialized `inT` relation.
         let created: Vec<PropId> = (mark..self.kb.len()).map(|i| PropId(i as u32)).collect();
-        let (violations, _) = consistency::check_touched(&self.kb, &created);
+        self.propagate_new_props(mark);
+        let (violations, _) = self.check_touched_with_views(&created);
         if !violations.is_empty() {
             return Err(GkbmsError::Aborted {
                 violations: violations.iter().map(|v| v.to_string()).collect(),
@@ -918,17 +971,21 @@ impl Gkbms {
         // Documentation: close belief of the affected objects and mark
         // the decision instances as retracted; the records stay — the
         // GKBMS never forgets history.
+        let mut gone = Vec::new();
         for obj in &affected {
             if let Some(id) = self.kb.lookup(obj) {
-                let _ = self.kb.untell_cascade(id)?;
+                gone.extend(self.kb.untell_cascade(id)?);
             }
         }
+        self.propagate_untold(&gone);
+        let mark = self.kb.len();
         let retracted_status = self.kb.individual("retracted")?;
         for i in retracted_decisions {
             let prop = self.records[i].prop;
             self.kb.put_attr(prop, "status", retracted_status)?;
             self.records[i].retracted = true;
         }
+        self.propagate_new_props(mark);
         let t = self.kb.tick();
         let seq = self.next_seq();
         self.retraction_log.push((seq, t, name.to_string()));

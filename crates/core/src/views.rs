@@ -1,0 +1,568 @@
+//! Registered materialized deductive views: maintain, don't recompute.
+//!
+//! A registered view is the KB's deductive closure — [`objectbase::query::base_program`]
+//! plus optional user rules — kept **materialized** under TELL/UNTELL
+//! churn by the incremental maintenance engine
+//! ([`datalog::ivm::MaterializedView`]): counting maintenance for
+//! non-recursive strata, delete-and-rederive for recursive ones.
+//! Every mutation that changes belief flows the per-proposition delta
+//! ([`objectbase::query::edb_fact_for`]) into every registered view,
+//! so queries against the view read a ready model instead of
+//! re-evaluating the program from scratch.
+//!
+//! # MVCC interaction
+//!
+//! The materialized model always reflects the *current* belief state.
+//! Each view records `as_of` — the belief tick of the last mutation it
+//! incorporated. A reader pinned at watermark `w` may serve answers
+//! from the model iff `w >= as_of`; an earlier watermark must fall
+//! back to evaluating the view's program over its pinned snapshot
+//! ([`RegisteredView::eval_pinned`]), so a pinned session never
+//! observes a refresh from a newer tick.
+
+use crate::error::{GkbmsError, GkbmsResult};
+use crate::system::Gkbms;
+use datalog::ast::{Program, Value};
+use datalog::ivm::{Fact, MaterializedView};
+use objectbase::consistency::{self, CheckStats, Violation};
+use objectbase::query::{self, preds};
+use telos::{PropId, PropStore};
+
+/// One registered materialized view.
+#[derive(Debug, Clone)]
+pub struct RegisteredView {
+    name: String,
+    rules: String,
+    view: MaterializedView,
+    as_of: i64,
+}
+
+impl RegisteredView {
+    /// The view's registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The user rules (datalog source) layered over the base program.
+    pub fn rules(&self) -> &str {
+        &self.rules
+    }
+
+    /// Belief tick of the last mutation incorporated into the model.
+    /// Readers pinned at or after this tick may serve from the model;
+    /// earlier readers must use [`RegisteredView::eval_pinned`].
+    pub fn as_of(&self) -> i64 {
+        self.as_of
+    }
+
+    /// The maintained view engine (model, EDB, support counts).
+    pub fn view(&self) -> &MaterializedView {
+        &self.view
+    }
+
+    /// Tuples of `pred` from the materialized model, sorted — correct
+    /// for readers whose watermark is at or after [`RegisteredView::as_of`].
+    pub fn tuples(&self, pred: &str) -> Vec<Vec<Value>> {
+        let mut out: Vec<Vec<Value>> = self.view.model().tuples(pred).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Evaluates this view's program from scratch over `store` as
+    /// believed at tick `at` — the fallback for readers pinned before
+    /// the model's `as_of` watermark. Answers are sorted like
+    /// [`RegisteredView::tuples`].
+    pub fn eval_pinned<S: PropStore>(
+        &self,
+        store: &S,
+        at: i64,
+        pred: &str,
+    ) -> GkbmsResult<Vec<Vec<Value>>> {
+        let edb = query::to_edb_at_store(store, at)?;
+        let (model, _) = datalog::seminaive::evaluate(self.view.program(), &edb)
+            .map_err(objectbase::ObError::from)?;
+        let mut out: Vec<Vec<Value>> = model.tuples(pred).collect();
+        out.sort();
+        out.dedup();
+        Ok(out)
+    }
+}
+
+impl Gkbms {
+    /// Registers a materialized deductive view: the base closure rules
+    /// plus `rules` (datalog source, may be empty), built once from the
+    /// current believed state and maintained incrementally from then
+    /// on. Returns the view's initial `as_of` watermark.
+    pub fn register_view(&mut self, name: &str, rules: &str) -> GkbmsResult<i64> {
+        if self.views.iter().any(|v| v.name == name) {
+            return Err(GkbmsError::Duplicate(format!("view `{name}`")));
+        }
+        let mut program = query::base_program();
+        if !rules.trim().is_empty() {
+            let extra = Program::parse(rules).map_err(objectbase::ObError::from)?;
+            program.rules.extend(extra.rules);
+        }
+        // The EDB predicates are fed by TELL/UNTELL deltas; a rule
+        // deriving one of them would make those deltas ambiguous.
+        for rule in &program.rules {
+            let head = rule.head.pred.as_str();
+            if head == preds::IN || head == preds::ISA || head == preds::ATTR {
+                return Err(GkbmsError::Precondition(format!(
+                    "view `{name}` derives extensional predicate `{head}`"
+                )));
+            }
+        }
+        let mut view = MaterializedView::new(program).map_err(objectbase::ObError::from)?;
+        // The initial load is itself one incremental batch.
+        view.apply(&query::edb_facts(&self.kb), &[])
+            .map_err(objectbase::ObError::from)?;
+        let as_of = self.kb.now();
+        self.views.push(RegisteredView {
+            name: name.to_string(),
+            rules: rules.to_string(),
+            view,
+            as_of,
+        });
+        self.journal_append(crate::persist::encode_register_view(name, rules))?;
+        obs::gauge!(
+            "gkbms_views_registered",
+            "Materialized deductive views currently registered"
+        )
+        .set(self.views.len() as i64);
+        Ok(as_of)
+    }
+
+    /// The registered views, in registration order.
+    pub fn views(&self) -> &[RegisteredView] {
+        &self.views
+    }
+
+    /// The registered view named `name`.
+    pub fn view(&self, name: &str) -> Option<&RegisteredView> {
+        self.views.iter().find(|v| v.name == name)
+    }
+
+    /// Tuples of `pred` from the named view's materialized model
+    /// (current belief state), sorted.
+    pub fn view_tuples(&self, name: &str, pred: &str) -> GkbmsResult<Vec<Vec<Value>>> {
+        let v = self
+            .view(name)
+            .ok_or_else(|| GkbmsError::Unknown(format!("view `{name}`")))?;
+        Ok(v.tuples(pred))
+    }
+
+    /// Flows believed propositions created at or after `mark` into
+    /// every registered view as insert deltas.
+    pub(crate) fn propagate_new_props(&mut self, mark: usize) {
+        if self.views.is_empty() || mark >= self.kb.len() {
+            return;
+        }
+        let inserts: Vec<Fact> = (mark..self.kb.len())
+            .filter_map(|i| {
+                let id = PropId(i as u32);
+                let p = self.kb.prop(id)?;
+                if !p.is_believed() {
+                    return None;
+                }
+                query::edb_fact_for(&self.kb, id)
+            })
+            .collect();
+        self.apply_view_delta(&inserts, &[]);
+    }
+
+    /// Flows propositions whose belief was just closed into every
+    /// registered view as delete deltas.
+    pub(crate) fn propagate_untold(&mut self, gone: &[PropId]) {
+        if self.views.is_empty() || gone.is_empty() {
+            return;
+        }
+        let deletes: Vec<Fact> = gone
+            .iter()
+            .filter_map(|&id| query::edb_fact_for(&self.kb, id))
+            .collect();
+        self.apply_view_delta(&[], &deletes);
+    }
+
+    fn apply_view_delta(&mut self, inserts: &[Fact], deletes: &[Fact]) {
+        if self.views.is_empty() || (inserts.is_empty() && deletes.is_empty()) {
+            return;
+        }
+        let now = self.kb.now();
+        let lag = self.views.iter().map(|v| now - v.as_of).max().unwrap_or(0);
+        obs::gauge!(
+            "gkbms_view_staleness_ticks",
+            "Belief ticks elapsed since the last refresh of the stalest registered view, measured as each write is applied"
+        )
+        .set(lag);
+        for v in &mut self.views {
+            if v.view.apply(inserts, deletes).is_err() {
+                // Registration rules out deltas on derived predicates,
+                // so an apply error means the view state is suspect:
+                // rebuild from the KB rather than serve a wrong model.
+                if let Ok(mut fresh) = MaterializedView::new(v.view.program().clone()) {
+                    if fresh.apply(&query::edb_facts(&self.kb), &[]).is_ok() {
+                        v.view = fresh;
+                    }
+                }
+            }
+            v.as_of = now;
+        }
+    }
+
+    /// The set-oriented consistency check, answering the class-closure
+    /// step from the first registered view's materialized `inT`
+    /// relation instead of walking the KB — a hash probe per object.
+    /// Falls back to [`consistency::check_touched`] when no view is
+    /// registered, and per-object to `Kb::all_classes_of` whenever a
+    /// display name does not round-trip through `lookup` (the view
+    /// keys objects by display name).
+    pub(crate) fn check_touched_with_views(
+        &self,
+        touched: &[PropId],
+    ) -> (Vec<Violation>, CheckStats) {
+        let kb = &self.kb;
+        let Some(rv) = self.views.first() else {
+            return consistency::check_touched(kb, touched);
+        };
+        let model = rv.view.model();
+        consistency::check_touched_via(kb, touched, |o| {
+            let name = kb.display(o);
+            if kb.lookup(&name) != Some(o) {
+                return kb.all_classes_of(o);
+            }
+            let pattern = vec![Some(Value::sym(name)), None];
+            let mut out = Vec::new();
+            for t in model.probe("inT", &pattern) {
+                match kb.lookup(&t[1].to_string()) {
+                    Some(c) => out.push(c),
+                    None => return kb.all_classes_of(o),
+                }
+            }
+            out
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metamodel::kernel;
+    use crate::system::tests::scenario_gkbms;
+    use crate::system::DecisionRequest;
+
+    fn sym_rows(rows: &[Vec<Value>]) -> Vec<Vec<String>> {
+        rows.iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect()
+    }
+
+    /// From-scratch evaluation of a view's program over the live KB —
+    /// the oracle every maintained model must match.
+    fn recompute(g: &Gkbms, name: &str, pred: &str) -> Vec<Vec<Value>> {
+        let v = g.view(name).unwrap();
+        let edb = query::to_edb(g.kb()).unwrap();
+        let (model, _) = datalog::seminaive::evaluate(v.view().program(), &edb).unwrap();
+        let mut out: Vec<Vec<Value>> = model.tuples(pred).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    #[test]
+    fn registration_builds_current_model() {
+        let mut g = scenario_gkbms();
+        g.register_object("Invitation", kernel::TDL_ENTITY_CLASS, "src")
+            .unwrap();
+        g.register_view("closure", "").unwrap();
+        assert_eq!(
+            g.view_tuples("closure", "inT").unwrap(),
+            recompute(&g, "closure", "inT")
+        );
+        assert!(g
+            .view_tuples("closure", "inT")
+            .unwrap()
+            .iter()
+            .any(|t| t[0].to_string() == "Invitation"));
+    }
+
+    #[test]
+    fn duplicate_and_reserved_head_rejected() {
+        let mut g = scenario_gkbms();
+        g.register_view("v", "").unwrap();
+        assert!(matches!(
+            g.register_view("v", ""),
+            Err(GkbmsError::Duplicate(_))
+        ));
+        assert!(matches!(
+            g.register_view("bad", "in_(X, Y) :- attr(X, _L, Y)."),
+            Err(GkbmsError::Precondition(_))
+        ));
+        assert!(g.register_view("broken", "p(X) :- q(X").is_err());
+    }
+
+    #[test]
+    fn tells_and_untells_maintain_the_model() {
+        let mut g = scenario_gkbms();
+        g.register_view("closure", "").unwrap();
+        let before = g.view("closure").unwrap().as_of();
+        g.tell_src("TELL Person end\nTELL maria in Person end")
+            .unwrap();
+        assert!(g.view("closure").unwrap().as_of() > before);
+        assert_eq!(
+            g.view_tuples("closure", "inT").unwrap(),
+            recompute(&g, "closure", "inT")
+        );
+        g.untell("maria").unwrap();
+        assert_eq!(
+            g.view_tuples("closure", "inT").unwrap(),
+            recompute(&g, "closure", "inT")
+        );
+        assert!(!g
+            .view_tuples("closure", "inT")
+            .unwrap()
+            .iter()
+            .any(|t| t[0].to_string() == "maria"));
+    }
+
+    #[test]
+    fn user_rules_are_maintained_too() {
+        let mut g = scenario_gkbms();
+        g.register_view("senders", "hasSender(I) :- attr(I, sender, _S).")
+            .unwrap();
+        g.tell_src(
+            "TELL Person end\nTELL Paper with attribute sender : Person end\n\
+             TELL maria in Person end\nTELL p1 in Paper with attribute sender : maria end",
+        )
+        .unwrap();
+        // Both the class-level declaration (Paper!sender) and the
+        // instance attribute are `attr` facts, so both satisfy the rule.
+        assert_eq!(
+            sym_rows(&g.view_tuples("senders", "hasSender").unwrap()),
+            vec![vec!["Paper".to_string()], vec!["p1".to_string()]]
+        );
+        g.untell("p1").unwrap();
+        assert_eq!(
+            sym_rows(&g.view_tuples("senders", "hasSender").unwrap()),
+            vec![vec!["Paper".to_string()]]
+        );
+    }
+
+    #[test]
+    fn decision_execution_and_retraction_flow_deltas() {
+        let mut g = scenario_gkbms();
+        g.register_view("closure", "").unwrap();
+        g.register_object("Invitation", kernel::TDL_ENTITY_CLASS, "src")
+            .unwrap();
+        g.execute(
+            DecisionRequest::new("TDL_MappingDec", "mapInvitations", "dev")
+                .with_tool("TDL-DBPL-Mapper")
+                .input("Invitation")
+                .output("InvitationRel", kernel::DBPL_REL),
+        )
+        .unwrap();
+        assert_eq!(
+            g.view_tuples("closure", "inT").unwrap(),
+            recompute(&g, "closure", "inT")
+        );
+        assert!(g
+            .view_tuples("closure", "inT")
+            .unwrap()
+            .iter()
+            .any(|t| t[0].to_string() == "InvitationRel"));
+        g.retract_decision("mapInvitations").unwrap();
+        assert_eq!(
+            g.view_tuples("closure", "inT").unwrap(),
+            recompute(&g, "closure", "inT")
+        );
+        assert!(!g
+            .view_tuples("closure", "inT")
+            .unwrap()
+            .iter()
+            .any(|t| t[0].to_string() == "InvitationRel"));
+        // The maintained model carries the extensional relations too
+        // (like `seminaive::evaluate`'s model does) — they must track.
+        assert_eq!(
+            g.view_tuples("closure", "attr").unwrap(),
+            recompute(&g, "closure", "attr")
+        );
+    }
+
+    #[test]
+    fn aborted_execution_leaves_no_residue_in_views() {
+        let mut g = scenario_gkbms();
+        g.register_view("closure", "").unwrap();
+        g.register_object("Invitation", kernel::TDL_ENTITY_CLASS, "src")
+            .unwrap();
+        let before = recompute(&g, "closure", "inT");
+        let err = g.execute(
+            DecisionRequest::new("TDL_MappingDec", "badMap", "dev")
+                .with_tool("TDL-DBPL-Mapper")
+                .input("Invitation")
+                .output("Wrong", kernel::TDL_ENTITY_CLASS),
+        );
+        assert!(err.is_err());
+        assert_eq!(g.view_tuples("closure", "inT").unwrap(), before);
+        assert_eq!(
+            g.view_tuples("closure", "inT").unwrap(),
+            recompute(&g, "closure", "inT")
+        );
+    }
+
+    #[test]
+    fn untell_retell_cycles_keep_support_exact() {
+        // TELL/UNTELL idempotence through the GKBMS path: untelling
+        // closes the old proposition's belief, re-telling mints a new
+        // proposition for the same fact — the view's support count must
+        // track 1 → 0 → 1 → 0 exactly, never going negative and never
+        // resurrecting a deleted fact.
+        let mut g = scenario_gkbms();
+        g.register_view("closure", "").unwrap();
+        let fact = [Value::sym("maria"), Value::sym("Person")];
+        let support = |g: &Gkbms| g.view("closure").unwrap().view().support("in_", &fact);
+        g.tell_src("TELL Person end\nTELL maria in Person end")
+            .unwrap();
+        assert_eq!(support(&g), 1);
+        g.untell("maria").unwrap();
+        assert_eq!(support(&g), 0);
+        // Re-TELL: a brand-new proposition contributing the same fact.
+        g.tell_src("TELL maria in Person end").unwrap();
+        assert_eq!(support(&g), 1);
+        assert!(g
+            .view_tuples("closure", "inT")
+            .unwrap()
+            .iter()
+            .any(|t| t[0].to_string() == "maria"));
+        g.untell("maria").unwrap();
+        assert_eq!(support(&g), 0);
+        assert!(!g
+            .view_tuples("closure", "inT")
+            .unwrap()
+            .iter()
+            .any(|t| t[0].to_string() == "maria"));
+        assert_eq!(
+            g.view_tuples("closure", "inT").unwrap(),
+            recompute(&g, "closure", "inT")
+        );
+    }
+
+    #[test]
+    fn consistency_check_via_views_agrees_with_default() {
+        let mut g = scenario_gkbms();
+        g.tell_src(
+            "TELL Person end\n\
+             TELL Paper with attribute author : Person end\n\
+             TELL Invitation isA Paper with\n\
+               attribute sender : Person\n\
+               constraint hasSender : $ forall i/Invitation i.sender defined $\n\
+             end\n\
+             TELL maria in Person end",
+        )
+        .unwrap();
+        g.register_view("closure", "").unwrap();
+        // A violating TELL: an invitation without a sender.
+        g.tell_src("TELL inv1 in Invitation end").unwrap();
+        let inv1 = g.kb().lookup("inv1").unwrap();
+        let touched = vec![inv1];
+        let (via_views, _) = g.check_touched_with_views(&touched);
+        let (default, _) = consistency::check_touched(g.kb(), &touched);
+        assert_eq!(via_views, default);
+        assert!(!via_views.is_empty(), "the violation is caught either way");
+    }
+
+    #[test]
+    fn pinned_reader_never_observes_a_newer_refresh() {
+        // Satellite 3 at the core level: a registered view refreshing
+        // at a newer tick must not change what a pinned reader sees.
+        let mut g = scenario_gkbms();
+        g.tell_src("TELL Person end\nTELL maria in Person end")
+            .unwrap();
+        g.register_view("closure", "").unwrap();
+        let watermark = g.kb().now();
+        let pinned_before = g
+            .view("closure")
+            .unwrap()
+            .eval_pinned(g.kb(), watermark, "inT")
+            .unwrap();
+        // Model and pinned evaluation agree at the watermark.
+        assert_eq!(pinned_before, g.view_tuples("closure", "inT").unwrap());
+        // A newer write refreshes the view past the watermark.
+        g.tell_src("TELL anna in Person end").unwrap();
+        let v = g.view("closure").unwrap();
+        assert!(v.as_of() > watermark, "the refresh is at a newer tick");
+        let pinned_after = v.eval_pinned(g.kb(), watermark, "inT").unwrap();
+        assert_eq!(
+            pinned_after, pinned_before,
+            "pinned answers are byte-identical across the refresh"
+        );
+        assert_ne!(
+            g.view_tuples("closure", "inT").unwrap(),
+            pinned_before,
+            "while the live model did move"
+        );
+    }
+
+    #[test]
+    fn views_survive_save_load_and_journal_replay() {
+        let mut g = scenario_gkbms();
+        g.tell_src("TELL Person end\nTELL maria in Person end")
+            .unwrap();
+        g.register_view("closure", "hasSelf(X) :- in_(X, _C).")
+            .unwrap();
+        g.tell_src("TELL anna in Person end").unwrap();
+        let expect = g.view_tuples("closure", "inT").unwrap();
+        let path = {
+            let mut p = std::env::temp_dir();
+            p.push(format!("cb-views-roundtrip-{}", std::process::id()));
+            let _ = std::fs::remove_file(&p);
+            p
+        };
+        g.save(&path).unwrap();
+        let loaded = Gkbms::load(&path).unwrap();
+        let v = loaded.view("closure").expect("view survived the reload");
+        assert_eq!(v.rules(), "hasSelf(X) :- in_(X, _C).");
+        assert_eq!(loaded.view_tuples("closure", "inT").unwrap(), expect);
+        assert_eq!(
+            loaded.view_tuples("closure", "hasSelf").unwrap(),
+            g.view_tuples("closure", "hasSelf").unwrap()
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn decision_flows_keep_checking_consistency_with_views_registered() {
+        // The violating-output scenario still aborts when the class
+        // closure is answered from the materialized view.
+        let mut g = scenario_gkbms();
+        g.register_view("closure", "").unwrap();
+        g.tell_src(
+            "TELL Memo with\n\
+               constraint signed : $ forall m/Memo m.author defined $\n\
+               attribute author : Agent\n\
+             end",
+        )
+        .unwrap();
+        g.define_object_class("MemoDoc", "Requirements", None)
+            .unwrap();
+        let err = g.tell_src("TELL m1 in Memo end");
+        // tell_src does not consistency-check (that is execute's job);
+        // instead assert the closure answers match for the new object.
+        assert!(err.is_ok());
+        let m1 = g.kb().lookup("m1").unwrap();
+        let (via, _) = g.check_touched_with_views(&[m1]);
+        let (default, _) = consistency::check_touched(g.kb(), &[m1]);
+        assert_eq!(via, default);
+        assert!(!via.is_empty(), "unsigned memo violates `signed`");
+        // And a clean execution still succeeds end to end.
+        g.register_object("Invitation", kernel::TDL_ENTITY_CLASS, "src")
+            .unwrap();
+        g.execute(
+            DecisionRequest::new("TDL_MappingDec", "map", "dev")
+                .with_tool("TDL-DBPL-Mapper")
+                .input("Invitation")
+                .output("InvitationRel", kernel::DBPL_REL),
+        )
+        .unwrap();
+        assert!(g.is_effective("map"));
+    }
+}

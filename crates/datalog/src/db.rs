@@ -19,11 +19,10 @@
 use crate::ast::{Atom, Term, Value};
 use crate::error::{DatalogError, DatalogResult};
 use crate::intern::{intern, lookup, IVal, Symbol};
-use std::cell::RefCell;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// A secondary index: bound-position values (in position order) to the
 /// row ids that carry them.
@@ -59,8 +58,11 @@ pub(crate) struct Relation {
     nrows: u32,
     /// Tuple hash → candidate row ids (collisions resolved by compare).
     dedup: HashMap<u64, Vec<u32>>,
-    /// Binding-pattern mask → secondary index, built lazily.
-    indexes: RefCell<HashMap<u32, Arc<Index>>>,
+    /// Binding-pattern mask → secondary index, built lazily. Behind a
+    /// mutex (not a `RefCell`) so a database embedded in shared server
+    /// state stays `Sync`; evaluation is single-threaded, so the lock
+    /// is uncontended.
+    indexes: Mutex<HashMap<u32, Arc<Index>>>,
 }
 
 impl Clone for Relation {
@@ -72,9 +74,17 @@ impl Clone for Relation {
             dedup: self.dedup.clone(),
             // Arc-shallow: clones share built indexes until either
             // side inserts (copy-on-write via `Arc::make_mut`).
-            indexes: RefCell::new(self.indexes.borrow().clone()),
+            indexes: Mutex::new(lock_indexes(&self.indexes).clone()),
         }
     }
+}
+
+/// Locks an index cache, shrugging off poisoning: the guarded map is
+/// only ever mutated through `HashMap` inserts, which leave it valid.
+fn lock_indexes(
+    indexes: &Mutex<HashMap<u32, Arc<Index>>>,
+) -> std::sync::MutexGuard<'_, HashMap<u32, Arc<Index>>> {
+    indexes.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 impl Relation {
@@ -114,7 +124,7 @@ impl Relation {
         self.flat.extend_from_slice(row);
         self.nrows += 1;
         self.dedup.entry(hash_row(row)).or_default().push(id);
-        for (&mask, index) in self.indexes.get_mut().iter_mut() {
+        for (&mask, index) in self.indexes.get_mut().unwrap_or_else(|e| e.into_inner()) {
             Arc::make_mut(index)
                 .entry(key_of(row, mask))
                 .or_default()
@@ -123,11 +133,71 @@ impl Relation {
         true
     }
 
+    /// Removes a row by value, maintaining dedup and any built indexes;
+    /// returns whether it was present. The last row is swapped into the
+    /// hole, so every bookkeeping structure that names a row id must be
+    /// repointed: first the removed row's entries are dropped, then the
+    /// moved row's entries are redirected from the old last id — in that
+    /// order, because the two rows may share a hash bucket or index key.
+    fn remove(&mut self, row: &[IVal]) -> bool {
+        debug_assert_eq!(row.len(), self.arity);
+        let Some(id) = self.find(row) else {
+            return false;
+        };
+        let last = self.nrows - 1;
+        let removed: Vec<IVal> = self.row(id).to_vec();
+        let moved: Option<Vec<IVal>> = (id != last).then(|| self.row(last).to_vec());
+        let h = hash_row(&removed);
+        if let Some(bucket) = self.dedup.get_mut(&h) {
+            bucket.retain(|&i| i != id);
+            if bucket.is_empty() {
+                self.dedup.remove(&h);
+            }
+        }
+        if let Some(m) = &moved {
+            if let Some(bucket) = self.dedup.get_mut(&hash_row(m)) {
+                for i in bucket.iter_mut() {
+                    if *i == last {
+                        *i = id;
+                    }
+                }
+            }
+        }
+        for (&mask, index) in self.indexes.get_mut().unwrap_or_else(|e| e.into_inner()) {
+            let index = Arc::make_mut(index);
+            let key = key_of(&removed, mask);
+            if let Some(bucket) = index.get_mut(&key) {
+                bucket.retain(|&i| i != id);
+                if bucket.is_empty() {
+                    index.remove(&key);
+                }
+            }
+            if let Some(m) = &moved {
+                if let Some(bucket) = index.get_mut(&key_of(m, mask)) {
+                    for i in bucket.iter_mut() {
+                        if *i == last {
+                            *i = id;
+                        }
+                    }
+                }
+            }
+        }
+        let a = self.arity;
+        if id != last {
+            for j in 0..a {
+                self.flat[id as usize * a + j] = self.flat[last as usize * a + j];
+            }
+        }
+        self.flat.truncate(last as usize * a);
+        self.nrows = last;
+        true
+    }
+
     /// The secondary index for binding pattern `mask`, building it on
     /// first use. `mask` must be non-zero and within the arity.
     pub(crate) fn index_for(&self, mask: u32) -> Arc<Index> {
         debug_assert!(mask != 0);
-        let mut indexes = self.indexes.borrow_mut();
+        let mut indexes = lock_indexes(&self.indexes);
         Arc::clone(indexes.entry(mask).or_insert_with(|| {
             let mut index = Index::new();
             for i in 0..self.nrows {
@@ -139,7 +209,7 @@ impl Relation {
 
     /// Number of binding patterns currently indexed (for tests/stats).
     pub(crate) fn index_count(&self) -> usize {
-        self.indexes.borrow().len()
+        lock_indexes(&self.indexes).len()
     }
 }
 
@@ -197,6 +267,23 @@ impl Database {
             .is_some_and(|r| r.arity == row.len() && r.find(row).is_some())
     }
 
+    /// Removes an interned row under `pred`; returns whether it was
+    /// present. An empty relation stays registered (same arity).
+    pub(crate) fn remove_ivals(&mut self, pred: Symbol, row: &[IVal]) -> bool {
+        match self.pred_ids.get(&pred) {
+            Some(&i) => {
+                let rel = &mut self.rels[i].1;
+                rel.arity == row.len() && rel.remove(row)
+            }
+            None => false,
+        }
+    }
+
+    /// Iterates the relations with their interned predicate symbols.
+    pub(crate) fn iter_rels(&self) -> impl Iterator<Item = (Symbol, &Relation)> {
+        self.rels.iter().map(|(s, r)| (*s, r))
+    }
+
     /// Inserts a ground tuple under `pred`; returns whether it was new.
     pub fn insert(&mut self, pred: &str, tuple: Vec<Value>) -> DatalogResult<bool> {
         let row: Vec<IVal> = tuple.iter().map(IVal::from_value).collect();
@@ -225,6 +312,17 @@ impl Database {
             r.rows()
                 .map(|row| row.iter().map(|v| v.to_value()).collect())
         })
+    }
+
+    /// Removes a ground tuple under `pred`; returns whether it was
+    /// present. Built indexes are maintained, not invalidated, so
+    /// interleaved insert/remove churn keeps probes O(1).
+    pub fn remove(&mut self, pred: &str, tuple: &[Value]) -> bool {
+        let Some(sym) = lookup(pred) else {
+            return false;
+        };
+        let row: Option<Vec<IVal>> = tuple.iter().map(IVal::from_value_if_known).collect();
+        row.is_some_and(|row| self.remove_ivals(sym, &row))
     }
 
     /// Membership test for a ground tuple.
@@ -431,6 +529,77 @@ mod tests {
     }
 
     #[test]
+    fn remove_then_membership_and_reinsert() {
+        let mut db = Database::new();
+        for i in 0..3 {
+            db.insert("p", vec![Value::Int(i)]).unwrap();
+        }
+        assert!(db.remove("p", &[Value::Int(1)]));
+        assert!(
+            !db.remove("p", &[Value::Int(1)]),
+            "second remove is a no-op"
+        );
+        assert!(!db.contains("p", &[Value::Int(1)]));
+        assert_eq!(db.count("p"), 2);
+        // The swapped-in row (the old last row) must still be found.
+        assert!(db.contains("p", &[Value::Int(2)]));
+        assert!(db.insert("p", vec![Value::Int(1)]).unwrap());
+        assert_eq!(db.count("p"), 3);
+    }
+
+    #[test]
+    fn remove_of_absent_or_unknown_is_false() {
+        let mut db = Database::new();
+        db.insert("p", vec![Value::Int(1)]).unwrap();
+        assert!(!db.remove("p", &[Value::Int(9)]));
+        assert!(!db.remove("nosuch", &[Value::Int(1)]));
+        assert!(!db.remove("p", &[Value::sym("zz-never-interned-zz")]));
+        assert_eq!(db.count("p"), 1);
+    }
+
+    #[test]
+    fn indexes_stay_fresh_across_removes() {
+        let mut db = Database::new();
+        for (x, y) in [(1, 2), (1, 3), (4, 5), (1, 6)] {
+            db.insert("edge", vec![Value::Int(x), Value::Int(y)])
+                .unwrap();
+        }
+        // Build indexes on both positions before removing.
+        assert_eq!(db.probe("edge", &[Some(Value::Int(1)), None]).count(), 3);
+        assert_eq!(db.probe("edge", &[None, Some(Value::Int(5))]).count(), 1);
+        // Remove a middle row: the last row (1,6) is swapped into its
+        // slot and must stay probeable under both masks.
+        assert!(db.remove("edge", &[Value::Int(1), Value::Int(3)]));
+        assert_eq!(db.probe("edge", &[Some(Value::Int(1)), None]).count(), 2);
+        assert_eq!(db.probe("edge", &[None, Some(Value::Int(6))]).count(), 1);
+        assert_eq!(db.probe("edge", &[None, Some(Value::Int(3))]).count(), 0);
+        // Remove the (new) last row too.
+        assert!(db.remove("edge", &[Value::Int(1), Value::Int(6)]));
+        assert_eq!(db.probe("edge", &[Some(Value::Int(1)), None]).count(), 1);
+        assert_eq!(db.probe("edge", &[None, Some(Value::Int(6))]).count(), 0);
+        // Churn: remove everything, then refill through the same index.
+        assert!(db.remove("edge", &[Value::Int(1), Value::Int(2)]));
+        assert!(db.remove("edge", &[Value::Int(4), Value::Int(5)]));
+        assert_eq!(db.count("edge"), 0);
+        db.insert("edge", vec![Value::Int(1), Value::Int(7)])
+            .unwrap();
+        assert_eq!(db.probe("edge", &[Some(Value::Int(1)), None]).count(), 1);
+    }
+
+    #[test]
+    fn clones_do_not_observe_removes() {
+        let mut a = Database::new();
+        a.insert("p", vec![Value::Int(1)]).unwrap();
+        a.insert("p", vec![Value::Int(2)]).unwrap();
+        assert_eq!(a.probe("p", &[Some(Value::Int(1))]).count(), 1);
+        let b = a.clone();
+        a.remove("p", &[Value::Int(1)]);
+        assert!(!a.contains("p", &[Value::Int(1)]));
+        assert!(b.contains("p", &[Value::Int(1)]));
+        assert_eq!(b.probe("p", &[Some(Value::Int(1))]).count(), 1);
+    }
+
+    #[test]
     fn zero_arity_relations() {
         let mut db = Database::new();
         assert!(db.insert("flag", vec![]).unwrap());
@@ -438,5 +607,8 @@ mod tests {
         assert_eq!(db.count("flag"), 1);
         assert!(db.contains("flag", &[]));
         assert_eq!(db.probe("flag", &[]).count(), 1);
+        assert!(db.remove("flag", &[]));
+        assert!(!db.contains("flag", &[]));
+        assert!(db.insert("flag", vec![]).unwrap());
     }
 }

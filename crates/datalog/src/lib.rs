@@ -44,12 +44,21 @@
 //!
 //! [`seminaive::EvalStats`] reports `index_probes` and
 //! `tuples_scanned` so benches can quantify the effect.
+//!
+//! # Incremental view maintenance
+//!
+//! [`ivm`] keeps a program's full model materialized under TELL/UNTELL
+//! churn instead of recomputing it per query: counting maintenance for
+//! non-recursive strata, delete-and-rederive (DRed) for recursive
+//! ones, with per-tuple support counts at the extensional base so
+//! re-telling and untelling facts compose idempotently.
 
 pub mod ast;
 pub mod db;
 pub mod depgraph;
 pub mod error;
 pub mod intern;
+pub mod ivm;
 pub mod magic;
 pub mod seminaive;
 pub mod stratify;
@@ -58,3 +67,4 @@ pub mod topdown;
 pub use ast::{Atom, Literal, Program, Rule, Term, Value};
 pub use db::Database;
 pub use error::{DatalogError, DatalogResult};
+pub use ivm::MaterializedView;

@@ -85,34 +85,34 @@ impl EvalStats {
 
 /// A compiled argument: interned constant or variable slot.
 #[derive(Debug, Clone, Copy)]
-enum ArgSpec {
+pub(crate) enum ArgSpec {
     Const(IVal),
     Var(u16),
 }
 
 /// A compiled body literal with its binding-pattern mask.
-#[derive(Debug)]
-struct CLit {
-    pred: Symbol,
-    negated: bool,
-    args: Vec<ArgSpec>,
+#[derive(Debug, Clone)]
+pub(crate) struct CLit {
+    pub(crate) pred: Symbol,
+    pub(crate) negated: bool,
+    pub(crate) args: Vec<ArgSpec>,
     /// Positions ground when the join reaches this literal.
-    mask: u32,
+    pub(crate) mask: u32,
     /// `args` at `mask`'s positions, ascending — the probe key recipe.
-    key_spec: Vec<ArgSpec>,
+    pub(crate) key_spec: Vec<ArgSpec>,
 }
 
 /// A compiled rule: positives first, negatives last (as
 /// [`ordered_body`] orders them), variables renamed to slots.
-#[derive(Debug)]
-struct CRule {
-    head_pred: Symbol,
-    head: Vec<ArgSpec>,
-    lits: Vec<CLit>,
-    nslots: usize,
+#[derive(Debug, Clone)]
+pub(crate) struct CRule {
+    pub(crate) head_pred: Symbol,
+    pub(crate) head: Vec<ArgSpec>,
+    pub(crate) lits: Vec<CLit>,
+    pub(crate) nslots: usize,
 }
 
-fn compile(rule: &Rule) -> DatalogResult<CRule> {
+pub(crate) fn compile(rule: &Rule) -> DatalogResult<CRule> {
     let body = ordered_body(rule);
     let mut slots: HashMap<&str, u16> = HashMap::new();
     let mut bound: HashSet<u16> = HashSet::new();
@@ -245,6 +245,17 @@ impl JoinCtx<'_> {
         } else {
             self.total
         };
+        // In a semi-naive round, positions before the delta position
+        // must read the *old* state (total minus this round's delta):
+        // an instantiation whose earlier literal also matches a delta
+        // tuple belongs to the rule version whose delta position is
+        // that earlier literal, so producing it here would attempt —
+        // and count — the same derivation twice.
+        let exclude = if pos < self.delta_pos {
+            self.delta
+        } else {
+            None
+        };
         let Some(rel) = source.rel(lit.pred) else {
             return Ok(());
         };
@@ -266,7 +277,11 @@ impl JoinCtx<'_> {
             if let Some(ids) = index.get(&key) {
                 stats.tuples_scanned += ids.len();
                 for &id in ids {
-                    if match_row(&lit.args, rel.row(id), env, trail) {
+                    let row = rel.row(id);
+                    if exclude.is_some_and(|d| d.contains_ivals(lit.pred, row)) {
+                        continue;
+                    }
+                    if match_row(&lit.args, row, env, trail) {
                         self.join(rule, pos + 1, env, trail, stats, emit)?;
                     }
                     unwind(env, trail, mark);
@@ -275,6 +290,9 @@ impl JoinCtx<'_> {
         } else {
             stats.tuples_scanned += rel.len();
             for row in rel.rows() {
+                if exclude.is_some_and(|d| d.contains_ivals(lit.pred, row)) {
+                    continue;
+                }
                 if match_row(&lit.args, row, env, trail) {
                     self.join(rule, pos + 1, env, trail, stats, emit)?;
                 }
@@ -287,7 +305,7 @@ impl JoinCtx<'_> {
 
 /// Matches `row` against `args`, binding fresh slots (recorded on
 /// `trail`). On mismatch the caller unwinds to its mark.
-fn match_row(
+pub(crate) fn match_row(
     args: &[ArgSpec],
     row: &[IVal],
     env: &mut [Option<IVal>],
@@ -316,7 +334,7 @@ fn match_row(
     true
 }
 
-fn unwind(env: &mut [Option<IVal>], trail: &mut Vec<u16>, mark: usize) {
+pub(crate) fn unwind(env: &mut [Option<IVal>], trail: &mut Vec<u16>, mark: usize) {
     for &s in &trail[mark..] {
         env[s as usize] = None;
     }
@@ -474,8 +492,18 @@ fn join_body(
         Some((d, dp)) if dp == pos => d,
         _ => total,
     };
+    // Same old-state discipline as the indexed core: positions before
+    // the delta position skip tuples from this round's delta, so each
+    // derivation is attempted by exactly one rule version.
+    let exclude = match delta {
+        Some((d, dp)) if pos < dp => Some(d),
+        _ => None,
+    };
     for tuple in source.tuples(&lit.atom.pred) {
         stats.tuples_scanned += 1;
+        if exclude.is_some_and(|d| d.contains(&lit.atom.pred, &tuple)) {
+            continue;
+        }
         if let Some(env2) = match_tuple(&lit.atom.args, &tuple, env) {
             join_body(body, pos + 1, &env2, total, delta, out, stats)?;
         }
@@ -737,6 +765,7 @@ mod tests {
             .unwrap();
         for src in programs {
             let p = Program::parse(src).unwrap();
+            let mut counts = Vec::new();
             for eval in [evaluate, evaluate_scan] {
                 let (model, stats) = eval(&p, &db).unwrap();
                 assert!(
@@ -747,7 +776,73 @@ mod tests {
                 );
                 assert!(stats.new_facts <= model.total());
                 assert!(stats.rounds >= 1);
+                counts.push(stats.derivations);
             }
+            // Exactly-once counting is an engine invariant, not an
+            // artifact of the join order: both cores must agree.
+            assert_eq!(
+                counts[0], counts[1],
+                "indexed and scan derivation counts diverge for `{src}`"
+            );
+        }
+    }
+
+    #[test]
+    fn derivations_count_each_instantiation_exactly_once() {
+        // p is both directly derived from e and closed transitively:
+        //   p(X, Y) :- e(X, Y).
+        //   p(X, Z) :- p(X, Y), p(Y, Z).
+        // Over the chain 1→2→3→4 the correct exactly-once count is 7:
+        // three rule-1 instantiations plus the four composable pairs
+        // Σ_y |p(*, y)| · |p(y, *)| = (12,23) (12,24) (13,34) (23,34).
+        // A join that reads the absorbed total at every non-delta
+        // position counts pairs with both sides in the same delta
+        // round twice (9 here).
+        let p = Program::parse("p(X, Y) :- e(X, Y).\np(X, Z) :- p(X, Y), p(Y, Z).").unwrap();
+        let mut db = Database::new();
+        for i in 1..4 {
+            db.insert("e", vec![Value::Int(i), Value::Int(i + 1)])
+                .unwrap();
+        }
+        for eval in [evaluate, evaluate_scan] {
+            let (model, stats) = eval(&p, &db).unwrap();
+            assert_eq!(model.count("p"), 6);
+            assert_eq!(stats.new_facts, 6);
+            assert_eq!(
+                stats.derivations, 7,
+                "each instantiation must be attempted exactly once"
+            );
+        }
+    }
+
+    #[test]
+    fn derivations_exactly_once_on_same_generation() {
+        // The recursive literal flanked by EDB literals: the delta
+        // version at position 1 must keep reading the full parent
+        // relation on both sides, so the old-state discipline only
+        // filters same-stratum delta tuples, never EDB tuples.
+        let p = Program::parse(
+            "sg(X, X) :- person(X).\n\
+             sg(X, Y) :- parent(X, XP), sg(XP, YP), parent(Y, YP).",
+        )
+        .unwrap();
+        let mut db = Database::new();
+        for x in ["ann", "bob", "cal"] {
+            db.insert("person", vec![Value::sym(x)]).unwrap();
+        }
+        db.insert("parent", vec![Value::sym("ann"), Value::sym("cal")])
+            .unwrap();
+        db.insert("parent", vec![Value::sym("bob"), Value::sym("cal")])
+            .unwrap();
+        // Round 1: 3 person seeds, sg join finds nothing (sg empty).
+        // Round 2 (delta = {aa, bb, cc}): rule 2 derives aa, ab, ba, bb
+        // through sg(cal, cal) — 4 instantiations, each via exactly one
+        // delta position. Round 3 (delta = {ab, ba}): sg(cal, ·) has no
+        // new pairs. Exactly-once total: 3 + 4 = 7.
+        for eval in [evaluate, evaluate_scan] {
+            let (model, stats) = eval(&p, &db).unwrap();
+            assert_eq!(model.count("sg"), 5); // aa bb cc ab ba
+            assert_eq!(stats.derivations, 7, "seed 3 + pair joins 4");
         }
     }
 

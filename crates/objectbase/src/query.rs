@@ -54,25 +54,52 @@ fn edb_where<S: PropStore>(
     for id in 0..store.prop_count() {
         let id = PropId(id as u32);
         let Some(p) = store.prop(id) else { continue };
-        if !live(p) || p.is_individual() {
+        if !live(p) {
             continue;
         }
-        let label = store.resolve_sym(p.label).to_string();
-        let src = Value::sym(store.display_prop(p.source));
-        let dst = Value::sym(store.display_prop(p.dest));
-        match label.as_str() {
-            telos::kb::L_INSTANCEOF => {
-                db.insert(preds::IN, vec![src, dst])?;
-            }
-            telos::kb::L_ISA => {
-                db.insert(preds::ISA, vec![src, dst])?;
-            }
-            _ => {
-                db.insert(preds::ATTR, vec![src, Value::sym(label), dst])?;
-            }
+        if let Some((pred, tuple)) = edb_fact_for(store, id) {
+            db.insert(&pred, tuple)?;
         }
     }
     Ok(db)
+}
+
+/// The extensional fact one proposition contributes: `in_(X, C)`,
+/// `isa(C, D)` or `attr(X, L, Y)` keyed by display names, or `None`
+/// for individuals (they reappear as the endpoints of their links).
+/// Belief is *not* checked — the caller decides which belief state it
+/// is mapping. This is the per-proposition delta unit the incremental
+/// view-maintenance path feeds into registered views on TELL/UNTELL.
+pub fn edb_fact_for<S: PropStore>(store: &S, id: PropId) -> Option<(String, Vec<Value>)> {
+    let p = store.prop(id)?;
+    if p.is_individual() {
+        return None;
+    }
+    let label = store.resolve_sym(p.label).to_string();
+    let src = Value::sym(store.display_prop(p.source));
+    let dst = Value::sym(store.display_prop(p.dest));
+    Some(match label.as_str() {
+        telos::kb::L_INSTANCEOF => (preds::IN.to_string(), vec![src, dst]),
+        telos::kb::L_ISA => (preds::ISA.to_string(), vec![src, dst]),
+        _ => (preds::ATTR.to_string(), vec![src, Value::sym(label), dst]),
+    })
+}
+
+/// One extensional fact per believed proposition, duplicates kept:
+/// two distinct propositions asserting the same link yield the same
+/// fact twice, which is exactly the multiplicity a counting view needs
+/// so that untelling one of them does not delete the other's support.
+pub fn edb_facts(kb: &Kb) -> Vec<(String, Vec<Value>)> {
+    (0..kb.prop_count())
+        .filter_map(|i| {
+            let id = PropId(i as u32);
+            let p = kb.prop(id)?;
+            if !p.is_believed() {
+                return None;
+            }
+            edb_fact_for(kb, id)
+        })
+        .collect()
 }
 
 /// The CML closure rules: transitive isa and instance inheritance.

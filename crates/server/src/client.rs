@@ -549,6 +549,30 @@ impl Client {
         self.done(&Request::Promote { session })
     }
 
+    /// Registers a materialized deductive view: the base closure rules
+    /// plus `rules` (datalog source, may be empty), maintained
+    /// incrementally under every subsequent TELL/UNTELL. A write — on a
+    /// replica it fails with [`ClientError::Redirect`].
+    pub fn register_view(&mut self, session: u64, name: &str, rules: &str) -> ClientResult<String> {
+        self.done(&Request::RegisterView {
+            session,
+            name: name.into(),
+            rules: rules.into(),
+        })
+    }
+
+    /// Reads one predicate of a registered view, each tuple rendered
+    /// as one space-joined row. Snapshot-pinned: a session whose
+    /// watermark predates the view's last refresh gets answers
+    /// evaluated at its own watermark.
+    pub fn view_ask(&mut self, session: u64, name: &str, pred: &str) -> ClientResult<Vec<String>> {
+        self.names(&Request::ViewAsk {
+            session,
+            name: name.into(),
+            pred: pred.into(),
+        })
+    }
+
     /// The server's replication role and position. Sessionless and
     /// admission-exempt, like [`Client::metrics`].
     pub fn repl_status(&mut self) -> ClientResult<ReplicaStatus> {

@@ -61,6 +61,8 @@
 //! | 25 | `Replicate`          | `applied_seq:u64 epoch:u64`                |
 //! | 26 | `Promote`            | `session:u64`                              |
 //! | 27 | `ReplStatus`         | —                                          |
+//! | 28 | `RegisterView`       | `session:u64 name:str rules:str`           |
+//! | 29 | `ViewAsk`            | `session:u64 name:str pred:str`            |
 //!
 //! `Replicate` is the subscription handshake of the replication
 //! subsystem: a follower (or any tailer) announces the last op
@@ -410,6 +412,29 @@ pub enum Request {
     /// Inspect the server's replication role and positions.
     /// Sessionless and admission-exempt, like `Metrics`.
     ReplStatus,
+    /// Register a materialized deductive view: the base closure rules
+    /// plus optional user rules, built once and maintained
+    /// incrementally under every subsequent TELL/UNTELL.
+    RegisterView {
+        /// Issuing session.
+        session: u64,
+        /// View name (unique per knowledge base).
+        name: String,
+        /// Extra datalog rules layered over the base program (may be
+        /// empty).
+        rules: String,
+    },
+    /// Read one predicate of a registered view. Snapshot-pinned: a
+    /// session whose watermark predates the view's last refresh gets
+    /// answers evaluated at its own watermark, never the newer model.
+    ViewAsk {
+        /// Issuing session.
+        session: u64,
+        /// The registered view to read.
+        name: String,
+        /// Predicate whose tuples are wanted (e.g. `inT`).
+        pred: String,
+    },
 }
 
 /// Typed error codes carried by [`Response::Error`].
@@ -607,6 +632,8 @@ const REQ_LINT: u32 = 24;
 const REQ_REPLICATE: u32 = 25;
 const REQ_PROMOTE: u32 = 26;
 const REQ_REPL_STATUS: u32 = 27;
+const REQ_REGISTER_VIEW: u32 = 28;
+const REQ_VIEW_ASK: u32 = 29;
 
 const RESP_WELCOME: u32 = 1;
 const RESP_DONE: u32 = 2;
@@ -899,6 +926,26 @@ impl Request {
                 codec::put_u64(&mut out, *session);
             }
             Request::ReplStatus => codec::put_u32(&mut out, REQ_REPL_STATUS),
+            Request::RegisterView {
+                session,
+                name,
+                rules,
+            } => {
+                codec::put_u32(&mut out, REQ_REGISTER_VIEW);
+                codec::put_u64(&mut out, *session);
+                codec::put_str(&mut out, name);
+                codec::put_str(&mut out, rules);
+            }
+            Request::ViewAsk {
+                session,
+                name,
+                pred,
+            } => {
+                codec::put_u32(&mut out, REQ_VIEW_ASK);
+                codec::put_u64(&mut out, *session);
+                codec::put_str(&mut out, name);
+                codec::put_str(&mut out, pred);
+            }
         }
         out
     }
@@ -1000,6 +1047,16 @@ impl Request {
                 session: c.get_u64()?,
             },
             REQ_REPL_STATUS => Request::ReplStatus,
+            REQ_REGISTER_VIEW => Request::RegisterView {
+                session: c.get_u64()?,
+                name: c.get_str()?.to_string(),
+                rules: c.get_str()?.to_string(),
+            },
+            REQ_VIEW_ASK => Request::ViewAsk {
+                session: c.get_u64()?,
+                name: c.get_str()?.to_string(),
+                pred: c.get_str()?.to_string(),
+            },
             op => return Err(DecodeError(format!("unknown request opcode {op}"))),
         };
         if !c.is_exhausted() {
@@ -1051,7 +1108,9 @@ impl Request {
             | Request::Status { session }
             | Request::Checkpoint { session }
             | Request::Lint { session, .. }
-            | Request::Promote { session } => Some(*session),
+            | Request::Promote { session }
+            | Request::RegisterView { session, .. }
+            | Request::ViewAsk { session, .. } => Some(*session),
         }
     }
 
@@ -1102,6 +1161,8 @@ impl Request {
             Request::Replicate { .. } => "replicate",
             Request::Promote { .. } => "promote",
             Request::ReplStatus => "repl_status",
+            Request::RegisterView { .. } => "register_view",
+            Request::ViewAsk { .. } => "view_ask",
         }
     }
 }
@@ -1485,6 +1546,16 @@ mod tests {
         });
         roundtrip_req(Request::Promote { session: 6 });
         roundtrip_req(Request::ReplStatus);
+        roundtrip_req(Request::RegisterView {
+            session: 7,
+            name: "closure".into(),
+            rules: "reach(X, Y) :- attr(X, next, Y).".into(),
+        });
+        roundtrip_req(Request::ViewAsk {
+            session: 7,
+            name: "closure".into(),
+            pred: "inT".into(),
+        });
     }
 
     #[test]

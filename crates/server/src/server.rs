@@ -995,6 +995,7 @@ fn is_write(req: &Request) -> bool {
             | Request::Execute { .. }
             | Request::RetractDecision { .. }
             | Request::RegisterObject { .. }
+            | Request::RegisterView { .. }
             | Request::Load { .. }
     )
 }
@@ -1413,6 +1414,78 @@ fn dispatch_inner(shared: &Shared, req: Request) -> Response {
                 Ok(_) => Response::Done {
                     text: format!("registered `{name}` in `{class}`"),
                 },
+                Err(e) => err(ErrorCode::Rejected, e.to_string()),
+            }
+        }
+        Request::RegisterView {
+            session,
+            name,
+            rules,
+        } => {
+            if let Err(resp) = touch(shared, session) {
+                return resp;
+            }
+            // A journaled write like Tell: the registration is appended
+            // to the WAL (inside register_view) so recovery and
+            // replication rebuild the view by replay. The belief clock
+            // does not move — registration changes no beliefs.
+            let mut g = write_state(shared);
+            let outcome = g.register_view(&name, &rules);
+            if let Err(resp) = durable_commit(shared, g, outcome.is_ok()) {
+                return resp;
+            }
+            match outcome {
+                Ok(as_of) => Response::Done {
+                    text: format!("registered view `{name}` as of tick {as_of}"),
+                },
+                Err(e) => err(ErrorCode::Rejected, e.to_string()),
+            }
+        }
+        Request::ViewAsk {
+            session,
+            name,
+            pred,
+        } => {
+            let (watermark, version) = match touch_pinned(shared, session) {
+                Ok(wv) => wv,
+                Err(resp) => return resp,
+            };
+            let g = read_state(shared);
+            let Some(view) = g.view(&name) else {
+                return err(ErrorCode::Rejected, format!("unknown view `{name}`"));
+            };
+            // The materialized model reflects the current belief state
+            // (`as_of`). A session pinned at or after it may read the
+            // model directly; an older watermark re-evaluates the
+            // view's program over the session's pinned store version so
+            // it never observes a refresh from a newer tick.
+            let result = if watermark >= view.as_of() {
+                obs::counter!(
+                    "gkbms_view_asks_materialized_total",
+                    "View reads served straight from the maintained model"
+                )
+                .inc();
+                Ok(view.tuples(&pred))
+            } else {
+                obs::counter!(
+                    "gkbms_view_asks_pinned_total",
+                    "View reads re-evaluated at an older pinned watermark"
+                )
+                .inc();
+                view.eval_pinned(version.data(), watermark, &pred)
+            };
+            match result {
+                Ok(tuples) => names(
+                    tuples
+                        .into_iter()
+                        .map(|t| {
+                            t.iter()
+                                .map(|v| v.to_string())
+                                .collect::<Vec<_>>()
+                                .join(" ")
+                        })
+                        .collect(),
+                ),
                 Err(e) => err(ErrorCode::Rejected, e.to_string()),
             }
         }

@@ -49,7 +49,11 @@
 //! session snapshot), `history`, `status`, `save <path>`,
 //! `load <path>`, `\checkpoint` (compact the server journal),
 //! `\replstatus` (replication role and lag), `\promote` (make a
-//! follower the writable leader), and
+//! follower the writable leader),
+//! `\view <name> [: <rules>]` (register a materialized deductive view,
+//! maintained incrementally under TELL/UNTELL),
+//! `\viewask <name> <pred>` (read one predicate of a view, snapshot
+//! pinned at the session watermark), and
 //! `shutdown`; reads are snapshot-isolated at the session watermark,
 //! and the shell refreshes automatically after its own successful
 //! writes so they stay visible.
@@ -231,7 +235,8 @@ fn dispatch_remote(client: &mut Client, session: u64, line: &str) -> Option<Stri
             return None;
         }
         "help" => "commands: tell untell ask holds show refresh history status \\stats \
-                   \\metrics \\lint \\checkpoint \\replstatus \\promote save load shutdown quit"
+                   \\metrics \\lint \\view \\viewask \\checkpoint \\replstatus \\promote \
+                   save load shutdown quit"
             .to_string(),
         "tell" => {
             let r = client.tell(session, &format!("TELL {rest}"));
@@ -311,6 +316,28 @@ fn dispatch_remote(client: &mut Client, session: u64, line: &str) -> Option<Stri
                 }
             }
         }
+        // \view <name> [: <datalog rules>] — register a maintained view.
+        "\\view" | "view" => {
+            let (name, rules) = match rest.split_once(':') {
+                Some((n, r)) => (n.trim(), r.trim()),
+                None => (rest, ""),
+            };
+            if name.is_empty() {
+                "usage: \\view <name> [: <rules>]".to_string()
+            } else {
+                let r = client.register_view(session, name, rules);
+                write_then_refresh(client, r)
+            }
+        }
+        // \viewask <name> <pred> — read one predicate of a view.
+        "\\viewask" | "viewask" => match rest.split_once(char::is_whitespace) {
+            None => "usage: \\viewask <name> <pred>".to_string(),
+            Some((name, pred)) => match client.view_ask(session, name.trim(), pred.trim()) {
+                Err(e) => format!("error: {e}"),
+                Ok(rows) if rows.is_empty() => "no tuples".to_string(),
+                Ok(rows) => rows.join("\n"),
+            },
+        },
         other => format!("unknown command `{other}` (try `help`)"),
     };
     Some(out)
@@ -776,6 +803,29 @@ mod tests {
         assert!(remote.contains("error(s)"), "{remote}");
         server.shutdown().unwrap();
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn view_commands_remote() {
+        let state = conceptbase::gkbms::Gkbms::new().unwrap();
+        let server = Server::bind("127.0.0.1:0", state, Config::default()).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let (session, _) = client.hello().unwrap();
+        dispatch_remote(&mut client, session, "tell Paper end").unwrap();
+        let r = dispatch_remote(&mut client, session, "\\view closure").unwrap();
+        assert!(r.contains("registered view"), "{r}");
+        let dup = dispatch_remote(&mut client, session, "\\view closure").unwrap();
+        assert!(dup.starts_with("error"), "{dup}");
+        dispatch_remote(&mut client, session, "tell p1 in Paper end").unwrap();
+        let rows = dispatch_remote(&mut client, session, "\\viewask closure inT").unwrap();
+        assert!(rows.contains("p1 Paper"), "{rows}");
+        assert!(dispatch_remote(&mut client, session, "\\viewask closure")
+            .unwrap()
+            .starts_with("usage"));
+        assert!(dispatch_remote(&mut client, session, "\\view")
+            .unwrap()
+            .starts_with("usage"));
+        server.shutdown().unwrap();
     }
 
     #[test]

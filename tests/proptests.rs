@@ -459,6 +459,109 @@ proptest! {
         }
     }
 
+    // ---------- incremental views (ISSUE 8) ----------
+
+    /// Differential property: incremental maintenance against
+    /// from-scratch recomputation over random TELL/UNTELL
+    /// interleavings. The program composes a recursive stratum (DRed
+    /// territory) with stratified negation over it (counting
+    /// territory), and the oracle rebuilds the extensional database
+    /// from an independent support multiset — so the view's own EDB
+    /// bookkeeping (re-TELL raises support, UNTELL of absent is a
+    /// no-op) is checked too, not assumed.
+    #[test]
+    fn incremental_maintenance_matches_recompute_under_churn(
+        ops in prop::collection::vec((0u8..3, 0i64..5, 0i64..5), 1..30),
+    ) {
+        use conceptbase::datalog::ivm::{Fact, MaterializedView};
+        let program = Program::parse(
+            "path(X, Y) :- edge(X, Y).\n\
+             path(X, Z) :- path(X, Y), edge(Y, Z).\n\
+             node(X) :- edge(X, _Y).\n\
+             node(Y) :- edge(_X, Y).\n\
+             cut(X, Y) :- node(X), node(Y), not path(X, Y).",
+        )
+        .unwrap();
+        let mut view = MaterializedView::new(program.clone()).unwrap();
+        let mut support: std::collections::HashMap<Fact, i64> =
+            std::collections::HashMap::new();
+        for (op, a, b) in ops {
+            let f: Fact = ("edge".to_string(), vec![Value::Int(a), Value::Int(b)]);
+            match op {
+                // TELL, weighted 2:1 so the model actually grows.
+                0 | 1 => {
+                    view.apply(std::slice::from_ref(&f), &[]).unwrap();
+                    *support.entry(f).or_insert(0) += 1;
+                }
+                // UNTELL, possibly of an absent fact (must be a no-op).
+                _ => {
+                    view.apply(&[], std::slice::from_ref(&f)).unwrap();
+                    let e = support.entry(f).or_insert(0);
+                    *e = (*e - 1).max(0);
+                }
+            }
+            let mut edb = Database::new();
+            for ((pred, tuple), n) in &support {
+                if *n > 0 {
+                    edb.insert(pred, tuple.clone()).unwrap();
+                }
+            }
+            let (expect, _) = seminaive::evaluate(&program, &edb).unwrap();
+            let mut preds: Vec<&str> = expect.preds();
+            preds.extend(view.model().preds());
+            preds.sort_unstable();
+            preds.dedup();
+            for pred in preds {
+                let mut got: Vec<Vec<Value>> = view.model().tuples(pred).collect();
+                let mut want: Vec<Vec<Value>> = expect.tuples(pred).collect();
+                got.sort();
+                want.sort();
+                prop_assert_eq!(got, want, "maintained and recomputed `{}` differ", pred);
+            }
+        }
+    }
+
+    /// Regression (ISSUE 8 satellite 3): pinned belief-time reads must
+    /// not observe view refreshes. Answers captured through
+    /// `ask_with_stats_at` and `ask_with_stats_version` at a watermark
+    /// stay byte-identical while a registered view refreshes on newer
+    /// ticks of random TELL/UNTELL churn.
+    #[test]
+    fn pinned_asks_are_byte_identical_across_view_refreshes(
+        churn in prop::collection::vec((any::<bool>(), 0usize..4), 1..8),
+    ) {
+        use conceptbase::gkbms::Gkbms;
+        use conceptbase::objectbase::query::{ask_with_stats_at, ask_with_stats_version};
+        let mut g = Gkbms::new().unwrap();
+        g.tell_src("TELL Person end\nTELL maria in Person end").unwrap();
+        g.register_view("closure", "hasSelf(X) :- in_(X, _C).").unwrap();
+        let watermark = g.kb().now();
+        let version = g.kb().version();
+        let (before, _) =
+            ask_with_stats_at(g.kb(), watermark, "x", "Person", "true").unwrap();
+        let mut told: Vec<String> = Vec::new();
+        let mut counter = 0usize;
+        for (tell, sel) in churn {
+            if tell || told.is_empty() {
+                let name = format!("p{counter}");
+                counter += 1;
+                g.tell_src(&format!("TELL {name} in Person end")).unwrap();
+                told.push(name);
+            } else {
+                let name = told.remove(sel % told.len());
+                g.untell(&name).unwrap();
+            }
+        }
+        let v = g.view("closure").unwrap();
+        prop_assert!(v.as_of() > watermark, "the view refreshed past the watermark");
+        let (after, _) =
+            ask_with_stats_at(g.kb(), watermark, "x", "Person", "true").unwrap();
+        let (from_version, _) =
+            ask_with_stats_version(&version, watermark, "x", "Person", "true").unwrap();
+        prop_assert_eq!(&after, &before, "ask_with_stats_at leaked a refresh");
+        prop_assert_eq!(&from_version, &before, "ask_with_stats_version leaked a refresh");
+    }
+
     #[test]
     fn untell_restores_previous_query_results(
         n_attrs in 1usize..6,

@@ -279,6 +279,56 @@ fn writes_against_follower_redirect_to_leader() {
     std::fs::remove_dir_all(fdir).unwrap();
 }
 
+/// A view registered on the leader is rebuilt on the follower by
+/// replaying the shipped `RegisterView` record, and subsequent
+/// replicated TELLs keep the replica's model maintained — so view
+/// reads work against a follower, while view registration redirects.
+#[test]
+fn registered_views_replicate_to_followers() {
+    let ldir = tmp_dir("view-l");
+    let fdir = tmp_dir("view-f");
+    let (lsrv, laddr) = leader(&ldir);
+    let (fsrv, faddr) = follower(&fdir, laddr, None);
+
+    let mut c = Client::connect(laddr).unwrap();
+    let (s, _) = c.hello().unwrap();
+    c.tell(s, "TELL Paper end").unwrap();
+    c.register_view(s, "closure", "hasPaper(X) :- inT(X, \"Paper\").")
+        .unwrap();
+    c.tell(s, "TELL p1 in Paper end").unwrap();
+    c.tell(s, "TELL p2 in Paper end").unwrap();
+    let applied = c.repl_status().unwrap().applied_seq;
+    wait_applied(faddr, applied);
+
+    let mut fc = Client::connect(faddr).unwrap();
+    let (fs, _) = fc.hello().unwrap();
+    let mut rows = fc.view_ask(fs, "closure", "hasPaper").unwrap();
+    rows.sort();
+    assert_eq!(rows, vec!["p1".to_string(), "p2".to_string()]);
+    // Registering a view is a journaled write: a follower redirects it.
+    match fc.register_view(fs, "local", "") {
+        Err(ClientError::Redirect { leader }) => {
+            assert_eq!(leader, laddr.to_string())
+        }
+        other => panic!("expected redirect, got {other:?}"),
+    }
+    // An UNTELL shipped after the registration flows a delete delta
+    // through the replica's maintained model too.
+    c.untell(s, "p2").unwrap();
+    let applied = c.repl_status().unwrap().applied_seq;
+    wait_applied(faddr, applied);
+    fc.refresh(fs).unwrap();
+    assert_eq!(
+        fc.view_ask(fs, "closure", "hasPaper").unwrap(),
+        vec!["p1".to_string()]
+    );
+
+    fsrv.shutdown().unwrap();
+    lsrv.shutdown().unwrap();
+    std::fs::remove_dir_all(ldir).unwrap();
+    std::fs::remove_dir_all(fdir).unwrap();
+}
+
 /// Reads the current value of a counter out of the Prometheus text.
 fn metric_value(text: &str, name: &str) -> u64 {
     text.lines()
