@@ -1,0 +1,88 @@
+//! **E-3 over real histories** — JTMS vs ATMS labeling cost on
+//! dependency networks derived from the *same* synthetic design
+//! history ([`gkbms::synth::plan`]), flat (node per design object)
+//! versus decision-granularity abstracted (node per decision, the
+//! shape the GKBMS dependency graph keeps). Complements
+//! `rms_scaling.rs`, which sweeps hand-shaped layered grids; here the
+//! topology is the mapping/normalization/key-substitution mix of a
+//! generated DAIDA history. The checked-in `BENCH_rms.json` snapshot
+//! (`cargo run --release -p bench --bin rms_snapshot`) extends this
+//! sweep to 10^6 decisions.
+
+use bench::rmsnet;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gkbms::synth::{plan, Plan, SynthConfig};
+use std::time::Duration;
+
+fn corpus(decisions: usize) -> Plan {
+    plan(&SynthConfig {
+        seed: 42,
+        decisions,
+        retraction_rate: 0.0,
+        ..SynthConfig::default()
+    })
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rms/synth_build");
+    for decisions in [250usize, 1_000, 4_000] {
+        let p = corpus(decisions);
+        group.bench_with_input(BenchmarkId::new("jtms_flat", decisions), &p, |b, p| {
+            b.iter(|| std::hint::black_box(rmsnet::flat_jtms(p).tms.len()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("jtms_abstracted", decisions),
+            &p,
+            |b, p| b.iter(|| std::hint::black_box(rmsnet::abstracted_jtms(p).tms.len())),
+        );
+        group.bench_with_input(BenchmarkId::new("atms_flat", decisions), &p, |b, p| {
+            b.iter(|| std::hint::black_box(rmsnet::flat_atms(p).atms.len()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("atms_abstracted", decisions),
+            &p,
+            |b, p| b.iter(|| std::hint::black_box(rmsnet::abstracted_atms(p).atms.len())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rms/synth_retract_enable");
+    for decisions in [250usize, 1_000, 4_000] {
+        let p = corpus(decisions);
+        group.bench_with_input(BenchmarkId::new("jtms_flat", decisions), &p, |b, p| {
+            let mut net = rmsnet::flat_jtms(p);
+            let a = net.assumptions[net.assumptions.len() / 2];
+            b.iter(|| {
+                net.tms.retract(a);
+                net.tms.enable(a);
+                std::hint::black_box(net.tms.propagations)
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("jtms_abstracted", decisions),
+            &p,
+            |b, p| {
+                let mut net = rmsnet::abstracted_jtms(p);
+                let a = net.assumptions[net.assumptions.len() / 2];
+                b.iter(|| {
+                    net.tms.retract(a);
+                    net.tms.enable(a);
+                    std::hint::black_box(net.tms.propagations)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+        .sample_size(20);
+    targets = bench_build, bench_churn
+}
+criterion_main!(benches);

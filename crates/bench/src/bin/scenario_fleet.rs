@@ -1,0 +1,109 @@
+//! Scenario-fleet smoke driver (ISSUE 9, CI `scenario-fleet` job).
+//!
+//! Generates a seeded synthetic design history into a *journaled*
+//! GKBMS, then pushes the two workloads the fleet exists to exercise —
+//! selective backtracking with decision replay, and the 3-D history
+//! navigation sweep — and verifies along the way:
+//!
+//! - same-seed determinism: two independent generations of the same
+//!   config are operation-for-operation identical;
+//! - the observability counters the generator and drivers bump are
+//!   nonzero afterwards (the CI job re-asserts them over the wire via
+//!   `\metrics` after recovering the journal under `cbshell --listen`);
+//! - the journal directory recovers to the driven state, so a server
+//!   can serve recall queries against the corpus.
+//!
+//! Run with `cargo run --release -p bench --bin scenario_fleet -- \
+//! <journal-dir> [seed] [decisions]`. Exits nonzero on any violation.
+
+use gkbms::synth::{self, SynthConfig, SynthRng};
+use gkbms::Gkbms;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let dir = args.next().unwrap_or_else(|| "scenario-fleet-kb".into());
+    let seed: u64 = args.next().map_or(42, |s| s.parse().expect("seed"));
+    let decisions: usize = args.next().map_or(250, |s| s.parse().expect("decisions"));
+    let cfg = SynthConfig {
+        seed,
+        decisions,
+        retraction_rate: 0.05,
+        ..SynthConfig::default()
+    };
+
+    // Same-seed determinism, checked on throwaway in-memory instances
+    // before anything touches the journal.
+    let mut a = Gkbms::new().expect("gkbms");
+    let mut b = Gkbms::new().expect("gkbms");
+    let ha = synth::generate_into(&mut a, &cfg).expect("generate");
+    let hb = synth::generate_into(&mut b, &cfg).expect("generate");
+    assert_eq!(ha, hb, "same-seed generations must be identical");
+    assert_eq!(ha.fingerprint(), hb.fingerprint());
+    println!(
+        "determinism: seed {seed} -> fingerprint {:016x}, {} ops",
+        ha.fingerprint(),
+        ha.ops.len()
+    );
+
+    // The journaled corpus the server job recovers from.
+    let (mut g, _) = Gkbms::recover(&dir).expect("recover journal dir");
+    let history = synth::generate_into(&mut g, &cfg).expect("generate into journal");
+    assert_eq!(history, ha, "journaled generation diverged");
+
+    let mut rng = SynthRng::new(seed ^ 0x5eed);
+    let back = synth::drive_backtracking(&mut g, &mut rng, 5).expect("backtracking");
+    println!(
+        "backtracking: {} retracted ({} objects out), {} replayed ({} objects back)",
+        back.retracted, back.objects_taken_out, back.replayed, back.objects_recreated
+    );
+    assert!(back.retracted > 0, "fleet must exercise retraction");
+
+    let nav = synth::sweep_navigation(&g, &mut rng, 8).expect("navigation");
+    println!(
+        "navigation: {} status rows, {} process rows, {} causal hops, \
+         {} version objects, {} history events",
+        nav.status_rows, nav.process_rows, nav.causal_hops, nav.version_objects, nav.history_events
+    );
+    assert!(nav.status_rows > 0 && nav.process_rows > 0);
+    assert!(nav.history_events > 0, "sweep must walk object histories");
+
+    // One recall probe in-process; the CI job repeats it over the wire.
+    let hits = g.recall_similar("syn0", 5).expect("recall");
+    assert!(
+        !hits.is_empty(),
+        "a {decisions}-decision corpus has precedents"
+    );
+    println!(
+        "recall syn0: {} hits, best {:.3}",
+        hits.len(),
+        hits[0].score
+    );
+
+    // The counters the `\metrics` scrape asserts on.
+    for name in [
+        "gkbms_synth_decisions_total",
+        "gkbms_synth_retractions_total",
+        "gkbms_synth_backtrack_rounds_total",
+        "gkbms_synth_nav_sweeps_total",
+        "gkbms_recall_queries_total",
+    ] {
+        let v = obs::registry().counter_value(name).unwrap_or(0);
+        println!("counter {name} = {v}");
+        assert!(v > 0, "{name} must be nonzero after the fleet run");
+    }
+
+    // The journal must recover to the driven state.
+    drop(g);
+    let (recovered, report) = Gkbms::recover(&dir).expect("re-recover");
+    assert!(
+        recovered.records().len() > decisions / 2,
+        "recovered corpus lost its decisions"
+    );
+    println!(
+        "recovered: {} decision records, {} current objects ({} WAL ops replayed)",
+        recovered.records().len(),
+        recovered.current_objects().len(),
+        report.replayed_ops
+    );
+    println!("scenario fleet ok");
+}

@@ -12,6 +12,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use telos::Kb;
 
+pub mod rmsnet;
+
 /// A deterministic RNG for reproducible workloads.
 pub fn rng(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)

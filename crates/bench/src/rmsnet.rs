@@ -1,0 +1,297 @@
+//! RMS dependency networks derived from synthetic design histories.
+//!
+//! **E-3** (§3.3.3): "current RMS can handle only fairly small
+//! dependency networks efficiently \[DEKL86\]; we are studying their
+//! combination with the abstraction mechanisms of the GKBMS." The
+//! builders here turn one [`gkbms::synth`] plan into the two network
+//! shapes that question contrasts:
+//!
+//! - **flat** — one RMS node per design object, one justification per
+//!   decision output; the network a naive RMS coupling would build.
+//! - **abstracted** — one RMS node per *decision*, justified by the
+//!   decisions that produced its inputs; the decision-granularity
+//!   network the GKBMS dependency graph actually keeps.
+//!
+//! In both shapes each decision also contributes one assumption node
+//! (`d{i} holds`), so retraction is the native RMS primitive: retract
+//! the assumption and the decision's consequences go OUT.
+
+use gkbms::synth::{Plan, PlannedOp};
+use rms::atms::{Atms, AtmsNodeId};
+use rms::jtms::{Jtms, JtmsNodeId};
+
+/// A JTMS built from a plan, with the per-decision assumptions that
+/// drive retraction churn.
+pub struct JtmsNet {
+    /// The labeled network.
+    pub tms: Jtms,
+    /// One assumption per executed decision, in plan order.
+    pub assumptions: Vec<JtmsNodeId>,
+    /// Justifications added (the edge count of the network).
+    pub justifications: usize,
+}
+
+/// An ATMS built from a plan.
+pub struct AtmsNet {
+    /// The labeled network.
+    pub atms: Atms,
+    /// One assumption per executed decision, in plan order.
+    pub assumptions: Vec<AtmsNodeId>,
+    /// Justifications added.
+    pub justifications: usize,
+}
+
+/// Flat JTMS: a node per object. Objects minted as decision inputs
+/// (the registered source entities) are justified by the decision
+/// assumption alone; every output by the assumption plus its inputs.
+pub fn flat_jtms(p: &Plan) -> JtmsNet {
+    let mut tms = Jtms::new();
+    let mut obj: Vec<Option<JtmsNodeId>> = vec![None; p.objects];
+    let mut assumptions = Vec::with_capacity(p.decisions);
+    let mut justifications = 0usize;
+    for op in &p.ops {
+        match op {
+            PlannedOp::Execute {
+                inputs, outputs, ..
+            } => {
+                let d = assumptions.len();
+                let a = tms.assumption(format!("d{d}"));
+                assumptions.push(a);
+                let mut ins = vec![a];
+                for &i in inputs {
+                    let n = match obj[i] {
+                        Some(n) => n,
+                        None => {
+                            // A source object minted by this decision:
+                            // registered, so justified by the decision
+                            // itself.
+                            let n = tms.node(format!("o{i}"));
+                            tms.justify(n, &[a], &[]);
+                            justifications += 1;
+                            obj[i] = Some(n);
+                            n
+                        }
+                    };
+                    ins.push(n);
+                }
+                for &o in outputs {
+                    let n = tms.node(format!("o{o}"));
+                    tms.justify(n, &ins, &[]);
+                    justifications += 1;
+                    obj[o] = Some(n);
+                }
+            }
+            PlannedOp::Retract { decision } => {
+                tms.retract(assumptions[*decision]);
+            }
+        }
+    }
+    JtmsNet {
+        tms,
+        assumptions,
+        justifications,
+    }
+}
+
+/// Abstracted JTMS: a node per decision, justified by its assumption
+/// plus the decisions that produced its inputs.
+pub fn abstracted_jtms(p: &Plan) -> JtmsNet {
+    let mut tms = Jtms::new();
+    // Which decision node produced each object (source objects have
+    // none — they collapse into their minting decision).
+    let mut producer: Vec<Option<JtmsNodeId>> = vec![None; p.objects];
+    let mut assumptions = Vec::with_capacity(p.decisions);
+    let mut justifications = 0usize;
+    for op in &p.ops {
+        match op {
+            PlannedOp::Execute {
+                inputs, outputs, ..
+            } => {
+                let d = assumptions.len();
+                let a = tms.assumption(format!("d{d}"));
+                assumptions.push(a);
+                let n = tms.node(format!("dec{d}"));
+                let mut ins = vec![a];
+                for &i in inputs {
+                    if let Some(pn) = producer[i] {
+                        if !ins.contains(&pn) {
+                            ins.push(pn);
+                        }
+                    }
+                }
+                tms.justify(n, &ins, &[]);
+                justifications += 1;
+                for &o in outputs {
+                    producer[o] = Some(n);
+                }
+                for &i in inputs {
+                    // Source inputs minted here are produced here.
+                    producer[i].get_or_insert(n);
+                }
+            }
+            PlannedOp::Retract { decision } => {
+                tms.retract(assumptions[*decision]);
+            }
+        }
+    }
+    JtmsNet {
+        tms,
+        assumptions,
+        justifications,
+    }
+}
+
+/// Flat ATMS: same topology as [`flat_jtms`]. Retraction is a no-op —
+/// the ATMS keeps every context, so a retracted decision is just an
+/// environment one no longer asks about.
+pub fn flat_atms(p: &Plan) -> AtmsNet {
+    let mut atms = Atms::new();
+    let mut obj: Vec<Option<AtmsNodeId>> = vec![None; p.objects];
+    let mut assumptions = Vec::with_capacity(p.decisions);
+    let mut justifications = 0usize;
+    for op in &p.ops {
+        if let PlannedOp::Execute {
+            inputs, outputs, ..
+        } = op
+        {
+            let d = assumptions.len();
+            let a = atms.assumption(format!("d{d}"));
+            assumptions.push(a);
+            let mut ins = vec![a];
+            for &i in inputs {
+                let n = match obj[i] {
+                    Some(n) => n,
+                    None => {
+                        let n = atms.node(format!("o{i}"));
+                        atms.justify(n, &[a]);
+                        justifications += 1;
+                        obj[i] = Some(n);
+                        n
+                    }
+                };
+                ins.push(n);
+            }
+            for &o in outputs {
+                let n = atms.node(format!("o{o}"));
+                atms.justify(n, &ins);
+                justifications += 1;
+                obj[o] = Some(n);
+            }
+        }
+    }
+    AtmsNet {
+        atms,
+        assumptions,
+        justifications,
+    }
+}
+
+/// Abstracted ATMS: same topology as [`abstracted_jtms`].
+pub fn abstracted_atms(p: &Plan) -> AtmsNet {
+    let mut atms = Atms::new();
+    let mut producer: Vec<Option<AtmsNodeId>> = vec![None; p.objects];
+    let mut assumptions = Vec::with_capacity(p.decisions);
+    let mut justifications = 0usize;
+    for op in &p.ops {
+        if let PlannedOp::Execute {
+            inputs, outputs, ..
+        } = op
+        {
+            let d = assumptions.len();
+            let a = atms.assumption(format!("d{d}"));
+            assumptions.push(a);
+            let n = atms.node(format!("dec{d}"));
+            let mut ins = vec![a];
+            for &i in inputs {
+                if let Some(pn) = producer[i] {
+                    if !ins.contains(&pn) {
+                        ins.push(pn);
+                    }
+                }
+            }
+            atms.justify(n, &ins);
+            justifications += 1;
+            for &o in outputs {
+                producer[o] = Some(n);
+            }
+            for &i in inputs {
+                producer[i].get_or_insert(n);
+            }
+        }
+    }
+    AtmsNet {
+        atms,
+        assumptions,
+        justifications,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gkbms::synth::{plan, SynthConfig};
+
+    fn cfg(decisions: usize) -> SynthConfig {
+        SynthConfig {
+            seed: 11,
+            decisions,
+            retraction_rate: 0.0,
+            ..SynthConfig::default()
+        }
+    }
+
+    #[test]
+    fn flat_network_is_larger_than_abstracted() {
+        let p = plan(&cfg(200));
+        let flat = flat_jtms(&p);
+        let abs = abstracted_jtms(&p);
+        assert!(flat.tms.len() > abs.tms.len());
+        assert!(flat.justifications > abs.justifications);
+        // Abstracted: exactly one node + one assumption + one
+        // justification per decision.
+        assert_eq!(abs.tms.len(), 2 * p.decisions);
+        assert_eq!(abs.justifications, p.decisions);
+    }
+
+    #[test]
+    fn every_node_labels_in_after_build() {
+        let p = plan(&cfg(100));
+        let flat = flat_jtms(&p);
+        assert_eq!(flat.tms.in_nodes().len(), flat.tms.len());
+        let abs = abstracted_jtms(&p);
+        assert_eq!(abs.tms.in_nodes().len(), abs.tms.len());
+        let fa = flat_atms(&p);
+        for i in 0..fa.atms.len() {
+            assert!(fa.atms.believed_somewhere(AtmsNodeId(i as u32)));
+        }
+    }
+
+    #[test]
+    fn retracting_a_decision_takes_its_consequences_out() {
+        let p = plan(&cfg(100));
+        let mut net = flat_jtms(&p);
+        let before = net.tms.in_nodes().len();
+        net.tms.retract(net.assumptions[0]);
+        let after = net.tms.in_nodes().len();
+        assert!(after < before, "retraction must take nodes OUT");
+        net.tms.enable(net.assumptions[0]);
+        assert_eq!(net.tms.in_nodes().len(), before);
+    }
+
+    #[test]
+    fn plan_retractions_are_applied_during_build() {
+        let p = plan(&SynthConfig {
+            seed: 11,
+            decisions: 80,
+            retraction_rate: 0.3,
+            ..SynthConfig::default()
+        });
+        let has_retraction = p
+            .ops
+            .iter()
+            .any(|op| matches!(op, PlannedOp::Retract { .. }));
+        assert!(has_retraction, "want a plan that retracts");
+        let net = flat_jtms(&p);
+        assert!(net.tms.in_nodes().len() < net.tms.len());
+    }
+}

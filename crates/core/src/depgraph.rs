@@ -173,6 +173,58 @@ mod tests {
     }
 
     #[test]
+    fn lemma_cache_invalidated_by_retraction_under_churn() {
+        // Regression: the cache must be dropped on *retraction*, not
+        // just on execution — a stale lemma would keep serving edges
+        // for decisions that no longer hold. Driven by the synthetic
+        // generator so the cycle repeats across a realistic mix.
+        use crate::synth::{self, SynthConfig, SynthRng};
+        let mut g = crate::system::Gkbms::new().unwrap();
+        synth::generate_into(
+            &mut g,
+            &SynthConfig {
+                seed: 3,
+                decisions: 50,
+                retraction_rate: 0.0,
+                ..SynthConfig::default()
+            },
+        )
+        .unwrap();
+        let mut rng = SynthRng::new(9);
+        let baseline = g.graph_builds;
+        for round in 0..5u64 {
+            let _ = g.dependency_graph();
+            let _ = g.dependency_graph();
+            assert_eq!(
+                g.graph_builds,
+                baseline + round + 1,
+                "repeat reads serve from the lemma cache"
+            );
+            // Retract one effective decision; the next read must rebuild
+            // and the retracted decision's edges must be gone.
+            let name = loop {
+                let i = rng.below(g.records().len());
+                let r = &g.records()[i];
+                if g.is_effective(&r.name) {
+                    break r.name.clone();
+                }
+            };
+            g.retract_decision(&name).unwrap();
+            let rendered = g.dependency_graph().render();
+            assert_eq!(
+                g.graph_builds,
+                baseline + round + 2,
+                "retraction invalidates the lemma cache"
+            );
+            let token = format!(":{name}");
+            assert!(
+                !rendered.split_whitespace().any(|w| w.ends_with(&token)),
+                "retracted decision `{name}` still in graph"
+            );
+        }
+    }
+
+    #[test]
     fn consequences_are_transitive() {
         let mut g = scenario_gkbms();
         g.register_object("Invitation", kernel::TDL_ENTITY_CLASS, "src")

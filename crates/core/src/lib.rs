@@ -29,6 +29,9 @@
 //!   of decision histories (§3.3.1);
 //! * [`replay`] — decision replay and re-applicability testing
 //!   ("revision support", §3.3);
+//! * [`synth`] — seeded synthetic DAIDA-style histories at
+//!   configurable scale, with backtracking / replay / navigation
+//!   drivers (the E-3 workload machine);
 //! * [`scenario`] — the §2.1 meeting-documents scenario as a reusable
 //!   driver (used by the examples, the integration tests and the
 //!   benches that regenerate figs 2-1 … 2-4 and 3-4).
@@ -43,8 +46,10 @@ pub mod metamodel;
 pub mod mvcc;
 pub mod navigate;
 pub mod persist;
+pub mod recall;
 pub mod replay;
 pub mod scenario;
+pub mod synth;
 pub mod system;
 pub mod versions;
 pub mod views;
@@ -52,5 +57,6 @@ pub mod views;
 pub use decisions::{DecisionClass, DecisionDimension, Discharge, ToolSpec};
 pub use error::{GkbmsError, GkbmsResult};
 pub use journal::{CheckpointReport, FsyncPolicy, Journal, RecoveryReport};
+pub use recall::RecallHit;
 pub use system::{DecisionRequest, DecisionSummary, Gkbms};
 pub use views::RegisteredView;

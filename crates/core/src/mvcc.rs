@@ -340,7 +340,9 @@ mod tests {
                 let stop = Arc::clone(&stop);
                 thread::spawn(move || {
                     let mut reads = 0u64;
-                    while !stop.load(Ordering::Relaxed) {
+                    // Do-while: at least one read even if the writer
+                    // finishes before this thread is first scheduled.
+                    loop {
                         let pin = chain.acquire();
                         // The pinned payload equals the pinned epoch:
                         // a reader never observes a torn or reclaimed
@@ -351,6 +353,9 @@ mod tests {
                         assert_eq!(*clone.data(), clone.seq());
                         drop(clone);
                         reads += 1;
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
                     }
                     reads
                 })

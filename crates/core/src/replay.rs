@@ -92,7 +92,7 @@ impl Gkbms {
             .clone();
         for out in &r.outputs {
             let class = self
-                .class_of_historic_object(out)
+                .class_of_historic_object(out)?
                 .or_else(|| dc.to_classes.first().cloned())
                 .ok_or_else(|| {
                     GkbmsError::Precondition(format!("cannot recover class of `{out}`"))
@@ -104,12 +104,14 @@ impl Gkbms {
     }
 
     /// The design-object class an object had when it was last believed
-    /// (recovered from the full proposition history).
-    fn class_of_historic_object(&self, name: &str) -> Option<String> {
+    /// (recovered from the full proposition history). Fails with a
+    /// typed error if the history has outgrown the 32-bit id space,
+    /// instead of wrapping ids and recovering the wrong class.
+    fn class_of_historic_object(&self, name: &str) -> GkbmsResult<Option<String>> {
         // Find the most recent individual proposition with this name.
         let mut best: Option<(i64, telos::PropId)> = None;
         for i in 0..self.kb.len() {
-            let id = telos::PropId(i as u32);
+            let id = crate::error::checked_prop_id(i)?;
             let Ok(p) = self.kb.get(id) else { continue };
             if !p.is_individual() || self.kb.resolve(p.label) != name {
                 continue;
@@ -122,18 +124,20 @@ impl Gkbms {
                 best = Some((start, id));
             }
         }
-        let (_, obj) = best?;
+        let Some((_, obj)) = best else {
+            return Ok(None);
+        };
         // Its class links, believed or not — take the latest.
         for link in self.kb.links_from(obj) {
             let Ok(p) = self.kb.get(link) else { continue };
             if self.kb.resolve(p.label) == telos::kb::L_INSTANCEOF {
-                return Some(self.kb.display(p.dest));
+                return Ok(Some(self.kb.display(p.dest)));
             }
         }
         // Believed links are gone after untell; scan history.
         let mut latest: Option<(i64, String)> = None;
         for i in 0..self.kb.len() {
-            let id = telos::PropId(i as u32);
+            let id = crate::error::checked_prop_id(i)?;
             let Ok(p) = self.kb.get(id) else { continue };
             if p.source == obj && self.kb.resolve(p.label) == telos::kb::L_INSTANCEOF {
                 let start = match p.belief.start() {
@@ -145,7 +149,7 @@ impl Gkbms {
                 }
             }
         }
-        latest.map(|(_, c)| c)
+        Ok(latest.map(|(_, c)| c))
     }
 }
 

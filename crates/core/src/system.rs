@@ -296,7 +296,7 @@ impl Gkbms {
         let told = objectbase::transform::tell_all(&mut self.kb, &frames);
         // Views must track the KB even when a multi-frame batch fails
         // midway (earlier frames stay told).
-        self.propagate_new_props(mark);
+        self.propagate_new_props(mark)?;
         told?;
         let seq = self.next_seq();
         self.tell_log
@@ -397,7 +397,7 @@ impl Gkbms {
     fn tracked<T>(&mut self, f: impl FnOnce(&mut Self) -> GkbmsResult<T>) -> GkbmsResult<T> {
         let mark = self.kb.len();
         let r = f(self);
-        self.propagate_new_props(mark);
+        self.propagate_new_props(mark)?;
         r
     }
 
@@ -791,8 +791,9 @@ impl Gkbms {
             Err(e) => {
                 // Abort: untell everything the body created, and take
                 // the same deltas back out of the registered views.
-                let created: Vec<PropId> =
-                    (mark..self.kb.len()).map(|i| PropId(i as u32)).collect();
+                let created: Vec<PropId> = (mark..self.kb.len())
+                    .map(crate::error::checked_prop_id)
+                    .collect::<GkbmsResult<_>>()?;
                 let mut undone = Vec::new();
                 for id in created.into_iter().rev() {
                     if self.kb.get(id).map(|p| p.is_believed()).unwrap_or(false) {
@@ -855,8 +856,10 @@ impl Gkbms {
         // Set-oriented consistency check over the batch (E-1). The
         // views see the batch first so the class-closure step can be
         // answered from the materialized `inT` relation.
-        let created: Vec<PropId> = (mark..self.kb.len()).map(|i| PropId(i as u32)).collect();
-        self.propagate_new_props(mark);
+        let created: Vec<PropId> = (mark..self.kb.len())
+            .map(crate::error::checked_prop_id)
+            .collect::<GkbmsResult<_>>()?;
+        self.propagate_new_props(mark)?;
         let (violations, _) = self.check_touched_with_views(&created);
         if !violations.is_empty() {
             return Err(GkbmsError::Aborted {
@@ -985,7 +988,7 @@ impl Gkbms {
             self.kb.put_attr(prop, "status", retracted_status)?;
             self.records[i].retracted = true;
         }
-        self.propagate_new_props(mark);
+        self.propagate_new_props(mark)?;
         let t = self.kb.tick();
         let seq = self.next_seq();
         self.retraction_log.push((seq, t, name.to_string()));

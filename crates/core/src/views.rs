@@ -154,21 +154,23 @@ impl Gkbms {
 
     /// Flows believed propositions created at or after `mark` into
     /// every registered view as insert deltas.
-    pub(crate) fn propagate_new_props(&mut self, mark: usize) {
+    pub(crate) fn propagate_new_props(&mut self, mark: usize) -> GkbmsResult<()> {
         if self.views.is_empty() || mark >= self.kb.len() {
-            return;
+            return Ok(());
         }
-        let inserts: Vec<Fact> = (mark..self.kb.len())
-            .filter_map(|i| {
-                let id = PropId(i as u32);
-                let p = self.kb.prop(id)?;
-                if !p.is_believed() {
-                    return None;
-                }
-                query::edb_fact_for(&self.kb, id)
-            })
-            .collect();
+        let mut inserts: Vec<Fact> = Vec::new();
+        for i in mark..self.kb.len() {
+            let id = crate::error::checked_prop_id(i)?;
+            let Some(p) = self.kb.prop(id) else { continue };
+            if !p.is_believed() {
+                continue;
+            }
+            if let Some(fact) = query::edb_fact_for(&self.kb, id) {
+                inserts.push(fact);
+            }
+        }
         self.apply_view_delta(&inserts, &[]);
+        Ok(())
     }
 
     /// Flows propositions whose belief was just closed into every

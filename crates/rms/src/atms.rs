@@ -10,6 +10,7 @@
 //! kept minimal (no environment subsumes another) and consistent (no
 //! environment is a superset of a nogood).
 
+use std::collections::VecDeque;
 use std::fmt;
 
 /// Identifier of an ATMS node.
@@ -130,6 +131,9 @@ struct AtmsNode {
 pub struct Atms {
     nodes: Vec<AtmsNode>,
     justs: Vec<AtmsJust>,
+    /// For each node, the justifications it feeds as an antecedent —
+    /// the worklist fan-out for incremental label propagation.
+    antecedent_index: Vec<Vec<usize>>,
     assumptions: Vec<AtmsNodeId>,
     nogoods: Vec<Env>,
     /// Statistics: label update operations (for the E-3 bench).
@@ -151,6 +155,7 @@ impl Atms {
             assumption: None,
             is_contradiction: false,
         });
+        self.antecedent_index.push(Vec::new());
         id
     }
 
@@ -222,51 +227,59 @@ impl Atms {
     /// labels. An empty antecedent list makes the consequent a premise
     /// (label `{{}}`).
     pub fn justify(&mut self, consequent: AtmsNodeId, antecedents: &[AtmsNodeId]) {
+        let ji = self.justs.len();
         self.justs.push(AtmsJust {
             antecedents: antecedents.to_vec(),
             consequent,
         });
-        self.propagate();
+        for a in antecedents {
+            self.antecedent_index[a.0 as usize].push(ji);
+        }
+        self.propagate_from(ji);
     }
 
-    /// Recomputes all labels to fixpoint (simple relaxation — adequate
-    /// for the dependency-network sizes the paper's E-3 question is
-    /// about, and easy to verify).
-    fn propagate(&mut self) {
-        loop {
-            let mut changed = false;
-            for j in 0..self.justs.len() {
-                let just = self.justs[j].clone();
-                // Combine antecedent labels: cross-product unions.
-                let mut combined = vec![Env::empty()];
-                for &a in &just.antecedents {
-                    let alabel = self.nodes[a.0 as usize].label.clone();
-                    let mut next = Vec::new();
-                    for c in &combined {
-                        for l in &alabel {
-                            next.push(c.union(l));
-                        }
-                    }
-                    combined = next;
-                    if combined.is_empty() {
-                        break;
+    /// Incremental label propagation: reprocess the given justification
+    /// and, whenever a consequent's label grows, the justifications it
+    /// feeds — a worklist walk over `antecedent_index` instead of a
+    /// fixpoint relaxation over every justification. Nogood pruning
+    /// needs no re-derivation pass: any environment derivable from a
+    /// pruned one is a superset of the nogood and thus inconsistent.
+    fn propagate_from(&mut self, start: usize) {
+        let mut work = VecDeque::from([start]);
+        while let Some(j) = work.pop_front() {
+            let just = self.justs[j].clone();
+            // Combine antecedent labels: cross-product unions.
+            let mut combined = vec![Env::empty()];
+            for &a in &just.antecedents {
+                let alabel = self.nodes[a.0 as usize].label.clone();
+                let mut next = Vec::new();
+                for c in &combined {
+                    for l in &alabel {
+                        next.push(c.union(l));
                     }
                 }
-                for env in combined {
-                    if !self.consistent(&env) {
-                        continue;
-                    }
-                    if self.nodes[just.consequent.0 as usize].is_contradiction {
-                        if self.add_nogood(env) {
-                            changed = true;
-                        }
-                    } else if self.add_to_label(just.consequent, env) {
-                        changed = true;
-                    }
+                combined = next;
+                if combined.is_empty() {
+                    break;
                 }
             }
-            if !changed {
-                break;
+            let mut grew = false;
+            for env in combined {
+                if !self.consistent(&env) {
+                    continue;
+                }
+                if self.nodes[just.consequent.0 as usize].is_contradiction {
+                    self.add_nogood(env);
+                } else if self.add_to_label(just.consequent, env) {
+                    grew = true;
+                }
+            }
+            if grew {
+                work.extend(
+                    self.antecedent_index[just.consequent.0 as usize]
+                        .iter()
+                        .copied(),
+                );
             }
         }
     }

@@ -14,7 +14,7 @@
 //! the most recent as culprit, retracts it and records the set as a
 //! nogood so the same combination is not re-enabled blindly.
 
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 use std::fmt;
 
 /// Identifier of a TMS node.
@@ -51,6 +51,14 @@ struct Node {
 pub struct Jtms {
     nodes: Vec<Node>,
     justs: Vec<Justification>,
+    /// For each node, the justifications it appears in as an in-list
+    /// antecedent (one entry per occurrence) — the worklist fan-out.
+    in_index: Vec<Vec<usize>>,
+    /// Whether any justification carries a non-empty out-list. While
+    /// false the network is monotone and labeling is incremental; the
+    /// first non-monotonic justification switches every later change
+    /// to the full grounded fixpoint.
+    has_out_lists: bool,
     /// Recorded nogoods: assumption sets that led to contradictions.
     nogoods: Vec<Vec<JtmsNodeId>>,
     /// Statistics: label propagation rounds (for the E-3 bench).
@@ -73,15 +81,18 @@ impl Jtms {
             enabled: false,
             is_contradiction: false,
         });
+        self.in_index.push(Vec::new());
         id
     }
 
-    /// Creates an assumption node, initially enabled.
+    /// Creates an assumption node, initially enabled. A fresh node is
+    /// not yet referenced by any justification, so enabling it cannot
+    /// affect other labels: IN directly, no propagation.
     pub fn assumption(&mut self, datum: impl Into<String>) -> JtmsNodeId {
         let id = self.node(datum);
         self.nodes[id.0 as usize].is_assumption = true;
         self.nodes[id.0 as usize].enabled = true;
-        self.relabel();
+        self.nodes[id.0 as usize].label = Label::In;
         id
     }
 
@@ -126,12 +137,32 @@ impl Jtms {
         in_list: &[JtmsNodeId],
         out_list: &[JtmsNodeId],
     ) {
+        let ji = self.justs.len();
         self.justs.push(Justification {
             in_list: in_list.to_vec(),
             out_list: out_list.to_vec(),
             consequent,
         });
-        self.relabel();
+        for n in in_list {
+            self.in_index[n.0 as usize].push(ji);
+        }
+        if !out_list.is_empty() {
+            self.has_out_lists = true;
+        }
+        if self.has_out_lists {
+            self.relabel();
+        } else {
+            // Monotone network: adding a justification can only turn
+            // labels IN, starting from the one just added.
+            self.propagations += 1;
+            if self.justs[ji]
+                .in_list
+                .iter()
+                .all(|n| self.nodes[n.0 as usize].label == Label::In)
+            {
+                self.set_in_and_cascade(consequent);
+            }
+        }
     }
 
     /// Enables a (previously retracted) assumption.
@@ -139,7 +170,12 @@ impl Jtms {
         let n = &mut self.nodes[id.0 as usize];
         debug_assert!(n.is_assumption, "enable on non-assumption");
         n.enabled = true;
-        self.relabel();
+        if self.has_out_lists {
+            self.relabel();
+        } else {
+            self.propagations += 1;
+            self.set_in_and_cascade(id);
+        }
     }
 
     /// Retracts an assumption: the selective-backtracking primitive.
@@ -147,7 +183,79 @@ impl Jtms {
         let n = &mut self.nodes[id.0 as usize];
         debug_assert!(n.is_assumption, "retract on non-assumption");
         n.enabled = false;
-        self.relabel();
+        if self.has_out_lists {
+            self.relabel();
+        } else {
+            // Labels only shrink; one grounded closure from scratch is
+            // O(V + E) with the antecedent counters.
+            self.relabel_monotone();
+        }
+    }
+
+    /// Sets `id` IN and closes monotonically over the justifications it
+    /// feeds (worklist over `in_index`). Only sound while the network
+    /// has no out-lists.
+    fn set_in_and_cascade(&mut self, id: JtmsNodeId) {
+        if self.nodes[id.0 as usize].label == Label::In {
+            return;
+        }
+        self.nodes[id.0 as usize].label = Label::In;
+        let mut queue = VecDeque::from([id]);
+        while let Some(n) = queue.pop_front() {
+            for i in 0..self.in_index[n.0 as usize].len() {
+                let ji = self.in_index[n.0 as usize][i];
+                let c = self.justs[ji].consequent;
+                if self.nodes[c.0 as usize].label == Label::In {
+                    continue;
+                }
+                if self.justs[ji]
+                    .in_list
+                    .iter()
+                    .all(|m| self.nodes[m.0 as usize].label == Label::In)
+                {
+                    self.nodes[c.0 as usize].label = Label::In;
+                    queue.push_back(c);
+                }
+            }
+        }
+    }
+
+    /// Single-pass grounded closure for monotone (no out-list)
+    /// networks: seed from enabled assumptions and zero-antecedent
+    /// justifications, then drain a worklist with per-justification
+    /// unsatisfied-antecedent counters. O(V + E).
+    fn relabel_monotone(&mut self) {
+        self.propagations += 1;
+        let mut counts: Vec<usize> = self.justs.iter().map(|j| j.in_list.len()).collect();
+        let mut label = vec![Label::Out; self.nodes.len()];
+        let mut queue: VecDeque<JtmsNodeId> = VecDeque::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.is_assumption && n.enabled {
+                label[i] = Label::In;
+                queue.push_back(JtmsNodeId(i as u32));
+            }
+        }
+        for (ji, j) in self.justs.iter().enumerate() {
+            if counts[ji] == 0 && label[j.consequent.0 as usize] == Label::Out {
+                label[j.consequent.0 as usize] = Label::In;
+                queue.push_back(j.consequent);
+            }
+        }
+        while let Some(n) = queue.pop_front() {
+            for &ji in &self.in_index[n.0 as usize] {
+                counts[ji] -= 1;
+                if counts[ji] == 0 {
+                    let c = self.justs[ji].consequent;
+                    if label[c.0 as usize] == Label::Out {
+                        label[c.0 as usize] = Label::In;
+                        queue.push_back(c);
+                    }
+                }
+            }
+        }
+        for (n, l) in self.nodes.iter_mut().zip(&label) {
+            n.label = *l;
+        }
     }
 
     /// Grounded relabeling: start from enabled assumptions, then close

@@ -46,6 +46,9 @@ pub enum ClientError {
         /// Address of the leader this replica follows.
         leader: String,
     },
+    /// The client was configured so the call can never succeed (e.g. a
+    /// zero-attempt connect budget).
+    Config(String),
     /// The server answered with a typed error.
     Server(ServerError),
 }
@@ -61,6 +64,7 @@ impl std::fmt::Display for ClientError {
             ClientError::Redirect { leader } => {
                 write!(f, "not the leader: writes go to {leader}")
             }
+            ClientError::Config(m) => write!(f, "invalid client configuration: {m}"),
             ClientError::Server(e) => write!(f, "server error: {e}"),
         }
     }
@@ -157,30 +161,40 @@ impl Client {
     /// exponential backoff ([`CONNECT_ATTEMPTS`] attempts starting at
     /// [`CONNECT_BACKOFF`]) — a freshly (re)started or promoted server
     /// may not be listening yet.
-    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> ClientResult<Client> {
         Client::connect_with_retry(addr, DEFAULT_READ_TIMEOUT, CONNECT_ATTEMPTS)
     }
 
     /// Connects with an explicit attempt budget; delays double from
-    /// [`CONNECT_BACKOFF`] between attempts.
+    /// [`CONNECT_BACKOFF`] between attempts. A zero-attempt budget is
+    /// a configuration error, not a silent single try: it fails with
+    /// [`ClientError::Config`]. When every attempt fails, the *last*
+    /// connect error is returned as [`ClientError::Io`].
     pub fn connect_with_retry<A: ToSocketAddrs>(
         addr: A,
         read_timeout: Duration,
         attempts: u32,
-    ) -> io::Result<Client> {
+    ) -> ClientResult<Client> {
+        if attempts == 0 {
+            return Err(ClientError::Config(
+                "connect_with_retry needs a nonzero attempt budget".into(),
+            ));
+        }
         let mut backoff = CONNECT_BACKOFF;
-        let mut last = None;
-        for attempt in 0..attempts.max(1) {
-            if attempt > 0 {
-                std::thread::sleep(backoff);
-                backoff *= 2;
-            }
+        let mut attempt = 0;
+        loop {
             match Client::connect_with_timeout(&addr, read_timeout) {
                 Ok(c) => return Ok(c),
-                Err(e) => last = Some(e),
+                Err(e) => {
+                    attempt += 1;
+                    if attempt >= attempts {
+                        return Err(ClientError::Io(e));
+                    }
+                    std::thread::sleep(backoff);
+                    backoff *= 2;
+                }
             }
         }
-        Err(last.expect("at least one attempt"))
     }
 
     /// Connects to `addr` with an explicit per-call read timeout and no
@@ -573,6 +587,29 @@ impl Client {
         })
     }
 
+    /// Structure-similarity recall: which past decisions looked like
+    /// the named one? Returns `(decision, score, retracted)` triples,
+    /// best first; retracted precedents are included and flagged.
+    pub fn recall(
+        &mut self,
+        session: u64,
+        name: &str,
+        limit: u32,
+    ) -> ClientResult<Vec<(String, f64, bool)>> {
+        let req = Request::Recall {
+            session,
+            name: name.into(),
+            limit,
+        };
+        match self.expect(&req)? {
+            Response::RecallHits { hits } => Ok(hits
+                .into_iter()
+                .map(|h| (h.decision.clone(), h.score(), h.retracted))
+                .collect()),
+            other => Err(shape("RecallHits", &other)),
+        }
+    }
+
     /// The server's replication role and position. Sessionless and
     /// admission-exempt, like [`Client::metrics`].
     pub fn repl_status(&mut self) -> ClientResult<ReplicaStatus> {
@@ -599,4 +636,32 @@ impl Client {
 
 fn shape(wanted: &str, got: &Response) -> ClientError {
     ClientError::Protocol(format!("expected {wanted} response, got {got:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_attempt_budget_is_a_typed_config_error() {
+        let err = Client::connect_with_retry("127.0.0.1:1", Duration::from_millis(10), 0)
+            .err()
+            .expect("zero attempts must fail");
+        match err {
+            ClientError::Config(m) => assert!(m.contains("attempt"), "message: {m}"),
+            other => panic!("expected Config error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exhausted_attempts_surface_the_last_io_error() {
+        // Port 1 refuses on loopback; one attempt, no backoff sleep.
+        let err = Client::connect_with_retry("127.0.0.1:1", Duration::from_millis(10), 1)
+            .err()
+            .expect("nothing listens on port 1");
+        match err {
+            ClientError::Io(_) => {}
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
 }

@@ -63,6 +63,7 @@
 //! | 27 | `ReplStatus`         | —                                          |
 //! | 28 | `RegisterView`       | `session:u64 name:str rules:str`           |
 //! | 29 | `ViewAsk`            | `session:u64 name:str pred:str`            |
+//! | 30 | `Recall`             | `session:u64 name:str limit:u32`           |
 //!
 //! `Replicate` is the subscription handshake of the replication
 //! subsystem: a follower (or any tailer) announces the last op
@@ -102,6 +103,7 @@
 //! | 10 | `Redirect`    | `leader:str`                                     |
 //! | 11 | `Stale`       | `applied_seq:u64 lag:u64 inner:bytes`            |
 //! | 12 | `ReplInfo`    | `is_leader:u32 leader:str applied_seq:u64 leader_seq:u64 epoch:u64 connected:u32` |
+//! | 13 | `RecallHits`  | `n:u32 (decision:str score_bits:u64 retracted:u32)*` |
 //!
 //! `Redirect` answers writes sent to a read replica: the payload
 //! names the leader's address so the client can fail fast and retry
@@ -435,6 +437,17 @@ pub enum Request {
         /// Predicate whose tuples are wanted (e.g. `inT`).
         pred: String,
     },
+    /// Structure-similarity recall: which past decisions looked like
+    /// the named one? Answers [`Response::RecallHits`], best first;
+    /// retracted precedents are included and flagged.
+    Recall {
+        /// Issuing session.
+        session: u64,
+        /// The probe decision's instance name.
+        name: String,
+        /// Maximum number of hits.
+        limit: u32,
+    },
 }
 
 /// Typed error codes carried by [`Response::Error`].
@@ -500,6 +513,25 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::Fenced => "fenced",
         };
         f.write_str(s)
+    }
+}
+
+/// One hit of a structure-similarity recall answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireRecallHit {
+    /// The matching decision's instance name.
+    pub decision: String,
+    /// Similarity score as raw `f64` bits (kept as bits so responses
+    /// stay `Eq`; decode with [`WireRecallHit::score`]).
+    pub score_bits: u64,
+    /// True if the precedent was later retracted.
+    pub retracted: bool,
+}
+
+impl WireRecallHit {
+    /// The similarity score in `(0, 1]`.
+    pub fn score(&self) -> f64 {
+        f64::from_bits(self.score_bits)
     }
 }
 
@@ -603,6 +635,11 @@ pub enum Response {
         /// True while a follower's subscription is live.
         connected: bool,
     },
+    /// Answer to a structure-similarity recall, best hit first.
+    RecallHits {
+        /// The scored hits.
+        hits: Vec<WireRecallHit>,
+    },
 }
 
 const REQ_HELLO: u32 = 1;
@@ -634,6 +671,7 @@ const REQ_PROMOTE: u32 = 26;
 const REQ_REPL_STATUS: u32 = 27;
 const REQ_REGISTER_VIEW: u32 = 28;
 const REQ_VIEW_ASK: u32 = 29;
+const REQ_RECALL: u32 = 30;
 
 const RESP_WELCOME: u32 = 1;
 const RESP_DONE: u32 = 2;
@@ -647,6 +685,7 @@ const RESP_DIAGNOSTICS: u32 = 9;
 const RESP_REDIRECT: u32 = 10;
 const RESP_STALE: u32 = 11;
 const RESP_REPL_INFO: u32 = 12;
+const RESP_RECALL_HITS: u32 = 13;
 
 /// Decode failure: the payload did not parse as a valid message.
 #[derive(Debug)]
@@ -946,6 +985,16 @@ impl Request {
                 codec::put_str(&mut out, name);
                 codec::put_str(&mut out, pred);
             }
+            Request::Recall {
+                session,
+                name,
+                limit,
+            } => {
+                codec::put_u32(&mut out, REQ_RECALL);
+                codec::put_u64(&mut out, *session);
+                codec::put_str(&mut out, name);
+                codec::put_u32(&mut out, *limit);
+            }
         }
         out
     }
@@ -1057,6 +1106,11 @@ impl Request {
                 name: c.get_str()?.to_string(),
                 pred: c.get_str()?.to_string(),
             },
+            REQ_RECALL => Request::Recall {
+                session: c.get_u64()?,
+                name: c.get_str()?.to_string(),
+                limit: c.get_u32()?,
+            },
             op => return Err(DecodeError(format!("unknown request opcode {op}"))),
         };
         if !c.is_exhausted() {
@@ -1110,7 +1164,8 @@ impl Request {
             | Request::Lint { session, .. }
             | Request::Promote { session }
             | Request::RegisterView { session, .. }
-            | Request::ViewAsk { session, .. } => Some(*session),
+            | Request::ViewAsk { session, .. }
+            | Request::Recall { session, .. } => Some(*session),
         }
     }
 
@@ -1163,6 +1218,7 @@ impl Request {
             Request::ReplStatus => "repl_status",
             Request::RegisterView { .. } => "register_view",
             Request::ViewAsk { .. } => "view_ask",
+            Request::Recall { .. } => "recall",
         }
     }
 }
@@ -1266,6 +1322,15 @@ impl Response {
                 codec::put_u64(&mut out, *epoch);
                 codec::put_u32(&mut out, u32::from(*connected));
             }
+            Response::RecallHits { hits } => {
+                codec::put_u32(&mut out, RESP_RECALL_HITS);
+                codec::put_u32(&mut out, hits.len() as u32);
+                for h in hits {
+                    codec::put_str(&mut out, &h.decision);
+                    codec::put_u64(&mut out, h.score_bits);
+                    codec::put_u32(&mut out, u32::from(h.retracted));
+                }
+            }
         }
         out
     }
@@ -1347,6 +1412,18 @@ impl Response {
                 epoch: c.get_u64()?,
                 connected: c.get_u32()? != 0,
             },
+            RESP_RECALL_HITS => {
+                let n = c.get_u32()? as usize;
+                let mut hits = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    hits.push(WireRecallHit {
+                        decision: c.get_str()?.to_string(),
+                        score_bits: c.get_u64()?,
+                        retracted: c.get_u32()? != 0,
+                    });
+                }
+                Response::RecallHits { hits }
+            }
             op => return Err(DecodeError(format!("unknown response opcode {op}"))),
         };
         if !c.is_exhausted() {
@@ -1556,6 +1633,11 @@ mod tests {
             name: "closure".into(),
             pred: "inT".into(),
         });
+        roundtrip_req(Request::Recall {
+            session: 8,
+            name: "mapInvitations".into(),
+            limit: 10,
+        });
     }
 
     #[test]
@@ -1657,6 +1739,21 @@ mod tests {
         roundtrip_resp(Response::Error {
             code: ErrorCode::Fenced,
             message: "subscriber epoch 2 outranks leader epoch 1".into(),
+        });
+        roundtrip_resp(Response::RecallHits { hits: vec![] });
+        roundtrip_resp(Response::RecallHits {
+            hits: vec![
+                WireRecallHit {
+                    decision: "mapMinutes".into(),
+                    score_bits: 0.75f64.to_bits(),
+                    retracted: false,
+                },
+                WireRecallHit {
+                    decision: "mapAgenda".into(),
+                    score_bits: 0.5f64.to_bits(),
+                    retracted: true,
+                },
+            ],
         });
         roundtrip_resp(Response::Diagnostics {
             diags: vec![

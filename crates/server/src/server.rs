@@ -1489,6 +1489,28 @@ fn dispatch_inner(shared: &Shared, req: Request) -> Response {
                 Err(e) => err(ErrorCode::Rejected, e.to_string()),
             }
         }
+        Request::Recall {
+            session,
+            name,
+            limit,
+        } => {
+            if let Err(resp) = touch(shared, session) {
+                return resp;
+            }
+            match read_state(shared).recall_similar(&name, limit as usize) {
+                Ok(hits) => Response::RecallHits {
+                    hits: hits
+                        .into_iter()
+                        .map(|h| proto::WireRecallHit {
+                            decision: h.decision,
+                            score_bits: h.score.to_bits(),
+                            retracted: h.retracted,
+                        })
+                        .collect(),
+                },
+                Err(e) => err(ErrorCode::Rejected, e.to_string()),
+            }
+        }
         Request::Hello
         | Request::Bye { .. }
         | Request::Ping

@@ -235,8 +235,8 @@ fn dispatch_remote(client: &mut Client, session: u64, line: &str) -> Option<Stri
             return None;
         }
         "help" => "commands: tell untell ask holds show refresh history status \\stats \
-                   \\metrics \\lint \\view \\viewask \\checkpoint \\replstatus \\promote \
-                   save load shutdown quit"
+                   \\metrics \\lint \\view \\viewask \\recall \\checkpoint \\replstatus \
+                   \\promote save load shutdown quit"
             .to_string(),
         "tell" => {
             let r = client.tell(session, &format!("TELL {rest}"));
@@ -338,6 +338,29 @@ fn dispatch_remote(client: &mut Client, session: u64, line: &str) -> Option<Stri
                 Ok(rows) => rows.join("\n"),
             },
         },
+        // \recall <decision> [limit] — structurally similar precedents.
+        "\\recall" | "recall" => {
+            let (name, limit) = match rest.split_once(char::is_whitespace) {
+                Some((n, l)) => (n.trim(), l.trim().parse().unwrap_or(10)),
+                None => (rest, 10),
+            };
+            if name.is_empty() {
+                "usage: \\recall <decision> [limit]".to_string()
+            } else {
+                match client.recall(session, name, limit) {
+                    Err(e) => format!("error: {e}"),
+                    Ok(hits) if hits.is_empty() => "no similar decisions".to_string(),
+                    Ok(hits) => hits
+                        .iter()
+                        .map(|(d, score, retracted)| {
+                            let mark = if *retracted { "  (retracted)" } else { "" };
+                            format!("{d}  {score:.3}{mark}")
+                        })
+                        .collect::<Vec<_>>()
+                        .join("\n"),
+                }
+            }
+        }
         other => format!("unknown command `{other}` (try `help`)"),
     };
     Some(out)
@@ -825,6 +848,38 @@ mod tests {
         assert!(dispatch_remote(&mut client, session, "\\view")
             .unwrap()
             .starts_with("usage"));
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn recall_command_remote() {
+        use conceptbase::gkbms::synth;
+        let mut state = conceptbase::gkbms::Gkbms::new().unwrap();
+        let h = synth::generate_into(
+            &mut state,
+            &synth::SynthConfig {
+                seed: 5,
+                decisions: 30,
+                ..synth::SynthConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(h.executed() > 1, "corpus needs precedents");
+        let server = Server::bind("127.0.0.1:0", state, Config::default()).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let (session, _) = client.hello().unwrap();
+        // `syn0` is always the first executed decision of a corpus.
+        let out = dispatch_remote(&mut client, session, "\\recall syn0 5").unwrap();
+        assert!(!out.starts_with("error"), "{out}");
+        assert!(out.contains("syn"), "hits name decisions: {out}");
+        assert!(
+            dispatch_remote(&mut client, session, "\\recall")
+                .unwrap()
+                .starts_with("usage"),
+            "bare \\recall needs a usage hint"
+        );
+        let bad = dispatch_remote(&mut client, session, "\\recall ghost").unwrap();
+        assert!(bad.starts_with("error"), "{bad}");
         server.shutdown().unwrap();
     }
 
