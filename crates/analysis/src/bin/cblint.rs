@@ -1,31 +1,42 @@
 //! `cblint` — offline static analyzer for the rule/constraint base.
 //!
 //! ```text
-//! cblint [--deny-warnings] [--quiet] <file>...
+//! cblint [--deny-warnings] [--quiet] [--format=json] <file>...
 //! ```
 //!
 //! Lints datalog programs (`.dl`) and CML scripts (`TELL … end`),
-//! rendering rustc-style diagnostics. Exits non-zero when any file has
-//! errors — or warnings, under `--deny-warnings`.
+//! rendering rustc-style diagnostics — or, under `--format=json`, one
+//! JSON object per diagnostic per line with a stable field order
+//! (`file`, `line`, `severity`, `code`, `subject`, `message`,
+//! `witness`) for CI and editor consumption. Exits non-zero when any
+//! file has errors — or warnings, under `--deny-warnings`.
 
-use analysis::{lint_source, render, LintContext, Severity};
+use analysis::{lint_source, render, Diagnostic, LintContext, Severity};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut deny_warnings = false;
     let mut quiet = false;
+    let mut json = false;
     let mut files = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--deny-warnings" => deny_warnings = true,
             "--quiet" | "-q" => quiet = true,
+            "--format=json" => json = true,
+            "--format=text" => json = false,
             "--help" | "-h" => {
-                println!("usage: cblint [--deny-warnings] [--quiet] <file>...");
+                println!("usage: cblint [--deny-warnings] [--quiet] [--format=json] <file>...");
                 println!();
                 println!("Statically checks datalog programs (.dl) and CML scripts");
                 println!("(TELL ... end) for unsafe rules, recursion through negation,");
                 println!("undeclared or arity-mismatched predicates, dead rules,");
-                println!("duplicate/subsumed rules and contradicting constraints.");
+                println!("duplicate/subsumed rules, contradicting constraints, sort");
+                println!("conflicts, divergence risks and costly joins (CB000-CB013).");
+                println!();
+                println!("--format=json emits one diagnostic per line as a JSON object");
+                println!("with fields file, line, severity, code, subject, message,");
+                println!("witness, in that order.");
                 return ExitCode::SUCCESS;
             }
             flag if flag.starts_with('-') => {
@@ -61,7 +72,11 @@ fn main() -> ExitCode {
             .iter()
             .filter(|d| d.severity == Severity::Warning)
             .count();
-        if !quiet || !diags.is_empty() {
+        if json {
+            for d in &diags {
+                println!("{}", json_line(file, d));
+            }
+        } else if !quiet || !diags.is_empty() {
             print!("{}", render(file, &src, &diags));
         }
     }
@@ -70,4 +85,43 @@ fn main() -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// One diagnostic as a single-line JSON object, fields in a stable
+/// order so CI greps and golden files stay byte-identical.
+fn json_line(file: &str, d: &Diagnostic) -> String {
+    let mut s = String::from("{");
+    s.push_str(&format!("\"file\":{}", json_str(file)));
+    match d.line {
+        Some(n) => s.push_str(&format!(",\"line\":{n}")),
+        None => s.push_str(",\"line\":null"),
+    }
+    s.push_str(&format!(
+        ",\"severity\":{}",
+        json_str(&d.severity.to_string())
+    ));
+    s.push_str(&format!(",\"code\":{}", json_str(d.code)));
+    s.push_str(&format!(",\"subject\":{}", json_str(&d.subject)));
+    s.push_str(&format!(",\"message\":{}", json_str(&d.message)));
+    s.push_str(&format!(",\"witness\":{}", json_str(&d.witness)));
+    s.push('}');
+    s
+}
+
+fn json_str(v: &str) -> String {
+    let mut out = String::with_capacity(v.len() + 2);
+    out.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }

@@ -1,10 +1,28 @@
-//! The datalog-side checks: safety, stratification, predicate
-//! references, dead rules, duplicates/subsumption.
+//! The datalog-side checks — safety, stratification, predicate
+//! references, dead rules, duplicates/subsumption, and the dataflow
+//! tier (sorts, termination, cost) — organized as an **incremental
+//! per-SCC engine**.
+//!
+//! The combined rule base (deductive base program + stored rules +
+//! the units under admission) is condensed into strongly connected
+//! components, processed in dependency order. Each component's
+//! analysis result is cached under a fingerprint of everything it can
+//! observe: its own rules (text, subject, line), the arity/defined
+//! authority for every predicate it references, and the sort/
+//! cardinality exports of its upstream dependencies. A TELL that adds
+//! one rule therefore re-analyzes only the dirty component and the
+//! components whose fingerprints its exports change — O(delta), not
+//! O(rule base). The two checks that are inherently global —
+//! CB005 dead rules (a reachability sweep) and the authority maps —
+//! are linear passes that run every call.
 
-use crate::{source, Diagnostic, LintContext};
+use crate::{cost, dataflow, source, Diagnostic, LintContext};
 use datalog::ast::{Atom, Program, Rule, Term};
 use datalog::depgraph::DepGraph;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// One rule under analysis, with its reporting identity.
 #[derive(Debug, Clone)]
@@ -18,10 +36,124 @@ pub struct RuleUnit {
     pub rule: Rule,
 }
 
+/// A rule inside one SCC's analysis group. Base rules (trusted at
+/// their own admission) carry no subject and produce no diagnostics;
+/// they still contribute to inference and cost.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SccRule<'a> {
+    /// The parsed rule.
+    pub rule: &'a Rule,
+    /// Reporting identity; `None` for trusted base rules.
+    pub subject: Option<&'a str>,
+    /// 1-based source line, when known.
+    pub line: Option<usize>,
+    /// Hash of the rule's rendering, precomputed once (for base rules,
+    /// once per base refresh) so the per-call fingerprint sweep does
+    /// not re-render O(rule base) text.
+    pub text_hash: u64,
+}
+
+/// The per-SCC fingerprint cache. One instance lives per admission
+/// surface (the GKBMS holds one behind a mutex); a fresh instance
+/// makes every entry point behave like a full from-scratch lint.
+#[derive(Debug, Default)]
+pub struct AnalysisCache {
+    entries: HashMap<u64, CacheEntry>,
+    base_key: Option<u64>,
+    base: Vec<Rule>,
+    /// Per-rule [`rule_hash`] for `base`, parallel to it.
+    base_hashes: Vec<u64>,
+    /// First-seen arities over schema + base (heads and body atoms).
+    base_arities: HashMap<String, usize>,
+    /// Schema predicates plus base rule heads.
+    base_defined: HashSet<String>,
+    /// Dependency graph over the base alone; per call a clone is
+    /// extended with the delta instead of re-interning O(rule base).
+    base_graph: DepGraph,
+    generation: u64,
+    /// Cumulative count of SCCs actually (re-)analyzed.
+    pub sccs_reanalyzed: u64,
+    /// Cumulative count of SCCs served from the fingerprint cache.
+    pub fingerprint_hits: u64,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    diags: Vec<Diagnostic>,
+    sorts: Vec<(String, Vec<dataflow::Sort>)>,
+    cards: Vec<(String, f64)>,
+    generation: u64,
+}
+
+impl AnalysisCache {
+    /// An empty cache — the first lint through it is a full analysis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Re-parses the trusted base (deductive base program + stored
+    /// rules) — and re-derives everything O(base) that only depends on
+    /// it: per-rule text hashes and the arity/defined authorities —
+    /// only when the stored rule texts or the schema change.
+    fn refresh_base(&mut self, ctx: &LintContext) {
+        let mut h = DefaultHasher::new();
+        for t in &ctx.stored_rules {
+            t.hash(&mut h);
+        }
+        let mut schema: Vec<(&String, &usize)> = ctx.schema.iter().collect();
+        schema.sort_unstable();
+        schema.hash(&mut h);
+        let key = h.finish();
+        if self.base_key == Some(key) {
+            return;
+        }
+        let mut base = objectbase::query::base_program().rules;
+        for text in &ctx.stored_rules {
+            // Unparsable stored text is skipped — it was validated at
+            // its own admission.
+            if let Ok(p) = Program::parse_unchecked(&dotted(text)) {
+                base.extend(p.rules);
+            }
+        }
+        self.base_hashes = base.iter().map(rule_hash).collect();
+        self.base_arities = ctx.schema.clone();
+        self.base_defined = ctx.schema.keys().cloned().collect();
+        for rule in &base {
+            self.base_defined.insert(rule.head.pred.clone());
+            for a in atoms_of(rule) {
+                if !self.base_arities.contains_key(&a.pred) {
+                    self.base_arities.insert(a.pred.clone(), a.args.len());
+                }
+            }
+        }
+        self.base_graph = DepGraph::of_rules(base.iter());
+        self.base = base;
+        self.base_key = Some(key);
+    }
+
+    /// Drops entries not touched in the last couple of generations so
+    /// retracted rules do not pin their analyses forever.
+    fn evict(&mut self) {
+        let generation = self.generation;
+        self.entries
+            .retain(|_, e| generation.saturating_sub(e.generation) <= 2);
+    }
+}
+
 /// Lints a standalone datalog source: the rules in `src` joined with
 /// the context's stored rules and the deductive base program.
-/// `% query: p` directives name extra reachability roots.
+/// `% query: p` directives name extra reachability roots; `% view:` /
+/// `% churn:` directives run the CB013 view-maintainability lint.
 pub fn lint_datalog_src(src: &str, ctx: &LintContext) -> Vec<Diagnostic> {
+    lint_datalog_src_cached(src, ctx, &mut AnalysisCache::new())
+}
+
+/// [`lint_datalog_src`] through a long-lived [`AnalysisCache`].
+pub fn lint_datalog_src_cached(
+    src: &str,
+    ctx: &LintContext,
+    cache: &mut AnalysisCache,
+) -> Vec<Diagnostic> {
     let program = match Program::parse_unchecked(src) {
         Ok(p) => p,
         Err(e) => {
@@ -42,50 +174,262 @@ pub fn lint_datalog_src(src: &str, ctx: &LintContext) -> Vec<Diagnostic> {
     let mut roots = source::query_directives(src);
     let explicit_roots = !roots.is_empty();
     roots.extend(ctx.roots.iter().cloned());
-    lint_rules(
+    let mut diags = lint_rules_cached(
         &units,
         ctx,
         &roots,
         explicit_roots || ctx.assume_new_heads_queryable,
-    )
+        cache,
+    );
+    if let Some(view) = source::view_directive(src) {
+        let program = Program {
+            rules: units.iter().map(|u| u.rule.clone()).collect(),
+        };
+        let (tells, untells) = source::churn_directive(src).unwrap_or((0, 0));
+        cost::lint_view(&view, &program, &ctx.edb_cards, tells, untells, &mut diags);
+    }
+    crate::sort_diagnostics(&mut diags);
+    diags
 }
 
 /// Runs the datalog checks over `units` in the context of the stored
-/// rule base. `check_reachability` gates the dead-rule check: offline
-/// it only makes sense when the file says what is queried.
+/// rule base, from scratch. `check_reachability` gates the dead-rule
+/// check: offline it only makes sense when the file says what is
+/// queried.
 pub fn lint_rules(
     units: &[RuleUnit],
     ctx: &LintContext,
     roots: &[String],
     check_reachability: bool,
 ) -> Vec<Diagnostic> {
-    let mut diags = Vec::new();
-    let base = base_rules(ctx);
+    lint_rules_cached(
+        units,
+        ctx,
+        roots,
+        check_reachability,
+        &mut AnalysisCache::new(),
+    )
+}
 
+/// The incremental engine: [`lint_rules`] through a long-lived
+/// [`AnalysisCache`]. With a fresh cache the result is identical to a
+/// full analysis (the differential proptest in `tests/` holds the two
+/// equal under random TELL/UNTELL mixes).
+pub fn lint_rules_cached(
+    units: &[RuleUnit],
+    ctx: &LintContext,
+    roots: &[String],
+    check_reachability: bool,
+    cache: &mut AnalysisCache,
+) -> Vec<Diagnostic> {
+    cache.generation += 1;
+    cache.refresh_base(ctx);
+    let generation = cache.generation;
+
+    // Every rule under analysis: the trusted base first, then the
+    // units, so "earlier rule wins" tie-breaks match admission order.
+    let all: Vec<SccRule<'_>> = cache
+        .base
+        .iter()
+        .zip(cache.base_hashes.iter())
+        .map(|(rule, &text_hash)| SccRule {
+            rule,
+            subject: None,
+            line: None,
+            text_hash,
+        })
+        .chain(units.iter().map(|u| SccRule {
+            rule: &u.rule,
+            subject: Some(u.subject.as_str()),
+            line: u.line,
+            text_hash: rule_hash(&u.rule),
+        }))
+        .collect();
+
+    let mut graph = cache.base_graph.clone();
+    graph.extend_rules(units.iter().map(|u| &u.rule));
+    let sccs = graph.sccs();
+
+    // Rules grouped by the component their head belongs to, in
+    // admission order within each group.
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); sccs.comps.len()];
+    for (i, s) in all.iter().enumerate() {
+        if let Some(n) = graph.pred_index(&s.rule.head.pred) {
+            groups[sccs.comp_of[n]].push(i);
+        }
+    }
+
+    // Global reference authorities: the schema + base portion is
+    // cached in `refresh_base`; only the units' O(delta) contribution
+    // is folded in per call.
+    let mut arities = cache.base_arities.clone();
+    let mut defined = cache.base_defined.clone();
     for u in units {
-        check_safety(u, &mut diags);
+        defined.insert(u.rule.head.pred.clone());
     }
-    check_predicates(units, &base, ctx, &mut diags);
-    check_stratification(units, &base, &mut diags);
+    for u in units {
+        for a in atoms_of(&u.rule) {
+            if !arities.contains_key(&a.pred) {
+                arities.insert(a.pred.clone(), a.args.len());
+            }
+        }
+    }
+
+    // Exports accumulate dependency-first: `sccs()` emits components
+    // so every edge points at an earlier-or-equal index.
+    let mut sigs: HashMap<String, Vec<dataflow::Sort>> = HashMap::new();
+    let mut cards: HashMap<String, f64> = ctx.edb_cards.clone();
+
+    let mut diags = Vec::new();
+    for (c, group) in groups.iter().enumerate() {
+        if group.is_empty() {
+            // A pure-EDB predicate: nothing to analyze, nothing to
+            // export beyond the measured cardinality already seeded.
+            continue;
+        }
+        let scc_preds: Vec<&str> = sccs.comps[c].iter().map(|&n| graph.name(n)).collect();
+        let recursive = sccs.is_recursive(&graph, c);
+        let fp = fingerprint(
+            &scc_preds, group, &all, recursive, &arities, &defined, &sigs, &cards,
+        );
+        if let Some(e) = cache.entries.get_mut(&fp) {
+            e.generation = generation;
+            cache.fingerprint_hits += 1;
+            for (p, s) in &e.sorts {
+                sigs.insert(p.clone(), s.clone());
+            }
+            for (p, v) in &e.cards {
+                cards.insert(p.clone(), *v);
+            }
+            diags.extend(e.diags.iter().cloned());
+            continue;
+        }
+        cache.sccs_reanalyzed += 1;
+        let rules: Vec<SccRule<'_>> = group.iter().map(|&i| all[i]).collect();
+        let mut scc_diags = Vec::new();
+        for r in &rules {
+            check_safety(r, &mut scc_diags);
+            check_predicates_rule(r, &arities, &defined, &mut scc_diags);
+        }
+        check_stratification_scc(&graph, &sccs.comps[c], &rules, &mut scc_diags);
+        check_duplicates(&rules, &mut scc_diags);
+        dataflow::infer_scc_sorts(&scc_preds, &rules, &mut sigs, &mut scc_diags);
+        if recursive {
+            let pred_set: HashSet<&str> = scc_preds.iter().copied().collect();
+            dataflow::check_termination(&pred_set, &rules, &mut scc_diags);
+        }
+        cost::estimate_scc(&scc_preds, &rules, recursive, &mut cards, &mut scc_diags);
+        let sorts = scc_preds
+            .iter()
+            .filter_map(|p| sigs.get(*p).map(|s| ((*p).to_string(), s.clone())))
+            .collect();
+        let exported_cards = scc_preds
+            .iter()
+            .filter_map(|p| cards.get(*p).map(|v| ((*p).to_string(), *v)))
+            .collect();
+        cache.entries.insert(
+            fp,
+            CacheEntry {
+                diags: scc_diags.clone(),
+                sorts,
+                cards: exported_cards,
+                generation,
+            },
+        );
+        diags.extend(scc_diags);
+    }
+
+    // CB005 is inherently global (reachability from the query roots):
+    // a linear sweep over the graph we already built, never cached.
     if check_reachability {
-        check_dead_rules(units, &base, ctx, roots, &mut diags);
+        check_dead_rules(units, &graph, ctx, roots, &mut diags);
     }
-    check_duplicates(units, &base, &mut diags);
+
+    cache.evict();
+    crate::sort_diagnostics(&mut diags);
     diags
 }
 
-/// The trusted rules the input joins: the deductive base program plus
-/// the context's stored rules. Unparsable stored text is skipped — it
-/// was validated at its own admission.
-fn base_rules(ctx: &LintContext) -> Vec<Rule> {
-    let mut base = objectbase::query::base_program().rules;
-    for text in &ctx.stored_rules {
-        let dotted = dotted(text);
-        if let Ok(p) = Program::parse_unchecked(&dotted) {
-            base.extend(p.rules);
-        }
+/// Everything one component's analysis can observe, hashed: its rules
+/// (text, subject, line), whether the component is recursive, and per
+/// referenced predicate the arity/defined authority plus the upstream
+/// sort and cardinality exports. Equal fingerprint ⇒ equal analysis.
+#[allow(clippy::too_many_arguments)]
+fn fingerprint(
+    scc_preds: &[&str],
+    group: &[usize],
+    all: &[SccRule<'_>],
+    recursive: bool,
+    arities: &HashMap<String, usize>,
+    defined: &HashSet<String>,
+    sigs: &HashMap<String, Vec<dataflow::Sort>>,
+    cards: &HashMap<String, f64>,
+) -> u64 {
+    let mut h = DefaultHasher::new();
+    recursive.hash(&mut h);
+    let mut names: Vec<&str> = scc_preds.to_vec();
+    names.sort_unstable();
+    for p in &names {
+        p.hash(&mut h);
     }
-    base
+    for &i in group {
+        let s = &all[i];
+        match s.subject {
+            None => 0u8.hash(&mut h),
+            Some(sub) => {
+                1u8.hash(&mut h);
+                sub.hash(&mut h);
+            }
+        }
+        s.line.hash(&mut h);
+        s.text_hash.hash(&mut h);
+    }
+    let mut refs: Vec<&str> = group
+        .iter()
+        .flat_map(|&i| atoms_of(all[i].rule).map(|a| a.pred.as_str()))
+        .collect();
+    refs.sort_unstable();
+    refs.dedup();
+    for p in refs {
+        p.hash(&mut h);
+        arities.get(p).hash(&mut h);
+        defined.contains(p).hash(&mut h);
+        match sigs.get(p) {
+            Some(sig) => {
+                1u8.hash(&mut h);
+                sig.hash(&mut h);
+            }
+            None => match dataflow::declared_sorts(p) {
+                Some(sig) => {
+                    1u8.hash(&mut h);
+                    sig.hash(&mut h);
+                }
+                None => 0u8.hash(&mut h),
+            },
+        }
+        cost::card(cards, p).to_bits().hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Hash of a rule's rendering, streamed without allocating a String.
+fn rule_hash(rule: &Rule) -> u64 {
+    let mut h = DefaultHasher::new();
+    let _ = fmt::write(&mut HashWriter(&mut h), format_args!("{rule}"));
+    h.finish()
+}
+
+struct HashWriter<'a, H: Hasher>(&'a mut H);
+
+impl<H: Hasher> fmt::Write for HashWriter<'_, H> {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.0.write(s.as_bytes());
+        Ok(())
+    }
+}
+
+fn atoms_of(r: &Rule) -> impl Iterator<Item = &Atom> {
+    std::iter::once(&r.head).chain(r.body.iter().map(|l| &l.atom))
 }
 
 /// Appends the terminating dot datalog requires, if missing.
@@ -100,7 +444,8 @@ pub fn dotted(text: &str) -> String {
 
 /// CB001 — range restriction: every head variable and every variable
 /// under negation must be bound by a positive body literal.
-fn check_safety(u: &RuleUnit, diags: &mut Vec<Diagnostic>) {
+fn check_safety(u: &SccRule<'_>, diags: &mut Vec<Diagnostic>) {
+    let Some(subject) = u.subject else { return };
     let positive: Vec<&str> = u
         .rule
         .body
@@ -113,7 +458,7 @@ fn check_safety(u: &RuleUnit, diags: &mut Vec<Diagnostic>) {
             diags.push(
                 Diagnostic::error(
                     "CB001",
-                    &u.subject,
+                    subject,
                     format!(
                         "unsafe rule: head variable `{v}` of `{}` is not bound by any \
                          positive body literal",
@@ -131,7 +476,7 @@ fn check_safety(u: &RuleUnit, diags: &mut Vec<Diagnostic>) {
                 diags.push(
                     Diagnostic::error(
                         "CB001",
-                        &u.subject,
+                        subject,
                         format!(
                             "unsafe rule: variable `{v}` under negation in a rule for \
                              `{}` is not bound by any positive body literal",
@@ -147,32 +492,25 @@ fn check_safety(u: &RuleUnit, diags: &mut Vec<Diagnostic>) {
 }
 
 /// CB003/CB004 — every referenced predicate must be defined (by the
-/// schema, the base, or some rule) and used with one arity.
-fn check_predicates(
-    units: &[RuleUnit],
-    base: &[Rule],
-    ctx: &LintContext,
+/// schema, the base, or some rule) and used with one arity. The
+/// authority maps are first-seen over the whole admission-ordered rule
+/// base, so checking against the final maps equals the sequential
+/// check: the first occurrence *is* the map entry it is checked
+/// against.
+fn check_predicates_rule(
+    u: &SccRule<'_>,
+    arities: &HashMap<String, usize>,
+    defined: &HashSet<String>,
     diags: &mut Vec<Diagnostic>,
 ) {
-    let mut arities: HashMap<String, usize> = ctx.schema.clone();
-    let mut defined: HashSet<String> = ctx.schema.keys().cloned().collect();
-    for r in base {
-        defined.insert(r.head.pred.clone());
-        for a in std::iter::once(&r.head).chain(r.body.iter().map(|l| &l.atom)) {
-            arities.entry(a.pred.clone()).or_insert(a.args.len());
-        }
-    }
-    for u in units {
-        defined.insert(u.rule.head.pred.clone());
-    }
-    for u in units {
-        let atoms = std::iter::once(&u.rule.head).chain(u.rule.body.iter().map(|l| &l.atom));
-        for atom in atoms {
-            match arities.get(&atom.pred) {
-                Some(&n) if n != atom.args.len() => diags.push(
+    let Some(subject) = u.subject else { return };
+    for atom in atoms_of(u.rule) {
+        if let Some(&n) = arities.get(&atom.pred) {
+            if n != atom.args.len() {
+                diags.push(
                     Diagnostic::error(
                         "CB004",
-                        &u.subject,
+                        subject,
                         format!(
                             "predicate `{}` used with arity {}, but it is declared \
                              with arity {n}",
@@ -182,50 +520,48 @@ fn check_predicates(
                     )
                     .with_witness(format!("`{atom}` in `{}`", u.rule))
                     .at_line(u.line),
-                ),
-                Some(_) => {}
-                None => {
-                    arities.insert(atom.pred.clone(), atom.args.len());
-                }
-            }
-        }
-        for lit in &u.rule.body {
-            if !defined.contains(&lit.atom.pred) {
-                diags.push(
-                    Diagnostic::warning(
-                        "CB003",
-                        &u.subject,
-                        format!(
-                            "references predicate `{}`, which no rule defines and the \
-                             schema does not declare",
-                            lit.atom.pred
-                        ),
-                    )
-                    .with_witness(format!("`{}` in `{}`", lit.atom, u.rule))
-                    .at_line(u.line),
                 );
             }
         }
     }
+    for lit in &u.rule.body {
+        if !defined.contains(&lit.atom.pred) {
+            diags.push(
+                Diagnostic::warning(
+                    "CB003",
+                    subject,
+                    format!(
+                        "references predicate `{}`, which no rule defines and the \
+                         schema does not declare",
+                        lit.atom.pred
+                    ),
+                )
+                .with_witness(format!("`{}` in `{}`", lit.atom, u.rule))
+                .at_line(u.line),
+            );
+        }
+    }
 }
 
-/// CB002 — the combined rule base must be stratifiable; the witness is
-/// the actual negative cycle.
-fn check_stratification(units: &[RuleUnit], base: &[Rule], diags: &mut Vec<Diagnostic>) {
-    let mut combined = Program {
-        rules: base.to_vec(),
-    };
-    combined.rules.extend(units.iter().map(|u| u.rule.clone()));
-    let graph = DepGraph::of(&combined);
-    let Some(cycle) = graph.negative_cycle() else {
+/// CB002 — recursion through negation. Every cycle of the dependency
+/// graph lies within one SCC, so scanning each component finds every
+/// negative cycle the global scan would.
+fn check_stratification_scc(
+    graph: &DepGraph,
+    comp: &[usize],
+    rules: &[SccRule<'_>],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let within: HashSet<usize> = comp.iter().copied().collect();
+    let Some(cycle) = graph.negative_cycle_within(&within) else {
         return;
     };
     let on_cycle: HashSet<&str> = cycle.iter().map(|s| s.as_str()).collect();
-    let culprit = units
+    let culprit = rules
         .iter()
-        .find(|u| on_cycle.contains(u.rule.head.pred.as_str()));
+        .find(|r| r.subject.is_some() && on_cycle.contains(r.rule.head.pred.as_str()));
     let (subject, line) = match culprit {
-        Some(u) => (u.subject.clone(), u.line),
+        Some(r) => (r.subject.unwrap_or_default().to_string(), r.line),
         None => ("rule base".to_string(), None),
     };
     diags.push(
@@ -243,7 +579,7 @@ fn check_stratification(units: &[RuleUnit], base: &[Rule], diags: &mut Vec<Diagn
 /// every query root.
 fn check_dead_rules(
     units: &[RuleUnit],
-    base: &[Rule],
+    graph: &DepGraph,
     ctx: &LintContext,
     roots: &[String],
     diags: &mut Vec<Diagnostic>,
@@ -255,11 +591,6 @@ fn check_dead_rules(
     if all_roots.is_empty() {
         return;
     }
-    let mut combined = Program {
-        rules: base.to_vec(),
-    };
-    combined.rules.extend(units.iter().map(|u| u.rule.clone()));
-    let graph = DepGraph::of(&combined);
     let live = graph.reachable_from(all_roots.iter().map(|s| s.as_str()));
     for u in units {
         let Some(i) = graph.pred_index(&u.rule.head.pred) else {
@@ -283,39 +614,47 @@ fn check_dead_rules(
 }
 
 /// CB006 — a rule that duplicates, is subsumed by, or subsumes an
-/// existing rule is redundant.
-fn check_duplicates(units: &[RuleUnit], base: &[Rule], diags: &mut Vec<Diagnostic>) {
-    let mut earlier: Vec<(String, Rule)> =
-        base.iter().map(|r| (format!("`{r}`"), r.clone())).collect();
-    for u in units {
+/// earlier rule is redundant. Duplication and θ-subsumption both
+/// require identical head predicates, so comparing within the head's
+/// component group sees every pair the global quadratic scan would.
+fn check_duplicates(rules: &[SccRule<'_>], diags: &mut Vec<Diagnostic>) {
+    let mut earlier: Vec<&SccRule<'_>> = Vec::new();
+    for r in rules {
+        let Some(subject) = r.subject else {
+            earlier.push(r);
+            continue;
+        };
         let mut flagged = false;
-        for (other_name, other) in &earlier {
-            let (kind, witness) = if canonical(&u.rule) == canonical(other) {
-                ("duplicate of", format!("both read `{}`", other))
-            } else if subsumes(other, &u.rule) {
+        for other in &earlier {
+            if other.rule.head.pred != r.rule.head.pred {
+                continue;
+            }
+            let (kind, witness) = if canonical(r.rule) == canonical(other.rule) {
+                ("duplicate of", format!("both read `{}`", other.rule))
+            } else if subsumes(other.rule, r.rule) {
                 (
                     "subsumed by",
-                    format!("`{other}` already derives every instance"),
+                    format!("`{}` already derives every instance", other.rule),
                 )
-            } else if subsumes(&u.rule, other) {
-                ("subsumes", format!("`{other}` becomes redundant"))
+            } else if subsumes(r.rule, other.rule) {
+                ("subsumes", format!("`{}` becomes redundant", other.rule))
             } else {
                 continue;
             };
             diags.push(
                 Diagnostic::warning(
                     "CB006",
-                    &u.subject,
-                    format!("redundant rule: {kind} {other_name}"),
+                    subject,
+                    format!("redundant rule: {kind} `{}`", other.rule),
                 )
                 .with_witness(witness)
-                .at_line(u.line),
+                .at_line(r.line),
             );
             flagged = true;
             break;
         }
         if !flagged {
-            earlier.push((format!("`{}`", u.rule), u.rule.clone()));
+            earlier.push(r);
         }
     }
 }
@@ -512,5 +851,46 @@ mod tests {
             .push("odd(X) :- succ(Y, X), not even(Y)".into());
         let d = lint_datalog_src("even(X) :- succ(Y, X), not odd(Y).", &ctx);
         assert!(codes(&d).contains(&"CB002"), "{d:?}");
+    }
+
+    #[test]
+    fn warm_cache_hits_every_clean_component() {
+        let ctx = LintContext::offline();
+        let src = "edge(a, b).\npath(X, Y) :- edge(X, Y).\npath(X, Z) :- edge(X, Y), path(Y, Z).";
+        let mut cache = AnalysisCache::new();
+        let cold = lint_datalog_src_cached(src, &ctx, &mut cache);
+        let analyzed_cold = cache.sccs_reanalyzed;
+        assert!(analyzed_cold > 0);
+        let warm = lint_datalog_src_cached(src, &ctx, &mut cache);
+        assert_eq!(cold, warm);
+        assert_eq!(cache.sccs_reanalyzed, analyzed_cold, "warm run re-analyzed");
+        assert!(cache.fingerprint_hits >= analyzed_cold);
+    }
+
+    #[test]
+    fn incremental_matches_full_when_rules_change() {
+        let ctx = LintContext::offline();
+        let v1 = "edge(a, b).\npath(X, Y) :- edge(X, Y).";
+        let v2 = "edge(a, b).\npath(X, Y) :- edge(X, Y).\nq(X, Y) :- path(X, Y), r(X).";
+        let mut cache = AnalysisCache::new();
+        lint_datalog_src_cached(v1, &ctx, &mut cache);
+        let incr = lint_datalog_src_cached(v2, &ctx, &mut cache);
+        let full = lint_datalog_src(v2, &ctx);
+        assert_eq!(incr, full);
+    }
+
+    #[test]
+    fn view_directive_runs_cb013() {
+        let d = lint(
+            "% view: closure\n\
+             % churn: 30 20\n\
+             r(X, Y) :- e(X, Y).\n\
+             r(X, Z) :- e(X, Y), r(Y, Z).",
+        );
+        assert!(
+            d.iter()
+                .any(|d| d.code == "CB013" && d.message.contains("churn")),
+            "{d:?}"
+        );
     }
 }

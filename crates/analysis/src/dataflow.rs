@@ -1,0 +1,425 @@
+//! The dataflow tier of the analyzer: predicate **sort inference**
+//! (CB010) and **termination/boundedness** analysis (CB011).
+//!
+//! Both analyses are per-SCC so the incremental engine
+//! ([`crate::checks::AnalysisCache`]) can fingerprint and reuse their
+//! results component by component.
+//!
+//! # CB010 — sort inference
+//!
+//! The deductive-relational bridge declares Telos sorts for the EDB
+//! schema (`in_(any, class)`, `isa(class, class)`,
+//! `attr(any, label, any)`, …). Sorts propagate through rule bodies:
+//! within a rule a variable's sort is the *meet* of every position it
+//! occurs at (the constraints intersect), and a predicate's inferred
+//! signature position is the *join* over its rules of what flows into
+//! the head. A meet of two incomparable concrete sorts — a variable
+//! used both as a `class` and as a `label`, an `int` constant at a
+//! `class` position — is a unification conflict, reported with the two
+//! witness literals.
+//!
+//! # CB011 — termination / boundedness
+//!
+//! Over the argument-size dependency graph: a recursive rule is
+//! *bounded* when some argument position of each recursive call is
+//! size-decreasing — a constant, or a variable also constrained by a
+//! positive literal outside the recursive component (the recursion
+//! then descends along a finite extensional relation, like `path`
+//! descending `edge`). A recursive rule none of whose recursive calls
+//! has such a position (`p(X) :- p(X).`, `q(X, Y) :- q(Y, X).`) can
+//! spin without deriving anything new — a divergence risk under
+//! goal-directed evaluation and an unbounded cost under bottom-up —
+//! and is flagged.
+
+use crate::checks::SccRule;
+use crate::Diagnostic;
+use datalog::ast::{Term, Value};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// An inferred Telos sort for one predicate argument position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Sort {
+    /// Any object (the top of the lattice).
+    Any,
+    /// A class name (something instances can be `in`).
+    Class,
+    /// An attribute label.
+    Label,
+    /// An integer.
+    Int,
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sort::Any => write!(f, "any"),
+            Sort::Class => write!(f, "class"),
+            Sort::Label => write!(f, "label"),
+            Sort::Int => write!(f, "int"),
+        }
+    }
+}
+
+impl Sort {
+    /// The meet (greatest lower bound) of two constraints; `None` when
+    /// they are incomparable concrete sorts — a unification conflict.
+    pub fn meet(self, other: Sort) -> Option<Sort> {
+        match (self, other) {
+            (Sort::Any, s) | (s, Sort::Any) => Some(s),
+            (a, b) if a == b => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The join (least upper bound): what a predicate position holds
+    /// when different rules contribute different sorts.
+    pub fn join(self, other: Sort) -> Sort {
+        if self == other {
+            self
+        } else {
+            Sort::Any
+        }
+    }
+}
+
+/// The declared sorts of the deductive-relational bridge's EDB schema
+/// and base IDB — the seeds sort inference propagates from.
+pub fn declared_sorts(pred: &str) -> Option<Vec<Sort>> {
+    match pred {
+        "in_" | "inT" => Some(vec![Sort::Any, Sort::Class]),
+        "isa" | "isaT" => Some(vec![Sort::Class, Sort::Class]),
+        "attr" => Some(vec![Sort::Any, Sort::Label, Sort::Any]),
+        _ => None,
+    }
+}
+
+fn const_sort(v: &Value) -> Sort {
+    match v {
+        Value::Int(_) => Sort::Int,
+        _ => Sort::Any,
+    }
+}
+
+/// Infers signatures for the predicates of one SCC from `rules` (every
+/// rule whose head is in the component), reading dependency signatures
+/// from `sigs` and writing the component's own into it. Unification
+/// conflicts inside *unit* rules are reported as CB010.
+///
+/// Runs the propagation to a fixpoint first (sorts only climb the join
+/// lattice, so it converges in a handful of rounds), then one reporting
+/// pass so a conflict is diagnosed exactly once.
+pub(crate) fn infer_scc_sorts(
+    scc_preds: &[&str],
+    rules: &[SccRule<'_>],
+    sigs: &mut HashMap<String, Vec<Sort>>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    // Working signatures for the component's own predicates, with a
+    // real bottom (`None` = nothing contributed yet) so the first rule
+    // seeds a position instead of being absorbed by a placeholder.
+    let mut work: HashMap<String, Vec<Option<Sort>>> = HashMap::new();
+    for p in scc_preds {
+        if let Some(declared) = sigs.get(*p).cloned().or_else(|| declared_sorts(p)) {
+            work.insert((*p).to_string(), declared.into_iter().map(Some).collect());
+        }
+    }
+    // Fixpoint: propagate without reporting (sorts only climb the join
+    // lattice, so this converges in a handful of rounds).
+    let cap = 2 * rules.len() + 2;
+    for _ in 0..cap {
+        let mut changed = false;
+        for r in rules {
+            propagate_rule(r, sigs, &mut work, &mut changed, None);
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Reporting pass, so a conflict is diagnosed exactly once.
+    let mut changed = false;
+    for r in rules {
+        propagate_rule(r, sigs, &mut work, &mut changed, Some(diags));
+    }
+    // Export: unknown positions widen to Any; predicates nothing
+    // constrained export all-Any of their head arity.
+    for r in rules {
+        let pred = r.rule.head.pred.as_str();
+        if !sigs.contains_key(pred) || work.contains_key(pred) {
+            let sig = match work.get(pred) {
+                Some(w) => w.iter().map(|s| s.unwrap_or(Sort::Any)).collect(),
+                None => vec![Sort::Any; r.rule.head.args.len()],
+            };
+            sigs.insert(pred.to_string(), sig);
+        }
+    }
+}
+
+/// One propagation step for one rule: meet body constraints into the
+/// variable environment, then join the head row into the predicate's
+/// working signature. When `diags` is given, conflicts are reported
+/// (only for unit rules — base rules were vetted at their own
+/// admission).
+fn propagate_rule(
+    r: &SccRule<'_>,
+    sigs: &HashMap<String, Vec<Sort>>,
+    work: &mut HashMap<String, Vec<Option<Sort>>>,
+    changed: &mut bool,
+    mut diags: Option<&mut Vec<Diagnostic>>,
+) {
+    // var -> (sort, literal text that established it)
+    let mut env: HashMap<&str, (Sort, String)> = HashMap::new();
+    for lit in &r.rule.body {
+        let sig: Vec<Sort> = match work.get(lit.atom.pred.as_str()) {
+            Some(w) => w.iter().map(|s| s.unwrap_or(Sort::Any)).collect(),
+            None => match sigs.get(&lit.atom.pred) {
+                Some(s) => s.clone(),
+                None => match declared_sorts(&lit.atom.pred) {
+                    Some(s) => s,
+                    None => continue,
+                },
+            },
+        };
+        for (j, t) in lit.atom.args.iter().enumerate() {
+            let Some(&pos_sort) = sig.get(j) else { break };
+            if pos_sort == Sort::Any {
+                continue;
+            }
+            match t {
+                Term::Const(v) => {
+                    if const_sort(v).meet(pos_sort).is_none() {
+                        if let Some(d) = diags.as_deref_mut() {
+                            report_conflict(
+                                r,
+                                d,
+                                format!(
+                                    "sort conflict: constant `{v}` at the {pos_sort} \
+                                     position of `{}`",
+                                    lit.atom.pred
+                                ),
+                                format!("`{}`", lit.atom),
+                            );
+                        }
+                    }
+                }
+                Term::Var(name) => match env.get(name.as_str()) {
+                    None => {
+                        env.insert(name.as_str(), (pos_sort, format!("`{}`", lit.atom)));
+                    }
+                    Some((prev, prev_witness)) => match prev.meet(pos_sort) {
+                        Some(met) => {
+                            if met != *prev {
+                                let w = format!("`{}`", lit.atom);
+                                env.insert(name.as_str(), (met, w));
+                            }
+                        }
+                        None => {
+                            if let Some(d) = diags.as_deref_mut() {
+                                report_conflict(
+                                    r,
+                                    d,
+                                    format!(
+                                        "sort conflict: variable `{name}` is used as \
+                                         `{prev}` and as `{pos_sort}`"
+                                    ),
+                                    format!("{prev_witness} vs `{}`", lit.atom),
+                                );
+                            }
+                        }
+                    },
+                },
+            }
+        }
+    }
+    // Join the head row into the working signature. `None` is a real
+    // bottom, so the first rule to reach a position seeds it and later
+    // rules join in.
+    let head = &r.rule.head;
+    let incoming: Vec<Sort> = head
+        .args
+        .iter()
+        .map(|t| match t {
+            Term::Const(v) => const_sort(v),
+            Term::Var(name) => env.get(name.as_str()).map_or(Sort::Any, |(s, _)| *s),
+        })
+        .collect();
+    let sig = work
+        .entry(head.pred.clone())
+        .or_insert_with(|| vec![None; head.args.len()]);
+    if sig.len() == head.args.len() {
+        for (j, s) in incoming.iter().enumerate() {
+            let joined = match sig[j] {
+                None => Some(*s),
+                Some(prev) => Some(prev.join(*s)),
+            };
+            if joined != sig[j] {
+                sig[j] = joined;
+                *changed = true;
+            }
+        }
+    }
+}
+
+fn report_conflict(r: &SccRule<'_>, diags: &mut Vec<Diagnostic>, message: String, witness: String) {
+    let Some(subject) = r.subject else {
+        return;
+    };
+    let d = Diagnostic::warning("CB010", subject, message)
+        .with_witness(format!("{witness} in `{}`", r.rule))
+        .at_line(r.line);
+    if !diags.contains(&d) {
+        diags.push(d);
+    }
+}
+
+/// CB011 over one recursive SCC: flags every *unit* rule whose
+/// recursive calls all lack a size-decreasing argument position.
+pub(crate) fn check_termination(
+    scc_preds: &HashSet<&str>,
+    rules: &[SccRule<'_>],
+    diags: &mut Vec<Diagnostic>,
+) {
+    for r in rules {
+        let Some(subject) = r.subject else {
+            continue;
+        };
+        let recursive: Vec<_> = r
+            .rule
+            .body
+            .iter()
+            .filter(|l| !l.negated && scc_preds.contains(l.atom.pred.as_str()))
+            .collect();
+        if recursive.is_empty() {
+            continue;
+        }
+        // Variables constrained by a positive literal outside the
+        // component — the finite relations recursion can descend.
+        let external: HashSet<&str> = r
+            .rule
+            .body
+            .iter()
+            .filter(|l| !l.negated && !scc_preds.contains(l.atom.pred.as_str()))
+            .flat_map(|l| l.atom.vars())
+            .collect();
+        for call in &recursive {
+            let bounded = call.atom.args.iter().any(|t| match t {
+                Term::Const(_) => true,
+                Term::Var(v) => external.contains(v.as_str()),
+            });
+            if !bounded {
+                let mut cycle: Vec<&str> = scc_preds.iter().copied().collect();
+                cycle.sort_unstable();
+                diags.push(
+                    Diagnostic::warning(
+                        "CB011",
+                        subject,
+                        format!(
+                            "recursion may diverge: no argument of recursive call \
+                             `{}` is size-decreasing (bounded by an extensional or \
+                             lower-stratum literal)",
+                            call.atom
+                        ),
+                    )
+                    .with_witness(format!(
+                        "cycle through {{{}}} in `{}`",
+                        cycle.join(", "),
+                        r.rule
+                    ))
+                    .at_line(r.line),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog::ast::Program;
+
+    fn scc_rules(p: &Program) -> Vec<SccRule<'_>> {
+        p.rules
+            .iter()
+            .map(|rule| SccRule {
+                rule,
+                subject: Some("rule"),
+                line: None,
+                text_hash: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn meet_and_join_laws() {
+        assert_eq!(Sort::Any.meet(Sort::Class), Some(Sort::Class));
+        assert_eq!(Sort::Class.meet(Sort::Class), Some(Sort::Class));
+        assert_eq!(Sort::Class.meet(Sort::Label), None);
+        assert_eq!(Sort::Class.join(Sort::Label), Sort::Any);
+        assert_eq!(Sort::Int.join(Sort::Int), Sort::Int);
+    }
+
+    #[test]
+    fn signatures_propagate_through_bodies() {
+        let p = Program::parse("classy(C) :- isaT(C, _D).").unwrap();
+        let rules = scc_rules(&p);
+        let mut sigs = HashMap::new();
+        let mut diags = Vec::new();
+        infer_scc_sorts(&["classy"], &rules, &mut sigs, &mut diags);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(sigs["classy"], vec![Sort::Class]);
+    }
+
+    #[test]
+    fn class_label_clash_is_a_conflict() {
+        let p = Program::parse("p(X) :- isaT(X, _D), attr(_O, X, _V).").unwrap();
+        let rules = scc_rules(&p);
+        let mut sigs = HashMap::new();
+        let mut diags = Vec::new();
+        infer_scc_sorts(&["p"], &rules, &mut sigs, &mut diags);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, "CB010");
+        assert!(diags[0].message.contains("`class`"));
+        assert!(diags[0].message.contains("`label`"));
+        assert!(diags[0].witness.contains("vs"));
+    }
+
+    #[test]
+    fn int_constant_at_class_position_is_a_conflict() {
+        let p = Program::parse("q(X) :- inT(X, 5).").unwrap();
+        let rules = scc_rules(&p);
+        let mut sigs = HashMap::new();
+        let mut diags = Vec::new();
+        infer_scc_sorts(&["q"], &rules, &mut sigs, &mut diags);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("constant `5`"));
+    }
+
+    #[test]
+    fn unbounded_self_recursion_flagged() {
+        let p = Program::parse("p(X) :- p(X).").unwrap();
+        let rules = scc_rules(&p);
+        let mut diags = Vec::new();
+        check_termination(&HashSet::from(["p"]), &rules, &mut diags);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, "CB011");
+    }
+
+    #[test]
+    fn descending_recursion_is_bounded() {
+        let p = Program::parse("path(X, Z) :- edge(X, Y), path(Y, Z).").unwrap();
+        let rules = scc_rules(&p);
+        let mut diags = Vec::new();
+        check_termination(&HashSet::from(["path"]), &rules, &mut diags);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn argument_permutation_flagged() {
+        let p = Program::parse("spin(X, Y) :- spin(Y, X).").unwrap();
+        let rules = scc_rules(&p);
+        let mut diags = Vec::new();
+        check_termination(&HashSet::from(["spin"]), &rules, &mut diags);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].witness.contains("spin"));
+    }
+}

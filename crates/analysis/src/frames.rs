@@ -2,7 +2,7 @@
 //! `TELL … end` frames — well-formedness, sort correctness, datalog
 //! rule admission, and ground constraint contradiction.
 
-use crate::checks::{self, RuleUnit};
+use crate::checks::{self, AnalysisCache, RuleUnit};
 use crate::{source, Diagnostic, LintContext};
 use datalog::ast::Program;
 use objectbase::transform::is_datalog_text;
@@ -17,6 +17,15 @@ type Implication = (String, Vec<(String, bool)>, Option<usize>);
 /// Lints a CML script: parses the frames, then runs
 /// [`lint_frames`] with frame start lines attached.
 pub fn lint_frames_src(src: &str, ctx: &LintContext) -> Vec<Diagnostic> {
+    lint_frames_src_cached(src, ctx, &mut AnalysisCache::new())
+}
+
+/// [`lint_frames_src`] through a long-lived [`AnalysisCache`].
+pub fn lint_frames_src_cached(
+    src: &str,
+    ctx: &LintContext,
+    cache: &mut AnalysisCache,
+) -> Vec<Diagnostic> {
     let frames = match ObjectFrame::parse_all(src) {
         Ok(f) => f,
         Err(e) => {
@@ -29,21 +38,32 @@ pub fn lint_frames_src(src: &str, ctx: &LintContext) -> Vec<Diagnostic> {
         .enumerate()
         .map(|(i, f)| (f, lines.get(i).copied()))
         .collect();
-    lint_frames_spanned(&with_lines, Some(src), ctx)
+    lint_frames_spanned(&with_lines, Some(src), ctx, cache)
 }
 
 /// Lints frames without source text (the admission path: the frames
 /// are already parsed and spans are unknown).
 pub fn lint_frames(frames: &[ObjectFrame], ctx: &LintContext) -> Vec<Diagnostic> {
+    lint_frames_cached(frames, ctx, &mut AnalysisCache::new())
+}
+
+/// [`lint_frames`] through a long-lived [`AnalysisCache`] — the GKBMS
+/// admission path, where O(delta) matters.
+pub fn lint_frames_cached(
+    frames: &[ObjectFrame],
+    ctx: &LintContext,
+    cache: &mut AnalysisCache,
+) -> Vec<Diagnostic> {
     let with_lines: Vec<(ObjectFrame, Option<usize>)> =
         frames.iter().map(|f| (f.clone(), None)).collect();
-    lint_frames_spanned(&with_lines, None, ctx)
+    lint_frames_spanned(&with_lines, None, ctx, cache)
 }
 
 fn lint_frames_spanned(
     frames: &[(ObjectFrame, Option<usize>)],
     src: Option<&str>,
     ctx: &LintContext,
+    cache: &mut AnalysisCache,
 ) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
 
@@ -124,8 +144,15 @@ fn lint_frames_spanned(
         // programs with `% query:` directives, not here.
         let mut roots = ctx.roots.clone();
         roots.extend(rule_units.iter().map(|u| u.rule.head.pred.clone()));
-        diags.extend(checks::lint_rules(&rule_units, ctx, &roots, true));
+        diags.extend(checks::lint_rules_cached(
+            &rule_units,
+            ctx,
+            &roots,
+            true,
+            cache,
+        ));
     }
+    crate::sort_diagnostics(&mut diags);
     diags
 }
 

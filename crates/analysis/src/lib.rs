@@ -20,15 +20,36 @@
 //! * **CB008** malformed assertion text,
 //! * **CB009** sort error in an assertion (unknown class or attribute
 //!   label),
-//! * **CB000** the source does not parse at all.
+//! * **CB000** the source does not parse at all,
+//!
+//! and the dataflow tier ([`dataflow`], [`cost`]):
+//!
+//! * **CB010** sort/type inference: declared Telos sorts propagate
+//!   through rule bodies; unification conflicts are reported with the
+//!   two witness literals,
+//! * **CB011** termination: recursive cycles with no size-decreasing
+//!   argument position are divergence risks,
+//! * **CB012** cardinality/join-cost estimation over the evaluator's
+//!   own plan; cross joins and budget-busting strata are flagged,
+//! * **CB013** IVM maintainability: a registered view forcing DRed
+//!   over a large recursive stratum, or churning under the observed
+//!   TELL/UNTELL mix.
+//!
+//! The engine is **incremental**: per-SCC results are fingerprinted
+//! ([`AnalysisCache`]) so admission-time linting re-analyzes only
+//! dirty components — O(delta), not O(rule base).
 //!
 //! The same engine backs three surfaces: the offline `cblint` binary,
 //! the GKBMS admission path (`Gkbms::tell_src`), and the server's
 //! `Lint` wire op (`\lint` in cbshell).
 
 pub mod checks;
+pub mod cost;
+pub mod dataflow;
 pub mod frames;
 pub mod source;
+
+pub use checks::AnalysisCache;
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -156,6 +177,10 @@ pub struct LintContext {
     /// admission path does; offline lint relies on `% query:`
     /// directives instead).
     pub assume_new_heads_queryable: bool,
+    /// Measured EDB cardinalities (predicate → rows) for the cost
+    /// estimator; empty offline, where [`cost::DEFAULT_EDB_ROWS`]
+    /// applies.
+    pub edb_cards: HashMap<String, f64>,
 }
 
 impl LintContext {
@@ -215,6 +240,12 @@ impl LintContext {
         }
         ctx.stored_rules = objectbase::transform::stored_datalog_rules(kb);
         ctx.stored_constraints = stored_constraints(kb);
+        if let Ok(edb) = objectbase::query::to_edb(kb) {
+            for pred in edb.preds() {
+                ctx.edb_cards
+                    .insert(pred.to_string(), edb.count(pred) as f64);
+            }
+        }
         ctx
     }
 }
@@ -238,11 +269,54 @@ fn stored_constraints(kb: &telos::Kb) -> Vec<(String, String)> {
 /// Lints `src`, which is either a CML script (`TELL … end` frames) or
 /// a datalog program — detected by whether any line opens a frame.
 pub fn lint_source(src: &str, ctx: &LintContext) -> Vec<Diagnostic> {
+    lint_source_cached(src, ctx, &mut AnalysisCache::new())
+}
+
+/// [`lint_source`] through a long-lived [`AnalysisCache`], so repeat
+/// admissions re-analyze only dirty SCCs.
+pub fn lint_source_cached(
+    src: &str,
+    ctx: &LintContext,
+    cache: &mut AnalysisCache,
+) -> Vec<Diagnostic> {
     if source::looks_like_frames(src) {
-        frames::lint_frames_src(src, ctx)
+        frames::lint_frames_src_cached(src, ctx, cache)
     } else {
-        checks::lint_datalog_src(src, ctx)
+        checks::lint_datalog_src_cached(src, ctx, cache)
     }
+}
+
+/// Renders the deductive evaluator's join plan and cost estimate for
+/// the base closure program, the context's stored rules, and any extra
+/// rules in `src` (may be empty), against the context's measured EDB
+/// cardinalities — the engine behind the `Explain` wire op and
+/// `\explain` in cbshell. Errors are the parse failure of `src`.
+pub fn explain_source(src: &str, ctx: &LintContext) -> Result<String, String> {
+    let mut program = objectbase::query::base_program();
+    for text in &ctx.stored_rules {
+        if let Ok(p) = datalog::ast::Program::parse_unchecked(&checks::dotted(text)) {
+            program.rules.extend(p.rules);
+        }
+    }
+    if !src.trim().is_empty() {
+        let extra = datalog::ast::Program::parse_unchecked(src).map_err(|e| e.to_string())?;
+        program.rules.extend(extra.rules);
+    }
+    Ok(cost::explain(&program, &ctx.edb_cards))
+}
+
+/// Sorts diagnostics into the stable reporting order: (line, code,
+/// subject, message). Ties keep insertion order (stable sort), so
+/// output no longer depends on hash-map iteration.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        a.line
+            .unwrap_or(0)
+            .cmp(&b.line.unwrap_or(0))
+            .then_with(|| a.code.cmp(b.code))
+            .then_with(|| a.subject.cmp(&b.subject))
+            .then_with(|| a.message.cmp(&b.message))
+    });
 }
 
 /// Renders diagnostics rustc-style against the source they were found

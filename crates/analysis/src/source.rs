@@ -69,6 +69,39 @@ pub fn query_directives(src: &str) -> Vec<String> {
     out
 }
 
+/// The view name declared by a `% view: name` directive, which asks
+/// for the CB013 maintainability lint over the file's rules.
+pub fn view_directive(src: &str) -> Option<String> {
+    directive_value(src, "view:").map(|v| {
+        v.chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect()
+    })
+}
+
+/// The `% churn: TELLS UNTELLS` directive: an observed write mix for
+/// the CB013 churn heuristic.
+pub fn churn_directive(src: &str) -> Option<(u64, u64)> {
+    let v = directive_value(src, "churn:")?;
+    let mut parts = v.split_whitespace();
+    let tells = parts.next()?.parse().ok()?;
+    let untells = parts.next()?.parse().ok()?;
+    Some((tells, untells))
+}
+
+fn directive_value(src: &str, key: &str) -> Option<String> {
+    for line in src.lines() {
+        let t = line.trim_start();
+        let Some(rest) = t.strip_prefix("%") else {
+            continue;
+        };
+        if let Some(v) = rest.trim_start().strip_prefix(key) {
+            return Some(v.trim().to_string());
+        }
+    }
+    None
+}
+
 /// The 1-based line each `TELL` frame starts on, in order.
 pub fn frame_lines(src: &str) -> Vec<usize> {
     src.lines()

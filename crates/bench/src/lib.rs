@@ -38,6 +38,49 @@ pub fn isa_chain_kb(depth: usize, fanout: usize) -> Kb {
     kb
 }
 
+/// A synthetic stored-rule base for the lint benches: `groups` chained
+/// components, each a mutually recursive pair `p{g}`/`q{g}` with
+/// `per_pred` rules per predicate. Every component joins the EDB
+/// bridge relations, recurses (bounded by an extensional literal, so
+/// CB011 stays quiet), carries several same-predicate `attr` literals
+/// (real subsumption matching work) and feeds the next component —
+/// rich enough that a from-scratch analysis does real per-SCC work
+/// (subsumption, the sort fixpoint, termination, plan costing) on
+/// every component, which is exactly the work the fingerprint cache
+/// elides.
+pub fn synthetic_rule_base(groups: usize, per_pred: usize) -> Vec<String> {
+    let mut rules = Vec::with_capacity(groups * per_pred * 2);
+    for g in 1..=groups {
+        let prev = if g == 1 {
+            "in_".to_string()
+        } else {
+            format!("p{}", g - 1)
+        };
+        for j in 0..per_pred {
+            rules.push(match j {
+                0 => format!("p{g}(X, Y) :- in_(X, C), attr(X, \"f{g}\", Y), isa(C, \"T{g}\")."),
+                1 => format!("p{g}(X, Y) :- q{g}(X, Z), attr(Z, \"g{g}\", Y), in_(X, \"T{g}\")."),
+                _ => format!(
+                    "p{g}(X, Y) :- {prev}(X, Z), attr(X, \"a{g}_{j}\", V), \
+                     attr(Z, \"b{g}_{j}\", W), attr(V, \"c{g}_{j}\", Y), \
+                     in_(X, \"T{g}\"), isa(W, \"U{g}\")."
+                ),
+            });
+        }
+        for j in 0..per_pred {
+            rules.push(match j {
+                0 => format!("q{g}(X, Y) :- p{g}(X, Z), {prev}(Z, Y), in_(X, \"T{g}\")."),
+                _ => format!(
+                    "q{g}(X, Y) :- p{g}(X, Z), attr(Z, \"d{g}_{j}\", V), \
+                     attr(X, \"e{g}_{j}\", W), attr(V, \"h{g}_{j}\", Y), \
+                     in_(W, \"T{g}\")."
+                ),
+            });
+        }
+    }
+    rules
+}
+
 /// A random TaxisDL hierarchy: `width` subclasses under a root, each
 /// with `attrs` attributes, one of them possibly set-valued.
 pub fn random_hierarchy(width: usize, attrs: usize, seed: u64) -> TdlModel {

@@ -175,6 +175,14 @@ pub struct Gkbms {
     /// maintained by every belief-changing mutation (see
     /// [`crate::views`]).
     pub(crate) views: Vec<crate::views::RegisteredView>,
+    /// The per-SCC fingerprint cache of the admission-time analyzer:
+    /// a TELL re-analyzes only the components its delta dirties.
+    /// Behind a mutex because linting is a `&self` read operation.
+    pub(crate) lint_cache: std::sync::Mutex<analysis::AnalysisCache>,
+    /// The lint context derived from the KB, keyed on
+    /// `(kb.len(), kb.now())` so back-to-back lints of an unchanged
+    /// KB skip the O(KB) context rebuild.
+    pub(crate) lint_ctx: std::sync::Mutex<Option<((usize, i64), analysis::LintContext)>>,
     /// Statistics: dependency-graph rebuilds (lemma generation, E-2).
     pub graph_builds: u64,
 }
@@ -208,6 +216,8 @@ impl Gkbms {
             epoch: 1,
             replica_applied: 0,
             views: Vec::new(),
+            lint_cache: std::sync::Mutex::new(analysis::AnalysisCache::new()),
+            lint_ctx: std::sync::Mutex::new(None),
             graph_builds: 0,
         })
     }
@@ -310,23 +320,66 @@ impl Gkbms {
     /// Runs the static analyzer on a parsed frame batch against the
     /// current KB, recording lint metrics.
     pub fn lint_frames(&self, frames: &[objectbase::ObjectFrame]) -> Vec<analysis::Diagnostic> {
-        self.with_lint_metrics(|ctx| analysis::frames::lint_frames(frames, ctx))
+        self.with_lint_metrics(|ctx, cache| {
+            analysis::frames::lint_frames_cached(frames, ctx, cache)
+        })
     }
 
     /// Lints arbitrary source — a CML script or a datalog program —
     /// against the current KB without admitting anything (the `\lint`
     /// command and the server's `Lint` op).
     pub fn lint_src(&self, src: &str) -> Vec<analysis::Diagnostic> {
-        self.with_lint_metrics(|ctx| analysis::lint_source(src, ctx))
+        self.with_lint_metrics(|ctx, cache| analysis::lint_source_cached(src, ctx, cache))
+    }
+
+    /// Renders the deductive evaluator's plan and cost estimate (the
+    /// `Explain` wire op and `\explain`): the base program, the stored
+    /// rules, and any extra rules in `src`, costed against the KB's
+    /// measured EDB cardinalities.
+    pub fn explain_src(&self, src: &str) -> GkbmsResult<String> {
+        let ctx = self.lint_context();
+        analysis::explain_source(src, &ctx)
+            .map_err(|e| GkbmsError::Precondition(format!("explain: {e}")))
+    }
+
+    /// The lint context for the current KB state, rebuilt only when
+    /// the KB changed since the last lint.
+    pub(crate) fn lint_context(&self) -> analysis::LintContext {
+        let key = (self.kb.len(), self.kb.now());
+        let mut slot = self.lint_ctx.lock().expect("lint ctx lock");
+        match &*slot {
+            Some((k, ctx)) if *k == key => ctx.clone(),
+            _ => {
+                let ctx = analysis::LintContext::from_kb(&self.kb);
+                *slot = Some((key, ctx.clone()));
+                ctx
+            }
+        }
     }
 
     fn with_lint_metrics(
         &self,
-        run: impl FnOnce(&analysis::LintContext) -> Vec<analysis::Diagnostic>,
+        run: impl FnOnce(
+            &analysis::LintContext,
+            &mut analysis::AnalysisCache,
+        ) -> Vec<analysis::Diagnostic>,
     ) -> Vec<analysis::Diagnostic> {
         let start = std::time::Instant::now();
-        let ctx = analysis::LintContext::from_kb(&self.kb);
-        let diags = run(&ctx);
+        let ctx = self.lint_context();
+        let mut cache = self.lint_cache.lock().expect("lint cache lock");
+        let (before_re, before_hits) = (cache.sccs_reanalyzed, cache.fingerprint_hits);
+        let diags = run(&ctx, &mut cache);
+        obs::counter!(
+            "gkbms_lint_incremental_sccs_reanalyzed_total",
+            "Rule-base SCCs the incremental analyzer actually re-analyzed"
+        )
+        .add(cache.sccs_reanalyzed - before_re);
+        obs::counter!(
+            "gkbms_lint_fingerprint_hits_total",
+            "Rule-base SCCs served from the analyzer's fingerprint cache"
+        )
+        .add(cache.fingerprint_hits - before_hits);
+        drop(cache);
         obs::histogram!(
             "gkbms_lint_seconds",
             "Wall-clock latency of admission-time lint runs"

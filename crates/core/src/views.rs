@@ -95,6 +95,21 @@ impl Gkbms {
     /// current believed state and maintained incrementally from then
     /// on. Returns the view's initial `as_of` watermark.
     pub fn register_view(&mut self, name: &str, rules: &str) -> GkbmsResult<i64> {
+        self.register_view_checked(name, rules)
+            .map(|(as_of, _)| as_of)
+    }
+
+    /// Like [`Gkbms::register_view`], but also runs the CB013
+    /// maintainability lint against the view's program: DRed cost over
+    /// large recursive strata (using the KB's measured EDB
+    /// cardinalities) and churn risk under the observed TELL/UNTELL
+    /// mix from the write log. Warnings never block registration —
+    /// they ride back to the caller next to the watermark.
+    pub fn register_view_checked(
+        &mut self,
+        name: &str,
+        rules: &str,
+    ) -> GkbmsResult<(i64, Vec<analysis::Diagnostic>)> {
         if self.views.iter().any(|v| v.name == name) {
             return Err(GkbmsError::Duplicate(format!("view `{name}`")));
         }
@@ -113,6 +128,19 @@ impl Gkbms {
                 )));
             }
         }
+        let mut diags = Vec::new();
+        {
+            let ctx = self.lint_context();
+            let (tells, untells) = self
+                .tell_log
+                .iter()
+                .fold((0u64, 0u64), |(t, u), (_, _, e)| match e {
+                    crate::system::TellEvent::Tell(_) => (t + 1, u),
+                    crate::system::TellEvent::Untell(_) => (t, u + 1),
+                });
+            analysis::cost::lint_view(name, &program, &ctx.edb_cards, tells, untells, &mut diags);
+            analysis::sort_diagnostics(&mut diags);
+        }
         let mut view = MaterializedView::new(program).map_err(objectbase::ObError::from)?;
         // The initial load is itself one incremental batch.
         view.apply(&query::edb_facts(&self.kb), &[])
@@ -130,7 +158,7 @@ impl Gkbms {
             "Materialized deductive views currently registered"
         )
         .set(self.views.len() as i64);
-        Ok(as_of)
+        Ok((as_of, diags))
     }
 
     /// The registered views, in registration order.
@@ -301,6 +329,35 @@ mod tests {
             Err(GkbmsError::Precondition(_))
         ));
         assert!(g.register_view("broken", "p(X) :- q(X").is_err());
+    }
+
+    #[test]
+    fn quiet_view_registration_reports_no_warnings() {
+        let mut g = scenario_gkbms();
+        let (as_of, diags) = g.register_view_checked("quiet", "").unwrap();
+        assert_eq!(as_of, g.view("quiet").unwrap().as_of());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn churny_write_log_warns_on_registration() {
+        // 16 TELLs + 4 UNTELLs = 20 events at a 20% delete share —
+        // exactly the CB013 churn threshold.
+        let mut g = scenario_gkbms();
+        g.tell_src("TELL Person end").unwrap();
+        for i in 0..15 {
+            g.tell_src(&format!("TELL o{i} in Person end")).unwrap();
+        }
+        for i in 0..4 {
+            g.untell(&format!("o{i}")).unwrap();
+        }
+        let (_, diags) = g.register_view_checked("churny", "").unwrap();
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "CB013" && d.message.contains("churn")),
+            "{diags:?}"
+        );
     }
 
     #[test]

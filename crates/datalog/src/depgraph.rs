@@ -31,25 +31,65 @@ pub struct DepGraph {
     pub defined: HashSet<usize>,
 }
 
+/// The strongly connected components of a [`DepGraph`], in dependency
+/// order: every edge leaving a component points to a component at a
+/// *smaller* index, so walking `comps` front to back visits each
+/// predicate's dependencies before the predicate itself — the order
+/// bottom-up analyses (signature inference, cardinality estimation,
+/// incremental fingerprinting) want.
+#[derive(Debug, Clone, Default)]
+pub struct Sccs {
+    /// The components: each is a list of predicate indices into
+    /// [`DepGraph::preds`], sorted ascending for determinism.
+    pub comps: Vec<Vec<usize>>,
+    /// `comp_of[p]` is the index into `comps` of predicate `p`'s
+    /// component.
+    pub comp_of: Vec<usize>,
+}
+
+impl Sccs {
+    /// Whether component `c` is recursive: more than one predicate, or
+    /// a single predicate with a self-edge in `g`.
+    pub fn is_recursive(&self, g: &DepGraph, c: usize) -> bool {
+        let comp = &self.comps[c];
+        comp.len() > 1 || g.edges[comp[0]].iter().any(|e| e.to == comp[0])
+    }
+}
+
 impl DepGraph {
     /// Builds the dependency graph of `program`.
     pub fn of(program: &Program) -> Self {
+        Self::of_rules(program.rules.iter())
+    }
+
+    /// Builds the dependency graph from borrowed rules, without
+    /// requiring an owning [`Program`] (callers joining a large stored
+    /// base with a small delta avoid cloning every rule).
+    pub fn of_rules<'a>(rules: impl IntoIterator<Item = &'a crate::ast::Rule>) -> Self {
         let mut g = DepGraph::default();
-        for r in &program.rules {
-            let h = g.intern(&r.head.pred);
-            g.defined.insert(h);
+        g.extend_rules(rules);
+        g
+    }
+
+    /// Folds more rules into the graph. The result is identical to
+    /// building from the concatenated rule sequence, so an incremental
+    /// caller can keep the graph of a large stored base and extend a
+    /// clone with the small delta under admission.
+    pub fn extend_rules<'a>(&mut self, rules: impl IntoIterator<Item = &'a crate::ast::Rule>) {
+        for r in rules {
+            let h = self.intern(&r.head.pred);
+            self.defined.insert(h);
             for l in &r.body {
-                let b = g.intern(&l.atom.pred);
+                let b = self.intern(&l.atom.pred);
                 let edge = DepEdge {
                     to: b,
                     negated: l.negated,
                 };
-                if !g.edges[h].contains(&edge) {
-                    g.edges[h].push(edge);
+                if !self.edges[h].contains(&edge) {
+                    self.edges[h].push(edge);
                 }
             }
         }
-        g
     }
 
     fn intern(&mut self, pred: &str) -> usize {
@@ -111,6 +151,118 @@ impl DepGraph {
                     let mut cycle = vec![self.preds[u].clone()];
                     cycle.extend(path.into_iter().map(|i| self.preds[i].clone()));
                     return Some(cycle);
+                }
+            }
+        }
+        None
+    }
+
+    /// The strongly connected components, via iterative Tarjan (deep
+    /// rule chains must not overflow the stack). Components come out
+    /// in dependency order — see [`Sccs`].
+    pub fn sccs(&self) -> Sccs {
+        let n = self.preds.len();
+        const UNSEEN: usize = usize::MAX;
+        let mut index = vec![UNSEEN; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut comps: Vec<Vec<usize>> = Vec::new();
+        let mut comp_of = vec![0usize; n];
+        let mut next_index = 0usize;
+        // Explicit DFS frames: (node, next-edge cursor).
+        let mut frames: Vec<(usize, usize)> = Vec::new();
+        for root in 0..n {
+            if index[root] != UNSEEN {
+                continue;
+            }
+            frames.push((root, 0));
+            while let Some(&mut (v, ref mut cursor)) = frames.last_mut() {
+                if *cursor == 0 {
+                    index[v] = next_index;
+                    low[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                }
+                if let Some(e) = self.edges[v].get(*cursor) {
+                    *cursor += 1;
+                    let w = e.to;
+                    if index[w] == UNSEEN {
+                        frames.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                    continue;
+                }
+                // v is finished: pop its frame, fold low into parent,
+                // and emit a component if v is its root.
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    for &w in &comp {
+                        comp_of[w] = comps.len();
+                    }
+                    comps.push(comp);
+                }
+            }
+        }
+        Sccs { comps, comp_of }
+    }
+
+    /// A cycle through at least one negative edge that stays inside
+    /// the predicate set `within`, if any — the SCC-local form of
+    /// [`DepGraph::negative_cycle`] (any cycle lies within one SCC, so
+    /// per-component detection finds everything the global scan does).
+    pub fn negative_cycle_within(&self, within: &HashSet<usize>) -> Option<Vec<String>> {
+        let mut members: Vec<usize> = within.iter().copied().collect();
+        members.sort_unstable();
+        for u in members {
+            for e in &self.edges[u] {
+                if !e.negated || !within.contains(&e.to) {
+                    continue;
+                }
+                if let Some(path) = self.path_within(e.to, u, within) {
+                    let mut cycle = vec![self.preds[u].clone()];
+                    cycle.extend(path.into_iter().map(|i| self.preds[i].clone()));
+                    return Some(cycle);
+                }
+            }
+        }
+        None
+    }
+
+    /// BFS path from `from` to `to` restricted to `within`.
+    fn path_within(&self, from: usize, to: usize, within: &HashSet<usize>) -> Option<Vec<usize>> {
+        let mut parent: HashMap<usize, usize> = HashMap::new();
+        let mut queue = VecDeque::from([from]);
+        let mut seen = HashSet::from([from]);
+        while let Some(p) = queue.pop_front() {
+            if p == to {
+                let mut path = vec![p];
+                let mut cur = p;
+                while cur != from {
+                    cur = parent[&cur];
+                    path.push(cur);
+                }
+                path.reverse();
+                return Some(path);
+            }
+            for e in &self.edges[p] {
+                if within.contains(&e.to) && seen.insert(e.to) {
+                    parent.insert(e.to, p);
+                    queue.push_back(e.to);
                 }
             }
         }
@@ -198,6 +350,71 @@ mod tests {
         let cycle = g.negative_cycle().unwrap();
         assert_eq!(cycle.first(), cycle.last());
         assert!(cycle.len() >= 3, "cycle {cycle:?} should pass through both");
+    }
+
+    #[test]
+    fn sccs_come_out_in_dependency_order() {
+        let p = Program::parse(
+            "a(X) :- b(X), c(X).\n\
+             b(X) :- a(X).\n\
+             c(X) :- d(X).\n\
+             d(X) :- base(X).",
+        )
+        .unwrap();
+        let g = DepGraph::of(&p);
+        let s = g.sccs();
+        let a = g.pred_index("a").unwrap();
+        let b = g.pred_index("b").unwrap();
+        assert_eq!(s.comp_of[a], s.comp_of[b], "a and b are one cycle");
+        assert!(s.is_recursive(&g, s.comp_of[a]));
+        // Every edge points to a component at a smaller or equal index.
+        for (u, edges) in g.edges.iter().enumerate() {
+            for e in edges {
+                assert!(
+                    s.comp_of[e.to] <= s.comp_of[u],
+                    "dependency order violated: {} -> {}",
+                    g.name(u),
+                    g.name(e.to)
+                );
+            }
+        }
+        // Self-recursion is recursive; a plain chain node is not.
+        let d = g.pred_index("d").unwrap();
+        assert!(!s.is_recursive(&g, s.comp_of[d]));
+        let p2 = Program::parse("t(X, Z) :- t(X, Y), t(Y, Z).").unwrap();
+        let g2 = DepGraph::of(&p2);
+        let s2 = g2.sccs();
+        assert!(s2.is_recursive(&g2, s2.comp_of[g2.pred_index("t").unwrap()]));
+    }
+
+    #[test]
+    fn sccs_survive_deep_chains_without_overflow() {
+        let mut src = String::from("p0(X) :- base(X).\n");
+        for i in 1..20_000 {
+            src.push_str(&format!("p{i}(X) :- p{}(X).\n", i - 1));
+        }
+        let g = DepGraph::of(&Program::parse(&src).unwrap());
+        let s = g.sccs();
+        assert_eq!(s.comps.len(), 20_001, "every chain node is its own SCC");
+    }
+
+    #[test]
+    fn negative_cycle_within_matches_global_detection() {
+        let p = Program::parse(
+            "p(X) :- base(X), not q(X).\n\
+             q(X) :- base(X), not p(X).\n\
+             safe(X) :- base(X).",
+        )
+        .unwrap();
+        let g = DepGraph::of(&p);
+        let s = g.sccs();
+        let pq = s.comp_of[g.pred_index("p").unwrap()];
+        let within: HashSet<usize> = s.comps[pq].iter().copied().collect();
+        let cycle = g.negative_cycle_within(&within).unwrap();
+        assert_eq!(cycle.first(), cycle.last());
+        let safe = s.comp_of[g.pred_index("safe").unwrap()];
+        let within: HashSet<usize> = s.comps[safe].iter().copied().collect();
+        assert!(g.negative_cycle_within(&within).is_none());
     }
 
     #[test]

@@ -456,6 +456,48 @@ fn ordered_body(rule: &Rule) -> Vec<&Literal> {
     out
 }
 
+/// The planner's join order and binding-pattern masks for `rule`,
+/// exposed for cost estimation: one entry per body literal in
+/// evaluation order (positives first, negatives last — exactly
+/// [`ordered_body`]), carrying the index of the literal in
+/// `rule.body` and the bound-positions mask the join will probe with
+/// (constants plus variables bound by earlier literals). Positions
+/// ≥ 32 are never masked, mirroring [`compile`].
+pub fn plan_masks(rule: &Rule) -> Vec<(usize, u32)> {
+    let mut order: Vec<usize> = (0..rule.body.len())
+        .filter(|&i| !rule.body[i].negated)
+        .collect();
+    order.extend((0..rule.body.len()).filter(|&i| rule.body[i].negated));
+    let mut bound: std::collections::HashSet<&str> = std::collections::HashSet::new();
+    let mut out = Vec::with_capacity(order.len());
+    for i in order {
+        let lit = &rule.body[i];
+        let mut mask: u32 = 0;
+        let mut newly = Vec::new();
+        for (j, t) in lit.atom.args.iter().enumerate() {
+            match t {
+                Term::Const(_) => {
+                    if j < 32 {
+                        mask |= 1 << j;
+                    }
+                }
+                Term::Var(name) => {
+                    if bound.contains(name.as_str()) {
+                        if j < 32 {
+                            mask |= 1 << j;
+                        }
+                    } else {
+                        newly.push(name.as_str());
+                    }
+                }
+            }
+        }
+        bound.extend(newly);
+        out.push((i, mask));
+    }
+    out
+}
+
 /// Joins the rule body against `total` by scanning each relation, with
 /// body position `delta_pos` restricted to `delta` if given.
 fn join_body(

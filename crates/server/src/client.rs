@@ -587,6 +587,17 @@ impl Client {
         })
     }
 
+    /// Renders the deductive evaluator's join plan and cost estimate
+    /// for the base program, the stored rules, and any extra rules in
+    /// `src` (may be empty), against the live knowledge base's measured
+    /// EDB cardinalities. Read-only.
+    pub fn explain(&mut self, session: u64, src: &str) -> ClientResult<String> {
+        self.done(&Request::Explain {
+            session,
+            src: src.into(),
+        })
+    }
+
     /// Structure-similarity recall: which past decisions looked like
     /// the named one? Returns `(decision, score, retracted)` triples,
     /// best first; retracted precedents are included and flagged.

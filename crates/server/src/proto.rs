@@ -64,6 +64,7 @@
 //! | 28 | `RegisterView`       | `session:u64 name:str rules:str`           |
 //! | 29 | `ViewAsk`            | `session:u64 name:str pred:str`            |
 //! | 30 | `Recall`             | `session:u64 name:str limit:u32`           |
+//! | 31 | `Explain`            | `session:u64 src:str`                      |
 //!
 //! `Replicate` is the subscription handshake of the replication
 //! subsystem: a follower (or any tailer) announces the last op
@@ -448,6 +449,17 @@ pub enum Request {
         /// Maximum number of hits.
         limit: u32,
     },
+    /// Render the deductive evaluator's join plan and cost estimate
+    /// for the base program, the stored rules, and any extra rules in
+    /// `src`, against the knowledge base's measured EDB cardinalities.
+    /// Read-only; answers [`Response::Done`] with the rendered plan.
+    Explain {
+        /// Issuing session.
+        session: u64,
+        /// Extra datalog rules to cost alongside the stored rule base
+        /// (may be empty).
+        src: String,
+    },
 }
 
 /// Typed error codes carried by [`Response::Error`].
@@ -672,6 +684,7 @@ const REQ_REPL_STATUS: u32 = 27;
 const REQ_REGISTER_VIEW: u32 = 28;
 const REQ_VIEW_ASK: u32 = 29;
 const REQ_RECALL: u32 = 30;
+const REQ_EXPLAIN: u32 = 31;
 
 const RESP_WELCOME: u32 = 1;
 const RESP_DONE: u32 = 2;
@@ -995,6 +1008,11 @@ impl Request {
                 codec::put_str(&mut out, name);
                 codec::put_u32(&mut out, *limit);
             }
+            Request::Explain { session, src } => {
+                codec::put_u32(&mut out, REQ_EXPLAIN);
+                codec::put_u64(&mut out, *session);
+                codec::put_str(&mut out, src);
+            }
         }
         out
     }
@@ -1111,6 +1129,10 @@ impl Request {
                 name: c.get_str()?.to_string(),
                 limit: c.get_u32()?,
             },
+            REQ_EXPLAIN => Request::Explain {
+                session: c.get_u64()?,
+                src: c.get_str()?.to_string(),
+            },
             op => return Err(DecodeError(format!("unknown request opcode {op}"))),
         };
         if !c.is_exhausted() {
@@ -1165,7 +1187,8 @@ impl Request {
             | Request::Promote { session }
             | Request::RegisterView { session, .. }
             | Request::ViewAsk { session, .. }
-            | Request::Recall { session, .. } => Some(*session),
+            | Request::Recall { session, .. }
+            | Request::Explain { session, .. } => Some(*session),
         }
     }
 
@@ -1219,6 +1242,7 @@ impl Request {
             Request::RegisterView { .. } => "register_view",
             Request::ViewAsk { .. } => "view_ask",
             Request::Recall { .. } => "recall",
+            Request::Explain { .. } => "explain",
         }
     }
 }
@@ -1637,6 +1661,10 @@ mod tests {
             session: 8,
             name: "mapInvitations".into(),
             limit: 10,
+        });
+        roundtrip_req(Request::Explain {
+            session: 9,
+            src: "reach(X, Y) :- attr(X, next, Y).".into(),
         });
     }
 

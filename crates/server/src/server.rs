@@ -1430,14 +1430,20 @@ fn dispatch_inner(shared: &Shared, req: Request) -> Response {
             // replication rebuild the view by replay. The belief clock
             // does not move — registration changes no beliefs.
             let mut g = write_state(shared);
-            let outcome = g.register_view(&name, &rules);
+            let outcome = g.register_view_checked(&name, &rules);
             if let Err(resp) = durable_commit(shared, g, outcome.is_ok()) {
                 return resp;
             }
             match outcome {
-                Ok(as_of) => Response::Done {
-                    text: format!("registered view `{name}` as of tick {as_of}"),
-                },
+                Ok((as_of, diags)) => {
+                    // CB013 maintainability warnings ride back in the
+                    // confirmation text; they never block registration.
+                    let mut text = format!("registered view `{name}` as of tick {as_of}");
+                    for d in &diags {
+                        text.push_str(&format!("\nwarning[{}]: {}", d.code, d.message));
+                    }
+                    Response::Done { text }
+                }
                 Err(e) => err(ErrorCode::Rejected, e.to_string()),
             }
         }
@@ -1508,6 +1514,15 @@ fn dispatch_inner(shared: &Shared, req: Request) -> Response {
                         })
                         .collect(),
                 },
+                Err(e) => err(ErrorCode::Rejected, e.to_string()),
+            }
+        }
+        Request::Explain { session, src } => {
+            if let Err(resp) = touch(shared, session) {
+                return resp;
+            }
+            match read_state(shared).explain_src(&src) {
+                Ok(text) => Response::Done { text },
                 Err(e) => err(ErrorCode::Rejected, e.to_string()),
             }
         }

@@ -42,6 +42,7 @@
 //! \stats                   index probes / tuples scanned of the last ASK
 //! \metrics                 process metrics (Prometheus text format)
 //! \lint <file>             statically analyze a script without admitting it
+//! \explain [rules…]        join plan + cost estimate of the rule base
 //! help / quit
 //! ```
 //!
@@ -53,7 +54,9 @@
 //! `\view <name> [: <rules>]` (register a materialized deductive view,
 //! maintained incrementally under TELL/UNTELL),
 //! `\viewask <name> <pred>` (read one predicate of a view, snapshot
-//! pinned at the session watermark), and
+//! pinned at the session watermark),
+//! `\explain [rules…]` (the evaluator's join plan and cost estimate,
+//! via the `Explain` wire op), and
 //! `shutdown`; reads are snapshot-isolated at the session watermark,
 //! and the shell refreshes automatically after its own successful
 //! writes so they stay visible.
@@ -91,7 +94,7 @@ fn dispatch(shell: &mut Shell, line: &str) -> Option<String> {
         "" => String::new(),
         "quit" | "exit" => return None,
         "help" => "commands: tell untell ask holds show isa instances attrs check stats \\stats \
-             \\metrics \\lint quit"
+             \\metrics \\lint \\explain quit"
             .to_string(),
         "tell" => match ObjectFrame::parse(&format!("TELL {rest}")) {
             Err(e) => format!("error: {e}"),
@@ -203,6 +206,16 @@ fn dispatch(shell: &mut Shell, line: &str) -> Option<String> {
                 }
             }
         }
+        // \explain [rules…] — the evaluator's join plan and cost
+        // estimate for the base program, the stored rules, and any
+        // extra inline rules.
+        "\\explain" => {
+            let ctx = conceptbase::analysis::LintContext::from_kb(kb);
+            match conceptbase::analysis::explain_source(rest, &ctx) {
+                Ok(plan) => plan.trim_end().to_string(),
+                Err(e) => format!("error: {e}"),
+            }
+        }
         other => format!("unknown command `{other}` (try `help`)"),
     };
     Some(out)
@@ -235,8 +248,8 @@ fn dispatch_remote(client: &mut Client, session: u64, line: &str) -> Option<Stri
             return None;
         }
         "help" => "commands: tell untell ask holds show refresh history status \\stats \
-                   \\metrics \\lint \\view \\viewask \\recall \\checkpoint \\replstatus \
-                   \\promote save load shutdown quit"
+                   \\metrics \\lint \\explain \\view \\viewask \\recall \\checkpoint \
+                   \\replstatus \\promote save load shutdown quit"
             .to_string(),
         "tell" => {
             let r = client.tell(session, &format!("TELL {rest}"));
@@ -316,6 +329,9 @@ fn dispatch_remote(client: &mut Client, session: u64, line: &str) -> Option<Stri
                 }
             }
         }
+        // \explain [rules…] — the server-side join plan and cost
+        // estimate (the `Explain` wire op).
+        "\\explain" | "explain" => text(client.explain(session, rest)),
         // \view <name> [: <datalog rules>] — register a maintained view.
         "\\view" | "view" => {
             let (name, rules) = match rest.split_once(':') {
@@ -826,6 +842,28 @@ mod tests {
         assert!(remote.contains("error(s)"), "{remote}");
         server.shutdown().unwrap();
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn explain_command_local_and_remote() {
+        let mut shell = seeded_shell();
+        let local = dispatch(&mut shell, "\\explain").unwrap();
+        assert!(local.contains("estimated cost"), "{local}");
+        assert!(local.contains("inT"), "{local}");
+        let with_rules = dispatch(&mut shell, "\\explain reach(X, Y) :- attr(X, n, Y).").unwrap();
+        assert!(with_rules.contains("reach"), "{with_rules}");
+        let bad = dispatch(&mut shell, "\\explain p(X) :- q(X").unwrap();
+        assert!(bad.starts_with("error"), "{bad}");
+
+        let state = conceptbase::gkbms::Gkbms::new().unwrap();
+        let server = Server::bind("127.0.0.1:0", state, Config::default()).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let (session, _) = client.hello().unwrap();
+        let remote = dispatch_remote(&mut client, session, "\\explain").unwrap();
+        assert!(remote.contains("estimated cost"), "{remote}");
+        let bad = dispatch_remote(&mut client, session, "\\explain p(X) :- q(X").unwrap();
+        assert!(bad.starts_with("error"), "{bad}");
+        server.shutdown().unwrap();
     }
 
     #[test]

@@ -53,8 +53,8 @@ fn golden_fixtures() {
         checked += 1;
     }
     assert!(
-        checked >= 20,
-        "expected at least 20 fixtures, found {checked}"
+        checked >= 32,
+        "expected at least 32 fixtures, found {checked}"
     );
 }
 

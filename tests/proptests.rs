@@ -646,4 +646,52 @@ proptest! {
         let _ = std::fs::remove_file(&p3);
         prop_assert_eq!(b1, b3, "replayed history must persist byte-identically");
     }
+
+    /// ISSUE 10 tentpole: the incremental analyzer (per-SCC
+    /// fingerprint cache, reused across admissions) must agree with a
+    /// from-scratch lint after every step of a random TELL/UNTELL
+    /// sequence — same diagnostics, same order.
+    #[test]
+    fn incremental_lint_matches_from_scratch_under_churn(
+        ops in prop::collection::vec((any::<bool>(), 0usize..5), 1..8),
+    ) {
+        use conceptbase::analysis::{lint_source, lint_source_cached, AnalysisCache, LintContext};
+        use conceptbase::gkbms::Gkbms;
+        let mut g = Gkbms::new().unwrap();
+        g.tell_src("TELL Person end").unwrap();
+        let mut cache = AnalysisCache::new();
+        let mut told: Vec<String> = Vec::new();
+        let mut counter = 0usize;
+        for (tell, sel) in ops {
+            if tell || told.is_empty() {
+                counter += 1;
+                // Every other TELL carries a rule, so the stored rule
+                // base (and with it the SCC structure) really churns.
+                if counter.is_multiple_of(2) {
+                    g.tell_src(&format!(
+                        "TELL C{counter} with rule r{counter} : \
+                         $ p{counter}(X) :- in_(X, \"Person\") $ end"
+                    )).unwrap();
+                    told.push(format!("C{counter}"));
+                } else {
+                    g.tell_src(&format!("TELL q{counter} in Person end")).unwrap();
+                    told.push(format!("q{counter}"));
+                }
+            } else {
+                let name = told.remove(sel % told.len());
+                g.untell(&name).unwrap();
+            }
+            for probe in [
+                "good(X) :- in_(X, \"Person\").",
+                "spin(X, Y) :- spin(Y, X).",
+                "pairs(X, Y) :- in_(X, C), isa(Y, D).",
+            ] {
+                let ctx = LintContext::from_kb(g.kb());
+                let warm = lint_source_cached(probe, &ctx, &mut cache);
+                let cold = lint_source(probe, &ctx);
+                prop_assert_eq!(warm, cold,
+                    "incremental and from-scratch lint diverged on `{}`", probe);
+            }
+        }
+    }
 }

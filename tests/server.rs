@@ -705,6 +705,47 @@ fn registered_view_maintains_and_pins_over_the_wire() {
     server.shutdown().unwrap();
 }
 
+/// The `Explain` wire op renders the evaluator's join plan and cost
+/// estimate against the live KB — and extra rules sent with the
+/// request are costed alongside the stored base.
+#[test]
+fn explain_renders_cost_estimates_over_the_wire() {
+    let (server, addr) = start(quick_cfg());
+    let mut c = Client::connect(addr).unwrap();
+    let (s, _) = c.hello().unwrap();
+    c.tell(s, "TELL Paper end").unwrap();
+    c.tell(s, "TELL p1 in Paper end").unwrap();
+
+    // The stored base alone: the closure strata are in the plan.
+    let plan = c.explain(s, "").unwrap();
+    assert!(plan.contains("estimated cost"), "{plan}");
+    assert!(plan.contains("inT"), "{plan}");
+    assert!(plan.contains("total estimated cost"), "{plan}");
+
+    // Extra rules ride along and show up in the rendered plan.
+    let plan = c.explain(s, "reach(X, Y) :- attr(X, next, Y).").unwrap();
+    assert!(plan.contains("reach"), "{plan}");
+    assert!(plan.contains("estimated cost"), "{plan}");
+
+    // Broken extra rules are typed rejections, not protocol errors.
+    match c.explain(s, "p(X) :- q(X") {
+        Err(ClientError::Server(e)) => assert_eq!(e.code, ErrorCode::Rejected),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Admission linting is incremental: the second lint of the same
+    // rules is served from the fingerprint cache.
+    c.lint(s, "win(X) :- in_(X, \"Paper\").").unwrap();
+    c.lint(s, "win(X) :- in_(X, \"Paper\").").unwrap();
+    let text = c.metrics().unwrap();
+    assert!(
+        scrape(&text, "gkbms_lint_fingerprint_hits_total").unwrap_or(0.0) >= 1.0,
+        "expected fingerprint-cache hits in scrape"
+    );
+    c.bye(s).unwrap();
+    server.shutdown().unwrap();
+}
+
 /// One step of a generated client script.
 #[derive(Debug, Clone, Copy)]
 enum ScriptOp {
